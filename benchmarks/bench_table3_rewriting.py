@@ -1,0 +1,151 @@
+"""Table 3 — rewriting Azure's ad-hoc validation code in CPL.
+
+Paper Table 3: three Azure validation modules (800+/3300+/180+ LoC of C# &
+PowerShell) shrink to 50/109/14 LoC of CPL (17/62/6 specs), with roughly a
+third of the specs auto-inferable, at small development time.
+
+Here both sides are executable: the imperative baselines
+(:mod:`repro.synthetic.imperative`, written in the paper's Listing 2/3
+style) versus the expert CPL corpora (:mod:`repro.synthetic.specs`).  We
+report original LoC, CPL LoC, spec count and the inferable count (checked
+against what the inference engine actually discovers on the same data), and
+benchmark the CPL validation runs.
+
+Shape claims: ≥5× LoC reduction on every module (the paper shows 13–30×);
+a nonzero fraction of specs inferable; both sides report zero violations on
+clean data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InferenceEngine, ValidationSession
+from repro.benchutil import count_spec_statements as count_specs
+from repro.benchutil import format_table
+from repro.cpl import ast, parse
+from repro.synthetic import (
+    EXPERT_SPECS,
+    imperative_loc,
+    spec_loc,
+    validate_type_a,
+    validate_type_b,
+    validate_type_c,
+)
+
+_IMPERATIVE = {
+    "Type A": ("type_a", validate_type_a),
+    "Type B": ("type_b", validate_type_b),
+    "Type C": ("type_c", validate_type_c),
+}
+
+
+def count_inferable(name: str, store) -> int:
+    """Specs whose (class, constraint-kind) the inference engine rediscovers."""
+    inferred = InferenceEngine().infer(store)
+    inferred_pairs = {(c.class_key[-1], c.kind) for c in inferred.constraints}
+    kinds_by_leaf = {}
+    for class_key, kind in inferred_pairs:
+        kinds_by_leaf.setdefault(class_key, set()).add(kind)
+
+    program = parse(EXPERT_SPECS[name])
+    count = 0
+    for statement in program.statements:
+        leaf, kinds = _spec_signature(statement)
+        if leaf is None:
+            continue
+        if "*" in leaf:
+            # wildcard hygiene spec: inferable when the engine discovered the
+            # same kinds on the classes the wildcard covers
+            from fnmatch import fnmatch
+
+            covered = set()
+            for other_leaf, other_kinds in kinds_by_leaf.items():
+                if fnmatch(other_leaf, leaf):
+                    covered |= other_kinds
+            if kinds and kinds <= covered:
+                count += 1
+        elif kinds & kinds_by_leaf.get(leaf, set()):
+            count += 1
+    return count
+
+
+def _spec_signature(statement):
+    """(leaf parameter name, constraint kinds) of a simple top-level spec."""
+    if not isinstance(statement, ast.SpecStatement):
+        return None, set()
+    if not isinstance(statement.domain, ast.DomainRef):
+        return None, set()
+    notation = statement.domain.notation
+    if "$" in notation:
+        return None, set()
+    leaf = notation.split(".")[-1].split("::")[0]
+    kinds = set()
+    final = statement.steps[-1]
+    if not isinstance(final, ast.PredicateStep):
+        return leaf, kinds
+    stack = [final.predicate]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.And):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, ast.PrimitiveCall):
+            if node.name == "nonempty":
+                kinds.add("nonempty")
+            elif node.name == "consistent":
+                kinds.add("consistency")
+            elif node.name == "unique":
+                kinds.add("uniqueness")
+            elif node.name in ("int", "float", "bool", "ip", "ipv6", "cidr",
+                               "mac", "port", "url", "email", "guid", "path",
+                               "iprange"):
+                kinds.add("type")
+        elif isinstance(node, ast.RangePred):
+            kinds.add("range")
+        elif isinstance(node, ast.SetPred):
+            kinds.add("enum")
+    return leaf, kinds
+
+
+@pytest.fixture(scope="module")
+def table3(type_a_store, type_b_store, type_c_store):
+    stores = {"Type A": type_a_store, "Type B": type_b_store, "Type C": type_c_store}
+    rows = []
+    for label, (name, __) in _IMPERATIVE.items():
+        original = imperative_loc(name)
+        cpl = spec_loc(EXPERT_SPECS[name])
+        specs = count_specs(EXPERT_SPECS[name])
+        inferable = count_inferable(name, stores[label])
+        rows.append((label, original, cpl, specs, inferable,
+                     f"{original / cpl:.1f}x"))
+    return rows
+
+
+def test_table3_report(benchmark, table3, emit):
+    rows = benchmark(lambda: table3)
+    emit(
+        "table3_rewriting",
+        format_table(
+            ["Config.", "Orig. code LOC", "CPL LOC", "Specs", "Inferable", "Reduction"],
+            rows,
+        ),
+    )
+    for __, original, cpl, specs, inferable, __ratio in rows:
+        assert original / cpl >= 5            # paper: 13–30×
+        assert 0 < inferable <= specs         # paper: about one third inferable
+
+
+@pytest.mark.parametrize("label", sorted(_IMPERATIVE))
+def test_table3_cpl_validation_speed(
+    benchmark, label, type_a_store, type_b_store, type_c_store
+):
+    stores = {"Type A": type_a_store, "Type B": type_b_store, "Type C": type_c_store}
+    name, imperative = _IMPERATIVE[label]
+    store = stores[label]
+    session = ValidationSession(store=store)
+    statements = session.prepare(EXPERT_SPECS[name])
+
+    report = benchmark(session.validate_statements, statements)
+    assert report.passed
+    # functional equivalence with the imperative baseline on clean data
+    assert imperative(store) == []

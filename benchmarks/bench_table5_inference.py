@@ -1,0 +1,69 @@
+"""Table 5 — constraints inferred per kind on the three Azure data types.
+
+Paper Table 5 reports, per configuration type, the number of classes and
+instances analyzed and the count of inferred constraints per kind (Type,
+Nonempty, Range, Equality, Consistency, Uniqueness).  Example shape: every
+type has many Type and Nonempty constraints; Range/Equality/Consistency/
+Uniqueness depend on whether the constraint is applicable to the data.
+
+We run the inference engine on the three synthetic snapshots, print the
+same table, and benchmark the inference pass itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InferenceEngine
+from repro.benchutil import format_table
+
+COLUMNS = ("type", "nonempty", "range", "equality", "consistency", "uniqueness", "enum")
+
+
+@pytest.fixture(scope="module")
+def inference_results(type_a_store, type_b_store, type_c_store):
+    engine = InferenceEngine()
+    return {
+        "Type A": (type_a_store, engine.infer(type_a_store)),
+        "Type B": (type_b_store, engine.infer(type_b_store)),
+        "Type C": (type_c_store, engine.infer(type_c_store)),
+    }
+
+
+def test_table5_report(benchmark, emit, inference_results):
+    def build():
+        rows = []
+        for label, (store, result) in inference_results.items():
+            counts = result.counts_by_kind()
+            rows.append(
+                (label, store.class_count, store.instance_count)
+                + tuple(counts.get(kind, 0) for kind in COLUMNS)
+                + (len(result.constraints),)
+            )
+        return rows
+
+    rows = benchmark(build)
+    emit(
+        "table5_inference",
+        format_table(
+            ["Config.", "Classes", "Instances", "Type", "Nonempty", "Range",
+             "Equality", "Consistency", "Uniqueness", "Enum", "Total"],
+            rows,
+        ),
+    )
+    by_label = {row[0]: row for row in rows}
+    for label, row in by_label.items():
+        classes, type_count, nonempty = row[1], row[3], row[4]
+        # shape: most classes have a type or nonempty constraint inferred
+        assert type_count > 0 and nonempty > 0
+        assert type_count <= classes
+    # Type A (rich catalog, consistent params) infers consistency+uniqueness
+    assert by_label["Type A"][7] > 0 or by_label["Type A"][8] > 0
+
+
+@pytest.mark.parametrize("label", ["Type A", "Type B", "Type C"])
+def test_table5_inference_speed(benchmark, label, inference_results):
+    store, __ = inference_results[label]
+    engine = InferenceEngine()
+    result = benchmark.pedantic(engine.infer, args=(store,), rounds=3, iterations=1)
+    assert result.constraints

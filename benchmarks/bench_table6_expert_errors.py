@@ -1,0 +1,88 @@
+"""Table 6 — expert-written specifications on three configuration branches.
+
+Paper Table 6: running expert CPL specs on the three latest Azure branches
+reported 8 errors — 4 on Trunk, 2 on Branch 1, 2 on Branch 2 — all
+confirmed (zero false positives).  The reported errors included "the VIP
+range of a load balancer set is not contained in VIP range of its cluster",
+"bad BladeID", and "inconsistent number of addresses in MAC range and IP
+range".
+
+We derive three branches from the clean Type A snapshot with exactly those
+error categories injected (4/2/2) plus benign drift that expert specs must
+ignore, run the expert corpus, and assert: every injected error caught, no
+false positives, no unexpected reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationSession
+from repro.benchutil import format_table
+from repro.synthetic import EXPERT_SPECS, FaultInjector, score_report
+
+# paper's named error categories, distributed 4/2/2 over the branches
+BRANCH_RECIPES = {
+    "Trunk": [
+        "vip_out_of_cluster",       # VIP range not contained in cluster range
+        "bad_blade_location",       # "bad BladeID" / duplicate blade location
+        "mac_ip_pool_mismatch",     # MAC vs IP range count mismatch
+        "empty_required",           # empty FccDnsName
+    ],
+    "Branch 1": ["low_replica_count", "enum_typo"],
+    "Branch 2": ["wrong_type", "mac_ip_pool_mismatch"],
+}
+
+BENIGN = ["new_enum_value", "range_drift", "scalar_to_list"]
+
+
+@pytest.fixture(scope="module")
+def branches(type_a_dataset):
+    base = type_a_dataset.parse()
+    out = {}
+    for index, (name, kinds) in enumerate(BRANCH_RECIPES.items()):
+        injector = FaultInjector(base, seed=100 + index)
+        out[name] = injector.make_branch(name, kinds, BENIGN)
+    return out
+
+
+def test_table6_report(benchmark, emit, branches):
+    def run_all():
+        rows = []
+        for name, branch in branches.items():
+            store = branch.build_store()
+            report = ValidationSession(store=store).validate(EXPERT_SPECS["type_a"])
+            rows.append((name, branch, report))
+        return rows
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table_rows = []
+    total_reported = 0
+    for name, branch, report in results:
+        score = score_report(report, branch)
+        injected = len(branch.true_error_keys)
+        table_rows.append((name, injected, score.reported, score.true_errors_caught,
+                           score.false_positives))
+        total_reported += score.reported
+        # paper shape: all reported errors are true errors (all confirmed)
+        assert score.false_positives == 0, report.render()
+        assert score.unexpected == 0, report.render()
+        assert score.true_errors_caught == injected, report.render()
+    emit(
+        "table6_expert_errors",
+        format_table(
+            ["Config. branch", "Injected", "Reported errors", "Caught", "False pos."],
+            table_rows,
+        )
+        + f"\ntotal reported: {total_reported} (paper: 8, distributed 4/2/2)",
+    )
+    assert total_reported >= 8
+
+
+@pytest.mark.parametrize("name", list(BRANCH_RECIPES))
+def test_table6_branch_validation_speed(benchmark, name, branches):
+    store = branches[name].build_store()
+    session = ValidationSession(store=store)
+    statements = session.prepare(EXPERT_SPECS["type_a"])
+    report = benchmark(session.validate_statements, statements)
+    assert not report.passed

@@ -1,0 +1,78 @@
+"""Table 9 — inference latency: total / parsing / inference breakdown.
+
+Paper Table 9 (67k / 2.3M / 2.2k instances → 19.7s / 82s / 0.09s total):
+"the bottleneck lies in parsing the configuration data into a unified
+representation, while the actual inference time is fairly small."
+
+We time the two phases separately on the three synthetic data sets —
+parsing = driver conversion of the raw sources into the unified store,
+inference = the constraint-mining pass — and assert the paper's shape:
+parsing dominates on the large data sets.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ConfigStore, InferenceEngine
+from repro.benchutil import format_table
+
+
+def measure(dataset):
+    started = time.perf_counter()
+    instances = dataset.parse()
+    store = ConfigStore()
+    store.add_all(instances)
+    parse_seconds = time.perf_counter() - started
+    result = InferenceEngine().infer(store)
+    return {
+        "instances": store.instance_count,
+        "parse": parse_seconds,
+        "infer": result.infer_seconds,
+        "total": parse_seconds + result.infer_seconds,
+    }
+
+
+def test_table9_report(benchmark, emit, type_a_dataset, type_b_dataset, type_c_dataset):
+    def run_all():
+        return {
+            "Type A": measure(type_a_dataset),
+            "Type B": measure(type_b_dataset),
+            "Type C": measure(type_c_dataset),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (label, m["instances"], f"{m['total']:.3f}", f"{m['parse']:.3f}",
+         f"{m['infer']:.3f}")
+        for label, m in results.items()
+    ]
+    emit(
+        "table9_inference_latency",
+        format_table(
+            ["Config.", "Instances", "Total (s)", "Parsing (s)", "Inference (s)"],
+            rows,
+        ),
+    )
+    # paper shape: parsing dominates inference on the big data sets
+    for label in ("Type A", "Type B"):
+        assert results[label]["parse"] > results[label]["infer"], label
+    # and the biggest data set takes the longest overall
+    assert results["Type B"]["total"] >= results["Type C"]["total"]
+
+
+@pytest.mark.parametrize("phase", ["parsing", "inference"])
+def test_table9_type_b_phases(benchmark, phase, type_b_dataset, type_b_store):
+    if phase == "parsing":
+        result = benchmark.pedantic(
+            type_b_dataset.build_store, rounds=2, iterations=1
+        )
+        assert result.instance_count > 0
+    else:
+        engine = InferenceEngine()
+        result = benchmark.pedantic(
+            engine.infer, args=(type_b_store,), rounds=2, iterations=1
+        )
+        assert result.constraints

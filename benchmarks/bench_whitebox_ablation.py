@@ -1,0 +1,103 @@
+"""Ablation — black-box inference vs black-box + white-box combination.
+
+Paper §6.3: inferred-spec inaccuracies "come from insufficient samples for
+a configuration and from suboptimal heuristics … We also plan to explore
+whether the heavy-weight white-box solutions can be efficiently combined in
+our inference component to improve accuracy."  §6.4 names the two
+false-positive mechanisms: an incomplete inferred value range, and a scalar
+observation whose "true types are a list of IP address".
+
+This bench measures that combination: constraints extracted from the
+synthetic application source (`repro.synthetic.appsource`, whose guards
+encode the parameters' true valid ranges and list-ness) are merged into the
+black-box result, and both corpora run on branches carrying true errors
+plus exactly those benign-drift mechanisms.
+
+Shape claims: the combined corpus eliminates the range-drift and
+scalar-to-list false positives while catching every true error the
+black-box corpus caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InferenceEngine, ValidationSession
+from repro.benchutil import format_table
+from repro.inference import combine, extract_constraints
+from repro.synthetic import FaultInjector, generate_app_source, score_report
+
+from conftest import TYPE_A_SCALE
+
+TRUE_BATCH = ["wrong_type", "empty_required", "enum_typo", "duplicate_unique",
+              "inconsistent_value", "low_replica_count"]
+BENIGN_BATCH = ["range_drift", "scalar_to_list", "range_drift"]
+
+
+@pytest.fixture(scope="module")
+def corpora(type_a_store):
+    blackbox = InferenceEngine().infer(type_a_store)
+    code_constraints = extract_constraints(
+        generate_app_source(TYPE_A_SCALE, seed=42)
+    )
+    combined = combine(blackbox, code_constraints)
+    return blackbox, combined, len(code_constraints)
+
+
+@pytest.fixture(scope="module")
+def branches(type_a_dataset):
+    base = type_a_dataset.parse()
+    return [
+        FaultInjector(base, seed=300 + index).make_branch(
+            f"branch-{index}", TRUE_BATCH, BENIGN_BATCH
+        )
+        for index in range(3)
+    ]
+
+
+def test_whitebox_ablation(benchmark, emit, corpora, branches):
+    blackbox, combined, code_count = corpora
+
+    def run_all():
+        rows = {}
+        for label, corpus in (("black-box only", blackbox),
+                              ("black-box + white-box", combined)):
+            cpl = corpus.to_cpl()
+            caught = reported = false_positives = 0
+            for branch in branches:
+                report = ValidationSession(store=branch.build_store()).validate(cpl)
+                score = score_report(report, branch)
+                caught += score.true_errors_caught
+                reported += score.reported
+                false_positives += score.false_positives
+            rows[label] = (reported, caught, false_positives)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "whitebox_ablation",
+        format_table(
+            ["Inference", "Reported", "True errors caught", "False positives"],
+            [(label,) + values for label, values in rows.items()],
+        )
+        + f"\n({code_count} constraints extracted from application source)",
+    )
+    bb_reported, bb_caught, bb_fp = rows["black-box only"]
+    cb_reported, cb_caught, cb_fp = rows["black-box + white-box"]
+    # black-box alone misfires on the benign drift …
+    assert bb_fp >= 3
+    # … the code-informed combination does not …
+    assert cb_fp < bb_fp
+    assert cb_fp == 0
+    # … while catching at least as many true errors
+    assert cb_caught >= bb_caught
+
+
+def test_combined_corpus_clean_on_good_snapshot(benchmark, corpora, type_a_store):
+    __, combined, __count = corpora
+    session = ValidationSession(store=type_a_store)
+    statements = session.prepare(combined.to_cpl())
+    report = benchmark.pedantic(
+        session.validate_statements, args=(statements,), rounds=1, iterations=1
+    )
+    assert report.passed, report.render(limit=5)

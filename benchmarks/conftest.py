@@ -1,0 +1,80 @@
+"""Shared fixtures and reporting helpers for the paper-reproduction benches.
+
+Scales (recorded in EXPERIMENTS.md): the paper's Azure data is replayed at a
+laptop-friendly scale — Type A ≈ paper/10 instances, Type B ≈ paper/100,
+Type C ≈ paper scale (it was small).  Absolute times differ from the paper's
+2.8 GHz Core i7 + C# stack; every *shape* claim is asserted in the benches.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.synthetic import generate_cloudstack, generate_openstack
+from repro.synthetic.azure import generate_type_a, generate_type_b, generate_type_c
+
+# Override via environment to approach paper scale, e.g.
+#   REPRO_SCALE_A=1.0 REPRO_SCALE_B=1.0 pytest benchmarks/ --benchmark-only
+TYPE_A_SCALE = float(os.environ.get("REPRO_SCALE_A", "0.35"))
+TYPE_B_SCALE = float(os.environ.get("REPRO_SCALE_B", "0.02"))
+TYPE_C_SCALE = float(os.environ.get("REPRO_SCALE_C", "1.0"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def type_a_dataset():
+    return generate_type_a(TYPE_A_SCALE)
+
+
+@pytest.fixture(scope="session")
+def type_b_dataset():
+    return generate_type_b(TYPE_B_SCALE)
+
+
+@pytest.fixture(scope="session")
+def type_c_dataset():
+    return generate_type_c(TYPE_C_SCALE)
+
+
+@pytest.fixture(scope="session")
+def type_a_store(type_a_dataset):
+    return type_a_dataset.build_store()
+
+
+@pytest.fixture(scope="session")
+def type_b_store(type_b_dataset):
+    return type_b_dataset.build_store()
+
+
+@pytest.fixture(scope="session")
+def type_c_store(type_c_dataset):
+    return type_c_dataset.build_store()
+
+
+@pytest.fixture(scope="session")
+def openstack_store():
+    return generate_openstack(nodes=24).build_store()
+
+
+@pytest.fixture(scope="session")
+def cloudstack_store():
+    return generate_cloudstack(zones=10).build_store()
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a reproduced table live (uncaptured) and save it to results/."""
+
+    def _emit(experiment_id: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text.rstrip() + "\n")
+        with capsys.disabled():
+            print(f"\n=== {experiment_id} ===")
+            print(text.rstrip())
+
+    return _emit

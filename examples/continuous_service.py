@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Continuous validation service (paper §3.2 / §5.1 batch scenario).
+
+"The main usage scenario is a batch validation mode where ConfValley takes
+an input specification file and (re)validates it continuously as
+configuration specifications or data are updated."
+
+This script simulates an operations timeline against a watched config
+repository directory: the service scans, configuration edits land (some
+good, one bad), and the pass→fail transition fires an alert callback — the
+page-the-operator moment.  (The ``confvalley service`` CLI wraps the same
+machinery with a sleep loop; here we drive scans explicitly so the demo is
+instant and deterministic.)
+
+Run:  python examples/continuous_service.py
+"""
+
+import os
+import tempfile
+
+from repro import SourceSpec, ValidationService
+
+SPECS = """\
+$fabric.RequestRetries -> int & [1, 10]
+$fabric.ProxyIPs -> split(',') -> ip
+$fabric.MonitorTenant -> bool
+compartment vlan {
+  $StartIP <= $EndIP
+}
+"""
+
+GOOD = """\
+[fabric]
+RequestRetries = 3
+ProxyIPs = 10.0.0.1,10.0.0.2
+MonitorTenant = true
+[vlan]
+StartIP = 10.53.129.1
+EndIP = 10.53.129.200
+"""
+
+STILL_GOOD = GOOD.replace("RequestRetries = 3", "RequestRetries = 5")
+
+BAD = STILL_GOOD.replace(
+    "EndIP = 10.53.129.200", "EndIP = 10.53.128.2"
+)  # inverted VLAN range — the paper's Figure 1 parameters
+
+
+def bump_mtime(path):
+    stat = os.stat(path)
+    os.utime(path, ns=(stat.st_atime_ns + 1_000_000, stat.st_mtime_ns + 1_000_000))
+
+
+def main() -> int:
+    alerts = []
+    with tempfile.TemporaryDirectory() as workdir:
+        spec_path = os.path.join(workdir, "specs.cpl")
+        config_path = os.path.join(workdir, "prod.ini")
+        with open(spec_path, "w") as handle:
+            handle.write(SPECS)
+        with open(config_path, "w") as handle:
+            handle.write(GOOD)
+
+        service = ValidationService(
+            spec_path,
+            [SourceSpec("ini", config_path)],
+            on_transition=lambda result: alerts.append(
+                "ALERT: validation now "
+                + ("PASSING" if result.passed else "FAILING")
+            ),
+        )
+
+        def tick(label):
+            result = service.scan()
+            if result is None:
+                print(f"{label}: no change — skipped (scan #{service.scans})")
+            else:
+                status = "PASS" if result.passed else "FAIL"
+                print(f"{label}: revalidated → {status} "
+                      f"({len(result.report.violations)} violation(s))")
+            for alert in alerts:
+                print("  " + alert)
+            alerts.clear()
+
+        tick("t0 service start     ")
+        tick("t1 steady state      ")
+
+        with open(config_path, "w") as handle:
+            handle.write(STILL_GOOD)
+        bump_mtime(config_path)
+        tick("t2 benign retry bump ")
+
+        with open(config_path, "w") as handle:
+            handle.write(BAD)
+        bump_mtime(config_path)
+        tick("t3 inverted VLAN push")
+
+        with open(config_path, "w") as handle:
+            handle.write(STILL_GOOD)
+        bump_mtime(config_path)
+        tick("t4 rollback          ")
+
+        history = [(r.sequence, r.passed) for r in service.history]
+        print(f"\nhistory: {history}")
+        expected = [(1, True), (2, True), (3, False), (4, True)]
+        return 0 if history == expected else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

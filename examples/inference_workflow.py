@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Specification inference workflow (paper §4.5, §6.3, §6.4).
+
+The paper's main operational loop for keeping specifications current:
+
+1. mine CPL specifications from a known-good configuration snapshot
+   ("the configurations have been scrutinized carefully and caused few
+   incidents in the past"),
+2. validate a new configuration branch against the mined specs,
+3. triage: group violations by constraint — "if many configuration
+   instances fail a constraint, it is likely that constraint is
+   problematic" (a bad inferred spec, not bad configuration).
+
+Run:  python examples/inference_workflow.py
+"""
+
+from repro import InferenceEngine, ValidationSession
+from repro.synthetic import FaultInjector, generate_type_a, score_report
+
+
+def main() -> int:
+    print("== step 1: mine specifications from a good snapshot ==")
+    dataset = generate_type_a(scale=0.2, seed=99)
+    good = dataset.build_store()
+    result = InferenceEngine().infer(good)
+    print(f"  analyzed {result.classes_analyzed} classes / "
+          f"{result.instances_analyzed} instances "
+          f"in {result.infer_seconds:.2f}s")
+    print("  constraints by kind:", dict(sorted(result.counts_by_kind().items())))
+    print("  sample of generated CPL:")
+    for line in result.to_cpl().splitlines()[2:8]:
+        print("    " + line)
+
+    # mined specs must be vacuously clean on their own training data
+    assert ValidationSession(store=good).validate(result.to_cpl()).passed
+
+    print("\n== step 2: validate a new branch ==")
+    injector = FaultInjector(dataset.parse(), seed=31)
+    branch = injector.make_branch(
+        "new-branch",
+        ["wrong_type", "out_of_range", "duplicate_unique", "empty_required"],
+        ["range_drift", "scalar_to_list"],   # legitimate drift → FP bait
+    )
+    session = ValidationSession(store=branch.build_store())
+    report = session.validate(result.to_cpl())
+    score = score_report(report, branch)
+    print(f"  {score.reported} violations reported; "
+          f"{score.true_errors_caught} true errors caught, "
+          f"{score.false_positives} false positives from benign drift")
+
+    print("\n== step 3: triage by constraint ==")
+    for constraint, group in sorted(report.by_constraint().items()):
+        keys = ", ".join(sorted({v.key.rsplit('.', 1)[-1] for v in group}))
+        print(f"  {constraint:<12} {len(group):>2} failure(s)  ({keys})")
+    suspicious = report.suspicious_constraints(threshold=10)
+    if suspicious:
+        print(f"  suspicious constraints (likely stale specs): {suspicious}")
+    else:
+        print("  no constraint failed en masse — failures look like real errors;")
+        print("  the benign-drift FPs appear as isolated single-instance failures")
+        print("  that an operator dismisses and feeds back by re-running inference")
+    return 0 if score.true_errors_caught == 4 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Interactive console, scripted (paper §5.1 usage scenario 2).
+
+"We provide an interactive console to allow practitioners to write short
+(one-liner) specifications and validate production data on-the-fly."
+
+This drives the same :class:`repro.console.Console` the ``confvalley
+console`` command launches, feeding it a canned operator session: inspect a
+suspicious domain with ``:get``, probe it with one-liners, define a macro,
+and confirm a cross-source inconsistency — the triage flow an on-call
+operator would run during an incident.
+
+Run:  python examples/interactive_console_demo.py
+"""
+
+from repro import ValidationSession
+from repro.console import Console
+from repro.drivers import clear_endpoints, register_endpoint
+
+SESSION_SCRIPT = [
+    ":stats",
+    # what proxies are configured right now?
+    ":get ProxyIPs",
+    # are they all well-formed IP lists?
+    "$ProxyIPs -> split(',') -> ip",
+    # is the controller's secret consistent with the auth service's copy?
+    "$controller.SecretKey -> == $auth.SecretKey",
+    # macros make repeated one-liners cheap
+    ":let Uniq := unique & ip",
+    "$controller.NodeIP -> @Uniq",
+    ":quit",
+]
+
+
+def main() -> int:
+    clear_endpoints()
+    register_endpoint(
+        "auth.internal:443", {"auth": {"SecretKey": "k-2f1e9c77aa0452"}}
+    )
+    session = ValidationSession()
+    session.load_text("ini", """
+[controller]
+SecretKey = k-2f1e9c77aa0452
+ProxyIPs = 10.0.0.1,10.0.0.2
+NodeIP = 10.0.0.10
+""", source="controller.ini")
+    session.load_text("ini", """
+[controller]
+SecretKey = k-STALE-OLD-VALUE
+ProxyIPs = 10.0.1.1,10.0.1.2
+NodeIP = 10.0.0.11
+""", source="controller-west.ini")
+    session.load_source("rest", "auth.internal:443")
+
+    transcript: list[str] = []
+    console = Console(session=session, output_fn=transcript.append)
+
+    script = iter(SESSION_SCRIPT)
+
+    def scripted_input(prompt: str) -> str:
+        line = next(script)
+        print(f"{prompt}{line}")
+        return line
+
+    console.run(input_fn=scripted_input)
+    print()
+    print("\n".join(transcript))
+
+    # the stale west-region secret must have been flagged
+    flagged = any("FAIL" in line for line in transcript)
+    print("\nstale SecretKey detected" if flagged else "\nnothing detected?!")
+    return 0 if flagged else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

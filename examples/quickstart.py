@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: validate a small configuration with CPL.
+
+Demonstrates the core loop from the paper's introduction:
+
+1. load configuration sources in different formats into one unified store,
+2. write declarative CPL specifications (types, ranges, consistency,
+   uniqueness, compartments),
+3. validate and read the report,
+4. extend the language with a plug-in predicate — no compiler changes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import StaticRuntime, ValidationSession
+from repro.predicates import register_predicate
+from repro.runtime import FakeFileSystem
+
+FABRIC_XML = """
+<Cluster Name="East1">
+  <Setting Key="StartIP" Value="10.10.0.1"/>
+  <Setting Key="EndIP" Value="10.10.0.200"/>
+  <Setting Key="ProxyIP" Value="10.10.0.50"/>
+  <Setting Key="OSBuildPath" Value="\\\\share\\OS\\v2"/>
+</Cluster>
+<Cluster Name="West1">
+  <Setting Key="StartIP" Value="10.20.0.1"/>
+  <Setting Key="EndIP" Value="10.20.0.200"/>
+  <Setting Key="ProxyIP" Value="10.99.0.50"/>
+  <Setting Key="OSBuildPath" Value="\\\\share\\OS\\v3"/>
+</Cluster>
+"""
+
+MONITOR_INI = """
+[monitor]
+RequestRetries = 3
+AlertThreshold = 12
+Endpoint = https://monitor.cloud.example.com:8443
+"""
+
+SPECS = """
+// every retry/threshold setting is a bounded integer
+$monitor.RequestRetries -> int & [1, 10]
+$monitor.AlertThreshold -> int & [5, 15]
+$monitor.Endpoint -> url & match('^https://')
+
+// proxy addresses must fall inside their own cluster's range —
+// the compartment pairs StartIP/EndIP/ProxyIP per cluster instance
+compartment Cluster {
+  $StartIP <= $EndIP
+  $ProxyIP -> [$StartIP, $EndIP]
+}
+
+// OS build paths must exist on the (injected) filesystem
+$OSBuildPath -> path & exists
+
+// plug-in predicate registered below
+$OSBuildPath -> versioned_path
+"""
+
+
+def is_versioned_path(value: str) -> bool:
+    """A plug-in predicate: paths must end in a v<N> component."""
+    last = value.replace("\\", "/").rstrip("/").rsplit("/", 1)[-1]
+    return last.startswith("v") and last[1:].isdigit()
+
+
+def main() -> int:
+    # the fake filesystem stands in for the network share (see DESIGN.md)
+    runtime = StaticRuntime(filesystem=FakeFileSystem([r"\\share\OS\v2"]))
+    session = ValidationSession(runtime=runtime)
+
+    session.load_text("xml", FABRIC_XML, source="fabric.xml")
+    session.load_text("ini", MONITOR_INI, source="monitor.ini")
+    print(f"loaded {session.store.instance_count} configuration instances "
+          f"in {session.store.class_count} classes")
+
+    register_predicate(
+        "versioned_path",
+        is_versioned_path,
+        message="path {value!r} of {key} lacks a version suffix",
+    )
+
+    report = session.validate(SPECS)
+    print()
+    print(report.render())
+    # Expected violations:
+    #   - West1's ProxyIP 10.99.0.50 is outside 10.20.0.1–10.20.0.200
+    #   - West1's OSBuildPath \\share\OS\v3 does not exist
+    return 0 if len(report.violations) == 2 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""White-box + black-box inference (the paper's §6.3 future work, built).
+
+Black-box inference mines constraints from configuration *data*; its false
+positives come from under-sampling — "the value range inferred from the
+input configuration is incomplete; the type seen in the input data is in a
+simplified form" (§6.4).  The application *source code* knows better: its
+guards encode the true valid ranges, and a `.split(',')` reveals a list
+type even when every sample happens to hold one element.
+
+This example extracts constraints from a service's Python reader, combines
+them with black-box mining, and shows the two §6.4 false-positive
+mechanisms disappearing while a real error is still caught.
+
+Run:  python examples/whitebox_inference.py
+"""
+
+from repro import ConfigStore, InferenceEngine, ValidationSession
+from repro.inference import combine, extract_constraints
+from repro.repository.keys import parse_instance_key
+from repro.repository.model import ConfigInstance
+
+APPLICATION_SOURCE = '''
+def load_frontend(config):
+    """The service's own configuration reader, with its real guards."""
+    timeout = int(config["RequestTimeout"])
+    if timeout < 1 or timeout > 900:          # true valid range
+        raise ValueError("RequestTimeout out of range")
+    mode = config["CacheMode"]
+    assert mode in ("write-through", "write-back", "off")
+    upstreams = []
+    for server in config["UpstreamServers"].split(","):
+        upstreams.append(server.strip())      # true type: list of servers
+    name = config["DisplayName"]
+    if not name:
+        raise ValueError("DisplayName required")
+    return timeout, mode, upstreams, name
+'''
+
+
+def store_of(rows):
+    store = ConfigStore()
+    for key, value in rows:
+        store.add(ConfigInstance(parse_instance_key(key), value, "demo"))
+    return store
+
+
+def snapshot(timeout_base, upstream, mode_pool):
+    rows = []
+    for i in range(24):
+        rows.append((f"Frontend::F{i}.RequestTimeout", str(timeout_base + i % 4)))
+        rows.append((f"Frontend::F{i}.CacheMode", mode_pool[i % len(mode_pool)]))
+        rows.append((f"Frontend::F{i}.UpstreamServers", upstream))
+        rows.append((f"Frontend::F{i}.DisplayName", f"frontend shard {i}"))
+    return store_of(rows)
+
+
+def main() -> int:
+    print("== mine from a good snapshot (black-box) ==")
+    good = snapshot(30, "10.0.0.8", ("write-through", "write-back"))
+    blackbox = InferenceEngine().infer(good)
+    for line in blackbox.to_cpl().splitlines()[2:]:
+        print("   ", line)
+
+    print("\n== extract from the application source (white-box) ==")
+    code = extract_constraints(APPLICATION_SOURCE)
+    for constraint in code:
+        print("   ", constraint.to_cpl())
+
+    combined = combine(blackbox, code)
+
+    print("\n== a new branch with legitimate drift + one real error ==")
+    drifted = snapshot(
+        700,                      # timeouts re-tuned: fine per code, new to data
+        "10.0.0.8,10.0.0.9",      # a second upstream appears: fine per code
+        ("write-through", "off"), # 'off' unseen in data: fine per code
+    )
+    # …and one genuine misconfiguration:
+    drifted.add(ConfigInstance(
+        parse_instance_key("Frontend::F99.RequestTimeout"), "99999", "demo"
+    ))
+
+    for label, corpus in (("black-box only", blackbox), ("combined", combined)):
+        report = ValidationSession(store=drifted).validate(corpus.to_cpl())
+        real = [v for v in report.violations if v.value == "99999"]
+        noise = [v for v in report.violations if v.value != "99999"]
+        print(f"  {label:<16} {len(report.violations):>3} violations "
+              f"({len(real)} real, {len(noise)} false alarms)")
+
+    report = ValidationSession(store=drifted).validate(combined.to_cpl())
+    real = [v for v in report.violations if v.value == "99999"]
+    noise = [v for v in report.violations if v.value != "99999"]
+    ok = len(real) >= 1 and len(noise) == 0
+    print("\ncombined corpus: zero false alarms, real error still caught"
+          if ok else "\nunexpected result")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This offline environment has setuptools but no `wheel` package, so PEP 660
+editable installs (`pip install -e .` via pyproject build backend) fail with
+`invalid command 'bdist_wheel'`.  This shim lets
+`pip install -e . --no-build-isolation --no-use-pep517` (and plain
+`python setup.py develop`) work; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""ConfValley — a systematic configuration validation framework.
+
+Reproduction of *ConfValley: A Systematic Configuration Validation Framework
+for Cloud Services* (Huang, Bolosky, Singh, Zhou — EuroSys 2015).
+
+Quickstart::
+
+    from repro import ValidationSession
+
+    session = ValidationSession()
+    session.load_text("ini", "[fabric]\\nRecoveryAttempts = 3\\n")
+    report = session.validate("$fabric.RecoveryAttempts -> int & [1, 10]")
+    assert report.passed
+
+Public surface:
+
+* :class:`ValidationSession` — load configuration sources, run CPL specs
+* :class:`ValidationPolicy`, :class:`ValidationReport`, :class:`Violation`
+* :class:`ConfigStore` and the driver registry (:func:`get_driver`)
+* :class:`InferenceEngine` — mine CPL specifications from good data
+* :func:`parse` — the CPL parser, for tooling
+"""
+
+from .core import (
+    Evaluator,
+    IncrementalValidator,
+    Severity,
+    ValidationPolicy,
+    ValidationReport,
+    ValidationSession,
+    Violation,
+)
+from .cpl import parse, parse_predicate, tokenize
+from .drivers import driver_names, get_driver, register_driver
+from .errors import ConfValleyError, CPLSyntaxError
+from .inference import InferenceEngine
+from .repository import (
+    ChangeSet,
+    ConfigRepository,
+    ConfigStore,
+    InstanceKey,
+    KeyPattern,
+    Snapshot,
+    parse_pattern,
+)
+from .runtime import FakeFileSystem, HostRuntime, StaticRuntime
+from .service import ScanResult, SourceSpec, ValidationService
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Evaluator",
+    "Severity",
+    "ValidationPolicy",
+    "ValidationReport",
+    "ValidationSession",
+    "Violation",
+    "parse",
+    "parse_predicate",
+    "tokenize",
+    "driver_names",
+    "get_driver",
+    "register_driver",
+    "ConfValleyError",
+    "CPLSyntaxError",
+    "InferenceEngine",
+    "ConfigStore",
+    "InstanceKey",
+    "KeyPattern",
+    "parse_pattern",
+    "FakeFileSystem",
+    "HostRuntime",
+    "StaticRuntime",
+    "ValidationService",
+    "SourceSpec",
+    "ScanResult",
+    "IncrementalValidator",
+    "ConfigRepository",
+    "Snapshot",
+    "ChangeSet",
+    "__version__",
+]

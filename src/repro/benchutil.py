@@ -1,0 +1,69 @@
+"""Small helpers shared by the paper-reproduction benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "ascii_histogram", "effective_loc", "count_spec_statements"]
+
+
+def count_spec_statements(text: str) -> int:
+    """Number of CPL specification statements in a program (commands and
+    block wrappers excluded) — the paper's "Count" column in Tables 3/4."""
+    from .cpl import ast, parse
+
+    def walk(statements):
+        total = 0
+        for statement in statements:
+            if isinstance(statement, ast.SpecStatement):
+                total += 1
+            elif isinstance(statement, (ast.NamespaceBlock, ast.CompartmentBlock)):
+                total += walk(statement.body)
+            elif isinstance(statement, ast.IfStatement):
+                total += walk(statement.then) + walk(statement.otherwise)
+        return total
+
+    return walk(parse(text).statements)
+
+
+def format_table(headers: Sequence, rows: Iterable[Sequence]) -> str:
+    """Plain-text aligned table (used to print reproduced paper tables)."""
+    table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(table[0]))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def ascii_histogram(buckets: dict[int, int], width: int = 50) -> str:
+    """Render a {bucket: count} histogram as ASCII bars (Figure 5 style)."""
+    if not buckets:
+        return "(empty)"
+    peak = max(buckets.values()) or 1
+    lines = []
+    for bucket in sorted(buckets):
+        count = buckets[bucket]
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"{bucket:>3} constraints | {bar} {count}")
+    return "\n".join(lines)
+
+
+def effective_loc(source: str) -> int:
+    """Count nonempty, non-comment lines of Python or CPL source."""
+    count = 0
+    in_docstring = False
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith('"""') or stripped.endswith('"""'):
+            if stripped.count('"""') % 2 == 1:
+                in_docstring = not in_docstring
+            continue
+        if in_docstring or not stripped:
+            continue
+        if stripped.startswith("#") or stripped.startswith("//"):
+            continue
+        count += 1
+    return count

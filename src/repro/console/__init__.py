@@ -1,0 +1,14 @@
+"""Interactive console and batch CLI (paper §5.1 usage scenarios)."""
+
+from .cli import build_parser, main
+from .editor import Diagnostic, EditorValidator, check_spec_text
+from .repl import Console
+
+__all__ = [
+    "Console",
+    "main",
+    "build_parser",
+    "Diagnostic",
+    "EditorValidator",
+    "check_spec_text",
+]

@@ -1,0 +1,314 @@
+"""Batch-mode command line interface (paper §5.1, scenario 3).
+
+"The main usage scenario is a batch validation mode where ConfValley takes
+an input specification file and (re)validates it continuously as
+configuration specifications or data are updated."
+
+Subcommands::
+
+    confvalley validate SPEC.cpl [--source FMT:PATH[:SCOPE] …] [--partitions N]
+    confvalley infer    [--source FMT:PATH[:SCOPE] …] [--out SPECS.cpl]
+    confvalley console  [--source FMT:PATH[:SCOPE] …]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import Optional, Sequence
+
+from ..core.policy import ValidationPolicy
+from ..core.session import ValidationSession
+from ..inference import InferenceEngine
+from .repl import Console
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="confvalley",
+        description="ConfValley — systematic configuration validation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="validate sources against a spec file")
+    validate.add_argument("spec", help="CPL specification file")
+    validate.add_argument(
+        "--source",
+        action="append",
+        default=[],
+        metavar="FMT:PATH[:SCOPE]",
+        help="configuration source to load (repeatable)",
+    )
+    validate.add_argument(
+        "--partitions", type=int, default=0,
+        help="split specs into N partitions and report per-partition times",
+    )
+    validate.add_argument(
+        "--stop-on-first", action="store_true",
+        help="stop at the first violation (validation policy)",
+    )
+    validate.add_argument(
+        "--no-optimize", action="store_true", help="disable compiler rewrites"
+    )
+    validate.add_argument("--limit", type=int, default=None, help="max violations shown")
+    validate.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    validate.add_argument(
+        "--waivers", default=None,
+        help="waiver file: 'key_glob [constraint_glob]' per line",
+    )
+
+    infer = sub.add_parser("infer", help="infer CPL specs from good data")
+    infer.add_argument(
+        "--source", action="append", default=[], metavar="FMT:PATH[:SCOPE]",
+        help="configuration source to learn from (repeatable)",
+    )
+    infer.add_argument("--out", default="-", help="output spec file ('-' = stdout)")
+
+    console = sub.add_parser("console", help="interactive validation console")
+    console.add_argument(
+        "--source", action="append", default=[], metavar="FMT:PATH[:SCOPE]",
+        help="configuration source to preload (repeatable)",
+    )
+
+    service = sub.add_parser(
+        "service",
+        help="continuous validation: revalidate whenever spec or data change",
+    )
+    service.add_argument("spec", help="CPL specification file to watch")
+    service.add_argument(
+        "--source", action="append", default=[], metavar="FMT:PATH[:SCOPE]",
+        help="configuration source to watch (repeatable)",
+    )
+    service.add_argument(
+        "--interval", type=float, default=2.0, help="poll interval in seconds"
+    )
+    service.add_argument(
+        "--max-scans", type=int, default=0,
+        help="stop after N scans (0 = run until interrupted)",
+    )
+
+    coverage = sub.add_parser(
+        "coverage", help="report which configuration classes no spec reaches"
+    )
+    coverage.add_argument("spec", help="CPL specification file")
+    coverage.add_argument(
+        "--source", action="append", default=[], metavar="FMT:PATH[:SCOPE]",
+        help="configuration source to analyze (repeatable)",
+    )
+    coverage.add_argument("--limit", type=int, default=20)
+
+    gate = sub.add_parser(
+        "gate",
+        help="pre-check-in gate: diff old vs new sources, validate the change",
+    )
+    gate.add_argument("spec", help="CPL specification file")
+    gate.add_argument(
+        "--old", action="append", default=[], metavar="FMT:PATH[:SCOPE]",
+        help="baseline source (repeatable); omit to treat everything as new",
+    )
+    gate.add_argument(
+        "--new", action="append", required=True, metavar="FMT:PATH[:SCOPE]",
+        help="candidate source (repeatable)",
+    )
+    gate.add_argument(
+        "--full", action="store_true",
+        help="run the whole corpus instead of change-affected specs only",
+    )
+
+    fmt = sub.add_parser(
+        "fmt", help="reformat a CPL specification file canonically"
+    )
+    fmt.add_argument("spec", help="CPL file to format")
+    fmt.add_argument(
+        "--write", action="store_true",
+        help="rewrite the file in place (default prints to stdout)",
+    )
+    fmt.add_argument(
+        "--optimize", action="store_true",
+        help="apply the compiler rewrites (Figure 4) before printing",
+    )
+    return parser
+
+
+def _load_sources(session: ValidationSession, sources: Sequence[str]) -> None:
+    for entry in sources:
+        parts = entry.split(":", 2)
+        if len(parts) == 1:
+            raise SystemExit(f"--source needs FMT:PATH, got {entry!r}")
+        fmt, path = parts[0], parts[1]
+        scope = parts[2] if len(parts) > 2 else ""
+        count = session.load_source(fmt, path, scope)
+        print(f"loaded {count} instance(s) from {path}", file=sys.stderr)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "validate":
+        policy = ValidationPolicy(stop_on_first_violation=args.stop_on_first)
+        if args.waivers:
+            count = policy.load_waivers(args.waivers)
+            print(f"loaded {count} waiver(s)", file=sys.stderr)
+        session = ValidationSession(policy=policy, optimize=not args.no_optimize)
+        _load_sources(session, args.source)
+        if args.partitions and args.partitions > 1:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                results = session.validate_partitioned(handle.read(), args.partitions)
+            times = [elapsed for __, elapsed in results]
+            violations = sum(len(report.violations) for report, __ in results)
+            print(
+                f"{len(results)} partitions: min {min(times):.3f}s "
+                f"median {statistics.median(times):.3f}s max {max(times):.3f}s; "
+                f"{violations} violation(s)"
+            )
+            return 0 if violations == 0 else 1
+        report = session.validate_file(args.spec)
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            print(report.render(limit=args.limit))
+        return 0 if report.passed else 1
+    if args.command == "infer":
+        session = ValidationSession()
+        _load_sources(session, args.source)
+        result = InferenceEngine().infer(session.store)
+        text = result.to_cpl()
+        if args.out == "-":
+            print(text, end="")
+        else:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(
+                f"wrote {len(result.constraints)} constraint(s) to {args.out}",
+                file=sys.stderr,
+            )
+        return 0
+    if args.command == "service":
+        return _run_service(args)
+    if args.command == "fmt":
+        return _run_fmt(args)
+    if args.command == "gate":
+        return _run_gate(args)
+    if args.command == "coverage":
+        from ..core.coverage import analyze_coverage
+
+        session = ValidationSession()
+        _load_sources(session, args.source)
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            report = analyze_coverage(handle.read(), session.store)
+        print(report.render(limit=args.limit))
+        return 0 if not report.uncovered else 1
+    # console
+    session = ValidationSession()
+    _load_sources(session, args.source)
+    Console(session).run()
+    return 0
+
+
+def _run_fmt(args) -> int:
+    from ..core.compiler import optimize_statements
+    from ..cpl import parse
+    from ..cpl.printer import print_statement
+
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        program = parse(handle.read())
+    statements = list(program.statements)
+    if args.optimize:
+        statements = optimize_statements(statements)
+    text = "\n".join(print_statement(s) for s in statements) + "\n"
+    if args.write:
+        with open(args.spec, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"formatted {args.spec}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _run_gate(args) -> int:
+    from ..core.incremental import IncrementalValidator
+    from ..repository.versioned import diff_stores
+
+    old_session = ValidationSession()
+    if args.old:
+        _load_sources(old_session, args.old)
+    new_session = ValidationSession()
+    _load_sources(new_session, args.new)
+    change = diff_stores(old_session.store if args.old else None, new_session.store)
+    print(f"change: {change.summary()}")
+    if change.is_empty and not args.full:
+        print("nothing changed — ACCEPT")
+        return 0
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        validator = IncrementalValidator(handle.read())
+    if args.full:
+        report = validator.validate_full(new_session.store)
+        print(f"full corpus: {validator.statement_count} statement(s)")
+    else:
+        report = validator.validate_change(new_session.store, change)
+        print(
+            f"incremental: {validator.last_selected} of "
+            f"{validator.statement_count} statement(s) run"
+        )
+    print(report.render(limit=20))
+    if not report.passed:
+        from ..core.repair import suggest_repairs
+
+        repairs = suggest_repairs(report, new_session.store)
+        if repairs:
+            print("suggested repairs:")
+            for repair in repairs:
+                print("  " + repair.render())
+    print("ACCEPT" if report.passed else "REJECT")
+    return 0 if report.passed else 1
+
+
+def _run_service(args) -> int:
+    import time as _time
+
+    from ..service import SourceSpec, ValidationService
+
+    sources = []
+    for entry in args.source:
+        parts = entry.split(":", 2)
+        if len(parts) == 1:
+            raise SystemExit(f"--source needs FMT:PATH, got {entry!r}")
+        sources.append(
+            SourceSpec(parts[0], parts[1], parts[2] if len(parts) > 2 else "")
+        )
+
+    def announce(result):
+        status = "PASS" if result.passed else "FAIL"
+        print(f"transition → {status} (scan #{result.sequence})")
+
+    service = ValidationService(args.spec, sources, on_transition=announce)
+    scans = 0
+    last_status = None
+    try:
+        while True:
+            result = service.scan()
+            scans += 1
+            if result is not None:
+                status = "PASS" if result.passed else "FAIL"
+                changed = ", ".join(result.changed_paths)
+                print(f"[{result.sequence}] {status} "
+                      f"({len(result.report.violations)} violation(s); "
+                      f"changed: {changed})")
+                last_status = result.passed
+            if args.max_scans and scans >= args.max_scans:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    if last_status is None:
+        last_status = service.current_status
+    return 0 if last_status else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

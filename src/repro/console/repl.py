@@ -1,0 +1,125 @@
+"""Interactive validation console (paper §5.1, scenario 2).
+
+"We provide an interactive console to allow practitioners to write short
+(one-liner) specifications and validate production data on-the-fly."
+
+The console wraps a :class:`~repro.core.session.ValidationSession`; each
+input line is either a console directive (``:load``, ``:get``, ``:let``,
+``:stats``, ``:help``, ``:quit``) or a CPL statement validated immediately.
+It is I/O-agnostic (``input_fn``/``output_fn`` injectable) so tests and the
+example scripts can drive it programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.session import ValidationSession
+from ..errors import ConfValleyError
+
+__all__ = ["Console"]
+
+_HELP = """\
+ConfValley interactive console
+  :load <format> <path> [scope]   load a configuration source
+  :get <notation>                 show instances of a domain
+  :let <Name> := <predicate>      define a macro
+  :conflicts                      cross-source disagreements
+  :stats                          store statistics
+  :help                           this message
+  :quit                           leave
+any other input is validated as a CPL statement, e.g.
+  $Fabric.RecoveryAttempts -> int & [1, 10]
+"""
+
+
+class Console:
+    """A line-oriented interactive validation console."""
+
+    def __init__(
+        self,
+        session: Optional[ValidationSession] = None,
+        output_fn: Callable[[str], None] = print,
+    ):
+        self.session = session if session is not None else ValidationSession()
+        self.output = output_fn
+        self.running = False
+
+    # ------------------------------------------------------------------
+
+    def run(self, input_fn: Callable[[str], str] = input) -> None:
+        """Read-evaluate-print until ``:quit`` or EOF."""
+        self.running = True
+        self.output("ConfValley console — :help for commands")
+        while self.running:
+            try:
+                line = input_fn("cpl> ")
+            except (EOFError, KeyboardInterrupt):
+                break
+            self.handle(line)
+
+    def handle(self, line: str) -> None:
+        """Process one console line (public for scripted use)."""
+        line = line.strip()
+        if not line:
+            return
+        try:
+            if line.startswith(":"):
+                self._directive(line)
+            else:
+                report = self.session.validate_line(line)
+                self.output(report.render())
+        except ConfValleyError as error:
+            self.output(f"error: {error}")
+        except OSError as error:
+            self.output(f"error: {error}")
+
+    # ------------------------------------------------------------------
+
+    def _directive(self, line: str) -> None:
+        command, __, rest = line[1:].partition(" ")
+        rest = rest.strip()
+        if command in ("quit", "q", "exit"):
+            self.running = False
+        elif command == "help":
+            self.output(_HELP)
+        elif command == "stats":
+            store = self.session.store
+            self.output(
+                f"{store.instance_count} instance(s) in "
+                f"{store.class_count} class(es); "
+                f"{store.query_count} discovery queries so far"
+            )
+        elif command == "conflicts":
+            conflicts = self.session.store.cross_source_conflicts()
+            if not conflicts:
+                self.output("(no cross-source conflicts)")
+            for logical, members in conflicts:
+                self.output(f"{logical}:")
+                for member in members:
+                    self.output(f"  {member.value!r} from {member.source}")
+        elif command == "load":
+            parts = rest.split()
+            if len(parts) < 2:
+                self.output("usage: :load <format> <path> [scope]")
+                return
+            scope = parts[2] if len(parts) > 2 else ""
+            count = self.session.load_source(parts[0], parts[1], scope)
+            self.output(f"loaded {count} instance(s)")
+        elif command == "get":
+            items = self.session.get(rest)
+            if not items:
+                self.output("(no instances)")
+            for item in items[:50]:
+                self.output(f"{item.key_text} = {item.value!r}")
+            if len(items) > 50:
+                self.output(f"… and {len(items) - 50} more")
+        elif command == "let":
+            name, separator, body = rest.partition(":=")
+            if not separator:
+                self.output("usage: :let <Name> := <predicate>")
+                return
+            self.session.define_macro(name.strip(), body.strip())
+            self.output(f"macro @{name.strip()} defined")
+        else:
+            self.output(f"unknown directive :{command} — :help for commands")

@@ -1,0 +1,30 @@
+"""ConfValley core: evaluation engine, sessions, policies and reports."""
+
+from .compiler import CompilerOptions, optimize_statements, simplify_predicate
+from .coverage import CoverageReport, analyze_coverage
+from .evaluator import Context, Evaluator, Item
+from .incremental import IncrementalValidator
+from .policy import ValidationPolicy
+from .repair import Repair, apply_repairs, suggest_repairs
+from .report import Severity, ValidationReport, Violation
+from .session import ValidationSession
+
+__all__ = [
+    "CompilerOptions",
+    "optimize_statements",
+    "simplify_predicate",
+    "Context",
+    "Evaluator",
+    "Item",
+    "IncrementalValidator",
+    "CoverageReport",
+    "analyze_coverage",
+    "Repair",
+    "suggest_repairs",
+    "apply_repairs",
+    "ValidationPolicy",
+    "Severity",
+    "ValidationReport",
+    "Violation",
+    "ValidationSession",
+]

@@ -1,0 +1,113 @@
+"""Specification coverage: which configuration classes are validated at all.
+
+The paper frames validation as confidence ("validating configurations
+against various specifications shrinks the invalid value space and
+increases the correctness confidence", §2.2).  The dual question operators
+ask is *where confidence is missing*: which configuration classes no
+specification can ever reach.  This module answers it by matching every
+class in a store against the notation patterns of a spec corpus — the same
+dependency extraction incremental validation uses — and reporting covered
+and uncovered classes, plus a per-class spec count (heavily-checked vs
+barely-checked parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cpl import parse
+from ..repository.keys import InstanceKey, InstanceSegment
+from ..repository.store import ConfigStore
+from .incremental import _statement_patterns
+
+__all__ = ["CoverageReport", "analyze_coverage"]
+
+
+@dataclass
+class CoverageReport:
+    """Coverage of one spec corpus over one configuration store."""
+
+    covered: dict[tuple[str, ...], int] = field(default_factory=dict)
+    uncovered: list[tuple[str, ...]] = field(default_factory=list)
+    #: specs whose notations match no instance at all — typically a stale
+    #: or misspelled scope path; they validate vacuously (dead weight)
+    dead_specs: list[str] = field(default_factory=list)
+    spec_count: int = 0
+
+    @property
+    def total_classes(self) -> int:
+        return len(self.covered) + len(self.uncovered)
+
+    @property
+    def coverage_ratio(self) -> float:
+        if not self.total_classes:
+            return 1.0
+        return len(self.covered) / self.total_classes
+
+    def barely_checked(self, threshold: int = 1) -> list[tuple[str, ...]]:
+        """Classes matched by at most ``threshold`` specifications."""
+        return sorted(
+            class_key
+            for class_key, count in self.covered.items()
+            if count <= threshold
+        )
+
+    def render(self, limit: int = 20) -> str:
+        lines = [
+            f"{len(self.covered)}/{self.total_classes} configuration classes "
+            f"covered ({self.coverage_ratio:.0%}) by {self.spec_count} spec(s)"
+        ]
+        if self.uncovered:
+            lines.append(f"uncovered ({len(self.uncovered)}):")
+            for class_key in sorted(self.uncovered)[:limit]:
+                lines.append("  " + ".".join(class_key))
+            if len(self.uncovered) > limit:
+                lines.append(f"  … and {len(self.uncovered) - limit} more")
+        if self.dead_specs:
+            lines.append(f"dead specs matching no instance ({len(self.dead_specs)}):")
+            for text in self.dead_specs[:limit]:
+                lines.append("  " + text)
+        return "\n".join(lines)
+
+
+def analyze_coverage(spec_text: str, store: ConfigStore) -> CoverageReport:
+    """Match every configuration class against every spec's notations.
+
+    A class counts as covered by a spec when any of the spec's notation
+    patterns (variables widened to wildcards) matches a representative
+    instance key of the class.
+    """
+    program = parse(spec_text)
+    spec_patterns = []
+    spec_texts = []
+    for statement in program.statements:
+        patterns = _statement_patterns(statement)
+        if patterns:
+            spec_patterns.append(patterns)
+            spec_texts.append(
+                getattr(statement, "text", "") or type(statement).__name__
+            )
+
+    report = CoverageReport(spec_count=len(spec_patterns))
+    matched_specs = [False] * len(spec_patterns)
+    for config_class in store.classes():
+        # sample several instance keys: an instance-qualified spec
+        # (Cluster::C1.K) covers the class even if the first instance
+        # belongs to another qualifier
+        sample = [instance.key for instance in config_class.instances[:50]]
+        hits = 0
+        for index, patterns in enumerate(spec_patterns):
+            if any(pattern.matches(key) for pattern in patterns for key in sample):
+                hits += 1
+                matched_specs[index] = True
+        if hits:
+            report.covered[config_class.class_key] = hits
+        else:
+            report.uncovered.append(config_class.class_key)
+    report.dead_specs = [
+        text
+        for text, matched in zip(spec_texts, matched_specs)
+        if not matched
+    ]
+    return report

@@ -1,0 +1,140 @@
+"""Incremental validation: re-run only the specifications a change touches.
+
+The paper's check-in scenario (§3.2) validates every configuration update
+before it lands.  Re-running the whole corpus per update is wasteful when
+an update touches a handful of parameters; this module computes, for each
+specification statement, the set of configuration notations it depends on,
+and selects the statements whose notations match any key in a
+:class:`~repro.repository.versioned.ChangeSet`.
+
+Selection is *conservative*:
+
+* every notation inside a statement counts — main domains, operand domains
+  in predicates, ``foreach`` targets, and ``if``-condition domains;
+* substitutable variables (``$var``) are widened to ``*`` wildcards;
+* ``let`` macro definitions are always retained (they carry no domain);
+* aggregate predicates need no special casing — a changed instance matches
+  its own class notation, and aggregates always re-run over the full
+  current domain when their statement is selected.
+
+Soundness property (tested): for any change set, the violations of the
+incremental run equal the full run's violations restricted to selected
+statements — and a statement that is *not* selected cannot change outcome,
+because none of the instances its notations can reach were touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..cpl import ast, parse
+from ..repository.keys import KeyPattern, PatternSegment, parse_pattern
+from ..repository.store import ConfigStore
+from ..repository.versioned import ChangeSet
+from ..runtime import RuntimeProvider
+from .evaluator import _collect_notations
+from .policy import ValidationPolicy
+from .report import ValidationReport
+from .session import ValidationSession
+
+__all__ = ["IncrementalValidator"]
+
+
+def _widen_variables(pattern: KeyPattern) -> KeyPattern:
+    """Replace unresolved ``$var`` parts with ``*`` wildcards."""
+    segments = []
+    for segment in pattern.segments:
+        name = "*" if segment.name.startswith("$") else segment.name
+        kind, qualifier = segment.kind, segment.qualifier
+        if isinstance(qualifier, str) and qualifier.startswith("$"):
+            kind, qualifier = "named", "*"
+        segments.append(PatternSegment(name, kind, qualifier))
+    return KeyPattern(tuple(segments))
+
+
+def _statement_patterns(statement: ast.Statement) -> list[KeyPattern]:
+    patterns = []
+    for notation in _collect_notations(statement):
+        if notation in ("_",):
+            continue
+        try:
+            pattern = parse_pattern(notation)
+        except Exception:
+            continue
+        patterns.append(_widen_variables(pattern))
+    return patterns
+
+
+@dataclass
+class _IndexedStatement:
+    statement: ast.Statement
+    patterns: list[KeyPattern]
+    always: bool  # let-commands and anything without notations
+
+
+class IncrementalValidator:
+    """Pre-compiled spec corpus with change-driven statement selection."""
+
+    def __init__(
+        self,
+        spec_text: str,
+        runtime: Optional[RuntimeProvider] = None,
+        policy: Optional[ValidationPolicy] = None,
+    ):
+        self._runtime = runtime
+        self._policy = policy
+        self._indexed: list[_IndexedStatement] = []
+        for statement in parse(spec_text).statements:
+            if isinstance(statement, (ast.LoadCmd, ast.IncludeCmd)):
+                raise ValueError(
+                    "load/include are session commands; resolve them before "
+                    "building an IncrementalValidator"
+                )
+            patterns = _statement_patterns(statement)
+            always = isinstance(statement, ast.LetCmd) or not patterns
+            self._indexed.append(_IndexedStatement(statement, patterns, always))
+        self.last_selected = 0
+        self.last_skipped = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def statement_count(self) -> int:
+        return len(self._indexed)
+
+    def affected_statements(self, change: ChangeSet) -> list[ast.Statement]:
+        """Statements whose notations can reach a touched key."""
+        touched = change.touched_keys()
+        selected = []
+        for entry in self._indexed:
+            if entry.always or any(
+                pattern.matches(key)
+                for pattern in entry.patterns
+                for key in touched
+            ):
+                selected.append(entry.statement)
+        return selected
+
+    # ------------------------------------------------------------------
+
+    def validate_change(
+        self, new_store: ConfigStore, change: ChangeSet
+    ) -> ValidationReport:
+        """Validate only the change-affected specs against the new state."""
+        selected = self.affected_statements(change)
+        self.last_selected = len(selected)
+        self.last_skipped = self.statement_count - len(selected)
+        session = ValidationSession(
+            store=new_store, runtime=self._runtime, policy=self._policy
+        )
+        return session.validate_statements(selected)
+
+    def validate_full(self, store: ConfigStore) -> ValidationReport:
+        """Run the whole corpus (baseline / first commit)."""
+        session = ValidationSession(
+            store=store, runtime=self._runtime, policy=self._policy
+        )
+        return session.validate_statements(
+            [entry.statement for entry in self._indexed]
+        )

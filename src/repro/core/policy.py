@@ -1,0 +1,98 @@
+"""Validation policies (paper §4.3).
+
+"We currently allow policies to describe violation severity, violation
+handling (e.g., stop on first violation, continue on violations), failed
+actions and validation priority (i.e., assigning priorities for
+configuration parameters so that specifications involving critical
+parameters are evaluated first)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Callable, Optional
+
+from ..errors import PolicyError
+from .report import Severity, Violation
+
+__all__ = ["ValidationPolicy"]
+
+
+@dataclass
+class ValidationPolicy:
+    """Controls evaluation order, severity labelling and failure handling."""
+
+    #: stop the whole run at the first violation
+    stop_on_first_violation: bool = False
+    #: glob patterns over parameter names → priority (higher runs first)
+    priorities: dict[str, int] = field(default_factory=dict)
+    #: glob patterns over parameter names → severity for their violations
+    severities: dict[str, str] = field(default_factory=dict)
+    #: default severity when nothing matches
+    default_severity: str = Severity.ERROR
+    #: optional callback invoked per violation ("failed actions")
+    on_violation: Optional[Callable[[Violation], None]] = None
+    #: waivers: (key glob, constraint glob) pairs whose violations are
+    #: acknowledged and filtered from reports (counted as suppressed)
+    suppressions: list[tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for severity in list(self.severities.values()) + [self.default_severity]:
+            if severity not in Severity.ORDER:
+                raise PolicyError(f"unknown severity {severity!r}")
+
+    def priority_of(self, spec_text: str) -> int:
+        """Priority of a specification: the max priority of any parameter
+        glob mentioned in it (critical parameters validate first)."""
+        best = 0
+        for pattern, priority in self.priorities.items():
+            if pattern in spec_text or fnmatch(spec_text, f"*{pattern}*"):
+                best = max(best, priority)
+        return best
+
+    def severity_of(self, key: str) -> str:
+        for pattern, severity in self.severities.items():
+            if fnmatch(key, f"*{pattern}*"):
+                return severity
+        return self.default_severity
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """True when a waiver covers this violation."""
+        for key_glob, constraint_glob in self.suppressions:
+            if fnmatch(violation.key, key_glob) and fnmatch(
+                violation.constraint, constraint_glob
+            ):
+                return True
+        return False
+
+    def suppress(self, key_glob: str, constraint_glob: str = "*") -> None:
+        """Add a waiver (operator acknowledged this violation class)."""
+        self.suppressions.append((key_glob, constraint_glob))
+
+    def load_waivers(self, path: str) -> int:
+        """Load waivers from a file: one ``key_glob [constraint_glob]`` per
+        line, ``#`` comments; returns the number loaded."""
+        count = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, raw in enumerate(handle, start=1):
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split()
+                if len(parts) > 2:
+                    raise PolicyError(
+                        f"{path}:{lineno}: expected 'key_glob [constraint_glob]'"
+                    )
+                self.suppress(parts[0], parts[1] if len(parts) == 2 else "*")
+                count += 1
+        return count
+
+    def order_statements(self, statements: list) -> list:
+        """Stable-sort spec statements by descending priority."""
+        if not self.priorities:
+            return statements
+        return sorted(
+            statements,
+            key=lambda s: -self.priority_of(getattr(s, "text", "") or ""),
+        )

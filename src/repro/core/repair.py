@@ -1,0 +1,149 @@
+"""Repair suggestions for reported violations.
+
+The paper positions validation alongside misconfiguration *repair* work
+(AutoBash et al., §8) and notes that "the pre-defined specifications and
+validation results can help pinpoint which part of the configuration is
+problematic" (§1).  This module takes the pinpointing one step further:
+for violation kinds with an obvious candidate fix, it proposes one —
+
+* **membership** (enum typo) → the nearest set member by edit distance,
+  when it is unambiguous and close;
+* **consistent** → the majority value of the domain;
+* **range** → the violated bound (clamp);
+* **== relation** (cross-source mismatch) → the referenced value;
+* **nonempty / type / unique** → no safe suggestion (flagged for a human).
+
+Suggestions are exactly that — each carries a confidence note, and
+:func:`apply_repairs` produces a *new* instance list for review (e.g. to
+commit to a candidate branch), never mutating the input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..repository.keys import parse_instance_key
+from ..repository.model import ConfigInstance
+from ..repository.store import ConfigStore
+from .report import ValidationReport, Violation
+
+__all__ = ["Repair", "suggest_repairs", "apply_repairs"]
+
+
+@dataclass(frozen=True)
+class Repair:
+    """One proposed fix for one violated instance."""
+
+    key: str
+    old_value: str
+    new_value: str
+    rationale: str
+
+    def render(self) -> str:
+        return f"{self.key}: {self.old_value!r} -> {self.new_value!r} ({self.rationale})"
+
+
+def _edit_distance(a: str, b: str, cap: int = 4) -> int:
+    """Levenshtein distance with an early cap (small strings only)."""
+    if abs(len(a) - len(b)) > cap:
+        return cap + 1
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            current.append(min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + (char_a != char_b),
+            ))
+        if min(current) > cap:
+            return cap + 1
+        previous = current
+    return previous[-1]
+
+
+_SET_RE = re.compile(r"is not one of \{(.*)\}")
+_RANGE_RE = re.compile(r"is out of range \[([^,\]]+), ([^\]]+)\]")
+_CONSISTENT_RE = re.compile(r"expected consistent value '((?:[^'\\]|\\.)*)'")
+_RELATION_RE = re.compile(r"violates '== ([^']*)'$")
+
+
+def _suggest_for(violation: Violation, store: ConfigStore) -> Optional[Repair]:
+    value = violation.value
+    if violation.constraint == "membership":
+        match = _SET_RE.search(violation.message)
+        if not match:
+            return None
+        members = re.findall(r"'((?:[^'\\]|\\.)*)'", match.group(1))
+        if not members:
+            return None
+        scored = sorted(
+            (( _edit_distance(value, member), member) for member in members)
+        )
+        best_distance, best = scored[0]
+        runner_up = scored[1][0] if len(scored) > 1 else best_distance + 10
+        if best_distance <= 2 and best_distance < runner_up:
+            return Repair(
+                violation.key, value, best,
+                f"nearest allowed value (edit distance {best_distance})",
+            )
+        return None
+    if violation.constraint == "consistent":
+        match = _CONSISTENT_RE.search(violation.message)
+        if match:
+            return Repair(
+                violation.key, value, match.group(1),
+                "majority value of the domain",
+            )
+        return None
+    if violation.constraint == "range":
+        match = _RANGE_RE.search(violation.message)
+        if not match:
+            return None
+        low, high = match.group(1).strip(), match.group(2).strip()
+        from ..predicates import compare
+
+        try:
+            clamp = low if compare(value, "<", low) else high
+        except Exception:
+            return None
+        return Repair(violation.key, value, clamp, "clamped to the violated bound")
+    if violation.constraint == "==":
+        match = _RELATION_RE.search(violation.message)
+        if match:
+            return Repair(
+                violation.key, value, match.group(1),
+                "aligned with the referenced value",
+            )
+    return None
+
+
+def suggest_repairs(
+    report: ValidationReport, store: ConfigStore
+) -> list[Repair]:
+    """Propose fixes for the violations that admit an obvious one."""
+    out = []
+    seen: set[str] = set()
+    for violation in report.violations:
+        if not violation.key or violation.key in seen:
+            continue
+        repair = _suggest_for(violation, store)
+        if repair is not None:
+            seen.add(violation.key)
+            out.append(repair)
+    return out
+
+
+def apply_repairs(
+    instances: Iterable[ConfigInstance], repairs: Iterable[Repair]
+) -> list[ConfigInstance]:
+    """Produce a new instance list with the repairs applied (for review)."""
+    by_key = {}
+    for repair in repairs:
+        by_key[parse_instance_key(repair.key)] = repair.new_value
+    return [
+        ConfigInstance(i.key, by_key.get(i.key, i.value), i.source)
+        for i in instances
+    ]

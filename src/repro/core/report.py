@@ -1,0 +1,176 @@
+"""Validation reports and auto-generated error messages (paper §4.4, §6.3).
+
+The paper generates error messages automatically "based on the checks and
+configuration key values" (a range predicate failing produces "value for the
+key is out of the range"), allows overriding per check, and groups failed
+validations by constraint so practitioners can spot bad inferred
+specifications ("if many configuration instances fail a constraint, it is
+likely that constraint is problematic").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Violation", "ValidationReport", "Severity"]
+
+
+class Severity:
+    """Violation severity levels assigned by the validation policy."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+    CRITICAL = "critical"
+
+    ORDER = {INFO: 0, WARNING: 1, ERROR: 2, CRITICAL: 3}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed check: which instance broke which constraint and why."""
+
+    spec_text: str
+    spec_line: int
+    constraint: str          # primitive name or constraint label
+    key: str                 # rendered instance key ('' for domain-level)
+    value: str
+    message: str
+    severity: str = Severity.ERROR
+    source: str = ""         # configuration source the instance came from
+
+    def render(self) -> str:
+        location = f" [{self.source}]" if self.source else ""
+        return (
+            f"{self.severity.upper()}: {self.message}{location}\n"
+            f"    spec (line {self.spec_line}): {self.spec_text}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "severity": self.severity,
+            "constraint": self.constraint,
+            "key": self.key,
+            "value": self.value,
+            "message": self.message,
+            "source": self.source,
+            "spec": self.spec_text,
+            "spec_line": self.spec_line,
+        }
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one specification program against a store."""
+
+    violations: list[Violation] = field(default_factory=list)
+    #: output of `get` commands (one rendered "key = value" line each)
+    notes: list[str] = field(default_factory=list)
+    specs_evaluated: int = 0
+    specs_failed: int = 0
+    specs_skipped: int = 0
+    #: violations acknowledged away by policy waivers
+    suppressed: int = 0
+    instances_checked: int = 0
+    #: per-spec wall clock, filled when the evaluator profiles
+    #: ((line, spec text) → cumulative seconds across bindings/compartments)
+    spec_timings: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    stopped_early: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        self.violations.extend(violations)
+
+    def merge(self, other: "ValidationReport") -> None:
+        self.violations.extend(other.violations)
+        self.notes.extend(other.notes)
+        self.specs_evaluated += other.specs_evaluated
+        self.specs_failed += other.specs_failed
+        self.specs_skipped += other.specs_skipped
+        self.suppressed += other.suppressed
+        self.instances_checked += other.instances_checked
+        self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
+        self.stopped_early = self.stopped_early or other.stopped_early
+
+    def by_constraint(self) -> dict[str, list[Violation]]:
+        """Group violations by constraint — the paper's report view for
+        spotting inaccurate inferred specifications (§6.3)."""
+        groups: dict[str, list[Violation]] = defaultdict(list)
+        for violation in self.violations:
+            groups[violation.constraint].append(violation)
+        return dict(groups)
+
+    def by_spec(self) -> dict[tuple[int, str], list[Violation]]:
+        groups: dict[tuple[int, str], list[Violation]] = defaultdict(list)
+        for violation in self.violations:
+            groups[(violation.spec_line, violation.spec_text)].append(violation)
+        return dict(groups)
+
+    def slowest_specs(self, count: int = 5) -> list[tuple[float, int, str]]:
+        """The costliest specifications, as (seconds, line, text) triples.
+
+        Populated when the evaluator runs with profiling; surfaces the
+        skew the paper observes in Table 8 ("some specifications are more
+        complex than others") so operators can partition or rewrite them.
+        """
+        ranked = sorted(
+            ((seconds, line, text) for (line, text), seconds in self.spec_timings.items()),
+            reverse=True,
+        )
+        return ranked[:count]
+
+    def suspicious_constraints(self, threshold: int = 10) -> list[str]:
+        """Constraints failed by many instances — likely bad specs, since
+        "it is rare that configuration data in an enterprise environment has
+        a large error percentage" (paper §6.3)."""
+        return sorted(
+            name
+            for name, group in self.by_constraint().items()
+            if len(group) >= threshold
+        )
+
+    def render(self, limit: Optional[int] = None) -> str:
+        lines = [
+            f"validated {self.specs_evaluated} specification(s), "
+            f"{self.instances_checked} instance check(s) "
+            f"in {self.elapsed_seconds:.3f}s",
+        ]
+        lines.extend(self.notes)
+        if self.passed:
+            lines.append("PASS: no violations")
+            return "\n".join(lines)
+        shown = self.violations if limit is None else self.violations[:limit]
+        lines.append(f"FAIL: {len(self.violations)} violation(s)")
+        lines.extend(violation.render() for violation in shown)
+        if limit is not None and len(self.violations) > limit:
+            lines.append(f"… and {len(self.violations) - limit} more")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-shaped summary (used by ``confvalley validate --format json``)."""
+        return {
+            "passed": self.passed,
+            "specs_evaluated": self.specs_evaluated,
+            "specs_failed": self.specs_failed,
+            "specs_skipped": self.specs_skipped,
+            "suppressed": self.suppressed,
+            "instances_checked": self.instances_checked,
+            "elapsed_seconds": self.elapsed_seconds,
+            "stopped_early": self.stopped_early,
+            "notes": list(self.notes),
+            "violations": [violation.to_dict() for violation in self.violations],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,234 @@
+"""Validation sessions: the user-facing entry point (paper §4.1, §5.1).
+
+A :class:`ValidationSession` owns a configuration store, a runtime provider
+and a policy; it processes CPL *commands* (``load``, ``include``, ``let``)
+and hands the remaining statements to the :class:`~repro.core.evaluator.Evaluator`.
+
+Three usage scenarios from paper §5.1 map onto this API:
+
+* **batch mode** — :meth:`validate_file` / :meth:`validate` over a spec file,
+  re-run whenever specifications or data change;
+* **interactive console** — :meth:`validate_line` for one-liners and
+  :meth:`get` for domain inspection (used by :mod:`repro.console`);
+* **partitioned validation** — :meth:`validate_partitioned` splits the
+  specification list into N pieces and times each, reproducing Table 8's
+  P10 experiment (each job parses sources independently in the paper; here
+  partitions share the already-loaded store and the per-partition wall
+  clocks are reported so min/median/max match the paper's shape).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional, Sequence, Union
+
+from ..cpl import ast, parse
+from ..drivers import driver_names, get_driver
+from ..errors import ConfValleyError, DriverError
+from ..repository.store import ConfigStore
+from ..runtime import RuntimeProvider, StaticRuntime
+from .compiler import optimize_statements
+from .evaluator import Evaluator, Item
+from .policy import ValidationPolicy
+from .report import ValidationReport
+
+__all__ = ["ValidationSession"]
+
+_EXTENSION_FORMATS = {
+    ".xml": "xml",
+    ".ini": "ini",
+    ".conf": "ini",
+    ".cfg": "ini",
+    ".json": "json",
+    ".yaml": "yaml",
+    ".yml": "yaml",
+    ".csv": "csv",
+    ".properties": "keyvalue",
+    ".kv": "keyvalue",
+}
+
+
+class ValidationSession:
+    """One configuration-validation session over a unified store."""
+
+    def __init__(
+        self,
+        store: Optional[ConfigStore] = None,
+        runtime: Optional[RuntimeProvider] = None,
+        policy: Optional[ValidationPolicy] = None,
+        base_dir: str = ".",
+        optimize: bool = True,
+        profile: bool = False,
+    ):
+        self.store = store if store is not None else ConfigStore()
+        self.runtime = runtime if runtime is not None else StaticRuntime()
+        self.policy = policy if policy is not None else ValidationPolicy()
+        self.base_dir = base_dir
+        self.optimize = optimize
+        self.evaluator = Evaluator(
+            self.store, self.runtime, self.policy, profile=profile
+        )
+
+    # ------------------------------------------------------------------
+    # Loading configuration data
+    # ------------------------------------------------------------------
+
+    def load_source(self, format_or_alias: str, location: str, scope: str = "") -> int:
+        """Load one configuration source into the unified store.
+
+        ``format_or_alias`` is a driver name (``xml``, ``ini``, …); when it
+        is not a known driver the format is guessed from the location's file
+        extension (URLs route to the ``rest`` driver).  Returns the number
+        of instances loaded.
+        """
+        driver_name = self._pick_driver(format_or_alias, location)
+        driver = get_driver(driver_name)
+        if driver_name == "rest":
+            instances = driver.parse(location, source=location, scope=scope)
+        else:
+            path = location
+            if not os.path.isabs(path):
+                path = os.path.join(self.base_dir, path)
+            instances = driver.parse_file(path, scope=scope)
+        self.store.add_all(instances)
+        return len(instances)
+
+    def load_text(self, format_name: str, text: str, source: str = "", scope: str = "") -> int:
+        """Load configuration data from an in-memory string."""
+        instances = get_driver(format_name).parse(text, source=source, scope=scope)
+        self.store.add_all(instances)
+        return len(instances)
+
+    def _pick_driver(self, format_or_alias: str, location: str) -> str:
+        if format_or_alias in driver_names():
+            return format_or_alias
+        if "://" in location or location.replace(".", "").replace(":", "").isdigit():
+            return "rest"
+        __, extension = os.path.splitext(location)
+        if extension.lower() in _EXTENSION_FORMATS:
+            return _EXTENSION_FORMATS[extension.lower()]
+        raise DriverError(
+            f"cannot determine a driver for {format_or_alias!r} / {location!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def prepare(self, text: str) -> list[ast.Statement]:
+        """Parse spec text, apply commands, return evaluable statements."""
+        program = parse(text)
+        return self._process_commands(program.statements)
+
+    def _process_commands(
+        self, statements: Sequence[ast.Statement]
+    ) -> list[ast.Statement]:
+        remaining: list[ast.Statement] = []
+        for statement in statements:
+            if isinstance(statement, ast.LoadCmd):
+                self.load_source(statement.alias, statement.location, statement.scope)
+            elif isinstance(statement, ast.IncludeCmd):
+                path = statement.path
+                if not os.path.isabs(path):
+                    path = os.path.join(self.base_dir, path)
+                with open(path, "r", encoding="utf-8") as handle:
+                    remaining.extend(self.prepare(handle.read()))
+            else:
+                remaining.append(statement)
+        return remaining
+
+    def validate(
+        self, text: str, report: Optional[ValidationReport] = None
+    ) -> ValidationReport:
+        """Validate the store against a CPL program (batch mode)."""
+        statements = self.prepare(text)
+        return self.validate_statements(statements, report)
+
+    def validate_statements(
+        self,
+        statements: Sequence[ast.Statement],
+        report: Optional[ValidationReport] = None,
+    ) -> ValidationReport:
+        if self.optimize:
+            statements = optimize_statements(list(statements))
+        if report is None:
+            report = ValidationReport()
+        started = time.perf_counter()
+        self.evaluator.run(statements, report)
+        report.elapsed_seconds += time.perf_counter() - started
+        return report
+
+    def validate_file(self, path: str) -> ValidationReport:
+        if not os.path.isabs(path):
+            path = os.path.join(self.base_dir, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.validate(handle.read())
+
+    def validate_line(self, line: str) -> ValidationReport:
+        """Validate a single one-liner (interactive console scenario)."""
+        return self.validate(line)
+
+    # ------------------------------------------------------------------
+    # Partitioned validation (Table 8)
+    # ------------------------------------------------------------------
+
+    def validate_partitioned(
+        self, text: str, partitions: int = 10
+    ) -> list[tuple[ValidationReport, float]]:
+        """Split the specs into N partitions; validate and time each one.
+
+        The paper demonstrates parallel speedup "by simply splitting the
+        specifications into 10 partitions and running 10 validation jobs in
+        parallel"; the parallel wall clock is the max partition time.  Let
+        statements and blocks stay with their partition intact.
+        """
+        statements = self.prepare(text)
+        lets = [s for s in statements if isinstance(s, ast.LetCmd)]
+        work = [s for s in statements if not isinstance(s, ast.LetCmd)]
+        chunks = _split(work, partitions)
+        results: list[tuple[ValidationReport, float]] = []
+        for chunk in chunks:
+            evaluator = Evaluator(self.store, self.runtime, self.policy)
+            report = ValidationReport()
+            started = time.perf_counter()
+            statements_for_chunk = lets + chunk
+            if self.optimize:
+                statements_for_chunk = optimize_statements(statements_for_chunk)
+            evaluator.run(statements_for_chunk, report)
+            elapsed = time.perf_counter() - started
+            report.elapsed_seconds = elapsed
+            results.append((report, elapsed))
+        return results
+
+    # ------------------------------------------------------------------
+    # Console helpers
+    # ------------------------------------------------------------------
+
+    def get(self, notation: str) -> list[Item]:
+        """Resolve a domain notation (the ``get`` command)."""
+        from .evaluator import Context
+
+        return self.evaluator.resolve_notation(notation, Context())
+
+    def define_macro(self, name: str, predicate_text: str) -> None:
+        from ..cpl import parse_predicate
+
+        self.evaluator.macros[name] = parse_predicate(predicate_text)
+
+    def load_stdlib(self) -> list[str]:
+        """Register the standard macro library; returns the macro names."""
+        from ..cpl.stdlib import STDLIB_CPL, STDLIB_MACRO_NAMES
+
+        self.evaluator.run(self.prepare(STDLIB_CPL))
+        return list(STDLIB_MACRO_NAMES)
+
+
+def _split(items: list, parts: int) -> list[list]:
+    """Round-robin split preserving all items."""
+    if parts <= 1:
+        return [list(items)]
+    chunks: list[list] = [[] for __ in range(min(parts, max(1, len(items))))]
+    for index, item in enumerate(items):
+        chunks[index % len(chunks)].append(item)
+    return [chunk for chunk in chunks if chunk]

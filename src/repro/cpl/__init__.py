@@ -1,0 +1,17 @@
+"""CPL — the ConfValley Predicate Language front end."""
+
+from . import ast
+from .lexer import tokenize
+from .parser import parse, parse_predicate
+from .printer import print_domain, print_predicate, print_program, print_statement
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "parse",
+    "parse_predicate",
+    "print_program",
+    "print_statement",
+    "print_predicate",
+    "print_domain",
+]

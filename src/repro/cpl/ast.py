@@ -1,0 +1,384 @@
+"""CPL abstract syntax tree (paper Listing 4).
+
+The tree distinguishes three layers:
+
+* **statements** — commands (``load``/``include``/``let``/``get``), scope
+  blocks (``namespace``/``compartment``), conditional statements, and
+  specification statements (``domain -> pipeline``);
+* **domains** — configuration notations, inline compartments, arithmetic
+  combinations and prefix transformations;
+* **predicates** — the boolean layer with logical connectives, quantifiers,
+  primitives, ranges, sets, relations and macro references.
+
+Pipelines (paper §4.2.3) are sequences of steps ending in a predicate; each
+step is a transformation call, a tuple of transformations, a ``foreach``
+re-query, or a predicated transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "Node",
+    "Program",
+    "LoadCmd",
+    "IncludeCmd",
+    "LetCmd",
+    "GetCmd",
+    "NamespaceBlock",
+    "CompartmentBlock",
+    "IfStatement",
+    "SpecStatement",
+    "DomainRef",
+    "ContextRef",
+    "CompartmentDomain",
+    "BinOpDomain",
+    "TransformDomain",
+    "UnionDomain",
+    "TransformStep",
+    "TupleStep",
+    "ForeachStep",
+    "CondStep",
+    "PredicateStep",
+    "And",
+    "Or",
+    "Not",
+    "Quantified",
+    "IfPred",
+    "PrimitiveCall",
+    "RangePred",
+    "SetPred",
+    "RelPred",
+    "MacroRef",
+    "ConditionSpec",
+    "Literal",
+    "Statement",
+    "DomainExpr",
+    "PredExpr",
+    "Step",
+    "Operand",
+]
+
+
+class Node:
+    """Marker base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Operands: literals, domain references, the pipeline context variable
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    value: Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class DomainRef(Node):
+    """A configuration notation, e.g. ``Fabric::$CloudName.TenantName``.
+
+    ``notation`` is the raw text (without the leading ``$``); it is parsed
+    into a :class:`~repro.repository.keys.KeyPattern` at evaluation time,
+    after variable substitution.
+    """
+
+    notation: str
+
+
+@dataclass(frozen=True)
+class ContextRef(Node):
+    """``$_`` — the value flowing through the current pipeline step."""
+
+
+Operand = Union[Literal, DomainRef, ContextRef]
+
+
+# ---------------------------------------------------------------------------
+# Domains
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompartmentDomain(Node):
+    """Inline compartment: ``#[Datacenter] $Machinepool.FillFactor#``."""
+
+    compartment: str
+    inner: "DomainExpr"
+
+
+@dataclass(frozen=True)
+class BinOpDomain(Node):
+    """Arithmetic over the Cartesian product of two domains (§4.2.1)."""
+
+    op: str  # + - * /
+    left: "DomainExpr"
+    right: "DomainExpr"
+
+
+@dataclass(frozen=True)
+class TransformDomain(Node):
+    """Prefix transformation style: ``lower($OSPath)``."""
+
+    name: str
+    args: tuple[Operand, ...]
+    inner: "DomainExpr"
+
+
+@dataclass(frozen=True)
+class UnionDomain(Node):
+    """``$s.k1,$s.k2`` — several domains validated together.
+
+    Produced by the compiler's domain-aggregation rewrite (paper Figure 4b);
+    the concrete syntax also accepts comma-separated domains at statement
+    level.
+    """
+
+    members: tuple["DomainExpr", ...]
+
+
+DomainExpr = Union[
+    DomainRef, CompartmentDomain, BinOpDomain, TransformDomain, UnionDomain
+]
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class And(Node):
+    left: "PredExpr"
+    right: "PredExpr"
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    left: "PredExpr"
+    right: "PredExpr"
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    operand: "PredExpr"
+
+
+@dataclass(frozen=True)
+class Quantified(Node):
+    """``exists p`` / ``forall p`` / ``one p`` (∃ / ∀ / ∃!)."""
+
+    quantifier: str  # "exists" | "forall" | "one"
+    operand: "PredExpr"
+
+
+@dataclass(frozen=True)
+class IfPred(Node):
+    """``if (r) s [else t]`` — (r → s) ∧ (¬r → t)."""
+
+    condition: "PredExpr"
+    then: "PredExpr"
+    otherwise: Optional["PredExpr"] = None
+
+
+@dataclass(frozen=True)
+class PrimitiveCall(Node):
+    """A named predicate primitive, with optional arguments.
+
+    Bare primitives (``int``, ``nonempty``) have empty ``args``; call-style
+    primitives carry literals or domain operands (``match('.vhd$')``).
+    """
+
+    name: str
+    args: tuple[Operand, ...] = ()
+
+
+@dataclass(frozen=True)
+class RangePred(Node):
+    """``[low, high]`` — inclusive range with literal or domain bounds."""
+
+    low: Operand
+    high: Operand
+
+
+@dataclass(frozen=True)
+class SetPred(Node):
+    """``{a, b, $Domain}`` — membership in literals and/or domain values."""
+
+    members: tuple[Operand, ...]
+
+
+@dataclass(frozen=True)
+class RelPred(Node):
+    """``== x`` / ``<= $Other`` applied to the value under test."""
+
+    op: str
+    operand: Operand
+
+
+@dataclass(frozen=True)
+class MacroRef(Node):
+    """``@UniqueCIDR`` — reference to a ``let`` macro."""
+
+    name: str
+
+
+PredExpr = Union[
+    And, Or, Not, Quantified, IfPred, PrimitiveCall, RangePred, SetPred, RelPred,
+    MacroRef,
+]
+
+
+# ---------------------------------------------------------------------------
+# Pipeline steps (§4.2.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransformStep(Node):
+    name: str
+    args: tuple[Operand, ...] = ()
+
+
+@dataclass(frozen=True)
+class TupleStep(Node):
+    """``[at(0), at(1)]`` — build a list by applying each transform to $_."""
+
+    parts: tuple[TransformStep, ...]
+
+
+@dataclass(frozen=True)
+class ForeachStep(Node):
+    """``foreach($MachinePool::$_.LoadBalancer.VipRanges)`` — re-query a
+    domain per current value, substituting ``$_``."""
+
+    domain: DomainRef
+
+
+@dataclass(frozen=True)
+class CondStep(Node):
+    """``if (nonempty) split('-')`` — predicated transformation."""
+
+    condition: "PredExpr"
+    then: "Step"
+    otherwise: Optional["Step"] = None
+
+
+@dataclass(frozen=True)
+class PredicateStep(Node):
+    """The terminal step: the constraint itself."""
+
+    predicate: "PredExpr"
+
+
+Step = Union[TransformStep, TupleStep, ForeachStep, CondStep, PredicateStep]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpecStatement(Node):
+    """``domain -> step -> … -> predicate`` — one validation specification.
+
+    ``custom_message`` overrides the auto-generated error message for every
+    violation of this spec (paper §4.4: "we also allow overriding this
+    default error message for an individual check"); written
+    ``$K -> int !! 'Timeout must be a number'``.  ``{key}`` and ``{value}``
+    placeholders are substituted.
+    """
+
+    domain: DomainExpr
+    steps: tuple[Step, ...]
+    text: str = ""
+    line: int = 0
+    custom_message: str = ""
+
+
+@dataclass(frozen=True)
+class ConditionSpec(Node):
+    """A specification used as a boolean (inside ``if (...)``).
+
+    Holds either a full mini-spec (domain + steps) or a bare predicate to
+    test against no domain (rare).  Truth = the spec passes.
+    """
+
+    spec: SpecStatement
+
+
+@dataclass(frozen=True)
+class LoadCmd(Node):
+    alias: str
+    location: str
+    scope: str = ""
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IncludeCmd(Node):
+    path: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class LetCmd(Node):
+    name: str
+    predicate: PredExpr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class GetCmd(Node):
+    domain: DomainExpr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class NamespaceBlock(Node):
+    """``namespace r.s { … }`` — notation-prefix resolution (§4.2.2)."""
+
+    names: tuple[str, ...]  # one or more namespaces, tried in order
+    body: tuple["Statement", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CompartmentBlock(Node):
+    """``compartment Cluster { … }`` — per-instance isolated evaluation."""
+
+    name: str
+    body: tuple["Statement", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IfStatement(Node):
+    """Statement-level conditional validation (paper Listing 5)."""
+
+    condition: ConditionSpec
+    then: tuple["Statement", ...]
+    otherwise: tuple["Statement", ...] = ()
+    line: int = 0
+
+
+Statement = Union[
+    LoadCmd,
+    IncludeCmd,
+    LetCmd,
+    GetCmd,
+    NamespaceBlock,
+    CompartmentBlock,
+    IfStatement,
+    SpecStatement,
+]
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    statements: tuple[Statement, ...]

@@ -1,0 +1,600 @@
+"""Recursive-descent parser for CPL (paper Listing 4 grammar).
+
+The paper built its compiler on ANTLR; offline we hand-write the parser.
+Noteworthy disambiguation rules:
+
+* ``[a, b]`` is a **range predicate** when its elements are literals or
+  domain references, and a **tuple step** (``[at(0), at(1)]``) when its
+  elements are transformation calls;
+* a call ``name(...)`` inside a pipeline is a transformation step when
+  ``name`` is a registered transform, otherwise a predicate primitive;
+* ``if`` inside a pipeline produces a predicated transformation when its
+  branch is a transformation, and a conditional predicate when its branch is
+  a predicate;
+* ``domain relop domain`` at statement level desugars to
+  ``domain -> (relop operand)`` (paper Figure 4 writes ``$k1 <= $k2``).
+
+Statements are newline-terminated; the lexer already folded continuation
+newlines away.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CPLSyntaxError
+from ..transforms import is_transform
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+__all__ = ["parse", "parse_predicate"]
+
+
+def parse(text: str) -> ast.Program:
+    """Parse CPL source text into a :class:`~repro.cpl.ast.Program`."""
+    return _Parser(tokenize(text), text).parse_program()
+
+
+def parse_predicate(text: str) -> ast.PredExpr:
+    """Parse a standalone predicate expression (used by ``let`` tooling)."""
+    parser = _Parser(tokenize(text), text)
+    predicate = parser.parse_pred_expr()
+    parser.skip_newlines()
+    parser.expect(TokenType.EOF)
+    return predicate
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str = ""):
+        self.tokens = tokens
+        self.pos = 0
+        self.source_lines = source.splitlines()
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type != TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, type_: str, value=None, ahead: int = 0) -> bool:
+        token = self.peek(ahead)
+        if token.type != type_:
+            return False
+        return value is None or token.value == value
+
+    def match(self, type_: str, value=None) -> Optional[Token]:
+        if self.check(type_, value):
+            return self.advance()
+        return None
+
+    def expect(self, type_: str, value=None) -> Token:
+        if self.check(type_, value):
+            return self.advance()
+        token = self.peek()
+        wanted = value if value is not None else type_
+        raise CPLSyntaxError(
+            f"expected {wanted}, found {token.value!r}", token.line, token.column
+        )
+
+    def skip_newlines(self) -> None:
+        while self.match(TokenType.NEWLINE):
+            pass
+
+    def statement_end(self) -> None:
+        if self.check(TokenType.EOF) or self.check(TokenType.RBRACE):
+            return
+        if self.check(TokenType.KEYWORD, "else"):
+            return  # single-statement `then` branch followed by inline else
+        self.expect(TokenType.NEWLINE)
+        self.skip_newlines()
+
+    def error(self, message: str) -> CPLSyntaxError:
+        token = self.peek()
+        return CPLSyntaxError(message, token.line, token.column)
+
+    def _slice_text(self, start_line: int, end_line: int) -> str:
+        lines = self.source_lines[max(0, start_line - 1):end_line]
+        return "\n".join(line.strip() for line in lines).strip()
+
+    # ------------------------------------------------------------------
+    # Program / statements
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        statements = self.parse_statements(until=TokenType.EOF)
+        self.expect(TokenType.EOF)
+        return ast.Program(tuple(statements))
+
+    def parse_statements(self, until: str) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        self.skip_newlines()
+        while not self.check(until) and not self.check(TokenType.EOF):
+            statements.append(self.parse_statement())
+            self.skip_newlines()
+        return statements
+
+    def parse_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.type == TokenType.KEYWORD:
+            if token.value == "load":
+                return self.parse_load()
+            if token.value == "include":
+                return self.parse_include()
+            if token.value == "let":
+                return self.parse_let()
+            if token.value == "get":
+                return self.parse_get()
+            if token.value == "namespace":
+                return self.parse_namespace()
+            if token.value == "compartment":
+                return self.parse_compartment()
+            if token.value == "if":
+                return self.parse_if_statement()
+            raise self.error(f"unexpected keyword {token.value!r}")
+        if token.type in (
+            TokenType.QUANT_EXISTS,
+            TokenType.QUANT_FORALL,
+            TokenType.QUANT_ONE,
+        ):
+            # standalone quantified statement: ∃ $a.b == 'x'
+            condition = self.parse_condition()
+            end_line = self.peek(-1).line if self.pos > 0 else token.line
+            self.statement_end()
+            spec = condition.spec
+            return ast.SpecStatement(
+                spec.domain,
+                spec.steps,
+                text=self._slice_text(token.line, end_line),
+                line=token.line,
+            )
+        return self.parse_spec_statement()
+
+    def parse_load(self) -> ast.LoadCmd:
+        line = self.expect(TokenType.KEYWORD, "load").line
+        alias = str(self.expect(TokenType.STRING).value)
+        location = str(self.expect(TokenType.STRING).value)
+        scope = ""
+        if self.match(TokenType.KEYWORD, "as"):
+            scope = str(self.expect(TokenType.STRING).value)
+        self.statement_end()
+        return ast.LoadCmd(alias, location, scope, line)
+
+    def parse_include(self) -> ast.IncludeCmd:
+        line = self.expect(TokenType.KEYWORD, "include").line
+        path = str(self.expect(TokenType.STRING).value)
+        self.statement_end()
+        return ast.IncludeCmd(path, line)
+
+    def parse_let(self) -> ast.LetCmd:
+        line = self.expect(TokenType.KEYWORD, "let").line
+        name = str(self.expect(TokenType.IDENT).value)
+        self.expect(TokenType.ASSIGN)
+        predicate = self.parse_pred_expr()
+        self.statement_end()
+        return ast.LetCmd(name, predicate, line)
+
+    def parse_get(self) -> ast.GetCmd:
+        line = self.expect(TokenType.KEYWORD, "get").line
+        domain = self.parse_domain_expr()
+        self.statement_end()
+        return ast.GetCmd(domain, line)
+
+    def parse_namespace(self) -> ast.NamespaceBlock:
+        line = self.expect(TokenType.KEYWORD, "namespace").line
+        names = [self.parse_qid_text()]
+        while self.match(TokenType.COMMA):
+            names.append(self.parse_qid_text())
+        self.expect(TokenType.LBRACE)
+        body = self.parse_statements(until=TokenType.RBRACE)
+        self.expect(TokenType.RBRACE)
+        return ast.NamespaceBlock(tuple(names), tuple(body), line)
+
+    def parse_compartment(self) -> ast.CompartmentBlock:
+        line = self.expect(TokenType.KEYWORD, "compartment").line
+        name = self.parse_qid_text()
+        self.expect(TokenType.LBRACE)
+        body = self.parse_statements(until=TokenType.RBRACE)
+        self.expect(TokenType.RBRACE)
+        return ast.CompartmentBlock(name, tuple(body), line)
+
+    def parse_qid_text(self) -> str:
+        """A dotted, optionally qualified scope name for block headers
+        (``r.s``, ``Cluster::prod*``, ``Rack.Blade``)."""
+        parts = [self._qid_segment()]
+        while self.match(TokenType.DOT):
+            parts.append(self._qid_segment())
+        return ".".join(parts)
+
+    def _qid_segment(self) -> str:
+        name = str(self.expect(TokenType.IDENT).value)
+        if self.match(TokenType.COLONCOLON):
+            if self.check(TokenType.STRING):
+                qualifier = str(self.advance().value)
+                escaped = qualifier.replace("'", "\\'")
+                return f"{name}::'{escaped}'"
+            qualifier = str(self.expect(TokenType.IDENT).value)
+            return f"{name}::{qualifier}"
+        return name
+
+    def parse_if_statement(self) -> ast.IfStatement:
+        line = self.expect(TokenType.KEYWORD, "if").line
+        self.expect(TokenType.LPAREN)
+        condition = self.parse_condition()
+        self.expect(TokenType.RPAREN)
+        self.skip_newlines()
+        then = self.parse_statement_or_block()
+        otherwise: tuple[ast.Statement, ...] = ()
+        self.skip_newlines()
+        if self.match(TokenType.KEYWORD, "else"):
+            self.skip_newlines()
+            otherwise = self.parse_statement_or_block()
+        return ast.IfStatement(condition, then, otherwise, line)
+
+    def parse_statement_or_block(self) -> tuple[ast.Statement, ...]:
+        if self.match(TokenType.LBRACE):
+            body = self.parse_statements(until=TokenType.RBRACE)
+            self.expect(TokenType.RBRACE)
+            return tuple(body)
+        return (self.parse_statement(),)
+
+    # ------------------------------------------------------------------
+    # Conditions (inside statement-level if)
+    # ------------------------------------------------------------------
+
+    def parse_condition(self) -> ast.ConditionSpec:
+        """``$CloudName -> ~match('…')`` or ``exists $X.Y == 'v'``."""
+        quantifier = self.parse_optional_quantifier()
+        domain = self.parse_domain_expr()
+        if self.match(TokenType.ARROW):
+            steps = self.parse_pipeline_steps()
+        elif self.check(TokenType.RELOP):
+            op = str(self.advance().value)
+            operand = self.parse_operand()
+            steps = [ast.PredicateStep(ast.RelPred(op, operand))]
+        else:
+            # bare domain condition: true when the domain has instances
+            steps = [ast.PredicateStep(ast.PrimitiveCall("string"))]
+            if quantifier is None:
+                quantifier = "exists"
+        if quantifier is not None:
+            last = steps[-1]
+            assert isinstance(last, ast.PredicateStep)
+            steps[-1] = ast.PredicateStep(
+                ast.Quantified(quantifier, last.predicate)
+            )
+        spec = ast.SpecStatement(domain, tuple(steps))
+        return ast.ConditionSpec(spec)
+
+    def parse_optional_quantifier(self) -> Optional[str]:
+        for type_, name in (
+            (TokenType.QUANT_EXISTS, "exists"),
+            (TokenType.QUANT_FORALL, "forall"),
+            (TokenType.QUANT_ONE, "one"),
+        ):
+            if self.match(type_):
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # Specification statements
+    # ------------------------------------------------------------------
+
+    def parse_spec_statement(self) -> ast.SpecStatement:
+        start = self.peek()
+        domain = self.parse_domain_expr()
+        if self.check(TokenType.COMMA):
+            # $s.k1, $s.k2 -> … : several domains validated together (Fig 4b)
+            members = [domain]
+            while self.match(TokenType.COMMA):
+                members.append(self.parse_domain_expr())
+            domain = ast.UnionDomain(tuple(members))
+        if self.check(TokenType.RELOP):
+            # Figure 4 style: $k1 <= $k2
+            op = str(self.advance().value)
+            operand = self.parse_operand()
+            steps: list[ast.Step] = [ast.PredicateStep(ast.RelPred(op, operand))]
+        else:
+            self.expect(TokenType.ARROW)
+            steps = self.parse_pipeline_steps()
+        custom_message = ""
+        if self.match(TokenType.BANGBANG):
+            custom_message = str(self.expect(TokenType.STRING).value)
+        end_line = self.peek(-1).line if self.pos > 0 else start.line
+        self.statement_end()
+        return ast.SpecStatement(
+            domain,
+            tuple(steps),
+            text=self._slice_text(start.line, end_line),
+            line=start.line,
+            custom_message=custom_message,
+        )
+
+    # ------------------------------------------------------------------
+    # Domains
+    # ------------------------------------------------------------------
+
+    def parse_domain_expr(self) -> ast.DomainExpr:
+        left = self.parse_domain_term()
+        while True:
+            for type_, op in (
+                (TokenType.PLUS, "+"),
+                (TokenType.MINUS, "-"),
+                (TokenType.STAR, "*"),
+                (TokenType.SLASH, "/"),
+            ):
+                if self.check(type_):
+                    self.advance()
+                    right = self.parse_domain_term()
+                    left = ast.BinOpDomain(op, left, right)
+                    break
+            else:
+                return left
+
+    def parse_domain_term(self) -> ast.DomainExpr:
+        if self.check(TokenType.DOMAIN):
+            notation = str(self.advance().value)
+            if notation == "_":
+                raise self.error("$_ is only valid inside a pipeline")
+            return ast.DomainRef(notation)
+        if self.check(TokenType.HASH):
+            return self.parse_inline_compartment()
+        if self.check(TokenType.IDENT) and self.check(TokenType.LPAREN, ahead=1):
+            name = str(self.advance().value)
+            if not is_transform(name):
+                raise self.error(f"{name!r} is not a transformation")
+            self.expect(TokenType.LPAREN)
+            inner = self.parse_domain_expr()
+            args: list[ast.Operand] = []
+            while self.match(TokenType.COMMA):
+                args.append(self.parse_operand())
+            self.expect(TokenType.RPAREN)
+            return ast.TransformDomain(name, tuple(args), inner)
+        if self.match(TokenType.LPAREN):
+            inner = self.parse_domain_expr()
+            self.expect(TokenType.RPAREN)
+            return inner
+        raise self.error(f"expected a domain, found {self.peek().value!r}")
+
+    def parse_inline_compartment(self) -> ast.CompartmentDomain:
+        self.expect(TokenType.HASH)
+        self.expect(TokenType.LBRACKET)
+        name_parts = [str(self.expect(TokenType.IDENT).value)]
+        while self.match(TokenType.DOT):
+            name_parts.append(str(self.expect(TokenType.IDENT).value))
+        self.expect(TokenType.RBRACKET)
+        inner = self.parse_domain_expr()
+        self.expect(TokenType.HASH)
+        return ast.CompartmentDomain(".".join(name_parts), inner)
+
+    # ------------------------------------------------------------------
+    # Pipelines
+    # ------------------------------------------------------------------
+
+    def parse_pipeline_steps(self) -> list[ast.Step]:
+        steps = [self.parse_step()]
+        while self.match(TokenType.ARROW):
+            steps.append(self.parse_step())
+        # Exactly the last step may be (must be) a predicate.
+        for step in steps[:-1]:
+            if isinstance(step, ast.PredicateStep):
+                raise self.error("only the final pipeline step may be a predicate")
+        if not isinstance(steps[-1], ast.PredicateStep):
+            raise self.error("a specification must end in a predicate")
+        return steps
+
+    def parse_step(self) -> ast.Step:
+        token = self.peek()
+        if token.type == TokenType.KEYWORD and token.value == "foreach":
+            self.advance()
+            self.expect(TokenType.LPAREN)
+            domain = self.expect(TokenType.DOMAIN)
+            self.expect(TokenType.RPAREN)
+            return ast.ForeachStep(ast.DomainRef(str(domain.value)))
+        if token.type == TokenType.KEYWORD and token.value == "if":
+            return self.parse_if_step()
+        if token.type == TokenType.LBRACKET and self.is_tuple_step():
+            return self.parse_tuple_step()
+        if (
+            token.type == TokenType.IDENT
+            and is_transform(str(token.value))
+            and not self.check(TokenType.RELOP, ahead=1)
+        ):
+            return self.parse_transform_call()
+        return ast.PredicateStep(self.parse_pred_expr())
+
+    def parse_if_step(self) -> ast.Step:
+        """Disambiguate predicated transformations from conditional predicates."""
+        self.expect(TokenType.KEYWORD, "if")
+        self.expect(TokenType.LPAREN)
+        condition = self.parse_pred_expr()
+        self.expect(TokenType.RPAREN)
+        self.skip_newlines_in_step()
+        branch = self.parse_step()
+        otherwise: Optional[ast.Step] = None
+        if self.match(TokenType.KEYWORD, "else"):
+            self.skip_newlines_in_step()
+            otherwise = self.parse_step()
+        if isinstance(branch, ast.PredicateStep):
+            else_pred = None
+            if otherwise is not None:
+                if not isinstance(otherwise, ast.PredicateStep):
+                    raise self.error("if-predicate branches must both be predicates")
+                else_pred = otherwise.predicate
+            return ast.PredicateStep(
+                ast.IfPred(condition, branch.predicate, else_pred)
+            )
+        return ast.CondStep(condition, branch, otherwise)
+
+    def skip_newlines_in_step(self) -> None:
+        # pipelines are single statements; stray newlines here are lexer
+        # artifacts around parenthesized conditions
+        while self.check(TokenType.NEWLINE) and self.check(
+            TokenType.ARROW, ahead=1
+        ):
+            self.advance()
+
+    def is_tuple_step(self) -> bool:
+        """True when ``[`` opens ``[at(0), at(1)]`` rather than a range."""
+        return (
+            self.check(TokenType.IDENT, ahead=1)
+            and self.check(TokenType.LPAREN, ahead=2)
+            and is_transform(str(self.peek(1).value))
+        )
+
+    def parse_tuple_step(self) -> ast.TupleStep:
+        self.expect(TokenType.LBRACKET)
+        parts = [self.parse_transform_call()]
+        while self.match(TokenType.COMMA):
+            parts.append(self.parse_transform_call())
+        self.expect(TokenType.RBRACKET)
+        return ast.TupleStep(tuple(parts))
+
+    def parse_transform_call(self) -> ast.TransformStep:
+        name = str(self.expect(TokenType.IDENT).value)
+        if not is_transform(name):
+            raise self.error(f"{name!r} is not a transformation")
+        args: list[ast.Operand] = []
+        if self.match(TokenType.LPAREN):
+            if not self.check(TokenType.RPAREN):
+                args.append(self.parse_operand())
+                while self.match(TokenType.COMMA):
+                    args.append(self.parse_operand())
+            self.expect(TokenType.RPAREN)
+        return ast.TransformStep(name, tuple(args))
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def parse_pred_expr(self) -> ast.PredExpr:
+        return self.parse_pred_or()
+
+    def parse_pred_or(self) -> ast.PredExpr:
+        left = self.parse_pred_and()
+        while self.match(TokenType.OR):
+            right = self.parse_pred_and()
+            left = ast.Or(left, right)
+        return left
+
+    def parse_pred_and(self) -> ast.PredExpr:
+        left = self.parse_pred_unary()
+        while self.match(TokenType.AND):
+            right = self.parse_pred_unary()
+            left = ast.And(left, right)
+        return left
+
+    _PRED_TERMINATORS = frozenset(
+        {
+            TokenType.NEWLINE,
+            TokenType.EOF,
+            TokenType.AND,
+            TokenType.OR,
+            TokenType.RPAREN,
+            TokenType.RBRACE,
+            TokenType.RBRACKET,
+            TokenType.ARROW,
+            TokenType.COMMA,
+        }
+    )
+
+    def parse_pred_unary(self) -> ast.PredExpr:
+        if self.match(TokenType.NOT):
+            return ast.Not(self.parse_pred_unary())
+        # `exists` doubles as the path-existence primitive: when nothing that
+        # could start a predicate follows, it is the primitive, not ∃.
+        if self.check(TokenType.QUANT_EXISTS) and self.peek(1).type in (
+            self._PRED_TERMINATORS
+        ):
+            self.advance()
+            return ast.PrimitiveCall("exists")
+        quantifier = self.parse_optional_quantifier()
+        if quantifier is not None:
+            return ast.Quantified(quantifier, self.parse_pred_unary())
+        return self.parse_pred_atom()
+
+    def parse_pred_atom(self) -> ast.PredExpr:
+        token = self.peek()
+        if token.type == TokenType.LPAREN:
+            self.advance()
+            inner = self.parse_pred_expr()
+            self.expect(TokenType.RPAREN)
+            return inner
+        if token.type == TokenType.KEYWORD and token.value == "if":
+            self.advance()
+            self.expect(TokenType.LPAREN)
+            condition = self.parse_pred_expr()
+            self.expect(TokenType.RPAREN)
+            then = self.parse_pred_expr()
+            otherwise = None
+            if self.match(TokenType.KEYWORD, "else"):
+                otherwise = self.parse_pred_expr()
+            return ast.IfPred(condition, then, otherwise)
+        if token.type == TokenType.AT:
+            self.advance()
+            name = str(self.expect(TokenType.IDENT).value)
+            return ast.MacroRef(name)
+        if token.type == TokenType.LBRACKET:
+            self.advance()
+            low = self.parse_operand()
+            self.expect(TokenType.COMMA)
+            high = self.parse_operand()
+            self.expect(TokenType.RBRACKET)
+            return ast.RangePred(low, high)
+        if token.type == TokenType.LBRACE:
+            self.advance()
+            members = [self.parse_operand()]
+            while self.match(TokenType.COMMA):
+                members.append(self.parse_operand())
+            self.expect(TokenType.RBRACE)
+            return ast.SetPred(tuple(members))
+        if token.type == TokenType.RELOP:
+            op = str(self.advance().value)
+            return ast.RelPred(op, self.parse_operand())
+        if token.type == TokenType.DOMAIN and str(token.value) == "_":
+            # $_ == operand — relation on the pipeline value
+            self.advance()
+            op = str(self.expect(TokenType.RELOP).value)
+            return ast.RelPred(op, self.parse_operand())
+        if token.type == TokenType.IDENT:
+            name = str(self.advance().value)
+            args: list[ast.Operand] = []
+            if self.match(TokenType.LPAREN):
+                if not self.check(TokenType.RPAREN):
+                    args.append(self.parse_operand())
+                    while self.match(TokenType.COMMA):
+                        args.append(self.parse_operand())
+                self.expect(TokenType.RPAREN)
+            return ast.PrimitiveCall(name, tuple(args))
+        raise self.error(f"expected a predicate, found {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # Operands
+    # ------------------------------------------------------------------
+
+    def parse_operand(self) -> ast.Operand:
+        token = self.peek()
+        if token.type == TokenType.STRING:
+            self.advance()
+            return ast.Literal(str(token.value))
+        if token.type == TokenType.NUMBER:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.type == TokenType.MINUS and self.check(TokenType.NUMBER, ahead=1):
+            self.advance()
+            number = self.advance().value
+            return ast.Literal(-number)
+        if token.type == TokenType.DOMAIN:
+            self.advance()
+            if str(token.value) == "_":
+                return ast.ContextRef()
+            return ast.DomainRef(str(token.value))
+        raise self.error(f"expected a value or domain, found {token.value!r}")

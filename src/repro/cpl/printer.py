@@ -1,0 +1,180 @@
+"""Pretty-printer: AST → canonical CPL text.
+
+Used to display what the compiler's rewrites produced, to serialize
+programmatically-built specifications, and to round-trip programs in tests
+(property: ``parse(print(parse(text)))`` equals ``parse(text)`` up to the
+recorded source text/line metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from . import ast
+
+__all__ = ["print_program", "print_statement", "print_predicate", "print_domain"]
+
+
+def _quote(value: str) -> str:
+    return "'" + str(value).replace("\\", "\\\\").replace("'", "\\'") + "'"
+
+
+def _operand(node: ast.Operand) -> str:
+    if isinstance(node, ast.Literal):
+        if isinstance(node.value, str):
+            return _quote(node.value)
+        return str(node.value)
+    if isinstance(node, ast.ContextRef):
+        return "$_"
+    if isinstance(node, ast.DomainRef):
+        return f"${node.notation}"
+    raise TypeError(f"not an operand: {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+_PRECEDENCE = {"or": 1, "and": 2, "unary": 3}
+
+
+def print_predicate(node: ast.PredExpr) -> str:
+    return _pred(node, 0)
+
+
+def _pred(node: ast.PredExpr, parent_level: int) -> str:
+    if isinstance(node, ast.Or):
+        text = f"{_pred(node.left, 1)} | {_pred(node.right, 1)}"
+        level = 1
+    elif isinstance(node, ast.And):
+        text = f"{_pred(node.left, 2)} & {_pred(node.right, 2)}"
+        level = 2
+    elif isinstance(node, ast.Not):
+        return f"~{_pred(node.operand, 3)}"
+    elif isinstance(node, ast.Quantified):
+        quantifier = {"exists": "exists", "forall": "forall", "one": "one"}[
+            node.quantifier
+        ]
+        return f"{quantifier} {_pred(node.operand, 3)}"
+    elif isinstance(node, ast.IfPred):
+        text = f"if ({_pred(node.condition, 0)}) {_pred(node.then, 3)}"
+        if node.otherwise is not None:
+            text += f" else {_pred(node.otherwise, 3)}"
+        # an if-predicate's branches parse greedily, so it must be
+        # parenthesized under any binary operator or unary prefix
+        return f"({text})" if parent_level >= 1 else text
+    elif isinstance(node, ast.MacroRef):
+        return f"@{node.name}"
+    elif isinstance(node, ast.PrimitiveCall):
+        if node.args:
+            args = ", ".join(_operand(arg) for arg in node.args)
+            return f"{node.name}({args})"
+        return node.name
+    elif isinstance(node, ast.RangePred):
+        return f"[{_operand(node.low)}, {_operand(node.high)}]"
+    elif isinstance(node, ast.SetPred):
+        members = ", ".join(_operand(member) for member in node.members)
+        return f"{{{members}}}"
+    elif isinstance(node, ast.RelPred):
+        return f"{node.op} {_operand(node.operand)}"
+    else:
+        raise TypeError(f"not a predicate: {node!r}")
+    if level < parent_level:
+        return f"({text})"
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Domains and steps
+# ---------------------------------------------------------------------------
+
+
+def print_domain(node: ast.DomainExpr) -> str:
+    if isinstance(node, ast.DomainRef):
+        return f"${node.notation}"
+    if isinstance(node, ast.CompartmentDomain):
+        return f"#[{node.compartment}] {print_domain(node.inner)}#"
+    if isinstance(node, ast.UnionDomain):
+        return ", ".join(print_domain(member) for member in node.members)
+    if isinstance(node, ast.BinOpDomain):
+        return f"{print_domain(node.left)} {node.op} {print_domain(node.right)}"
+    if isinstance(node, ast.TransformDomain):
+        extra = "".join(", " + _operand(arg) for arg in node.args)
+        return f"{node.name}({print_domain(node.inner)}{extra})"
+    raise TypeError(f"not a domain: {node!r}")
+
+
+def _step(node: ast.Step) -> str:
+    if isinstance(node, ast.TransformStep):
+        if node.args:
+            args = ", ".join(_operand(arg) for arg in node.args)
+            return f"{node.name}({args})"
+        return node.name
+    if isinstance(node, ast.TupleStep):
+        return "[" + ", ".join(_step(part) for part in node.parts) + "]"
+    if isinstance(node, ast.ForeachStep):
+        return f"foreach(${node.domain.notation})"
+    if isinstance(node, ast.CondStep):
+        text = f"if ({print_predicate(node.condition)}) {_step(node.then)}"
+        if node.otherwise is not None:
+            text += f" else {_step(node.otherwise)}"
+        return text
+    if isinstance(node, ast.PredicateStep):
+        return print_predicate(node.predicate)
+    raise TypeError(f"not a step: {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+def print_statement(node: ast.Statement, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(node, ast.LoadCmd):
+        text = f"load {_quote(node.alias)} {_quote(node.location)}"
+        if node.scope:
+            text += f" as {_quote(node.scope)}"
+        return pad + text
+    if isinstance(node, ast.IncludeCmd):
+        return pad + f"include {_quote(node.path)}"
+    if isinstance(node, ast.LetCmd):
+        return pad + f"let {node.name} := {print_predicate(node.predicate)}"
+    if isinstance(node, ast.GetCmd):
+        return pad + f"get {print_domain(node.domain)}"
+    if isinstance(node, ast.NamespaceBlock):
+        header = pad + "namespace " + ", ".join(node.names) + " {"
+        body = [print_statement(child, indent + 1) for child in node.body]
+        return "\n".join([header] + body + [pad + "}"])
+    if isinstance(node, ast.CompartmentBlock):
+        header = pad + f"compartment {node.name} {{"
+        body = [print_statement(child, indent + 1) for child in node.body]
+        return "\n".join([header] + body + [pad + "}"])
+    if isinstance(node, ast.IfStatement):
+        condition = _condition(node.condition)
+        lines = [pad + f"if ({condition}) {{"]
+        lines += [print_statement(child, indent + 1) for child in node.then]
+        if node.otherwise:
+            lines.append(pad + "} else {")
+            lines += [print_statement(child, indent + 1) for child in node.otherwise]
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    if isinstance(node, ast.SpecStatement):
+        parts = [print_domain(node.domain)]
+        parts += [_step(step) for step in node.steps]
+        text = pad + " -> ".join(parts)
+        if node.custom_message:
+            text += f" !! {_quote(node.custom_message)}"
+        return text
+    raise TypeError(f"not a statement: {node!r}")
+
+
+def _condition(node: ast.ConditionSpec) -> str:
+    spec = node.spec
+    parts = [print_domain(spec.domain)]
+    parts += [_step(step) for step in spec.steps]
+    return " -> ".join(parts)
+
+
+def print_program(program: ast.Program) -> str:
+    return "\n".join(print_statement(statement) for statement in program.statements)

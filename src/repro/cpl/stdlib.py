@@ -1,0 +1,65 @@
+"""The CPL standard macro library.
+
+The paper encourages modular, reusable specifications (``include`` + ``let``
+macros).  This module ships the macros practitioners re-derive in every
+deployment, as ordinary CPL text: sessions opt in with
+:meth:`~repro.core.session.ValidationSession.load_stdlib` (or
+``include 'stdlib'`` semantics in their own files).
+
+Everything here is expressible in plain CPL — the library adds no engine
+features, just names.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STDLIB_CPL", "STDLIB_MACRO_NAMES"]
+
+STDLIB_CPL = """\
+// ---- identity & uniqueness ------------------------------------------------
+let UniqueIP := unique & ip
+let UniqueCIDR := unique & cidr
+let UniqueGuid := unique & guid
+let UniqueName := unique & nonempty
+
+// ---- network shapes ---------------------------------------------------------
+let Endpoint := nonempty & match(':[0-9]+$')
+let HttpsUrl := url & match('^https://')
+let PrivateIPv4 := ip & (match('^10\\.') | match('^192\\.168\\.') | match('^172\\.(1[6-9]|2[0-9]|3[01])\\.'))
+let LoopbackFree := ip & ~match('^127\\.')
+
+// ---- common value shapes -----------------------------------------------------
+let Percentage := float & [0, 100]
+let Ratio := float & [0, 1]
+let PositiveInt := int & [1, 2147483647]
+let NonNegativeInt := int & [0, 2147483647]
+let BoolFlag := bool & nonempty
+let RequiredString := string & nonempty
+
+// ---- operational hygiene ------------------------------------------------------
+let SaneTimeout := int & [1, 86400]
+let SanePort := port & nonempty
+let ReplicaCount := int & {1, 3, 5, 7}
+let WindowsShare := path & startswith('\\\\\\\\')
+"""
+
+#: macro names defined by :data:`STDLIB_CPL`, for discoverability/tests
+STDLIB_MACRO_NAMES = (
+    "UniqueIP",
+    "UniqueCIDR",
+    "UniqueGuid",
+    "UniqueName",
+    "Endpoint",
+    "HttpsUrl",
+    "PrivateIPv4",
+    "LoopbackFree",
+    "Percentage",
+    "Ratio",
+    "PositiveInt",
+    "NonNegativeInt",
+    "BoolFlag",
+    "RequiredString",
+    "SaneTimeout",
+    "SanePort",
+    "ReplicaCount",
+    "WindowsShare",
+)

@@ -1,0 +1,77 @@
+"""Token definitions for the CPL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["Token", "KEYWORDS", "TokenType"]
+
+
+class TokenType:
+    """Token type names (plain strings; a class for namespacing only)."""
+
+    IDENT = "IDENT"          # predicate/transform names, scope words (may contain * _ -)
+    DOMAIN = "DOMAIN"        # $Fabric.RecoveryAttempts, $_, $env.os …
+    STRING = "STRING"        # 'single quoted'
+    NUMBER = "NUMBER"        # 42 or 3.14 (value carries int or float)
+    ARROW = "ARROW"          # -> or →
+    AND = "AND"              # &
+    OR = "OR"                # |
+    NOT = "NOT"              # ~
+    ASSIGN = "ASSIGN"        # :=
+    BANGBANG = "BANGBANG"    # !! (custom error message suffix, §4.4)
+    RELOP = "RELOP"          # == != < <= > >=
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    LBRACE = "LBRACE"
+    RBRACE = "RBRACE"
+    LBRACKET = "LBRACKET"
+    RBRACKET = "RBRACKET"
+    COMMA = "COMMA"
+    DOT = "DOT"              # . (dotted scope names in block headers)
+    COLONCOLON = "COLONCOLON"  # :: (instance qualifiers in block headers)
+    AT = "AT"                # @ (macro reference)
+    HASH = "HASH"            # # (inline compartment delimiter)
+    PLUS = "PLUS"
+    MINUS = "MINUS"
+    STAR = "STAR"
+    SLASH = "SLASH"
+    QUANT_EXISTS = "QUANT_EXISTS"        # ∃ / exists
+    QUANT_FORALL = "QUANT_FORALL"        # ∀ / forall
+    QUANT_ONE = "QUANT_ONE"              # ∃! / one
+    KEYWORD = "KEYWORD"                  # load include let get as if else namespace compartment foreach
+    NEWLINE = "NEWLINE"
+    EOF = "EOF"
+
+
+KEYWORDS = {
+    "load",
+    "include",
+    "let",
+    "get",
+    "as",
+    "if",
+    "else",
+    "namespace",
+    "compartment",
+    "foreach",
+}
+
+#: keywords that lex to quantifier tokens instead of KEYWORD
+QUANT_WORDS = {
+    "exists": TokenType.QUANT_EXISTS,
+    "forall": TokenType.QUANT_FORALL,
+    "one": TokenType.QUANT_ONE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: Union[str, int, float]
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,29 @@
+"""Configuration-format drivers producing the unified representation."""
+
+from .base import Driver, driver_names, get_driver, register_driver
+from .csv_driver import CSVDriver
+from .ini_driver import INIDriver
+from .json_driver import JSONDriver
+from .keyvalue_driver import KeyValueDriver
+from .rest_driver import RESTDriver, clear_endpoints, register_endpoint
+from .writer import to_ini, to_keyvalue
+from .xml_driver import XMLDriver
+from .yaml_driver import YAMLDriver
+
+__all__ = [
+    "Driver",
+    "driver_names",
+    "get_driver",
+    "register_driver",
+    "XMLDriver",
+    "INIDriver",
+    "KeyValueDriver",
+    "JSONDriver",
+    "YAMLDriver",
+    "CSVDriver",
+    "RESTDriver",
+    "register_endpoint",
+    "clear_endpoints",
+    "to_keyvalue",
+    "to_ini",
+]

@@ -1,0 +1,33 @@
+"""JSON driver: nested objects become scope paths.
+
+Lists of objects become ordinal sibling scopes (named when the object has a
+name-ish attribute); lists of scalars become multiple instances of the same
+configuration class, disambiguated by the store.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import DriverError
+from .base import Driver, register_driver, scope_segments, walk_mapping
+from ..repository.model import ConfigInstance
+
+__all__ = ["JSONDriver"]
+
+
+class JSONDriver(Driver):
+    format_name = "json"
+
+    def parse(self, text: str, source: str = "", scope: str = "") -> list[ConfigInstance]:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DriverError(f"malformed JSON in {source or '<string>'}: {exc}") from exc
+        if not isinstance(data, (dict, list)):
+            raise DriverError("top-level JSON must be an object or array")
+        return walk_mapping(data if isinstance(data, dict) else {"Item": data},
+                            scope_segments(scope), source)
+
+
+register_driver(JSONDriver())

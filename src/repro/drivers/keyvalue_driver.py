@@ -1,0 +1,43 @@
+"""Flat key-value driver (paper §4.2.2 way 1: scopes encoded in names).
+
+Parses ``a.b.c = value`` lines where the dotted key already encodes the
+scope path — the driver "directly extracts the scope information" as the
+paper describes.  Instance qualifiers may appear inline using CPL notation
+(``Fabric::inst1.RecoveryAttempts = 3``).  Lines starting with ``#`` or
+``//`` are comments; blank lines are ignored.  CloudStack's global settings
+table is this shape.
+"""
+
+from __future__ import annotations
+
+from ..errors import DriverError
+from ..repository.keys import InstanceKey
+from ..repository.model import ConfigInstance
+from .base import Driver, register_driver, scope_segments
+
+__all__ = ["KeyValueDriver"]
+
+
+class KeyValueDriver(Driver):
+    format_name = "keyvalue"
+
+    def parse(self, text: str, source: str = "", scope: str = "") -> list[ConfigInstance]:
+        prefix = scope_segments(scope)
+        out: list[ConfigInstance] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#") or line.startswith("//"):
+                continue
+            index = line.find("=")
+            if index <= 0:
+                raise DriverError(
+                    f"{source or '<string>'}:{lineno}: expected 'key = value'"
+                )
+            key_text = line[:index].strip()
+            value = line[index + 1:].strip()
+            segments = scope_segments(key_text)
+            out.append(ConfigInstance(InstanceKey(prefix + segments), value, source))
+        return out
+
+
+register_driver(KeyValueDriver())

@@ -1,0 +1,58 @@
+"""Simulated REST driver (paper §4.2.2: "key-value stores or REST APIs").
+
+The paper's CPL example loads live endpoints::
+
+    load 'runninginstance' '10.119.64.74:443'
+
+This environment has no network, so the driver resolves URLs against an
+in-process endpoint registry (DESIGN.md substitution table).  Payloads are
+JSON-shaped Python objects; the shared mapping walker converts them exactly
+as the JSON driver would, so the validation engine sees no difference
+between a registered fake endpoint and a real one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import DriverError
+from ..repository.model import ConfigInstance
+from .base import Driver, register_driver, scope_segments, walk_mapping
+
+__all__ = ["RESTDriver", "register_endpoint", "clear_endpoints"]
+
+_ENDPOINTS: dict[str, object] = {}
+
+
+def register_endpoint(url: str, payload: object) -> None:
+    """Publish a JSON-shaped payload at a fake endpoint URL."""
+    _ENDPOINTS[url] = payload
+
+
+def clear_endpoints() -> None:
+    _ENDPOINTS.clear()
+
+
+class RESTDriver(Driver):
+    format_name = "rest"
+
+    def parse(self, text: str, source: str = "", scope: str = "") -> list[ConfigInstance]:
+        """``text`` is the endpoint URL (what follows ``load`` in CPL)."""
+        url = text.strip()
+        if url not in _ENDPOINTS:
+            raise DriverError(
+                f"endpoint {url!r} is not registered; "
+                "use repro.drivers.register_endpoint() first"
+            )
+        payload = _ENDPOINTS[url]
+        if not isinstance(payload, (Mapping, list)):
+            raise DriverError(f"endpoint {url!r} payload must be an object or array")
+        data = payload if isinstance(payload, Mapping) else {"Item": payload}
+        return walk_mapping(data, scope_segments(scope), source or url)
+
+    def parse_file(self, path: str, scope: str = "") -> list[ConfigInstance]:
+        # For the REST driver the "path" is the endpoint URL itself.
+        return self.parse(path, source=path, scope=scope)
+
+
+register_driver(RESTDriver())

@@ -1,0 +1,91 @@
+"""Writers: serialize the unified representation back to source formats.
+
+Drivers read diverse formats *into* the unified representation; writers go
+the other way, which the branch tooling needs (persisting a repaired
+snapshot, exporting a branch for review) and which gives tests a strong
+round-trip property: ``parse(write(store)) == store``.
+
+The key-value format is the only one that can represent every unified key
+losslessly (named qualifiers, ordinals, arbitrary depth), so it is the
+canonical writer.  The INI writer handles the two-level subset and refuses
+anything deeper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from ..errors import DriverError
+from ..repository.model import ConfigInstance
+from ..repository.store import ConfigStore
+
+__all__ = ["to_keyvalue", "to_ini"]
+
+
+def _instances(source) -> list[ConfigInstance]:
+    if isinstance(source, ConfigStore):
+        return list(source.instances())
+    return list(source)
+
+
+def to_keyvalue(source) -> str:
+    """Render a store (or instance iterable) as canonical key-value lines.
+
+    Lossless: ``get_driver('keyvalue').parse(to_keyvalue(store))`` rebuilds
+    the same keys and values (ordinal-only segments round-trip through the
+    store's duplicate-key handling).
+    """
+    lines = []
+    for instance in _instances(source):
+        value = instance.value
+        if "\n" in value:
+            raise DriverError(
+                f"key-value format cannot hold multi-line value at {instance.key}"
+            )
+        rendered = instance.key.render()
+        # the key-value reader splits at the first '=', so the key side
+        # (including quoted qualifiers) must not contain one
+        if "=" in rendered or "\n" in rendered:
+            raise DriverError(
+                f"key-value format cannot represent key {rendered!r}"
+            )
+        lines.append(f"{rendered} = {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_ini(source) -> str:
+    """Render a store as INI, grouping by the scope path.
+
+    Only representable stores are accepted: every key must have at least a
+    leaf name, scope qualifiers join into the section header using CPL
+    notation (the INI driver parses it back), and leaf names must be unique
+    within a section.
+    """
+    sections: dict[str, list[tuple[str, str]]] = defaultdict(list)
+    for instance in _instances(source):
+        scope_segments = instance.key.segments[:-1]
+        section = ".".join(segment.render() for segment in scope_segments)
+        leaf = instance.key.segments[-1]
+        if leaf.qualifier is not None or leaf.ordinal != 1:
+            raise DriverError(
+                f"INI cannot represent qualified leaf {instance.key.render()!r}"
+            )
+        if "\n" in instance.value:
+            raise DriverError(
+                f"INI cannot hold multi-line value at {instance.key}"
+            )
+        sections[section].append((leaf.name, instance.value))
+    lines = []
+    for section in sorted(sections):
+        pairs = sections[section]
+        names = [name for name, __ in pairs]
+        if len(set(names)) != len(names):
+            raise DriverError(
+                f"INI section {section!r} would hold duplicate keys"
+            )
+        if section:
+            lines.append(f"[{section}]")
+        for name, value in pairs:
+            lines.append(f"{name} = {value}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,35 @@
+"""YAML driver (paper §4.2.2: "some use standard INI or YAML format").
+
+Uses :mod:`yaml` (safe loader) for parsing and the shared mapping walker for
+scope extraction, so YAML and JSON sources produce identical unified keys
+for structurally identical data.
+"""
+
+from __future__ import annotations
+
+import yaml
+
+from ..errors import DriverError
+from .base import Driver, register_driver, scope_segments, walk_mapping
+from ..repository.model import ConfigInstance
+
+__all__ = ["YAMLDriver"]
+
+
+class YAMLDriver(Driver):
+    format_name = "yaml"
+
+    def parse(self, text: str, source: str = "", scope: str = "") -> list[ConfigInstance]:
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise DriverError(f"malformed YAML in {source or '<string>'}: {exc}") from exc
+        if data is None:
+            return []
+        if not isinstance(data, (dict, list)):
+            raise DriverError("top-level YAML must be a mapping or sequence")
+        return walk_mapping(data if isinstance(data, dict) else {"Item": data},
+                            scope_segments(scope), source)
+
+
+register_driver(YAMLDriver())

@@ -1,0 +1,66 @@
+"""Exception hierarchy shared across the ConfValley reproduction.
+
+Every error raised by the framework derives from :class:`ConfValleyError` so
+callers can catch framework failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ConfValleyError(Exception):
+    """Base class for all framework errors."""
+
+
+class KeyNotationError(ConfValleyError):
+    """A qualified configuration notation could not be parsed."""
+
+
+class DriverError(ConfValleyError):
+    """A configuration source could not be converted to the unified form."""
+
+
+class UnknownDriverError(DriverError):
+    """No driver is registered for the requested format."""
+
+
+class CPLSyntaxError(ConfValleyError):
+    """The CPL source text failed to lex or parse.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token so
+    tooling (console, editors) can point at the error.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class CPLSemanticError(ConfValleyError):
+    """The CPL program parsed but is not evaluable (e.g. unknown macro)."""
+
+
+class UnknownPredicateError(CPLSemanticError):
+    """A predicate primitive name is not registered."""
+
+
+class UnknownTransformError(CPLSemanticError):
+    """A transformation function name is not registered."""
+
+
+class UnknownMacroError(CPLSemanticError):
+    """An ``@Name`` reference has no matching ``let`` definition."""
+
+
+class EvaluationError(ConfValleyError):
+    """A specification could not be evaluated against the configuration."""
+
+
+class InferenceError(ConfValleyError):
+    """The inference engine could not mine constraints from the input."""
+
+
+class PolicyError(ConfValleyError):
+    """A validation policy is malformed."""

@@ -1,0 +1,156 @@
+"""Inferred constraint objects and their CPL rendering (paper §4.5).
+
+"The constraints we can currently infer include data types, non-emptiness,
+value range, enumeration elements, equality among multiple parameters,
+uniqueness, and consistency."
+
+Each constraint knows the configuration class it applies to and renders
+itself as one CPL specification line, so the inference engine's output is a
+plain ``.cpl`` file that feeds straight into a validation session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+__all__ = [
+    "Constraint",
+    "TypeConstraint",
+    "NonEmptyConstraint",
+    "RangeConstraint",
+    "EnumConstraint",
+    "UniquenessConstraint",
+    "ConsistencyConstraint",
+    "EqualityConstraint",
+    "KIND_NAMES",
+]
+
+#: Table 5 column labels, in paper order.
+KIND_NAMES = ("type", "nonempty", "range", "equality", "consistency", "uniqueness", "enum")
+
+
+def _notation(class_key: tuple[str, ...]) -> str:
+    return "$" + ".".join(class_key)
+
+
+def _quote(value: str) -> str:
+    return "'" + str(value).replace("\\", "\\\\").replace("'", "\\'") + "'"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Base class: a mined property of one configuration class."""
+
+    class_key: tuple[str, ...]
+
+    kind = "constraint"
+
+    def to_cpl(self) -> str:
+        raise NotImplementedError
+
+
+#: CPL predicate names for detected types (scalar and list forms).
+_TYPE_TO_PREDICATE = {
+    "bool": "bool",
+    "int": "int",
+    "float": "float",
+    "duration": "duration",
+    "guid": "guid",
+    "ipv4": "ip",
+    "ipv6": "ipv6",
+    "cidr": "cidr",
+    "mac": "mac",
+    "ip_range": "iprange",
+    "url": "url",
+    "email": "email",
+    "path": "path",
+}
+
+
+@dataclass(frozen=True)
+class TypeConstraint(Constraint):
+    type_name: str = "string"
+    #: the training sample contained empty values: typing only applies to
+    #: nonempty instances (emptiness is a separate constraint, Figure 2)
+    allow_empty: bool = False
+
+    kind = "type"
+
+    def predicate_name(self) -> str:
+        name = self.type_name
+        if name.startswith("list<") and name.endswith(">"):
+            element = name[5:-1]
+            mapped = _TYPE_TO_PREDICATE.get(element)
+            return f"list_{mapped}" if mapped else "string"
+        return _TYPE_TO_PREDICATE.get(name, "string")
+
+    def to_cpl(self) -> str:
+        predicate = self.predicate_name()
+        if self.allow_empty:
+            predicate = f"~nonempty | {predicate}"
+        return f"{_notation(self.class_key)} -> {predicate}"
+
+
+@dataclass(frozen=True)
+class NonEmptyConstraint(Constraint):
+    kind = "nonempty"
+
+    def to_cpl(self) -> str:
+        return f"{_notation(self.class_key)} -> nonempty"
+
+
+@dataclass(frozen=True)
+class RangeConstraint(Constraint):
+    low: Union[int, float] = 0
+    high: Union[int, float] = 0
+
+    kind = "range"
+
+    def to_cpl(self) -> str:
+        return f"{_notation(self.class_key)} -> [{self.low}, {self.high}]"
+
+
+@dataclass(frozen=True)
+class EnumConstraint(Constraint):
+    values: tuple[str, ...] = ()
+
+    kind = "enum"
+
+    def to_cpl(self) -> str:
+        members = ", ".join(_quote(v) for v in sorted(self.values))
+        return f"{_notation(self.class_key)} -> {{{members}}}"
+
+
+@dataclass(frozen=True)
+class UniquenessConstraint(Constraint):
+    kind = "uniqueness"
+
+    def to_cpl(self) -> str:
+        return f"{_notation(self.class_key)} -> unique"
+
+
+@dataclass(frozen=True)
+class ConsistencyConstraint(Constraint):
+    kind = "consistency"
+
+    def to_cpl(self) -> str:
+        return f"{_notation(self.class_key)} -> consistent"
+
+
+@dataclass(frozen=True)
+class EqualityConstraint(Constraint):
+    """``class_key``'s values must stay within ``other``'s value set.
+
+    Rendered as set membership (``$A -> {$B}``) rather than ``== $B``: the
+    two classes were clustered because their *distinct value sets* coincide,
+    and membership is the strongest constraint that the clustered training
+    data itself satisfies when those sets have more than one element.
+    """
+
+    other: tuple[str, ...] = ()
+
+    kind = "equality"
+
+    def to_cpl(self) -> str:
+        return f"{_notation(self.class_key)} -> {{{_notation(self.other)}}}"

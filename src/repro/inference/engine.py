@@ -1,0 +1,308 @@
+"""The black-box specification inference engine (paper §4.5).
+
+"The inference engine in ConfValley follows the black-box approach to
+provide scalability, and leverages the fact that a configuration parameter
+has many instances in a cloud system…  It infers a constraint when there is
+enough evidence based on the samples."
+
+Heuristics implemented verbatim from the paper:
+
+* **type** — the least upper bound of the detected types of all nonempty
+  samples (noise-tolerant via the type ordering); only non-``string`` types
+  count as inferred constraints;
+* **nonempty** — every sample is nonempty;
+* **range** — for numeric classes with enough distinct values, the observed
+  ``[min, max]`` (deliberately narrow: the paper's inferred-range false
+  positives arise exactly from incomplete observed ranges);
+* **enumeration** — ``ln(values.size) >= value_set.size ∧
+  value_set.size <= MAX_ENUM_VALS``;
+* **equality** — classes whose distinct value sets coincide, "ignoring
+  configuration values whose string-lengths are smaller than 6 and
+  configuration classes that have fewer than 20 instances to avoid
+  over-clustering";
+* **uniqueness** — all samples distinct, with a minimum instance count;
+* **consistency** — all samples equal, with a minimum instance count.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..repository.model import ConfigClass
+from ..repository.store import ConfigStore
+from .constraints import (
+    ConsistencyConstraint,
+    Constraint,
+    EnumConstraint,
+    EqualityConstraint,
+    NonEmptyConstraint,
+    RangeConstraint,
+    TypeConstraint,
+    UniquenessConstraint,
+)
+from .typelattice import infer_value_type
+
+__all__ = ["InferenceEngine", "InferenceOptions", "InferenceResult"]
+
+
+@dataclass
+class InferenceOptions:
+    """Evidence thresholds (paper §4.5 heuristics)."""
+
+    #: enumeration: value_set.size must not exceed this
+    max_enum_values: int = 10
+    #: equality: ignore values shorter than this
+    equality_min_value_length: int = 6
+    #: equality: ignore classes with fewer instances than this
+    equality_min_instances: int = 20
+    #: uniqueness needs at least this many instances as evidence
+    uniqueness_min_instances: int = 10
+    #: consistency needs at least this many instances as evidence
+    consistency_min_instances: int = 5
+    #: range needs at least this many distinct numeric values
+    range_min_distinct: int = 3
+
+
+@dataclass
+class InferenceResult:
+    """All constraints mined from one snapshot, plus timing."""
+
+    constraints: list[Constraint] = field(default_factory=list)
+    classes_analyzed: int = 0
+    instances_analyzed: int = 0
+    infer_seconds: float = 0.0
+
+    def by_class(self) -> dict[tuple[str, ...], list[Constraint]]:
+        groups: dict[tuple[str, ...], list[Constraint]] = defaultdict(list)
+        for constraint in self.constraints:
+            groups[constraint.class_key].append(constraint)
+        return dict(groups)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Table 5 row: constraints per kind."""
+        counts: dict[str, int] = defaultdict(int)
+        for constraint in self.constraints:
+            counts[constraint.kind] += 1
+        return dict(counts)
+
+    def histogram(self) -> dict[int, int]:
+        """Figure 5: number of classes having N inferred constraints."""
+        per_class = self.by_class()
+        buckets: dict[int, int] = defaultdict(int)
+        counted = set(per_class)
+        for class_key, constraints in per_class.items():
+            buckets[len(constraints)] += 1
+        buckets[0] += self.classes_analyzed - len(counted)
+        return dict(buckets)
+
+    def to_cpl(self) -> str:
+        """Render every constraint as one CPL specification file."""
+        header = (
+            "// Specifications inferred by the ConfValley inference engine\n"
+            f"// {len(self.constraints)} constraints over "
+            f"{self.classes_analyzed} configuration classes\n"
+        )
+        return header + "\n".join(c.to_cpl() for c in self.constraints) + "\n"
+
+    def covers(self, class_key: tuple[str, ...], kind: str) -> bool:
+        """True when a constraint of this kind was inferred for the class
+        (used to mark expert specifications as 'inferable', Table 3)."""
+        return any(
+            c.class_key == class_key and c.kind == kind for c in self.constraints
+        )
+
+    def drop_misfiring(self, report) -> "InferenceResult":
+        """Operator feedback loop (paper §6.3): remove constraints whose
+        violations the operator has dismissed as false positives.
+
+        ``report`` is a :class:`~repro.core.report.ValidationReport` from
+        running :meth:`to_cpl` output on data the operator considers good
+        apart from the reported items; every (class, constraint-kind) pair
+        that produced a violation is dropped, yielding a refined result
+        whose specs no longer flag that drift.
+        """
+        from ..repository.keys import parse_instance_key
+
+        misfires: set[tuple[tuple[str, ...], str]] = set()
+        for violation in report.violations:
+            try:
+                class_key = parse_instance_key(violation.key).class_key
+            except Exception:
+                continue
+            kind = _constraint_label_to_kind(violation.constraint)
+            if kind is not None:
+                misfires.add((class_key, kind))
+                if kind == "enum":
+                    misfires.add((class_key, "equality"))
+        kept = [
+            c for c in self.constraints if (c.class_key, c.kind) not in misfires
+        ]
+        refined = InferenceResult(
+            constraints=kept,
+            classes_analyzed=self.classes_analyzed,
+            instances_analyzed=self.instances_analyzed,
+            infer_seconds=self.infer_seconds,
+        )
+        return refined
+
+    def refine_against(self, store, max_rounds: int = 5):
+        """Iterate validate → :meth:`drop_misfiring` until the specs accept
+        ``store`` (or ``max_rounds`` is hit).
+
+        Conjoined constraints short-circuit, so one feedback round only
+        reveals the first-failing constraint per instance — exactly the
+        operator's experience of re-running validation after each triage
+        pass.  Returns ``(refined_result, rounds_used)``.
+        """
+        from ..core.session import ValidationSession
+
+        result = self
+        for round_number in range(1, max_rounds + 1):
+            report = ValidationSession(store=store).validate(result.to_cpl())
+            if report.passed:
+                return result, round_number - 1
+            smaller = result.drop_misfiring(report)
+            if len(smaller.constraints) == len(result.constraints):
+                return result, round_number  # nothing attributable: stop
+            result = smaller
+        return result, max_rounds
+
+
+#: violation constraint labels → inferred-constraint kinds
+_LABEL_KINDS = {
+    "nonempty": "nonempty",
+    "range": "range",
+    "consistent": "consistency",
+    "unique": "uniqueness",
+}
+
+_TYPE_LABELS = {
+    "int", "float", "bool", "duration", "ip", "ipv6", "cidr", "mac", "port",
+    "url", "email", "guid", "path", "iprange", "string",
+}
+
+
+def _constraint_label_to_kind(label: str) -> Optional[str]:
+    if label in _LABEL_KINDS:
+        return _LABEL_KINDS[label]
+    if label in _TYPE_LABELS or label.startswith("list_"):
+        return "type"
+    if label == "membership":
+        # both enum and equality constraints render as set membership; the
+        # caller drops whichever of the two the class actually carries
+        return "enum"
+    return None
+
+
+class InferenceEngine:
+    """Mines CPL constraints from a store of known-good configuration data."""
+
+    def __init__(self, options: Optional[InferenceOptions] = None):
+        self.options = options or InferenceOptions()
+
+    # ------------------------------------------------------------------
+
+    def infer(self, store: ConfigStore) -> InferenceResult:
+        started = time.perf_counter()
+        result = InferenceResult()
+        classes = list(store.classes())
+        result.classes_analyzed = len(classes)
+        equality_candidates: dict[tuple[str, ...], list[tuple[str, ...]]] = defaultdict(list)
+        for config_class in classes:
+            values = config_class.values
+            result.instances_analyzed += len(values)
+            result.constraints.extend(self._infer_class(config_class))
+            signature = self._equality_signature(values)
+            if signature is not None:
+                equality_candidates[signature].append(config_class.class_key)
+        result.constraints.extend(self._infer_equality(equality_candidates))
+        result.infer_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Per-class heuristics
+    # ------------------------------------------------------------------
+
+    def _infer_class(self, config_class: ConfigClass) -> list[Constraint]:
+        values = config_class.values
+        key = config_class.class_key
+        if not values:
+            return []
+        out: list[Constraint] = []
+        opts = self.options
+
+        nonempty_values = [v for v in values if v.strip()]
+        all_nonempty = len(nonempty_values) == len(values)
+        if all_nonempty:
+            out.append(NonEmptyConstraint(key))
+
+        type_name = infer_value_type(values)
+        if type_name != "string" and nonempty_values:
+            out.append(TypeConstraint(key, type_name, allow_empty=not all_nonempty))
+
+        if type_name in ("int", "float") and all_nonempty:
+            numbers = [float(v) for v in nonempty_values]
+            if len(set(numbers)) >= opts.range_min_distinct:
+                low, high = min(numbers), max(numbers)
+                if type_name == "int":
+                    low, high = int(low), int(high)
+                out.append(RangeConstraint(key, low, high))
+
+        distinct = set(values)
+        consistent = (
+            len(distinct) == 1 and len(values) >= opts.consistency_min_instances
+        )
+        if consistent:
+            out.append(ConsistencyConstraint(key))
+
+        unique = (
+            len(distinct) == len(values)
+            and len(values) >= opts.uniqueness_min_instances
+        )
+        if unique:
+            out.append(UniquenessConstraint(key))
+
+        # enumeration: ln(values.size) >= value_set.size  ∧  set small enough;
+        # skipped when consistency already pins a single value, and for
+        # booleans whose type constraint subsumes the two-value enum.
+        if (
+            not consistent
+            and type_name not in ("bool",)
+            and all_nonempty
+            and len(distinct) <= opts.max_enum_values
+            and math.log(len(values)) >= len(distinct)
+        ):
+            out.append(EnumConstraint(key, tuple(sorted(distinct))))
+
+        return out
+
+    # ------------------------------------------------------------------
+    # Cross-class equality
+    # ------------------------------------------------------------------
+
+    def _equality_signature(self, values: list[str]) -> Optional[tuple[str, ...]]:
+        opts = self.options
+        if len(values) < opts.equality_min_instances:
+            return None
+        distinct = sorted(set(values))
+        if not distinct:
+            return None
+        if any(len(v) < opts.equality_min_value_length for v in distinct):
+            return None
+        return tuple(distinct)
+
+    def _infer_equality(
+        self, candidates: dict[tuple[str, ...], list[tuple[str, ...]]]
+    ) -> list[Constraint]:
+        out: list[Constraint] = []
+        for __, class_keys in sorted(candidates.items()):
+            if len(class_keys) < 2:
+                continue
+            anchor = class_keys[0]
+            for other in class_keys[1:]:
+                out.append(EqualityConstraint(other, anchor))
+        return out

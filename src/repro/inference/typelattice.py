@@ -1,0 +1,95 @@
+"""Type ordering for inference (paper §4.5).
+
+"Some instances of parameter A may be integer values while other instances
+are comma-separated list of integers.  In this case, we define an ordering
+on types and infer the type constraint of parameter A to be the
+highest-order type (list of integer)."
+
+The lattice is the least-upper-bound closure of:
+
+* ``int ⊑ float`` (every int parses as a float),
+* ``T ⊑ list<T>`` (a scalar is a one-element list),
+* everything ⊑ ``string`` (the top / default type),
+
+with ``lub`` joining along those edges.  ``lub`` is idempotent, commutative
+and associative (property-tested), so folding it over a noisy instance
+sample is order-independent.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable
+
+from ..typesys import detect_type
+
+__all__ = ["lub", "join_all", "infer_value_type", "is_list_type", "element_type"]
+
+#: scalar widenings: child -> parent (single step)
+_WIDENS_TO = {
+    "int": "float",
+    "bool": "string",
+    "float": "string",
+    "duration": "string",
+    "guid": "string",
+    "ipv4": "string",
+    "ipv6": "string",
+    "cidr": "string",
+    "mac": "string",
+    "ip_range": "string",
+    "url": "string",
+    "email": "string",
+    "path": "string",
+}
+
+
+def is_list_type(name: str) -> bool:
+    return name.startswith("list<") and name.endswith(">")
+
+
+def element_type(name: str) -> str:
+    return name[5:-1] if is_list_type(name) else name
+
+
+def _scalar_lub(a: str, b: str) -> str:
+    if a == b:
+        return a
+    # walk each up the widening chain; meet at the first common ancestor
+    ancestors_of_a = {a}
+    cursor = a
+    while cursor in _WIDENS_TO:
+        cursor = _WIDENS_TO[cursor]
+        ancestors_of_a.add(cursor)
+    cursor = b
+    while True:
+        if cursor in ancestors_of_a:
+            return cursor
+        if cursor not in _WIDENS_TO:
+            return "string"
+        cursor = _WIDENS_TO[cursor]
+
+
+def lub(a: str, b: str) -> str:
+    """Least upper bound of two detected type names."""
+    if a == b:
+        return a
+    if is_list_type(a) or is_list_type(b):
+        return f"list<{_scalar_lub(element_type(a), element_type(b))}>"
+    return _scalar_lub(a, b)
+
+
+def join_all(types: Iterable[str]) -> str:
+    """Fold :func:`lub` over a collection (``string`` for an empty one)."""
+    items = list(types)
+    if not items:
+        return "string"
+    return reduce(lub, items)
+
+
+def infer_value_type(values: Iterable[str]) -> str:
+    """The highest-order type covering every sampled value.
+
+    Empty values are excluded from typing — emptiness is a separate
+    constraint (nonempty) in the paper's taxonomy.
+    """
+    return join_all(detect_type(v) for v in values if v.strip())

@@ -1,0 +1,425 @@
+"""White-box constraint extraction from application source code.
+
+Paper §4.5 contrasts black-box mining with white-box approaches that "use
+static analysis to infer configuration constraints from source code
+[SPEX, Rabkin & Katz]" — more accurate, but hard to scale — and §6.3 plans
+"to explore whether the heavy-weight white-box solutions can be efficiently
+combined in our inference component to improve accuracy."
+
+This module implements that combination for Python application code.  The
+extractor walks a module's AST looking for configuration reads and the
+guards the application itself enforces:
+
+* **reads** — ``config["Key"]``, ``config.get("Key")``,
+  ``config.get("Key", default)`` (any receiver name containing ``conf`` or
+  ``cfg`` or ``settings``); a cast wrapping the read (``int(…)``,
+  ``float(…)``) contributes a type constraint, as does a typed default;
+* **guards** — within the same function, comparisons between a variable
+  bound to a config read and literals:
+
+  - ``assert expr`` → ``expr`` must hold (the constraint itself),
+  - ``if expr: raise …`` → ``expr`` is the *failure* condition, so the
+    constraint is its negation,
+
+  yielding range bounds (``<``, ``<=``, ``>``, ``>=``), enumerations
+  (``in ("a", "b")``, ``== "x"``) and non-emptiness (``not v`` failing).
+
+The result is a set of :class:`~repro.inference.constraints.Constraint`
+objects keyed by parameter name; :func:`combine` merges them into a
+black-box :class:`~repro.inference.engine.InferenceResult`, with the
+code-derived constraint *winning* on conflicts — code bounds are
+authoritative where observed data merely samples (the paper's inferred-
+range false positives come exactly from under-sampled observations).
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from .constraints import (
+    Constraint,
+    EnumConstraint,
+    NonEmptyConstraint,
+    RangeConstraint,
+    TypeConstraint,
+)
+from .engine import InferenceResult
+
+__all__ = ["WhiteBoxExtractor", "extract_constraints", "combine"]
+
+_CONFIG_RECEIVERS = ("conf", "cfg", "settings", "options", "params")
+_CASTS = {"int": "int", "float": "float", "str": "string", "bool": "bool"}
+
+
+def _is_config_receiver(node: pyast.expr) -> bool:
+    name = ""
+    if isinstance(node, pyast.Name):
+        name = node.id
+    elif isinstance(node, pyast.Attribute):
+        name = node.attr
+    return any(marker in name.lower() for marker in _CONFIG_RECEIVERS)
+
+
+def _config_key_of(node: pyast.expr) -> Optional[tuple[str, Optional[str]]]:
+    """If ``node`` reads a config key, return (key, default-type)."""
+    # config["Key"]
+    if isinstance(node, pyast.Subscript) and _is_config_receiver(node.value):
+        index = node.slice
+        if isinstance(index, pyast.Constant) and isinstance(index.value, str):
+            return index.value, None
+    # config.get("Key"[, default])
+    if (
+        isinstance(node, pyast.Call)
+        and isinstance(node.func, pyast.Attribute)
+        and node.func.attr == "get"
+        and _is_config_receiver(node.func.value)
+        and node.args
+        and isinstance(node.args[0], pyast.Constant)
+        and isinstance(node.args[0].value, str)
+    ):
+        default_type = None
+        if len(node.args) > 1 and isinstance(node.args[1], pyast.Constant):
+            default = node.args[1].value
+            if isinstance(default, bool):
+                default_type = "bool"
+            elif isinstance(default, int):
+                default_type = "int"
+            elif isinstance(default, float):
+                default_type = "float"
+        return node.args[0].value, default_type
+    return None
+
+
+@dataclass
+class _KeyFacts:
+    """Constraints accumulated for one configuration key."""
+
+    type_name: Optional[str] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+    enum: Optional[tuple] = None
+    nonempty: bool = False
+    is_list: bool = False  # code splits the value: its true type is a list
+
+    def to_constraints(self, class_key: tuple[str, ...]) -> list[Constraint]:
+        out: list[Constraint] = []
+        if self.is_list:
+            # element type unknown statically; `combine` refines it using
+            # the black-box element observation (the paper's scalar-vs-list
+            # false-positive mechanism, resolved by code evidence)
+            out.append(TypeConstraint(class_key, "list<unknown>"))
+        elif self.type_name and self.type_name != "string":
+            out.append(TypeConstraint(class_key, self.type_name))
+        if self.nonempty:
+            out.append(NonEmptyConstraint(class_key))
+        if self.low is not None and self.high is not None:
+            low, high = self.low, self.high
+            if self.type_name == "int":
+                low, high = int(low), int(high)
+            out.append(RangeConstraint(class_key, low, high))
+        if self.enum is not None:
+            out.append(EnumConstraint(class_key, tuple(sorted(map(str, self.enum)))))
+        return out
+
+
+class WhiteBoxExtractor:
+    """Extracts configuration constraints from Python application source."""
+
+    def __init__(self) -> None:
+        self.facts: dict[str, _KeyFacts] = {}
+
+    # ------------------------------------------------------------------
+
+    def extract(self, source: str, filename: str = "<source>") -> None:
+        tree = pyast.parse(source, filename=filename)
+        for function in [
+            node
+            for node in pyast.walk(tree)
+            if isinstance(node, (pyast.FunctionDef, pyast.AsyncFunctionDef, pyast.Module))
+        ]:
+            self._extract_scope(function)
+
+    def constraints(self) -> list[Constraint]:
+        out: list[Constraint] = []
+        for key, facts in sorted(self.facts.items()):
+            out.extend(facts.to_constraints((key,)))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _facts(self, key: str) -> _KeyFacts:
+        return self.facts.setdefault(key, _KeyFacts())
+
+    def _extract_scope(self, scope) -> None:
+        bindings: dict[str, str] = {}  # local var -> config key
+        body = getattr(scope, "body", [])
+        for statement in body:
+            self._scan_statement(statement, bindings)
+
+    def _scan_statement(self, statement, bindings: dict[str, str]) -> None:
+        if isinstance(statement, pyast.Assign) and len(statement.targets) == 1:
+            target = statement.targets[0]
+            if isinstance(target, pyast.Name):
+                self._record_read(statement.value, target.id, bindings)
+        elif isinstance(statement, pyast.For):
+            # `for x in cfg["K"].split(",")`: the value's true type is a list
+            self._record_split(statement.iter)
+        elif isinstance(statement, pyast.Assert):
+            self._record_guard(statement.test, bindings, holds=True)
+        elif isinstance(statement, pyast.If) and _raises(statement.body):
+            self._record_guard(statement.test, bindings, holds=False)
+        # recurse through simple control flow so guards in branches count
+        for child_list in ("body", "orelse", "finalbody"):
+            for child in getattr(statement, child_list, []) or []:
+                if isinstance(child, pyast.stmt):
+                    self._scan_statement(child, bindings)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def _record_split(self, node) -> None:
+        if (
+            isinstance(node, pyast.Call)
+            and isinstance(node.func, pyast.Attribute)
+            and node.func.attr == "split"
+        ):
+            read = _config_key_of(node.func.value)
+            if read is not None:
+                self._facts(read[0]).is_list = True
+
+    def _record_read(self, value, var_name: str, bindings: dict[str, str]) -> None:
+        self._record_split(value)
+        cast = None
+        node = value
+        if (
+            isinstance(node, pyast.Call)
+            and isinstance(node.func, pyast.Name)
+            and node.func.id in _CASTS
+            and node.args
+        ):
+            cast = _CASTS[node.func.id]
+            node = node.args[0]
+        read = _config_key_of(node)
+        if read is None:
+            return
+        key, default_type = read
+        bindings[var_name] = key
+        facts = self._facts(key)
+        type_name = cast or default_type
+        if type_name:
+            facts.type_name = type_name
+
+    # ------------------------------------------------------------------
+    # guards
+    # ------------------------------------------------------------------
+
+    def _record_guard(self, test, bindings: dict[str, str], holds: bool) -> None:
+        """Record ``test`` (or its negation when ``holds`` is False)."""
+        if isinstance(test, pyast.UnaryOp) and isinstance(test.op, pyast.Not):
+            self._record_guard(test.operand, bindings, holds=not holds)
+            return
+        if isinstance(test, pyast.BoolOp) and isinstance(test.op, pyast.And) and holds:
+            for value in test.values:
+                self._record_guard(value, bindings, holds=True)
+            return
+        if isinstance(test, pyast.BoolOp) and isinstance(test.op, pyast.Or) and not holds:
+            # `if a or b: raise` → neither may hold → record ¬a and ¬b
+            for value in test.values:
+                self._record_guard(value, bindings, holds=False)
+            return
+        if isinstance(test, pyast.Name):
+            # `assert v` / `if not v: raise` (holds=True after Not-flip):
+            # the config value must be truthy → nonempty
+            if holds and test.id in bindings:
+                self._facts(bindings[test.id]).nonempty = True
+            return
+        if isinstance(test, pyast.Compare) and len(test.ops) == 1:
+            self._record_comparison(
+                test.left, test.ops[0], test.comparators[0], bindings, holds
+            )
+            return
+        if isinstance(test, pyast.Compare) and len(test.ops) == 2 and holds:
+            # lo <= v <= hi
+            left, middle, right = test.left, test.comparators[0], test.comparators[1]
+            self._record_comparison(left, test.ops[0], middle, bindings, True)
+            self._record_comparison(middle, test.ops[1], right, bindings, True)
+
+    def _record_comparison(self, left, op, right, bindings, holds: bool) -> None:
+        key, literal, flipped = self._key_and_literal(left, right, bindings)
+        if key is None:
+            return
+        facts = self._facts(key)
+        # normalize to: <var> OP <literal>
+        if not holds:
+            negated = _NEGATED.get(type(op))
+            if negated is None:
+                return
+            op = negated()
+        if flipped:
+            flipped_op = _FLIPPED.get(type(op))
+            if flipped_op is None:
+                return
+            op = flipped_op()
+        if isinstance(op, (pyast.In,)) and isinstance(literal, (tuple, list, set, frozenset)):
+            facts.enum = tuple(literal)
+            return
+        if isinstance(op, pyast.Eq) and isinstance(literal, str):
+            existing = set(facts.enum or ())
+            existing.add(literal)
+            facts.enum = tuple(existing)
+            return
+        if not isinstance(literal, (int, float)) or isinstance(literal, bool):
+            return
+        if isinstance(op, pyast.LtE):
+            facts.high = literal if facts.high is None else min(facts.high, literal)
+        elif isinstance(op, pyast.Lt):
+            facts.high = literal - 1 if facts.high is None else min(facts.high, literal - 1)
+        elif isinstance(op, pyast.GtE):
+            facts.low = literal if facts.low is None else max(facts.low, literal)
+        elif isinstance(op, pyast.Gt):
+            facts.low = literal + 1 if facts.low is None else max(facts.low, literal + 1)
+
+    def _key_and_literal(self, left, right, bindings):
+        """Resolve (config key, literal value, flipped?) from a comparison."""
+        key = self._resolve_key(left, bindings)
+        if key is not None and isinstance(right, (pyast.Constant, pyast.Tuple,
+                                                  pyast.List, pyast.Set)):
+            return key, _literal_value(right), False
+        key = self._resolve_key(right, bindings)
+        if key is not None and isinstance(left, pyast.Constant):
+            return key, _literal_value(left), True
+        return None, None, False
+
+    def _resolve_key(self, node, bindings) -> Optional[str]:
+        if isinstance(node, pyast.Name):
+            return bindings.get(node.id)
+        if (
+            isinstance(node, pyast.Call)
+            and isinstance(node.func, pyast.Name)
+            and node.func.id in _CASTS
+            and node.args
+        ):
+            return self._resolve_key(node.args[0], bindings)
+        read = _config_key_of(node)
+        return read[0] if read else None
+
+
+_NEGATED = {
+    pyast.Lt: pyast.GtE,
+    pyast.LtE: pyast.Gt,
+    pyast.Gt: pyast.LtE,
+    pyast.GtE: pyast.Lt,
+    pyast.NotIn: pyast.In,
+    pyast.NotEq: pyast.Eq,
+}
+
+_FLIPPED = {
+    pyast.Lt: pyast.Gt,
+    pyast.LtE: pyast.GtE,
+    pyast.Gt: pyast.Lt,
+    pyast.GtE: pyast.LtE,
+    pyast.Eq: pyast.Eq,
+    pyast.In: pyast.In,
+}
+
+
+def _literal_value(node):
+    if isinstance(node, pyast.Constant):
+        return node.value
+    if isinstance(node, (pyast.Tuple, pyast.List, pyast.Set)):
+        values = []
+        for element in node.elts:
+            if not isinstance(element, pyast.Constant):
+                return None
+            values.append(element.value)
+        return tuple(values)
+    return None
+
+
+def _raises(body) -> bool:
+    return any(isinstance(statement, (pyast.Raise, pyast.Return)) for statement in body)
+
+
+# ---------------------------------------------------------------------------
+# Public helpers
+# ---------------------------------------------------------------------------
+
+
+def extract_constraints(sources: Union[str, Iterable[str]]) -> list[Constraint]:
+    """Extract constraints from one or many Python source texts."""
+    extractor = WhiteBoxExtractor()
+    if isinstance(sources, str):
+        sources = [sources]
+    for index, source in enumerate(sources):
+        extractor.extract(source, filename=f"<source {index}>")
+    return extractor.constraints()
+
+
+def combine(
+    blackbox: InferenceResult, whitebox: Iterable[Constraint]
+) -> InferenceResult:
+    """Merge white-box constraints into a black-box inference result.
+
+    White-box constraints are keyed by bare parameter name; they attach to
+    every black-box class whose leaf matches.  On a conflict for the same
+    (class, kind), the code-derived constraint replaces the observed one —
+    code bounds are authoritative, observation merely samples.
+    """
+    by_leaf: dict[str, list[Constraint]] = {}
+    for constraint in whitebox:
+        by_leaf.setdefault(constraint.class_key[-1], []).append(constraint)
+
+    kept: list[Constraint] = []
+    replaced: set[tuple[tuple[str, ...], str]] = set()
+    additions: list[Constraint] = []
+    leaf_classes: dict[str, set[tuple[str, ...]]] = {}
+    for constraint in blackbox.constraints:
+        leaf_classes.setdefault(constraint.class_key[-1], set()).add(
+            constraint.class_key
+        )
+
+    blackbox_types = {
+        c.class_key: c.type_name
+        for c in blackbox.constraints
+        if isinstance(c, TypeConstraint)
+    }
+
+    for leaf, code_constraints in by_leaf.items():
+        for class_key in sorted(leaf_classes.get(leaf, {(leaf,)})):
+            for code_constraint in code_constraints:
+                rekeyed = _rekey(code_constraint, class_key)
+                if (
+                    isinstance(rekeyed, TypeConstraint)
+                    and rekeyed.type_name == "list<unknown>"
+                ):
+                    # refine the element type from the black-box observation
+                    observed = blackbox_types.get(class_key, "string")
+                    element = (
+                        observed[5:-1] if observed.startswith("list<") else observed
+                    )
+                    rekeyed = _rekey(
+                        TypeConstraint(class_key, f"list<{element}>"), class_key
+                    )
+                additions.append(rekeyed)
+                replaced.add((class_key, rekeyed.kind))
+
+    for constraint in blackbox.constraints:
+        if (constraint.class_key, constraint.kind) in replaced:
+            continue
+        kept.append(constraint)
+
+    return InferenceResult(
+        constraints=kept + additions,
+        classes_analyzed=blackbox.classes_analyzed,
+        instances_analyzed=blackbox.instances_analyzed,
+        infer_seconds=blackbox.infer_seconds,
+    )
+
+
+def _rekey(constraint: Constraint, class_key: tuple[str, ...]) -> Constraint:
+    from dataclasses import replace
+
+    return replace(constraint, class_key=class_key)

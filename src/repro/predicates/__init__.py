@@ -1,0 +1,39 @@
+"""CPL predicate primitives and the plug-in registry (paper §4.2.1, §4.2.6).
+
+Importing this package registers the built-in primitives.  User code extends
+the language by calling :func:`register_predicate` /
+:func:`register_aggregate` — no compiler changes needed, matching the
+paper's plug-in extension path.
+"""
+
+from .base import (
+    PredicateSpec,
+    get_predicate,
+    is_registered,
+    predicate_names,
+    register_aggregate,
+    register_predicate,
+)
+from .aggregate import register_aggregate_predicates
+from .relational import RELATION_OPS, compare, in_range, values_equal
+from .runtime import register_runtime_predicates
+from .types import register_type_predicates
+from .value import register_value_predicates
+
+register_type_predicates()
+register_value_predicates()
+register_aggregate_predicates()
+register_runtime_predicates()
+
+__all__ = [
+    "PredicateSpec",
+    "get_predicate",
+    "is_registered",
+    "predicate_names",
+    "register_aggregate",
+    "register_predicate",
+    "RELATION_OPS",
+    "compare",
+    "in_range",
+    "values_equal",
+]

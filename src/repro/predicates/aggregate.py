@@ -1,0 +1,82 @@
+"""Whole-domain predicate primitives: consistency, uniqueness, ordering.
+
+These realize the "Consistency, uniqueness" tier of paper Figure 2.  Each
+primitive inspects the full instance list of a domain at once and returns
+``(offending_indices, detail)`` — an empty offender list means the domain
+passes.  Reporting offenders by index lets the report name the exact
+configuration instances that broke the constraint (§4.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from .base import register_aggregate
+from .relational import compare
+
+__all__ = ["register_aggregate_predicates"]
+
+
+def _consistent(values: list[str]) -> tuple[list[int], str]:
+    """All instances must share one value; minority instances are offenders.
+
+    The majority value is treated as intended (the paper's report grouping
+    relies on errors being rare), so offenders are everything that differs
+    from the most common value.
+    """
+    if len(values) <= 1:
+        return [], ""
+    counts = Counter(values)
+    majority, __ = counts.most_common(1)[0]
+    offenders = [i for i, value in enumerate(values) if value != majority]
+    if not offenders:
+        return [], ""
+    return offenders, f"expected consistent value {majority!r}"
+
+
+def _unique(values: list[str]) -> tuple[list[int], str]:
+    """No two instances may share a value; later duplicates are offenders."""
+    seen: dict[str, int] = {}
+    offenders = []
+    duplicated = set()
+    for index, value in enumerate(values):
+        if value in seen:
+            offenders.append(index)
+            duplicated.add(value)
+        else:
+            seen[value] = index
+    if not offenders:
+        return [], ""
+    listed = ", ".join(repr(value) for value in sorted(duplicated))
+    return offenders, f"duplicate value(s): {listed}"
+
+
+def _order(values: list[str], direction: str = "asc") -> tuple[list[int], str]:
+    """Instances must be sorted (``asc`` or ``desc``); misordered ones offend."""
+    op = "<=" if str(direction) == "asc" else ">="
+    offenders = [
+        index
+        for index in range(1, len(values))
+        if not compare(values[index - 1], op, values[index])
+    ]
+    if not offenders:
+        return [], ""
+    return offenders, f"values are not in {direction} order"
+
+
+def register_aggregate_predicates() -> None:
+    register_aggregate(
+        "consistent",
+        _consistent,
+        message="value {value!r} of {key} is inconsistent: {detail}",
+    )
+    register_aggregate(
+        "unique",
+        _unique,
+        message="value {value!r} of {key} is not unique: {detail}",
+    )
+    register_aggregate(
+        "order",
+        _order,
+        message="value {value!r} of {key} breaks ordering: {detail}",
+    )

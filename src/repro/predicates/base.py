@@ -1,0 +1,99 @@
+"""Predicate primitive registry (paper §4.2.1, §4.2.6).
+
+CPL ships a common set of predicate primitives ("the current implementation
+provides 19 predicate primitives") and allows extensions: new primitives can
+be registered as plug-ins without touching the compiler, exactly the
+extension path §4.2.6 describes.
+
+Two evaluation shapes exist:
+
+* **value predicates** — checked against each instance's value in turn
+  (the default ∀ iteration); signature ``fn(value: str, *args) -> bool``.
+  Predicates flagged ``needs_runtime`` additionally receive the session's
+  :class:`~repro.runtime.RuntimeProvider` as keyword ``runtime``.
+* **aggregate predicates** — checked once over the whole domain
+  (``consistent``, ``unique``, ``order``); signature
+  ``fn(values: list[str], *args) -> tuple[list[int], str]`` returning the
+  offending indices and a human-readable detail for the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import UnknownPredicateError
+
+__all__ = [
+    "PredicateSpec",
+    "register_predicate",
+    "register_aggregate",
+    "get_predicate",
+    "predicate_names",
+    "is_registered",
+]
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """One registered primitive."""
+
+    name: str
+    fn: Callable
+    aggregate: bool = False
+    needs_runtime: bool = False
+    #: Template for auto-generated error messages (§4.4); ``{value}``,
+    #: ``{key}`` and ``{args}`` are substituted by the report builder.
+    message: str = "value {value!r} of {key} violates '{name}'"
+
+
+_REGISTRY: dict[str, PredicateSpec] = {}
+
+
+def register_predicate(
+    name: str,
+    fn: Callable,
+    message: Optional[str] = None,
+    needs_runtime: bool = False,
+) -> PredicateSpec:
+    """Register (or override) a per-value predicate primitive."""
+    spec = PredicateSpec(
+        name=name,
+        fn=fn,
+        aggregate=False,
+        needs_runtime=needs_runtime,
+        message=message or PredicateSpec.message,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def register_aggregate(
+    name: str, fn: Callable, message: Optional[str] = None
+) -> PredicateSpec:
+    """Register (or override) a whole-domain predicate primitive."""
+    spec = PredicateSpec(
+        name=name,
+        fn=fn,
+        aggregate=True,
+        message=message or PredicateSpec.message,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def get_predicate(name: str) -> PredicateSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownPredicateError(
+            f"unknown predicate {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def predicate_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY

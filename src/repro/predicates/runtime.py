@@ -1,0 +1,41 @@
+"""Runtime-dependent predicate primitives (paper §4.3, §4.2.6).
+
+``exists`` checks a configured path against the session's filesystem
+abstraction; ``reachable`` is the paper's example of a primitive added by
+extending the compiler ("e.g., keyword reachable") — here it asks the
+runtime provider whether an endpoint answers.
+"""
+
+from __future__ import annotations
+
+from ..runtime import RuntimeProvider
+from .base import register_predicate
+
+__all__ = ["register_runtime_predicates"]
+
+
+def _exists(value: str, runtime: RuntimeProvider = None) -> bool:
+    if runtime is None:
+        return False
+    return runtime.filesystem.exists(value)
+
+
+def _reachable(value: str, runtime: RuntimeProvider = None) -> bool:
+    if runtime is None:
+        return False
+    return runtime.is_reachable(value)
+
+
+def register_runtime_predicates() -> None:
+    register_predicate(
+        "exists",
+        _exists,
+        message="path {value!r} of {key} does not exist",
+        needs_runtime=True,
+    )
+    register_predicate(
+        "reachable",
+        _reachable,
+        message="endpoint {value!r} of {key} is not reachable",
+        needs_runtime=True,
+    )

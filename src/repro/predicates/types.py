@@ -1,0 +1,116 @@
+"""Data-type predicate primitives (paper Figure 2 bottom tier).
+
+Each primitive accepts a raw string value and reports whether it parses as
+the named type.  List variants (``ip`` over ``"10.0.0.1,10.0.0.2"``) are
+*not* implicit — the paper handles list values through transformations
+(``split(',')``) or the explicit ``list(<type>)`` forms registered here.
+"""
+
+from __future__ import annotations
+
+from .. import typesys
+from .base import register_predicate
+
+__all__ = ["register_type_predicates"]
+
+
+def _is_int(value: str) -> bool:
+    return typesys.parse_int(value) is not None
+
+
+def _is_float(value: str) -> bool:
+    return typesys.parse_float(value) is not None
+
+
+def _is_bool(value: str) -> bool:
+    return typesys.parse_bool(value) is not None
+
+
+def _is_ip(value: str) -> bool:
+    return typesys.parse_ipv4(value) is not None
+
+
+def _is_ipv6(value: str) -> bool:
+    return typesys.parse_ipv6(value) is not None
+
+
+def _is_cidr(value: str) -> bool:
+    return typesys.parse_cidr(value) is not None
+
+
+def _is_mac(value: str) -> bool:
+    return typesys.parse_mac(value) is not None
+
+
+def _is_port(value: str) -> bool:
+    return typesys.parse_port(value) is not None
+
+
+def _is_url(value: str) -> bool:
+    return typesys.parse_url(value) is not None
+
+
+def _is_email(value: str) -> bool:
+    return typesys.parse_email(value) is not None
+
+
+def _is_guid(value: str) -> bool:
+    return typesys.parse_guid(value) is not None
+
+
+def _is_path(value: str) -> bool:
+    return typesys.is_path(value)
+
+
+def _is_ip_range(value: str) -> bool:
+    return typesys.parse_ip_range(value) is not None
+
+
+def _is_duration(value: str) -> bool:
+    return typesys.parse_duration(value) is not None
+
+
+def _is_string(value: str) -> bool:
+    return True  # every raw value is a string; useful in compound predicates
+
+
+def _list_of(element_check):
+    def check(value: str) -> bool:
+        parts = typesys.split_list(value)
+        if parts is None:
+            parts = [value]  # a single element is a 1-element list
+        return all(element_check(part) for part in parts)
+
+    return check
+
+
+def register_type_predicates() -> None:
+    simple = {
+        "int": _is_int,
+        "float": _is_float,
+        "bool": _is_bool,
+        "ip": _is_ip,
+        "ipv6": _is_ipv6,
+        "cidr": _is_cidr,
+        "mac": _is_mac,
+        "port": _is_port,
+        "url": _is_url,
+        "email": _is_email,
+        "guid": _is_guid,
+        "path": _is_path,
+        "iprange": _is_ip_range,
+        "duration": _is_duration,
+        "string": _is_string,
+    }
+    for name, fn in simple.items():
+        register_predicate(
+            name, fn, message="value {value!r} of {key} is not a valid " + name
+        )
+    for name, fn in simple.items():
+        if name == "string":
+            continue
+        register_predicate(
+            f"list_{name}",
+            _list_of(fn),
+            message="value {value!r} of {key} is not a list of " + name,
+        )

@@ -1,0 +1,95 @@
+"""Per-value predicate primitives: emptiness, patterns, ranges, membership.
+
+These cover the lower-middle of the paper's specification spectrum
+(Figure 2): "Format, nonempty" and "Value range".
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+from .base import register_predicate
+from .relational import compare, in_range
+
+__all__ = ["register_value_predicates"]
+
+
+def _nonempty(value: str) -> bool:
+    return bool(value.strip())
+
+
+@lru_cache(maxsize=1024)
+def _compiled(pattern: str) -> "re.Pattern[str]":
+    return re.compile(pattern)
+
+
+def _match(value: str, pattern: str) -> bool:
+    """Substring-anchored regular-expression match (paper: match('UtilityFabric')
+    is true when the value contains that pattern)."""
+    return _compiled(str(pattern)).search(value) is not None
+
+
+def _fullmatch(value: str, pattern: str) -> bool:
+    return _compiled(str(pattern)).fullmatch(value) is not None
+
+
+def _startswith(value: str, prefix: str) -> bool:
+    return value.startswith(str(prefix))
+
+
+def _endswith(value: str, suffix: str) -> bool:
+    return value.endswith(str(suffix))
+
+
+def _range(value: str, low, high) -> bool:
+    return in_range(value, str(low), str(high))
+
+
+def _in_set(value: str, *members) -> bool:
+    return any(compare(value, "==", str(member)) for member in members)
+
+
+def _length(value: str, low, high) -> bool:
+    return int(low) <= len(value) <= int(high)
+
+
+def register_value_predicates() -> None:
+    register_predicate(
+        "nonempty", _nonempty, message="value of {key} is empty"
+    )
+    register_predicate(
+        "match",
+        _match,
+        message="value {value!r} of {key} does not match pattern {args}",
+    )
+    register_predicate(
+        "fullmatch",
+        _fullmatch,
+        message="value {value!r} of {key} does not fully match pattern {args}",
+    )
+    register_predicate(
+        "startswith",
+        _startswith,
+        message="value {value!r} of {key} does not start with {args}",
+    )
+    register_predicate(
+        "endswith",
+        _endswith,
+        message="value {value!r} of {key} does not end with {args}",
+    )
+    register_predicate(
+        "range",
+        _range,
+        message="value {value!r} of {key} is out of range {args}",
+    )
+    register_predicate(
+        "in",
+        _in_set,
+        message="value {value!r} of {key} is not one of {args}",
+    )
+    register_predicate(
+        "length",
+        _length,
+        message="value {value!r} of {key} has length outside {args}",
+    )

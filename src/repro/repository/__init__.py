@@ -1,0 +1,33 @@
+"""Unified configuration representation, keys and discovery indexes."""
+
+from .keys import (
+    InstanceKey,
+    InstanceSegment,
+    KeyPattern,
+    PatternSegment,
+    parse_instance_key,
+    parse_pattern,
+)
+from .model import ConfigClass, ConfigInstance
+from .naive import NaiveIndex
+from .store import ConfigStore
+from .trie import TrieIndex
+from .versioned import ChangeSet, ConfigRepository, Snapshot, diff_stores
+
+__all__ = [
+    "InstanceKey",
+    "InstanceSegment",
+    "KeyPattern",
+    "PatternSegment",
+    "parse_instance_key",
+    "parse_pattern",
+    "ConfigClass",
+    "ConfigInstance",
+    "ConfigStore",
+    "TrieIndex",
+    "NaiveIndex",
+    "ChangeSet",
+    "ConfigRepository",
+    "Snapshot",
+    "diff_stores",
+]

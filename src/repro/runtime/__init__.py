@@ -1,0 +1,13 @@
+"""Runtime information and filesystem abstractions (paper §4.3)."""
+
+from .filesystem import FakeFileSystem, FileSystem, RealFileSystem
+from .info import HostRuntime, RuntimeProvider, StaticRuntime
+
+__all__ = [
+    "FileSystem",
+    "RealFileSystem",
+    "FakeFileSystem",
+    "RuntimeProvider",
+    "HostRuntime",
+    "StaticRuntime",
+]

@@ -1,0 +1,61 @@
+"""Pluggable filesystem abstraction backing the ``exists`` predicate.
+
+The paper's example specifications check that configured paths exist
+(``$OSBuildPath -> path & exists``).  In production that touches the real
+filesystem (or a network share); in tests and benchmarks we substitute an
+in-memory fake so validation runs are hermetic and deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+__all__ = ["FileSystem", "RealFileSystem", "FakeFileSystem"]
+
+
+class FileSystem:
+    """Interface consumed by runtime predicates."""
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+
+class RealFileSystem(FileSystem):
+    """Delegates to the host filesystem."""
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+
+class FakeFileSystem(FileSystem):
+    """In-memory path set; a path exists when it or a descendant was added.
+
+    Both Windows (``\\\\share\\OS\\v2``) and POSIX separators are normalized
+    so Azure-style UNC paths work on any host.
+    """
+
+    def __init__(self, paths: Iterable[str] = ()):
+        self._paths: set[str] = set()
+        for path in paths:
+            self.add(path)
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        return path.replace("\\", "/").rstrip("/").lower()
+
+    def add(self, path: str) -> None:
+        normalized = self._normalize(path)
+        # Register every ancestor so directory prefixes also exist.
+        while normalized:
+            self._paths.add(normalized)
+            parent, __, __ = normalized.rpartition("/")
+            if parent == normalized:
+                break
+            normalized = parent
+
+    def remove(self, path: str) -> None:
+        self._paths.discard(self._normalize(path))
+
+    def exists(self, path: str) -> bool:
+        return self._normalize(path) in self._paths

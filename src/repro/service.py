@@ -1,0 +1,147 @@
+"""Continuous validation service (paper §3.2, §5.1).
+
+"[validation scenarios] require different tools such as … a validation
+service that runs continuously on the configuration repository"; the batch
+mode "(re)validates … continuously as configuration specifications or data
+are updated."
+
+:class:`ValidationService` watches a specification file and a set of
+configuration sources by modification time.  Each :meth:`scan` call checks
+for changes, revalidates when anything changed, records the run in an
+in-memory history, and reports transitions (pass→fail is the page-the-
+operator moment).  The service is poll-driven and single-threaded by
+design — the caller owns the schedule (cron, a loop, a test) — which keeps
+it deterministic and trivially testable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .core.policy import ValidationPolicy
+from .core.report import ValidationReport
+from .core.session import ValidationSession
+from .runtime import RuntimeProvider
+
+__all__ = ["SourceSpec", "ScanResult", "ValidationService"]
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """One watched configuration source."""
+
+    format_name: str
+    path: str
+    scope: str = ""
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one service scan that actually revalidated."""
+
+    sequence: int
+    report: ValidationReport
+    changed_paths: list[str]
+    transitioned: bool    # pass/fail status differs from the previous run
+
+    @property
+    def passed(self) -> bool:
+        return self.report.passed
+
+
+class ValidationService:
+    """Revalidates a spec file against sources whenever either changes."""
+
+    def __init__(
+        self,
+        spec_path: str,
+        sources: list[SourceSpec],
+        runtime: Optional[RuntimeProvider] = None,
+        policy: Optional[ValidationPolicy] = None,
+        on_transition: Optional[Callable[[ScanResult], None]] = None,
+        history_limit: int = 100,
+    ):
+        self.spec_path = spec_path
+        self.sources = list(sources)
+        self.runtime = runtime
+        self.policy = policy
+        self.on_transition = on_transition
+        self.history: list[ScanResult] = []
+        self.history_limit = history_limit
+        self.scans = 0
+        self._mtimes: dict[str, float] = {}
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+
+    def watched_paths(self) -> list[str]:
+        return [self.spec_path] + [source.path for source in self.sources]
+
+    def _changed_paths(self) -> list[str]:
+        changed = []
+        for path in self.watched_paths():
+            try:
+                mtime = os.stat(path).st_mtime_ns
+            except OSError:
+                mtime = -1.0
+            if self._mtimes.get(path) != mtime:
+                self._mtimes[path] = mtime
+                changed.append(path)
+        return changed
+
+    # ------------------------------------------------------------------
+
+    def scan(self, force: bool = False) -> Optional[ScanResult]:
+        """Check for changes; revalidate when needed.
+
+        Returns the :class:`ScanResult` when a validation ran, ``None`` when
+        nothing changed (the common steady-state case).
+        """
+        self.scans += 1
+        changed = self._changed_paths()
+        if not changed and not force:
+            return None
+        return self._run(changed)
+
+    def run_once(self) -> ScanResult:
+        """Unconditional validation (service start-up, manual trigger)."""
+        changed = self._changed_paths()
+        return self._run(changed or ["<manual>"])
+
+    # ------------------------------------------------------------------
+
+    def _run(self, changed: list[str]) -> ScanResult:
+        session = ValidationSession(
+            runtime=self.runtime,
+            policy=self.policy,
+            base_dir=os.path.dirname(self.spec_path) or ".",
+        )
+        for source in self.sources:
+            session.load_source(source.format_name, source.path, source.scope)
+        report = session.validate_file(self.spec_path)
+        previous = self.history[-1] if self.history else None
+        transitioned = previous is not None and previous.passed != report.passed
+        self._sequence += 1
+        result = ScanResult(
+            sequence=self._sequence,
+            report=report,
+            changed_paths=changed,
+            transitioned=transitioned,
+        )
+        self.history.append(result)
+        if len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
+        if transitioned and self.on_transition is not None:
+            self.on_transition(result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current_status(self) -> Optional[bool]:
+        """True = passing, False = failing, None = never validated."""
+        if not self.history:
+            return None
+        return self.history[-1].passed

@@ -1,0 +1,63 @@
+"""Synthetic workloads substituting the paper's Azure/OpenStack/CloudStack data."""
+
+from .appsource import generate_app_source
+from .azure import (
+    Dataset,
+    ParamDef,
+    generate_type_a,
+    generate_type_b,
+    generate_type_c,
+    type_a_catalog,
+)
+from .faults import (
+    BENIGN_KINDS,
+    Branch,
+    BranchScore,
+    FaultInjector,
+    InjectedFault,
+    TRUE_ERROR_KINDS,
+    score_report,
+)
+from .imperative import imperative_loc, validate_type_a, validate_type_b, validate_type_c
+from .opensource import (
+    CLOUDSTACK_SPECS,
+    OPENSTACK_SPECS,
+    generate_cloudstack,
+    generate_openstack,
+    opensource_imperative_loc,
+    validate_cloudstack,
+    validate_openstack,
+)
+from .specs import EXPERT_INFERABLE, EXPERT_SPEC_COUNTS, EXPERT_SPECS, spec_loc
+
+__all__ = [
+    "Dataset",
+    "ParamDef",
+    "generate_type_a",
+    "generate_type_b",
+    "generate_type_c",
+    "type_a_catalog",
+    "generate_app_source",
+    "Branch",
+    "BranchScore",
+    "FaultInjector",
+    "InjectedFault",
+    "score_report",
+    "TRUE_ERROR_KINDS",
+    "BENIGN_KINDS",
+    "validate_type_a",
+    "validate_type_b",
+    "validate_type_c",
+    "imperative_loc",
+    "generate_openstack",
+    "generate_cloudstack",
+    "OPENSTACK_SPECS",
+    "CLOUDSTACK_SPECS",
+    "validate_openstack",
+    "validate_cloudstack",
+    "opensource_imperative_loc",
+    "EXPERT_SPECS",
+    "EXPERT_SPEC_COUNTS",
+    "EXPERT_INFERABLE",
+    "spec_loc",
+]

@@ -1,0 +1,107 @@
+"""Synthetic application source code for white-box inference.
+
+The paper's white-box comparison point (SPEX, Rabkin & Katz) extracts
+configuration constraints from the *application* that consumes the
+configuration.  This generator emits the Python reader modules that
+"application" would contain for the synthetic Type A catalog: one loader
+function per component, reading each parameter and enforcing the guards the
+service actually needs.
+
+Crucially, the code's guards encode the parameters' **true valid ranges**,
+which are wider than any one good snapshot happens to exhibit — exactly the
+gap that produces the paper's inferred-range false positives (§6.4).
+Combining these code constraints with black-box mining
+(:func:`repro.inference.whitebox.combine`) eliminates that FP class, which
+``benchmarks/bench_whitebox_ablation.py`` measures.
+"""
+
+from __future__ import annotations
+
+from .azure import ParamDef, type_a_catalog
+
+__all__ = ["generate_app_source", "RANGE_SLACK"]
+
+#: how far beyond the generation range the code tolerates values — the
+#: "true" valid range (generation samples a narrower band, so observed
+#: min/max under-approximate what the application accepts)
+RANGE_SLACK = 30
+
+
+def _loader_lines(component: str, params: list[ParamDef]) -> list[str]:
+    lines = [f"def load_{component.lower()}(config):"]
+    lines.append(f'    """Reader for the {component} settings section."""')
+    emitted = False
+    for index, param in enumerate(params):
+        var = f"v{index}"
+        if param.kind in ("int", "timeout"):
+            low = 1
+            high = param.high + RANGE_SLACK
+            lines.append(f'    {var} = int(config["{param.name}"])')
+            lines.append(f"    if {var} < {low} or {var} > {high}:")
+            lines.append(
+                f'        raise ValueError("{param.name} out of range")'
+            )
+            emitted = True
+        elif param.kind == "enum":
+            members = ", ".join(repr(v) for v in param.enum_values)
+            lines.append(f'    {var} = config["{param.name}"]')
+            lines.append(f"    assert {var} in ({members},)")
+            emitted = True
+        elif param.kind == "float":
+            lines.append(f'    {var} = float(config.get("{param.name}", 0.5))')
+            lines.append(f"    assert 0.0 <= {var} <= 1.0")
+            emitted = True
+        elif param.kind == "bool":
+            lines.append(f'    {var} = config.get("{param.name}", True)')
+            emitted = True
+        elif param.kind in ("ip", "url", "path", "guid", "cidr"):
+            lines.append(f'    {var} = config["{param.name}"]')
+            lines.append(f"    if not {var}:")
+            lines.append(f'        raise ValueError("{param.name} required")')
+            emitted = True
+        elif param.kind == "port":
+            lines.append(f'    {var} = int(config["{param.name}"])')
+            lines.append(f"    if {var} < 1 or {var} > 65535:")
+            lines.append(f'        raise ValueError("{param.name} bad port")')
+            emitted = True
+        # 'name' kind: the application reads it without constraints
+    if not emitted:
+        lines.append("    pass")
+    lines.append("")
+    return lines
+
+
+def generate_app_source(scale: float = 0.1, seed: int = 42) -> list[str]:
+    """Python reader modules matching :func:`generate_type_a`'s catalog.
+
+    Returns one module text per component, plus the fleet-level reader that
+    consumes the cluster's special parameters (DNS list, replica counts).
+    """
+    catalog = type_a_catalog(scale, seed)
+    modules = []
+    for component, params in catalog.items():
+        lines = [f'"""Auto-generated reader for {component}."""', ""]
+        lines += _loader_lines(component, params)
+        modules.append("\n".join(lines))
+
+    fleet = '''
+"""Fleet-level configuration reader."""
+
+
+def load_cluster(config):
+    replicas = int(config["ReplicaCountForCreateFCC"])
+    if replicas < 3 or replicas > 7:
+        raise ValueError("replica count out of range")
+    dns_name = config["FccDnsName"]
+    if not dns_name:
+        raise ValueError("FccDnsName required")
+    pool = config["MachinePool"]
+    assert pool in ("compute", "storage")
+    # the DNS server list is comma separated; one entry is the common case
+    servers = []
+    for server in config["NodeDnsServers"].split(","):
+        servers.append(server.strip())
+    return replicas, dns_name, pool, servers
+'''
+    modules.append(fleet)
+    return modules

@@ -1,0 +1,389 @@
+"""Misconfiguration injection (DESIGN.md substitution for Tables 6 & 7).
+
+The paper validates the three *latest configuration branches* of Microsoft
+Azure (Trunk, Branch 1, Branch 2) and reports the errors each spec corpus
+catches.  We derive branches from a known-good synthetic snapshot by
+injecting two families of change:
+
+* **true errors** — the misconfiguration categories the paper names:
+  a load-balancer VIP range escaping its cluster's range, a bad/duplicate
+  BladeID location, mismatched MAC/IP pool sizes, an empty required value
+  (``empty FccDnsName``), a too-low replica count
+  (``low ReplicaCountForCreateFCC``), a wrong-typed value, an out-of-range
+  tunable, an inconsistent singleton, a duplicated unique value and an
+  enum typo;
+* **benign drift** — legitimate changes that *inferred* specifications
+  misfire on (the paper's false-positive mechanisms, §6.4): an unseen enum
+  value, a value just outside the observed range, and a scalar parameter
+  widened to a list ("configuration instances in input are a single IP
+  address but their true types are a list of IP address").
+
+Each injection records ground truth so benchmarks can score reported
+violations as true errors or false positives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..repository.keys import InstanceKey
+from ..repository.model import ConfigInstance
+from ..repository.store import ConfigStore
+
+__all__ = [
+    "InjectedFault",
+    "Branch",
+    "BranchScore",
+    "FaultInjector",
+    "score_report",
+    "TRUE_ERROR_KINDS",
+    "BENIGN_KINDS",
+]
+
+TRUE_ERROR_KINDS = (
+    "vip_out_of_cluster",
+    "bad_blade_location",
+    "mac_ip_pool_mismatch",
+    "empty_required",
+    "low_replica_count",
+    "wrong_type",
+    "out_of_range",
+    "inconsistent_value",
+    "duplicate_unique",
+    "enum_typo",
+)
+
+BENIGN_KINDS = (
+    "new_enum_value",
+    "range_drift",
+    "scalar_to_list",
+)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Ground truth for one injected change."""
+
+    kind: str
+    key: str            # rendered instance key that was changed
+    old_value: str
+    new_value: str
+    benign: bool        # True = legitimate change (inferred-spec FP bait)
+
+    def describe(self) -> str:
+        label = "benign drift" if self.benign else "true error"
+        return f"{label} [{self.kind}] {self.key}: {self.old_value!r} -> {self.new_value!r}"
+
+
+@dataclass
+class Branch:
+    """One derived configuration branch: mutated instances + ground truth."""
+
+    name: str
+    instances: list[ConfigInstance]
+    faults: list[InjectedFault] = field(default_factory=list)
+
+    def build_store(self) -> ConfigStore:
+        store = ConfigStore()
+        store.add_all(self.instances)
+        return store
+
+    @property
+    def true_error_keys(self) -> set[str]:
+        return {f.key for f in self.faults if not f.benign}
+
+    @property
+    def benign_keys(self) -> set[str]:
+        return {f.key for f in self.faults if f.benign}
+
+
+@dataclass
+class BranchScore:
+    """How a validation report lines up with a branch's ground truth."""
+
+    reported: int            # total violations reported
+    true_errors_caught: int  # injected true errors with ≥1 matching violation
+    false_positives: int     # violations attributable to benign drift
+    unexpected: int          # violations matching no injected change
+
+
+def score_report(report, branch: "Branch") -> BranchScore:
+    """Match violations to injected faults by configuration class.
+
+    Aggregate predicates may blame a *sibling* instance (the second
+    duplicate rather than the injected one), so matching is by class key —
+    precise enough because injections target distinct classes.
+    """
+    def class_of(key_text: str) -> tuple[str, ...]:
+        from ..repository.keys import parse_instance_key
+
+        try:
+            return parse_instance_key(key_text).class_key
+        except Exception:
+            return ()
+
+    true_classes = {class_of(f.key) for f in branch.faults if not f.benign}
+    benign_classes = {class_of(f.key) for f in branch.faults if f.benign}
+    caught: set[tuple] = set()
+    false_positives = 0
+    unexpected = 0
+    for violation in report.violations:
+        cls = class_of(violation.key)
+        if cls in true_classes:
+            caught.add(cls)
+        elif cls in benign_classes:
+            false_positives += 1
+        else:
+            unexpected += 1
+    return BranchScore(
+        reported=len(report.violations),
+        true_errors_caught=len(caught),
+        false_positives=false_positives,
+        unexpected=unexpected,
+    )
+
+
+class FaultInjector:
+    """Derives faulty branches from a good snapshot, deterministically."""
+
+    def __init__(self, instances: Iterable[ConfigInstance], seed: int = 7):
+        self.base = list(instances)
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+
+    def make_branch(
+        self,
+        name: str,
+        error_kinds: Iterable[str],
+        benign_kinds: Iterable[str] = (),
+    ) -> Branch:
+        """Apply one injection per requested kind (skipping kinds whose
+        target parameters are absent from this snapshot)."""
+        mutated = {id(i): i for i in self.base}
+        working = list(self.base)
+        faults: list[InjectedFault] = []
+        replacements: dict[InstanceKey, str] = {}
+        for kind in error_kinds:
+            fault = self._inject(kind, working, replacements, benign=False)
+            if fault is not None:
+                faults.append(fault)
+        for kind in benign_kinds:
+            fault = self._inject(kind, working, replacements, benign=True)
+            if fault is not None:
+                faults.append(fault)
+        out = [
+            ConfigInstance(i.key, replacements.get(i.key, i.value), i.source)
+            for i in working
+        ]
+        return Branch(name, out, faults)
+
+    # ------------------------------------------------------------------
+
+    def _pick(
+        self,
+        instances: list[ConfigInstance],
+        leaf: str,
+        taken: dict[InstanceKey, str],
+        where: Optional[Callable[[ConfigInstance], bool]] = None,
+    ) -> Optional[ConfigInstance]:
+        candidates = [
+            i
+            for i in instances
+            if i.key.leaf_name == leaf
+            and i.key not in taken
+            and (where is None or where(i))
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _pick_by_kind_suffix(
+        self,
+        instances: list[ConfigInstance],
+        suffix: str,
+        taken: dict[InstanceKey, str],
+    ) -> Optional[ConfigInstance]:
+        candidates = [
+            i
+            for i in instances
+            if suffix in i.key.leaf_name and i.key not in taken and i.value.strip()
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _inject(
+        self,
+        kind: str,
+        instances: list[ConfigInstance],
+        replacements: dict[InstanceKey, str],
+        benign: bool,
+    ) -> Optional[InjectedFault]:
+        handler = getattr(self, f"_inject_{kind}", None)
+        if handler is None:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        result = handler(instances, replacements)
+        if result is None:
+            return None
+        target, new_value = result
+        replacements[target.key] = new_value
+        return InjectedFault(kind, target.key.render(), target.value, new_value, benign)
+
+    # -- true errors ----------------------------------------------------
+
+    def _inject_vip_out_of_cluster(self, instances, replacements):
+        target = self._pick(instances, "VipRange", replacements)
+        if target is None:
+            return None
+        # move the range into an address block no cluster uses
+        return target, "192.168.77.10-192.168.77.40"
+
+    def _inject_bad_blade_location(self, instances, replacements):
+        target = self._pick(instances, "Location", replacements)
+        if target is None:
+            return None
+        # duplicate another blade's location within the same rack
+        rack_scope = target.key.segments[:-2]
+        sibling = self._pick(
+            instances,
+            "Location",
+            {target.key: ""},
+            where=lambda i: i.key.segments[:-2] == rack_scope and i.key != target.key,
+        )
+        if sibling is None:
+            return target, "0"  # invalid location identifier
+        return target, sibling.value
+
+    def _inject_mac_ip_pool_mismatch(self, instances, replacements):
+        target = self._pick(instances, "MacPoolSize", replacements)
+        if target is None:
+            return None
+        return target, str(int(target.value) + 7)
+
+    def _inject_empty_required(self, instances, replacements):
+        target = self._pick(
+            instances, "FccDnsName", replacements, where=lambda i: i.value.strip()
+        )
+        if target is None:
+            return None
+        return target, ""
+
+    def _inject_low_replica_count(self, instances, replacements):
+        target = self._pick(instances, "ReplicaCountForCreateFCC", replacements)
+        if target is None:
+            return None
+        return target, "1"
+
+    def _inject_wrong_type(self, instances, replacements):
+        target = self._pick_by_kind_suffix(instances, "TimeoutSeconds", replacements)
+        if target is None:
+            target = self._pick_by_kind_suffix(instances, "Limit", replacements)
+        if target is None:
+            return None
+        return target, "ninety"
+
+    def _inject_out_of_range(self, instances, replacements):
+        target = self._pick_by_kind_suffix(instances, "TimeoutSeconds", replacements)
+        if target is None:
+            return None
+        return target, "999999"
+
+    def _inject_inconsistent_value(self, instances, replacements):
+        # break a parameter that is consistent across the snapshot
+        from collections import Counter, defaultdict
+
+        by_class: dict[tuple, list[ConfigInstance]] = defaultdict(list)
+        for instance in instances:
+            by_class[instance.class_key].append(instance)
+        candidates = [
+            group
+            for group in by_class.values()
+            if len(group) >= 3
+            and len({i.value for i in group}) == 1
+            and group[0].value.strip()
+            and all(i.key not in replacements for i in group)
+        ]
+        if not candidates:
+            return None
+        group = self.rng.choice(candidates)
+        target = self.rng.choice(group)
+        return target, target.value + "-stale"
+
+    def _inject_duplicate_unique(self, instances, replacements):
+        # pick from a class whose values are actually distinct — cloning a
+        # value inside a *consistent* class would be a no-op "duplicate"
+        from collections import defaultdict
+
+        by_class: dict[tuple, list[ConfigInstance]] = defaultdict(list)
+        for instance in instances:
+            leaf = instance.key.leaf_name
+            if leaf == "NodeIP" or "EndpointIP" in leaf or leaf == "NodeId":
+                by_class[instance.class_key].append(instance)
+        candidates = [
+            group
+            for group in by_class.values()
+            if len(group) >= 3
+            and len({i.value for i in group}) == len(group)
+            and all(i.key not in replacements for i in group)
+        ]
+        if not candidates:
+            return None
+        group = self.rng.choice(candidates)
+        target, other = self.rng.sample(group, 2)
+        return target, other.value
+
+    def _inject_enum_typo(self, instances, replacements):
+        target = self._pick(instances, "MachinePool", replacements)
+        if target is None:
+            target = self._pick_by_kind_suffix(instances, "Mode", replacements)
+        if target is None:
+            return None
+        value = target.value
+        typo = value[:-1] if len(value) > 3 else value + "x"
+        return target, typo
+
+    # -- benign drift (inferred-spec false-positive bait) ---------------
+
+    def _inject_new_enum_value(self, instances, replacements):
+        target = self._pick_by_kind_suffix(instances, "Mode", replacements)
+        if target is None:
+            return None
+        return target, "canary"  # a real, newly introduced mode
+
+    def _inject_range_drift(self, instances, replacements):
+        # drift only a *tunable* (non-consistent) timeout: legitimate drift
+        # of a fleet-consistent parameter would change every instance, so a
+        # single-instance change there is not plausible benign drift
+        from collections import defaultdict
+
+        by_class: dict[tuple, list[ConfigInstance]] = defaultdict(list)
+        for instance in instances:
+            if "TimeoutSeconds" in instance.key.leaf_name:
+                by_class[instance.class_key].append(instance)
+        candidates = [
+            instance
+            for group in by_class.values()
+            if len({i.value for i in group}) > 1
+            for instance in group
+            if instance.key not in replacements
+        ]
+        if not candidates:
+            return None
+        target = self.rng.choice(candidates)
+        try:
+            current = int(target.value)
+        except ValueError:
+            return None
+        return target, str(current + 25)  # plausible but beyond observed max
+
+    def _inject_scalar_to_list(self, instances, replacements):
+        target = self._pick(instances, "NodeDnsServers", replacements)
+        if target is None:
+            target = self._pick(instances, "OwnerAlias", replacements)
+            if target is None:
+                return None
+            return target, f"{target.value},{target.value}-secondary"
+        return target, f"{target.value},{target.value.rsplit('.', 1)[0]}.250"

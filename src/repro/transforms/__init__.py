@@ -1,0 +1,24 @@
+"""CPL transformation functions and the plug-in registry (paper §4.2.1)."""
+
+from .base import (
+    TransformSpec,
+    get_transform,
+    is_transform,
+    register_transform,
+    transform_names,
+)
+from .collection import register_collection_transforms
+from .numeric import register_numeric_transforms
+from .strings import register_string_transforms
+
+register_string_transforms()
+register_numeric_transforms()
+register_collection_transforms()
+
+__all__ = [
+    "TransformSpec",
+    "get_transform",
+    "is_transform",
+    "register_transform",
+    "transform_names",
+]

@@ -1,0 +1,63 @@
+"""Transformation-function registry (paper §4.2.1, §4.2.6).
+
+A transformation rewrites domain members before predicates run.  Two styles
+exist, mirroring the paper:
+
+* **map-like** — applied to each member of the domain independently
+  (``split``, ``lower``); signature ``fn(value, *args) -> value``;
+* **reduce-like** — applied to all members as a whole (``union``, ``count``);
+  signature ``fn(values: list, *args) -> value-or-values``.
+
+Values flowing through a pipeline are strings or lists of strings (``split``
+produces lists, ``at`` indexes back into scalars).  User-defined transforms
+are added as plug-ins via :func:`register_transform` without modifying the
+CPL compiler — the paper's preferred extension path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import UnknownTransformError
+
+__all__ = [
+    "TransformSpec",
+    "register_transform",
+    "get_transform",
+    "transform_names",
+    "is_transform",
+]
+
+
+@dataclass(frozen=True)
+class TransformSpec:
+    name: str
+    fn: Callable
+    reduce: bool = False
+
+
+_REGISTRY: dict[str, TransformSpec] = {}
+
+
+def register_transform(name: str, fn: Callable, reduce: bool = False) -> TransformSpec:
+    spec = TransformSpec(name=name, fn=fn, reduce=reduce)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def get_transform(name: str) -> TransformSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownTransformError(
+            f"unknown transformation {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def transform_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def is_transform(name: str) -> bool:
+    return name in _REGISTRY

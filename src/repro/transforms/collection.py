@@ -1,0 +1,72 @@
+"""Collection transformation functions (reduce-like and list-shaping).
+
+``union`` is the paper's example of a reduce-like transform ("the union of
+all range-type members"); ``flatten`` spreads split-produced lists back into
+individual domain members so later steps iterate elements.
+"""
+
+from __future__ import annotations
+
+from .base import register_transform
+
+__all__ = ["register_collection_transforms"]
+
+
+def _union(values) -> list:
+    """Distinct members of the whole domain, order-preserving."""
+    seen = set()
+    out = []
+    for value in values:
+        items = value if isinstance(value, list) else [value]
+        for item in items:
+            if item not in seen:
+                seen.add(item)
+                out.append(item)
+    return out
+
+
+def _distinct(values) -> list:
+    return _union(values)
+
+
+def _flatten(values) -> list:
+    out = []
+    for value in values:
+        if isinstance(value, list):
+            out.extend(value)
+        else:
+            out.append(value)
+    return out
+
+
+def _sort(values) -> list:
+    from ..predicates.relational import coerce_scalar
+
+    flat = _flatten(values)
+    try:
+        return sorted(flat, key=lambda v: coerce_scalar(str(v)))
+    except TypeError:
+        return sorted(flat, key=str)
+
+
+def _first(values):
+    return values[0] if values else ""
+
+
+def _last(values):
+    return values[-1] if values else ""
+
+
+def _join(values, separator=",") -> str:
+    flat = _flatten(values)
+    return str(separator).join(str(v) for v in flat)
+
+
+def register_collection_transforms() -> None:
+    register_transform("union", _union, reduce=True)
+    register_transform("distinct", _distinct, reduce=True)
+    register_transform("flatten", _flatten, reduce=True)
+    register_transform("sort", _sort, reduce=True)
+    register_transform("first", _first, reduce=True)
+    register_transform("last", _last, reduce=True)
+    register_transform("join", _join, reduce=True)

@@ -1,0 +1,66 @@
+"""Numeric transformation functions.
+
+Map-like: ``len``, ``abs``, ``negate``; reduce-like: ``sum``, ``min``,
+``max``, ``count``.  The reduce-like style is the paper's "applies the
+transformation to all members in the domain as a whole".
+"""
+
+from __future__ import annotations
+
+from ..errors import EvaluationError
+from ..predicates.relational import coerce_scalar
+from .base import register_transform
+
+__all__ = ["register_numeric_transforms"]
+
+
+def _number(value):
+    coerced = coerce_scalar(str(value))
+    if not isinstance(coerced, (int, float)):
+        raise EvaluationError(f"value {value!r} is not numeric")
+    return coerced
+
+
+def _len(value) -> str:
+    if isinstance(value, list):
+        return str(len(value))
+    return str(len(str(value)))
+
+
+def _abs(value) -> str:
+    return str(abs(_number(value)))
+
+
+def _negate(value) -> str:
+    return str(-_number(value))
+
+
+def _sum(values) -> str:
+    total = sum(_number(v) for v in values)
+    return str(total)
+
+
+def _min(values) -> str:
+    if not values:
+        raise EvaluationError("min over an empty domain")
+    return str(min((_number(v) for v in values)))
+
+
+def _max(values) -> str:
+    if not values:
+        raise EvaluationError("max over an empty domain")
+    return str(max((_number(v) for v in values)))
+
+
+def _count(values) -> str:
+    return str(len(values))
+
+
+def register_numeric_transforms() -> None:
+    register_transform("len", _len)
+    register_transform("abs", _abs)
+    register_transform("negate", _negate)
+    register_transform("sum", _sum, reduce=True)
+    register_transform("min", _min, reduce=True)
+    register_transform("max", _max, reduce=True)
+    register_transform("count", _count, reduce=True)

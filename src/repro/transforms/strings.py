@@ -1,0 +1,76 @@
+"""String transformation functions (map-like)."""
+
+from __future__ import annotations
+
+from ..errors import EvaluationError
+from .base import register_transform
+
+__all__ = ["register_string_transforms"]
+
+
+def _as_text(value) -> str:
+    if isinstance(value, list):
+        raise EvaluationError("expected a scalar value, got a list; use at(i) first")
+    return str(value)
+
+
+def _split(value, separator=",") -> list[str]:
+    """Split a scalar into parts; applied to a list, split-and-flatten each
+    element (the paper's ``VipRanges -> split(';') -> split('-')`` idiom)."""
+    if isinstance(value, list):
+        out: list[str] = []
+        for element in value:
+            out.extend(_split(element, separator))
+        return out
+    return [part.strip() for part in str(value).split(str(separator))]
+
+
+def _at(value, index) -> str:
+    if not isinstance(value, list):
+        raise EvaluationError("at(i) expects a list value (apply split first)")
+    i = int(index)
+    if not -len(value) <= i < len(value):
+        raise EvaluationError(f"at({i}) out of bounds for list of {len(value)}")
+    return value[i]
+
+
+def _lower(value):
+    return _as_text(value).lower()
+
+
+def _upper(value):
+    return _as_text(value).upper()
+
+
+def _trim(value):
+    return _as_text(value).strip()
+
+
+def _replace(value, old, new):
+    return _as_text(value).replace(str(old), str(new))
+
+
+def _concat(value, suffix):
+    return _as_text(value) + str(suffix)
+
+
+def _prepend(value, prefix):
+    return str(prefix) + _as_text(value)
+
+
+def _substr(value, start, end=None):
+    text = _as_text(value)
+    stop = int(end) if end is not None else len(text)
+    return text[int(start):stop]
+
+
+def register_string_transforms() -> None:
+    register_transform("split", _split)
+    register_transform("at", _at)
+    register_transform("lower", _lower)
+    register_transform("upper", _upper)
+    register_transform("trim", _trim)
+    register_transform("replace", _replace)
+    register_transform("concat", _concat)
+    register_transform("prepend", _prepend)
+    register_transform("substr", _substr)

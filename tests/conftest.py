@@ -1,0 +1,82 @@
+"""Shared fixtures: paper Listing 1 data and small stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drivers import get_driver
+from repro.repository import ConfigStore
+
+LISTING1_XML = """
+<CloudGroup Name="East1 Production">
+  <Setting Key="MonitorNodeHealth" Value="True"/>
+  <Setting Key="ControllerReplicas" Value="5"/>
+  <Cloud Name="East1Storage1">
+    <Tenant Type="A"><Setting Key="MonitorNodeHealth" Value="False"/></Tenant>
+    <Tenant Type="B"/>
+  </Cloud>
+  <Cloud Name="East1Storage2"><Tenant Type="A"/></Cloud>
+</CloudGroup>
+<CloudGroup Name="SSD Cluster">
+  <Setting Key="MonitorNodeHealth" Value="True"/>
+  <Setting Key="ControllerReplicas" Value="3"/>
+  <Cloud Name="East1Compute1">
+    <Tenant Type="A"><Setting Key="ControllerReplicas" Value="5"/></Tenant>
+  </Cloud>
+</CloudGroup>
+"""
+
+
+@pytest.fixture
+def listing1_instances():
+    return get_driver("xml").parse(LISTING1_XML, source="listing1")
+
+
+@pytest.fixture
+def listing1_store(listing1_instances):
+    store = ConfigStore()
+    store.add_all(listing1_instances)
+    return store
+
+
+@pytest.fixture
+def listing1_expanded_store():
+    store = ConfigStore()
+    store.add_all(
+        get_driver("xml").parse(
+            LISTING1_XML, source="listing1", expand_inheritance=True
+        )
+    )
+    return store
+
+
+def _make_store(pairs):
+    """Build a store from ``[(keyvalue-notation, value), …]`` pairs."""
+    from repro.repository.keys import parse_instance_key
+    from repro.repository.model import ConfigInstance
+
+    store = ConfigStore()
+    for key_text, value in pairs:
+        store.add(ConfigInstance(parse_instance_key(key_text), value, "test"))
+    return store
+
+
+@pytest.fixture
+def make_store():
+    """Factory fixture: build a store from (key, value) pairs."""
+    return _make_store
+
+
+@pytest.fixture
+def cluster_store():
+    """Two clusters with VLAN-style paired bounds (paper's compartment example)."""
+    return _make_store(
+        [
+            ("Cluster::C1.StartIP", "10.0.0.1"),
+            ("Cluster::C1.EndIP", "10.0.0.100"),
+            ("Cluster::C1.ProxyIP", "10.0.0.50"),
+            ("Cluster::C2.StartIP", "10.1.0.1"),
+            ("Cluster::C2.EndIP", "10.1.0.100"),
+            ("Cluster::C2.ProxyIP", "10.2.0.50"),
+        ]
+    )

@@ -1,0 +1,67 @@
+"""Benchmark utilities: tables, histograms, LoC counting, spec counting."""
+
+from __future__ import annotations
+
+from repro.benchutil import (
+    ascii_histogram,
+    count_spec_statements,
+    effective_loc,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["Name", "N"], [("alpha", 1), ("b", 100)])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len({line.index("1") for line in lines[2:]}) == 1
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text
+
+
+class TestHistogram:
+    def test_bars_scale_to_peak(self):
+        text = ascii_histogram({0: 1, 1: 10}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert 1 <= lines[0].count("#") <= 10
+
+    def test_zero_count_no_bar(self):
+        text = ascii_histogram({0: 0, 1: 5})
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_empty(self):
+        assert ascii_histogram({}) == "(empty)"
+
+    def test_sorted_buckets(self):
+        text = ascii_histogram({3: 1, 1: 1, 2: 1})
+        numbers = [int(line.split()[0]) for line in text.splitlines()]
+        assert numbers == [1, 2, 3]
+
+
+class TestEffectiveLoc:
+    def test_skips_comments_blanks_docstrings(self):
+        source = '"""doc\nstring"""\n\n# comment\n// cpl comment\nx = 1\ny = 2\n'
+        assert effective_loc(source) == 2
+
+    def test_cpl_text(self):
+        assert effective_loc("// c\n$a -> int\n\n$b -> bool\n") == 2
+
+
+class TestCountSpecs:
+    def test_counts_only_spec_statements(self):
+        text = (
+            "load 'ini' 'x.ini'\n"
+            "let M := int\n"
+            "$a -> int\n"
+            "compartment C {\n$b -> @M\n$c -> bool\n}\n"
+            "if ($d == 'x') $e -> int else $f -> int\n"
+        )
+        assert count_spec_statements(text) == 5
+
+    def test_empty(self):
+        assert count_spec_statements("// nothing\n") == 0

@@ -1,0 +1,135 @@
+"""CLI tooling: gate subcommand, waiver files, diff_stores helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationSession
+from repro.console import main
+from repro.errors import PolicyError
+from repro.core.policy import ValidationPolicy
+from repro.repository.versioned import diff_stores
+
+
+class TestDiffStores:
+    def build(self, text):
+        session = ValidationSession()
+        session.load_text("keyvalue", text)
+        return session.store
+
+    def test_modification(self):
+        old = self.build("A.K = 1\nA.L = x\n")
+        new = self.build("A.K = 2\nA.L = x\n")
+        change = diff_stores(old, new)
+        assert len(change.modified) == 1 and not change.added and not change.removed
+
+    def test_none_old_is_all_added(self):
+        new = self.build("A.K = 1\n")
+        change = diff_stores(None, new)
+        assert len(change.added) == 1
+
+    def test_removed(self):
+        old = self.build("A.K = 1\nA.L = 2\n")
+        new = self.build("A.K = 1\n")
+        change = diff_stores(old, new)
+        assert [i.key.render() for i in change.removed] == ["A.L"]
+
+
+class TestGateSubcommand:
+    def setup_files(self, tmp_path, new_timeout):
+        (tmp_path / "spec.cpl").write_text(
+            "$s.Timeout -> int & [1, 60]\n$s.Flag -> bool\n$s.Name -> nonempty\n"
+        )
+        (tmp_path / "old.ini").write_text(
+            "[s]\nTimeout = 30\nFlag = true\nName = web\n"
+        )
+        (tmp_path / "new.ini").write_text(
+            f"[s]\nTimeout = {new_timeout}\nFlag = true\nName = web\n"
+        )
+        return tmp_path
+
+    def test_accepts_good_change(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 45)
+        code = main([
+            "gate", str(root / "spec.cpl"),
+            "--old", f"ini:{root}/old.ini", "--new", f"ini:{root}/new.ini",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ACCEPT" in out
+        assert "1 of 3 statement(s) run" in out
+
+    def test_rejects_bad_change(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 999)
+        code = main([
+            "gate", str(root / "spec.cpl"),
+            "--old", f"ini:{root}/old.ini", "--new", f"ini:{root}/new.ini",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REJECT" in out
+        # a range violation admits an obvious clamp suggestion
+        assert "suggested repairs:" in out
+        assert "'999' -> '60'" in out
+
+    def test_no_change_accepts_fast(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 30)
+        code = main([
+            "gate", str(root / "spec.cpl"),
+            "--old", f"ini:{root}/old.ini", "--new", f"ini:{root}/new.ini",
+        ])
+        assert code == 0
+        assert "nothing changed" in capsys.readouterr().out
+
+    def test_full_flag_runs_everything(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 45)
+        code = main([
+            "gate", str(root / "spec.cpl"),
+            "--old", f"ini:{root}/old.ini", "--new", f"ini:{root}/new.ini",
+            "--full",
+        ])
+        assert code == 0
+        assert "full corpus: 3 statement(s)" in capsys.readouterr().out
+
+    def test_without_old_everything_is_new(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 30)
+        code = main([
+            "gate", str(root / "spec.cpl"), "--new", f"ini:{root}/new.ini",
+        ])
+        assert code == 0
+        assert "+3" in capsys.readouterr().out
+
+
+class TestWaiverFiles:
+    def test_load_waivers(self, tmp_path):
+        waivers = tmp_path / "waivers.txt"
+        waivers.write_text(
+            "# legacy parameters pending cleanup\n"
+            "*LegacyTimeout int\n"
+            "*Deprecated*\n"
+            "\n"
+        )
+        policy = ValidationPolicy()
+        assert policy.load_waivers(str(waivers)) == 2
+        assert ("*LegacyTimeout", "int") in policy.suppressions
+        assert ("*Deprecated*", "*") in policy.suppressions
+
+    def test_malformed_waiver_line(self, tmp_path):
+        waivers = tmp_path / "waivers.txt"
+        waivers.write_text("too many fields here\n")
+        with pytest.raises(PolicyError):
+            ValidationPolicy().load_waivers(str(waivers))
+
+    def test_cli_waivers_flag(self, tmp_path, capsys):
+        (tmp_path / "c.ini").write_text("[s]\nLegacyTimeout = soon\nPort = 80\n")
+        (tmp_path / "spec.cpl").write_text(
+            "$s.LegacyTimeout -> int\n$s.Port -> port\n"
+        )
+        (tmp_path / "waivers.txt").write_text("*LegacyTimeout int\n")
+        code = main([
+            "validate", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/c.ini",
+            "--waivers", str(tmp_path / "waivers.txt"),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out

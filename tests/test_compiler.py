@@ -1,0 +1,163 @@
+"""Compiler rewrites (paper Figure 4): each rewrite + semantic preservation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ValidationSession, parse
+from repro.core.compiler import CompilerOptions, optimize_statements, simplify_predicate
+from repro.cpl import ast
+from repro.cpl.parser import parse_predicate
+from repro.repository import ConfigStore
+from repro.repository.keys import parse_instance_key
+from repro.repository.model import ConfigInstance
+
+
+def specs_of(statements):
+    return [s for s in statements if isinstance(s, ast.SpecStatement)]
+
+
+class TestPredicateAggregation:
+    def test_same_domain_specs_merge(self):
+        program = parse("$s.k1 -> ip\n$s.k1 -> unique\n$s.k1 -> [1, 9]")
+        out = optimize_statements(
+            list(program.statements),
+            CompilerOptions(aggregate_domains=False, omit_implied=False),
+        )
+        merged = specs_of(out)
+        assert len(merged) == 1
+        predicate = merged[0].steps[0].predicate
+        assert isinstance(predicate, ast.And)
+
+    def test_different_domains_not_merged(self):
+        program = parse("$a -> ip\n$b -> ip")
+        out = optimize_statements(
+            list(program.statements),
+            CompilerOptions(aggregate_domains=False, omit_implied=False),
+        )
+        assert len(specs_of(out)) == 2
+
+    def test_pipelines_never_merged(self):
+        program = parse("$a -> split(',') -> ip\n$a -> nonempty")
+        out = optimize_statements(list(program.statements))
+        assert len(specs_of(out)) == 2
+
+
+class TestDomainAggregation:
+    def test_same_predicate_merges_into_union(self):
+        program = parse("$s.k1 -> ip\n$s.k2 -> ip")
+        out = optimize_statements(
+            list(program.statements),
+            CompilerOptions(aggregate_predicates=False, omit_implied=False),
+        )
+        merged = specs_of(out)
+        assert len(merged) == 1
+        assert isinstance(merged[0].domain, ast.UnionDomain)
+
+    def test_aggregate_predicates_excluded(self):
+        # unique over a merged domain would be stronger; must not merge
+        program = parse("$s.k1 -> unique\n$s.k2 -> unique")
+        out = optimize_statements(list(program.statements))
+        assert len(specs_of(out)) == 2
+
+    def test_macro_conservatively_excluded(self):
+        program = parse(
+            "let M := unique & ip\n$s.k1 -> @M\n$s.k2 -> @M"
+        )
+        out = optimize_statements(list(program.statements))
+        assert len(specs_of(out)) == 2
+
+
+class TestImpliedElision:
+    def test_figure_4c_example(self):
+        pred = parse_predicate("string & nonempty & {'compute', 'storage'}")
+        simplified = simplify_predicate(pred)
+        assert isinstance(simplified, ast.SetPred)
+
+    def test_int_implies_float_and_nonempty(self):
+        simplified = simplify_predicate(parse_predicate("int & float & nonempty"))
+        assert isinstance(simplified, ast.PrimitiveCall)
+        assert simplified.name == "int"
+
+    def test_duplicates_dropped(self):
+        simplified = simplify_predicate(parse_predicate("ip & ip & ip"))
+        assert isinstance(simplified, ast.PrimitiveCall)
+
+    def test_no_elision_when_independent(self):
+        pred = parse_predicate("ip & unique")
+        assert simplify_predicate(pred) == pred
+
+    def test_set_with_empty_literal_keeps_nonempty(self):
+        pred = parse_predicate("nonempty & {'', 'a'}")
+        simplified = simplify_predicate(pred)
+        assert isinstance(simplified, ast.And)
+
+    def test_or_not_touched(self):
+        pred = parse_predicate("string | nonempty")
+        assert simplify_predicate(pred) == pred
+
+
+class TestBlocksRecursion:
+    def test_optimizes_inside_compartment(self):
+        program = parse("compartment C {\n$k -> ip\n$k -> nonempty\n}")
+        out = optimize_statements(list(program.statements))
+        block = out[0]
+        assert isinstance(block, ast.CompartmentBlock)
+        assert len(specs_of(block.body)) == 1  # merged + nonempty elided? no:
+        # merged into one conjunction (ip & nonempty), nonempty implied → ip
+
+
+# ---------------------------------------------------------------------------
+# Semantic preservation: optimized and unoptimized runs report the same keys
+# ---------------------------------------------------------------------------
+
+_SPEC_POOL = [
+    "$A.k1 -> int",
+    "$A.k1 -> nonempty",
+    "$A.k1 -> [0, 50]",
+    "$A.k2 -> ip",
+    "$A.k2 -> nonempty",
+    "$B.k3 -> {'x', 'y'}",
+    "$B.k3 -> string & nonempty",
+    "$A.k1 -> int & float",
+    "$B.k3 -> consistent",
+    "$A.k2 -> unique",
+]
+
+_VALUE_POOL = {
+    "k1": ["5", "49", "x", "", "-3"],
+    "k2": ["10.0.0.1", "10.0.0.2", "oops", ""],
+    "k3": ["x", "y", "z", ""],
+}
+
+
+@st.composite
+def _stores(draw):
+    store = ConfigStore()
+    for scope, key in (("A", "k1"), ("A", "k2"), ("B", "k3")):
+        count = draw(st.integers(min_value=0, max_value=4))
+        for index in range(count):
+            value = draw(st.sampled_from(_VALUE_POOL[key]))
+            store.add(
+                ConfigInstance(
+                    parse_instance_key(f"{scope}::i{index}.{key}"), value, "t"
+                )
+            )
+    return store
+
+
+@given(_stores(), st.lists(st.sampled_from(_SPEC_POOL), min_size=1, max_size=6))
+@settings(max_examples=120, deadline=None)
+def test_property_optimizations_preserve_violations(store, spec_lines):
+    text = "\n".join(spec_lines)
+    plain = ValidationSession(store=store, optimize=False).validate(text)
+    optimized = ValidationSession(store=store, optimize=True).validate(text)
+
+    def signature(report):
+        # compare distinct (key, value) pairs: deduplicating *redundant*
+        # specs is the optimizer's purpose, so multiplicity may shrink
+        return sorted({(v.key, v.value) for v in report.violations})
+
+    assert signature(plain) == signature(optimized)

@@ -1,0 +1,64 @@
+"""Cross-source conflict detection on the unified store."""
+
+from __future__ import annotations
+
+from repro import ValidationSession
+
+
+def session_with(sources):
+    session = ValidationSession()
+    for source_name, text in sources:
+        session.load_text("keyvalue", text, source=source_name)
+    return session
+
+
+class TestCrossSourceConflicts:
+    def test_conflicting_sources_detected(self):
+        session = session_with([
+            ("controller.ini", "auth.SecretKey = k-new\n"),
+            ("replica.ini", "auth.SecretKey = k-stale\n"),
+        ])
+        conflicts = session.store.cross_source_conflicts()
+        assert len(conflicts) == 1
+        logical, members = conflicts[0]
+        assert logical == "auth.SecretKey"
+        assert {m.source for m in members} == {"controller.ini", "replica.ini"}
+        assert {m.value for m in members} == {"k-new", "k-stale"}
+
+    def test_agreeing_sources_not_flagged(self):
+        session = session_with([
+            ("a", "auth.SecretKey = same\n"),
+            ("b", "auth.SecretKey = same\n"),
+        ])
+        assert session.store.cross_source_conflicts() == []
+
+    def test_same_source_duplicates_not_flagged(self):
+        # one source legitimately repeating a multi-valued key
+        session = session_with([
+            ("a", "ProxyIPs = 10.0.0.1\nProxyIPs = 10.0.0.2\n"),
+        ])
+        assert session.store.cross_source_conflicts() == []
+
+    def test_distinct_keys_not_flagged(self):
+        session = session_with([
+            ("a", "x.K = 1\n"), ("b", "y.K = 2\n"),
+        ])
+        assert session.store.cross_source_conflicts() == []
+
+    def test_three_way_conflict(self):
+        session = session_with([
+            ("a", "svc.Endpoint = one\n"),
+            ("b", "svc.Endpoint = two\n"),
+            ("c", "svc.Endpoint = three\n"),
+        ])
+        conflicts = session.store.cross_source_conflicts()
+        assert len(conflicts) == 1
+        assert len(conflicts[0][1]) == 3
+
+    def test_members_ordered_by_load(self):
+        session = session_with([
+            ("first", "svc.K = a\n"),
+            ("second", "svc.K = b\n"),
+        ])
+        __, members = session.store.cross_source_conflicts()[0]
+        assert [m.source for m in members] == ["first", "second"]

@@ -1,0 +1,193 @@
+"""Interactive console and batch CLI (paper §5.1 usage scenarios)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationSession
+from repro.console import Console, main
+
+
+class ScriptedConsole:
+    """Drive the console with a canned input script; capture output."""
+
+    def __init__(self, lines, session=None):
+        self.lines = list(lines)
+        self.output: list[str] = []
+        self.console = Console(session=session, output_fn=self.output.append)
+
+    def run(self):
+        iterator = iter(self.lines)
+
+        def fake_input(prompt):
+            try:
+                return next(iterator)
+            except StopIteration:
+                raise EOFError
+
+        self.console.run(input_fn=fake_input)
+        return "\n".join(self.output)
+
+
+class TestConsole:
+    def test_one_liner_validation(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = 5\n")
+        text = ScriptedConsole(["$K -> int"], session).run()
+        assert "PASS" in text
+
+    def test_violation_shown(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = oops\n")
+        text = ScriptedConsole(["$K -> int"], session).run()
+        assert "FAIL" in text
+
+    def test_get_directive(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = v1\n")
+        text = ScriptedConsole([":get K"], session).run()
+        assert "A.K = 'v1'" in text
+
+    def test_get_empty(self):
+        text = ScriptedConsole([":get Nothing"]).run()
+        assert "(no instances)" in text
+
+    def test_stats_directive(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = v\nB.K = w\n")
+        text = ScriptedConsole([":stats"], session).run()
+        assert "2 instance(s)" in text
+
+    def test_let_directive(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = 7\n")
+        text = ScriptedConsole(
+            [":let Small := int & [0, 9]", "$K -> @Small"], session
+        ).run()
+        assert "macro @Small defined" in text
+        assert "PASS" in text
+
+    def test_load_directive(self, tmp_path):
+        (tmp_path / "c.ini").write_text("[s]\nK = v\n")
+        text = ScriptedConsole([f":load ini {tmp_path}/c.ini"]).run()
+        assert "loaded 1 instance(s)" in text
+
+    def test_syntax_error_reported_not_raised(self):
+        text = ScriptedConsole(["$broken ->"]).run()
+        assert "error:" in text
+
+    def test_unknown_directive(self):
+        text = ScriptedConsole([":wat"]).run()
+        assert "unknown directive" in text
+
+    def test_quit(self):
+        console = ScriptedConsole([":quit", "$never -> int"])
+        console.run()
+        assert not console.console.running
+
+    def test_help(self):
+        text = ScriptedConsole([":help"]).run()
+        assert ":load" in text and ":get" in text
+
+    def test_blank_lines_ignored(self):
+        text = ScriptedConsole(["", "   "]).run()
+        assert "error" not in text
+
+    def test_conflicts_directive(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "auth.Key = a\n", source="one")
+        session.load_text("keyvalue", "auth.Key = b\n", source="two")
+        text = ScriptedConsole([":conflicts"], session).run()
+        assert "auth.Key" in text
+        assert "'a' from one" in text
+
+    def test_conflicts_directive_clean(self):
+        text = ScriptedConsole([":conflicts"]).run()
+        assert "no cross-source conflicts" in text
+
+
+class TestCLI:
+    def make_sources(self, tmp_path):
+        (tmp_path / "cfg.ini").write_text("[fabric]\nTimeout = 30\nFlag = true\n")
+        (tmp_path / "spec.cpl").write_text(
+            "$fabric.Timeout -> int & [1, 60]\n$fabric.Flag -> bool\n"
+        )
+
+    def test_validate_pass(self, tmp_path, capsys):
+        self.make_sources(tmp_path)
+        code = main([
+            "validate", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/cfg.ini",
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_validate_fail_exit_code(self, tmp_path, capsys):
+        self.make_sources(tmp_path)
+        (tmp_path / "bad.ini").write_text("[fabric]\nTimeout = 999\nFlag = x\n")
+        code = main([
+            "validate", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/bad.ini",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_validate_partitioned(self, tmp_path, capsys):
+        self.make_sources(tmp_path)
+        code = main([
+            "validate", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/cfg.ini",
+            "--partitions", "2",
+        ])
+        assert code == 0
+        assert "partitions" in capsys.readouterr().out
+
+    def test_infer_to_stdout(self, tmp_path, capsys):
+        self.make_sources(tmp_path)
+        code = main(["infer", "--source", f"ini:{tmp_path}/cfg.ini"])
+        assert code == 0
+        assert "->" in capsys.readouterr().out
+
+    def test_infer_to_file(self, tmp_path):
+        self.make_sources(tmp_path)
+        out = tmp_path / "inferred.cpl"
+        code = main([
+            "infer", "--source", f"ini:{tmp_path}/cfg.ini", "--out", str(out)
+        ])
+        assert code == 0
+        assert "->" in out.read_text()
+
+    def test_bad_source_spec_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["validate", "x.cpl", "--source", "nocolon"])
+
+    def test_source_with_scope(self, tmp_path, capsys):
+        (tmp_path / "cfg.ini").write_text("[s]\nK = 5\n")
+        (tmp_path / "spec.cpl").write_text("$Env.s.K -> int\n")
+        code = main([
+            "validate", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/cfg.ini:Env",
+        ])
+        assert code == 0
+
+    def test_service_subcommand_single_scan(self, tmp_path, capsys):
+        (tmp_path / "cfg.ini").write_text("[s]\nK = 5\n")
+        (tmp_path / "spec.cpl").write_text("$s.K -> int\n")
+        code = main([
+            "service", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/cfg.ini",
+            "--max-scans", "1", "--interval", "0",
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_service_subcommand_failing(self, tmp_path, capsys):
+        (tmp_path / "cfg.ini").write_text("[s]\nK = oops\n")
+        (tmp_path / "spec.cpl").write_text("$s.K -> int\n")
+        code = main([
+            "service", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/cfg.ini",
+            "--max-scans", "1", "--interval", "0",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Spec-coverage analyzer: covered / uncovered classes, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationSession
+from repro.console import main
+from repro.core import analyze_coverage
+from repro.synthetic import EXPERT_SPECS, generate_type_a
+
+
+def store_from(text):
+    session = ValidationSession()
+    session.load_text("keyvalue", text)
+    return session.store
+
+
+class TestCoverage:
+    STORE_TEXT = """
+Cluster::C1.Timeout = 30
+Cluster::C1.Mode = fast
+Cluster::C1.Comment = free text
+Node::N1.IP = 10.0.0.1
+"""
+
+    def test_covered_and_uncovered_split(self):
+        store = store_from(self.STORE_TEXT)
+        report = analyze_coverage(
+            "$Cluster.Timeout -> int\n$Node.IP -> ip\n", store
+        )
+        assert set(report.covered) == {
+            ("Cluster", "Timeout"), ("Node", "IP"),
+        }
+        assert sorted(report.uncovered) == [
+            ("Cluster", "Comment"), ("Cluster", "Mode"),
+        ]
+        assert report.coverage_ratio == pytest.approx(0.5)
+
+    def test_wildcard_specs_cover_by_name_shape(self):
+        store = store_from(self.STORE_TEXT)
+        report = analyze_coverage("$*Timeout* -> int\n$*IP -> ip\n", store)
+        assert ("Cluster", "Timeout") in report.covered
+        assert ("Node", "IP") in report.covered
+
+    def test_per_class_spec_counts(self):
+        store = store_from(self.STORE_TEXT)
+        report = analyze_coverage(
+            "$Cluster.Timeout -> int\n$Cluster.Timeout -> [1, 60]\n"
+            "$Node.IP -> ip\n",
+            store,
+        )
+        assert report.covered[("Cluster", "Timeout")] == 2
+        assert report.barely_checked() == [("Node", "IP")]
+
+    def test_instance_qualified_spec_covers_class(self):
+        store = store_from(
+            "Cluster::C1.Flag = true\nCluster::C2.Flag = false\n"
+        )
+        report = analyze_coverage("$Cluster::C2.Flag -> bool\n", store)
+        assert ("Cluster", "Flag") in report.covered
+
+    def test_compartment_bound_domains_count(self):
+        store = store_from(
+            "Cluster::C1.StartIP = 10.0.0.1\nCluster::C1.EndIP = 10.0.0.9\n"
+        )
+        report = analyze_coverage(
+            "compartment Cluster {\n$StartIP <= $EndIP\n}\n", store
+        )
+        assert not report.uncovered
+
+    def test_empty_corpus_everything_uncovered(self):
+        store = store_from(self.STORE_TEXT)
+        report = analyze_coverage("// nothing here\n", store)
+        assert not report.covered
+        assert report.total_classes == 4
+
+    def test_render(self):
+        store = store_from(self.STORE_TEXT)
+        text = analyze_coverage("$Cluster.Timeout -> int\n", store).render(limit=2)
+        assert "1/4" in text
+        assert "and 1 more" in text
+
+    def test_expert_corpus_covers_special_params(self, tmp_path):
+        store = generate_type_a(0.05).build_store()
+        report = analyze_coverage(EXPERT_SPECS["type_a"], store)
+        for leaf in ("StartIP", "VipRange", "BladeID", "FccDnsName"):
+            assert any(key[-1] == leaf for key in report.covered), leaf
+        # the deliberately-unconstrained free-text tail shows up uncovered
+        assert any("OwnerAlias" in key[-1] for key in report.uncovered)
+        # and no expert spec is dead weight
+        assert report.dead_specs == []
+
+    def test_dead_spec_detected(self):
+        store = store_from("Host::h1.section.my_ip = 10.0.0.1\n")
+        report = analyze_coverage(
+            # Host.my_ip never matches: the key's parent scope is 'section'
+            "$Host.my_ip -> unique\n$my_ip -> ip\n",
+            store,
+        )
+        assert len(report.dead_specs) == 1
+        assert "Host.my_ip" in report.dead_specs[0]
+        assert "dead specs" in report.render()
+
+    def test_no_dead_specs_section_absent_from_render(self):
+        store = store_from("A.K = 1\n")
+        text = analyze_coverage("$A.K -> int\n", store).render()
+        assert "dead specs" not in text
+
+
+class TestCoverageCLI:
+    def test_cli_exit_codes_and_output(self, tmp_path, capsys):
+        (tmp_path / "c.ini").write_text("[s]\nTimeout = 5\nStray = x\n")
+        (tmp_path / "spec.cpl").write_text("$s.Timeout -> int\n")
+        code = main([
+            "coverage", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/c.ini",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1          # a gap exists
+        assert "s.Stray" in out
+
+    def test_cli_full_coverage(self, tmp_path, capsys):
+        (tmp_path / "c.ini").write_text("[s]\nTimeout = 5\n")
+        (tmp_path / "spec.cpl").write_text("$s.Timeout -> int\n")
+        code = main([
+            "coverage", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/c.ini",
+        ])
+        assert code == 0
+        assert "1/1" in capsys.readouterr().out

@@ -1,0 +1,154 @@
+"""Trie vs naive instance discovery (paper §5.2): equivalence + caching."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.repository import NaiveIndex, TrieIndex
+from repro.repository.keys import InstanceKey, InstanceSegment, parse_pattern
+from repro.repository.model import ConfigInstance
+
+
+def build_indexes(keys):
+    trie, naive = TrieIndex(), NaiveIndex()
+    for index, key in enumerate(keys):
+        instance = ConfigInstance(key, f"v{index}", "test")
+        trie.add(instance)
+        naive.add(instance)
+    return trie, naive
+
+
+def sample_keys():
+    keys = []
+    for group in ("G1", "G2"):
+        for cloud_index, cloud in enumerate(("CA", "CB"), start=1):
+            for tenant_index, tenant in enumerate(("A", "B"), start=1):
+                for param in ("SecretKey", "ProxyIP", "Timeout"):
+                    keys.append(
+                        InstanceKey.build(
+                            ("CloudGroup", group),
+                            ("Cloud", cloud, cloud_index),
+                            ("Tenant", tenant, tenant_index),
+                            param,
+                        )
+                    )
+    keys.append(InstanceKey.build(("Fabric", "F1"), "Timeout"))
+    keys.append(InstanceKey.build("GlobalFlag"))
+    return keys
+
+
+PATTERNS = [
+    "SecretKey",
+    "Tenant.SecretKey",
+    "Cloud.Tenant.SecretKey",
+    "CloudGroup::G1.Cloud.Tenant.SecretKey",
+    "Cloud::CA.Tenant.SecretKey",
+    "Cloud[1].Tenant::B.SecretKey",
+    "*.SecretKey",
+    "*IP",
+    "Timeout",
+    "Fabric.Timeout",
+    "NoSuchKey",
+    "Cloud::Nope.Tenant.SecretKey",
+    "*",
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("pattern_text", PATTERNS)
+    def test_trie_equals_naive(self, pattern_text):
+        trie, naive = build_indexes(sample_keys())
+        pattern = parse_pattern(pattern_text)
+        got_trie = {i.key.render() for i in trie.query(pattern)}
+        got_naive = {i.key.render() for i in naive.query(pattern)}
+        assert got_trie == got_naive
+
+    def test_results_are_correct(self):
+        trie, __ = build_indexes(sample_keys())
+        results = trie.query(parse_pattern("Cloud::CA.Tenant.SecretKey"))
+        assert len(results) == 4  # 2 groups × 2 tenants
+        for instance in results:
+            assert instance.key.leaf_name == "SecretKey"
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self):
+        trie, __ = build_indexes(sample_keys())
+        pattern = parse_pattern("Tenant.SecretKey")
+        first = trie.query(pattern)
+        hits_before = trie.cache_hits
+        second = trie.query(pattern)
+        assert trie.cache_hits == hits_before + 1
+        assert first == second
+
+    def test_mutation_invalidates_cache(self):
+        trie, __ = build_indexes(sample_keys())
+        pattern = parse_pattern("GlobalFlag")
+        assert len(trie.query(pattern)) == 1
+        trie.add(ConfigInstance(InstanceKey.build("GlobalFlag2"), "x", "t"))
+        # re-query still correct after invalidation
+        assert len(trie.query(pattern)) == 1
+        assert len(trie.query(parse_pattern("GlobalFlag2"))) == 1
+
+    def test_len_and_iteration(self):
+        keys = sample_keys()
+        trie, naive = build_indexes(keys)
+        assert len(trie) == len(keys)
+        assert len(naive) == len(keys)
+        assert {i.key.render() for i in trie.instances()} == {
+            i.key.render() for i in naive.instances()
+        }
+
+
+# ---------------------------------------------------------------------------
+# Property: trie and naive agree on random key sets and random patterns
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["A", "B", "C", "K", "IP", "Key", "Port"])
+_quals = st.one_of(st.none(), st.sampled_from(["x", "y", "z"]))
+
+
+@st.composite
+def _random_keys(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    keys = []
+    for __ in range(count):
+        depth = draw(st.integers(min_value=1, max_value=4))
+        segments = tuple(
+            InstanceSegment(
+                draw(_names), draw(_quals), draw(st.integers(min_value=1, max_value=3))
+            )
+            for __ in range(depth)
+        )
+        keys.append(InstanceKey(segments))
+    return keys
+
+
+@st.composite
+def _random_pattern(draw):
+    depth = draw(st.integers(min_value=1, max_value=3))
+    parts = []
+    for __ in range(depth):
+        name = draw(st.sampled_from(["A", "B", "C", "K", "IP", "*", "*P", "K*"]))
+        kind = draw(st.sampled_from(["any", "named", "ordinal"]))
+        if kind == "named":
+            parts.append(f"{name}::{draw(st.sampled_from(['x', 'y', '*']))}")
+        elif kind == "ordinal":
+            parts.append(f"{name}[{draw(st.integers(min_value=1, max_value=3))}]")
+        else:
+            parts.append(name)
+    return ".".join(parts)
+
+
+@given(_random_keys(), _random_pattern())
+@settings(max_examples=300)
+def test_property_trie_naive_equivalence(keys, pattern_text):
+    trie, naive = build_indexes(keys)
+    pattern = parse_pattern(pattern_text)
+    got_trie = sorted(i.value for i in trie.query(pattern))
+    got_naive = sorted(i.value for i in naive.query(pattern))
+    assert got_trie == got_naive

@@ -1,0 +1,263 @@
+"""Format drivers → unified representation (paper Table 2, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drivers import (
+    clear_endpoints,
+    driver_names,
+    get_driver,
+    register_endpoint,
+    register_driver,
+)
+from repro.drivers.base import Driver
+from repro.errors import DriverError, UnknownDriverError
+
+
+def by_key(instances):
+    return {i.key.render(): i.value for i in instances}
+
+
+class TestRegistry:
+    def test_all_builtin_formats_registered(self):
+        for name in ("xml", "ini", "keyvalue", "json", "yaml", "csv", "rest"):
+            assert name in driver_names()
+
+    def test_unknown_driver_raises(self):
+        with pytest.raises(UnknownDriverError):
+            get_driver("toml")
+
+    def test_custom_driver_registration(self):
+        class Fake(Driver):
+            format_name = "fake-fmt"
+
+            def parse(self, text, source="", scope=""):
+                return []
+
+        register_driver(Fake())
+        assert get_driver("fake-fmt").format_name == "fake-fmt"
+
+    def test_driver_without_name_rejected(self):
+        with pytest.raises(DriverError):
+            register_driver(Driver())
+
+
+class TestXMLDriver:
+    def test_settings_under_scopes(self, listing1_instances):
+        mapping = by_key(listing1_instances)
+        assert mapping["CloudGroup::'East1 Production'.MonitorNodeHealth"] == "True"
+        assert (
+            mapping[
+                "CloudGroup::'East1 Production'.Cloud::East1Storage1.Tenant::A.MonitorNodeHealth"
+            ]
+            == "False"
+        )
+
+    def test_setting_text_content(self):
+        out = get_driver("xml").parse("<A><Setting Key='K'>v1</Setting></A>")
+        assert by_key(out) == {"A.K": "v1"}
+
+    def test_attributes_become_parameters(self):
+        out = get_driver("xml").parse('<Svc Name="S" Port="80" Retries="3"/>')
+        mapping = by_key(out)
+        assert mapping["Svc::S.Port"] == "80"
+        assert mapping["Svc::S.Retries"] == "3"
+
+    def test_leaf_text_elements(self):
+        out = get_driver("xml").parse("<Cfg><Timeout>30</Timeout></Cfg>")
+        assert by_key(out) == {"Cfg.Timeout": "30"}
+
+    def test_sibling_ordinals(self):
+        out = get_driver("xml").parse(
+            "<Root><Cloud><Setting Key='K' Value='1'/></Cloud>"
+            "<Cloud><Setting Key='K' Value='2'/></Cloud></Root>"
+        )
+        mapping = by_key(out)
+        assert mapping["Root.Cloud.K"] == "1"
+        assert mapping["Root.Cloud[2].K"] == "2"
+
+    def test_scope_prefix(self):
+        out = get_driver("xml").parse(
+            "<A><Setting Key='K' Value='v'/></A>", scope="Fabric::F1"
+        )
+        assert by_key(out) == {"Fabric::F1.A.K": "v"}
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("xml").parse("<A><B></A>")
+
+    def test_setting_without_key_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("xml").parse("<A><Setting Value='v'/></A>")
+
+    def test_inheritance_expansion(self, listing1_expanded_store):
+        # 4 tenant scopes × 2 settings each
+        assert listing1_expanded_store.instance_count == 8
+
+    def test_expansion_override_wins(self):
+        out = get_driver("xml").parse(
+            "<G><Setting Key='K' Value='outer'/>"
+            "<T Name='t1'><Setting Key='K' Value='inner'/></T>"
+            "<T Name='t2'/></G>",
+            expand_inheritance=True,
+        )
+        mapping = by_key(out)
+        assert mapping["G.T::t1.K"] == "inner"
+        assert mapping["G.T::t2.K"] == "outer"
+
+
+class TestINIDriver:
+    def test_sections_and_keys(self):
+        out = get_driver("ini").parse("[fabric]\nRecoveryAttempts = 3\nTimeout: 30\n")
+        mapping = by_key(out)
+        assert mapping["fabric.RecoveryAttempts"] == "3"
+        assert mapping["fabric.Timeout"] == "30"
+
+    def test_dotted_sections(self):
+        out = get_driver("ini").parse("[fabric.controller]\nK = v\n")
+        assert by_key(out) == {"fabric.controller.K": "v"}
+
+    def test_section_with_qualifier(self):
+        out = get_driver("ini").parse("[Cloud::East1]\nK = v\n")
+        assert by_key(out) == {"Cloud::East1.K": "v"}
+
+    def test_top_level_keys(self):
+        out = get_driver("ini").parse("K = v\n")
+        assert by_key(out) == {"K": "v"}
+
+    def test_comments_and_blanks_ignored(self):
+        out = get_driver("ini").parse("# c\n; c2\n\nK = v\n")
+        assert len(out) == 1
+
+    def test_case_preserved(self):
+        out = get_driver("ini").parse("[S]\nCamelCaseKey = V\n")
+        assert "S.CamelCaseKey" in by_key(out)
+
+    def test_value_with_equals(self):
+        out = get_driver("ini").parse("K = a=b\n")
+        assert by_key(out)["K"] == "a=b"
+
+    def test_bad_line_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("ini").parse("not-a-kv-line\n")
+
+    def test_unterminated_section_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("ini").parse("[oops\n")
+
+    def test_scope_prefix(self):
+        out = get_driver("ini").parse("[S]\nK = v\n", scope="Env::E1")
+        assert by_key(out) == {"Env::E1.S.K": "v"}
+
+
+class TestKeyValueDriver:
+    def test_dotted_scope_extraction(self):
+        out = get_driver("keyvalue").parse("Fabric.RecoveryAttempts = 3\n")
+        assert by_key(out) == {"Fabric.RecoveryAttempts": "3"}
+
+    def test_inline_qualifiers(self):
+        out = get_driver("keyvalue").parse("Cluster::C1.Node::N1.IP = 10.0.0.1\n")
+        assert by_key(out) == {"Cluster::C1.Node::N1.IP": "10.0.0.1"}
+
+    def test_comments(self):
+        out = get_driver("keyvalue").parse("# c\n// c2\nK = v\n")
+        assert len(out) == 1
+
+    def test_bad_line_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("keyvalue").parse("justaword\n")
+
+
+class TestJSONDriver:
+    def test_nested_objects(self):
+        out = get_driver("json").parse('{"fabric": {"timeout": 30, "retries": 3}}')
+        mapping = by_key(out)
+        assert mapping["fabric.timeout"] == "30"
+        assert mapping["fabric.retries"] == "3"
+
+    def test_named_list_elements(self):
+        out = get_driver("json").parse(
+            '{"clouds": [{"name": "c1", "ip": "10.0.0.1"},'
+            ' {"name": "c2", "ip": "10.0.0.2"}]}'
+        )
+        mapping = by_key(out)
+        assert mapping["clouds::c1.ip"] == "10.0.0.1"
+        assert mapping["clouds::c2.ip"] == "10.0.0.2"
+
+    def test_scalar_lists_become_sibling_instances(self):
+        out = get_driver("json").parse('{"ips": ["10.0.0.1", "10.0.0.2"]}')
+        assert sorted(i.value for i in out) == ["10.0.0.1", "10.0.0.2"]
+        assert {i.key.leaf_name for i in out} == {"ips"}
+
+    def test_booleans_and_nulls(self):
+        out = get_driver("json").parse('{"a": true, "b": null}')
+        mapping = by_key(out)
+        assert mapping["a"] == "true"
+        assert mapping["b"] == ""
+
+    def test_bad_json_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("json").parse("{nope")
+
+    def test_scalar_top_level_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("json").parse('"just a string"')
+
+
+class TestYAMLDriver:
+    def test_structural_parity_with_json(self):
+        yaml_out = get_driver("yaml").parse("fabric:\n  timeout: 30\n")
+        json_out = get_driver("json").parse('{"fabric": {"timeout": 30}}')
+        assert by_key(yaml_out) == by_key(json_out)
+
+    def test_empty_document(self):
+        assert get_driver("yaml").parse("") == []
+
+    def test_bad_yaml_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("yaml").parse("a: [unclosed")
+
+
+class TestCSVDriver:
+    CSV = "Name,Address,Location\nlb1,10.0.0.1,east\nlb2,10.0.0.2,west\n"
+
+    def test_rows_become_records(self):
+        out = get_driver("csv").parse(self.CSV)
+        mapping = by_key(out)
+        assert mapping["Record::lb1.Address"] == "10.0.0.1"
+        assert mapping["Record::lb2.Location"] == "west"
+
+    def test_custom_record_scope(self):
+        out = get_driver("csv").parse(self.CSV, scope="LoadBalancer[]")
+        assert "LoadBalancer::lb1.Address" in by_key(out)
+
+    def test_nested_record_scope(self):
+        out = get_driver("csv").parse(self.CSV, scope="Dc::D1.LB[]")
+        assert "Dc::D1.LB::lb1.Address" in by_key(out)
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("csv").parse("A,B\n1\n")
+
+    def test_empty_csv(self):
+        assert get_driver("csv").parse("") == []
+
+
+class TestRESTDriver:
+    def setup_method(self):
+        clear_endpoints()
+
+    def test_registered_endpoint(self):
+        register_endpoint("10.1.2.3:443", {"status": {"state": "running"}})
+        out = get_driver("rest").parse("10.1.2.3:443")
+        assert by_key(out) == {"status.state": "running"}
+
+    def test_unregistered_endpoint_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("rest").parse("10.9.9.9:443")
+
+    def test_parse_file_uses_url(self):
+        register_endpoint("http://api/x", {"a": 1})
+        out = get_driver("rest").parse_file("http://api/x")
+        assert by_key(out) == {"a": "1"}

@@ -1,0 +1,113 @@
+"""Editor integration: validate-as-you-type (paper §5.1 scenario 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigStore
+from repro.console import Diagnostic, EditorValidator, check_spec_text
+from repro.errors import CPLSyntaxError
+from repro.repository.keys import parse_instance_key
+from repro.repository.model import ConfigInstance
+
+SPECS = """
+$fabric.Timeout -> int & [1, 60]
+$fabric.Endpoint -> url
+$fabric.Flag -> bool
+"""
+
+GOOD_BUFFER = """[fabric]
+Timeout = 30
+Endpoint = https://x.example.com
+Flag = true
+"""
+
+BAD_BUFFER = """[fabric]
+Timeout = ninety
+Endpoint = https://x.example.com
+Flag = true
+"""
+
+
+class TestEditorValidator:
+    def test_clean_buffer_no_diagnostics(self):
+        editor = EditorValidator(SPECS, "ini")
+        assert editor.update(GOOD_BUFFER) == []
+
+    def test_type_error_located_on_its_line(self):
+        editor = EditorValidator(SPECS, "ini")
+        diagnostics = editor.update(BAD_BUFFER)
+        assert len(diagnostics) == 1
+        assert diagnostics[0].line == 2
+        assert "ninety" in diagnostics[0].message
+        assert diagnostics[0].key == "fabric.Timeout"
+
+    def test_incremental_fix_clears_diagnostics(self):
+        editor = EditorValidator(SPECS, "ini")
+        assert editor.update(BAD_BUFFER)
+        assert editor.update(BAD_BUFFER.replace("ninety", "45")) == []
+
+    def test_unchanged_buffer_not_revalidated(self):
+        editor = EditorValidator(SPECS, "ini")
+        editor.update(GOOD_BUFFER)
+        runs = editor.validations_run
+        editor.update(GOOD_BUFFER)
+        assert editor.validations_run == runs
+
+    def test_malformed_buffer_is_a_diagnostic_not_a_crash(self):
+        editor = EditorValidator(SPECS, "ini")
+        diagnostics = editor.update("[fabric\nTimeout = 5\n")
+        assert diagnostics
+        assert diagnostics[0].severity == "error"
+        assert diagnostics[0].line == 1
+
+    def test_bad_spec_corpus_fails_fast(self):
+        with pytest.raises(CPLSyntaxError):
+            EditorValidator("$broken ->", "ini")
+
+    def test_context_store_enables_cross_source_specs(self):
+        context = ConfigStore()
+        context.add(
+            ConfigInstance(parse_instance_key("auth.SecretKey"), "k-123456", "auth")
+        )
+        editor = EditorValidator(
+            "$fabric.SecretKey -> == $auth.SecretKey", "ini", context_store=context
+        )
+        assert editor.update("[fabric]\nSecretKey = k-123456\n") == []
+        stale = editor.update("[fabric]\nSecretKey = k-OLD\n")
+        assert len(stale) == 1
+        assert stale[0].line == 2
+
+    def test_diagnostic_render(self):
+        diagnostic = Diagnostic(3, "error", "bad value")
+        assert diagnostic.render() == "line 3: error: bad value"
+        assert Diagnostic(0, "error", "x").render().startswith("buffer")
+
+
+class TestSpecLinting:
+    def test_valid_specs_clean(self):
+        assert check_spec_text(SPECS) == []
+
+    def test_syntax_error_reported_with_line(self):
+        diagnostics = check_spec_text("$a -> int\n$b ->")
+        assert len(diagnostics) == 1
+        assert diagnostics[0].line == 2
+
+    def test_undefined_macro_flagged(self):
+        diagnostics = check_spec_text("$a -> @NoSuchMacro")
+        assert any("NoSuchMacro" in d.message for d in diagnostics)
+
+    def test_macro_defined_before_use_ok(self):
+        assert check_spec_text("let M := int\n$a -> @M") == []
+
+    def test_macro_used_before_definition_flagged(self):
+        diagnostics = check_spec_text("$a -> @M\nlet M := int")
+        assert diagnostics
+
+    def test_unknown_predicate_flagged(self):
+        diagnostics = check_spec_text("$a -> frobnicate")
+        assert any("frobnicate" in d.message for d in diagnostics)
+
+    def test_lints_inside_blocks(self):
+        diagnostics = check_spec_text("compartment C {\n$a -> @Nope\n}")
+        assert diagnostics

@@ -1,0 +1,401 @@
+"""Validation engine semantics: quantifiers, compartments, namespaces,
+piping, variables, conditions (paper §4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationSession, parse
+from repro.core import Evaluator, ValidationReport
+from repro.errors import EvaluationError, UnknownMacroError
+from repro.runtime import FakeFileSystem, StaticRuntime
+
+
+def session_for(make_store, pairs, **kwargs):
+    return ValidationSession(store=make_store(pairs), **kwargs)
+
+
+def run(session, text):
+    return session.validate(text)
+
+
+class TestBasicIteration:
+    def test_forall_default_all_instances_checked(self, make_store):
+        session = session_for(make_store, [
+            ("A::1.Timeout", "5"), ("A::2.Timeout", "7"), ("A::3.Timeout", "x"),
+        ])
+        report = run(session, "$Timeout -> int")
+        assert len(report.violations) == 1
+        assert report.violations[0].key == "A::3.Timeout"
+
+    def test_empty_domain_vacuous_pass(self, make_store):
+        session = session_for(make_store, [("A.K", "v")])
+        report = run(session, "$NoSuchKey -> int")
+        assert report.passed
+
+    def test_exists_quantifier(self, make_store):
+        session = session_for(make_store, [("A::1.K", "x"), ("A::2.K", "5")])
+        assert run(session, "$K -> exists int").passed
+        assert not run(session, "$K -> exists bool").passed
+
+    def test_exactly_one_quantifier(self, make_store):
+        session = session_for(make_store, [("A::1.K", "5"), ("A::2.K", "x")])
+        assert run(session, "$K -> one int").passed
+        session2 = session_for(make_store, [("A::1.K", "5"), ("A::2.K", "6")])
+        assert not run(session2, "$K -> one int").passed
+
+    def test_compound_and_or_not(self, make_store):
+        session = session_for(make_store, [("A.K", "")])
+        assert run(session, "$K -> ~nonempty | int").passed
+        assert not run(session, "$K -> nonempty & int").passed
+
+    def test_if_predicate_with_else(self, make_store):
+        session = session_for(make_store, [("A::1.K", "10"), ("A::2.K", "x")])
+        # ints must be in range; non-ints must be nonempty
+        assert run(session, "$K -> if (int) [5, 15] else nonempty").passed
+
+    def test_relation_statement(self, make_store):
+        session = session_for(make_store, [("A.lo", "3"), ("A.hi", "9")])
+        assert run(session, "$lo <= $hi").passed
+        assert not run(session, "$lo >= $hi").passed
+
+    def test_relation_cartesian_default(self, make_store):
+        # multiple operand instances: ∀ over the product by default
+        session = session_for(make_store, [
+            ("A.K", "5"), ("B::1.Max", "10"), ("B::2.Max", "4"),
+        ])
+        assert not run(session, "$K <= $Max").passed
+        assert run(session, "$K -> exists <= $Max").passed
+
+    def test_membership_in_domain_values(self, make_store):
+        session = session_for(make_store, [
+            ("Cluster::C1.MachinePool", "mp1"),
+            ("MachinePool::1.Name", "mp1"),
+            ("MachinePool::2.Name", "mp2"),
+        ])
+        assert run(session, "$Cluster.MachinePool -> {$MachinePool.Name}").passed
+        session2 = session_for(make_store, [
+            ("Cluster::C1.MachinePool", "mp9"),
+            ("MachinePool::1.Name", "mp1"),
+        ])
+        assert not run(session2, "$Cluster.MachinePool -> {$MachinePool.Name}").passed
+
+
+class TestAggregatesInEngine:
+    def test_consistent(self, make_store):
+        session = session_for(make_store, [
+            ("A::1.F", "80"), ("A::2.F", "80"), ("A::3.F", "75"),
+        ])
+        report = run(session, "$F -> consistent")
+        assert len(report.violations) == 1
+        assert report.violations[0].key == "A::3.F"
+
+    def test_unique(self, make_store):
+        session = session_for(make_store, [
+            ("A::1.IP", "10.0.0.1"), ("A::2.IP", "10.0.0.2"), ("A::3.IP", "10.0.0.1"),
+        ])
+        report = run(session, "$IP -> unique")
+        assert len(report.violations) == 1
+        assert report.violations[0].key == "A::3.IP"
+
+    def test_aggregate_mixed_with_value_predicate(self, make_store):
+        session = session_for(make_store, [
+            ("A::1.P", "2001:db8::/32"), ("A::2.P", "2001:db8::/32"),
+        ])
+        # duplicate CIDRs: unique fails even though cidr passes
+        report = run(session, "$P -> unique & cidr")
+        assert len(report.violations) == 1
+
+    def test_or_with_aggregate_saves_empty_duplicates(self, make_store):
+        # paper: $IPv6Prefix -> ~nonempty | (unique & cidr)
+        session = session_for(make_store, [
+            ("A::1.P", ""), ("A::2.P", ""), ("A::3.P", "2001:db8::/32"),
+        ])
+        report = run(session, "$P -> ~nonempty | (unique & cidr)")
+        assert report.passed
+
+
+class TestCompartments:
+    def test_paired_bounds(self, cluster_store):
+        session = ValidationSession(store=cluster_store)
+        report = run(session, "compartment Cluster {\n$ProxyIP -> [$StartIP, $EndIP]\n}")
+        assert len(report.violations) == 1
+        assert "C2" in report.violations[0].key
+
+    def test_cartesian_without_compartment(self, cluster_store):
+        # without compartments, 2 proxies × 2 ranges: C1 proxy fails C2 range etc.
+        session = ValidationSession(store=cluster_store)
+        report = run(session, "$ProxyIP -> [$StartIP, $EndIP]")
+        assert len(report.violations) == 2
+
+    def test_compartment_relation_statement(self, make_store):
+        session = session_for(make_store, [
+            ("VLAN::1.StartIP", "10.0.0.1"), ("VLAN::1.EndIP", "10.0.0.9"),
+            ("VLAN::2.StartIP", "10.0.0.20"), ("VLAN::2.EndIP", "10.0.0.8"),
+        ])
+        report = run(session, "compartment VLAN {\n$StartIP <= $EndIP\n}")
+        assert len(report.violations) == 1
+        assert "VLAN::2" in report.violations[0].key
+
+    def test_missing_domain_skips_instance(self, make_store):
+        session = session_for(make_store, [
+            ("VLAN::1.StartIP", "10.0.0.1"), ("VLAN::1.EndIP", "10.0.0.9"),
+            ("VLAN::2.Comment", "no ips here"),
+        ])
+        report = run(session, "compartment VLAN {\n$StartIP <= $EndIP\n}")
+        assert report.passed
+        assert report.specs_skipped >= 1
+
+    def test_uniqueness_scoped_per_compartment(self, make_store):
+        # paper: blade location unique within a rack, reusable across racks
+        session = session_for(make_store, [
+            ("Rack::R1.Blade::B1.Location", "1"),
+            ("Rack::R1.Blade::B2.Location", "2"),
+            ("Rack::R2.Blade::B1.Location", "1"),
+            ("Rack::R2.Blade::B2.Location", "1"),
+        ])
+        report = run(session, "compartment Rack {\n$Blade.Location -> unique\n}")
+        assert len(report.violations) == 1
+        assert "R2" in report.violations[0].key
+
+    def test_inline_compartment_domain(self, make_store):
+        session = session_for(make_store, [
+            ("DC::D1.Pool::P1.FillFactor", "80"),
+            ("DC::D1.Pool::P2.FillFactor", "80"),
+            ("DC::D2.Pool::P1.FillFactor", "60"),
+            ("DC::D2.Pool::P2.FillFactor", "70"),
+        ])
+        report = run(session, "#[DC] $Pool.FillFactor# -> consistent")
+        assert len(report.violations) == 1
+        assert "D2" in report.violations[0].key
+
+    def test_nested_compartments(self, make_store):
+        session = session_for(make_store, [
+            ("DC::D1.Rack::R1.Blade::B1.Loc", "1"),
+            ("DC::D1.Rack::R1.Blade::B2.Loc", "1"),
+            ("DC::D2.Rack::R1.Blade::B1.Loc", "1"),
+        ])
+        report = run(
+            session,
+            "compartment DC {\ncompartment Rack {\n$Blade.Loc -> unique\n}\n}",
+        )
+        assert len(report.violations) == 1
+        assert "D1" in report.violations[0].key
+
+    def test_cross_reference_escapes_compartment(self, make_store):
+        # a domain living entirely outside the compartment class is usable
+        session = session_for(make_store, [
+            ("Cluster::C1.Timeout", "5"),
+            ("Cluster::C2.Timeout", "9"),
+            ("Global.MaxTimeout", "10"),
+        ])
+        report = run(session, "compartment Cluster {\n$Timeout <= $Global.MaxTimeout\n}")
+        assert report.passed
+
+
+class TestNamespaces:
+    def test_prefix_resolution(self, make_store):
+        session = session_for(make_store, [("r.s.k1", "5")])
+        assert run(session, "namespace r.s {\n$k1 -> int\n}").passed
+
+    def test_fallback_to_bare(self, make_store):
+        session = session_for(make_store, [("other.k1", "5")])
+        report = run(session, "namespace r.s {\n$other.k1 -> int\n}")
+        assert report.passed
+        assert report.instances_checked == 1
+
+    def test_multiple_namespaces_in_order(self, make_store):
+        session = session_for(make_store, [("a.k", "1"), ("b.k", "x")])
+        # namespace a wins: only a.k checked, and it is an int
+        assert run(session, "namespace a, b {\n$k -> int\n}").passed
+
+
+class TestVariables:
+    def test_variable_expansion_binds_per_value(self, make_store):
+        session = session_for(make_store, [
+            ("CloudName::1.CloudName", "east"),
+            ("CloudName::2.CloudName", "west"),
+            ("Fabric::east.TenantName", "east:t1"),
+            ("Fabric::west.TenantName", "west:t1"),
+        ])
+        report = run(
+            session,
+            "$Fabric::$CloudName.TenantName -> split(':') -> at(0) -> $_ == $CloudName",
+        )
+        assert report.passed
+
+    def test_variable_mismatch_detected(self, make_store):
+        session = session_for(make_store, [
+            ("CloudName::1.CloudName", "east"),
+            ("Fabric::east.TenantName", "WRONG:t1"),
+        ])
+        report = run(
+            session,
+            "$Fabric::$CloudName.TenantName -> split(':') -> at(0) -> $_ == $CloudName",
+        )
+        assert len(report.violations) == 1
+
+    def test_unbound_variable_domain_is_vacuous(self, make_store):
+        session = session_for(make_store, [("A.K", "v")])
+        report = run(session, "$Fabric::$NoSuchVar.T -> nonempty")
+        assert report.passed
+
+    def test_env_pseudo_domain(self, make_store):
+        runtime = StaticRuntime(environment={"os": "Linux"})
+        session = session_for(make_store, [("A.K", "v")], runtime=runtime)
+        assert run(session, "$env.os -> == 'Linux'").passed
+        assert not run(session, "$env.os -> == 'Windows'").passed
+
+
+class TestPipelines:
+    def test_split_then_each_element_checked(self, make_store):
+        session = session_for(make_store, [("A.IPs", "10.0.0.1,10.0.0.2")])
+        assert run(session, "$IPs -> split(',') -> ip").passed
+        session2 = session_for(make_store, [("A.IPs", "10.0.0.1,oops")])
+        assert not run(session2, "$IPs -> split(',') -> ip").passed
+
+    def test_at_indexing(self, make_store):
+        session = session_for(make_store, [("A.Pair", "3:9")])
+        assert run(session, "$Pair -> split(':') -> at(0) -> == 3").passed
+
+    def test_conditional_transform_pass_through(self, make_store):
+        session = session_for(make_store, [("A::1.V", ""), ("A::2.V", "5-7")])
+        # empty values skip the split; nonempty ones must split into ints
+        report = run(session, "$V -> if (nonempty) split('-') -> ~nonempty | int")
+        assert report.passed
+
+    def test_foreach_requery(self, make_store):
+        session = session_for(make_store, [
+            ("PoolName::1.PoolName", "p1"),
+            ("Pool::p1.Vip", "10.0.0.1"),
+            ("Pool::p2.Vip", "oops"),
+        ])
+        # only p1 is referenced by PoolName, so 'oops' is never checked
+        assert run(session, "$PoolName -> foreach($Pool::$_.Vip) -> ip").passed
+
+    def test_vip_ranges_paper_example(self, make_store):
+        session = session_for(make_store, [
+            ("Cluster::C1.StartIP", "10.0.0.1"),
+            ("Cluster::C1.EndIP", "10.0.0.100"),
+            ("Cluster::C1.VipRanges", "10.0.0.5-10.0.0.9;10.0.0.20-10.0.0.30"),
+        ])
+        spec = (
+            "compartment Cluster {\n"
+            "$VipRanges -> split(';') -> if (nonempty) split('-')\n"
+            "  -> [$StartIP, $EndIP]\n"
+            "}"
+        )
+        assert run(session, spec).passed
+        session2 = session_for(make_store, [
+            ("Cluster::C1.StartIP", "10.0.0.1"),
+            ("Cluster::C1.EndIP", "10.0.0.100"),
+            ("Cluster::C1.VipRanges", "10.0.0.5-10.0.0.9;10.9.9.1-10.9.9.2"),
+        ])
+        assert not run(session2, spec).passed
+
+    def test_reduce_transform_count(self, make_store):
+        session = session_for(make_store, [
+            ("A::1.K", "a"), ("A::2.K", "b"), ("A::3.K", "c"),
+        ])
+        assert run(session, "$K -> count -> == 3").passed
+
+    def test_tuple_step(self, make_store):
+        session = session_for(make_store, [("A.R", "5-9")])
+        assert run(session, "$R -> split('-') -> [at(0), at(1)] -> [1, 10]").passed
+
+
+class TestDomainsAdvanced:
+    def test_arithmetic_domain(self, make_store):
+        session = session_for(make_store, [("A.used", "30"), ("A.free", "70")])
+        assert run(session, "$used + $free -> == 100").passed
+
+    def test_arithmetic_non_numeric_raises(self, make_store):
+        session = session_for(make_store, [("A.used", "x"), ("A.free", "70")])
+        with pytest.raises(EvaluationError):
+            run(session, "$used - $free -> == 100")
+
+    def test_prefix_transform_domain(self, make_store):
+        session = session_for(make_store, [("A.Name", "MiXeD")])
+        assert run(session, "lower($Name) -> == 'mixed'").passed
+
+    def test_union_domain(self, make_store):
+        session = session_for(make_store, [("A.k1", "1"), ("A.k2", "x")])
+        report = run(session, "$k1, $k2 -> int")
+        assert len(report.violations) == 1
+
+
+class TestIfStatements:
+    def test_condition_gates_then(self, make_store):
+        session = session_for(make_store, [
+            ("R::1.Gateway", "LoadBalancerGateway"),
+            ("LBSet::1.Device", ""),
+        ])
+        spec = (
+            "if (exists $R.Gateway == 'LoadBalancerGateway')\n"
+            "  $LBSet.Device -> nonempty"
+        )
+        report = run(session, spec)
+        assert len(report.violations) == 1
+
+    def test_condition_false_skips_then(self, make_store):
+        session = session_for(make_store, [
+            ("R::1.Gateway", "DirectGateway"),
+            ("LBSet::1.Device", ""),
+        ])
+        spec = (
+            "if (exists $R.Gateway == 'LoadBalancerGateway')\n"
+            "  $LBSet.Device -> nonempty"
+        )
+        assert run(session, spec).passed
+
+    def test_else_branch(self, make_store):
+        session = session_for(make_store, [("A.Flag", "false"), ("A.Alt", "")])
+        spec = "if ($Flag == 'true') $Alt -> nonempty else $Alt -> ~nonempty"
+        assert run(session, spec).passed
+
+    def test_empty_condition_domain_is_false_for_exists(self, make_store):
+        session = session_for(make_store, [("A.K", "v")])
+        spec = "if (exists $NoSuch == 'x') $K -> int"
+        assert run(session, spec).passed  # condition false → then skipped
+
+
+class TestMacrosAndErrors:
+    def test_macro_definition_and_use(self, make_store):
+        session = session_for(make_store, [("A::1.P", "10.0.0.0/24"),
+                                           ("A::2.P", "10.0.0.0/24")])
+        report = run(session, "let UniqueCIDR := unique & cidr\n$P -> @UniqueCIDR")
+        assert len(report.violations) == 1  # duplicate CIDR
+
+    def test_undefined_macro_raises(self, make_store):
+        session = session_for(make_store, [("A.K", "v")])
+        with pytest.raises(UnknownMacroError):
+            run(session, "$K -> @Nope")
+
+    def test_error_message_mentions_key_and_value(self, make_store):
+        session = session_for(make_store, [("Fabric::F1.Timeout", "oops")])
+        report = run(session, "$Timeout -> int")
+        violation = report.violations[0]
+        assert "Fabric::F1.Timeout" in violation.message
+        assert "oops" in violation.message
+        assert violation.constraint == "int"
+
+    def test_exists_runtime_predicate(self, make_store):
+        runtime = StaticRuntime(filesystem=FakeFileSystem(["/share/os/v2"]))
+        session = session_for(make_store, [("A.Path", "/share/os/v2")], runtime=runtime)
+        assert run(session, "$Path -> path & exists").passed
+        session2 = session_for(make_store, [("A.Path", "/share/os/v9")], runtime=runtime)
+        assert not run(session2, "$Path -> path & exists").passed
+
+
+class TestReportBookkeeping:
+    def test_counts(self, make_store):
+        session = session_for(make_store, [("A::1.K", "1"), ("A::2.K", "2")])
+        report = run(session, "$K -> int\n$K -> [0, 10]")
+        assert report.specs_evaluated >= 1
+        assert report.instances_checked >= 2
+        assert report.specs_failed == 0
+
+    def test_failed_spec_counted(self, make_store):
+        session = session_for(make_store, [("A.K", "x")])
+        report = run(session, "$K -> int")
+        assert report.specs_failed == 1

@@ -1,0 +1,209 @@
+"""Evaluator and language edge cases beyond the core semantics tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationSession
+from repro.cpl import parse
+from repro.errors import CPLSemanticError, CPLSyntaxError, EvaluationError
+from repro.runtime import StaticRuntime
+
+
+def session_for(make_store, pairs, **kwargs):
+    return ValidationSession(store=make_store(pairs), **kwargs)
+
+
+class TestDomainEdges:
+    def test_transform_domain_with_extra_args(self, make_store):
+        session = session_for(make_store, [("A.Name", "a-b-c")])
+        report = session.validate("replace($Name, '-', ':') -> == 'a:b:c'")
+        assert report.passed
+
+    def test_string_concat_plus(self, make_store):
+        session = session_for(make_store, [("A.Host", "web"), ("A.Tld", ".example.com")])
+        assert session.validate("$Host + $Tld -> == 'web.example.com'").passed
+
+    def test_division_by_zero_raises(self, make_store):
+        session = session_for(make_store, [("A.x", "4"), ("A.y", "0")])
+        with pytest.raises(EvaluationError):
+            session.validate("$x / $y -> int")
+
+    def test_float_division_result(self, make_store):
+        session = session_for(make_store, [("A.x", "7"), ("A.y", "2")])
+        assert session.validate("$x / $y -> == 3.5").passed
+
+    def test_integerized_division(self, make_store):
+        session = session_for(make_store, [("A.x", "8"), ("A.y", "2")])
+        assert session.validate("$x / $y -> == 4").passed
+
+    def test_unknown_env_fact_raises(self, make_store):
+        session = session_for(make_store, [("A.K", "v")])
+        with pytest.raises(EvaluationError):
+            session.validate("$env.nonsuch -> nonempty")
+
+    def test_multi_arg_domain_in_predicate_arg_requires_single_value(self, make_store):
+        session = session_for(make_store, [
+            ("A.K", "x"), ("P::1.Pat", "a"), ("P::2.Pat", "b"),
+        ])
+        with pytest.raises(EvaluationError):
+            session.validate("$K -> match($Pat)")
+
+    def test_single_valued_domain_as_predicate_arg(self, make_store):
+        session = session_for(make_store, [("A.K", "abc"), ("P.Pat", "b")])
+        assert session.validate("$K -> match($Pat)").passed
+
+    def test_load_inside_evaluator_rejected(self, make_store):
+        from repro.core import Evaluator
+
+        session = session_for(make_store, [("A.K", "v")])
+        program = parse("load 'ini' 'x.ini'")
+        evaluator = Evaluator(session.store)
+        with pytest.raises(CPLSemanticError):
+            evaluator.run(program.statements)
+
+
+class TestPredicateEdges:
+    def test_order_predicate_via_cpl(self, make_store):
+        session = session_for(make_store, [
+            ("A::1.Step", "1"), ("A::2.Step", "5"), ("A::3.Step", "3"),
+        ])
+        report = session.validate("$Step -> order")
+        assert len(report.violations) == 1
+
+    def test_order_desc_argument(self, make_store):
+        session = session_for(make_store, [
+            ("A::1.Step", "9"), ("A::2.Step", "5"), ("A::3.Step", "1"),
+        ])
+        assert session.validate("$Step -> order('desc')").passed
+
+    def test_list_value_relation_checks_all_elements(self, make_store):
+        session = session_for(make_store, [("A.Vals", "3,4,5")])
+        assert session.validate("$Vals -> split(',') -> <= 5").passed
+        assert not session.validate("$Vals -> split(',') -> <= 4").passed
+
+    def test_set_membership_on_list_value(self, make_store):
+        session = session_for(make_store, [("A.Tags", "red,blue")])
+        assert session.validate("$Tags -> split(',') -> {'red', 'blue', 'green'}").passed
+        assert not session.validate("$Tags -> split(',') -> {'red'}").passed
+
+    def test_exactly_one_relation(self, make_store):
+        session = session_for(make_store, [
+            ("A::1.Role", "primary"), ("A::2.Role", "backup"), ("A::3.Role", "backup"),
+        ])
+        assert session.validate("$Role -> one == 'primary'").passed
+        assert not session.validate("$Role -> one == 'backup'").passed
+
+    def test_quantified_compound_is_item_level(self, make_store):
+        session = session_for(make_store, [("A::1.K", ""), ("A::2.K", "5")])
+        assert session.validate("$K -> exists (nonempty & int)").passed
+
+    def test_not_failure_message(self, make_store):
+        session = session_for(make_store, [("A.K", "UtilityFabric01")])
+        report = session.validate("$K -> ~match('UtilityFabric')")
+        assert len(report.violations) == 1
+        assert "must not satisfy" in report.violations[0].message
+
+    def test_double_negation(self, make_store):
+        session = session_for(make_store, [("A.K", "5")])
+        assert session.validate("$K -> ~~int").passed
+
+    def test_length_predicate_via_cpl(self, make_store):
+        session = session_for(make_store, [("A.Code", "ab12")])
+        assert session.validate("$Code -> length(2, 6)").passed
+        assert not session.validate("$Code -> length(5, 9)").passed
+
+
+class TestScopingEdges:
+    def test_namespace_inside_compartment(self, make_store):
+        session = session_for(make_store, [
+            ("Cluster::C1.net.StartIP", "10.0.0.1"),
+            ("Cluster::C1.net.EndIP", "10.0.0.9"),
+            ("Cluster::C2.net.StartIP", "10.0.1.1"),
+            ("Cluster::C2.net.EndIP", "10.0.0.2"),
+        ])
+        spec = "compartment Cluster {\nnamespace net {\n$StartIP <= $EndIP\n}\n}"
+        report = session.validate(spec)
+        assert len(report.violations) == 1
+        assert "C2" in report.violations[0].key
+
+    def test_compartment_with_named_pattern(self, make_store):
+        session = session_for(make_store, [
+            ("Cluster::prod-1.Flag", "x"),
+            ("Cluster::test-1.Flag", ""),
+        ])
+        # compartment pattern with a wildcard qualifier
+        spec = "compartment Cluster::prod* {\n$Flag -> nonempty\n}"
+        assert session.validate(spec).passed
+
+    def test_dotted_compartment_name(self, make_store):
+        session = session_for(make_store, [
+            ("DC::D1.Rack::R1.Loc", "1"),
+            ("DC::D1.Rack::R2.Loc", "1"),
+        ])
+        # Rack alone pairs per rack; DC.Rack is equivalent here
+        report = session.validate("compartment DC.Rack {\n$Loc -> unique\n}")
+        assert report.passed
+
+    def test_variable_inside_compartment(self, make_store):
+        session = session_for(make_store, [
+            ("Want.WantedMode", "fast"),
+            ("Cluster::C1.Mode", "fast"),
+            ("Cluster::C2.Mode", "fast"),
+        ])
+        spec = "compartment Cluster {\n$Mode -> == $WantedMode\n}"
+        assert session.validate(spec).passed
+
+    def test_get_inside_compartment(self, make_store):
+        session = session_for(make_store, [
+            ("Cluster::C1.IP", "10.0.0.1"),
+            ("Cluster::C2.IP", "10.0.0.2"),
+        ])
+        report = session.validate("compartment Cluster {\nget $IP\n}")
+        assert len(report.notes) == 2
+
+
+class TestSyntaxEdges:
+    def test_bangbang_requires_string(self):
+        with pytest.raises(CPLSyntaxError):
+            parse("$K -> int !! 42")
+
+    def test_single_bang_requires_continuation(self):
+        with pytest.raises(CPLSyntaxError):
+            parse("$K -> int ! 'x'")
+
+    def test_empty_program(self):
+        assert parse("").statements == ()
+
+    def test_comment_only_program(self):
+        assert parse("// nothing\n/* here */\n").statements == ()
+
+    def test_unicode_everything(self, make_store):
+        session = session_for(make_store, [
+            ("A.lo", "1"), ("A.hi", "9"), ("A.K", "5"),
+        ])
+        report = session.validate("$lo ≤ $hi\n$K → int\n∃ $K == '5'")
+        assert report.passed
+
+    def test_stray_rbrace(self):
+        with pytest.raises(CPLSyntaxError):
+            parse("}")
+
+    def test_if_without_parens(self):
+        with pytest.raises(CPLSyntaxError):
+            parse("if $a == 'x' $b -> int")
+
+
+class TestRuntimeEdges:
+    def test_env_in_condition(self, make_store):
+        runtime = StaticRuntime(environment={"os": "Linux"})
+        session = session_for(make_store, [("A.Path", "")], runtime=runtime)
+        spec = "if ($env.os == 'Windows') $Path -> nonempty"
+        assert session.validate(spec).passed   # condition false on Linux
+
+    def test_reachable_via_cpl(self, make_store):
+        runtime = StaticRuntime(reachable={"10.0.0.1:443"})
+        session = session_for(
+            make_store, [("A.Endpoint", "10.0.0.1:443")], runtime=runtime
+        )
+        assert session.validate("$Endpoint -> reachable").passed

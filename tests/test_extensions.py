@@ -1,0 +1,186 @@
+"""Newer framework surface: custom error messages (§4.4), effective `get`,
+JSON reports, and the inference feedback loop (§6.3)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import InferenceEngine, ValidationSession
+from repro.cpl import ast, parse
+
+
+class TestCustomErrorMessages:
+    def test_parse_custom_message(self):
+        program = parse("$K -> int !! 'Timeout must be a number'")
+        spec = program.statements[0]
+        assert isinstance(spec, ast.SpecStatement)
+        assert spec.custom_message == "Timeout must be a number"
+
+    def test_override_applied(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "x")]))
+        report = session.validate("$K -> int !! 'K must be numeric'")
+        assert report.violations[0].message == "K must be numeric"
+
+    def test_placeholders_substituted(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "x")]))
+        report = session.validate("$K -> int !! '{key} got {value}'")
+        assert report.violations[0].message == "A.K got x"
+
+    def test_default_message_when_absent(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "x")]))
+        report = session.validate("$K -> int")
+        assert "not a valid int" in report.violations[0].message
+
+    def test_quantifier_violation_uses_override(self, make_store):
+        session = ValidationSession(store=make_store([("A::1.K", "x"), ("A::2.K", "y")]))
+        report = session.validate("$K -> exists int !! 'no numeric K anywhere'")
+        assert report.violations[0].message == "no numeric K anywhere"
+
+    def test_custom_message_specs_not_merged(self, make_store):
+        # merging would misattribute one spec's message to another's failure
+        session = ValidationSession(store=make_store([("A.K", "x")]))
+        report = session.validate(
+            "$K -> int !! 'numeric please'\n$K -> nonempty !! 'fill me in'"
+        )
+        assert {v.message for v in report.violations} == {"numeric please"}
+
+    def test_multiline_spec_with_message(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "99")]))
+        report = session.validate("$K -> int & [1, 10] !!\n'K out of band'")
+        assert report.violations[0].message == "K out of band"
+
+
+class TestGetCommand:
+    def test_get_populates_notes(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "v1"), ("B.K", "v2")]))
+        report = session.validate("get $K")
+        assert sorted(report.notes) == ["A.K = 'v1'", "B.K = 'v2'"]
+
+    def test_get_rendered_in_report(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "v1")]))
+        text = session.validate("get $K").render()
+        assert "A.K = 'v1'" in text
+
+    def test_get_inside_namespace(self, make_store):
+        session = ValidationSession(store=make_store([("r.s.K", "v")]))
+        report = session.validate("namespace r.s {\nget $K\n}")
+        assert report.notes == ["r.s.K = 'v'"]
+
+
+class TestJSONReports:
+    def test_round_trip(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "x")]))
+        report = session.validate("$K -> int")
+        data = json.loads(report.to_json())
+        assert data["passed"] is False
+        assert data["violations"][0]["key"] == "A.K"
+        assert data["violations"][0]["constraint"] == "int"
+        assert data["specs_evaluated"] == 1
+
+    def test_pass_shape(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "5")]))
+        data = session.validate("$K -> int").to_dict()
+        assert data["passed"] is True
+        assert data["violations"] == []
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        from repro.console import main
+
+        (tmp_path / "c.ini").write_text("[s]\nK = oops\n")
+        (tmp_path / "spec.cpl").write_text("$s.K -> int\n")
+        code = main([
+            "validate", str(tmp_path / "spec.cpl"),
+            "--source", f"ini:{tmp_path}/c.ini", "--format", "json",
+        ])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["passed"] is False
+
+
+class TestProfiling:
+    def test_spec_timings_collected(self, make_store):
+        session = ValidationSession(
+            store=make_store([("A.K", "5"), ("A.L", "true")]), profile=True
+        )
+        report = session.validate("$K -> int\n$L -> bool")
+        assert report.spec_timings
+        assert all(seconds >= 0 for seconds in report.spec_timings.values())
+
+    def test_slowest_specs_ranked(self, make_store):
+        session = ValidationSession(
+            store=make_store([(f"A::{i}.K", str(i)) for i in range(50)]),
+            profile=True,
+        )
+        report = session.validate("$K -> int & unique\n$NoSuch -> bool")
+        slowest = report.slowest_specs(1)
+        assert len(slowest) == 1
+        seconds, line, text = slowest[0]
+        assert "unique" in text or "NoSuch" in text
+
+    def test_profiling_off_by_default(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "5")]))
+        report = session.validate("$K -> int")
+        assert report.spec_timings == {}
+
+
+class TestListing2Fidelity:
+    def test_paper_listing2_is_a_one_liner(self, listing1_expanded_store):
+        """Paper Listing 2's nested-loop boolean check over every
+        CloudGroup/Cloud/Tenant is one CPL line."""
+        session = ValidationSession(store=listing1_expanded_store)
+        report = session.validate("$Tenant.MonitorNodeHealth -> bool")
+        assert report.passed
+        assert report.instances_checked == 4  # all four tenant scopes
+
+
+class TestInferenceFeedbackLoop:
+    def build(self, make_store, port):
+        pairs = [(f"A::{i}.Port", str(port + i % 3)) for i in range(30)]
+        pairs += [(f"A::{i}.Mode", "fast" if i % 2 else "safe") for i in range(30)]
+        return make_store(pairs)
+
+    def test_one_round_drops_first_failing_constraint(self, make_store):
+        good = self.build(make_store, 8000)
+        result = InferenceEngine().infer(good)
+        # ports legitimately moved; conjunctions short-circuit, so one round
+        # only reveals (and drops) the range constraint
+        drifted = self.build(make_store, 9000)
+        report = ValidationSession(store=drifted).validate(result.to_cpl())
+        assert not report.passed
+        refined = result.drop_misfiring(report)
+        assert len(refined.constraints) < len(result.constraints)
+
+    def test_refine_against_reaches_fixpoint(self, make_store):
+        good = self.build(make_store, 8000)
+        result = InferenceEngine().infer(good)
+        drifted = self.build(make_store, 9000)
+        refined, rounds = result.refine_against(drifted)
+        assert 1 <= rounds <= 5
+        assert len(refined.constraints) < len(result.constraints)
+        assert ValidationSession(store=drifted).validate(refined.to_cpl()).passed
+        # untouched Mode constraints survive the refinement
+        assert any(c.class_key[-1] == "Mode" for c in refined.constraints)
+
+    def test_refined_specs_still_catch_real_errors(self, make_store):
+        good = self.build(make_store, 8000)
+        result = InferenceEngine().infer(good)
+        drifted = self.build(make_store, 9000)
+        refined, __ = result.refine_against(drifted)
+
+        broken_pairs = [(f"A::{i}.Port", str(9000 + i % 3)) for i in range(30)]
+        broken_pairs += [
+            (f"A::{i}.Mode", "fsat" if i == 0 else ("fast" if i % 2 else "safe"))
+            for i in range(30)
+        ]
+        broken = make_store(broken_pairs)
+        report3 = ValidationSession(store=broken).validate(refined.to_cpl())
+        assert [v.value for v in report3.violations] == ["fsat"]
+
+    def test_drop_is_idempotent_on_clean_report(self, make_store):
+        good = self.build(make_store, 8000)
+        result = InferenceEngine().infer(good)
+        clean_report = ValidationSession(store=good).validate(result.to_cpl())
+        refined = result.drop_misfiring(clean_report)
+        assert len(refined.constraints) == len(result.constraints)

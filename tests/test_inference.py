@@ -1,0 +1,239 @@
+"""Inference engine (paper §4.5): heuristics, lattice properties, soundness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConfigStore, InferenceEngine, ValidationSession
+from repro.inference import InferenceOptions
+from repro.inference.typelattice import element_type, infer_value_type, is_list_type, join_all, lub
+from repro.repository.keys import parse_instance_key
+from repro.repository.model import ConfigInstance
+
+
+def store_with(class_values: dict[str, list[str]]):
+    store = ConfigStore()
+    for class_text, values in class_values.items():
+        for index, value in enumerate(values):
+            key = parse_instance_key(f"S::i{index}.{class_text}")
+            store.add(ConfigInstance(key, value, "t"))
+    return store
+
+
+def kinds_for(result, leaf):
+    return {
+        c.kind for c in result.constraints if c.class_key[-1] == leaf
+    }
+
+
+class TestTypeLattice:
+    def test_widening_chain(self):
+        assert lub("int", "float") == "float"
+        assert lub("int", "string") == "string"
+        assert lub("ipv4", "cidr") == "string"
+
+    def test_scalar_vs_list(self):
+        # the paper's example: int mixed with list-of-int → list<int>
+        assert lub("int", "list<int>") == "list<int>"
+        assert lub("ipv4", "list<ipv4>") == "list<ipv4>"
+        assert lub("int", "list<float>") == "list<float>"
+
+    def test_list_vs_list(self):
+        assert lub("list<int>", "list<float>") == "list<float>"
+        assert lub("list<int>", "list<ipv4>") == "list<string>"
+
+    def test_helpers(self):
+        assert is_list_type("list<int>")
+        assert not is_list_type("int")
+        assert element_type("list<ipv4>") == "ipv4"
+        assert element_type("int") == "int"
+
+    def test_join_all_empty(self):
+        assert join_all([]) == "string"
+
+    def test_infer_value_type_skips_empties(self):
+        assert infer_value_type(["5", "", "7"]) == "int"
+
+    @given(st.sampled_from(["bool", "int", "float", "ipv4", "cidr", "string",
+                            "list<int>", "list<ipv4>", "list<string>"]))
+    def test_property_idempotent(self, a):
+        assert lub(a, a) == a
+
+    @given(
+        st.sampled_from(["bool", "int", "float", "ipv4", "string", "list<int>"]),
+        st.sampled_from(["bool", "int", "float", "ipv4", "string", "list<int>"]),
+    )
+    def test_property_commutative(self, a, b):
+        assert lub(a, b) == lub(b, a)
+
+    @given(
+        st.sampled_from(["bool", "int", "float", "ipv4", "string", "list<int>"]),
+        st.sampled_from(["bool", "int", "float", "ipv4", "string", "list<int>"]),
+        st.sampled_from(["bool", "int", "float", "ipv4", "string", "list<int>"]),
+    )
+    def test_property_associative(self, a, b, c):
+        assert lub(lub(a, b), c) == lub(a, lub(b, c))
+
+    @given(st.lists(st.sampled_from(["5", "7", "5,7", "x", "10.0.0.1"]),
+                    min_size=1, max_size=8))
+    def test_property_join_order_independent(self, values):
+        import itertools
+
+        forward = infer_value_type(values)
+        backward = infer_value_type(list(reversed(values)))
+        assert forward == backward
+
+
+class TestHeuristics:
+    def test_type_inferred_for_uniform_ints(self):
+        result = InferenceEngine().infer(store_with({"Timeout": ["5", "7", "9"]}))
+        assert "type" in kinds_for(result, "Timeout")
+
+    def test_string_type_not_counted(self):
+        result = InferenceEngine().infer(store_with({"Owner": ["alice", "bob"]}))
+        assert "type" not in kinds_for(result, "Owner")
+
+    def test_mixed_scalar_list_widens(self):
+        result = InferenceEngine().infer(
+            store_with({"IPs": ["10.0.0.1", "10.0.0.1,10.0.0.2", "10.0.0.3"]})
+        )
+        types = [c for c in result.constraints if c.kind == "type"]
+        assert types[0].type_name == "list<ipv4>"
+        assert types[0].predicate_name() == "list_ip"
+
+    def test_nonempty_requires_all_nonempty(self):
+        result = InferenceEngine().infer(store_with({"A": ["x", ""], "B": ["x", "y"]}))
+        assert "nonempty" not in kinds_for(result, "A")
+        assert "nonempty" in kinds_for(result, "B")
+
+    def test_range_needs_distinct_evidence(self):
+        options = InferenceOptions(range_min_distinct=3)
+        result = InferenceEngine(options).infer(
+            store_with({"Few": ["5", "5", "7"], "Many": ["5", "7", "9"]})
+        )
+        assert "range" not in kinds_for(result, "Few")
+        ranges = [c for c in result.constraints if c.kind == "range"]
+        assert ranges[0].low == 5 and ranges[0].high == 9
+
+    def test_enum_uses_paper_formula(self):
+        # ln(n) >= distinct: 2 distinct values need n >= e^2 ≈ 7.39 → 8 samples
+        values_enough = ["a", "b"] * 4      # n=8, ln(8)=2.08 >= 2 ✓
+        values_short = ["a", "b"] * 3       # n=6, ln(6)=1.79 < 2 ✗
+        result = InferenceEngine().infer(
+            store_with({"E1": values_enough, "E2": values_short})
+        )
+        assert "enum" in kinds_for(result, "E1")
+        assert "enum" not in kinds_for(result, "E2")
+
+    def test_enum_capped_by_max_values(self):
+        options = InferenceOptions(max_enum_values=3)
+        values = [f"v{i}" for i in range(4)] * 20
+        result = InferenceEngine(options).infer(store_with({"E": values}))
+        assert "enum" not in kinds_for(result, "E")
+
+    def test_enum_skipped_for_bool(self):
+        result = InferenceEngine().infer(store_with({"Flag": ["true", "false"] * 10}))
+        kinds = kinds_for(result, "Flag")
+        assert "type" in kinds and "enum" not in kinds
+
+    def test_consistency_threshold(self):
+        options = InferenceOptions(consistency_min_instances=5)
+        result = InferenceEngine(options).infer(
+            store_with({"C1": ["x"] * 5, "C2": ["x"] * 4})
+        )
+        assert "consistency" in kinds_for(result, "C1")
+        assert "consistency" not in kinds_for(result, "C2")
+
+    def test_uniqueness_threshold(self):
+        options = InferenceOptions(uniqueness_min_instances=10)
+        unique_values = [f"id-{i}" for i in range(10)]
+        result = InferenceEngine(options).infer(
+            store_with({"U1": unique_values, "U2": unique_values[:9]})
+        )
+        assert "uniqueness" in kinds_for(result, "U1")
+        assert "uniqueness" not in kinds_for(result, "U2")
+
+    def test_equality_clustering_with_paper_filters(self):
+        options = InferenceOptions(equality_min_instances=20,
+                                   equality_min_value_length=6)
+        long_values = [f"secret-{i:04d}" for i in range(20)]
+        short_values = ["ab"] * 20
+        result = InferenceEngine(options).infer(store_with({
+            "KeyA": long_values,
+            "KeyB": long_values,
+            "ShortA": short_values,
+            "ShortB": short_values,
+            "Small": long_values[:5],
+        }))
+        equalities = [c for c in result.constraints if c.kind == "equality"]
+        assert len(equalities) == 1
+        involved = {equalities[0].class_key[-1], equalities[0].other[-1]}
+        assert involved == {"KeyA", "KeyB"}
+
+
+class TestResult:
+    def test_counts_by_kind(self):
+        result = InferenceEngine().infer(store_with({
+            "T": ["1", "2", "3"],
+            "F": ["true"] * 6,
+        }))
+        counts = result.counts_by_kind()
+        assert counts["type"] >= 2
+        assert counts["nonempty"] >= 2
+
+    def test_histogram_includes_zero_bucket(self):
+        result = InferenceEngine().infer(store_with({
+            "Typed": ["1", "2", "3"],
+            "Free": ["alpha", ""],  # nothing inferable
+        }))
+        histogram = result.histogram()
+        assert histogram.get(0, 0) == 1
+        assert sum(histogram.values()) == result.classes_analyzed
+
+    def test_to_cpl_parses(self):
+        from repro import parse
+
+        result = InferenceEngine().infer(store_with({
+            "Timeout": ["1", "2", "3"],
+            "Mode": ["a", "b"] * 5,
+            "Id": [f"x-{i:06d}" for i in range(12)],
+        }))
+        program = parse(result.to_cpl())
+        assert len(program.statements) == len(result.constraints)
+
+    def test_covers(self):
+        result = InferenceEngine().infer(store_with({"T": ["1", "2", "3"]}))
+        assert result.covers(("S", "T"), "type")
+        assert not result.covers(("S", "T"), "uniqueness")
+
+
+class TestSoundness:
+    @given(
+        st.dictionaries(
+            keys=st.sampled_from(["A", "B", "C", "D"]),
+            values=st.lists(
+                st.sampled_from([
+                    "5", "42", "3.5", "true", "false", "10.0.0.1", "10.0.0.2",
+                    "x", "", "a,b", "1,2,3", "https://x.io", "/var/lib",
+                    "secret-000001", "secret-000002",
+                ]),
+                min_size=1,
+                max_size=25,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_inferred_specs_pass_on_training_data(self, class_values):
+        """Black-box inference must never flag the data it was mined from."""
+        store = store_with(class_values)
+        result = InferenceEngine().infer(store)
+        if not result.constraints:
+            return
+        report = ValidationSession(store=store).validate(result.to_cpl())
+        assert report.passed, report.render(limit=5)

@@ -1,0 +1,166 @@
+"""End-to-end integration: the paper's own scenarios, driven whole."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    InferenceEngine,
+    StaticRuntime,
+    ValidationSession,
+)
+from repro.drivers import clear_endpoints, register_endpoint
+from repro.runtime import FakeFileSystem
+
+
+class TestListing5EndToEnd:
+    """The complete Listing 5 program against a matching store."""
+
+    def build_session(self, tmp_path):
+        runtime = StaticRuntime(filesystem=FakeFileSystem(["/path/to/os"]))
+        session = ValidationSession(runtime=runtime, base_dir=str(tmp_path))
+        session.load_text("xml", """
+        <Cluster Name="C1">
+          <Setting Key="MachinePool" Value="mp-compute"/>
+          <Setting Key="StartIP" Value="10.0.0.1"/>
+          <Setting Key="EndIP" Value="10.0.0.100"/>
+          <Setting Key="ProxyIP" Value="10.0.0.7"/>
+          <Setting Key="IPv6Prefix" Value=""/>
+        </Cluster>
+        <Cluster Name="C2">
+          <Setting Key="MachinePool" Value="mp-storage"/>
+          <Setting Key="StartIP" Value="10.1.0.1"/>
+          <Setting Key="EndIP" Value="10.1.0.100"/>
+          <Setting Key="ProxyIP" Value="10.1.0.7"/>
+          <Setting Key="IPv6Prefix" Value="2001:db8::/32"/>
+        </Cluster>
+        <MachinePool Name="mp-compute"><Setting Key="Name" Value="mp-compute"/></MachinePool>
+        <MachinePool Name="mp-storage"><Setting Key="Name" Value="mp-storage"/></MachinePool>
+        <Datacenter Name="D1">
+          <Machinepool Name="p1"><Setting Key="FillFactor" Value="80"/></Machinepool>
+          <Machinepool Name="p2"><Setting Key="FillFactor" Value="80"/></Machinepool>
+        </Datacenter>
+        <Fabric>
+          <Setting Key="AlertFailNodesThreshold" Value="10"/>
+        </Fabric>
+        <RoutingEntry><Setting Key="Gateway" Value="LoadBalancerGateway"/></RoutingEntry>
+        <LoadBalancerSet Name="L1"><Setting Key="Device" Value="dev-1"/></LoadBalancerSet>
+        """, source="demo")
+        return session
+
+    def test_full_program_passes(self, tmp_path):
+        (tmp_path / "type_checks.cpl").write_text(
+            "$Fabric.AlertFailNodesThreshold -> int\n"
+        )
+        session = self.build_session(tmp_path)
+        report = session.validate("""
+        include 'type_checks.cpl'
+        let UniqueCIDR := unique & cidr
+
+        $Cluster.MachinePool -> {$MachinePool.Name}
+        $Fabric.AlertFailNodesThreshold -> int & nonempty & [5,15]
+        #[Datacenter] $Machinepool.FillFactor# -> consistent
+        compartment Cluster {
+          $ProxyIP -> [$StartIP, $EndIP]
+          $IPv6Prefix -> ~nonempty | @UniqueCIDR
+        }
+        if (exists $RoutingEntry.Gateway == 'LoadBalancerGateway')
+          $LoadBalancerSet.Device -> nonempty
+        """)
+        assert report.passed, report.render()
+
+    def test_violations_pinpoint_instances(self, tmp_path):
+        (tmp_path / "type_checks.cpl").write_text("")
+        session = self.build_session(tmp_path)
+        session.load_text("xml", """
+        <Cluster Name="C3">
+          <Setting Key="MachinePool" Value="mp-gpu"/>
+          <Setting Key="StartIP" Value="10.2.0.1"/>
+          <Setting Key="EndIP" Value="10.2.0.100"/>
+          <Setting Key="ProxyIP" Value="10.9.0.7"/>
+          <Setting Key="IPv6Prefix" Value=""/>
+        </Cluster>
+        """, source="update")
+        report = session.validate("""
+        $Cluster.MachinePool -> {$MachinePool.Name}
+        compartment Cluster { $ProxyIP -> [$StartIP, $EndIP] }
+        """)
+        keys = {v.key for v in report.violations}
+        assert "Cluster::C3.MachinePool" in keys
+        assert "Cluster::C3.ProxyIP" in keys
+        assert len(report.violations) == 2
+
+
+class TestCrossSourceValidation:
+    """Paper §4.2.2: cross-validating different configuration sources."""
+
+    def test_controller_vs_auth_secret_keys(self):
+        clear_endpoints()
+        register_endpoint(
+            "auth.internal:443", {"auth": {"SecretKey": "s3cr3t-value-01"}}
+        )
+        session = ValidationSession()
+        session.load_text("ini", "[controller]\nSecretKey = s3cr3t-value-01\n")
+        session.load_source("rest", "auth.internal:443")
+        report = session.validate("$controller.SecretKey -> == $auth.SecretKey")
+        assert report.passed
+
+    def test_cross_source_mismatch_detected(self):
+        clear_endpoints()
+        register_endpoint("auth.internal:443", {"auth": {"SecretKey": "other"}})
+        session = ValidationSession()
+        session.load_text("ini", "[controller]\nSecretKey = s3cr3t-value-01\n")
+        session.load_source("rest", "auth.internal:443")
+        report = session.validate("$controller.SecretKey -> == $auth.SecretKey")
+        assert len(report.violations) == 1
+
+    def test_mixed_formats_unified(self):
+        session = ValidationSession()
+        session.load_text("xml", "<A><Setting Key='Timeout' Value='30'/></A>")
+        session.load_text("ini", "[B]\nTimeout = 30\n")
+        session.load_text("json", '{"C": {"Timeout": 30}}')
+        session.load_text("yaml", "D:\n  Timeout: 30\n")
+        report = session.validate("$Timeout -> int & consistent")
+        assert report.passed
+        assert report.instances_checked == 4
+
+
+class TestInferThenValidateWorkflow:
+    """The paper's main loop: mine specs from good data, validate updates."""
+
+    def test_workflow(self):
+        good = ValidationSession()
+        lines = []
+        for index in range(30):
+            lines.append(f"Cluster::C{index}.Timeout = {20 + index % 10}")
+            lines.append(f"Cluster::C{index}.Mode = {'fast' if index % 2 else 'safe'}")
+        good.load_text("keyvalue", "\n".join(lines))
+        inferred = InferenceEngine().infer(good.store)
+
+        update = ValidationSession()
+        update.load_text(
+            "keyvalue",
+            "Cluster::C0.Timeout = 9999\nCluster::C1.Mode = fsat\n"
+            "Cluster::C2.Timeout = 25\nCluster::C3.Mode = safe\n",
+        )
+        report = update.validate(inferred.to_cpl())
+        assert len(report.violations) == 2
+        constraints = {v.constraint for v in report.violations}
+        assert "range" in constraints
+        assert "membership" in constraints
+
+    def test_report_grouping_flags_bad_inferred_spec(self):
+        """§6.3: a constraint failed by many instances is suspicious."""
+        good = ValidationSession()
+        good.load_text(
+            "keyvalue", "\n".join(f"A::{i}.Port = {8000 + i % 3}" for i in range(30))
+        )
+        inferred = InferenceEngine().infer(good.store)
+
+        # new snapshot where the port range legitimately moved
+        update = ValidationSession()
+        update.load_text(
+            "keyvalue", "\n".join(f"A::{i}.Port = {9000 + i % 3}" for i in range(30))
+        )
+        report = update.validate(inferred.to_cpl())
+        assert report.suspicious_constraints(threshold=10)

@@ -1,0 +1,103 @@
+"""OpenStack/CloudStack corpora: CPL and imperative baselines agree on
+broken data, not just on clean data (Table 4's functional equivalence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigStore, ValidationSession
+from repro.repository.model import ConfigInstance
+from repro.synthetic import (
+    CLOUDSTACK_SPECS,
+    OPENSTACK_SPECS,
+    generate_cloudstack,
+    generate_openstack,
+    validate_cloudstack,
+    validate_openstack,
+)
+
+
+def broken_store(dataset, leaf, new_value):
+    """Rebuild a dataset's store with one parameter's first instance broken."""
+    store = ConfigStore()
+    done = False
+    for instance in dataset.parse():
+        if not done and instance.key.leaf_name == leaf:
+            store.add(ConfigInstance(instance.key, new_value, instance.source))
+            done = True
+        else:
+            store.add(instance)
+    assert done, leaf
+    return store
+
+
+OPENSTACK_FAULTS = [
+    ("my_ip", "not-an-ip"),
+    ("osapi_compute_workers", "64"),
+    ("use_neutron", "maybe"),
+    ("virt_type", "hyperv"),
+    ("report_interval", "0"),
+    ("instances_path", "relative/path"),
+    ("auth_url", "controller-no-scheme"),
+]
+
+
+@pytest.mark.parametrize("leaf,bad", OPENSTACK_FAULTS)
+def test_openstack_cpl_and_imperative_agree(leaf, bad):
+    dataset = generate_openstack(nodes=6)
+    store = broken_store(dataset, leaf, bad)
+    report = ValidationSession(store=store).validate(OPENSTACK_SPECS)
+    imperative = validate_openstack(store)
+    assert not report.passed, leaf
+    assert imperative, leaf
+    # both point at the same parameter
+    assert any(leaf in v.key for v in report.violations), leaf
+    assert any(leaf in error for error in imperative), leaf
+
+
+CLOUDSTACK_FAULTS = [
+    ("host", "999.0.0.1"),
+    ("list", "HyperV"),
+    ("enabled", "perhaps"),
+    ("url", "http://insecure.example.com"),
+    ("workers", "0"),
+    ("sites", "192.168.1.0"),
+    ("algorithm", "roundrobin"),
+]
+
+
+@pytest.mark.parametrize("leaf,bad", CLOUDSTACK_FAULTS)
+def test_cloudstack_cpl_and_imperative_agree(leaf, bad):
+    dataset = generate_cloudstack(zones=5)
+    store = broken_store(dataset, leaf, bad)
+    report = ValidationSession(store=store).validate(CLOUDSTACK_SPECS)
+    imperative = validate_cloudstack(store)
+    assert not report.passed, leaf
+    assert imperative, leaf
+
+
+def test_openstack_consistency_break():
+    # service_down_time <= report_interval on one host: the cross-parameter
+    # rule both sides implement
+    dataset = generate_openstack(nodes=6)
+    store = broken_store(dataset, "service_down_time", "5")
+    report = ValidationSession(store=store).validate(OPENSTACK_SPECS)
+    imperative = validate_openstack(store)
+    assert any(v.constraint in (">", "range") for v in report.violations)
+    assert any("service_down_time" in error for error in imperative)
+
+
+def test_openstack_duplicate_ip_detected_by_both():
+    dataset = generate_openstack(nodes=6)
+    instances = dataset.parse()
+    ips = [i for i in instances if i.key.leaf_name == "my_ip"]
+    store = ConfigStore()
+    for instance in instances:
+        if instance.key == ips[1].key:
+            store.add(ConfigInstance(instance.key, ips[0].value, instance.source))
+        else:
+            store.add(instance)
+    report = ValidationSession(store=store).validate(OPENSTACK_SPECS)
+    imperative = validate_openstack(store)
+    assert any(v.constraint == "unique" for v in report.violations)
+    assert any("duplicate my_ip" in error for error in imperative)

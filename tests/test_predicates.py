@@ -1,0 +1,200 @@
+"""Predicate primitives and the plug-in registry (paper §4.2.1, §4.2.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownPredicateError
+from repro.predicates import (
+    compare,
+    get_predicate,
+    in_range,
+    is_registered,
+    predicate_names,
+    register_aggregate,
+    register_predicate,
+)
+from repro.predicates.relational import coerce_pair, coerce_scalar
+from repro.runtime import FakeFileSystem, StaticRuntime
+
+
+class TestRegistry:
+    def test_paper_count_at_least_19_primitives(self):
+        # paper §5: "CPL provides 19 predicate primitives"
+        core = [n for n in predicate_names() if not n.startswith("list_")]
+        assert len(core) >= 19
+
+    def test_unknown_predicate_raises(self):
+        with pytest.raises(UnknownPredicateError):
+            get_predicate("no_such_predicate")
+
+    def test_plugin_registration(self):
+        register_predicate("is_even_test", lambda v: int(v) % 2 == 0)
+        spec = get_predicate("is_even_test")
+        assert spec.fn("4") is True
+        assert spec.fn("3") is False
+
+    def test_plugin_aggregate_registration(self):
+        def all_same_length(values):
+            lengths = {len(v) for v in values}
+            if len(lengths) <= 1:
+                return [], ""
+            majority = max(lengths, key=lambda l: sum(len(v) == l for v in values))
+            return [i for i, v in enumerate(values) if len(v) != majority], "length"
+
+        register_aggregate("same_length_test", all_same_length)
+        spec = get_predicate("same_length_test")
+        offenders, __ = spec.fn(["aa", "bb", "c"])
+        assert offenders == [2]
+
+    def test_is_registered(self):
+        assert is_registered("int")
+        assert not is_registered("frobnicate")
+
+
+class TestTypePredicates:
+    @pytest.mark.parametrize("name,good,bad", [
+        ("int", "5", "five"),
+        ("float", "5.5", "x"),
+        ("bool", "true", "2"),
+        ("ip", "10.0.0.1", "10.0.0"),
+        ("ipv6", "::1", "10.0.0.1"),
+        ("cidr", "10.0.0.0/8", "10.0.0.0"),
+        ("mac", "aa:bb:cc:dd:ee:ff", "aa:bb"),
+        ("port", "8080", "99999"),
+        ("url", "http://x.com", "x.com"),
+        ("email", "a@b.co", "a@b"),
+        ("guid", "deadbeef-dead-beef-dead-beefdeadbeef", "xyz"),
+        ("path", "/etc/hosts", "hosts"),
+        ("iprange", "10.0.0.1-10.0.0.2", "10.0.0.1"),
+    ])
+    def test_primitive(self, name, good, bad):
+        spec = get_predicate(name)
+        assert spec.fn(good) is True
+        assert spec.fn(bad) is False
+
+    def test_string_always_true(self):
+        assert get_predicate("string").fn("anything") is True
+
+    def test_list_variants(self):
+        assert get_predicate("list_ip").fn("10.0.0.1,10.0.0.2") is True
+        assert get_predicate("list_ip").fn("10.0.0.1,abc") is False
+        assert get_predicate("list_int").fn("5") is True  # singleton list
+
+
+class TestValuePredicates:
+    def test_nonempty(self):
+        spec = get_predicate("nonempty")
+        assert spec.fn("x") and not spec.fn("") and not spec.fn("   ")
+
+    def test_match_is_search_not_anchor(self):
+        spec = get_predicate("match")
+        assert spec.fn("UtilityFabric01", "UtilityFabric")
+        assert spec.fn("image.vhd", r"\.vhd$")
+        assert not spec.fn("image.iso", r"\.vhd$")
+
+    def test_fullmatch(self):
+        spec = get_predicate("fullmatch")
+        assert spec.fn("abc", "[a-c]+")
+        assert not spec.fn("abcd", "[a-c]+")
+
+    def test_startswith_endswith(self):
+        assert get_predicate("startswith").fn("slb-x", "slb-")
+        assert get_predicate("endswith").fn("a.vhd", ".vhd")
+
+    def test_range_numeric(self):
+        spec = get_predicate("range")
+        assert spec.fn("7", 5, 15)
+        assert not spec.fn("4", 5, 15)
+        assert spec.fn("5", 5, 15) and spec.fn("15", 5, 15)  # inclusive
+
+    def test_range_ip(self):
+        spec = get_predicate("range")
+        assert spec.fn("10.0.0.50", "10.0.0.1", "10.0.0.100")
+        assert not spec.fn("10.0.1.50", "10.0.0.1", "10.0.0.100")
+
+    def test_in_set(self):
+        spec = get_predicate("in")
+        assert spec.fn("compute", "compute", "storage")
+        assert not spec.fn("gpu", "compute", "storage")
+
+    def test_length(self):
+        spec = get_predicate("length")
+        assert spec.fn("abcd", 1, 10)
+        assert not spec.fn("", 1, 10)
+
+
+class TestAggregates:
+    def test_consistent_blames_minority(self):
+        spec = get_predicate("consistent")
+        offenders, detail = spec.fn(["80", "80", "75", "80"])
+        assert offenders == [2]
+        assert "80" in detail
+
+    def test_consistent_passes(self):
+        assert get_predicate("consistent").fn(["a", "a"])[0] == []
+        assert get_predicate("consistent").fn(["a"])[0] == []
+        assert get_predicate("consistent").fn([])[0] == []
+
+    def test_unique_blames_later_duplicates(self):
+        offenders, detail = get_predicate("unique").fn(["a", "b", "a", "a"])
+        assert offenders == [2, 3]
+        assert "'a'" in detail
+
+    def test_unique_passes(self):
+        assert get_predicate("unique").fn(["a", "b", "c"])[0] == []
+
+    def test_order_asc(self):
+        spec = get_predicate("order")
+        assert spec.fn(["1", "2", "10"])[0] == []  # numeric, not lexicographic
+        assert spec.fn(["2", "1"])[0] == [1]
+
+    def test_order_desc(self):
+        assert get_predicate("order").fn(["3", "2", "1"], "desc")[0] == []
+
+
+class TestRuntimePredicates:
+    def test_exists_with_fake_fs(self):
+        runtime = StaticRuntime(filesystem=FakeFileSystem([r"\\share\OS\v2"]))
+        spec = get_predicate("exists")
+        assert spec.fn(r"\\share\OS\v2", runtime=runtime)
+        assert spec.fn(r"\\share\OS", runtime=runtime)  # ancestor
+        assert not spec.fn(r"\\share\OS\v3", runtime=runtime)
+
+    def test_exists_without_runtime_fails_closed(self):
+        assert get_predicate("exists").fn("/anything") is False
+
+    def test_reachable(self):
+        runtime = StaticRuntime(reachable={"10.0.0.1:443"})
+        spec = get_predicate("reachable")
+        assert spec.fn("10.0.0.1:443", runtime=runtime)
+        assert not spec.fn("10.0.0.2:443", runtime=runtime)
+
+
+class TestComparison:
+    def test_numeric_coercion(self):
+        assert compare("5", "<", "10")       # not lexicographic
+        assert compare("5", "==", "5")
+        assert compare("5.0", "==", "5")
+
+    def test_ip_coercion(self):
+        assert compare("10.0.0.2", "<", "10.0.0.10")
+        assert not compare("10.0.0.2", "<", "10.0.0.1")
+
+    def test_string_fallback(self):
+        assert compare("apple", "<", "banana")
+        assert compare("5", "!=", "apple")
+
+    def test_mixed_types_compare_as_strings(self):
+        left, right = coerce_pair("5", "apple")
+        assert left == "5" and right == "apple"
+
+    def test_coerce_scalar(self):
+        assert coerce_scalar("42") == 42
+        assert coerce_scalar("4.5") == 4.5
+        assert str(coerce_scalar("10.0.0.1")) == "10.0.0.1"
+        assert coerce_scalar(" word ") == "word"
+
+    def test_in_range_helper(self):
+        assert in_range("7", "5", "9")
+        assert not in_range("70", "5", "9")

@@ -1,0 +1,124 @@
+"""Cross-cutting system properties (metamorphic + invariants)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConfigStore, ValidationSession, typesys
+from repro.repository.keys import parse_instance_key
+from repro.repository.model import ConfigInstance
+
+
+def store_of(pairs):
+    store = ConfigStore()
+    for key, value in pairs:
+        store.add(ConfigInstance(parse_instance_key(key), value, "t"))
+    return store
+
+
+SPEC = """
+$Cluster.Timeout -> int & [1, 60]
+$Cluster.Mode -> {'fast', 'safe'}
+$Node.IP -> ip & unique
+compartment Cluster {
+  $Floor <= $Ceiling
+}
+"""
+
+_CLUSTER_VALUES = {
+    "Timeout": ["30", "99", "x", ""],
+    "Mode": ["fast", "safe", "fsat"],
+    "Floor": ["1", "10"],
+    "Ceiling": ["5", "20"],
+}
+
+
+@st.composite
+def _cluster_pairs(draw):
+    pairs = []
+    for index in range(draw(st.integers(min_value=0, max_value=3))):
+        for param, values in _CLUSTER_VALUES.items():
+            pairs.append((f"Cluster::C{index}.{param}", draw(st.sampled_from(values))))
+    for index in range(draw(st.integers(min_value=0, max_value=3))):
+        pairs.append((f"Node::N{index}.IP",
+                      draw(st.sampled_from(["10.0.0.1", "10.0.0.2", "bad"]))))
+    return pairs
+
+
+def violations_of(pairs):
+    session = ValidationSession(store=store_of(pairs))
+    report = session.validate(SPEC)
+    return sorted((v.key, v.value, v.constraint) for v in report.violations)
+
+
+@given(_cluster_pairs())
+@settings(max_examples=80, deadline=None)
+def test_property_locality_unrelated_instances_dont_matter(pairs):
+    """Adding instances of classes no spec mentions changes nothing."""
+    baseline = violations_of(pairs)
+    noisy = pairs + [
+        ("Unrelated::U1.Comment", "free text"),
+        ("Other.Scope.Deep.Key", ""),
+        ("Cluster::C0.UnspecifiedParam", "whatever"),
+    ]
+    assert violations_of(noisy) == baseline
+
+
+@given(_cluster_pairs())
+@settings(max_examples=60, deadline=None)
+def test_property_spec_order_irrelevant(pairs):
+    """Reordering independent top-level specs preserves the violation set."""
+    lines = [
+        "$Cluster.Timeout -> int & [1, 60]",
+        "$Cluster.Mode -> {'fast', 'safe'}",
+        "$Node.IP -> ip & unique",
+    ]
+    store = store_of(pairs)
+
+    def run(text):
+        report = ValidationSession(store=store, optimize=False).validate(text)
+        return sorted((v.key, v.value) for v in report.violations)
+
+    forward = run("\n".join(lines))
+    backward = run("\n".join(reversed(lines)))
+    assert forward == backward
+
+
+@given(_cluster_pairs())
+@settings(max_examples=60, deadline=None)
+def test_property_validation_is_idempotent(pairs):
+    """Validating twice on the same session gives the same outcome."""
+    session = ValidationSession(store=store_of(pairs))
+    first = sorted((v.key, v.value) for v in session.validate(SPEC).violations)
+    second = sorted((v.key, v.value) for v in session.validate(SPEC).violations)
+    assert first == second
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=300, deadline=None)
+def test_property_detect_type_total_and_closed(value):
+    """detect_type never raises and returns a known type name."""
+    name = typesys.detect_type(value)
+    if name.startswith("list<"):
+        assert name.endswith(">")
+        assert name[5:-1] in typesys.SCALAR_TYPES
+    else:
+        assert name in typesys.SCALAR_TYPES
+
+
+@given(st.sampled_from([
+    "5", "true", "10.0.0.1", "10.0.0.0/24", "a@b.co", "/var", "30s",
+    "deadbeef-dead-beef-dead-beefdeadbeef",
+]))
+def test_property_detected_type_predicate_accepts(value):
+    """The predicate named after a detected scalar type accepts the value."""
+    from repro.predicates import get_predicate
+
+    mapping = {
+        "ipv4": "ip", "ip_range": "iprange",
+    }
+    name = typesys.detect_type(value, allow_list=False)
+    predicate = mapping.get(name, name)
+    assert get_predicate(predicate).fn(value) is True

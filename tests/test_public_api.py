@@ -1,0 +1,76 @@
+"""Public API hygiene: exports resolve, carry docstrings, version sane."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.cpl",
+    "repro.predicates",
+    "repro.transforms",
+    "repro.repository",
+    "repro.drivers",
+    "repro.inference",
+    "repro.runtime",
+    "repro.console",
+    "repro.synthetic",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_documented(package_name):
+    module = importlib.import_module(package_name)
+    assert module.__doc__ and module.__doc__.strip()
+
+
+def test_top_level_classes_documented():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+def test_version():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_public_entry_points_importable():
+    from repro import (  # noqa: F401
+        ChangeSet,
+        ConfigRepository,
+        ConfigStore,
+        Evaluator,
+        IncrementalValidator,
+        InferenceEngine,
+        ValidationPolicy,
+        ValidationService,
+        ValidationSession,
+    )
+    from repro.console import Console, EditorValidator, main  # noqa: F401
+    from repro.core import analyze_coverage, suggest_repairs  # noqa: F401
+    from repro.inference import combine, extract_constraints  # noqa: F401
+
+
+def test_cli_entry_point_help(capsys):
+    from repro.console import build_parser
+
+    parser = build_parser()
+    for command in ("validate", "infer", "console", "service", "gate",
+                    "coverage", "fmt"):
+        assert command in parser.format_help()

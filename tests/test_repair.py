@@ -1,0 +1,130 @@
+"""Repair suggestions: nearest-member, majority, clamp, alignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationSession
+from repro.core import apply_repairs, suggest_repairs
+
+
+def run(make_store, pairs, spec):
+    session = ValidationSession(store=make_store(pairs))
+    report = session.validate(spec)
+    return session, report
+
+
+class TestSuggestions:
+    def test_enum_typo_nearest_member(self, make_store):
+        session, report = run(
+            make_store,
+            [("A.Pool", "storag")],
+            "$Pool -> {'compute', 'storage'}",
+        )
+        repairs = suggest_repairs(report, session.store)
+        assert len(repairs) == 1
+        assert repairs[0].new_value == "storage"
+        assert "edit distance" in repairs[0].rationale
+
+    def test_ambiguous_typo_not_suggested(self, make_store):
+        # equally distant from both members: no safe suggestion
+        session, report = run(
+            make_store, [("A.Mode", "xy")], "$Mode -> {'ab', 'cd'}"
+        )
+        assert suggest_repairs(report, session.store) == []
+
+    def test_distant_value_not_suggested(self, make_store):
+        session, report = run(
+            make_store, [("A.Mode", "completely-different")],
+            "$Mode -> {'fast', 'safe'}",
+        )
+        assert suggest_repairs(report, session.store) == []
+
+    def test_consistency_majority(self, make_store):
+        session, report = run(
+            make_store,
+            [("A::1.F", "80"), ("A::2.F", "80"), ("A::3.F", "75")],
+            "$F -> consistent",
+        )
+        repairs = suggest_repairs(report, session.store)
+        assert len(repairs) == 1
+        assert repairs[0].old_value == "75"
+        assert repairs[0].new_value == "80"
+
+    def test_range_clamp_low_and_high(self, make_store):
+        session, report = run(
+            make_store,
+            [("A::1.T", "0"), ("A::2.T", "99")],
+            "$T -> [1, 60]",
+        )
+        repairs = {r.old_value: r.new_value for r in
+                   suggest_repairs(report, session.store)}
+        assert repairs == {"0": "1", "99": "60"}
+
+    def test_cross_source_alignment(self, make_store):
+        session, report = run(
+            make_store,
+            [("controller.Key", "stale"), ("auth.Key", "fresh")],
+            "$controller.Key -> == $auth.Key",
+        )
+        repairs = suggest_repairs(report, session.store)
+        assert len(repairs) == 1
+        assert repairs[0].new_value == "fresh"
+
+    def test_type_violation_no_suggestion(self, make_store):
+        session, report = run(make_store, [("A.T", "ninety")], "$T -> int")
+        assert suggest_repairs(report, session.store) == []
+
+    def test_one_repair_per_key(self, make_store):
+        session, report = run(
+            make_store,
+            [("A.T", "99")],
+            "$T -> [1, 60]\n$T -> [1, 50]",
+        )
+        repairs = suggest_repairs(report, session.store)
+        assert len(repairs) == 1
+
+    def test_render(self, make_store):
+        session, report = run(
+            make_store, [("A.Pool", "storag")], "$Pool -> {'compute', 'storage'}"
+        )
+        text = suggest_repairs(report, session.store)[0].render()
+        assert "'storag' -> 'storage'" in text
+
+
+class TestApply:
+    def test_applied_snapshot_passes(self, make_store):
+        pairs = [
+            ("Cluster::C1.Pool", "storag"),
+            ("Cluster::C2.Pool", "compute"),
+            ("Cluster::C1.T", "99"),
+            ("Cluster::C2.T", "30"),
+        ]
+        spec = "$Pool -> {'compute', 'storage'}\n$T -> [1, 60]"
+        session, report = run(make_store, pairs, spec)
+        repairs = suggest_repairs(report, session.store)
+        repaired = apply_repairs(session.store.instances(), repairs)
+
+        fixed = ValidationSession()
+        fixed.store.add_all(repaired)
+        assert fixed.validate(spec).passed
+
+    def test_apply_does_not_mutate_input(self, make_store):
+        session, report = run(
+            make_store, [("A.T", "99")], "$T -> [1, 60]"
+        )
+        original = list(session.store.instances())
+        values_before = [i.value for i in original]
+        apply_repairs(original, suggest_repairs(report, session.store))
+        assert [i.value for i in original] == values_before
+
+    def test_untouched_instances_preserved(self, make_store):
+        session, report = run(
+            make_store, [("A.T", "99"), ("A.Keep", "x")], "$T -> [1, 60]"
+        )
+        repaired = apply_repairs(
+            session.store.instances(), suggest_repairs(report, session.store)
+        )
+        by_key = {i.key.render(): i.value for i in repaired}
+        assert by_key["A.Keep"] == "x"
+        assert by_key["A.T"] == "60"

@@ -1,0 +1,125 @@
+"""Reports (§4.4, §6.3) and validation policies (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Severity, ValidationPolicy, ValidationReport, ValidationSession, Violation
+from repro.errors import PolicyError
+
+
+def violation(key="A.K", constraint="int", severity=Severity.ERROR):
+    return Violation(
+        spec_text="$K -> int",
+        spec_line=1,
+        constraint=constraint,
+        key=key,
+        value="x",
+        message=f"value 'x' of {key} is not a valid {constraint}",
+        severity=severity,
+    )
+
+
+class TestReport:
+    def test_pass_fail(self):
+        report = ValidationReport()
+        assert report.passed
+        report.add(violation())
+        assert not report.passed
+
+    def test_grouping_by_constraint(self):
+        report = ValidationReport()
+        report.add(violation(constraint="int"))
+        report.add(violation(constraint="int", key="A.K2"))
+        report.add(violation(constraint="unique"))
+        groups = report.by_constraint()
+        assert len(groups["int"]) == 2
+        assert len(groups["unique"]) == 1
+
+    def test_suspicious_constraints(self):
+        report = ValidationReport()
+        for index in range(12):
+            report.add(violation(key=f"A::{index}.K", constraint="range"))
+        report.add(violation(constraint="unique"))
+        assert report.suspicious_constraints(threshold=10) == ["range"]
+
+    def test_render_includes_counts_and_limit(self):
+        report = ValidationReport(specs_evaluated=3, instances_checked=30)
+        for index in range(5):
+            report.add(violation(key=f"A::{index}.K"))
+        text = report.render(limit=2)
+        assert "5 violation(s)" in text
+        assert "and 3 more" in text
+
+    def test_render_pass(self):
+        assert "PASS" in ValidationReport().render()
+
+    def test_merge(self):
+        a = ValidationReport(specs_evaluated=2, instances_checked=5)
+        b = ValidationReport(specs_evaluated=3, instances_checked=7)
+        b.add(violation())
+        a.merge(b)
+        assert a.specs_evaluated == 5
+        assert a.instances_checked == 12
+        assert len(a.violations) == 1
+
+    def test_by_spec(self):
+        report = ValidationReport()
+        report.add(violation())
+        report.add(violation(key="A.K2"))
+        assert len(report.by_spec()[(1, "$K -> int")]) == 2
+
+
+class TestPolicy:
+    def test_bad_severity_rejected(self):
+        with pytest.raises(PolicyError):
+            ValidationPolicy(severities={"X": "fatal"})
+
+    def test_severity_assignment(self, make_store):
+        policy = ValidationPolicy(severities={"SecretKey": Severity.CRITICAL})
+        session = ValidationSession(
+            store=make_store([("A.SecretKey", ""), ("A.Other", "")]), policy=policy
+        )
+        report = session.validate("$SecretKey -> nonempty\n$Other -> nonempty")
+        by_key = {v.key: v.severity for v in report.violations}
+        assert by_key["A.SecretKey"] == Severity.CRITICAL
+        assert by_key["A.Other"] == Severity.ERROR
+
+    def test_stop_on_first_violation(self, make_store):
+        policy = ValidationPolicy(stop_on_first_violation=True)
+        session = ValidationSession(
+            store=make_store([("A.K1", "x"), ("A.K2", "y")]),
+            policy=policy,
+            optimize=False,
+        )
+        report = session.validate("$K1 -> int\n$K2 -> int")
+        assert len(report.violations) == 1
+        assert report.stopped_early
+
+    def test_priority_ordering(self, make_store):
+        policy = ValidationPolicy(priorities={"SecretKey": 10})
+        session = ValidationSession(
+            store=make_store([("A.SecretKey", ""), ("A.Minor", "x")]),
+            policy=policy,
+            optimize=False,
+        )
+        # stop-on-first + priority: the critical spec runs (and fails) first
+        policy.stop_on_first_violation = True
+        report = session.validate("$Minor -> int\n$SecretKey -> nonempty")
+        assert report.violations[0].key == "A.SecretKey"
+
+    def test_on_violation_callback(self, make_store):
+        seen = []
+        policy = ValidationPolicy(on_violation=seen.append)
+        session = ValidationSession(
+            store=make_store([("A.K", "x")]), policy=policy
+        )
+        session.validate("$K -> int")
+        assert len(seen) == 1
+        assert seen[0].key == "A.K"
+
+    def test_priority_of(self):
+        policy = ValidationPolicy(priorities={"SecretKey": 10, "Timeout": 5})
+        assert policy.priority_of("$A.SecretKey -> nonempty") == 10
+        assert policy.priority_of("$A.Timeout -> int") == 5
+        assert policy.priority_of("$A.Other -> int") == 0

@@ -1,0 +1,89 @@
+"""Robustness fuzzing: the front end never hangs or leaks raw exceptions.
+
+Tooling (console, editor, service) routes arbitrary user text through the
+lexer and parser; the contract is that bad input produces
+:class:`~repro.errors.CPLSyntaxError` (with a position) — never an
+``IndexError``/``RecursionError``/hang — and good input round-trips.
+Drivers get the same treatment for arbitrary buffer text.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpl import parse, tokenize
+from repro.drivers import get_driver
+from repro.errors import ConfValleyError, CPLSyntaxError, DriverError
+
+_CPL_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    " \t\n$.*_-><=!&|~#@(){}[],:'\"/\\+∃∀→≤≥"
+)
+
+
+@given(st.text(alphabet=_CPL_ALPHABET, max_size=120))
+@settings(max_examples=500, deadline=None)
+def test_property_lexer_total(text):
+    """tokenize() terminates with tokens or a positioned CPLSyntaxError."""
+    try:
+        tokens = tokenize(text)
+    except CPLSyntaxError as error:
+        assert error.line >= 1
+        return
+    assert tokens[-1].type == "EOF"
+    # token positions are sane
+    for token in tokens:
+        assert token.line >= 1 and token.column >= 1
+
+
+@given(st.text(alphabet=_CPL_ALPHABET, max_size=120))
+@settings(max_examples=500, deadline=None)
+def test_property_parser_total(text):
+    """parse() terminates with a Program or a CPLSyntaxError."""
+    try:
+        program = parse(text)
+    except CPLSyntaxError:
+        return
+    assert isinstance(program.statements, tuple)
+
+
+_FRAGMENTS = st.sampled_from([
+    "$K -> int", "compartment C {", "}", "let M :=", "@", "->", "[1,",
+    "{'a'", "if (", "namespace x {", "$a.b::c", "load 'x'", "!! 'm'",
+    "exists", "~", "& |", "$_ ==", "get $x", "include", "'unterminated",
+])
+
+
+@given(st.lists(_FRAGMENTS, min_size=1, max_size=8))
+@settings(max_examples=300, deadline=None)
+def test_property_parser_fragment_storm(fragments):
+    """Random recombinations of real syntax fragments never crash."""
+    try:
+        parse("\n".join(fragments))
+    except CPLSyntaxError:
+        pass
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=300, deadline=None)
+@pytest.mark.parametrize("format_name", ["ini", "keyvalue", "json", "csv"])
+def test_property_drivers_total(format_name, text):
+    """Drivers raise DriverError on garbage, never random exceptions."""
+    driver = get_driver(format_name)
+    try:
+        instances = driver.parse(text)
+    except ConfValleyError:
+        return
+    for instance in instances:
+        assert instance.key.render()
+
+
+@given(st.text(alphabet="<>ab/&;'\" =\n", max_size=80))
+@settings(max_examples=200, deadline=None)
+def test_property_xml_driver_total(text):
+    try:
+        get_driver("xml").parse(text)
+    except DriverError:
+        pass

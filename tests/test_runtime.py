@@ -1,0 +1,63 @@
+"""Runtime providers and the filesystem abstraction (paper §4.3)."""
+
+from __future__ import annotations
+
+from repro.runtime import FakeFileSystem, HostRuntime, RealFileSystem, StaticRuntime
+
+
+class TestFakeFileSystem:
+    def test_added_paths_exist(self):
+        fs = FakeFileSystem(["/a/b/c"])
+        assert fs.exists("/a/b/c")
+        assert fs.exists("/a/b")     # ancestors exist
+        assert fs.exists("/a")
+        assert not fs.exists("/a/b/d")
+
+    def test_windows_separators_normalized(self):
+        fs = FakeFileSystem([r"\\share\OS\v2"])
+        assert fs.exists(r"\\share\OS\v2")
+        assert fs.exists("//share/os/v2")  # case-insensitive, separator-agnostic
+
+    def test_remove(self):
+        fs = FakeFileSystem(["/a/b"])
+        fs.remove("/a/b")
+        assert not fs.exists("/a/b")
+        assert fs.exists("/a")
+
+    def test_trailing_slash_irrelevant(self):
+        fs = FakeFileSystem(["/x/y/"])
+        assert fs.exists("/x/y")
+
+
+class TestRealFileSystem:
+    def test_reports_actual_paths(self, tmp_path):
+        fs = RealFileSystem()
+        assert fs.exists(str(tmp_path))
+        assert not fs.exists(str(tmp_path / "missing"))
+
+
+class TestStaticRuntime:
+    def test_environment_facts(self):
+        runtime = StaticRuntime(environment={"os": "Linux", "hostname": "h1"})
+        assert runtime.environment() == {"os": "Linux", "hostname": "h1"}
+
+    def test_default_filesystem_is_fake(self):
+        assert isinstance(StaticRuntime().filesystem, FakeFileSystem)
+
+    def test_reachability(self):
+        runtime = StaticRuntime(reachable={"a:1"})
+        assert runtime.is_reachable("a:1")
+        assert not runtime.is_reachable("b:2")
+        runtime.add_reachable("b:2")
+        assert runtime.is_reachable("b:2")
+
+
+class TestHostRuntime:
+    def test_environment_has_expected_facts(self):
+        env = HostRuntime().environment()
+        for fact in ("os", "hostname", "date", "time", "weekday"):
+            assert fact in env
+
+    def test_unreachable_endpoint(self):
+        # port 1 on localhost is almost certainly closed; must not raise
+        assert HostRuntime().is_reachable("127.0.0.1:1") is False

@@ -1,0 +1,145 @@
+"""Continuous validation service (paper §3.2): change detection, history,
+pass/fail transitions."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import ScanResult, SourceSpec, ValidationService
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    spec = tmp_path / "specs.cpl"
+    spec.write_text("$fabric.Timeout -> int & [1, 60]\n")
+    config = tmp_path / "prod.ini"
+    config.write_text("[fabric]\nTimeout = 30\n")
+    return tmp_path, spec, config
+
+
+def make_service(spec, config, **kwargs):
+    return ValidationService(
+        str(spec), [SourceSpec("ini", str(config))], **kwargs
+    )
+
+
+def rewrite(path, text):
+    path.write_text(text)
+    # ensure a strictly newer mtime even on coarse filesystems
+    stat = os.stat(path)
+    os.utime(path, ns=(stat.st_atime_ns + 1_000_000, stat.st_mtime_ns + 1_000_000))
+
+
+class TestScanning:
+    def test_first_scan_validates(self, workspace):
+        __, spec, config = workspace
+        service = make_service(spec, config)
+        result = service.scan()
+        assert result is not None
+        assert result.passed
+        assert service.current_status is True
+
+    def test_steady_state_skips_validation(self, workspace):
+        __, spec, config = workspace
+        service = make_service(spec, config)
+        service.scan()
+        assert service.scan() is None
+        assert service.scan() is None
+        assert len(service.history) == 1
+
+    def test_config_change_triggers_revalidation(self, workspace):
+        __, spec, config = workspace
+        service = make_service(spec, config)
+        service.scan()
+        rewrite(config, "[fabric]\nTimeout = 999\n")
+        result = service.scan()
+        assert result is not None
+        assert not result.passed
+        assert str(config) in result.changed_paths
+
+    def test_spec_change_triggers_revalidation(self, workspace):
+        __, spec, config = workspace
+        service = make_service(spec, config)
+        service.scan()
+        rewrite(spec, "$fabric.Timeout -> int & [1, 10]\n")
+        result = service.scan()
+        assert result is not None
+        assert not result.passed   # 30 now out of [1, 10]
+
+    def test_force_scan(self, workspace):
+        __, spec, config = workspace
+        service = make_service(spec, config)
+        service.scan()
+        assert service.scan(force=True) is not None
+
+    def test_run_once_always_validates(self, workspace):
+        __, spec, config = workspace
+        service = make_service(spec, config)
+        first = service.run_once()
+        second = service.run_once()
+        assert first.sequence == 1 and second.sequence == 2
+
+
+class TestTransitions:
+    def test_pass_to_fail_transition_fires_callback(self, workspace):
+        __, spec, config = workspace
+        events: list[ScanResult] = []
+        service = make_service(spec, config, on_transition=events.append)
+        service.scan()
+        rewrite(config, "[fabric]\nTimeout = nope\n")
+        service.scan()
+        assert len(events) == 1
+        assert events[0].transitioned
+        assert not events[0].passed
+
+    def test_fail_to_pass_transition(self, workspace):
+        __, spec, config = workspace
+        events = []
+        service = make_service(spec, config, on_transition=events.append)
+        rewrite(config, "[fabric]\nTimeout = nope\n")
+        service.scan()
+        rewrite(config, "[fabric]\nTimeout = 30\n")
+        service.scan()
+        assert len(events) == 1
+        assert events[0].passed
+
+    def test_no_callback_without_transition(self, workspace):
+        __, spec, config = workspace
+        events = []
+        service = make_service(spec, config, on_transition=events.append)
+        service.scan()
+        rewrite(config, "[fabric]\nTimeout = 45\n")   # still passing
+        service.scan()
+        assert events == []
+
+
+class TestHistory:
+    def test_history_accumulates(self, workspace):
+        __, spec, config = workspace
+        service = make_service(spec, config)
+        for timeout in (30, 40, 50):
+            rewrite(config, f"[fabric]\nTimeout = {timeout}\n")
+            service.scan()
+        assert [r.sequence for r in service.history] == [1, 2, 3]
+
+    def test_history_bounded(self, workspace):
+        __, spec, config = workspace
+        service = make_service(spec, config, history_limit=2)
+        for index in range(4):
+            service.run_once()
+        assert len(service.history) == 2
+        assert service.history[-1].sequence == 4
+
+    def test_missing_source_surfaces_as_error(self, workspace):
+        tmp_path, spec, config = workspace
+        service = ValidationService(
+            str(spec), [SourceSpec("ini", str(tmp_path / "gone.ini"))]
+        )
+        with pytest.raises(OSError):
+            service.run_once()
+
+    def test_status_none_before_first_scan(self, workspace):
+        __, spec, config = workspace
+        assert make_service(spec, config).current_status is None

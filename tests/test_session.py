@@ -1,0 +1,143 @@
+"""Validation sessions: load/include commands, files, partitioning (§5.1)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import ValidationSession
+from repro.drivers import clear_endpoints, register_endpoint
+from repro.errors import DriverError
+
+
+class TestLoading:
+    def test_load_text(self):
+        session = ValidationSession()
+        count = session.load_text("ini", "[fabric]\nTimeout = 30\n")
+        assert count == 1
+        assert session.store.instance_count == 1
+
+    def test_load_source_by_extension(self, tmp_path):
+        path = tmp_path / "settings.ini"
+        path.write_text("[s]\nK = v\n")
+        session = ValidationSession(base_dir=str(tmp_path))
+        assert session.load_source("cloudsettings", "settings.ini") == 1
+
+    def test_load_source_by_format_name(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("A.K = v\n")
+        session = ValidationSession(base_dir=str(tmp_path))
+        assert session.load_source("keyvalue", "data.txt") == 1
+
+    def test_load_source_rest(self):
+        clear_endpoints()
+        register_endpoint("10.1.1.1:443", {"state": "ok"})
+        session = ValidationSession()
+        assert session.load_source("runninginstance", "10.1.1.1:443") == 1
+
+    def test_load_unknown_format_raises(self, tmp_path):
+        session = ValidationSession(base_dir=str(tmp_path))
+        with pytest.raises(DriverError):
+            session.load_source("mystery", "data.unknownext")
+
+    def test_load_with_scope(self):
+        session = ValidationSession()
+        session.load_text("ini", "[s]\nK = v\n", scope="Fabric")
+        assert session.store.query("Fabric.s.K")
+
+
+class TestCommands:
+    def test_load_command_in_spec(self, tmp_path):
+        (tmp_path / "cfg.ini").write_text("[s]\nTimeout = 30\n")
+        session = ValidationSession(base_dir=str(tmp_path))
+        report = session.validate(
+            "load 'ini' 'cfg.ini'\n$s.Timeout -> int & [1, 60]"
+        )
+        assert report.passed
+        assert session.store.instance_count == 1
+
+    def test_include_command(self, tmp_path):
+        (tmp_path / "types.cpl").write_text("$K -> int\n")
+        session = ValidationSession(base_dir=str(tmp_path))
+        session.load_text("keyvalue", "A.K = nope\n")
+        report = session.validate("include 'types.cpl'\n$K -> nonempty")
+        assert len(report.violations) == 1
+
+    def test_nested_include(self, tmp_path):
+        (tmp_path / "inner.cpl").write_text("$K -> int\n")
+        (tmp_path / "outer.cpl").write_text("include 'inner.cpl'\n")
+        session = ValidationSession(base_dir=str(tmp_path))
+        session.load_text("keyvalue", "A.K = 5\n")
+        report = session.validate("include 'outer.cpl'")
+        assert report.passed
+        assert report.specs_evaluated == 1
+
+    def test_validate_file(self, tmp_path):
+        (tmp_path / "spec.cpl").write_text("$K -> int\n")
+        session = ValidationSession(base_dir=str(tmp_path))
+        session.load_text("keyvalue", "A.K = 5\n")
+        assert session.validate_file("spec.cpl").passed
+
+    def test_let_survives_across_statements(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = 10.0.0.0/24\n")
+        report = session.validate("let C := cidr\n$K -> @C")
+        assert report.passed
+
+    def test_define_macro_api(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = 5\n")
+        session.define_macro("SmallInt", "int & [0, 9]")
+        assert session.validate("$K -> @SmallInt").passed
+
+    def test_get_api(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = v1\nB.K = v2\n")
+        items = session.get("K")
+        assert sorted(i.value for i in items) == ["v1", "v2"]
+
+
+class TestPartitioning:
+    def make_session(self):
+        # optimization off: domain aggregation would merge the same-predicate
+        # specs and change the per-partition spec counts under test
+        session = ValidationSession(optimize=False)
+        lines = [f"S::{i}.P{i % 7} = {i}" for i in range(50)]
+        session.load_text("keyvalue", "\n".join(lines))
+        return session
+
+    def test_partitions_cover_all_specs(self):
+        session = self.make_session()
+        spec = "\n".join(f"$P{i} -> int" for i in range(7))
+        results = session.validate_partitioned(spec, partitions=3)
+        assert len(results) == 3
+        total = sum(r.specs_evaluated for r, __ in results)
+        assert total == 7
+
+    def test_partition_reports_match_sequential(self):
+        session = self.make_session()
+        session.load_text("keyvalue", "S::x.P0 = notanint\n")
+        spec = "\n".join(f"$P{i} -> int" for i in range(7))
+        sequential = session.validate(spec)
+        results = session.validate_partitioned(spec, partitions=4)
+        partitioned = sum(len(r.violations) for r, __ in results)
+        assert partitioned == len(sequential.violations) == 1
+
+    def test_lets_visible_in_every_partition(self):
+        session = self.make_session()
+        spec = "let I := int\n$P0 -> @I\n$P1 -> @I\n$P2 -> @I"
+        results = session.validate_partitioned(spec, partitions=3)
+        assert all(r.passed for r, __ in results)
+
+    def test_single_partition(self):
+        session = self.make_session()
+        results = session.validate_partitioned("$P0 -> int", partitions=1)
+        assert len(results) == 1
+
+    def test_times_are_recorded(self):
+        session = self.make_session()
+        results = session.validate_partitioned("$P0 -> int\n$P1 -> int", 2)
+        for report, elapsed in results:
+            assert elapsed >= 0
+            assert report.elapsed_seconds == elapsed

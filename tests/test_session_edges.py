@@ -1,0 +1,151 @@
+"""Session, CLI and driver-base edge paths not covered elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationSession
+from repro.console import main
+from repro.drivers import clear_endpoints, register_endpoint
+from repro.drivers.base import scope_segments, walk_mapping
+from repro.errors import DriverError
+from repro.repository.keys import InstanceKey, InstanceSegment, parse_pattern
+
+
+class TestSessionEdges:
+    def test_load_command_with_as_scope(self, tmp_path):
+        (tmp_path / "cfg.ini").write_text("[s]\nK = 5\n")
+        session = ValidationSession(base_dir=str(tmp_path))
+        report = session.validate(
+            "load 'ini' 'cfg.ini' as 'Env::E1'\n$Env.s.K -> int"
+        )
+        assert report.passed
+        assert session.store.query("Env::E1.s.K")
+
+    def test_pick_driver_url(self):
+        clear_endpoints()
+        register_endpoint("http://api.internal/cfg", {"a": 1})
+        session = ValidationSession()
+        assert session.load_source("whatever", "http://api.internal/cfg") == 1
+
+    def test_pick_driver_host_port(self):
+        clear_endpoints()
+        register_endpoint("10.1.2.3:443", {"a": 1})
+        session = ValidationSession()
+        assert session.load_source("runninginstance", "10.1.2.3:443") == 1
+
+    def test_validate_line_alias(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = 5\n")
+        assert session.validate_line("$K -> int").passed
+
+    def test_absolute_spec_path(self, tmp_path):
+        spec = tmp_path / "s.cpl"
+        spec.write_text("$K -> int\n")
+        session = ValidationSession(base_dir="/nonexistent")
+        session.load_text("keyvalue", "A.K = 5\n")
+        assert session.validate_file(str(spec)).passed
+
+    def test_elapsed_time_recorded(self):
+        session = ValidationSession()
+        session.load_text("keyvalue", "A.K = 5\n")
+        report = session.validate("$K -> int")
+        assert report.elapsed_seconds > 0
+
+
+class TestCLIMiscFlags:
+    def make(self, tmp_path, value="oops"):
+        # distinct predicates so the compiler cannot merge the two specs
+        (tmp_path / "c.ini").write_text(f"[s]\nK = {value}\nL = {value}\n")
+        (tmp_path / "spec.cpl").write_text("$s.K -> int\n$s.L -> bool\n")
+        return tmp_path
+
+    def test_stop_on_first(self, tmp_path, capsys):
+        root = self.make(tmp_path)
+        code = main([
+            "validate", str(root / "spec.cpl"),
+            "--source", f"ini:{root}/c.ini", "--stop-on-first",
+        ])
+        assert code == 1
+        assert "1 violation(s)" in capsys.readouterr().out
+
+    def test_no_optimize(self, tmp_path, capsys):
+        root = tmp_path
+        (root / "c.ini").write_text("[s]\nK = 5\nL = true\n")
+        (root / "spec.cpl").write_text("$s.K -> int\n$s.L -> bool\n")
+        code = main([
+            "validate", str(root / "spec.cpl"),
+            "--source", f"ini:{root}/c.ini", "--no-optimize",
+        ])
+        assert code == 0
+
+    def test_limit(self, tmp_path, capsys):
+        root = self.make(tmp_path)
+        main([
+            "validate", str(root / "spec.cpl"),
+            "--source", f"ini:{root}/c.ini", "--limit", "1",
+        ])
+        assert "and 1 more" in capsys.readouterr().out
+
+    def test_partitioned_cli_failing(self, tmp_path, capsys):
+        root = self.make(tmp_path)
+        code = main([
+            "validate", str(root / "spec.cpl"),
+            "--source", f"ini:{root}/c.ini", "--partitions", "2",
+        ])
+        assert code == 1
+        assert "2 violation(s)" in capsys.readouterr().out
+
+
+class TestDriverBase:
+    def test_scope_segments_full_notation(self):
+        segments = scope_segments("A::x.B[2].C")
+        assert segments == (
+            InstanceSegment("A", "x"),
+            InstanceSegment("B", None, 2),
+            InstanceSegment("C"),
+        )
+
+    def test_scope_segments_empty(self):
+        assert scope_segments("") == ()
+
+    def test_scope_segments_rejects_wildcards(self):
+        with pytest.raises(DriverError):
+            scope_segments("A.*")
+
+    def test_walk_mapping_mixed_list(self):
+        out = walk_mapping(
+            {"items": [{"name": "a", "v": 1}, "scalar", {"name": "b", "v": 2}]},
+            (), "t",
+        )
+        rendered = {i.key.render(): i.value for i in out}
+        assert rendered["items::a.v"] == "1"
+        assert rendered["items::b.v"] == "2"
+        assert rendered["items[2]"] == "scalar"
+
+    def test_walk_mapping_top_scalar_rejected(self):
+        with pytest.raises(DriverError):
+            walk_mapping({"": None} and 5, (), "t")  # scalar, no key
+
+    def test_walk_mapping_bool_normalized(self):
+        out = walk_mapping({"flag": False}, (), "t")
+        assert out[0].value == "false"
+
+
+class TestKeysEdges:
+    def test_substitute_ordinal_variable(self):
+        pattern = parse_pattern("Cloud[$i].K").substitute({"i": "3"})
+        assert pattern.segments[0].qualifier == 3
+
+    def test_prefixed_with(self):
+        pattern = parse_pattern("k").prefixed_with(parse_pattern("a.b::x"))
+        assert pattern.render() == "a.b::x.k"
+
+    def test_is_concrete(self):
+        assert parse_pattern("A.B").is_concrete
+        assert not parse_pattern("A.*").is_concrete
+        assert not parse_pattern("A::$v.B").is_concrete
+
+    def test_key_child(self):
+        key = InstanceKey.build("A").child(InstanceSegment("B"))
+        assert key.render() == "A.B"

@@ -1,0 +1,157 @@
+"""Standard macro library, policy waivers, durations, fmt subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ValidationPolicy, ValidationSession, typesys
+from repro.console import main
+from repro.cpl.stdlib import STDLIB_CPL, STDLIB_MACRO_NAMES
+from repro.predicates import get_predicate
+
+
+class TestStdlib:
+    def test_stdlib_parses_and_loads(self, make_store):
+        session = ValidationSession(store=make_store([("A.K", "v")]))
+        names = session.load_stdlib()
+        assert set(names) <= set(session.evaluator.macros)
+
+    def test_every_advertised_macro_defined(self, make_store):
+        session = ValidationSession(store=make_store([]))
+        session.load_stdlib()
+        for name in STDLIB_MACRO_NAMES:
+            assert name in session.evaluator.macros, name
+
+    @pytest.mark.parametrize("macro,good,bad", [
+        ("HttpsUrl", "https://x.io/a", "http://x.io/a"),
+        ("Percentage", "42.5", "120"),
+        ("Ratio", "0.25", "1.5"),
+        ("PositiveInt", "7", "0"),
+        ("NonNegativeInt", "0", "-1"),
+        ("SaneTimeout", "30", "0"),
+        ("SanePort", "8080", "99999"),
+        ("ReplicaCount", "3", "4"),
+        ("Endpoint", "10.0.0.1:443", "10.0.0.1"),
+        ("PrivateIPv4", "192.168.1.4", "8.8.8.8"),
+        ("LoopbackFree", "10.0.0.1", "127.0.0.1"),
+        ("RequiredString", "x", ""),
+        ("WindowsShare", "\\\\share\\os", "/unix/path"),
+    ])
+    def test_macro_semantics(self, make_store, macro, good, bad):
+        session = ValidationSession(store=make_store([("A.K", good)]))
+        session.load_stdlib()
+        assert session.validate(f"$K -> @{macro}").passed, (macro, good)
+        session2 = ValidationSession(store=make_store([("A.K", bad)]))
+        session2.load_stdlib()
+        assert not session2.validate(f"$K -> @{macro}").passed, (macro, bad)
+
+    def test_unique_macros(self, make_store):
+        session = ValidationSession(
+            store=make_store([("A::1.IP", "10.0.0.1"), ("A::2.IP", "10.0.0.1")])
+        )
+        session.load_stdlib()
+        assert not session.validate("$IP -> @UniqueIP").passed
+
+
+class TestSuppressions:
+    def test_waiver_filters_violation(self, make_store):
+        policy = ValidationPolicy(suppressions=[("*LegacyTimeout", "int")])
+        session = ValidationSession(
+            store=make_store([("A.LegacyTimeout", "soon"), ("A.Port", "bad")]),
+            policy=policy,
+        )
+        report = session.validate("$LegacyTimeout -> int\n$Port -> port")
+        assert len(report.violations) == 1
+        assert report.violations[0].key == "A.Port"
+        assert report.suppressed == 1
+
+    def test_suppress_helper(self, make_store):
+        policy = ValidationPolicy()
+        policy.suppress("*LegacyTimeout")
+        session = ValidationSession(
+            store=make_store([("A.LegacyTimeout", "soon")]), policy=policy
+        )
+        report = session.validate("$LegacyTimeout -> int")
+        assert report.passed
+        assert report.suppressed == 1
+
+    def test_constraint_glob(self, make_store):
+        policy = ValidationPolicy(suppressions=[("*", "range")])
+        session = ValidationSession(
+            store=make_store([("A.K", "99")]), policy=policy
+        )
+        report = session.validate("$K -> int & [1, 10]")
+        assert report.passed   # range suppressed, int passes
+
+    def test_suppressed_counted_in_json(self, make_store):
+        policy = ValidationPolicy(suppressions=[("*", "*")])
+        session = ValidationSession(store=make_store([("A.K", "x")]), policy=policy)
+        data = session.validate("$K -> int").to_dict()
+        assert data["suppressed"] == 1
+
+
+class TestDurations:
+    @pytest.mark.parametrize("text,seconds", [
+        ("30s", 30.0), ("5m", 300.0), ("1.5h", 5400.0), ("250ms", 0.25), ("2d", 172800.0),
+    ])
+    def test_parse(self, text, seconds):
+        assert typesys.parse_duration(text) == pytest.approx(seconds)
+
+    @pytest.mark.parametrize("text", ["30", "s", "5 minutes", "", "m5"])
+    def test_rejects(self, text):
+        assert typesys.parse_duration(text) is None
+
+    def test_detected_type(self):
+        assert typesys.detect_type("30s") == "duration"
+        assert typesys.detect_type("30s,5m") == "list<duration>"
+
+    def test_predicate(self):
+        spec = get_predicate("duration")
+        assert spec.fn("45m") and not spec.fn("45")
+
+    def test_comparison_across_units(self, make_store):
+        session = ValidationSession(store=make_store([("A.T", "90s")]))
+        assert session.validate("$T -> <= '2m'").passed
+        assert not session.validate("$T -> <= '1m'").passed
+
+    def test_inference_emits_duration(self, make_store):
+        from repro import InferenceEngine
+
+        store = make_store([(f"A::{i}.Grace", f"{i + 10}s") for i in range(5)])
+        result = InferenceEngine().infer(store)
+        cpl = result.to_cpl()
+        assert "-> duration" in cpl
+        assert ValidationSession(store=store).validate(cpl).passed
+
+
+class TestFmtSubcommand:
+    def test_fmt_to_stdout(self, tmp_path, capsys):
+        (tmp_path / "s.cpl").write_text("$a   ->    int   &   nonempty\n")
+        assert main(["fmt", str(tmp_path / "s.cpl")]) == 0
+        assert capsys.readouterr().out == "$a -> int & nonempty\n"
+
+    def test_fmt_write_in_place(self, tmp_path):
+        spec = tmp_path / "s.cpl"
+        spec.write_text("$a->int\n$b  ->  bool\n")
+        assert main(["fmt", str(spec), "--write"]) == 0
+        assert spec.read_text() == "$a -> int\n$b -> bool\n"
+
+    def test_fmt_optimize_applies_rewrites(self, tmp_path, capsys):
+        spec = tmp_path / "s.cpl"
+        spec.write_text("$a -> int\n$a -> nonempty\n")
+        assert main(["fmt", str(spec), "--optimize"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1           # merged into one spec
+        assert "int" in out and "nonempty" not in out  # implied elided
+
+    def test_fmt_output_reparses(self, tmp_path, capsys):
+        from repro.cpl import parse
+
+        source = (
+            "compartment Cluster {\n  $ProxyIP -> [$StartIP, $EndIP]\n}\n"
+            "if (exists $R.G == 'x') $D -> nonempty\n"
+        )
+        spec = tmp_path / "s.cpl"
+        spec.write_text(source)
+        main(["fmt", str(spec)])
+        parse(capsys.readouterr().out)  # must not raise

@@ -1,0 +1,208 @@
+"""Synthetic workloads: dataset shape, fault injection, expert-spec and
+imperative-baseline behaviour (DESIGN.md substitutions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InferenceEngine, ValidationSession
+from repro.synthetic import (
+    BENIGN_KINDS,
+    CLOUDSTACK_SPECS,
+    EXPERT_SPECS,
+    FaultInjector,
+    OPENSTACK_SPECS,
+    TRUE_ERROR_KINDS,
+    generate_cloudstack,
+    generate_openstack,
+    generate_type_a,
+    generate_type_b,
+    generate_type_c,
+    imperative_loc,
+    opensource_imperative_loc,
+    score_report,
+    spec_loc,
+    validate_cloudstack,
+    validate_openstack,
+    validate_type_a,
+    validate_type_b,
+    validate_type_c,
+)
+
+SCALE_A, SCALE_B, SCALE_C = 0.1, 0.005, 0.5
+
+
+@pytest.fixture(scope="module")
+def type_a():
+    return generate_type_a(SCALE_A)
+
+
+@pytest.fixture(scope="module")
+def type_a_store(type_a):
+    return type_a.build_store()
+
+
+class TestGenerators:
+    def test_type_a_shape(self, type_a_store):
+        assert type_a_store.class_count > 100
+        ratio = type_a_store.instance_count / type_a_store.class_count
+        assert ratio > 2
+
+    def test_type_b_shape(self):
+        store = generate_type_b(SCALE_B).build_store()
+        assert store.class_count > 100
+        # the node classes carry the huge fan-out
+        node_ip = store.get_class(("Cluster", "Node", "NodeIP"))
+        assert len(node_ip) >= 20
+
+    def test_type_c_shape(self):
+        store = generate_type_c(SCALE_C).build_store()
+        assert 20 <= store.class_count <= 200
+        # every environment instantiates every key
+        for config_class in store.classes():
+            assert len(config_class) >= 3
+
+    def test_determinism(self):
+        first = generate_type_a(0.05, seed=9).sources
+        second = generate_type_a(0.05, seed=9).sources
+        assert first == second
+
+    def test_scale_changes_size(self):
+        small = generate_type_a(0.02).build_store()
+        large = generate_type_a(0.2).build_store()
+        assert large.instance_count > small.instance_count
+
+    def test_opensource_shapes(self):
+        openstack = generate_openstack(5).build_store()
+        assert openstack.instance_count == 5 * 17  # 17 options per node
+        cloudstack = generate_cloudstack(4).build_store()
+        assert cloudstack.class_count >= 14
+
+
+class TestCleanData:
+    @pytest.mark.parametrize("name,generator,imperative", [
+        ("type_a", lambda: generate_type_a(SCALE_A), validate_type_a),
+        ("type_b", lambda: generate_type_b(SCALE_B), validate_type_b),
+        ("type_c", lambda: generate_type_c(SCALE_C), validate_type_c),
+    ])
+    def test_expert_specs_pass_on_clean_azure(self, name, generator, imperative):
+        store = generator().build_store()
+        report = ValidationSession(store=store).validate(EXPERT_SPECS[name])
+        assert report.passed, report.render(limit=5)
+        assert imperative(store) == []
+
+    def test_expert_specs_pass_on_clean_opensource(self):
+        openstack = generate_openstack(8).build_store()
+        assert ValidationSession(store=openstack).validate(OPENSTACK_SPECS).passed
+        assert validate_openstack(openstack) == []
+        cloudstack = generate_cloudstack(6).build_store()
+        assert ValidationSession(store=cloudstack).validate(CLOUDSTACK_SPECS).passed
+        assert validate_cloudstack(cloudstack) == []
+
+    def test_inferred_specs_pass_on_clean_data(self, type_a_store):
+        result = InferenceEngine().infer(type_a_store)
+        report = ValidationSession(store=type_a_store).validate(result.to_cpl())
+        assert report.passed, report.render(limit=5)
+
+
+class TestFaultInjection:
+    def test_every_kind_injects_on_type_a(self, type_a):
+        injector = FaultInjector(type_a.parse(), seed=3)
+        branch = injector.make_branch("b", TRUE_ERROR_KINDS, BENIGN_KINDS)
+        injected_kinds = {f.kind for f in branch.faults}
+        assert set(TRUE_ERROR_KINDS) <= injected_kinds
+        assert set(BENIGN_KINDS) <= injected_kinds
+
+    def test_faults_actually_change_values(self, type_a):
+        base = type_a.parse()
+        injector = FaultInjector(base, seed=3)
+        branch = injector.make_branch("b", TRUE_ERROR_KINDS)
+        changed = {f.key: f.new_value for f in branch.faults}
+        by_key = {i.key.render(): i.value for i in branch.instances}
+        for key, new_value in changed.items():
+            assert by_key[key] == new_value
+
+    def test_base_not_mutated(self, type_a):
+        base = type_a.parse()
+        values_before = [i.value for i in base]
+        FaultInjector(base, seed=3).make_branch("b", TRUE_ERROR_KINDS)
+        assert [i.value for i in base] == values_before
+
+    def test_deterministic(self, type_a):
+        base = type_a.parse()
+        first = FaultInjector(base, seed=5).make_branch("b", TRUE_ERROR_KINDS)
+        second = FaultInjector(base, seed=5).make_branch("b", TRUE_ERROR_KINDS)
+        assert [f.key for f in first.faults] == [f.key for f in second.faults]
+
+    def test_repeated_kinds_hit_distinct_targets(self, type_a):
+        injector = FaultInjector(type_a.parse(), seed=3)
+        branch = injector.make_branch("b", ["wrong_type", "wrong_type", "wrong_type"])
+        keys = [f.key for f in branch.faults]
+        assert len(set(keys)) == len(keys) == 3
+
+    def test_unknown_kind_raises(self, type_a):
+        injector = FaultInjector(type_a.parse())
+        with pytest.raises(ValueError):
+            injector.make_branch("b", ["made_up_kind"])
+
+
+class TestDetection:
+    EXPERT_KINDS = [
+        "vip_out_of_cluster", "bad_blade_location", "mac_ip_pool_mismatch",
+        "empty_required", "low_replica_count", "wrong_type", "enum_typo",
+    ]
+
+    def test_expert_specs_catch_expert_kinds(self, type_a):
+        injector = FaultInjector(type_a.parse(), seed=13)
+        branch = injector.make_branch("b", self.EXPERT_KINDS)
+        report = ValidationSession(store=branch.build_store()).validate(
+            EXPERT_SPECS["type_a"]
+        )
+        score = score_report(report, branch)
+        assert score.true_errors_caught == len(self.EXPERT_KINDS)
+        assert score.false_positives == 0
+        assert score.unexpected == 0
+
+    def test_imperative_catches_the_same(self, type_a):
+        injector = FaultInjector(type_a.parse(), seed=13)
+        branch = injector.make_branch("b", self.EXPERT_KINDS)
+        errors = validate_type_a(branch.build_store())
+        assert len(errors) >= len(self.EXPERT_KINDS)
+
+    def test_inferred_specs_flag_benign_drift(self, type_a):
+        clean = type_a.build_store()
+        inferred = InferenceEngine().infer(clean)
+        injector = FaultInjector(type_a.parse(), seed=17)
+        branch = injector.make_branch(
+            "b", ["wrong_type", "empty_required"], ["scalar_to_list", "range_drift"]
+        )
+        report = ValidationSession(store=branch.build_store()).validate(
+            inferred.to_cpl()
+        )
+        score = score_report(report, branch)
+        assert score.true_errors_caught == 2
+        assert score.false_positives >= 1
+        assert score.unexpected == 0
+
+    def test_expert_specs_ignore_benign_drift(self, type_a):
+        injector = FaultInjector(type_a.parse(), seed=19)
+        branch = injector.make_branch("b", [], ["scalar_to_list", "range_drift",
+                                               "new_enum_value"])
+        report = ValidationSession(store=branch.build_store()).validate(
+            EXPERT_SPECS["type_a"]
+        )
+        assert report.passed, report.render(limit=5)
+
+
+class TestLoCAccounting:
+    def test_spec_loc_skips_comments(self):
+        assert spec_loc("// c\n$a -> int\n\n$b -> bool\n") == 2
+
+    @pytest.mark.parametrize("name", ["type_a", "type_b", "type_c"])
+    def test_azure_loc_ratio_at_least_5x(self, name):
+        ratio = imperative_loc(name) / spec_loc(EXPERT_SPECS[name])
+        assert ratio >= 5, f"{name}: ratio {ratio:.1f}"
+
+    def test_opensource_loc_ratio(self):
+        assert opensource_imperative_loc("openstack") / spec_loc(OPENSTACK_SPECS) >= 3
+        assert opensource_imperative_loc("cloudstack") / spec_loc(CLOUDSTACK_SPECS) >= 3

@@ -1,0 +1,112 @@
+"""Transformation functions: map-like and reduce-like (paper §4.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError, UnknownTransformError
+from repro.transforms import get_transform, is_transform, register_transform, transform_names
+
+
+class TestRegistry:
+    def test_paper_count_at_least_13(self):
+        # paper §5: "13 transformation functions"
+        assert len(transform_names()) >= 13
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownTransformError):
+            get_transform("frobnicate")
+
+    def test_plugin_registration(self):
+        register_transform("reverse_test", lambda v: str(v)[::-1])
+        assert get_transform("reverse_test").fn("abc") == "cba"
+
+    def test_is_transform(self):
+        assert is_transform("split")
+        assert not is_transform("consistent")
+
+
+class TestStringTransforms:
+    def test_split_default_comma(self):
+        assert get_transform("split").fn("a, b,c") == ["a", "b", "c"]
+
+    def test_split_custom_separator(self):
+        assert get_transform("split").fn("a-b", "-") == ["a", "b"]
+
+    def test_split_flattens_lists(self):
+        # paper idiom: split(';') then split('-') over the parts
+        assert get_transform("split").fn(["a-b", "c-d"], "-") == ["a", "b", "c", "d"]
+
+    def test_at(self):
+        assert get_transform("at").fn(["x", "y"], 0) == "x"
+        assert get_transform("at").fn(["x", "y"], -1) == "y"
+
+    def test_at_requires_list(self):
+        with pytest.raises(EvaluationError):
+            get_transform("at").fn("scalar", 0)
+
+    def test_at_out_of_bounds(self):
+        with pytest.raises(EvaluationError):
+            get_transform("at").fn(["x"], 5)
+
+    def test_case_and_trim(self):
+        assert get_transform("lower").fn("AbC") == "abc"
+        assert get_transform("upper").fn("abc") == "ABC"
+        assert get_transform("trim").fn("  x ") == "x"
+
+    def test_replace_concat_prepend_substr(self):
+        assert get_transform("replace").fn("a-b", "-", ":") == "a:b"
+        assert get_transform("concat").fn("a", ".vhd") == "a.vhd"
+        assert get_transform("prepend").fn("path", "/root/") == "/root/path"
+        assert get_transform("substr").fn("abcdef", 1, 3) == "bc"
+        assert get_transform("substr").fn("abcdef", 2) == "cdef"
+
+
+class TestNumericTransforms:
+    def test_len_of_string_and_list(self):
+        assert get_transform("len").fn("abcd") == "4"
+        assert get_transform("len").fn(["a", "b"]) == "2"
+
+    def test_abs_negate(self):
+        assert get_transform("abs").fn("-5") == "5"
+        assert get_transform("negate").fn("5") == "-5"
+
+    def test_abs_non_numeric_raises(self):
+        with pytest.raises(EvaluationError):
+            get_transform("abs").fn("word")
+
+    def test_reduces(self):
+        assert get_transform("sum").fn(["1", "2", "3"]) == "6"
+        assert get_transform("min").fn(["5", "2", "9"]) == "2"
+        assert get_transform("max").fn(["5", "2", "9"]) == "9"
+        assert get_transform("count").fn(["a", "b"]) == "2"
+
+    def test_min_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            get_transform("min").fn([])
+
+    def test_reduce_flags(self):
+        assert get_transform("sum").reduce is True
+        assert get_transform("lower").reduce is False
+
+
+class TestCollectionTransforms:
+    def test_union_flattens_and_dedups(self):
+        assert get_transform("union").fn([["a", "b"], "b", "c"]) == ["a", "b", "c"]
+
+    def test_distinct(self):
+        assert get_transform("distinct").fn(["x", "x", "y"]) == ["x", "y"]
+
+    def test_flatten(self):
+        assert get_transform("flatten").fn([["a"], "b"]) == ["a", "b"]
+
+    def test_sort_numeric(self):
+        assert get_transform("sort").fn(["10", "2", "1"]) == ["1", "2", "10"]
+
+    def test_first_last(self):
+        assert get_transform("first").fn(["a", "b"]) == "a"
+        assert get_transform("last").fn(["a", "b"]) == "b"
+        assert get_transform("first").fn([]) == ""
+
+    def test_join(self):
+        assert get_transform("join").fn([["a", "b"], "c"], ";") == "a;b;c"

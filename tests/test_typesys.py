@@ -1,0 +1,130 @@
+"""Value typing: parsers and detection (shared by predicates & inference)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import typesys
+
+
+class TestParsers:
+    @pytest.mark.parametrize("text,expected", [
+        ("true", True), ("True", True), ("YES", True), ("on", True),
+        ("enabled", True), ("false", False), ("off", False), ("no", False),
+    ])
+    def test_bool(self, text, expected):
+        assert typesys.parse_bool(text) is expected
+
+    @pytest.mark.parametrize("text", ["1", "tru", "", "y"])
+    def test_bool_rejects(self, text):
+        assert typesys.parse_bool(text) is None
+
+    def test_int(self):
+        assert typesys.parse_int("42") == 42
+        assert typesys.parse_int("-7") == -7
+        assert typesys.parse_int(" 5 ") == 5
+
+    @pytest.mark.parametrize("text", ["4.2", "abc", "", "0x10"])
+    def test_int_rejects(self, text):
+        assert typesys.parse_int(text) is None
+
+    def test_float(self):
+        assert typesys.parse_float("3.14") == pytest.approx(3.14)
+        assert typesys.parse_float("5") == 5.0
+
+    @pytest.mark.parametrize("text", ["nan", "inf", "-Infinity", "abc", ""])
+    def test_float_rejects(self, text):
+        assert typesys.parse_float(text) is None
+
+    def test_ipv4(self):
+        assert typesys.parse_ipv4("10.0.0.1") is not None
+        assert typesys.parse_ipv4("256.0.0.1") is None
+        assert typesys.parse_ipv4("10.0.0") is None
+
+    def test_ipv6(self):
+        assert typesys.parse_ipv6("2001:db8::1") is not None
+        assert typesys.parse_ipv6("10.0.0.1") is None
+
+    def test_cidr_requires_prefix(self):
+        assert typesys.parse_cidr("10.0.0.0/24") is not None
+        assert typesys.parse_cidr("10.0.0.0") is None
+        assert typesys.parse_cidr("10.0.0.0/99") is None
+
+    def test_mac(self):
+        assert typesys.parse_mac("00:1A:2b:3c:4D:5e") == "00:1a:2b:3c:4d:5e"
+        assert typesys.parse_mac("00-1a-2b-3c-4d-5e") == "00:1a:2b:3c:4d:5e"
+        assert typesys.parse_mac("00:1a:2b:3c:4d") is None
+
+    def test_port(self):
+        assert typesys.parse_port("443") == 443
+        assert typesys.parse_port("0") is None
+        assert typesys.parse_port("70000") is None
+
+    def test_url(self):
+        assert typesys.parse_url("https://x.example.com:8443/a") is not None
+        assert typesys.parse_url("not a url") is None
+
+    def test_email(self):
+        assert typesys.parse_email("ops@example.com") is not None
+        assert typesys.parse_email("nope") is None
+
+    def test_guid(self):
+        guid = "deadbeef-dead-beef-dead-beefdeadbeef"
+        assert typesys.parse_guid(guid) == guid
+        assert typesys.parse_guid("{" + guid.upper() + "}") == guid
+        assert typesys.parse_guid("deadbeef") is None
+
+    def test_ip_range(self):
+        result = typesys.parse_ip_range("10.0.0.1-10.0.0.9")
+        assert result is not None
+        assert str(result[0]) == "10.0.0.1"
+        assert typesys.parse_ip_range("10.0.0.1") is None
+        assert typesys.parse_ip_range("a-b") is None
+
+    @pytest.mark.parametrize("text,ok", [
+        (r"\\share\OS\v2", True),
+        (r"C:\Windows", True),
+        ("/var/lib/nova", True),
+        ("./relative", True),
+        ("plainword", False),
+        ("", False),
+    ])
+    def test_path(self, text, ok):
+        assert typesys.is_path(text) is ok
+
+    def test_split_list(self):
+        assert typesys.split_list("a, b ,c") == ["a", "b", "c"]
+        assert typesys.split_list("a;b") == ["a", "b"]
+        assert typesys.split_list("solo") is None
+        assert typesys.split_list("a,,b") is None
+
+
+class TestDetect:
+    @pytest.mark.parametrize("value,expected", [
+        ("true", "bool"),
+        ("42", "int"),
+        ("3.14", "float"),
+        ("10.0.0.1", "ipv4"),
+        ("2001:db8::1", "ipv6"),
+        ("10.0.0.0/24", "cidr"),
+        ("00:1a:2b:3c:4d:5e", "mac"),
+        ("10.0.0.1-10.0.0.5", "ip_range"),
+        ("https://x.com/a", "url"),
+        ("a@b.com", "email"),
+        ("/var/log", "path"),
+        ("deadbeef-dead-beef-dead-beefdeadbeef", "guid"),
+        ("hello world", "string"),
+        ("", "string"),
+    ])
+    def test_scalars(self, value, expected):
+        assert typesys.detect_type(value) == expected
+
+    def test_lists(self):
+        assert typesys.detect_type("10.0.0.1,10.0.0.2") == "list<ipv4>"
+        assert typesys.detect_type("1;2;3") == "list<int>"
+        assert typesys.detect_type("a,1") == "list<string>"
+
+    def test_list_detection_disabled(self):
+        assert typesys.detect_type("1,2", allow_list=False) == "string"

@@ -1,0 +1,229 @@
+"""White-box inference: AST extraction, black-box combination (§6.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigStore, InferenceEngine, ValidationSession
+from repro.inference import combine, extract_constraints
+from repro.inference.constraints import RangeConstraint, TypeConstraint
+from repro.repository.keys import parse_instance_key
+from repro.repository.model import ConfigInstance
+from repro.synthetic import generate_app_source, generate_type_a, type_a_catalog
+
+
+def kinds_of(constraints, key):
+    return {c.kind for c in constraints if c.class_key[-1] == key}
+
+
+def one(constraints, key, kind):
+    found = [c for c in constraints if c.class_key[-1] == key and c.kind == kind]
+    assert len(found) == 1, (key, kind, found)
+    return found[0]
+
+
+class TestExtraction:
+    def test_int_cast_and_raise_guard(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    t = int(cfg["Timeout"])\n'
+            '    if t < 1 or t > 300:\n'
+            '        raise ValueError("x")\n'
+        )
+        assert kinds_of(constraints, "Timeout") == {"type", "range"}
+        bounds = one(constraints, "Timeout", "range")
+        assert (bounds.low, bounds.high) == (1, 300)
+
+    def test_assert_membership_enum(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    m = cfg["Mode"]\n'
+            '    assert m in ("fast", "safe")\n'
+        )
+        enum = one(constraints, "Mode", "enum")
+        assert set(enum.values) == {"fast", "safe"}
+
+    def test_chained_compare(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    r = float(cfg.get("Ratio", 0.5))\n'
+            '    assert 0.0 <= r <= 1.0\n'
+        )
+        bounds = one(constraints, "Ratio", "range")
+        assert (bounds.low, bounds.high) == (0.0, 1.0)
+
+    def test_typed_default(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n    n = cfg.get("Workers", 4)\n'
+        )
+        assert one(constraints, "Workers", "type").type_name == "int"
+
+    def test_not_guard_is_nonempty(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    name = cfg["Name"]\n'
+            '    if not name:\n'
+            '        raise ValueError("required")\n'
+        )
+        assert kinds_of(constraints, "Name") == {"nonempty"}
+
+    def test_strict_inequalities_tightened(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    n = int(cfg["N"])\n'
+            '    assert n > 0\n'
+            '    assert n < 10\n'
+        )
+        bounds = one(constraints, "N", "range")
+        assert (bounds.low, bounds.high) == (1, 9)
+
+    def test_flipped_literal_side(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    n = int(cfg["N"])\n'
+            '    assert 5 <= n\n'
+            '    assert 20 >= n\n'
+        )
+        bounds = one(constraints, "N", "range")
+        assert (bounds.low, bounds.high) == (5, 20)
+
+    def test_split_marks_list(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    for ip in cfg["Servers"].split(","):\n'
+            '        pass\n'
+        )
+        assert one(constraints, "Servers", "type").type_name == "list<unknown>"
+
+    def test_equality_guard_contributes_enum(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    m = cfg["Kind"]\n'
+            '    if m != "primary":\n'
+            '        raise ValueError("x")\n'
+        )
+        assert set(one(constraints, "Kind", "enum").values) == {"primary"}
+
+    def test_non_config_receivers_ignored(self):
+        constraints = extract_constraints(
+            'def f(data):\n'
+            '    v = int(data["Key"])\n'
+            '    assert v > 0\n'
+        )
+        assert constraints == []
+
+    def test_guard_without_raise_ignored(self):
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    t = int(cfg["T"])\n'
+            '    if t > 5:\n'
+            '        print("big")\n'
+        )
+        assert kinds_of(constraints, "T") == {"type"}
+
+    def test_one_sided_bound_yields_no_range(self):
+        # an upper bound alone is not a range constraint (needs both ends)
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    assert int(cfg["Depth"]) <= 8\n'
+        )
+        assert "range" not in kinds_of(constraints, "Depth")
+
+    def test_direct_read_comparison_both_ends(self):
+        # comparisons on an unassigned read still resolve the key
+        constraints = extract_constraints(
+            'def f(cfg):\n'
+            '    assert int(cfg["Depth"]) <= 8\n'
+            '    assert int(cfg["Depth"]) >= 1\n'
+        )
+        bounds = one(constraints, "Depth", "range")
+        assert (bounds.low, bounds.high) == (1, 8)
+
+
+class TestCombine:
+    def build_store(self):
+        store = ConfigStore()
+        for i in range(12):
+            store.add(ConfigInstance(
+                parse_instance_key(f"A::{i}.Timeout"), str(20 + i % 5), "t"
+            ))
+            store.add(ConfigInstance(
+                parse_instance_key(f"A::{i}.Servers"), "10.0.0.8", "t"
+            ))
+        return store
+
+    CODE = (
+        'def f(cfg):\n'
+        '    t = int(cfg["Timeout"])\n'
+        '    if t < 1 or t > 600:\n'
+        '        raise ValueError("x")\n'
+        '    for s in cfg["Servers"].split(","):\n'
+        '        pass\n'
+    )
+
+    def test_code_range_overrides_observed(self):
+        store = self.build_store()
+        blackbox = InferenceEngine().infer(store)
+        observed = one(blackbox.constraints, "Timeout", "range")
+        assert (observed.low, observed.high) == (20, 24)   # narrow sample
+        combined = combine(blackbox, extract_constraints(self.CODE))
+        merged = one(combined.constraints, "Timeout", "range")
+        assert (merged.low, merged.high) == (1, 600)        # code wins
+
+    def test_list_type_refined_from_observation(self):
+        store = self.build_store()
+        blackbox = InferenceEngine().infer(store)
+        assert one(blackbox.constraints, "Servers", "type").type_name == "ipv4"
+        combined = combine(blackbox, extract_constraints(self.CODE))
+        merged = one(combined.constraints, "Servers", "type")
+        assert merged.type_name == "list<ipv4>"
+
+    def test_unrelated_constraints_kept(self):
+        store = self.build_store()
+        blackbox = InferenceEngine().infer(store)
+        combined = combine(blackbox, extract_constraints(self.CODE))
+        assert "nonempty" in kinds_of(combined.constraints, "Timeout")
+
+    def test_combined_accepts_widened_values(self):
+        store = self.build_store()
+        blackbox = InferenceEngine().infer(store)
+        combined = combine(blackbox, extract_constraints(self.CODE))
+
+        drifted = ConfigStore()
+        for i in range(12):
+            drifted.add(ConfigInstance(
+                parse_instance_key(f"A::{i}.Timeout"), str(500 + i % 5), "t"
+            ))
+            drifted.add(ConfigInstance(
+                parse_instance_key(f"A::{i}.Servers"), "10.0.0.8,10.0.0.9", "t"
+            ))
+        assert not ValidationSession(store=drifted).validate(blackbox.to_cpl()).passed
+        report = ValidationSession(store=drifted).validate(combined.to_cpl())
+        assert report.passed, report.render(limit=5)
+
+
+class TestAppSource:
+    def test_generated_source_compiles(self):
+        import ast as pyast
+
+        for module in generate_app_source(0.05):
+            pyast.parse(module)
+
+    def test_catalog_alignment(self):
+        catalog = type_a_catalog(0.05)
+        store = generate_type_a(0.05).build_store()
+        leafs = {c.leaf_name for c in store.classes()}
+        for params in catalog.values():
+            for param in params:
+                assert param.name in leafs
+
+    def test_extraction_covers_guarded_kinds(self):
+        modules = generate_app_source(0.05)
+        constraints = extract_constraints(modules)
+        kinds = {c.kind for c in constraints}
+        assert {"type", "range", "enum", "nonempty"} <= kinds
+        # the fleet reader's split loop marks the DNS list
+        assert any(
+            c.class_key[-1] == "NodeDnsServers" and c.kind == "type"
+            for c in constraints
+        )

@@ -1,0 +1,132 @@
+"""Store writers: lossless key-value round-trip, INI subset."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ConfigStore
+from repro.drivers import get_driver, to_ini, to_keyvalue
+from repro.errors import DriverError
+from repro.repository.keys import InstanceKey, InstanceSegment
+from repro.repository.model import ConfigInstance
+
+
+def store_of(instances):
+    store = ConfigStore()
+    store.add_all(instances)
+    return store
+
+
+def snapshot(store):
+    return sorted((i.key.render(), i.value) for i in store.instances())
+
+
+class TestKeyValueWriter:
+    def test_simple_roundtrip(self):
+        store = store_of([
+            ConfigInstance(InstanceKey.build(("Cluster", "C1"), "Timeout"), "30"),
+            ConfigInstance(InstanceKey.build("GlobalFlag"), "true"),
+        ])
+        text = to_keyvalue(store)
+        rebuilt = store_of(get_driver("keyvalue").parse(text))
+        assert snapshot(rebuilt) == snapshot(store)
+
+    def test_quoted_qualifier_roundtrip(self):
+        store = store_of([
+            ConfigInstance(
+                InstanceKey.build(("CloudGroup", "East1 Production"), "K"), "v"
+            )
+        ])
+        rebuilt = store_of(get_driver("keyvalue").parse(to_keyvalue(store)))
+        assert snapshot(rebuilt) == snapshot(store)
+
+    def test_value_with_equals_roundtrips(self):
+        store = store_of([ConfigInstance(InstanceKey.build("K"), "a=b=c")])
+        rebuilt = store_of(get_driver("keyvalue").parse(to_keyvalue(store)))
+        assert snapshot(rebuilt) == snapshot(store)
+
+    def test_empty_store(self):
+        assert to_keyvalue(ConfigStore()) == ""
+
+    def test_multiline_value_rejected(self):
+        store = store_of([ConfigInstance(InstanceKey.build("K"), "a\nb")])
+        with pytest.raises(DriverError):
+            to_keyvalue(store)
+
+    def test_equals_in_qualifier_rejected(self):
+        store = store_of([
+            ConfigInstance(InstanceKey.build(("A", "x=y"), "K"), "v")
+        ])
+        with pytest.raises(DriverError):
+            to_keyvalue(store)
+
+    def test_accepts_plain_iterable(self):
+        instances = [ConfigInstance(InstanceKey.build("K"), "v")]
+        assert "K = v" in to_keyvalue(instances)
+
+
+class TestINIWriter:
+    def test_roundtrip_two_level(self):
+        store = store_of([
+            ConfigInstance(InstanceKey.build("fabric", "Timeout"), "30"),
+            ConfigInstance(InstanceKey.build("fabric", "Retries"), "3"),
+            ConfigInstance(InstanceKey.build(("Env", "E1"), "K"), "v"),
+        ])
+        rebuilt = store_of(get_driver("ini").parse(to_ini(store)))
+        assert snapshot(rebuilt) == snapshot(store)
+
+    def test_top_level_keys(self):
+        store = store_of([ConfigInstance(InstanceKey.build("K"), "v")])
+        assert to_ini(store).strip() == "K = v"
+
+    def test_duplicate_keys_in_section_rejected(self):
+        store = ConfigStore()
+        store.add(ConfigInstance(InstanceKey.build("s", "K"), "a"))
+        # second add dedups into K[2]: leaf ordinal != 1 → unrepresentable
+        store.add(ConfigInstance(InstanceKey.build("s", "K"), "b"))
+        with pytest.raises(DriverError):
+            to_ini(store)
+
+    def test_qualified_leaf_rejected(self):
+        store = store_of([
+            ConfigInstance(InstanceKey.build("s", ("K", "q")), "v")
+        ])
+        with pytest.raises(DriverError):
+            to_ini(store)
+
+
+# ---------------------------------------------------------------------------
+# Property: write → parse → same store, for representable random stores
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["Cluster", "Node", "Fabric", "Timeout", "IP", "K1", "K2"])
+_quals = st.one_of(st.none(), st.sampled_from(["a", "b", "East Prod", "x-1"]))
+_values = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789 .,:/=-",
+    max_size=20,
+).map(str.strip)
+
+
+@st.composite
+def _stores(draw):
+    count = draw(st.integers(min_value=0, max_value=12))
+    store = ConfigStore()
+    for __ in range(count):
+        depth = draw(st.integers(min_value=1, max_value=3))
+        segments = []
+        for level in range(depth):
+            name = draw(_names)
+            qualifier = draw(_quals) if level < depth - 1 else None
+            segments.append(InstanceSegment(name, qualifier))
+        store.add(ConfigInstance(InstanceKey(tuple(segments)), draw(_values), "t"))
+    return store
+
+
+@given(_stores())
+@settings(max_examples=150, deadline=None)
+def test_property_keyvalue_roundtrip(store):
+    text = to_keyvalue(store)
+    rebuilt = store_of(get_driver("keyvalue").parse(text))
+    assert snapshot(rebuilt) == snapshot(store)
