@@ -1,0 +1,24 @@
+# Convenience entry points.  Everything assumes the repo root as cwd and
+# needs no installation beyond the checked-in source (PYTHONPATH=src).
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench-smoke bench ci
+
+## Tier-1 test suite (the gate every change must keep green).
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Run every benchmark on a tiny corpus — correctness of the bench
+## harness itself, not a measurement.  See benchmarks/smoke.sh.
+bench-smoke:
+	sh benchmarks/smoke.sh
+
+## Full benchmark run at the default (laptop-friendly) scales.
+## Tables land in benchmarks/results/.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
+
+## What CI runs: the tier-1 suite plus the benchmark smoke pass.
+ci: test bench-smoke

@@ -1,0 +1,131 @@
+"""Parallel scaling — sharded executors vs serial, plus spec-cache warm-up.
+
+Unlike Table 8 (which times 10 *independent* partition jobs one at a time),
+this bench drives the real :mod:`repro.parallel` engine end to end: one
+spec corpus, sharded by compartment/scope, evaluated by each executor, and
+merged back into a single report.  Two claims are checked:
+
+* **Determinism** — every executor's report has the same
+  :meth:`~repro.core.report.ValidationReport.fingerprint` as serial
+  evaluation (always asserted, any machine).
+* **Scaling** — with ≥4 cores the best parallel executor finishes the
+  Type-A corpus at least 2× faster than serial.  On smaller machines the
+  numbers are still emitted but the speedup assertion is skipped (the
+  engine itself falls back to serial below 2 cores).
+
+A second table times compilation with a cold vs warm
+:class:`~repro.parallel.SpecCache` — the steady-state scan path where only
+configuration data changed.
+
+Run it alone with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_scaling.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import ValidationSession
+from repro.benchutil import format_table
+from repro.parallel import SpecCache
+from repro.synthetic import EXPERT_SPECS
+
+EXECUTORS = ("serial", "thread", "process", "auto")
+SPEEDUP_CORES = 4           # acceptance threshold applies at ≥4 cores
+SPEEDUP_FLOOR = 2.0         # required best-parallel speedup at that size
+
+
+def run_executors(store, spec_text):
+    timings = {}
+    reports = {}
+    for executor in EXECUTORS:
+        session = ValidationSession(store=store, executor=executor)
+        statements = session.prepare(spec_text)
+        session.validate_statements(statements)   # warm-up (pools, imports)
+        started = time.perf_counter()
+        report = session.validate_statements(statements)
+        timings[executor] = time.perf_counter() - started
+        reports[executor] = report
+    return timings, reports
+
+
+def test_parallel_scaling(benchmark, emit, type_a_store):
+    spec_text = EXPERT_SPECS["type_a"]
+    timings, reports = benchmark.pedantic(
+        run_executors, args=(type_a_store, spec_text), rounds=1, iterations=1
+    )
+
+    serial = timings["serial"]
+    rows = []
+    for executor in EXECUTORS:
+        report = reports[executor]
+        rows.append((
+            executor,
+            report.executor or "serial",
+            report.shards_run,
+            f"{timings[executor]:.3f}",
+            f"{serial / timings[executor]:.2f}x",
+        ))
+    cores = os.cpu_count() or 1
+    emit(
+        "parallel_scaling",
+        format_table(
+            ["Requested", "Ran as", "Shards", "Seconds", "vs serial"], rows
+        )
+        + f"\n(Type A corpus, {type_a_store.instance_count} instances, "
+        f"{cores} core(s))",
+    )
+
+    # Determinism: byte-identical reports whatever the executor.
+    baseline = reports["serial"].fingerprint()
+    for executor in EXECUTORS:
+        assert reports[executor].fingerprint() == baseline, executor
+
+    # Scaling: only a claim worth enforcing when the hardware can parallelize.
+    if cores >= SPEEDUP_CORES:
+        best = min(timings[e] for e in ("thread", "process"))
+        assert serial / best >= SPEEDUP_FLOOR, (
+            f"expected ≥{SPEEDUP_FLOOR}x on {cores} cores, "
+            f"got {serial / best:.2f}x"
+        )
+
+
+def run_cache(store, spec_text, rounds=5):
+    cold_cache = SpecCache()
+    session = ValidationSession(store=store, spec_cache=cold_cache)
+
+    started = time.perf_counter()
+    session.validate(spec_text)
+    cold = time.perf_counter() - started
+
+    warm_times = []
+    for __ in range(rounds):
+        started = time.perf_counter()
+        session.validate(spec_text)
+        warm_times.append(time.perf_counter() - started)
+    return cold, warm_times, cold_cache.stats
+
+
+def test_spec_cache_warm_vs_cold(benchmark, emit, type_a_store):
+    cold, warm_times, stats = benchmark.pedantic(
+        run_cache, args=(type_a_store, EXPERT_SPECS["type_a"]),
+        rounds=1, iterations=1,
+    )
+    warm = min(warm_times)
+    emit(
+        "spec_cache_warmup",
+        format_table(
+            ["Scan", "Seconds", "Compile"],
+            [
+                ("cold (first)", f"{cold:.3f}", "parse + rewrite"),
+                ("warm (best of 5)", f"{warm:.3f}", "cache hit"),
+            ],
+        )
+        + f"\n(cache: {stats.hits} hit(s), {stats.misses} miss(es))",
+    )
+    assert stats.misses == 1 and stats.hits == len(warm_times)
+    # A warm scan never costs more than a cold one (evaluation dominates
+    # both, so we only claim ordering, not a ratio).
+    assert warm <= cold * 1.05

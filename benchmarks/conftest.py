@@ -21,7 +21,11 @@ TYPE_A_SCALE = float(os.environ.get("REPRO_SCALE_A", "0.35"))
 TYPE_B_SCALE = float(os.environ.get("REPRO_SCALE_B", "0.02"))
 TYPE_C_SCALE = float(os.environ.get("REPRO_SCALE_C", "1.0"))
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+# Smoke runs (benchmarks/smoke.sh) redirect this so tiny-scale tables never
+# overwrite the checked-in default-scale ones.
+RESULTS_DIR = os.environ.get(
+    "REPRO_RESULTS_DIR", os.path.join(os.path.dirname(__file__), "results")
+)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Smoke-run every benchmark on a tiny corpus.
+#
+# This is a correctness gate, not a measurement: each bench's shape
+# assertions (determinism, table structure, monotonicity) execute at a
+# scale small enough for CI, with pytest-benchmark's timing machinery
+# disabled.  Timing-ratio assertions in the benches are themselves gated
+# on corpus size / core count, so they do not fire here.
+#
+# Usage:  sh benchmarks/smoke.sh [extra pytest args]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RESULTS_DIR="$(mktemp -d)"
+trap 'rm -rf "$RESULTS_DIR"' EXIT
+
+REPRO_SCALE_A="${REPRO_SCALE_A:-0.1}" \
+REPRO_SCALE_B="${REPRO_SCALE_B:-0.005}" \
+REPRO_SCALE_C="${REPRO_SCALE_C:-0.5}" \
+REPRO_RESULTS_DIR="$RESULTS_DIR" \
+PYTHONPATH=src \
+python -m pytest benchmarks/ -q --benchmark-disable "$@"

@@ -43,6 +43,7 @@ from .repository import (
     Snapshot,
     parse_pattern,
 )
+from .parallel import ParallelValidator, SpecCache
 from .runtime import FakeFileSystem, HostRuntime, StaticRuntime
 from .service import ScanResult, SourceSpec, ValidationService
 
@@ -75,6 +76,8 @@ __all__ = [
     "SourceSpec",
     "ScanResult",
     "IncrementalValidator",
+    "ParallelValidator",
+    "SpecCache",
     "ConfigRepository",
     "Snapshot",
     "ChangeSet",

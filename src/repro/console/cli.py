@@ -47,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="split specs into N partitions and report per-partition times",
     )
     validate.add_argument(
+        "--executor", choices=("auto", "serial", "thread", "process"),
+        default=None,
+        help="evaluate via the sharded parallel engine (default: in-process "
+             "serial; reports are identical either way)",
+    )
+    validate.add_argument(
         "--stop-on-first", action="store_true",
         help="stop at the first violation (validation policy)",
     )
@@ -91,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument(
         "--max-scans", type=int, default=0,
         help="stop after N scans (0 = run until interrupted)",
+    )
+    service.add_argument(
+        "--executor", choices=("auto", "serial", "thread", "process"),
+        default=None,
+        help="evaluate each scan via the sharded parallel engine",
     )
 
     coverage = sub.add_parser(
@@ -154,7 +165,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.waivers:
             count = policy.load_waivers(args.waivers)
             print(f"loaded {count} waiver(s)", file=sys.stderr)
-        session = ValidationSession(policy=policy, optimize=not args.no_optimize)
+        session = ValidationSession(
+            policy=policy, optimize=not args.no_optimize, executor=args.executor
+        )
         _load_sources(session, args.source)
         if args.partitions and args.partitions > 1:
             with open(args.spec, "r", encoding="utf-8") as handle:
@@ -286,7 +299,9 @@ def _run_service(args) -> int:
         status = "PASS" if result.passed else "FAIL"
         print(f"transition → {status} (scan #{result.sequence})")
 
-    service = ValidationService(args.spec, sources, on_transition=announce)
+    service = ValidationService(
+        args.spec, sources, on_transition=announce, executor=args.executor
+    )
     scans = 0
     last_status = None
     try:

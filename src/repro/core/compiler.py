@@ -53,6 +53,15 @@ class CompilerOptions:
         self.aggregate_domains = aggregate_domains
         self.omit_implied = omit_implied
 
+    def fingerprint(self) -> tuple:
+        """Hashable identity of the rewrite configuration — part of the
+        compiled-spec cache key (:class:`repro.parallel.SpecCache`)."""
+        return (
+            self.aggregate_predicates,
+            self.aggregate_domains,
+            self.omit_implied,
+        )
+
 
 #: conjuncts implied by another conjunct's presence: implied -> implier names
 _TYPE_PREDICATES = {

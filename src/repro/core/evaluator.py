@@ -81,12 +81,14 @@ class Evaluator:
         runtime: Optional[RuntimeProvider] = None,
         policy: Optional[ValidationPolicy] = None,
         profile: bool = False,
+        macros: Optional[dict] = None,
     ):
         self.store = store
         self.runtime = runtime if runtime is not None else StaticRuntime()
         self.policy = policy if policy is not None else ValidationPolicy()
         self.profile = profile
-        self.macros: dict[str, ast.PredExpr] = {}
+        # seedable so shard evaluators inherit the session's macro registry
+        self.macros: dict[str, ast.PredExpr] = dict(macros) if macros else {}
         self._scope_cache: dict[tuple, list[InstanceKey]] = {}
         self._scope_cache_size = -1
 

@@ -79,6 +79,18 @@ class ValidationReport:
     spec_timings: dict = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     stopped_early: bool = False
+    #: --- performance counters (repro.parallel) -------------------------
+    #: excluded from :meth:`fingerprint` — they describe *how* the run was
+    #: executed, not *what* it found
+    #: shards evaluated (0 = plain serial evaluation, no sharding layer)
+    shards_run: int = 0
+    #: executor that ran the shards ('' when the sharding layer wasn't used)
+    executor: str = ""
+    #: compiled-spec cache hits/misses for the compile(s) behind this report
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: per-shard wall clock: (shard label, seconds)
+    shard_timings: list = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -100,6 +112,12 @@ class ValidationReport:
         self.instances_checked += other.instances_checked
         self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
         self.stopped_early = self.stopped_early or other.stopped_early
+        self.shards_run += other.shards_run
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.shard_timings.extend(other.shard_timings)
+        if not self.executor:
+            self.executor = other.executor
 
     def by_constraint(self) -> dict[str, list[Violation]]:
         """Group violations by constraint — the paper's report view for
@@ -168,7 +186,30 @@ class ValidationReport:
             "stopped_early": self.stopped_early,
             "notes": list(self.notes),
             "violations": [violation.to_dict() for violation in self.violations],
+            "perf": {
+                "executor": self.executor,
+                "shards_run": self.shards_run,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "shard_timings": [list(pair) for pair in self.shard_timings],
+            },
         }
+
+    def fingerprint(self) -> str:
+        """Canonical serialized form for determinism comparisons.
+
+        Excludes wall-clock and execution-strategy fields (elapsed time,
+        per-shard timings, executor name, cache counters): two runs that
+        found the same things have the same fingerprint even when one ran
+        serially and the other on a process pool.  The parallel engine's
+        determinism guarantee is stated (and tested) in these terms.
+        """
+        import json
+
+        data = self.to_dict()
+        del data["perf"]
+        del data["elapsed_seconds"]
+        return json.dumps(data, sort_keys=True)
 
     def to_json(self, indent: int = 2) -> str:
         import json

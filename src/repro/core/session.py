@@ -15,6 +15,15 @@ Three usage scenarios from paper §5.1 map onto this API:
   P10 experiment (each job parses sources independently in the paper; here
   partitions share the already-loaded store and the per-partition wall
   clocks are reported so min/median/max match the paper's shape).
+
+Two orthogonal performance features (see ``docs/PERFORMANCE.md``):
+
+* ``executor`` routes evaluation through the sharded parallel engine
+  (:mod:`repro.parallel`) — ``"auto"``, ``"serial"``, ``"thread"``, or
+  ``"process"``; the merged report is identical to serial evaluation;
+* ``spec_cache`` memoizes compiled programs keyed by (spec text hash,
+  compiler options) so repeat validation of unchanged specs skips the
+  parser and the Figure-4 rewrites entirely (:meth:`compile`).
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from ..drivers import driver_names, get_driver
 from ..errors import ConfValleyError, DriverError
 from ..repository.store import ConfigStore
 from ..runtime import RuntimeProvider, StaticRuntime
-from .compiler import optimize_statements
+from .compiler import CompilerOptions, optimize_statements
 from .evaluator import Evaluator, Item
 from .policy import ValidationPolicy
 from .report import ValidationReport
@@ -60,15 +69,28 @@ class ValidationSession:
         base_dir: str = ".",
         optimize: bool = True,
         profile: bool = False,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        spec_cache=None,
+        compiler_options: Optional[CompilerOptions] = None,
     ):
         self.store = store if store is not None else ConfigStore()
         self.runtime = runtime if runtime is not None else StaticRuntime()
         self.policy = policy if policy is not None else ValidationPolicy()
         self.base_dir = base_dir
         self.optimize = optimize
+        #: None = classic in-process serial evaluation; otherwise routed
+        #: through repro.parallel ("auto"/"serial"/"thread"/"process" or an
+        #: executor object) with a deterministic, serial-identical merge
+        self.executor = executor
+        self.max_workers = max_workers
+        #: optional repro.parallel.SpecCache shared across sessions/scans
+        self.spec_cache = spec_cache
+        self.compiler_options = compiler_options
         self.evaluator = Evaluator(
             self.store, self.runtime, self.policy, profile=profile
         )
+        self._last_compile_hit: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # Loading configuration data
@@ -138,12 +160,50 @@ class ValidationSession:
                 remaining.append(statement)
         return remaining
 
+    def _options_fingerprint(self) -> tuple:
+        """Cache-key component: optimization flag + rewrite toggles."""
+        if not self.optimize:
+            return ("raw",)
+        options = self.compiler_options or CompilerOptions()
+        return options.fingerprint()
+
+    def compile(self, text: str) -> list[ast.Statement]:
+        """Parse + resolve commands + optimize, consulting the spec cache.
+
+        Programs containing ``load``/``include`` commands are compiled
+        fresh every time (their compilation has side effects); everything
+        else is memoized on ``(spec text hash, compiler options)`` when a
+        ``spec_cache`` is attached, so steady-state revalidation skips the
+        parser and the Figure-4 rewrites when only data changed.
+        """
+        fingerprint = self._options_fingerprint()
+        if self.spec_cache is not None:
+            cached = self.spec_cache.lookup(text, fingerprint)
+            if cached is not None:
+                self._last_compile_hit = True
+                return list(cached)
+        program = parse(text)
+        has_commands = any(
+            isinstance(statement, (ast.LoadCmd, ast.IncludeCmd))
+            for statement in program.statements
+        )
+        statements = self._process_commands(program.statements)
+        if self.optimize:
+            statements = optimize_statements(statements, self.compiler_options)
+        if self.spec_cache is not None:
+            self._last_compile_hit = False
+            if has_commands:
+                self.spec_cache.note_uncacheable()
+            else:
+                self.spec_cache.store(text, fingerprint, tuple(statements))
+        return statements
+
     def validate(
         self, text: str, report: Optional[ValidationReport] = None
     ) -> ValidationReport:
         """Validate the store against a CPL program (batch mode)."""
-        statements = self.prepare(text)
-        return self.validate_statements(statements, report)
+        statements = self.compile(text)
+        return self._run_validation(statements, report)
 
     def validate_statements(
         self,
@@ -151,12 +211,50 @@ class ValidationSession:
         report: Optional[ValidationReport] = None,
     ) -> ValidationReport:
         if self.optimize:
-            statements = optimize_statements(list(statements))
+            statements = optimize_statements(
+                list(statements), self.compiler_options
+            )
+        return self._run_validation(statements, report)
+
+    def _run_validation(
+        self,
+        statements: Sequence[ast.Statement],
+        report: Optional[ValidationReport],
+    ) -> ValidationReport:
+        """Evaluate compiled statements — serially, or sharded when an
+        executor is configured (output is identical either way)."""
         if report is None:
             report = ValidationReport()
-        started = time.perf_counter()
-        self.evaluator.run(statements, report)
-        report.elapsed_seconds += time.perf_counter() - started
+        if self._last_compile_hit is not None:
+            if self._last_compile_hit:
+                report.cache_hits += 1
+            else:
+                report.cache_misses += 1
+            self._last_compile_hit = None
+        if self.executor is None:
+            started = time.perf_counter()
+            self.evaluator.run(statements, report)
+            report.elapsed_seconds += time.perf_counter() - started
+        else:
+            # the parallel engine times itself (including shard fan-out)
+            from ..parallel.engine import ParallelValidator
+
+            validator = ParallelValidator(
+                self.store,
+                self.runtime,
+                self.policy,
+                executor=self.executor,
+                max_workers=self.max_workers,
+                profile=self.evaluator.profile,
+            )
+            validator.validate_statements(
+                statements, report, macros=dict(self.evaluator.macros)
+            )
+            # keep session macro state consistent with serial semantics:
+            # top-level lets persist for later validate()/get() calls
+            for statement in statements:
+                if isinstance(statement, ast.LetCmd):
+                    self.evaluator.macros[statement.name] = statement.predicate
         return report
 
     def validate_file(self, path: str) -> ValidationReport:
@@ -194,7 +292,9 @@ class ValidationSession:
             started = time.perf_counter()
             statements_for_chunk = lets + chunk
             if self.optimize:
-                statements_for_chunk = optimize_statements(statements_for_chunk)
+                statements_for_chunk = optimize_statements(
+                    statements_for_chunk, self.compiler_options
+                )
             evaluator.run(statements_for_chunk, report)
             elapsed = time.perf_counter() - started
             report.elapsed_seconds = elapsed

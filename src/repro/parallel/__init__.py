@@ -1,0 +1,57 @@
+"""Parallel sharded validation (paper §7's "embarrassingly parallel" note).
+
+CPL specifications are side-effect free, so a compiled program can be
+partitioned by compartment/scope into independent shards and evaluated
+concurrently — with the guarantee that the merged report is identical to
+what serial evaluation produces.  The package also houses the compiled-spec
+cache that lets steady-state revalidation skip recompilation entirely.
+
+Public surface:
+
+* :class:`ParallelValidator` — shard, execute, merge deterministically
+* :func:`partition_statements` / :class:`Shard` — the compartment/scope
+  partitioner
+* :class:`SerialExecutor` / :class:`ThreadShardExecutor` /
+  :class:`ProcessShardExecutor` / :func:`choose_executor` — pluggable
+  executors and the workload-size selection heuristic
+* :class:`SpecCache` — compiled-spec memoization keyed by
+  (spec text hash, compiler options)
+
+Most callers use it indirectly through
+``ValidationSession(executor="auto")`` or ``ValidationService``;
+see ``docs/PERFORMANCE.md``.
+"""
+
+from .cache import SpecCache, SpecCacheStats
+from .engine import ParallelValidator, ShardResult, WorkerState, evaluate_shard
+from .executors import (
+    PROCESS_CUTOFF,
+    SERIAL_CUTOFF,
+    ProcessShardExecutor,
+    SerialExecutor,
+    ThreadShardExecutor,
+    choose_executor,
+    resolve_executor,
+)
+from .shards import Shard, Unit, is_parallel_safe, partition_statements, scope_key
+
+__all__ = [
+    "ParallelValidator",
+    "WorkerState",
+    "ShardResult",
+    "evaluate_shard",
+    "SpecCache",
+    "SpecCacheStats",
+    "SerialExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "choose_executor",
+    "resolve_executor",
+    "SERIAL_CUTOFF",
+    "PROCESS_CUTOFF",
+    "Shard",
+    "Unit",
+    "partition_statements",
+    "scope_key",
+    "is_parallel_safe",
+]

@@ -1,0 +1,107 @@
+"""Compiled-specification cache.
+
+The continuous service (and any steady-state caller) revalidates the same
+specification text over and over while only the *data* changes; parsing and
+the Figure-4 compiler rewrites are pure functions of ``(spec text,
+compiler options)``, so recompiling every scan is pure waste.  This cache
+memoizes the compiled statement tuple keyed by
+
+    ``(sha256(spec text), compiler-options fingerprint)``
+
+Invalidation semantics (documented in ``docs/PERFORMANCE.md``):
+
+* any change to the spec *text* changes the hash → miss, recompile;
+* any change to the compiler options (``CompilerOptions.fingerprint()``,
+  including turning optimization off) → different key → miss;
+* configuration *data* changes never invalidate — compiled statements do
+  not depend on the store;
+* programs containing ``load``/``include`` commands are **never cached**:
+  their compilation has side effects (loading sources, reading other
+  files) that must replay on every run.  They count in ``stats.uncacheable``.
+
+Entries are immutable tuples of frozen AST dataclasses, safe to share
+between sessions and threads; an LRU bound (``max_entries``) keeps the
+cache from growing without limit under spec churn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+__all__ = ["SpecCache", "SpecCacheStats"]
+
+
+@dataclass
+class SpecCacheStats:
+    """Lightweight counters surfaced in reports and service status."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    uncacheable: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "uncacheable": self.uncacheable,
+        }
+
+
+class SpecCache:
+    """LRU cache of compiled (parsed + optimized) specification programs."""
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.stats = SpecCacheStats()
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(text: str, options_fingerprint: Hashable) -> tuple:
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return (digest, options_fingerprint)
+
+    def lookup(self, text: str, options_fingerprint: Hashable) -> Optional[tuple]:
+        """The compiled statement tuple, or ``None`` on a miss."""
+        key = self._key(text, options_fingerprint)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def store(self, text: str, options_fingerprint: Hashable, statements) -> None:
+        key = self._key(text, options_fingerprint)
+        with self._lock:
+            self._entries[key] = tuple(statements)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def note_uncacheable(self) -> None:
+        """Record a compile that could not be cached (load/include)."""
+        with self._lock:
+            self.stats.uncacheable += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

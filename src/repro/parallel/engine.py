@@ -1,0 +1,192 @@
+"""The sharded validation engine: evaluate shards, merge deterministically.
+
+The contract that makes parallel validation trustworthy:
+
+    **whatever the executor, the merged report is identical to the report
+    serial evaluation would have produced** (timing counters aside).
+
+It holds because shard evaluation is *per unit*: every top-level statement
+gets its own :class:`~repro.core.report.ValidationReport`, and the merge
+replays those unit reports in original statement order.  Serial evaluation
+is exactly that — statements in order, each appending its violations — so
+the merged violation/note sequences are byte-identical regardless of which
+shard (or process) evaluated which unit.  A determinism test in
+``tests/test_parallel.py`` asserts this on the synthetic Azure corpus, and
+``ValidationReport.fingerprint()`` is the canonical comparison form.
+
+Macro (``let``) handling: top-level lets are broadcast to every shard and
+replayed in original order before any unit with a higher original index,
+reproducing serial visibility.  Programs with *nested* lets (or policies
+with cross-statement behavior) are rejected by
+:func:`repro.parallel.shards.is_parallel_safe`, and
+:class:`ParallelValidator` falls back to plain serial evaluation for them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..core.evaluator import Context, Evaluator
+from ..core.policy import ValidationPolicy
+from ..core.report import ValidationReport
+from ..cpl import ast
+from ..repository.store import ConfigStore
+from ..runtime import RuntimeProvider, StaticRuntime
+from .executors import ExecutorLike, resolve_executor
+from .shards import Shard, Unit, is_parallel_safe, partition_statements
+
+__all__ = ["ParallelValidator", "WorkerState", "ShardResult", "evaluate_shard"]
+
+#: default shard-count cap: a few shards per core keeps the packing flexible
+#: without drowning in per-shard overhead
+_SHARDS_PER_CORE = 4
+
+
+@dataclass
+class WorkerState:
+    """Everything a shard evaluator needs, picklable/fork-inheritable."""
+
+    store: ConfigStore
+    runtime: RuntimeProvider
+    policy: ValidationPolicy
+    macros: dict = field(default_factory=dict)
+    lets: tuple[Unit, ...] = ()
+    profile: bool = False
+
+
+@dataclass
+class ShardResult:
+    """Per-unit reports of one shard plus its wall time."""
+
+    label: str
+    unit_reports: list[tuple[int, ValidationReport]]
+    seconds: float
+
+
+def evaluate_shard(state: WorkerState, shard: Shard) -> ShardResult:
+    """Evaluate one shard's units in order, one report per unit."""
+    started = time.perf_counter()
+    evaluator = Evaluator(
+        state.store,
+        state.runtime,
+        state.policy,
+        profile=state.profile,
+        macros=state.macros,
+    )
+    let_position = 0
+    unit_reports: list[tuple[int, ValidationReport]] = []
+    for unit in shard.units:
+        while (
+            let_position < len(state.lets)
+            and state.lets[let_position].index < unit.index
+        ):
+            let = state.lets[let_position].statement
+            evaluator.macros[let.name] = let.predicate
+            let_position += 1
+        unit_report = ValidationReport()
+        evaluator.execute_statement(unit.statement, Context(), unit_report)
+        unit_reports.append((unit.index, unit_report))
+    return ShardResult(shard.label, unit_reports, time.perf_counter() - started)
+
+
+def _absorb(report: ValidationReport, unit_report: ValidationReport) -> None:
+    """Fold one unit report into the merged report (order-preserving)."""
+    report.violations.extend(unit_report.violations)
+    report.notes.extend(unit_report.notes)
+    report.specs_evaluated += unit_report.specs_evaluated
+    report.specs_failed += unit_report.specs_failed
+    report.specs_skipped += unit_report.specs_skipped
+    report.suppressed += unit_report.suppressed
+    report.instances_checked += unit_report.instances_checked
+    for key, seconds in unit_report.spec_timings.items():
+        report.spec_timings[key] = report.spec_timings.get(key, 0.0) + seconds
+
+
+class ParallelValidator:
+    """Shard a compiled program and evaluate the shards concurrently.
+
+    ``executor`` is ``"auto"`` (workload-size heuristic), ``"serial"``,
+    ``"thread"``, ``"process"``, or a ready-made executor object.  Output
+    is deterministic: identical to serial evaluation for every executor.
+    """
+
+    def __init__(
+        self,
+        store: ConfigStore,
+        runtime: Optional[RuntimeProvider] = None,
+        policy: Optional[ValidationPolicy] = None,
+        executor: Union[str, ExecutorLike] = "auto",
+        max_workers: Optional[int] = None,
+        max_shards: Optional[int] = None,
+        profile: bool = False,
+    ):
+        self.store = store
+        self.runtime = runtime if runtime is not None else StaticRuntime()
+        self.policy = policy if policy is not None else ValidationPolicy()
+        self.executor = executor
+        self.max_workers = max_workers
+        self.max_shards = max_shards
+        self.profile = profile
+
+    # ------------------------------------------------------------------
+
+    def _serial_fallback(
+        self,
+        statements: Sequence[ast.Statement],
+        report: ValidationReport,
+        macros: Optional[dict],
+    ) -> ValidationReport:
+        evaluator = Evaluator(
+            self.store, self.runtime, self.policy, profile=self.profile, macros=macros
+        )
+        evaluator.run(list(statements), report)
+        report.executor = "serial-fallback"
+        report.shards_run += 1
+        return report
+
+    def validate_statements(
+        self,
+        statements: Sequence[ast.Statement],
+        report: Optional[ValidationReport] = None,
+        macros: Optional[dict] = None,
+    ) -> ValidationReport:
+        """Validate a *compiled* statement list (no load/include commands;
+        the session resolves those, and the compiler has already run)."""
+        if report is None:
+            report = ValidationReport()
+        started = time.perf_counter()
+        if not is_parallel_safe(statements, self.policy):
+            result = self._serial_fallback(statements, report, macros)
+            result.elapsed_seconds += time.perf_counter() - started
+            return result
+        max_shards = self.max_shards or _SHARDS_PER_CORE * (os.cpu_count() or 1)
+        lets, shards = partition_statements(statements, max_shards)
+        state = WorkerState(
+            store=self.store,
+            runtime=self.runtime,
+            policy=self.policy,
+            macros=dict(macros) if macros else {},
+            lets=lets,
+            profile=self.profile,
+        )
+        estimated_work = len(statements) * max(1, self.store.instance_count)
+        executor = resolve_executor(
+            self.executor, len(shards), estimated_work, self.max_workers
+        )
+        results = executor.run(state, shards) if shards else []
+        merged: list[tuple[int, ValidationReport]] = []
+        for result in results:
+            merged.extend(result.unit_reports)
+        merged.sort(key=lambda pair: pair[0])
+        for __, unit_report in merged:
+            _absorb(report, unit_report)
+        report.shards_run += len(shards)
+        report.executor = executor.name
+        report.shard_timings.extend(
+            (result.label, result.seconds) for result in results
+        )
+        report.elapsed_seconds += time.perf_counter() - started
+        return report

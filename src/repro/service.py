@@ -9,9 +9,17 @@ are updated."
 configuration sources by modification time.  Each :meth:`scan` call checks
 for changes, revalidates when anything changed, records the run in an
 in-memory history, and reports transitions (pass→fail is the page-the-
-operator moment).  The service is poll-driven and single-threaded by
-design — the caller owns the schedule (cron, a loop, a test) — which keeps
-it deterministic and trivially testable.
+operator moment).  The service is poll-driven — the caller owns the
+schedule (cron, a loop, a test) — and each scan's *evaluation* can fan out
+across a thread or process pool via the ``executor`` option
+(:mod:`repro.parallel`); the sharded engine merges per-shard reports back
+into the exact order serial evaluation would produce, so reports, history
+and pass/fail transitions stay deterministic regardless of executor.
+
+Steady-state scans also skip recompilation: the service owns a
+:class:`~repro.parallel.SpecCache`, so when only configuration *data*
+changed, the spec file's parse + compiler rewrites are reused from cache
+(see ``docs/PERFORMANCE.md`` for the invalidation semantics).
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Callable, Optional
 from .core.policy import ValidationPolicy
 from .core.report import ValidationReport
 from .core.session import ValidationSession
+from .parallel.cache import SpecCache, SpecCacheStats
 from .runtime import RuntimeProvider
 
 __all__ = ["SourceSpec", "ScanResult", "ValidationService"]
@@ -62,6 +71,8 @@ class ValidationService:
         policy: Optional[ValidationPolicy] = None,
         on_transition: Optional[Callable[[ScanResult], None]] = None,
         history_limit: int = 100,
+        executor: Optional[str] = None,
+        spec_cache: Optional[SpecCache] = None,
     ):
         self.spec_path = spec_path
         self.sources = list(sources)
@@ -70,6 +81,11 @@ class ValidationService:
         self.on_transition = on_transition
         self.history: list[ScanResult] = []
         self.history_limit = history_limit
+        #: evaluation strategy per scan: None = serial, or
+        #: "auto"/"serial"/"thread"/"process" via repro.parallel
+        self.executor = executor
+        #: compiled-spec cache shared across scans (hits when only data changed)
+        self.spec_cache = spec_cache if spec_cache is not None else SpecCache()
         self.scans = 0
         self._mtimes: dict[str, float] = {}
         self._sequence = 0
@@ -117,6 +133,8 @@ class ValidationService:
             runtime=self.runtime,
             policy=self.policy,
             base_dir=os.path.dirname(self.spec_path) or ".",
+            executor=self.executor,
+            spec_cache=self.spec_cache,
         )
         for source in self.sources:
             session.load_source(source.format_name, source.path, source.scope)
@@ -145,3 +163,8 @@ class ValidationService:
         if not self.history:
             return None
         return self.history[-1].passed
+
+    @property
+    def cache_stats(self) -> SpecCacheStats:
+        """Compiled-spec cache counters across this service's scans."""
+        return self.spec_cache.stats

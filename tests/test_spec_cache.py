@@ -1,0 +1,181 @@
+"""Compiled-spec cache: hit/miss semantics, invalidation, service reuse.
+
+The contract (``docs/PERFORMANCE.md``): compilation is memoized on
+``(spec text hash, compiler options)``; data changes never invalidate;
+text or option changes always do; programs with ``load``/``include``
+commands are never cached.  The service-level guarantee — a scan where
+only data changed performs **zero recompiles** — is asserted by counting
+actual ``parse()`` calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.session as session_module
+from repro import (
+    SourceSpec,
+    SpecCache,
+    ValidationService,
+    ValidationSession,
+)
+from repro.core.compiler import CompilerOptions
+
+
+@pytest.fixture
+def counted_parse(monkeypatch):
+    """Count every CPL parse the session layer performs."""
+    calls = []
+    real_parse = session_module.parse
+
+    def counting(text):
+        calls.append(text)
+        return real_parse(text)
+
+    monkeypatch.setattr(session_module, "parse", counting)
+    return calls
+
+
+def make_session(cache, **kwargs):
+    session = ValidationSession(spec_cache=cache, **kwargs)
+    session.load_text("ini", "[fabric]\nTimeout = 30\nRetries = 3\n")
+    return session
+
+
+SPEC = "$fabric.Timeout -> int & [1, 60]\n$fabric.Retries -> int\n"
+
+
+class TestCacheSemantics:
+    def test_second_compile_is_a_hit(self, counted_parse):
+        cache = SpecCache()
+        session = make_session(cache)
+        first = session.validate(SPEC)
+        parses_after_first = len(counted_parse)
+        second = session.validate(SPEC)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert len(counted_parse) == parses_after_first  # no re-parse
+        assert first.cache_misses == 1 and first.cache_hits == 0
+        assert second.cache_hits == 1 and second.cache_misses == 0
+        assert second.fingerprint() == first.fingerprint()
+
+    def test_cache_shared_across_sessions(self):
+        cache = SpecCache()
+        make_session(cache).validate(SPEC)
+        report = make_session(cache).validate(SPEC)
+        assert cache.stats.hits == 1
+        assert report.passed
+
+    def test_text_change_misses(self):
+        cache = SpecCache()
+        session = make_session(cache)
+        session.validate(SPEC)
+        session.validate(SPEC + "$fabric.Timeout -> nonempty\n")
+        assert cache.stats.hits == 0 and cache.stats.misses == 2
+
+    def test_compiler_options_are_part_of_the_key(self):
+        cache = SpecCache()
+        make_session(cache).validate(SPEC)
+        make_session(
+            cache, compiler_options=CompilerOptions(aggregate_domains=False)
+        ).validate(SPEC)
+        make_session(cache, optimize=False).validate(SPEC)
+        assert cache.stats.hits == 0 and cache.stats.misses == 3
+
+    def test_load_command_is_never_cached(self, tmp_path):
+        config = tmp_path / "extra.ini"
+        config.write_text("[extra]\nPort = 8080\n")
+        text = f"load 'ini' '{config}'\n$extra.Port -> port\n"
+        cache = SpecCache()
+        session = make_session(cache, base_dir=str(tmp_path))
+        session.validate(text)
+        session.validate(text)
+        assert cache.stats.hits == 0
+        assert cache.stats.uncacheable == 2
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = SpecCache(max_entries=2)
+        session = make_session(cache)
+        for index in range(3):
+            session.validate(f"$fabric.Timeout -> int & [1, {60 + index}]\n")
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+
+    def test_cached_statements_are_reusable(self):
+        """Cache returns shared immutable statements; evaluation must not
+        corrupt them for the next user."""
+        cache = SpecCache()
+        session = make_session(cache)
+        first = session.validate(SPEC)
+        for __ in range(3):
+            assert session.validate(SPEC).fingerprint() == first.fingerprint()
+
+
+class TestServiceIntegration:
+    @pytest.fixture
+    def workspace(self, tmp_path):
+        spec = tmp_path / "specs.cpl"
+        spec.write_text(SPEC)
+        config = tmp_path / "prod.ini"
+        config.write_text("[fabric]\nTimeout = 30\nRetries = 3\n")
+        return spec, config
+
+    def test_scan_without_spec_change_skips_recompile(
+        self, workspace, counted_parse
+    ):
+        spec, config = workspace
+        service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+        service.run_once()
+        parses_after_first = len(counted_parse)
+        assert service.cache_stats.misses == 1
+        result = service.scan(force=True)  # nothing changed on disk
+        assert result is not None
+        assert service.cache_stats.hits == 1
+        assert len(counted_parse) == parses_after_first  # zero recompiles
+        assert result.report.cache_hits == 1
+
+    def test_data_change_still_hits_spec_cache(self, workspace, counted_parse):
+        spec, config = workspace
+        service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+        service.run_once()
+        parses_after_first = len(counted_parse)
+        config.write_text("[fabric]\nTimeout = 99\nRetries = 3\n")
+        import os
+
+        stat = os.stat(config)
+        os.utime(
+            config,
+            ns=(stat.st_atime_ns + 1_000_000, stat.st_mtime_ns + 1_000_000),
+        )
+        result = service.scan()
+        assert result is not None and not result.passed  # 99 out of range
+        assert service.cache_stats.hits == 1  # spec text unchanged → cached
+        assert len(counted_parse) == parses_after_first
+
+    def test_spec_change_invalidates(self, workspace):
+        spec, config = workspace
+        service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+        service.run_once()
+        import os
+
+        spec.write_text(SPEC + "$fabric.Retries -> [0, 5]\n")
+        stat = os.stat(spec)
+        os.utime(
+            spec, ns=(stat.st_atime_ns + 1_000_000, stat.st_mtime_ns + 1_000_000)
+        )
+        result = service.scan()
+        assert result is not None
+        assert service.cache_stats.misses == 2  # recompiled, as it must
+
+    def test_shared_cache_can_be_injected(self, workspace):
+        spec, config = workspace
+        shared = SpecCache()
+        first = ValidationService(
+            str(spec), [SourceSpec("ini", str(config))], spec_cache=shared
+        )
+        second = ValidationService(
+            str(spec), [SourceSpec("ini", str(config))], spec_cache=shared
+        )
+        first.run_once()
+        second.run_once()
+        assert shared.stats.hits == 1  # second service reused first's compile
