@@ -4,11 +4,17 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke bench ci
+.PHONY: test chaos bench-smoke bench ci
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Fault-tolerance suite: driver fault matrix, resilience layers, and the
+## seeded chaos run (fixed seeds — fully deterministic, see tests/test_chaos.py).
+chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
+		tests/test_driver_faults.py tests/test_resilience.py tests/test_chaos.py
 
 ## Run every benchmark on a tiny corpus — correctness of the bench
 ## harness itself, not a measurement.  See benchmarks/smoke.sh.
@@ -20,5 +26,6 @@ bench-smoke:
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
 
-## What CI runs: the tier-1 suite plus the benchmark smoke pass.
-ci: test bench-smoke
+## What CI runs: the tier-1 suite, the chaos suite, and the benchmark
+## smoke pass.
+ci: test chaos bench-smoke

@@ -19,6 +19,9 @@ Public surface:
 * :class:`ConfigStore` and the driver registry (:func:`get_driver`)
 * :class:`InferenceEngine` — mine CPL specifications from good data
 * :func:`parse` — the CPL parser, for tooling
+* :class:`ResiliencePolicy` and :mod:`repro.resilience` — fault-tolerant
+  validation: source quarantine, spec circuit breakers, shard supervision,
+  and the deterministic chaos harness (:class:`FaultyRuntimeProvider`)
 """
 
 from .core import (
@@ -43,7 +46,16 @@ from .repository import (
     Snapshot,
     parse_pattern,
 )
+from .core.report import HealthBlock
+from .errors import DriverError
 from .parallel import ParallelValidator, SpecCache
+from .resilience import (
+    FaultPlan,
+    FaultyRuntimeProvider,
+    ResiliencePolicy,
+    SourceFailure,
+    SpecCircuitBreaker,
+)
 from .runtime import FakeFileSystem, HostRuntime, StaticRuntime
 from .service import ScanResult, SourceSpec, ValidationService
 
@@ -64,6 +76,13 @@ __all__ = [
     "register_driver",
     "ConfValleyError",
     "CPLSyntaxError",
+    "DriverError",
+    "HealthBlock",
+    "ResiliencePolicy",
+    "SourceFailure",
+    "SpecCircuitBreaker",
+    "FaultPlan",
+    "FaultyRuntimeProvider",
     "InferenceEngine",
     "ConfigStore",
     "InstanceKey",

@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
              "serial; reports are identical either way)",
     )
     validate.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock budget when an --executor is set; "
+             "timed-out shards are retried, then re-run serially",
+    )
+    validate.add_argument(
         "--stop-on-first", action="store_true",
         help="stop at the first violation (validation policy)",
     )
@@ -102,6 +107,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("auto", "serial", "thread", "process"),
         default=None,
         help="evaluate each scan via the sharded parallel engine",
+    )
+    service.add_argument(
+        "--resilient", action="store_true",
+        help="supervised mode: quarantine failing sources/specs and keep "
+             "scanning instead of aborting (repro.resilience)",
+    )
+    service.add_argument(
+        "--max-source-retries", type=int, default=None,
+        help="backoff-scheduled retries before a failing source is only "
+             "re-probed on edit (default 3; implies --resilient)",
+    )
+    service.add_argument(
+        "--quarantine-threshold", type=int, default=None,
+        help="consecutive error scans before a spec statement's circuit "
+             "breaker trips (default 3; implies --resilient)",
+    )
+    service.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock budget; timed-out shards are retried, "
+             "then re-run serially (implies --resilient)",
     )
 
     coverage = sub.add_parser(
@@ -166,7 +191,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             count = policy.load_waivers(args.waivers)
             print(f"loaded {count} waiver(s)", file=sys.stderr)
         session = ValidationSession(
-            policy=policy, optimize=not args.no_optimize, executor=args.executor
+            policy=policy, optimize=not args.no_optimize, executor=args.executor,
+            shard_timeout=args.shard_timeout,
         )
         _load_sources(session, args.source)
         if args.partitions and args.partitions > 1:
@@ -299,8 +325,25 @@ def _run_service(args) -> int:
         status = "PASS" if result.passed else "FAIL"
         print(f"transition → {status} (scan #{result.sequence})")
 
+    resilience = None
+    if (
+        args.resilient
+        or args.max_source_retries is not None
+        or args.quarantine_threshold is not None
+        or args.shard_timeout is not None
+    ):
+        from ..resilience import ResiliencePolicy
+
+        knobs = {"shard_timeout": args.shard_timeout}
+        if args.max_source_retries is not None:
+            knobs["max_source_retries"] = args.max_source_retries
+        if args.quarantine_threshold is not None:
+            knobs["quarantine_threshold"] = args.quarantine_threshold
+        resilience = ResiliencePolicy(**knobs)
+
     service = ValidationService(
-        args.spec, sources, on_transition=announce, executor=args.executor
+        args.spec, sources, on_transition=announce, executor=args.executor,
+        resilience=resilience,
     )
     scans = 0
     last_status = None
@@ -314,6 +357,8 @@ def _run_service(args) -> int:
                 print(f"[{result.sequence}] {status} "
                       f"({len(result.report.violations)} violation(s); "
                       f"changed: {changed})")
+                if result.health is not None and result.health.status != "OK":
+                    print(f"    {result.health.summary()}")
                 last_status = result.passed
             if args.max_scans and scans >= args.max_scans:
                 break

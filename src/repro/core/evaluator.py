@@ -82,11 +82,18 @@ class Evaluator:
         policy: Optional[ValidationPolicy] = None,
         profile: bool = False,
         macros: Optional[dict] = None,
+        guard=None,
     ):
         self.store = store
         self.runtime = runtime if runtime is not None else StaticRuntime()
         self.policy = policy if policy is not None else ValidationPolicy()
         self.profile = profile
+        #: optional statement guard (repro.resilience.SpecGuard, duck-typed):
+        #: when present, top-level statements execute under fault isolation —
+        #: quarantined statements are skipped with a reason, and a statement
+        #: that raises an internal error is recorded in the report's health
+        #: block instead of aborting the run
+        self.guard = guard
         # seedable so shard evaluators inherit the session's macro registry
         self.macros: dict[str, ast.PredExpr] = dict(macros) if macros else {}
         self._scope_cache: dict[tuple, list[InstanceKey]] = {}
@@ -103,8 +110,43 @@ class Evaluator:
     ) -> ValidationReport:
         if report is None:
             report = ValidationReport()
-        self.execute_block(statements, Context(), report)
+        if self.guard is None:
+            self.execute_block(statements, Context(), report)
+            return report
+        # Guarded top-level execution (repro.resilience): same ordering and
+        # stop-on-first semantics as execute_block, but each statement is a
+        # fault-isolation boundary.
+        ordered = self.policy.order_statements(list(statements))
+        ctx = Context()
+        for statement in ordered:
+            if self.policy.stop_on_first_violation and report.violations:
+                report.stopped_early = True
+                return report
+            self.execute_guarded(statement, ctx, report)
         return report
+
+    def execute_guarded(
+        self, statement: ast.Statement, ctx: Context, report: ValidationReport
+    ) -> None:
+        """Execute one top-level statement under the statement guard.
+
+        A quarantined statement is skipped (recorded as SKIPPED with its
+        reason in the health block); an internal error is captured as a
+        health-block spec error so the remaining statements still run.
+        """
+        reason = self.guard.skip_reason(statement)
+        if reason is not None:
+            report.specs_skipped += 1
+            report.health.quarantined_specs.append(
+                self.guard.skip_record(statement, reason)
+            )
+            return
+        try:
+            self.execute_statement(statement, ctx, report)
+        except Exception as exc:
+            report.health.spec_errors.append(
+                self.guard.error_record(statement, exc)
+            )
 
     def execute_block(
         self,

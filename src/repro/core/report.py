@@ -14,7 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-__all__ = ["Violation", "ValidationReport", "Severity"]
+__all__ = ["Violation", "ValidationReport", "Severity", "HealthBlock"]
 
 
 class Severity:
@@ -62,6 +62,103 @@ class Violation:
 
 
 @dataclass
+class HealthBlock:
+    """Degraded-operation record attached to every report (``repro.resilience``).
+
+    Describes *how healthy the run itself was* — quarantined sources, spec
+    circuit breakers, shard timeouts — as opposed to what the validation
+    found.  Like the perf counters it is excluded from
+    :meth:`ValidationReport.fingerprint`, so two runs that validated the
+    same data identically compare equal even when one of them limped.
+
+    ``status`` is one of ``OK`` (nothing went wrong), ``DEGRADED`` (some
+    inputs or statements were skipped/retried but the scan completed), or
+    ``FAILED`` (the scan could not produce a meaningful report — e.g. the
+    spec file itself is unreadable, or every source is quarantined).
+    """
+
+    OK = "OK"
+    DEGRADED = "DEGRADED"
+    FAILED = "FAILED"
+
+    status: str = "OK"
+    #: sources currently excluded from scans: {path, format, reason, failures, …}
+    quarantined_sources: list = field(default_factory=list)
+    #: spec statements skipped this run by a tripped circuit breaker
+    quarantined_specs: list = field(default_factory=list)
+    #: source load failures observed *this* run (before quarantine decisions)
+    source_failures: list = field(default_factory=list)
+    #: shard timeouts/crashes and how the fallback ladder recovered them
+    shard_failures: list = field(default_factory=list)
+    #: statements that raised an internal error this run (breaker input)
+    spec_errors: list = field(default_factory=list)
+    #: total retry attempts spent (source reloads + shard re-runs)
+    retries: int = 0
+    #: set when the scan could not produce a meaningful report
+    fatal: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        return bool(
+            self.quarantined_sources
+            or self.quarantined_specs
+            or self.source_failures
+            or self.shard_failures
+            or self.spec_errors
+            or self.retries
+        )
+
+    def finalize(self) -> "HealthBlock":
+        """Derive ``status`` from the recorded evidence (idempotent)."""
+        if self.fatal:
+            self.status = self.FAILED
+        elif self.degraded:
+            self.status = self.DEGRADED
+        else:
+            self.status = self.OK
+        return self
+
+    def merge(self, other: "HealthBlock") -> None:
+        self.quarantined_sources.extend(other.quarantined_sources)
+        self.quarantined_specs.extend(other.quarantined_specs)
+        self.source_failures.extend(other.source_failures)
+        self.shard_failures.extend(other.shard_failures)
+        self.spec_errors.extend(other.spec_errors)
+        self.retries += other.retries
+        if not self.fatal:
+            self.fatal = other.fatal
+        self.finalize()
+
+    def summary(self) -> str:
+        parts = [f"health: {self.status}"]
+        if self.quarantined_sources:
+            parts.append(f"{len(self.quarantined_sources)} quarantined source(s)")
+        if self.quarantined_specs:
+            parts.append(f"{len(self.quarantined_specs)} circuit-broken spec(s)")
+        if self.shard_failures:
+            parts.append(f"{len(self.shard_failures)} shard failure(s)")
+        if self.spec_errors:
+            parts.append(f"{len(self.spec_errors)} spec error(s)")
+        if self.retries:
+            parts.append(f"{self.retries} retry(ies)")
+        if self.fatal:
+            parts.append(f"fatal: {self.fatal}")
+        return "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "quarantined_sources": list(self.quarantined_sources),
+            "quarantined_specs": list(self.quarantined_specs),
+            "source_failures": list(self.source_failures),
+            "shard_failures": list(self.shard_failures),
+            "spec_errors": list(self.spec_errors),
+            "retries": self.retries,
+            "fatal": self.fatal,
+        }
+
+
+@dataclass
 class ValidationReport:
     """Outcome of validating one specification program against a store."""
 
@@ -91,6 +188,10 @@ class ValidationReport:
     cache_misses: int = 0
     #: per-shard wall clock: (shard label, seconds)
     shard_timings: list = field(default_factory=list)
+    #: --- degraded-operation record (repro.resilience) -------------------
+    #: also excluded from :meth:`fingerprint` — it describes the run's own
+    #: health (quarantines, retries, breaker trips), not what it found
+    health: HealthBlock = field(default_factory=HealthBlock)
 
     @property
     def passed(self) -> bool:
@@ -118,6 +219,7 @@ class ValidationReport:
         self.shard_timings.extend(other.shard_timings)
         if not self.executor:
             self.executor = other.executor
+        self.health.merge(other.health)
 
     def by_constraint(self) -> dict[str, list[Violation]]:
         """Group violations by constraint — the paper's report view for
@@ -162,6 +264,8 @@ class ValidationReport:
             f"{self.instances_checked} instance check(s) "
             f"in {self.elapsed_seconds:.3f}s",
         ]
+        if self.health.status != HealthBlock.OK:
+            lines.append(self.health.summary())
         lines.extend(self.notes)
         if self.passed:
             lines.append("PASS: no violations")
@@ -193,22 +297,26 @@ class ValidationReport:
                 "cache_misses": self.cache_misses,
                 "shard_timings": [list(pair) for pair in self.shard_timings],
             },
+            "health": self.health.to_dict(),
         }
 
     def fingerprint(self) -> str:
         """Canonical serialized form for determinism comparisons.
 
         Excludes wall-clock and execution-strategy fields (elapsed time,
-        per-shard timings, executor name, cache counters): two runs that
-        found the same things have the same fingerprint even when one ran
-        serially and the other on a process pool.  The parallel engine's
-        determinism guarantee is stated (and tested) in these terms.
+        per-shard timings, executor name, cache counters) *and* the health
+        block: two runs that found the same things have the same
+        fingerprint even when one ran serially and the other on a process
+        pool, or when one of them had to retry a shard.  The parallel
+        engine's determinism guarantee is stated (and tested) in these
+        terms.
         """
         import json
 
         data = self.to_dict()
         del data["perf"]
         del data["elapsed_seconds"]
+        del data["health"]
         return json.dumps(data, sort_keys=True)
 
     def to_json(self, indent: int = 2) -> str:

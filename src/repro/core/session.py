@@ -73,6 +73,9 @@ class ValidationSession:
         max_workers: Optional[int] = None,
         spec_cache=None,
         compiler_options: Optional[CompilerOptions] = None,
+        spec_guard=None,
+        shard_timeout: Optional[float] = None,
+        shard_retries: int = 1,
     ):
         self.store = store if store is not None else ConfigStore()
         self.runtime = runtime if runtime is not None else StaticRuntime()
@@ -87,8 +90,16 @@ class ValidationSession:
         #: optional repro.parallel.SpecCache shared across sessions/scans
         self.spec_cache = spec_cache
         self.compiler_options = compiler_options
+        #: optional repro.resilience.SpecGuard: switches evaluation into
+        #: guarded mode (statement-level fault isolation + breaker skips)
+        self.spec_guard = spec_guard
+        #: per-shard supervision knobs, forwarded to ParallelValidator when
+        #: an executor is configured (see repro.parallel.supervision)
+        self.shard_timeout = shard_timeout
+        self.shard_retries = shard_retries
         self.evaluator = Evaluator(
-            self.store, self.runtime, self.policy, profile=profile
+            self.store, self.runtime, self.policy, profile=profile,
+            guard=spec_guard,
         )
         self._last_compile_hit: Optional[bool] = None
 
@@ -112,7 +123,11 @@ class ValidationSession:
             path = location
             if not os.path.isabs(path):
                 path = os.path.join(self.base_dir, path)
-            instances = driver.parse_file(path, scope=scope)
+            # file I/O routes through the runtime provider so it can be
+            # virtualized (repro.resilience.FaultyRuntimeProvider injects
+            # deterministic read faults here for chaos testing)
+            raw = self.runtime.read_bytes(path)
+            instances = driver.parse_bytes(raw, source=path, scope=scope)
         self.store.add_all(instances)
         return len(instances)
 
@@ -246,6 +261,9 @@ class ValidationSession:
                 executor=self.executor,
                 max_workers=self.max_workers,
                 profile=self.evaluator.profile,
+                shard_timeout=self.shard_timeout,
+                shard_retries=self.shard_retries,
+                guard=self.spec_guard,
             )
             validator.validate_statements(
                 statements, report, macros=dict(self.evaluator.macros)
@@ -260,8 +278,9 @@ class ValidationSession:
     def validate_file(self, path: str) -> ValidationReport:
         if not os.path.isabs(path):
             path = os.path.join(self.base_dir, path)
-        with open(path, "r", encoding="utf-8") as handle:
-            return self.validate(handle.read())
+        # spec-file I/O also routes through the runtime provider (chaos
+        # harness coverage); specs are UTF-8 like CPL itself
+        return self.validate(self.runtime.read_bytes(path).decode("utf-8"))
 
     def validate_line(self, line: str) -> ValidationReport:
         """Validate a single one-liner (interactive console scenario)."""

@@ -47,8 +47,42 @@ class Driver:
         raise NotImplementedError
 
     def parse_file(self, path: str, scope: str = "") -> list[ConfigInstance]:
-        with open(path, "r", encoding="utf-8") as handle:
-            return self.parse(handle.read(), source=path, scope=scope)
+        with open(path, "rb") as handle:
+            return self.parse_bytes(handle.read(), source=path, scope=scope)
+
+    def parse_bytes(
+        self, raw: bytes, source: str = "", scope: str = ""
+    ) -> list[ConfigInstance]:
+        """Decode and parse raw bytes, converting every failure into a
+        structured :class:`~repro.errors.DriverError`.
+
+        This is the supervised entry point used by sessions and the
+        continuous-validation service: truncated files, wrong encodings and
+        binary garbage come back as typed errors carrying the source path,
+        the driver format, and (for decode failures) the byte offset —
+        never as a raw ``UnicodeDecodeError`` or a parser-internal crash.
+        """
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DriverError(
+                f"source is not valid UTF-8 text ({exc.reason})",
+                path=source or None,
+                format_name=self.format_name,
+                offset=exc.start,
+            ) from exc
+        try:
+            return self.parse(text, source=source, scope=scope)
+        except DriverError as exc:
+            raise exc.with_context(
+                path=source or None, format_name=self.format_name
+            )
+        except Exception as exc:
+            raise DriverError(
+                f"unhandled {type(exc).__name__} while parsing: {exc}",
+                path=source or None,
+                format_name=self.format_name,
+            ) from exc
 
 
 def register_driver(driver: Driver) -> Driver:

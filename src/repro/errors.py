@@ -17,7 +17,58 @@ class KeyNotationError(ConfValleyError):
 
 
 class DriverError(ConfValleyError):
-    """A configuration source could not be converted to the unified form."""
+    """A configuration source could not be converted to the unified form.
+
+    Carries structured context so supervisors and reports can say *which*
+    source failed without parsing the message: the source ``path``, the
+    driver ``format_name``, and — for encoding failures — the byte
+    ``offset`` of the first undecodable byte.  ``line`` is filled by
+    line-oriented drivers where available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: "str | None" = None,
+        format_name: "str | None" = None,
+        offset: "int | None" = None,
+        line: "int | None" = None,
+    ):
+        self.raw_message = message
+        self.path = path
+        self.format_name = format_name
+        self.offset = offset
+        self.line = line
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        context = []
+        if self.format_name:
+            context.append(f"format={self.format_name}")
+        if self.path:
+            context.append(f"path={self.path}")
+        if self.line is not None:
+            context.append(f"line={self.line}")
+        if self.offset is not None:
+            context.append(f"byte={self.offset}")
+        if context:
+            return f"{self.raw_message} [{', '.join(context)}]"
+        return self.raw_message
+
+    def with_context(
+        self,
+        *,
+        path: "str | None" = None,
+        format_name: "str | None" = None,
+    ) -> "DriverError":
+        """Fill missing provenance fields in place (keeps the traceback)."""
+        if self.path is None and path:
+            self.path = path
+        if self.format_name is None and format_name:
+            self.format_name = format_name
+        self.args = (self._render(),)
+        return self
 
 
 class UnknownDriverError(DriverError):

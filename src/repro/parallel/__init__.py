@@ -16,6 +16,9 @@ Public surface:
   executors and the workload-size selection heuristic
 * :class:`SpecCache` — compiled-spec memoization keyed by
   (spec text hash, compiler options)
+* :func:`run_supervised` / :class:`ShardFailure` — per-shard
+  timeout/crash supervision with the retry → serial → mark-failed
+  fallback ladder (used via ``ParallelValidator(shard_timeout=…)``)
 
 Most callers use it indirectly through
 ``ValidationSession(executor="auto")`` or ``ValidationService``;
@@ -34,12 +37,15 @@ from .executors import (
     resolve_executor,
 )
 from .shards import Shard, Unit, is_parallel_safe, partition_statements, scope_key
+from .supervision import ShardFailure, run_supervised
 
 __all__ = [
     "ParallelValidator",
     "WorkerState",
     "ShardResult",
     "evaluate_shard",
+    "ShardFailure",
+    "run_supervised",
     "SpecCache",
     "SpecCacheStats",
     "SerialExecutor",

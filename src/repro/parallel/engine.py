@@ -55,6 +55,10 @@ class WorkerState:
     macros: dict = field(default_factory=dict)
     lets: tuple[Unit, ...] = ()
     profile: bool = False
+    #: optional statement guard (repro.resilience.SpecGuard) — plain data,
+    #: so it pickles/forks; breaker decisions travel in, captured spec
+    #: errors travel back inside each unit report's health block
+    guard: object = None
 
 
 @dataclass
@@ -75,6 +79,7 @@ def evaluate_shard(state: WorkerState, shard: Shard) -> ShardResult:
         state.policy,
         profile=state.profile,
         macros=state.macros,
+        guard=state.guard,
     )
     let_position = 0
     unit_reports: list[tuple[int, ValidationReport]] = []
@@ -87,7 +92,10 @@ def evaluate_shard(state: WorkerState, shard: Shard) -> ShardResult:
             evaluator.macros[let.name] = let.predicate
             let_position += 1
         unit_report = ValidationReport()
-        evaluator.execute_statement(unit.statement, Context(), unit_report)
+        if state.guard is not None:
+            evaluator.execute_guarded(unit.statement, Context(), unit_report)
+        else:
+            evaluator.execute_statement(unit.statement, Context(), unit_report)
         unit_reports.append((unit.index, unit_report))
     return ShardResult(shard.label, unit_reports, time.perf_counter() - started)
 
@@ -103,6 +111,7 @@ def _absorb(report: ValidationReport, unit_report: ValidationReport) -> None:
     report.instances_checked += unit_report.instances_checked
     for key, seconds in unit_report.spec_timings.items():
         report.spec_timings[key] = report.spec_timings.get(key, 0.0) + seconds
+    report.health.merge(unit_report.health)
 
 
 class ParallelValidator:
@@ -122,6 +131,9 @@ class ParallelValidator:
         max_workers: Optional[int] = None,
         max_shards: Optional[int] = None,
         profile: bool = False,
+        shard_timeout: Optional[float] = None,
+        shard_retries: int = 1,
+        guard=None,
     ):
         self.store = store
         self.runtime = runtime if runtime is not None else StaticRuntime()
@@ -130,6 +142,13 @@ class ParallelValidator:
         self.max_workers = max_workers
         self.max_shards = max_shards
         self.profile = profile
+        #: per-shard wall-clock wait budget in seconds; setting it turns on
+        #: shard supervision (repro.parallel.supervision) with the fallback
+        #: ladder retry-same-executor → serial re-run → mark shard failed
+        self.shard_timeout = shard_timeout
+        self.shard_retries = shard_retries
+        #: optional statement guard (repro.resilience.SpecGuard)
+        self.guard = guard
 
     # ------------------------------------------------------------------
 
@@ -140,7 +159,12 @@ class ParallelValidator:
         macros: Optional[dict],
     ) -> ValidationReport:
         evaluator = Evaluator(
-            self.store, self.runtime, self.policy, profile=self.profile, macros=macros
+            self.store,
+            self.runtime,
+            self.policy,
+            profile=self.profile,
+            macros=macros,
+            guard=self.guard,
         )
         evaluator.run(list(statements), report)
         report.executor = "serial-fallback"
@@ -171,12 +195,24 @@ class ParallelValidator:
             macros=dict(macros) if macros else {},
             lets=lets,
             profile=self.profile,
+            guard=self.guard,
         )
         estimated_work = len(statements) * max(1, self.store.instance_count)
         executor = resolve_executor(
             self.executor, len(shards), estimated_work, self.max_workers
         )
-        results = executor.run(state, shards) if shards else []
+        if self.shard_timeout is not None and shards:
+            from .supervision import run_supervised
+
+            results, shard_failures = run_supervised(
+                executor, state, shards, self.shard_timeout, self.shard_retries
+            )
+            for failure in shard_failures:
+                report.health.shard_failures.append(failure.to_dict())
+                report.health.retries += max(0, failure.attempts - 1)
+            report.health.finalize()
+        else:
+            results = executor.run(state, shards) if shards else []
         merged: list[tuple[int, ValidationReport]] = []
         for result in results:
             merged.extend(result.unit_reports)

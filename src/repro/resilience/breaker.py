@@ -1,0 +1,180 @@
+"""Spec circuit breakers: quarantine statements that keep crashing.
+
+A specification statement that raises an *internal* error (an evaluator
+bug, a pathological interaction with one store's data, a broken custom
+predicate) would, in strict mode, take the whole scan down — and in a
+continuous service it would take *every* scan down until a human edits the
+spec file.  The breaker turns that failure mode into a per-statement
+quarantine with automatic recovery, the classic circuit-breaker state
+machine driven by the service's scan counter:
+
+* **closed** — the statement runs normally.  Each scan where it raises
+  increments a consecutive-failure count; a clean scan resets it.
+* **open** — tripped after ``threshold`` consecutive failing scans.  The
+  statement is *skipped* (reported as SKIPPED with the triggering error as
+  the reason) for ``probe_interval`` scans.
+* **half-open** — after the probe interval the statement runs once as a
+  probe.  Success closes the breaker (full re-admission, counters cleared);
+  another error re-opens it for a fresh probe interval.
+
+The breaker itself lives in the *service* process.  What travels into
+worker threads/forks is a :class:`SpecGuard` — a plain picklable snapshot
+of the currently open breakers that the evaluator consults per statement
+(see ``Evaluator.execute_guarded``).  Errors observed by workers travel
+back inside each unit report's health block, and :meth:`SpecCircuitBreaker.observe`
+digests them after the merge.  This keeps the state machine single-writer
+and fork-safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cpl import ast
+from ..cpl.printer import print_statement
+
+__all__ = ["statement_key", "SpecGuard", "SpecCircuitBreaker"]
+
+
+def statement_key(statement: ast.Statement) -> str:
+    """Stable identity of a top-level statement across scans.
+
+    Line number plus the first rendered line of the statement: stable as
+    long as the spec file doesn't change (edits that move the statement
+    naturally reset its breaker, which is the desired "operator touched the
+    spec" re-admission path).
+    """
+    line = getattr(statement, "line", 0) or 0
+    try:
+        text = print_statement(statement).splitlines()[0].strip()
+    except Exception:  # printer gaps must never break fault handling
+        text = type(statement).__name__
+    return f"{line}:{text}"
+
+
+@dataclass(frozen=True)
+class SpecGuard:
+    """Picklable per-scan snapshot of open breakers, consumed by evaluators.
+
+    Duck-typed interface used by ``Evaluator.execute_guarded``:
+    :meth:`skip_reason` / :meth:`skip_record` / :meth:`error_record`.
+    An empty guard (no quarantined statements) still enables guarded
+    execution — statements that raise are captured as health-block spec
+    errors instead of aborting the run.
+    """
+
+    #: statement key → human-readable reason it is quarantined this scan
+    quarantined: dict = field(default_factory=dict)
+
+    def skip_reason(self, statement: ast.Statement):
+        return self.quarantined.get(statement_key(statement))
+
+    def skip_record(self, statement: ast.Statement, reason: str) -> dict:
+        return {
+            "spec": statement_key(statement),
+            "outcome": "SKIPPED",
+            "reason": reason,
+        }
+
+    def error_record(self, statement: ast.Statement, exc: Exception) -> dict:
+        return {
+            "spec": statement_key(statement),
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+@dataclass
+class _BreakerState:
+    consecutive_failures: int = 0
+    state: str = "closed"      # closed | open | half_open
+    opened_at_scan: int = 0
+    last_error: str = ""
+    trips: int = 0
+
+
+class SpecCircuitBreaker:
+    """Scan-clocked breaker registry for one validation service."""
+
+    def __init__(self, threshold: int = 3, probe_interval: int = 2):
+        self.threshold = max(1, threshold)
+        self.probe_interval = max(1, probe_interval)
+        self._states: dict[str, _BreakerState] = {}
+        self._scan = 0
+
+    # ------------------------------------------------------------------
+
+    def begin_scan(self) -> SpecGuard:
+        """Advance the scan clock; snapshot open breakers into a guard."""
+        self._scan += 1
+        quarantined: dict[str, str] = {}
+        for key, state in self._states.items():
+            if state.state != "open":
+                continue
+            if self._scan - state.opened_at_scan >= self.probe_interval:
+                state.state = "half_open"  # runs this scan as a probe
+            else:
+                due = state.opened_at_scan + self.probe_interval
+                quarantined[key] = (
+                    f"circuit open after {state.consecutive_failures} "
+                    f"consecutive error(s) ({state.last_error}); "
+                    f"probe at scan {due}"
+                )
+        return SpecGuard(quarantined=quarantined)
+
+    def observe(self, report) -> None:
+        """Digest one merged report's health block; advance state machines.
+
+        ``report`` is the :class:`~repro.core.report.ValidationReport` the
+        guard from :meth:`begin_scan` ran under.
+        """
+        errored: dict[str, str] = {}
+        for record in report.health.spec_errors:
+            errored[record["spec"]] = record["error"]
+        skipped = {record["spec"] for record in report.health.quarantined_specs}
+        for key, error in errored.items():
+            state = self._states.setdefault(key, _BreakerState())
+            state.consecutive_failures += 1
+            state.last_error = error
+            tripping = (
+                state.state == "half_open"  # failed probe → straight back open
+                or state.consecutive_failures >= self.threshold
+            )
+            if tripping:
+                if state.state != "open":
+                    state.trips += 1
+                state.state = "open"
+                state.opened_at_scan = self._scan
+        # every tracked statement that neither raised nor was skipped ran
+        # cleanly (or left the program): close its breaker and forget it —
+        # automatic re-admission
+        for key in list(self._states):
+            if key not in errored and key not in skipped:
+                del self._states[key]
+
+    # ------------------------------------------------------------------
+
+    def probe_due(self) -> bool:
+        """True when the *next* scan would half-open at least one breaker —
+        the service uses this to force a revalidation even when no watched
+        file changed, so recovery probes actually happen."""
+        return any(
+            state.state == "open"
+            and (self._scan + 1) - state.opened_at_scan >= self.probe_interval
+            for state in self._states.values()
+        )
+
+    def open_count(self) -> int:
+        return sum(1 for s in self._states.values() if s.state != "closed")
+
+    def snapshot(self) -> list[dict]:
+        """Current breaker registry, for reports/operators."""
+        return [
+            {
+                "spec": key,
+                "state": state.state,
+                "consecutive_failures": state.consecutive_failures,
+                "trips": state.trips,
+                "last_error": state.last_error,
+            }
+            for key, state in sorted(self._states.items())
+        ]

@@ -1,0 +1,101 @@
+"""Deterministic fault injection for resilience tests and benchmarks.
+
+:class:`FaultyRuntimeProvider` is a :class:`~repro.runtime.StaticRuntime`
+whose :meth:`read_bytes` consults a :class:`FaultPlan` before (and after)
+touching the filesystem.  Because all source and spec-file I/O in the
+validation pipeline routes through ``RuntimeProvider.read_bytes``, this is
+a complete chaos harness: every way a configuration file can go bad at
+read time — vanished, unreadable, truncated mid-write, corrupted — can be
+injected without touching the files on disk.
+
+Determinism: the plan draws from a seeded :class:`random.Random`, one draw
+per read, in read order.  The service reads sources in a fixed order every
+scan, so two services driven by plans with the same seed and rates see the
+*identical* fault sequence — the chaos tests assert exactly that (same
+seed → same per-scan health status sequence).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..runtime import StaticRuntime
+
+__all__ = ["FaultPlan", "FaultyRuntimeProvider"]
+
+#: fault kinds in the order their probability mass is stacked per draw
+FAULT_KINDS = ("io_error", "not_found", "truncate", "garbage")
+
+
+class FaultPlan:
+    """Seeded schedule of read faults.
+
+    ``*_rate`` values are independent probability masses per read (their
+    sum must be ≤ 1; the remainder is a clean read).  ``only_paths``
+    restricts injection to specific files — e.g. fault the configuration
+    sources but never the spec file.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        io_error_rate: float = 0.0,
+        not_found_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        garbage_rate: float = 0.0,
+        only_paths: Optional[set] = None,
+    ):
+        rates = (io_error_rate, not_found_rate, truncate_rate, garbage_rate)
+        if any(rate < 0 for rate in rates) or sum(rates) > 1.0:
+            raise ValueError("fault rates must be ≥ 0 and sum to ≤ 1")
+        self.seed = seed
+        self.rates = dict(zip(FAULT_KINDS, rates))
+        self.only_paths = set(only_paths) if only_paths is not None else None
+        self._rng = random.Random(seed)
+        self.reads = 0
+        #: every injected fault, in order: {"read", "path", "kind"}
+        self.injected: list[dict] = []
+
+    def decide(self, path: str) -> Optional[str]:
+        """One draw: the fault kind to inject for this read, or None.
+
+        Draws even for paths excluded by ``only_paths`` so the random
+        sequence — and therefore determinism — doesn't depend on which
+        paths happen to be exercised between faults.
+        """
+        self.reads += 1
+        roll = self._rng.random()
+        if self.only_paths is not None and path not in self.only_paths:
+            return None
+        cumulative = 0.0
+        for kind in FAULT_KINDS:
+            cumulative += self.rates[kind]
+            if roll < cumulative:
+                self.injected.append(
+                    {"read": self.reads, "path": path, "kind": kind}
+                )
+                return kind
+        return None
+
+
+class FaultyRuntimeProvider(StaticRuntime):
+    """StaticRuntime whose file reads fail according to a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan, **kwargs):
+        super().__init__(**kwargs)
+        self.plan = plan
+
+    def read_bytes(self, path: str) -> bytes:
+        fault = self.plan.decide(path)
+        if fault == "io_error":
+            raise OSError(f"injected I/O error reading {path}")
+        if fault == "not_found":
+            raise FileNotFoundError(f"injected missing file: {path}")
+        raw = super().read_bytes(path)
+        if fault == "truncate":
+            return raw[: max(1, len(raw) // 2)]
+        if fault == "garbage":
+            # invalid UTF-8 prefix: defeats decoding in every text driver
+            return b"\xff\xfe\x00\x9d" + raw
+        return raw

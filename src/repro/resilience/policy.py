@@ -1,0 +1,44 @@
+"""Resilience configuration: one frozen knob-set threaded through the stack.
+
+A :class:`ResiliencePolicy` is handed to :class:`~repro.service.ValidationService`
+(and surfaced as ``confvalley service --resilient`` / ``--max-source-retries``
+/ ``--shard-timeout`` / ``--quarantine-threshold``).  Passing one switches
+the service from *strict* mode — any source/spec failure raises, PR-1
+behavior — into *supervised* mode, where failures are isolated, quarantined
+and reported in the health block instead of taking the scan down.
+
+All retry/backoff scheduling is counted in **scans**, not wall-clock time:
+the service is poll-driven, so scan counts are the deterministic clock the
+tests (and operators reading the health block) can reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs for source quarantine, spec breakers and shard supervision."""
+
+    #: backoff-scheduled retry attempts for a failing source before it is
+    #: hard-quarantined (after that, it is only re-probed when its mtime
+    #: changes — "the file parses again" is discovered on the next edit)
+    max_source_retries: int = 3
+    #: scans to wait before the first retry of a failed source; doubles per
+    #: consecutive failure (1, 2, 4, …) up to ``source_backoff_cap``
+    source_backoff_base: int = 1
+    source_backoff_cap: int = 8
+    #: consecutive scans a statement must raise before its breaker trips
+    quarantine_threshold: int = 3
+    #: scans a tripped breaker stays open before a half-open probe re-runs
+    #: the statement (success closes the breaker, failure re-opens it)
+    probe_interval: int = 2
+    #: per-shard wall-clock wait budget in seconds (None = no shard
+    #: supervision; see repro.parallel.supervision for the fallback ladder)
+    shard_timeout: Optional[float] = None
+    #: same-executor retries before a failed shard is re-run serially
+    shard_retries: int = 1

@@ -1,0 +1,173 @@
+"""Source fault isolation: quarantine broken inputs, keep validating.
+
+In strict mode, one truncated INI file among fifty watched sources aborts
+the entire scan.  The :class:`SourceSupervisor` turns per-source load
+failures into structured :class:`SourceFailure` records and a quarantine
+list so the scan validates the other forty-nine:
+
+* a failing source is **quarantined** and retried on an exponential
+  backoff schedule counted in *scans* (the service's deterministic clock):
+  1, 2, 4, … scans between attempts, capped by the policy;
+* after ``max_source_retries`` scheduled retries the source is
+  **exhausted** — it is re-probed only when its mtime changes, i.e. when
+  someone actually edited the file ("automatic re-admission once the file
+  parses again");
+* a successful load at any point clears the source's state entirely.
+
+The supervisor is pure bookkeeping — the service performs the actual load
+attempt and feeds outcomes in via :meth:`record_failure` /
+:meth:`record_success`.  Keyed by source path, so two SourceSpecs watching
+the same file share fate (they share the same broken bytes anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .policy import ResiliencePolicy
+
+__all__ = ["SourceFailure", "SourceSupervisor"]
+
+
+@dataclass(frozen=True)
+class SourceFailure:
+    """One failed attempt to load a watched configuration source."""
+
+    path: str
+    format_name: str
+    scope: str
+    kind: str        # "parse" | "io" | "missing"
+    error: str
+    scan: int        # supervisor scan number of the attempt
+    failures: int    # consecutive failures including this one
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "format": self.format_name,
+            "scope": self.scope,
+            "kind": self.kind,
+            "error": self.error,
+            "scan": self.scan,
+            "failures": self.failures,
+        }
+
+
+@dataclass
+class _SourceState:
+    failures: int = 0
+    first_failed_scan: int = 0
+    next_probe_scan: int = 0
+    exhausted: bool = False
+    mtime_at_failure: Optional[float] = None
+    last: Optional[SourceFailure] = None
+
+
+class SourceSupervisor:
+    """Tracks per-source failure state across a service's scans."""
+
+    def __init__(self, policy: Optional[ResiliencePolicy] = None):
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self._states: dict[str, _SourceState] = {}
+        self._scan = 0
+
+    # ------------------------------------------------------------------
+
+    def begin_scan(self) -> int:
+        self._scan += 1
+        return self._scan
+
+    def should_attempt(self, path: str, mtime: Optional[float] = None) -> bool:
+        """Should this scan try to load the source at ``path``?
+
+        Healthy sources: always.  Quarantined sources: only when their
+        backoff delay has elapsed — or, once retries are exhausted, when
+        ``mtime`` differs from the one recorded at failure time.
+        """
+        state = self._states.get(path)
+        if state is None:
+            return True
+        if state.exhausted:
+            return mtime is not None and mtime != state.mtime_at_failure
+        if mtime is not None and mtime != state.mtime_at_failure:
+            return True  # the file was edited: probe now, skip the backoff
+        return self._scan >= state.next_probe_scan
+
+    def record_failure(
+        self,
+        path: str,
+        format_name: str,
+        scope: str,
+        kind: str,
+        error: str,
+        mtime: Optional[float] = None,
+    ) -> SourceFailure:
+        """Register a failed load attempt; schedules the next probe."""
+        state = self._states.setdefault(path, _SourceState())
+        state.failures += 1
+        if state.failures == 1:
+            state.first_failed_scan = self._scan
+        state.mtime_at_failure = mtime
+        delay = min(
+            self.policy.source_backoff_base * 2 ** (state.failures - 1),
+            self.policy.source_backoff_cap,
+        )
+        state.next_probe_scan = self._scan + delay
+        # the first failure plus max_source_retries scheduled re-attempts;
+        # beyond that, only an mtime change re-admits the source
+        if state.failures > self.policy.max_source_retries:
+            state.exhausted = True
+        failure = SourceFailure(
+            path=path,
+            format_name=format_name,
+            scope=scope,
+            kind=kind,
+            error=error,
+            scan=self._scan,
+            failures=state.failures,
+        )
+        state.last = failure
+        return failure
+
+    def record_success(self, path: str) -> bool:
+        """Source loaded cleanly: re-admit it.  True when it was quarantined."""
+        return self._states.pop(path, None) is not None
+
+    # ------------------------------------------------------------------
+
+    def is_quarantined(self, path: str) -> bool:
+        return path in self._states
+
+    def quarantined(self) -> list[dict]:
+        """Current quarantine list for health blocks / operators."""
+        records = []
+        for path, state in sorted(self._states.items()):
+            last = state.last
+            records.append(
+                {
+                    "path": path,
+                    "format": last.format_name if last else "",
+                    "kind": last.kind if last else "",
+                    "error": last.error if last else "",
+                    "failures": state.failures,
+                    "exhausted": state.exhausted,
+                    "next_probe_scan": (
+                        None if state.exhausted else state.next_probe_scan
+                    ),
+                }
+            )
+        return records
+
+    def retry_due(self) -> bool:
+        """True when the *next* scan should re-probe a quarantined source —
+        lets the service force a scan even when no watched file changed."""
+        return any(
+            not state.exhausted and (self._scan + 1) >= state.next_probe_scan
+            for state in self._states.values()
+        )
+
+    @property
+    def retries_spent(self) -> int:
+        """Failed attempts beyond each source's first (i.e. retry cost)."""
+        return sum(max(0, state.failures - 1) for state in self._states.values())

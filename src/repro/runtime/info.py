@@ -34,6 +34,17 @@ class RuntimeProvider:
         """Facts exposed to CPL as ``$env.<name>`` variables."""
         raise NotImplementedError
 
+    def read_bytes(self, path: str) -> bytes:
+        """Read a configuration/spec file for the validation pipeline.
+
+        All source and spec-file I/O in :class:`~repro.core.session.ValidationSession`
+        routes through this hook, so providers can virtualize it — notably
+        :class:`repro.resilience.FaultyRuntimeProvider`, which injects
+        deterministic I/O faults for chaos testing.
+        """
+        with open(path, "rb") as handle:
+            return handle.read()
+
     def is_reachable(self, endpoint: str) -> bool:
         raise NotImplementedError
 

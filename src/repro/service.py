@@ -29,9 +29,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from .core.policy import ValidationPolicy
-from .core.report import ValidationReport
+from .core.report import HealthBlock, ValidationReport
 from .core.session import ValidationSession
+from .errors import DriverError
 from .parallel.cache import SpecCache, SpecCacheStats
+from .resilience import ResiliencePolicy, SourceSupervisor, SpecCircuitBreaker
 from .runtime import RuntimeProvider
 
 __all__ = ["SourceSpec", "ScanResult", "ValidationService"]
@@ -54,9 +56,16 @@ class ScanResult:
     report: ValidationReport
     changed_paths: list[str]
     transitioned: bool    # pass/fail status differs from the previous run
+    #: the report's health block, surfaced for resilient-mode scans
+    #: (None in strict mode, where any fault raises instead)
+    health: Optional[HealthBlock] = None
 
     @property
     def passed(self) -> bool:
+        # a FAILED scan (spec unreadable, every source quarantined) never
+        # counts as passing, no matter how empty its violation list is
+        if self.health is not None and self.health.status == HealthBlock.FAILED:
+            return False
         return self.report.passed
 
 
@@ -73,6 +82,7 @@ class ValidationService:
         history_limit: int = 100,
         executor: Optional[str] = None,
         spec_cache: Optional[SpecCache] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
         self.spec_path = spec_path
         self.sources = list(sources)
@@ -86,6 +96,20 @@ class ValidationService:
         self.executor = executor
         #: compiled-spec cache shared across scans (hits when only data changed)
         self.spec_cache = spec_cache if spec_cache is not None else SpecCache()
+        #: None = strict mode (PR-1 behavior: any fault raises);
+        #: a ResiliencePolicy switches scans to supervised mode — source
+        #: quarantine, spec circuit breakers, shard supervision, health
+        #: blocks (see repro.resilience)
+        self.resilience = resilience
+        if resilience is not None:
+            self.source_supervisor = SourceSupervisor(resilience)
+            self.breaker = SpecCircuitBreaker(
+                threshold=resilience.quarantine_threshold,
+                probe_interval=resilience.probe_interval,
+            )
+        else:
+            self.source_supervisor = None
+            self.breaker = None
         self.scans = 0
         self._mtimes: dict[str, float] = {}
         self._sequence = 0
@@ -117,8 +141,16 @@ class ValidationService:
         """
         self.scans += 1
         changed = self._changed_paths()
-        if not changed and not force:
+        # resilient mode fires scheduled scans of its own: quarantined-source
+        # retries and half-open breaker probes must run even when no watched
+        # file changed, or recovery would never be attempted
+        probe_due = self.resilience is not None and (
+            self.source_supervisor.retry_due() or self.breaker.probe_due()
+        )
+        if not changed and not force and not probe_due:
             return None
+        if not changed and probe_due:
+            changed = ["<probe>"]
         return self._run(changed)
 
     def run_once(self) -> ScanResult:
@@ -129,6 +161,8 @@ class ValidationService:
     # ------------------------------------------------------------------
 
     def _run(self, changed: list[str]) -> ScanResult:
+        if self.resilience is not None:
+            return self._run_resilient(changed)
         session = ValidationSession(
             runtime=self.runtime,
             policy=self.policy,
@@ -139,19 +173,108 @@ class ValidationService:
         for source in self.sources:
             session.load_source(source.format_name, source.path, source.scope)
         report = session.validate_file(self.spec_path)
+        return self._record(report, changed, health=None)
+
+    def _run_resilient(self, changed: list[str]) -> ScanResult:
+        """One supervised scan: quarantine faults, always produce a result.
+
+        The supervised pipeline, per ISSUE layers 1–4: attempt each
+        non-quarantined source and convert failures into structured records
+        (layer 1); evaluate under a breaker guard with shard supervision
+        (layers 2–3); and ship the evidence in the report's health block
+        (layer 4).  This method never raises on source/spec faults — the
+        worst outcome is a ``FAILED`` health status.
+        """
+        policy = self.resilience
+        self.source_supervisor.begin_scan()
+        guard = self.breaker.begin_scan()
+        session = ValidationSession(
+            runtime=self.runtime,
+            policy=self.policy,
+            base_dir=os.path.dirname(self.spec_path) or ".",
+            executor=self.executor,
+            spec_cache=self.spec_cache,
+            spec_guard=guard,
+            shard_timeout=policy.shard_timeout,
+            shard_retries=policy.shard_retries,
+        )
+        source_failures: list[dict] = []
+        retries_this_scan = 0
+        loaded = 0
+        for source in self.sources:
+            mtime = self._mtimes.get(source.path)
+            if not self.source_supervisor.should_attempt(source.path, mtime):
+                continue
+            retrying = self.source_supervisor.is_quarantined(source.path)
+            try:
+                session.load_source(source.format_name, source.path, source.scope)
+            except DriverError as exc:
+                kind, error = "parse", str(exc)
+            except FileNotFoundError as exc:
+                # the file can vanish between the mtime check and the read
+                kind, error = "missing", str(exc)
+            except OSError as exc:
+                kind, error = "io", str(exc)
+            else:
+                loaded += 1
+                self.source_supervisor.record_success(source.path)
+                continue
+            if retrying:
+                retries_this_scan += 1
+            failure = self.source_supervisor.record_failure(
+                source.path,
+                source.format_name,
+                source.scope,
+                kind,
+                error,
+                mtime,
+            )
+            source_failures.append(failure.to_dict())
+        try:
+            report = session.validate_file(self.spec_path)
+        except Exception as exc:
+            # the spec file itself is broken (unreadable, unparsable): no
+            # meaningful report is possible, but the scan still completes
+            report = ValidationReport()
+            report.health.fatal = (
+                f"spec validation failed: {type(exc).__name__}: {exc}"
+            )
+        health = report.health
+        health.source_failures.extend(source_failures)
+        health.quarantined_sources.extend(self.source_supervisor.quarantined())
+        health.retries += retries_this_scan
+        if self.sources and loaded == 0 and not health.fatal:
+            health.fatal = "every configuration source is quarantined"
+        if not health.fatal:
+            # advance the breaker state machines on the statement outcomes
+            # this scan observed (a fatal scan ran no statements — treating
+            # it as "all clean" would wrongly close every breaker)
+            self.breaker.observe(report)
+        health.finalize()
+        return self._record(report, changed, health=health)
+
+    def _record(
+        self,
+        report: ValidationReport,
+        changed: list[str],
+        health: Optional[HealthBlock],
+    ) -> ScanResult:
         previous = self.history[-1] if self.history else None
-        transitioned = previous is not None and previous.passed != report.passed
         self._sequence += 1
         result = ScanResult(
             sequence=self._sequence,
             report=report,
             changed_paths=changed,
-            transitioned=transitioned,
+            transitioned=False,
+            health=health,
+        )
+        result.transitioned = (
+            previous is not None and previous.passed != result.passed
         )
         self.history.append(result)
         if len(self.history) > self.history_limit:
             del self.history[: len(self.history) - self.history_limit]
-        if transitioned and self.on_transition is not None:
+        if result.transitioned and self.on_transition is not None:
             self.on_transition(result)
         return result
 

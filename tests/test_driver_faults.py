@@ -1,0 +1,150 @@
+"""Malformed-input matrix for every file-format driver (ISSUE 2, satellite 3).
+
+Whatever bytes land in a watched configuration file — a write truncated
+mid-flight, the wrong encoding, an empty file, binary garbage — the driver
+layer must come back with either a parsed instance list or a structured
+:class:`~repro.errors.DriverError` carrying the source path and format.
+Never a raw ``UnicodeDecodeError``, never a parser-internal crash: the
+continuous service quarantines on DriverError, anything else would take
+the whole scan down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drivers import get_driver
+from repro.errors import DriverError
+
+#: all the file-based drivers (rest is endpoint-based, no byte input)
+FILE_DRIVERS = ("xml", "ini", "json", "yaml", "csv", "keyvalue")
+
+#: well-formed sample per format, used to derive the truncated case
+VALID = {
+    "xml": (
+        '<Configuration><Fabric><Setting Key="RecoveryAttempts" Value="3"/>'
+        '<Setting Key="Timeout" Value="30"/></Fabric></Configuration>'
+    ),
+    "ini": "[fabric]\nRecoveryAttempts = 3\nTimeout = 30\n",
+    "json": '{"fabric": {"RecoveryAttempts": 3, "Timeout": 30}}',
+    "yaml": "fabric:\n  RecoveryAttempts: 3\n  Timeout: 30\n",
+    "csv": "Name,Attempts,Timeout\nfabric,3,30\nstore,5,60\n",
+    "keyvalue": "Fabric.RecoveryAttempts = 3\nFabric.Timeout = 30\n",
+}
+
+#: known-bad text per format — must raise, not crash and not succeed
+MALFORMED = {
+    "xml": "<Configuration><Fabric></Configuration>",
+    "ini": "no section header, no equals sign, just prose\n",
+    "json": '{"fabric": {"RecoveryAttempts": ',
+    "yaml": "fabric: [unclosed, sequence\n  bad: indent: everywhere\n",
+    "csv": 'Name,Attempts\n"unterminated quote,3\n',
+    "keyvalue": "Cluster::.Node = broken qualifier\n",
+}
+
+BAD_BYTES = {
+    "wrong-encoding": "[fabric]\nTimeout = 30\n".encode("utf-16"),
+    "binary-garbage": b"\xff\xfe\x00\x9d" + bytes(range(256)),
+}
+
+
+def parse_or_error(driver, raw: bytes, source: str):
+    """The only two acceptable outcomes: a list, or a DriverError."""
+    try:
+        return get_driver(driver).parse_bytes(raw, source=source), None
+    except DriverError as exc:
+        return None, exc
+
+
+@pytest.mark.parametrize("driver", FILE_DRIVERS)
+class TestMalformedInputMatrix:
+    def test_valid_sample_parses(self, driver):
+        instances, error = parse_or_error(
+            driver, VALID[driver].encode("utf-8"), f"ok.{driver}"
+        )
+        assert error is None
+        assert len(instances) >= 2
+
+    def test_truncated(self, driver):
+        # cut the valid sample mid-stream at several points: every outcome
+        # must be a clean parse (some prefixes are legal) or a DriverError
+        text = VALID[driver]
+        for cut in (1, len(text) // 3, len(text) // 2, len(text) - 2):
+            instances, error = parse_or_error(
+                driver, text[:cut].encode("utf-8"), f"truncated.{driver}"
+            )
+            assert instances is not None or error is not None
+            if error is not None:
+                assert error.path == f"truncated.{driver}"
+                assert error.format_name == driver
+
+    def test_malformed_text(self, driver):
+        instances, error = parse_or_error(
+            driver, MALFORMED[driver].encode("utf-8"), f"bad.{driver}"
+        )
+        assert error is not None, f"{driver} accepted {MALFORMED[driver]!r}"
+        assert error.path == f"bad.{driver}"
+        assert error.format_name == driver
+
+    def test_wrong_encoding(self, driver):
+        # UTF-16 bytes are not valid UTF-8: every driver must surface the
+        # decode failure as a DriverError with the byte offset
+        __, error = parse_or_error(
+            driver, BAD_BYTES["wrong-encoding"], f"utf16.{driver}"
+        )
+        assert error is not None
+        assert error.offset is not None
+        assert "UTF-8" in str(error)
+
+    def test_binary_garbage(self, driver):
+        __, error = parse_or_error(
+            driver, BAD_BYTES["binary-garbage"], f"garbage.{driver}"
+        )
+        assert error is not None
+        assert error.path == f"garbage.{driver}"
+
+    def test_empty_file(self, driver):
+        # empty input is not a crash: either "no instances" or a typed error
+        instances, error = parse_or_error(driver, b"", f"empty.{driver}")
+        if error is None:
+            assert instances == []
+        else:
+            assert error.format_name == driver
+
+    def test_parse_file_missing_path_raises_oserror(self, driver, tmp_path):
+        # strict-mode contract: filesystem-level failures stay OSError
+        # (the resilient service catches them upstream of the driver)
+        with pytest.raises(OSError):
+            get_driver(driver).parse_file(str(tmp_path / "absent.file"))
+
+
+class TestStructuredDriverError:
+    def test_context_fields_render_in_message(self):
+        error = DriverError(
+            "boom", path="/etc/app.ini", format_name="ini", line=7
+        )
+        text = str(error)
+        assert "/etc/app.ini" in text
+        assert "ini" in text
+        assert "7" in text
+
+    def test_with_context_fills_missing_fields_only(self):
+        error = DriverError("boom", line=3)
+        error.with_context(path="a.xml", format_name="xml")
+        assert error.path == "a.xml"
+        assert error.line == 3
+        error.with_context(path="other.xml")
+        assert error.path == "a.xml"  # first context wins
+
+    def test_decode_failure_carries_byte_offset(self):
+        with pytest.raises(DriverError) as excinfo:
+            get_driver("ini").parse_bytes(b"ok = 1\n\xffbad", source="x.ini")
+        assert excinfo.value.offset == 7
+
+    def test_parse_file_attaches_real_path(self, tmp_path):
+        target = tmp_path / "broken.json"
+        target.write_text('{"a": ')
+        with pytest.raises(DriverError) as excinfo:
+            get_driver("json").parse_file(str(target))
+        assert excinfo.value.path == str(target)
+        assert excinfo.value.format_name == "json"

@@ -1,0 +1,491 @@
+"""Fault-tolerant validation: quarantine, breakers, shard supervision.
+
+Covers the ISSUE-2 acceptance criteria directly:
+
+* a fault in 1 of N sources → the scan completes, validates the other
+  N−1, reports ``DEGRADED`` with the quarantined source listed, and the
+  report fingerprint is unchanged by the health block;
+* a shard that times out is re-run serially and the final report is
+  byte-identical to a fully serial run;
+* a spec statement that raises on 3 consecutive scans is circuit-broken
+  to SKIPPED and recovers automatically once the cause is fixed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import (
+    ParallelValidator,
+    ResiliencePolicy,
+    SourceSpec,
+    ValidationService,
+    parse,
+)
+from repro.core.compiler import optimize_statements
+from repro.core.report import HealthBlock
+from repro.parallel import partition_statements
+from repro.predicates import register_predicate
+from repro.resilience import (
+    SourceSupervisor,
+    SpecCircuitBreaker,
+    SpecGuard,
+    statement_key,
+)
+from repro.synthetic import EXPERT_SPECS
+from repro.synthetic.azure import generate_type_a
+
+GOOD_INI = "[fabric]\nRecoveryAttempts = 3\nTimeout = 30\n"
+BAD_INI = "[fabric\nthis is not ini at all"
+SPEC = "$fabric.RecoveryAttempts -> int & [1, 10]\n"
+
+
+def write(path, text):
+    path.write_text(text)
+    return str(path)
+
+
+def make_service(tmp_path, n_sources=3, broken=(), **kwargs):
+    spec = write(tmp_path / "spec.cpl", SPEC)
+    sources = []
+    for index in range(n_sources):
+        text = BAD_INI if index in broken else GOOD_INI
+        path = write(tmp_path / f"src{index}.ini", text)
+        sources.append(SourceSpec("ini", path, f"Env::E{index}"))
+    kwargs.setdefault("resilience", ResiliencePolicy())
+    return ValidationService(spec, sources, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: source fault isolation
+# ---------------------------------------------------------------------------
+
+
+class TestSourceSupervisor:
+    def test_healthy_source_always_attempted(self):
+        supervisor = SourceSupervisor()
+        supervisor.begin_scan()
+        assert supervisor.should_attempt("a.ini")
+
+    def test_backoff_doubles_per_consecutive_failure(self):
+        supervisor = SourceSupervisor(ResiliencePolicy(max_source_retries=10))
+        attempts = []
+        for scan in range(1, 17):
+            supervisor.begin_scan()
+            if supervisor.should_attempt("a.ini"):
+                attempts.append(scan)
+                supervisor.record_failure("a.ini", "ini", "", "parse", "bad")
+        # scan 1 fails → retry after 1, 2, 4, 8 scans (cap 8)
+        assert attempts == [1, 2, 4, 8, 16]
+
+    def test_exhausted_source_waits_for_mtime_change(self):
+        policy = ResiliencePolicy(max_source_retries=1, source_backoff_cap=1)
+        supervisor = SourceSupervisor(policy)
+        supervisor.begin_scan()
+        supervisor.record_failure("a.ini", "ini", "", "parse", "bad", mtime=100)
+        supervisor.begin_scan()
+        assert supervisor.should_attempt("a.ini", mtime=100)  # scheduled retry
+        supervisor.record_failure("a.ini", "ini", "", "parse", "bad", mtime=100)
+        for __ in range(5):
+            supervisor.begin_scan()
+            assert not supervisor.should_attempt("a.ini", mtime=100)
+        assert supervisor.quarantined()[0]["exhausted"]
+        # the file was edited: probe again regardless of backoff state
+        assert supervisor.should_attempt("a.ini", mtime=200)
+
+    def test_success_readmits_and_clears_state(self):
+        supervisor = SourceSupervisor()
+        supervisor.begin_scan()
+        supervisor.record_failure("a.ini", "ini", "", "io", "disk", mtime=1)
+        assert supervisor.is_quarantined("a.ini")
+        assert supervisor.record_success("a.ini")
+        assert not supervisor.is_quarantined("a.ini")
+        assert supervisor.quarantined() == []
+
+
+class TestServiceSourceQuarantine:
+    def test_one_bad_source_degrades_but_validates_the_rest(self, tmp_path):
+        service = make_service(tmp_path, n_sources=3, broken={1})
+        result = service.run_once()
+        assert result.health.status == HealthBlock.DEGRADED
+        quarantined = [q["path"] for q in result.health.quarantined_sources]
+        assert quarantined == [str(tmp_path / "src1.ini")]
+        assert result.health.source_failures[0]["kind"] == "parse"
+        # the other two sources were validated: one int-range check per env
+        assert result.report.instances_checked == 2
+        assert result.passed
+
+    def test_degraded_fingerprint_matches_healthy_run(self, tmp_path):
+        faulty = make_service(tmp_path, n_sources=3, broken={1}).run_once()
+        # a strict service watching only the two good sources
+        clean = ValidationService(
+            str(tmp_path / "spec.cpl"),
+            [
+                SourceSpec("ini", str(tmp_path / "src0.ini"), "Env::E0"),
+                SourceSpec("ini", str(tmp_path / "src2.ini"), "Env::E2"),
+            ],
+        ).run_once()
+        assert faulty.report.fingerprint() == clean.report.fingerprint()
+        assert faulty.health.status != clean.report.health.status
+
+    def test_file_deleted_between_scans_is_quarantined(self, tmp_path):
+        service = make_service(tmp_path, n_sources=2)
+        first = service.run_once()
+        assert first.health.status == HealthBlock.OK
+        os.remove(tmp_path / "src0.ini")
+        second = service.run_once()   # never raises
+        assert second.health.status == HealthBlock.DEGRADED
+        assert second.health.source_failures[0]["kind"] == "missing"
+        assert second.report.instances_checked == 1
+
+    def test_fixed_file_is_automatically_readmitted(self, tmp_path):
+        service = make_service(tmp_path, n_sources=2, broken={0})
+        assert service.run_once().health.status == HealthBlock.DEGRADED
+        src = tmp_path / "src0.ini"
+        src.write_text(GOOD_INI)
+        os.utime(src, (time.time() + 5, time.time() + 5))
+        result = service.scan()       # mtime change triggers the scan
+        assert result is not None
+        assert result.health.status == HealthBlock.OK
+        assert result.report.instances_checked == 2
+
+    def test_every_source_broken_is_fatal(self, tmp_path):
+        service = make_service(tmp_path, n_sources=2, broken={0, 1})
+        result = service.run_once()
+        assert result.health.status == HealthBlock.FAILED
+        assert not result.passed
+        assert "quarantined" in result.health.fatal
+
+    def test_unreadable_spec_file_is_fatal_not_raised(self, tmp_path):
+        service = make_service(tmp_path, n_sources=1)
+        os.remove(tmp_path / "spec.cpl")
+        result = service.run_once()
+        assert result.health.status == HealthBlock.FAILED
+        assert not result.passed
+
+    def test_strict_mode_still_raises(self, tmp_path):
+        service = make_service(tmp_path, n_sources=2, broken={1}, resilience=None)
+        with pytest.raises(Exception):
+            service.run_once()
+
+    def test_probe_scan_fires_without_file_changes(self, tmp_path):
+        service = make_service(tmp_path, n_sources=2, broken={0})
+        service.run_once()
+        result = service.scan()       # nothing changed on disk
+        assert result is not None     # but a retry probe was due
+        assert result.changed_paths == ["<probe>"]
+
+
+# ---------------------------------------------------------------------------
+# Layer 3: spec circuit breakers
+# ---------------------------------------------------------------------------
+
+
+def compiled(text):
+    return optimize_statements(list(parse(text).statements))
+
+
+class TestSpecCircuitBreaker:
+    def fail_scan(self, breaker, key):
+        breaker.begin_scan()
+        report = _report_with(spec_errors=[{"spec": key, "error": "boom"}])
+        breaker.observe(report)
+
+    def test_trips_after_threshold_consecutive_errors(self):
+        breaker = SpecCircuitBreaker(threshold=3, probe_interval=2)
+        for __ in range(3):
+            guard = breaker.begin_scan()
+            assert guard.quarantined == {}  # still closed: statement runs
+            breaker.observe(
+                _report_with(spec_errors=[{"spec": "7:check", "error": "boom"}])
+            )
+        # three consecutive error scans → tripped
+        assert "7:check" in breaker.begin_scan().quarantined
+
+    def test_clean_scan_resets_the_count(self):
+        breaker = SpecCircuitBreaker(threshold=2, probe_interval=1)
+        self.fail_scan(breaker, "7:check")
+        breaker.begin_scan()
+        breaker.observe(_report_with())        # ran cleanly → forgotten
+        self.fail_scan(breaker, "7:check")     # back to one failure
+        assert breaker.begin_scan().quarantined == {}
+
+    def test_half_open_probe_recovers(self):
+        breaker = SpecCircuitBreaker(threshold=1, probe_interval=2)
+        self.fail_scan(breaker, "7:check")     # trips immediately
+        guard = breaker.begin_scan()
+        assert "7:check" in guard.quarantined  # open, waiting
+        breaker.observe(_report_with(quarantined_specs=[{"spec": "7:check"}]))
+        guard = breaker.begin_scan()           # probe interval elapsed
+        assert guard.quarantined == {}         # half-open: runs this scan
+        breaker.observe(_report_with())        # probe succeeded
+        assert breaker.open_count() == 0
+
+    def test_failed_probe_reopens(self):
+        breaker = SpecCircuitBreaker(threshold=1, probe_interval=2)
+        self.fail_scan(breaker, "7:check")
+        breaker.begin_scan()
+        breaker.observe(_report_with(quarantined_specs=[{"spec": "7:check"}]))
+        breaker.begin_scan()                   # half-open probe
+        breaker.observe(_report_with(spec_errors=[{"spec": "7:check", "error": "boom"}]))
+        guard = breaker.begin_scan()
+        assert "7:check" in guard.quarantined  # straight back open
+
+    def test_statement_key_is_stable(self):
+        first = [statement_key(s) for s in compiled(EXPERT_SPECS["type_a"])]
+        second = [statement_key(s) for s in compiled(EXPERT_SPECS["type_a"])]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+
+def _report_with(spec_errors=(), quarantined_specs=()):
+    from repro.core.report import ValidationReport
+
+    report = ValidationReport()
+    report.health.spec_errors.extend(spec_errors)
+    report.health.quarantined_specs.extend(quarantined_specs)
+    return report
+
+
+BOMB = {"armed": False}
+
+
+def _explode(value, *args):
+    if BOMB["armed"]:
+        raise RuntimeError("injected spec fault")
+    return True
+
+
+register_predicate("explode", _explode)
+
+
+class TestBreakerEndToEnd:
+    SPEC = "$fabric.Timeout -> explode\n$fabric.RecoveryAttempts -> int\n"
+
+    def service(self, tmp_path):
+        spec = write(tmp_path / "spec.cpl", self.SPEC)
+        src = write(tmp_path / "src.ini", GOOD_INI)
+        return ValidationService(
+            spec,
+            [SourceSpec("ini", src)],
+            resilience=ResiliencePolicy(quarantine_threshold=3, probe_interval=2),
+        )
+
+    def test_trip_skip_and_automatic_recovery(self, tmp_path):
+        service = self.service(tmp_path)
+        BOMB["armed"] = True
+        try:
+            # three consecutive error scans: captured, not raised
+            for __ in range(3):
+                result = service.run_once()
+                assert result.health.status == HealthBlock.DEGRADED
+                assert result.health.spec_errors
+                assert result.report.specs_evaluated >= 1  # the int check ran
+            # breaker is open now: the statement is skipped with a reason
+            tripped = service.run_once()
+            assert tripped.health.quarantined_specs
+            assert tripped.health.quarantined_specs[0]["outcome"] == "SKIPPED"
+            assert "circuit open" in tripped.health.quarantined_specs[0]["reason"]
+            assert not tripped.health.spec_errors
+            assert tripped.report.specs_skipped >= 1
+        finally:
+            BOMB["armed"] = False
+        # cause fixed: the half-open probe re-runs the statement and closes
+        recovered = service.run_once()
+        assert recovered.health.spec_errors == []
+        assert recovered.health.quarantined_specs == []
+        assert recovered.health.status == HealthBlock.OK
+        assert service.breaker.open_count() == 0
+
+    def test_spec_error_does_not_fail_the_scan(self, tmp_path):
+        service = self.service(tmp_path)
+        BOMB["armed"] = True
+        try:
+            result = service.run_once()
+        finally:
+            BOMB["armed"] = False
+        assert result.passed              # other statements all passed
+        assert result.health.degraded
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: shard supervision
+# ---------------------------------------------------------------------------
+
+
+class WedgeExecutor:
+    """Executor that wedges (sleeps past the timeout) on one shard label."""
+
+    name = "wedge"
+
+    def __init__(self, wedge_label, delay=0.6, once=False):
+        self.wedge_label = wedge_label
+        self.delay = delay
+        self.once = once
+        self.wedged = 0
+
+    def run(self, state, shards):
+        from repro.parallel.engine import evaluate_shard
+
+        out = []
+        for shard in shards:
+            if shard.label == self.wedge_label and not (self.once and self.wedged):
+                self.wedged += 1
+                time.sleep(self.delay)
+            out.append(evaluate_shard(state, shard))
+        return out
+
+
+class CrashExecutor:
+    """Executor whose workers crash on one shard label, n times."""
+
+    name = "crash"
+
+    def __init__(self, crash_label, times=99):
+        self.crash_label = crash_label
+        self.times = times
+
+    def run(self, state, shards):
+        from repro.parallel.engine import evaluate_shard
+
+        out = []
+        for shard in shards:
+            if shard.label == self.crash_label and self.times > 0:
+                self.times -= 1
+                raise RuntimeError("worker crashed")
+            out.append(evaluate_shard(state, shard))
+        return out
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    store = generate_type_a(0.05).build_store()
+    statements = compiled(EXPERT_SPECS["type_a"])
+    return store, statements
+
+
+class TestShardSupervision:
+    MAX_SHARDS = 4
+
+    def serial_report(self, corpus):
+        store, statements = corpus
+        return ParallelValidator(
+            store, executor="serial", max_shards=self.MAX_SHARDS
+        ).validate_statements(statements)
+
+    def wedge_label(self, corpus):
+        store, statements = corpus
+        __, shards = partition_statements(statements, self.MAX_SHARDS)
+        assert len(shards) >= 2
+        return shards[0].label
+
+    def test_timed_out_shard_reruns_serially_identical_report(self, corpus):
+        store, statements = corpus
+        label = self.wedge_label(corpus)
+        report = ParallelValidator(
+            store,
+            executor=WedgeExecutor(label, delay=0.6),
+            max_shards=self.MAX_SHARDS,
+            shard_timeout=0.1,
+            shard_retries=1,
+        ).validate_statements(statements)
+        # acceptance: byte-identical to the fully serial run
+        assert report.fingerprint() == self.serial_report(corpus).fingerprint()
+        failures = report.health.shard_failures
+        assert [f["shard"] for f in failures] == [label]
+        assert failures[0]["kind"] == "timeout"
+        assert failures[0]["recovered"] == "serial"
+        assert report.health.status == HealthBlock.DEGRADED
+
+    def test_transient_wedge_recovers_on_retry(self, corpus):
+        store, statements = corpus
+        label = self.wedge_label(corpus)
+        report = ParallelValidator(
+            store,
+            executor=WedgeExecutor(label, delay=0.6, once=True),
+            max_shards=self.MAX_SHARDS,
+            shard_timeout=0.2,
+            shard_retries=1,
+        ).validate_statements(statements)
+        assert report.fingerprint() == self.serial_report(corpus).fingerprint()
+        assert report.health.shard_failures[0]["recovered"] == "retry"
+        assert report.health.retries >= 1
+
+    def test_crashing_worker_recovers(self, corpus):
+        store, statements = corpus
+        label = self.wedge_label(corpus)
+        report = ParallelValidator(
+            store,
+            executor=CrashExecutor(label),
+            max_shards=self.MAX_SHARDS,
+            shard_timeout=5.0,
+            shard_retries=1,
+        ).validate_statements(statements)
+        assert report.fingerprint() == self.serial_report(corpus).fingerprint()
+        assert report.health.shard_failures[0]["kind"] == "crash"
+        assert report.health.shard_failures[0]["recovered"] == "serial"
+
+    def test_builtin_executors_unaffected_by_supervision(self, corpus):
+        store, statements = corpus
+        baseline = self.serial_report(corpus).fingerprint()
+        for executor in ("serial", "thread", "process"):
+            report = ParallelValidator(
+                store,
+                executor=executor,
+                max_shards=self.MAX_SHARDS,
+                shard_timeout=30.0,
+            ).validate_statements(statements)
+            assert report.fingerprint() == baseline
+            assert report.health.shard_failures == []
+            assert report.health.status == HealthBlock.OK
+
+    def test_no_timeout_means_no_supervision(self, corpus):
+        store, statements = corpus
+        report = ParallelValidator(
+            store, executor="thread", max_shards=self.MAX_SHARDS
+        ).validate_statements(statements)
+        assert report.health.status == HealthBlock.OK
+
+
+# ---------------------------------------------------------------------------
+# Layer 4: degraded-mode reporting
+# ---------------------------------------------------------------------------
+
+
+class TestHealthReporting:
+    def test_health_excluded_from_fingerprint(self):
+        from repro.core.report import ValidationReport
+
+        clean = ValidationReport()
+        limped = ValidationReport()
+        limped.health.quarantined_sources.append({"path": "x.ini"})
+        limped.health.retries = 7
+        limped.health.finalize()
+        assert clean.fingerprint() == limped.fingerprint()
+        assert limped.to_dict()["health"]["status"] == HealthBlock.DEGRADED
+
+    def test_render_mentions_degradation(self):
+        from repro.core.report import ValidationReport
+
+        report = ValidationReport()
+        report.health.quarantined_sources.append({"path": "x.ini"})
+        report.health.finalize()
+        assert "DEGRADED" in report.render()
+        assert "quarantined source" in report.render()
+
+    def test_scanresult_passed_respects_fatal_health(self, tmp_path):
+        service = make_service(tmp_path, n_sources=1, broken={0})
+        result = service.run_once()
+        assert result.health.status == HealthBlock.FAILED
+        assert result.report.passed     # empty report has no violations…
+        assert not result.passed        # …but the scan still counts as failing
+
+    def test_guard_pickles(self):
+        import pickle
+
+        guard = SpecGuard(quarantined={"7:check": "circuit open"})
+        clone = pickle.loads(pickle.dumps(guard))
+        assert clone.quarantined == guard.quarantined
