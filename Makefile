@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos bench-smoke bench ci
+.PHONY: test chaos obs-smoke bench-smoke bench ci
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -16,6 +16,16 @@ chaos:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q \
 		tests/test_driver_faults.py tests/test_resilience.py tests/test_chaos.py
 
+## Observability gate: the unit/integration suite plus a smoke-scale run
+## of the overhead benchmark (which also validates that the Prometheus
+## exposition parses).  Timing-ratio assertions are corpus-gated and do
+## not fire at this scale.
+obs-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q tests/test_observability.py
+	REPRO_SCALE_A=0.1 REPRO_RESULTS_DIR=$$(mktemp -d) \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q --benchmark-disable \
+		benchmarks/bench_observability.py
+
 ## Run every benchmark on a tiny corpus — correctness of the bench
 ## harness itself, not a measurement.  See benchmarks/smoke.sh.
 bench-smoke:
@@ -26,6 +36,6 @@ bench-smoke:
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
 
-## What CI runs: the tier-1 suite, the chaos suite, and the benchmark
-## smoke pass.
-ci: test chaos bench-smoke
+## What CI runs: the tier-1 suite, the chaos suite, the observability
+## gate, and the benchmark smoke pass.
+ci: test chaos obs-smoke bench-smoke

@@ -1,0 +1,140 @@
+"""Observability — the nil-cost-by-default contract, measured.
+
+Two claims from ``docs/OBSERVABILITY.md`` are asserted:
+
+* **disabled ≈ free** — with the default no-op tracer/registry installed,
+  the instrumented pipeline validates the Type A corpus at the same speed
+  as ever (the hooks cost one attribute lookup and a no-op call each);
+* **enabled < 3 %** — turning on full tracing + metrics adds less than
+  3 % wall clock to a serial validation of the same corpus.
+
+Timing ratios are noisy at smoke scale, so the percentage assertion is
+gated on corpus size (like the scaling floor in ``bench_parallel_scaling``);
+the structural claims — byte-identical fingerprints in every mode, a
+Prometheus exposition that parses, a span for every pipeline stage — are
+asserted at any scale.
+
+Run it alone with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_observability.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ParallelValidator, observability, parse
+from repro.benchutil import format_table
+from repro.core.compiler import optimize_statements
+from repro.observability import parse_prometheus
+from repro.synthetic import EXPERT_SPECS
+
+MAX_SHARDS = 8
+ROUNDS = 3
+#: the <3 % overhead claim is only measurable above this corpus size —
+#: below it, per-run jitter dwarfs the instrumentation cost entirely
+OVERHEAD_GATE_INSTANCES = 3000
+OVERHEAD_CEILING = 1.03
+
+
+def best_of(fn, rounds=ROUNDS):
+    """Fastest of ``rounds`` runs — the standard jitter-resistant estimator
+    for an overhead ratio (means smear scheduler noise into the signal)."""
+    result, best = None, float("inf")
+    for __ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def run_modes(store, statements):
+    def validate():
+        return ParallelValidator(
+            store, executor="serial", max_shards=MAX_SHARDS
+        ).validate_statements(statements)
+
+    observability.disable()
+    validate()  # warm-up: discovery-index caches must not bill the first mode
+    rows = {"disabled": best_of(validate)}
+    obs = observability.enable()
+    try:
+        rows["enabled"] = best_of(validate)
+    finally:
+        observability.disable()
+    rows["metrics-only"] = None  # placed after to keep table order stable
+    observability.enable(tracing=False)
+    try:
+        rows["metrics-only"] = best_of(validate)
+    finally:
+        observability.disable()
+    return rows, obs
+
+
+def test_observability_overhead(benchmark, emit, type_a_store):
+    statements = optimize_statements(
+        list(parse(EXPERT_SPECS["type_a"]).statements)
+    )
+    (rows, obs) = benchmark.pedantic(
+        run_modes, args=(type_a_store, statements), rounds=1, iterations=1
+    )
+
+    baseline_report, baseline_seconds = rows["disabled"]
+    table = []
+    for mode, (report, seconds) in rows.items():
+        # instrumentation must never change validation output
+        assert report.fingerprint() == baseline_report.fingerprint(), mode
+        table.append((
+            mode,
+            f"{seconds:.3f}",
+            f"{seconds / baseline_seconds - 1:+.1%}"
+            if mode != "disabled" else "baseline",
+        ))
+    emit(
+        "observability_overhead",
+        format_table(["Observability", "Seconds (best of 3)", "Overhead"], table)
+        + f"\n(Type A corpus, {type_a_store.instance_count} instances, "
+        "serial evaluation; fingerprints identical in every mode)",
+    )
+
+    # the enabled run produced a complete trace and a parsable exposition
+    assert obs.tracer.find("evaluate"), "missing evaluate span"
+    families = parse_prometheus(obs.metrics.to_prometheus())
+    assert "confvalley_validations_total" in families
+    assert "confvalley_validation_seconds" in families
+
+    if type_a_store.instance_count >= OVERHEAD_GATE_INSTANCES:
+        __, enabled_seconds = rows["enabled"]
+        ratio = enabled_seconds / baseline_seconds
+        assert ratio < OVERHEAD_CEILING, (
+            f"observability overhead {ratio - 1:.1%} exceeds "
+            f"{OVERHEAD_CEILING - 1:.0%}"
+        )
+
+
+def test_exposition_scales_with_series(benchmark, emit):
+    """Exposition stays linear and parsable as label cardinality grows."""
+    from repro.observability import MetricsRegistry
+
+    def expose(series):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "Ops.")
+        histogram = registry.histogram("op_seconds", "Op latency.")
+        for index in range(series):
+            counter.inc(index + 1, source=f"src{index:04d}")
+            histogram.observe(0.001 * (index % 40), source=f"src{index:04d}")
+        return registry.to_prometheus()
+
+    rows = []
+    for series in (10, 100, 500):
+        text, seconds = best_of(lambda s=series: expose(s))
+        families = parse_prometheus(text)
+        assert families["ops_total"]["type"] == "counter"
+        samples = len(families["ops_total"]["samples"])
+        assert samples == series
+        rows.append((series, len(text.splitlines()), f"{seconds * 1e3:.2f}"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(
+        "observability_exposition",
+        format_table(["Series", "Exposition lines", "ms (best of 3)"], rows),
+    )

@@ -22,6 +22,9 @@ Public surface:
 * :class:`ResiliencePolicy` and :mod:`repro.resilience` — fault-tolerant
   validation: source quarantine, spec circuit breakers, shard supervision,
   and the deterministic chaos harness (:class:`FaultyRuntimeProvider`)
+* :mod:`repro.observability` — pipeline tracing, the metrics registry and
+  exposition endpoints; nil-cost no-op singletons until
+  ``observability.enable()``
 """
 
 from .core import (
@@ -56,7 +59,9 @@ from .resilience import (
     SourceFailure,
     SpecCircuitBreaker,
 )
-from .runtime import FakeFileSystem, HostRuntime, StaticRuntime
+from . import observability
+from .observability import MetricsRegistry, Tracer
+from .runtime import FakeClock, FakeFileSystem, HostRuntime, MonotonicClock, StaticRuntime
 from .service import ScanResult, SourceSpec, ValidationService
 
 __version__ = "1.0.0"
@@ -91,6 +96,11 @@ __all__ = [
     "FakeFileSystem",
     "HostRuntime",
     "StaticRuntime",
+    "FakeClock",
+    "MonotonicClock",
+    "observability",
+    "MetricsRegistry",
+    "Tracer",
     "ValidationService",
     "SourceSpec",
     "ScanResult",

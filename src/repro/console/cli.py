@@ -9,6 +9,8 @@ Subcommands::
     confvalley validate SPEC.cpl [--source FMT:PATH[:SCOPE] …] [--partitions N]
     confvalley infer    [--source FMT:PATH[:SCOPE] …] [--out SPECS.cpl]
     confvalley console  [--source FMT:PATH[:SCOPE] …]
+    confvalley service  SPEC.cpl [--metrics-file PATH] …
+    confvalley stats    SNAPSHOT [--format text|json|prometheus]
 """
 
 from __future__ import annotations
@@ -27,9 +29,14 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .. import __version__
+
     parser = argparse.ArgumentParser(
         prog="confvalley",
         description="ConfValley — systematic configuration validation",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -72,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--waivers", default=None,
         help="waiver file: 'key_glob [constraint_glob]' per line",
+    )
+    validate.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable pipeline tracing and write the merged span tree as a "
+             "Chrome trace_event JSON file (load in chrome://tracing)",
     )
 
     infer = sub.add_parser("infer", help="infer CPL specs from good data")
@@ -127,6 +139,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-timeout", type=float, default=None, metavar="SECONDS",
         help="per-shard wall-clock budget; timed-out shards are retried, "
              "then re-run serially (implies --resilient)",
+    )
+    service.add_argument(
+        "--metrics-file", default=None, metavar="PATH",
+        help="enable observability and atomically rewrite this exposition "
+             "snapshot after every scan (.prom/.txt = Prometheus text, "
+             "anything else = JSON readable by `confvalley stats`)",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="read a service metrics snapshot (see `service --metrics-file`)",
+    )
+    stats.add_argument("snapshot", help="snapshot file written by the service")
+    stats.add_argument(
+        "--format", choices=("text", "json", "prometheus"), default="text",
+        help="text = operator summary, json = raw snapshot, "
+             "prometheus = exposition text (default: text)",
+    )
+    stats.add_argument(
+        "--history", type=int, default=10, metavar="N",
+        help="recent scans shown in text format (default: 10)",
     )
 
     coverage = sub.add_parser(
@@ -190,6 +223,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.waivers:
             count = policy.load_waivers(args.waivers)
             print(f"loaded {count} waiver(s)", file=sys.stderr)
+        tracer = None
+        if args.trace_out:
+            from .. import observability
+
+            tracer = observability.enable(metrics=False).tracer
         session = ValidationSession(
             policy=policy, optimize=not args.no_optimize, executor=args.executor,
             shard_timeout=args.shard_timeout,
@@ -207,6 +245,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 0 if violations == 0 else 1
         report = session.validate_file(args.spec)
+        if tracer is not None:
+            import json as _json
+
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                _json.dump(tracer.to_chrome_trace(), handle, indent=1)
+            print(
+                f"wrote {len(tracer.finished_spans())} span(s) to "
+                f"{args.trace_out}",
+                file=sys.stderr,
+            )
         if args.format == "json":
             print(report.to_json())
         else:
@@ -229,6 +277,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "service":
         return _run_service(args)
+    if args.command == "stats":
+        return _run_stats(args)
     if args.command == "fmt":
         return _run_fmt(args)
     if args.command == "gate":
@@ -307,6 +357,26 @@ def _run_gate(args) -> int:
     return 0 if report.passed else 1
 
 
+def _run_stats(args) -> int:
+    import json as _json
+
+    from ..observability import load_snapshot, render_stats
+
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except FileNotFoundError:
+        print(f"no snapshot at {args.snapshot!r} — is the service running "
+              f"with --metrics-file?", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(_json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.format == "prometheus":
+        print(snapshot.get("prometheus", ""), end="")
+    else:
+        print(render_stats(snapshot, history_limit=args.history))
+    return 0
+
+
 def _run_service(args) -> int:
     import time as _time
 
@@ -341,9 +411,14 @@ def _run_service(args) -> int:
             knobs["quarantine_threshold"] = args.quarantine_threshold
         resilience = ResiliencePolicy(**knobs)
 
+    if args.metrics_file:
+        from .. import observability
+
+        observability.enable()
+
     service = ValidationService(
         args.spec, sources, on_transition=announce, executor=args.executor,
-        resilience=resilience,
+        resilience=resilience, metrics_file=args.metrics_file,
     )
     scans = 0
     last_status = None

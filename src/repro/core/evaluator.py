@@ -19,7 +19,6 @@ Evaluates parsed CPL programs against a :class:`~repro.repository.ConfigStore`:
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence, Union
 
@@ -31,6 +30,7 @@ from ..repository.keys import InstanceKey, KeyPattern, parse_pattern
 from ..repository.model import ConfigInstance
 from ..repository.store import ConfigStore
 from ..runtime import RuntimeProvider, StaticRuntime
+from ..runtime import clock as _clock
 from ..transforms import get_transform
 from .policy import ValidationPolicy
 from .report import Severity, ValidationReport, Violation
@@ -218,7 +218,7 @@ class Evaluator:
     def _execute_spec(
         self, spec: ast.SpecStatement, ctx: Context, report: ValidationReport
     ) -> None:
-        started = time.perf_counter() if self.profile else 0.0
+        started = _clock.now() if self.profile else 0.0
         free = self._free_variables(spec, ctx)
         for bound in self._bindings(free, ctx):
             self._evaluate_spec(spec, bound, report)
@@ -226,7 +226,7 @@ class Evaluator:
             key = (spec.line, spec.text or "<spec>")
             report.spec_timings[key] = (
                 report.spec_timings.get(key, 0.0)
-                + time.perf_counter()
+                + _clock.now()
                 - started
             )
 

@@ -29,14 +29,15 @@ Two orthogonal performance features (see ``docs/PERFORMANCE.md``):
 from __future__ import annotations
 
 import os
-import time
 from typing import Optional, Sequence, Union
 
 from ..cpl import ast, parse
 from ..drivers import driver_names, get_driver
 from ..errors import ConfValleyError, DriverError
+from ..observability import get_metrics, get_tracer
 from ..repository.store import ConfigStore
 from ..runtime import RuntimeProvider, StaticRuntime
+from ..runtime import clock as _clock
 from .compiler import CompilerOptions, optimize_statements
 from .evaluator import Evaluator, Item
 from .policy import ValidationPolicy
@@ -192,25 +193,31 @@ class ValidationSession:
         parser and the Figure-4 rewrites when only data changed.
         """
         fingerprint = self._options_fingerprint()
-        if self.spec_cache is not None:
-            cached = self.spec_cache.lookup(text, fingerprint)
-            if cached is not None:
-                self._last_compile_hit = True
-                return list(cached)
-        program = parse(text)
-        has_commands = any(
-            isinstance(statement, (ast.LoadCmd, ast.IncludeCmd))
-            for statement in program.statements
-        )
-        statements = self._process_commands(program.statements)
-        if self.optimize:
-            statements = optimize_statements(statements, self.compiler_options)
-        if self.spec_cache is not None:
-            self._last_compile_hit = False
-            if has_commands:
-                self.spec_cache.note_uncacheable()
-            else:
-                self.spec_cache.store(text, fingerprint, tuple(statements))
+        with get_tracer().span("compile") as span:
+            if self.spec_cache is not None:
+                cached = self.spec_cache.lookup(text, fingerprint)
+                if cached is not None:
+                    self._last_compile_hit = True
+                    span.set(cache="hit", statements=len(cached))
+                    return list(cached)
+            program = parse(text)
+            has_commands = any(
+                isinstance(statement, (ast.LoadCmd, ast.IncludeCmd))
+                for statement in program.statements
+            )
+            statements = self._process_commands(program.statements)
+            if self.optimize:
+                statements = optimize_statements(statements, self.compiler_options)
+            if self.spec_cache is not None:
+                self._last_compile_hit = False
+                if has_commands:
+                    self.spec_cache.note_uncacheable()
+                else:
+                    self.spec_cache.store(text, fingerprint, tuple(statements))
+            span.set(
+                cache="miss" if self.spec_cache is not None else "off",
+                statements=len(statements),
+            )
         return statements
 
     def validate(
@@ -247,9 +254,25 @@ class ValidationSession:
                 report.cache_misses += 1
             self._last_compile_hit = None
         if self.executor is None:
-            started = time.perf_counter()
-            self.evaluator.run(statements, report)
-            report.elapsed_seconds += time.perf_counter() - started
+            started = _clock.now()
+            with get_tracer().span("evaluate", mode="serial", statements=len(statements)):
+                self.evaluator.run(statements, report)
+            elapsed = _clock.now() - started
+            report.elapsed_seconds += elapsed
+            metrics = get_metrics()
+            metrics.counter(
+                "confvalley_validations_total",
+                "Validation runs, by evaluation mode.",
+            ).inc(mode="serial")
+            metrics.histogram(
+                "confvalley_validation_seconds",
+                "End-to-end evaluation wall clock per validation run.",
+            ).observe(elapsed)
+            if report.violations:
+                metrics.counter(
+                    "confvalley_violations_total",
+                    "Violations found across all validation runs.",
+                ).inc(len(report.violations))
         else:
             # the parallel engine times itself (including shard fan-out)
             from ..parallel.engine import ParallelValidator
@@ -308,14 +331,14 @@ class ValidationSession:
         for chunk in chunks:
             evaluator = Evaluator(self.store, self.runtime, self.policy)
             report = ValidationReport()
-            started = time.perf_counter()
+            started = _clock.now()
             statements_for_chunk = lets + chunk
             if self.optimize:
                 statements_for_chunk = optimize_statements(
                     statements_for_chunk, self.compiler_options
                 )
             evaluator.run(statements_for_chunk, report)
-            elapsed = time.perf_counter() - started
+            elapsed = _clock.now() - started
             report.elapsed_seconds = elapsed
             results.append((report, elapsed))
         return results

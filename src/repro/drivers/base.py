@@ -17,8 +17,10 @@ from __future__ import annotations
 from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
 
 from ..errors import DriverError, UnknownDriverError
+from ..observability import get_metrics
 from ..repository.keys import InstanceKey, InstanceSegment, parse_pattern
 from ..repository.model import ConfigInstance
+from ..runtime import clock as _clock
 
 __all__ = [
     "Driver",
@@ -62,27 +64,43 @@ class Driver:
         the driver format, and (for decode failures) the byte offset —
         never as a raw ``UnicodeDecodeError`` or a parser-internal crash.
         """
+        metrics = get_metrics()
+        started = _clock.now() if metrics.enabled else 0.0
         try:
-            text = raw.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise DriverError(
-                f"source is not valid UTF-8 text ({exc.reason})",
-                path=source or None,
-                format_name=self.format_name,
-                offset=exc.start,
-            ) from exc
-        try:
-            return self.parse(text, source=source, scope=scope)
-        except DriverError as exc:
-            raise exc.with_context(
-                path=source or None, format_name=self.format_name
-            )
-        except Exception as exc:
-            raise DriverError(
-                f"unhandled {type(exc).__name__} while parsing: {exc}",
-                path=source or None,
-                format_name=self.format_name,
-            ) from exc
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise DriverError(
+                    f"source is not valid UTF-8 text ({exc.reason})",
+                    path=source or None,
+                    format_name=self.format_name,
+                    offset=exc.start,
+                ) from exc
+            try:
+                instances = self.parse(text, source=source, scope=scope)
+            except DriverError as exc:
+                raise exc.with_context(
+                    path=source or None, format_name=self.format_name
+                )
+            except Exception as exc:
+                raise DriverError(
+                    f"unhandled {type(exc).__name__} while parsing: {exc}",
+                    path=source or None,
+                    format_name=self.format_name,
+                ) from exc
+        except DriverError:
+            if metrics.enabled:
+                metrics.counter(
+                    "confvalley_driver_parse_errors_total",
+                    "Source parse failures, by driver format.",
+                ).inc(format=self.format_name)
+            raise
+        if metrics.enabled:
+            metrics.histogram(
+                "confvalley_driver_parse_seconds",
+                "Per-source parse latency, by driver format (paper Table 2).",
+            ).observe(_clock.now() - started, format=self.format_name)
+        return instances
 
 
 def register_driver(driver: Driver) -> Driver:

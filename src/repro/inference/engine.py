@@ -27,13 +27,13 @@ Heuristics implemented verbatim from the paper:
 from __future__ import annotations
 
 import math
-import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..repository.model import ConfigClass
 from ..repository.store import ConfigStore
+from ..runtime import clock as _clock
 from .constraints import (
     ConsistencyConstraint,
     Constraint,
@@ -207,7 +207,7 @@ class InferenceEngine:
     # ------------------------------------------------------------------
 
     def infer(self, store: ConfigStore) -> InferenceResult:
-        started = time.perf_counter()
+        started = _clock.now()
         result = InferenceResult()
         classes = list(store.classes())
         result.classes_analyzed = len(classes)
@@ -220,7 +220,7 @@ class InferenceEngine:
             if signature is not None:
                 equality_candidates[signature].append(config_class.class_key)
         result.constraints.extend(self._infer_equality(equality_candidates))
-        result.infer_seconds = time.perf_counter() - started
+        result.infer_seconds = _clock.now() - started
         return result
 
     # ------------------------------------------------------------------

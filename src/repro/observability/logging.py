@@ -1,0 +1,112 @@
+"""Structured logging for the validation pipeline.
+
+Every module in the pipeline logs through a child of the ``repro`` root
+logger (:func:`get_logger`), which carries a ``NullHandler`` by default —
+the library stays silent unless the embedding application (or the
+``confvalley`` CLI) opts in with :func:`configure_logging`.  Configured
+output is one JSON object per line::
+
+    {"event": "source quarantined", "level": "warning", "logger":
+     "repro.service", "path": "env03.ini", "failures": 2, ...}
+
+so a fleet's scan logs aggregate cleanly (grep, jq, or any log pipeline)
+instead of requiring a human to eyeball free-form text.  Any ``extra=``
+fields passed at the call site land as top-level JSON keys; exception info
+renders under ``"exc"``.
+
+The formatter never raises on unserializable extras — values that are not
+JSON types are stringified, because a log line must not be able to take
+down a scan.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging as _logging
+import traceback
+from typing import Optional
+
+__all__ = ["JsonFormatter", "get_logger", "configure_logging", "reset_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: LogRecord attributes that are plumbing, not payload
+_RESERVED = frozenset(
+    vars(
+        _logging.LogRecord("", 0, "", 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str = "") -> _logging.Logger:
+    """A logger under the ``repro`` root (``get_logger("service")`` →
+    ``repro.service``)."""
+    if not name:
+        return _logging.getLogger(ROOT_LOGGER_NAME)
+    return _logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class JsonFormatter(_logging.Formatter):
+    """One sorted-key JSON object per record."""
+
+    def format(self, record: _logging.LogRecord) -> str:
+        payload = {
+            "event": record.getMessage(),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key in payload:
+                continue
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                payload[key] = value
+            else:
+                payload[key] = str(value)
+        if record.exc_info and record.exc_info[0] is not None:
+            buffer = io.StringIO()
+            traceback.print_exception(*record.exc_info, file=buffer)
+            payload["exc"] = buffer.getvalue().rstrip()
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+# the handler configure_logging installed, so it can be swapped/removed
+_configured_handler: Optional[_logging.Handler] = None
+
+# library default: silent unless the application configures logging
+get_logger().addHandler(_logging.NullHandler())
+
+
+def configure_logging(
+    level: int = _logging.INFO,
+    stream=None,
+    formatter: Optional[_logging.Formatter] = None,
+) -> _logging.Handler:
+    """Attach a JSON stream handler to the ``repro`` root logger.
+
+    Idempotent: a handler installed by a previous call is replaced, not
+    stacked.  Returns the installed handler.  ``stream`` defaults to
+    stderr; pass any writable object (tests use ``io.StringIO``).
+    """
+    global _configured_handler
+    root = get_logger()
+    if _configured_handler is not None:
+        root.removeHandler(_configured_handler)
+    handler = _logging.StreamHandler(stream)
+    handler.setFormatter(formatter if formatter is not None else JsonFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    _configured_handler = handler
+    return handler
+
+
+def reset_logging() -> None:
+    """Remove the configured handler; back to the silent library default."""
+    global _configured_handler
+    root = get_logger()
+    if _configured_handler is not None:
+        root.removeHandler(_configured_handler)
+        _configured_handler = None
+    root.setLevel(_logging.NOTSET)
+    root.propagate = True

@@ -1,0 +1,481 @@
+"""Process-wide metrics: counters, gauges, histograms, exposition.
+
+The registry is the quantitative half of :mod:`repro.observability`: every
+instrumentation hook in the pipeline (spec-cache lookups, driver parse
+latency, shard dispatch, quarantine admissions, breaker trips, scan
+outcomes) feeds a metric family here, and the whole registry renders as
+
+* **Prometheus text exposition format** (:meth:`MetricsRegistry.to_prometheus`),
+  the de-facto scrape format for cloud monitoring, and
+* **JSON** (:meth:`MetricsRegistry.to_dict`), for the service's snapshot
+  file and the ``confvalley stats`` subcommand.
+
+Design constraints, in order:
+
+1. **nil-cost when disabled** — the default registry is
+   :data:`NULL_REGISTRY`; every ``counter()``/``gauge()``/``histogram()``
+   call on it returns one shared no-op metric, so instrumented code pays a
+   single attribute call per hook and allocates nothing;
+2. **deterministic** — histogram bucket boundaries are fixed constants
+   (:data:`DEFAULT_BUCKETS`), label sets render sorted, and exposition
+   output is a pure function of the recorded observations, so tests can
+   compare text output byte-for-byte;
+3. **thread-safe** — one registry is shared by thread-pool shard workers;
+   a single lock guards family creation and all value updates (the hooks
+   are coarse-grained, so contention is negligible).
+
+Metrics recorded inside *fork* shard workers die with the worker — by
+design.  Everything worth keeping (shard wall clocks, unit counts) travels
+back in the :class:`~repro.parallel.engine.ShardResult` and is recorded by
+the parent at merge time, so expositions are complete under every executor.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetric",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "parse_prometheus",
+]
+
+#: fixed, deterministic latency buckets (seconds): micro-benchmark floor to
+#: worst-case scan ceiling.  Fixed boundaries keep expositions comparable
+#: across runs and hosts — never derived from observed data.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical (sorted) label identity for one time series."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(name, value.replace("\\", "\\\\").replace('"', '\\"'))
+        for name, value in key
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    """Render ints without a trailing ``.0`` (Prometheus-conventional)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared bookkeeping for one metric family (all its label series)."""
+
+    kind = ""
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+        self._series: dict[tuple, float] = {}
+
+    def _check_labels(self, labels: dict) -> tuple:
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        return _label_key(labels)
+
+    # -- reading -------------------------------------------------------
+
+    def value(self, **labels) -> float:
+        """Current value of one series (0.0 when never touched)."""
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[tuple, float]:
+        with self._lock:
+            return dict(self._series)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "help": self.help,
+                "series": [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(self._series.items())
+                ],
+            }
+
+    def expose(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        with self._lock:
+            series = sorted(self._series.items())
+        if not series:
+            # an exposition should still advertise families that exist but
+            # have no observations yet — emit the unlabeled zero series
+            series = [((), 0.0)]
+        for key, value in series:
+            lines.append(f"{self.name}{_render_labels(key)} {_format_value(value)}")
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._check_labels(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depths, open breakers)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._check_labels(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._check_labels(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with fixed, deterministic boundaries."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.Lock,
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(name, help_text, lock)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be sorted and distinct")
+        self.buckets = bounds
+        #: label key → [per-bucket counts..., +Inf count], plus sum/count
+        self._bucket_counts: dict[tuple, list[int]] = {}
+        self._sums: dict[tuple, float] = {}
+        self._counts: dict[tuple, int] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._check_labels(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            counts = self._bucket_counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._bucket_counts[key] = counts
+            counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    # -- reading -------------------------------------------------------
+
+    def count(self, **labels) -> int:
+        return self._counts.get(_label_key(labels), 0)
+
+    def sum(self, **labels) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "help": self.help,
+                "buckets": list(self.buckets),
+                "series": [
+                    {
+                        "labels": dict(key),
+                        "counts": list(counts),
+                        "sum": self._sums.get(key, 0.0),
+                        "count": self._counts.get(key, 0),
+                    }
+                    for key, counts in sorted(self._bucket_counts.items())
+                ],
+            }
+
+    def expose(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} histogram")
+        with self._lock:
+            series = sorted(self._bucket_counts.items())
+            if not series:
+                series = [((), [0] * (len(self.buckets) + 1))]
+            for key, counts in series:
+                cumulative = 0
+                for bound, count in zip(self.buckets, counts):
+                    cumulative += count
+                    bucket_key = key + (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{self.name}_bucket{_render_labels(bucket_key)} {cumulative}"
+                    )
+                cumulative += counts[-1]
+                inf_key = key + (("le", "+Inf"),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(inf_key)} {cumulative}"
+                )
+                lines.append(
+                    f"{self.name}_sum{_render_labels(key)} "
+                    f"{_format_value(self._sums.get(key, 0.0))}"
+                )
+                lines.append(
+                    f"{self.name}_count{_render_labels(key)} "
+                    f"{self._counts.get(key, 0)}"
+                )
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families, exposition included."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Metric] = {}
+
+    def _family(self, name: str, help_text: str, factory) -> _Metric:
+        with self._lock:
+            metric = self._families.get(name)
+            if metric is None:
+                metric = factory(name, help_text, self._lock)
+                self._families[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        metric = self._family(name, help_text, Counter)
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        metric = self._family(name, help_text, Gauge)
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        metric = self._family(
+            name,
+            help_text,
+            lambda n, h, lock: Histogram(n, h, lock, buckets),
+        )
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    # -- exposition ----------------------------------------------------
+
+    def families(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        for name in self.families():
+            lines.extend(self._families[name].expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        return {name: self._families[name].to_dict() for name in self.families()}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+class NullMetric:
+    """Shared do-nothing metric: every mutator is a no-op, every read zero."""
+
+    kind = "null"
+    buckets = DEFAULT_BUCKETS
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        pass
+
+    def set(self, value: float, **labels) -> None:
+        pass
+
+    def observe(self, value: float, **labels) -> None:
+        pass
+
+    def value(self, **labels) -> float:
+        return 0.0
+
+    def count(self, **labels) -> int:
+        return 0
+
+    def sum(self, **labels) -> float:
+        return 0.0
+
+
+_NULL_METRIC = NullMetric()
+
+
+class NullRegistry:
+    """The disabled-mode registry: hands out one shared no-op metric."""
+
+    enabled = False
+
+    def counter(self, name: str, help_text: str = "") -> NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help_text: str = "") -> NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help_text: str = "", buckets=None) -> NullMetric:
+        return _NULL_METRIC
+
+    def families(self) -> list[str]:
+        return []
+
+    def to_prometheus(self) -> str:
+        return ""
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def to_json(self, indent: int = 2) -> str:
+        return "{}"
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Exposition validation (tests, `make obs-smoke`)
+# ---------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse (and thereby validate) Prometheus text exposition output.
+
+    Returns ``{family name: {"type": ..., "help": ..., "samples":
+    [(sample name, labels dict, value), ...]}}``.  Raises ``ValueError`` on
+    any line that is not a well-formed comment or sample — this is the
+    checker behind ``make obs-smoke``, strict enough to catch label-quoting
+    and value-formatting regressions without reimplementing a scraper.
+    """
+    families: dict[str, dict] = {}
+
+    def family_for(sample_name: str) -> Optional[dict]:
+        for suffix in ("", "_bucket", "_sum", "_count"):
+            base = sample_name[: len(sample_name) - len(suffix)] if suffix else sample_name
+            if suffix and not sample_name.endswith(suffix):
+                continue
+            if base in families:
+                return families[base]
+        return None
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {line_number}: malformed comment: {line!r}")
+            kind, name = parts[1], parts[2]
+            family = families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )
+            if kind == "TYPE":
+                family["type"] = parts[3] if len(parts) > 3 else "untyped"
+            else:
+                family["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {line_number}: malformed sample: {line!r}")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                pair_match = _LABEL_PAIR_RE.match(pair.strip())
+                if not pair_match:
+                    raise ValueError(
+                        f"line {line_number}: malformed label pair {pair!r}"
+                    )
+                labels[pair_match.group(1)] = pair_match.group(2)
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            if match.group("value") not in ("+Inf", "-Inf", "NaN"):
+                raise ValueError(
+                    f"line {line_number}: malformed value {match.group('value')!r}"
+                ) from None
+            value = float(match.group("value").replace("Inf", "inf"))
+        family = family_for(match.group("name"))
+        if family is None:
+            family = families.setdefault(
+                match.group("name"), {"type": "untyped", "help": "", "samples": []}
+            )
+        family["samples"].append((match.group("name"), labels, value))
+    return families

@@ -1,0 +1,315 @@
+"""Hierarchical pipeline tracing: spans, span contexts, trace export.
+
+One validation scan decomposes into the span tree the paper's evaluation
+reasons about (Tables 8–9: where does scan time go?)::
+
+    scan
+    ├── discover              change detection + source loading
+    │   └── load[source]      one per attempted configuration source
+    ├── compile               parse + Figure-4 rewrites (or cache hit)
+    └── evaluate              serial evaluation, or the sharded engine
+        ├── shard[label]      one per shard, recorded *inside* the worker
+        │   └── evaluate(stmt)  one per top-level statement in the shard
+        └── ...
+
+Spans cross the executor boundary by construction rather than by luck: the
+parent allocates a :class:`SpanContext` (a tiny picklable dataclass) and
+ships it inside :class:`~repro.parallel.engine.WorkerState`; each worker —
+thread, fork child, or the supervisor's serial re-run — builds its own
+:class:`Tracer` rooted at that context with a shard-unique span-id prefix,
+and its finished spans travel back inside the
+:class:`~repro.parallel.engine.ShardResult`.  At merge time the parent
+calls :meth:`Tracer.adopt`, and because every worker span already names
+its parent, the re-parented tree assembles itself — including spans from
+shards the supervision ladder re-ran serially (their timed-out first
+attempts are discarded along with their results, so no orphan spans).
+
+Export formats:
+
+* :meth:`Tracer.to_json` — flat span list, one dict per span;
+* :meth:`Tracer.span_tree` — nested parent→children view for tests/tools;
+* :meth:`Tracer.to_chrome_trace` — Chrome ``trace_event`` JSON (load it at
+  ``chrome://tracing`` or https://ui.perfetto.dev).
+
+Timestamps come from :mod:`repro.runtime.clock`, so a
+:class:`~repro.runtime.clock.FakeClock` makes span durations — and hence
+whole trace files — deterministic.  Span ids are sequence numbers, never
+random, for the same reason.
+
+When tracing is disabled the process-wide tracer is :data:`NULL_TRACER`:
+``span()`` returns one shared reentrant no-op context manager, so
+instrumented code costs an attribute lookup and a method call — nothing
+is allocated and no clock is read.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..runtime import clock as _clock
+
+__all__ = ["SpanContext", "SpanHandle", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Picklable pointer to a live span: travels into shard workers."""
+
+    trace_id: str
+    span_id: str
+
+
+class SpanHandle:
+    """Mutable view of an open span; ``set`` attaches attributes."""
+
+    __slots__ = ("_record",)
+
+    def __init__(self, record: dict):
+        self._record = record
+
+    def set(self, **attrs) -> "SpanHandle":
+        self._record["attrs"].update(attrs)
+        return self
+
+    @property
+    def span_id(self) -> str:
+        return self._record["span_id"]
+
+    @property
+    def name(self) -> str:
+        return self._record["name"]
+
+
+class _SpanScope:
+    """Context manager for one span: times it and maintains the stack."""
+
+    __slots__ = ("_tracer", "_handle")
+
+    def __init__(self, tracer: "Tracer", handle: SpanHandle):
+        self._tracer = tracer
+        self._handle = handle
+
+    def __enter__(self) -> SpanHandle:
+        return self._handle
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._handle._record["attrs"]["error"] = exc_type.__name__
+        self._tracer._finish(self._handle._record)
+        return False
+
+
+class Tracer:
+    """Collects timestamped hierarchical spans for one process/worker.
+
+    ``origin`` roots this tracer under a span owned by another tracer
+    (the worker side of the executor boundary); ``prefix`` namespaces the
+    span ids so merged trees never collide across workers.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace_id: str = "trace",
+        origin: Optional[SpanContext] = None,
+        prefix: str = "",
+    ):
+        self.trace_id = origin.trace_id if origin is not None else trace_id
+        self._origin = origin
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._finished: list[dict] = []
+        self._local = threading.local()
+
+    # -- span lifecycle ------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"{self._prefix}{self._counter}"
+
+    def span(self, name: str, **attrs) -> _SpanScope:
+        """Open a span as a context manager; the parent is the innermost
+        open span on this thread, else this tracer's origin context."""
+        stack = self._stack()
+        if stack:
+            parent_id = stack[-1]["span_id"]
+        elif self._origin is not None:
+            parent_id = self._origin.span_id
+        else:
+            parent_id = ""
+        record = {
+            "span_id": self._next_id(),
+            "parent_id": parent_id,
+            "name": name,
+            "start": _clock.now(),
+            "end": None,
+            "attrs": dict(attrs),
+        }
+        stack.append(record)
+        return _SpanScope(self, SpanHandle(record))
+
+    def _finish(self, record: dict) -> None:
+        record["end"] = _clock.now()
+        stack = self._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; never drop the record
+            try:
+                stack.remove(record)
+            except ValueError:
+                pass
+        with self._lock:
+            self._finished.append(record)
+
+    def current_context(self) -> Optional[SpanContext]:
+        """Context of the innermost open span (for shipping to workers)."""
+        stack = self._stack()
+        if not stack:
+            return self._origin
+        return SpanContext(self.trace_id, stack[-1]["span_id"])
+
+    # -- merging -------------------------------------------------------
+
+    def adopt(self, spans: Iterable[dict]) -> int:
+        """Fold finished spans from a worker tracer into this one.
+
+        The spans already carry parent ids allocated from this tracer's
+        tree (via the :class:`SpanContext` the worker was rooted at), so
+        adoption *is* the re-parenting step of the merge.
+        """
+        adopted = [dict(span) for span in spans]
+        with self._lock:
+            self._finished.extend(adopted)
+        return len(adopted)
+
+    # -- reading / export ----------------------------------------------
+
+    def finished_spans(self) -> list[dict]:
+        with self._lock:
+            return [dict(span) for span in self._finished]
+
+    def find(self, name: str) -> list[dict]:
+        """All finished spans with the given name (test convenience)."""
+        return [span for span in self.finished_spans() if span["name"] == name]
+
+    def span_tree(self) -> list[dict]:
+        """Finished spans as a nested forest (children inside parents)."""
+        spans = self.finished_spans()
+        by_id = {span["span_id"]: dict(span, children=[]) for span in spans}
+        roots: list[dict] = []
+        for span in spans:
+            node = by_id[span["span_id"]]
+            parent = by_id.get(span["parent_id"])
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {"trace_id": self.trace_id, "spans": self.finished_spans()},
+            indent=indent,
+            sort_keys=True,
+        )
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` format: complete ("X") events.
+
+        Span ids double as flow identifiers; the worker prefix (everything
+        before the last ``:``) becomes the ``tid`` so each shard renders as
+        its own row in the viewer.
+        """
+        events = []
+        for span in self.finished_spans():
+            span_id = span["span_id"]
+            prefix, __, __ = span_id.rpartition(":")
+            end = span["end"] if span["end"] is not None else span["start"]
+            events.append(
+                {
+                    "name": span["name"],
+                    "ph": "X",
+                    "ts": round(span["start"] * 1e6, 3),
+                    "dur": round((end - span["start"]) * 1e6, 3),
+                    "pid": self.trace_id,
+                    "tid": prefix or "main",
+                    "args": dict(span["attrs"], span_id=span_id,
+                                 parent_id=span["parent_id"]),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+
+class _NullScope:
+    """Reentrant, stateless no-op span scope shared by every call site."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullScope":
+        return self
+
+    span_id = ""
+    name = ""
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullTracer:
+    """Disabled-mode tracer: free to call, records nothing."""
+
+    enabled = False
+    trace_id = ""
+
+    def span(self, name: str, **attrs) -> _NullScope:
+        return _NULL_SCOPE
+
+    def current_context(self) -> None:
+        return None
+
+    def adopt(self, spans: Iterable[dict]) -> int:
+        return 0
+
+    def finished_spans(self) -> list[dict]:
+        return []
+
+    def find(self, name: str) -> list[dict]:
+        return []
+
+    def span_tree(self) -> list[dict]:
+        return []
+
+    def to_json(self, indent: int = 2) -> str:
+        return "{}"
+
+    def to_chrome_trace(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

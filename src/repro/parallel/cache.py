@@ -32,7 +32,16 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
+from ..observability import get_metrics
+
 __all__ = ["SpecCache", "SpecCacheStats"]
+
+
+def _lookup_counter():
+    return get_metrics().counter(
+        "confvalley_spec_cache_lookups_total",
+        "Compiled-spec cache lookups, by result.",
+    )
 
 
 @dataclass
@@ -80,9 +89,11 @@ class SpecCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                _lookup_counter().inc(result="miss")
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _lookup_counter().inc(result="hit")
             return entry
 
     def store(self, text: str, options_fingerprint: Hashable, statements) -> None:
@@ -93,11 +104,19 @@ class SpecCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                get_metrics().counter(
+                    "confvalley_spec_cache_evictions_total",
+                    "Compiled-spec cache LRU evictions.",
+                ).inc()
 
     def note_uncacheable(self) -> None:
         """Record a compile that could not be cached (load/include)."""
         with self._lock:
             self.stats.uncacheable += 1
+            get_metrics().counter(
+                "confvalley_spec_cache_uncacheable_total",
+                "Compiles skipped by the cache (load/include side effects).",
+            ).inc()
 
     def clear(self) -> None:
         with self._lock:

@@ -25,7 +25,6 @@ with cross-statement behavior) are rejected by
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -33,8 +32,11 @@ from ..core.evaluator import Context, Evaluator
 from ..core.policy import ValidationPolicy
 from ..core.report import ValidationReport
 from ..cpl import ast
+from ..observability import get_metrics, get_tracer
+from ..observability.tracing import NULL_TRACER, SpanContext, Tracer
 from ..repository.store import ConfigStore
 from ..runtime import RuntimeProvider, StaticRuntime
+from ..runtime import clock as _clock
 from .executors import ExecutorLike, resolve_executor
 from .shards import Shard, Unit, is_parallel_safe, partition_statements
 
@@ -59,6 +61,10 @@ class WorkerState:
     #: so it pickles/forks; breaker decisions travel in, captured spec
     #: errors travel back inside each unit report's health block
     guard: object = None
+    #: optional tracing context (repro.observability.SpanContext, picklable):
+    #: when set, the worker roots a local tracer under this span and ships
+    #: its finished spans back inside the ShardResult for merge adoption
+    trace: Optional[SpanContext] = None
 
 
 @dataclass
@@ -68,11 +74,22 @@ class ShardResult:
     label: str
     unit_reports: list[tuple[int, ValidationReport]]
     seconds: float
+    #: finished worker-side spans (empty unless tracing was enabled)
+    spans: list = field(default_factory=list)
 
 
 def evaluate_shard(state: WorkerState, shard: Shard) -> ShardResult:
     """Evaluate one shard's units in order, one report per unit."""
-    started = time.perf_counter()
+    started = _clock.now()
+    # worker-side tracer: rooted at the engine's span, span ids namespaced
+    # by parent-span + shard label so merged trees never collide
+    if state.trace is not None:
+        tracer = Tracer(
+            origin=state.trace,
+            prefix=f"{state.trace.span_id}/{shard.label}:",
+        )
+    else:
+        tracer = NULL_TRACER
     evaluator = Evaluator(
         state.store,
         state.runtime,
@@ -83,21 +100,33 @@ def evaluate_shard(state: WorkerState, shard: Shard) -> ShardResult:
     )
     let_position = 0
     unit_reports: list[tuple[int, ValidationReport]] = []
-    for unit in shard.units:
-        while (
-            let_position < len(state.lets)
-            and state.lets[let_position].index < unit.index
-        ):
-            let = state.lets[let_position].statement
-            evaluator.macros[let.name] = let.predicate
-            let_position += 1
-        unit_report = ValidationReport()
-        if state.guard is not None:
-            evaluator.execute_guarded(unit.statement, Context(), unit_report)
-        else:
-            evaluator.execute_statement(unit.statement, Context(), unit_report)
-        unit_reports.append((unit.index, unit_report))
-    return ShardResult(shard.label, unit_reports, time.perf_counter() - started)
+    with tracer.span(f"shard[{shard.label}]", units=len(shard.units)):
+        for unit in shard.units:
+            while (
+                let_position < len(state.lets)
+                and state.lets[let_position].index < unit.index
+            ):
+                let = state.lets[let_position].statement
+                evaluator.macros[let.name] = let.predicate
+                let_position += 1
+            unit_report = ValidationReport()
+            with tracer.span(
+                "evaluate(stmt)",
+                index=unit.index,
+                stmt=type(unit.statement).__name__,
+                line=getattr(unit.statement, "line", 0) or 0,
+            ):
+                if state.guard is not None:
+                    evaluator.execute_guarded(unit.statement, Context(), unit_report)
+                else:
+                    evaluator.execute_statement(unit.statement, Context(), unit_report)
+            unit_reports.append((unit.index, unit_report))
+    return ShardResult(
+        shard.label,
+        unit_reports,
+        _clock.now() - started,
+        spans=tracer.finished_spans(),
+    )
 
 
 def _absorb(report: ValidationReport, unit_report: ValidationReport) -> None:
@@ -181,48 +210,83 @@ class ParallelValidator:
         the session resolves those, and the compiler has already run)."""
         if report is None:
             report = ValidationReport()
-        started = time.perf_counter()
-        if not is_parallel_safe(statements, self.policy):
-            result = self._serial_fallback(statements, report, macros)
-            result.elapsed_seconds += time.perf_counter() - started
-            return result
-        max_shards = self.max_shards or _SHARDS_PER_CORE * (os.cpu_count() or 1)
-        lets, shards = partition_statements(statements, max_shards)
-        state = WorkerState(
-            store=self.store,
-            runtime=self.runtime,
-            policy=self.policy,
-            macros=dict(macros) if macros else {},
-            lets=lets,
-            profile=self.profile,
-            guard=self.guard,
-        )
-        estimated_work = len(statements) * max(1, self.store.instance_count)
-        executor = resolve_executor(
-            self.executor, len(shards), estimated_work, self.max_workers
-        )
-        if self.shard_timeout is not None and shards:
-            from .supervision import run_supervised
-
-            results, shard_failures = run_supervised(
-                executor, state, shards, self.shard_timeout, self.shard_retries
+        tracer = get_tracer()
+        metrics = get_metrics()
+        started = _clock.now()
+        with tracer.span("evaluate", mode="parallel") as span:
+            if not is_parallel_safe(statements, self.policy):
+                span.set(fallback="serial")
+                result = self._serial_fallback(statements, report, macros)
+                result.elapsed_seconds += _clock.now() - started
+                return result
+            max_shards = self.max_shards or _SHARDS_PER_CORE * (os.cpu_count() or 1)
+            lets, shards = partition_statements(statements, max_shards)
+            state = WorkerState(
+                store=self.store,
+                runtime=self.runtime,
+                policy=self.policy,
+                macros=dict(macros) if macros else {},
+                lets=lets,
+                profile=self.profile,
+                guard=self.guard,
+                trace=tracer.current_context() if tracer.enabled else None,
             )
-            for failure in shard_failures:
-                report.health.shard_failures.append(failure.to_dict())
-                report.health.retries += max(0, failure.attempts - 1)
-            report.health.finalize()
-        else:
-            results = executor.run(state, shards) if shards else []
-        merged: list[tuple[int, ValidationReport]] = []
-        for result in results:
-            merged.extend(result.unit_reports)
-        merged.sort(key=lambda pair: pair[0])
-        for __, unit_report in merged:
-            _absorb(report, unit_report)
-        report.shards_run += len(shards)
-        report.executor = executor.name
-        report.shard_timings.extend(
-            (result.label, result.seconds) for result in results
-        )
-        report.elapsed_seconds += time.perf_counter() - started
+            estimated_work = len(statements) * max(1, self.store.instance_count)
+            executor = resolve_executor(
+                self.executor, len(shards), estimated_work, self.max_workers
+            )
+            span.set(executor=executor.name, shards=len(shards))
+            if self.shard_timeout is not None and shards:
+                from .supervision import run_supervised
+
+                results, shard_failures = run_supervised(
+                    executor, state, shards, self.shard_timeout, self.shard_retries
+                )
+                for failure in shard_failures:
+                    report.health.shard_failures.append(failure.to_dict())
+                    report.health.retries += max(0, failure.attempts - 1)
+                report.health.finalize()
+            else:
+                results = executor.run(state, shards) if shards else []
+            merged: list[tuple[int, ValidationReport]] = []
+            for result in results:
+                merged.extend(result.unit_reports)
+                # merge adoption: worker spans already point at this engine's
+                # span via the shipped SpanContext, so adopting re-parents them
+                if result.spans:
+                    tracer.adopt(result.spans)
+            merged.sort(key=lambda pair: pair[0])
+            for __, unit_report in merged:
+                _absorb(report, unit_report)
+            report.shards_run += len(shards)
+            report.executor = executor.name
+            report.shard_timings.extend(
+                (result.label, result.seconds) for result in results
+            )
+        elapsed = _clock.now() - started
+        report.elapsed_seconds += elapsed
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_validations_total",
+                "Validation runs, by evaluation mode.",
+            ).inc(mode="parallel")
+            metrics.counter(
+                "confvalley_shards_total",
+                "Shards dispatched, by executor.",
+            ).inc(len(shards), executor=executor.name)
+            shard_seconds = metrics.histogram(
+                "confvalley_shard_seconds",
+                "Per-shard evaluation wall clock.",
+            )
+            for result in results:
+                shard_seconds.observe(result.seconds, executor=executor.name)
+            metrics.histogram(
+                "confvalley_validation_seconds",
+                "End-to-end evaluation wall clock per validation run.",
+            ).observe(elapsed)
+            if report.violations:
+                metrics.counter(
+                    "confvalley_violations_total",
+                    "Violations found across all validation runs.",
+                ).inc(len(report.violations))
         return report

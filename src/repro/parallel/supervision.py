@@ -32,12 +32,15 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from ..observability import get_logger, get_metrics
 from .executors import (
     ExecutorLike,
     ProcessShardExecutor,
     SerialExecutor,
     ThreadShardExecutor,
 )
+
+_log = get_logger("parallel.supervision")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import ShardResult, WorkerState
@@ -94,10 +97,35 @@ def run_supervised(
     if not shards:
         return [], []
     if isinstance(executor, SerialExecutor):
-        return _serial_dispatch(state, shards, retries)
-    if isinstance(executor, ProcessShardExecutor):
-        return _process_dispatch(executor, state, shards, timeout, retries)
-    return _thread_dispatch(executor, state, shards, timeout, retries)
+        results, failures = _serial_dispatch(state, shards, retries)
+    elif isinstance(executor, ProcessShardExecutor):
+        results, failures = _process_dispatch(executor, state, shards, timeout, retries)
+    else:
+        results, failures = _thread_dispatch(executor, state, shards, timeout, retries)
+    if failures:
+        metrics = get_metrics()
+        for failure in failures:
+            metrics.counter(
+                "confvalley_shard_failures_total",
+                "Shard timeouts/crashes, by kind and ladder outcome.",
+            ).inc(kind=failure.kind, recovered=failure.recovered)
+            retry_count = max(0, failure.attempts - 1)
+            if retry_count:
+                metrics.counter(
+                    "confvalley_shard_retries_total",
+                    "Shard dispatch retries spent by the fallback ladder.",
+                ).inc(retry_count)
+            _log.warning(
+                "shard failure",
+                extra={
+                    "shard": failure.label,
+                    "kind": failure.kind,
+                    "recovered": failure.recovered,
+                    "attempts": failure.attempts,
+                    "error": failure.error,
+                },
+            )
+    return results, failures
 
 
 # ---------------------------------------------------------------------------

@@ -32,8 +32,11 @@ from dataclasses import dataclass, field
 
 from ..cpl import ast
 from ..cpl.printer import print_statement
+from ..observability import get_logger, get_metrics
 
 __all__ = ["statement_key", "SpecGuard", "SpecCircuitBreaker"]
+
+_log = get_logger("resilience.breaker")
 
 
 def statement_key(statement: ast.Statement) -> str:
@@ -142,6 +145,18 @@ class SpecCircuitBreaker:
             if tripping:
                 if state.state != "open":
                     state.trips += 1
+                    get_metrics().counter(
+                        "confvalley_breaker_trips_total",
+                        "Spec circuit-breaker trips (closed/half-open to open).",
+                    ).inc()
+                    _log.warning(
+                        "spec breaker tripped",
+                        extra={
+                            "spec": key,
+                            "failures": state.consecutive_failures,
+                            "error": error,
+                        },
+                    )
                 state.state = "open"
                 state.opened_at_scan = self._scan
         # every tracked statement that neither raised nor was skipped ran
@@ -150,6 +165,10 @@ class SpecCircuitBreaker:
         for key in list(self._states):
             if key not in errored and key not in skipped:
                 del self._states[key]
+        get_metrics().gauge(
+            "confvalley_breakers_open",
+            "Spec circuit breakers currently open or half-open.",
+        ).set(self.open_count())
 
     # ------------------------------------------------------------------
 

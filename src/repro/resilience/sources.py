@@ -25,9 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..observability import get_logger, get_metrics
 from .policy import ResiliencePolicy
 
 __all__ = ["SourceFailure", "SourceSupervisor"]
+
+_log = get_logger("resilience.sources")
 
 
 @dataclass(frozen=True)
@@ -104,10 +107,19 @@ class SourceSupervisor:
         mtime: Optional[float] = None,
     ) -> SourceFailure:
         """Register a failed load attempt; schedules the next probe."""
+        metrics = get_metrics()
+        metrics.counter(
+            "confvalley_source_failures_total",
+            "Source load failures observed by the supervisor, by kind.",
+        ).inc(kind=kind)
         state = self._states.setdefault(path, _SourceState())
         state.failures += 1
         if state.failures == 1:
             state.first_failed_scan = self._scan
+            metrics.counter(
+                "confvalley_source_quarantine_admits_total",
+                "Sources admitted to quarantine (first failure).",
+            ).inc()
         state.mtime_at_failure = mtime
         delay = min(
             self.policy.source_backoff_base * 2 ** (state.failures - 1),
@@ -128,11 +140,38 @@ class SourceSupervisor:
             failures=state.failures,
         )
         state.last = failure
+        metrics.gauge(
+            "confvalley_sources_quarantined",
+            "Sources currently in quarantine.",
+        ).set(len(self._states))
+        _log.warning(
+            "source quarantined",
+            extra={
+                "path": path,
+                "format": format_name,
+                "kind": kind,
+                "failures": state.failures,
+                "exhausted": state.exhausted,
+                "error": error,
+            },
+        )
         return failure
 
     def record_success(self, path: str) -> bool:
         """Source loaded cleanly: re-admit it.  True when it was quarantined."""
-        return self._states.pop(path, None) is not None
+        evicted = self._states.pop(path, None) is not None
+        if evicted:
+            metrics = get_metrics()
+            metrics.counter(
+                "confvalley_source_quarantine_evictions_total",
+                "Sources evicted from quarantine by a clean load.",
+            ).inc()
+            metrics.gauge(
+                "confvalley_sources_quarantined",
+                "Sources currently in quarantine.",
+            ).set(len(self._states))
+            _log.info("source re-admitted", extra={"path": path})
+        return evicted
 
     # ------------------------------------------------------------------
 

@@ -1,5 +1,6 @@
-"""Runtime information and filesystem abstractions (paper §4.3)."""
+"""Runtime information, filesystem and clock abstractions (paper §4.3)."""
 
+from .clock import Clock, FakeClock, MonotonicClock, get_clock, set_clock
 from .filesystem import FakeFileSystem, FileSystem, RealFileSystem
 from .info import HostRuntime, RuntimeProvider, StaticRuntime
 
@@ -10,4 +11,9 @@ __all__ = [
     "RuntimeProvider",
     "HostRuntime",
     "StaticRuntime",
+    "Clock",
+    "MonotonicClock",
+    "FakeClock",
+    "get_clock",
+    "set_clock",
 ]

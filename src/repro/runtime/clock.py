@@ -1,0 +1,87 @@
+"""Injectable monotonic clock for timing instrumentation.
+
+Every wall-clock measurement in the validation pipeline — report
+``elapsed_seconds``, per-spec profile timings, shard timings, inference
+latency, observability spans and histograms — reads the *process clock*
+installed here instead of calling ``time.perf_counter()`` directly.  In
+production the default :class:`MonotonicClock` is exactly
+``time.perf_counter``; tests and the chaos/observability harnesses install
+a :class:`FakeClock` so timing-derived behavior (span durations, histogram
+buckets, overhead accounting) is fully deterministic.
+
+The clock is process-wide on purpose: fork-based shard workers inherit it
+through copy-on-write memory, and thread workers share it, so one
+``set_clock`` call governs the whole pipeline.  It is *not* part of
+:class:`~repro.runtime.info.RuntimeProvider` — providers travel into
+worker processes by pickling, while the clock must stay ambient.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Clock", "MonotonicClock", "FakeClock", "get_clock", "set_clock", "now"]
+
+
+class Clock:
+    """Monotonic time source: ``now()`` returns seconds as a float."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The production clock — delegates to ``time.perf_counter``."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """Deterministic clock for tests.
+
+    ``tick`` seconds elapse automatically on every :meth:`now` call (so two
+    consecutive reads always order correctly, like a real monotonic clock);
+    :meth:`advance` models explicit passage of time.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0):
+        self._now = float(start)
+        self.tick = float(tick)
+        self.reads = 0
+
+    def now(self) -> float:
+        self.reads += 1
+        current = self._now
+        self._now += self.tick
+        return current
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds
+
+
+_clock: Clock = MonotonicClock()
+
+
+def get_clock() -> Clock:
+    """The currently installed process clock."""
+    return _clock
+
+
+def set_clock(clock: Optional[Clock]) -> Clock:
+    """Install ``clock`` (``None`` restores the monotonic default).
+
+    Returns the previously installed clock so callers can restore it.
+    """
+    global _clock
+    previous = _clock
+    _clock = clock if clock is not None else MonotonicClock()
+    return previous
+
+
+def now() -> float:
+    """Read the installed clock (the pipeline's ``perf_counter``)."""
+    return _clock.now()

@@ -25,6 +25,7 @@ changed, the spec file's parse + compiler rewrites are reused from cache
 from __future__ import annotations
 
 import os
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -32,11 +33,14 @@ from .core.policy import ValidationPolicy
 from .core.report import HealthBlock, ValidationReport
 from .core.session import ValidationSession
 from .errors import DriverError
+from .observability import get_logger, get_metrics, get_tracer, write_snapshot
 from .parallel.cache import SpecCache, SpecCacheStats
 from .resilience import ResiliencePolicy, SourceSupervisor, SpecCircuitBreaker
 from .runtime import RuntimeProvider
 
 __all__ = ["SourceSpec", "ScanResult", "ValidationService"]
+
+_log = get_logger("service")
 
 
 @dataclass(frozen=True)
@@ -83,6 +87,7 @@ class ValidationService:
         executor: Optional[str] = None,
         spec_cache: Optional[SpecCache] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        metrics_file: Optional[str] = None,
     ):
         self.spec_path = spec_path
         self.sources = list(sources)
@@ -110,6 +115,12 @@ class ValidationService:
         else:
             self.source_supervisor = None
             self.breaker = None
+        #: observability snapshot target: atomically rewritten after every
+        #: scan that validated (see repro.observability.snapshot)
+        self.metrics_file = metrics_file
+        #: bounded ring of per-scan summary records (plain dicts, JSON-safe)
+        #: — the queryable scan history behind `confvalley stats`
+        self.scan_records: "deque[dict]" = deque(maxlen=history_limit)
         self.scans = 0
         self._mtimes: dict[str, float] = {}
         self._sequence = 0
@@ -161,8 +172,21 @@ class ValidationService:
     # ------------------------------------------------------------------
 
     def _run(self, changed: list[str]) -> ScanResult:
-        if self.resilience is not None:
-            return self._run_resilient(changed)
+        with get_tracer().span(
+            "scan", scan=self.scans, changed=len(changed)
+        ) as span:
+            if self.resilience is not None:
+                result = self._run_resilient(changed)
+            else:
+                result = self._run_strict(changed)
+            span.set(
+                passed=result.passed,
+                violations=len(result.report.violations),
+                health=result.health.status if result.health else "",
+            )
+        return result
+
+    def _run_strict(self, changed: list[str]) -> ScanResult:
         session = ValidationSession(
             runtime=self.runtime,
             policy=self.policy,
@@ -170,8 +194,13 @@ class ValidationService:
             executor=self.executor,
             spec_cache=self.spec_cache,
         )
-        for source in self.sources:
-            session.load_source(source.format_name, source.path, source.scope)
+        tracer = get_tracer()
+        with tracer.span("discover", sources=len(self.sources)):
+            for source in self.sources:
+                with tracer.span("load[source]", path=source.path):
+                    session.load_source(
+                        source.format_name, source.path, source.scope
+                    )
         report = session.validate_file(self.spec_path)
         return self._record(report, changed, health=None)
 
@@ -201,35 +230,40 @@ class ValidationService:
         source_failures: list[dict] = []
         retries_this_scan = 0
         loaded = 0
-        for source in self.sources:
-            mtime = self._mtimes.get(source.path)
-            if not self.source_supervisor.should_attempt(source.path, mtime):
-                continue
-            retrying = self.source_supervisor.is_quarantined(source.path)
-            try:
-                session.load_source(source.format_name, source.path, source.scope)
-            except DriverError as exc:
-                kind, error = "parse", str(exc)
-            except FileNotFoundError as exc:
-                # the file can vanish between the mtime check and the read
-                kind, error = "missing", str(exc)
-            except OSError as exc:
-                kind, error = "io", str(exc)
-            else:
-                loaded += 1
-                self.source_supervisor.record_success(source.path)
-                continue
-            if retrying:
-                retries_this_scan += 1
-            failure = self.source_supervisor.record_failure(
-                source.path,
-                source.format_name,
-                source.scope,
-                kind,
-                error,
-                mtime,
-            )
-            source_failures.append(failure.to_dict())
+        tracer = get_tracer()
+        with tracer.span("discover", sources=len(self.sources)):
+            for source in self.sources:
+                mtime = self._mtimes.get(source.path)
+                if not self.source_supervisor.should_attempt(source.path, mtime):
+                    continue
+                retrying = self.source_supervisor.is_quarantined(source.path)
+                try:
+                    with tracer.span("load[source]", path=source.path):
+                        session.load_source(
+                            source.format_name, source.path, source.scope
+                        )
+                except DriverError as exc:
+                    kind, error = "parse", str(exc)
+                except FileNotFoundError as exc:
+                    # the file can vanish between the mtime check and the read
+                    kind, error = "missing", str(exc)
+                except OSError as exc:
+                    kind, error = "io", str(exc)
+                else:
+                    loaded += 1
+                    self.source_supervisor.record_success(source.path)
+                    continue
+                if retrying:
+                    retries_this_scan += 1
+                failure = self.source_supervisor.record_failure(
+                    source.path,
+                    source.format_name,
+                    source.scope,
+                    kind,
+                    error,
+                    mtime,
+                )
+                source_failures.append(failure.to_dict())
         try:
             report = session.validate_file(self.spec_path)
         except Exception as exc:
@@ -274,11 +308,96 @@ class ValidationService:
         self.history.append(result)
         if len(self.history) > self.history_limit:
             del self.history[: len(self.history) - self.history_limit]
+        self.scan_records.append(self._summarize(result))
+        self._observe_scan(result)
         if result.transitioned and self.on_transition is not None:
             self.on_transition(result)
+        if self.metrics_file:
+            write_snapshot(self.metrics_file, self.stats(), get_metrics())
         return result
 
+    def _summarize(self, result: ScanResult) -> dict:
+        """One JSON-safe ring-buffer record: outcome, perf and health deltas."""
+        report = result.report
+        previous = self.scan_records[-1] if self.scan_records else None
+        record = {
+            "sequence": result.sequence,
+            "passed": result.passed,
+            "transitioned": result.transitioned,
+            "violations": len(report.violations),
+            "violations_delta": len(report.violations)
+            - (previous["violations"] if previous else 0),
+            "specs_evaluated": report.specs_evaluated,
+            "specs_skipped": report.specs_skipped,
+            "instances_checked": report.instances_checked,
+            "elapsed_seconds": round(report.elapsed_seconds, 6),
+            "executor": report.executor,
+            "shards_run": report.shards_run,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "changed_paths": list(result.changed_paths),
+            "health": result.health.status if result.health else None,
+        }
+        if result.health is not None:
+            record["quarantined_sources"] = len(result.health.quarantined_sources)
+            record["quarantined_specs"] = len(result.health.quarantined_specs)
+            record["shard_failures"] = len(result.health.shard_failures)
+            record["retries"] = result.health.retries
+        return record
+
+    def _observe_scan(self, result: ScanResult) -> None:
+        metrics = get_metrics()
+        metrics.counter(
+            "confvalley_scans_total",
+            "Service scans that revalidated, by outcome.",
+        ).inc(outcome="pass" if result.passed else "fail")
+        if result.health is not None:
+            metrics.counter(
+                "confvalley_scan_health_total",
+                "Resilient-mode scans, by health status.",
+            ).inc(status=result.health.status)
+        log = _log.warning if result.transitioned else _log.info
+        log(
+            "scan completed",
+            extra={
+                "sequence": result.sequence,
+                "passed": result.passed,
+                "transitioned": result.transitioned,
+                "violations": len(result.report.violations),
+                "health": result.health.status if result.health else None,
+                "elapsed_seconds": round(result.report.elapsed_seconds, 6),
+            },
+        )
+
     # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe service status: health, cache, and scan history.
+
+        This is the payload behind ``confvalley stats`` and the
+        ``--metrics-file`` snapshot — everything an operator needs to read
+        a degraded scan without attaching a debugger.
+        """
+        status = self.current_status
+        return {
+            "scans": self.scans,
+            "validations": self._sequence,
+            "status": (
+                "never-validated"
+                if status is None
+                else ("passing" if status else "failing")
+            ),
+            "cache": self.spec_cache.stats.as_dict(),
+            "quarantined_sources": (
+                self.source_supervisor.quarantined()
+                if self.source_supervisor is not None
+                else []
+            ),
+            "breakers": (
+                self.breaker.snapshot() if self.breaker is not None else []
+            ),
+            "history": list(self.scan_records),
+        }
 
     @property
     def current_status(self) -> Optional[bool]:

@@ -1,0 +1,663 @@
+"""Observability subsystem: tracing, metrics, exposition, structured logs.
+
+The two contracts everything hangs on:
+
+* **nil cost by default** — the no-op tracer/registry are installed until
+  ``observability.enable()``, and instrumentation never changes validation
+  *output*: ``ValidationReport.fingerprint()`` is byte-identical with
+  observability on or off, serial or sharded;
+* **complete traces** — the merged span tree covers every shard, including
+  shards that crashed in their executor and were re-run serially by the
+  supervision ladder.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import pickle
+
+import pytest
+
+from repro import (
+    ParallelValidator,
+    ResiliencePolicy,
+    SourceSpec,
+    ValidationService,
+    ValidationSession,
+    observability,
+    parse,
+)
+from repro.core.compiler import optimize_statements
+from repro.observability import (
+    DEFAULT_BUCKETS,
+    JsonFormatter,
+    MetricsRegistry,
+    SpanContext,
+    Tracer,
+    configure_logging,
+    get_logger,
+    load_snapshot,
+    parse_prometheus,
+    render_stats,
+    reset_logging,
+    write_snapshot,
+)
+from repro.observability.metrics import NULL_REGISTRY, NullRegistry
+from repro.observability.tracing import NULL_TRACER
+from repro.parallel import ProcessShardExecutor, partition_statements
+from repro.runtime import FakeClock, MonotonicClock, get_clock, set_clock
+from repro.synthetic import EXPERT_SPECS
+from repro.synthetic.azure import generate_type_a
+
+
+@pytest.fixture(autouse=True)
+def pristine_observability():
+    """Every test starts and ends with the no-op singletons installed."""
+    observability.disable()
+    previous_clock = set_clock(None)
+    yield
+    observability.disable()
+    set_clock(previous_clock)
+    reset_logging()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    store = generate_type_a(0.05).build_store()
+    statements = optimize_statements(
+        list(parse(EXPERT_SPECS["type_a"]).statements)
+    )
+    return store, statements
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    spec = tmp_path / "specs.cpl"
+    spec.write_text("$fabric.Timeout -> int & [1, 60]\n")
+    config = tmp_path / "prod.ini"
+    config.write_text("[fabric]\nTimeout = 30\n")
+    return tmp_path, spec, config
+
+
+# ---------------------------------------------------------------------------
+# Injectable clock
+# ---------------------------------------------------------------------------
+
+
+class TestClock:
+    def test_monotonic_default(self):
+        assert isinstance(get_clock(), MonotonicClock)
+        a = get_clock().now()
+        b = get_clock().now()
+        assert b >= a
+
+    def test_fake_clock_ticks_and_counts_reads(self):
+        clock = FakeClock(start=10.0, tick=0.5)
+        assert clock.now() == 10.0
+        assert clock.now() == 10.5
+        clock.advance(4.0)
+        assert clock.now() == 15.0
+        assert clock.reads == 3
+
+    def test_fake_clock_rejects_backwards(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1)
+
+    def test_set_clock_returns_previous(self):
+        fake = FakeClock()
+        previous = set_clock(fake)
+        assert isinstance(previous, MonotonicClock)
+        assert get_clock() is fake
+        assert set_clock(None) is fake
+        assert isinstance(get_clock(), MonotonicClock)
+
+    def test_report_timing_reads_installed_clock(self):
+        set_clock(FakeClock(start=100.0, tick=1.0))
+        session = ValidationSession()
+        session.load_text("ini", "[fabric]\nTimeout = 30\n")
+        report = session.validate("$fabric.Timeout -> int")
+        # serial evaluation brackets the run with exactly two clock reads
+        assert report.elapsed_seconds == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_accumulates_by_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "Requests.")
+        counter.inc(code="200")
+        counter.inc(2, code="200")
+        counter.inc(code="500")
+        assert counter.value(code="200") == 3
+        assert counter.value(code="500") == 1
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total", "C.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth", "Depth.")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+    def test_histogram_buckets_and_sum(self):
+        histogram = MetricsRegistry().histogram("lat", "Latency.")
+        for value in (0.0001, 0.003, 0.3, 99.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(99.3031)
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_get_or_create_is_idempotent_and_typed(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "X.")
+        assert registry.counter("x_total", "X.") is first
+        with pytest.raises(TypeError):
+            registry.gauge("x_total", "X.")
+
+    def test_null_registry_is_inert(self):
+        assert not NULL_REGISTRY.enabled
+        metric = NULL_REGISTRY.counter("anything", "ignored")
+        metric.inc(5, label="x")  # all no-ops, never raises
+        metric.observe(1.0)
+        metric.set(3)
+        assert NULL_REGISTRY.to_prometheus() == ""
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+
+
+class TestPrometheusExposition:
+    def test_exposition_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs run.").inc(kind="scan")
+        registry.gauge("open", "Open things.").set(2)
+        registry.histogram("secs", "Seconds.").observe(0.002)
+        families = parse_prometheus(registry.to_prometheus())
+        assert families["jobs_total"]["type"] == "counter"
+        assert families["open"]["type"] == "gauge"
+        assert families["secs"]["type"] == "histogram"
+        sample_names = [s[0] for s in families["secs"]["samples"]]
+        assert "secs_sum" in sample_names and "secs_count" in sample_names
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "H.", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.to_prometheus()
+        assert 'h_bucket{le="0.1"} 1' in text
+        assert 'h_bucket{le="1"} 2' in text
+        assert 'h_bucket{le="+Inf"} 2' in text
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not prometheus\n")
+
+    def test_json_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A.").inc()
+        payload = json.loads(registry.to_json())
+        assert payload["a_total"]["kind"] == "counter"
+        assert payload["a_total"]["series"][0]["value"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Tracing
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest_and_carry_attrs(self):
+        tracer = Tracer()
+        with tracer.span("outer", a=1) as outer:
+            with tracer.span("inner"):
+                pass
+            outer.set(b=2)
+        tree = tracer.span_tree()
+        assert [node["name"] for node in tree] == ["outer"]
+        assert [child["name"] for child in tree[0]["children"]] == ["inner"]
+        (root,) = tracer.find("outer")
+        assert root["attrs"] == {"a": 1, "b": 2}
+
+    def test_span_records_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("bad")
+        assert "RuntimeError" in tracer.find("boom")[0]["attrs"]["error"]
+
+    def test_span_context_pickles(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            context = tracer.current_context()
+        clone = pickle.loads(pickle.dumps(context))
+        assert isinstance(clone, SpanContext)
+        assert clone.span_id == context.span_id
+
+    def test_worker_spans_reparent_on_adopt(self):
+        parent = Tracer()
+        with parent.span("evaluate"):
+            origin = parent.current_context()
+        worker = Tracer(origin=origin, prefix=f"{origin.span_id}/s0:")
+        with worker.span("shard[s0]"):
+            with worker.span("evaluate(stmt)"):
+                pass
+        parent.adopt(worker.finished_spans())
+        tree = parent.span_tree()
+        shard = tree[0]["children"][0]
+        assert shard["name"] == "shard[s0]"
+        assert shard["children"][0]["name"] == "evaluate(stmt)"
+
+    def test_chrome_trace_export(self):
+        set_clock(FakeClock(tick=0.001))
+        tracer = Tracer()
+        with tracer.span("scan"):
+            pass
+        payload = tracer.to_chrome_trace()
+        (event,) = payload["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "scan"
+        assert event["dur"] == pytest.approx(1000.0)  # µs
+
+    def test_null_tracer_is_inert_and_reentrant(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("a") as handle:
+            handle.set(x=1)
+            with NULL_TRACER.span("b"):
+                pass
+        assert NULL_TRACER.finished_spans() == []
+
+    def test_deterministic_span_ids_under_fake_clock(self):
+        set_clock(FakeClock(tick=0.5))
+        first = Tracer()
+        with first.span("scan"):
+            with first.span("compile"):
+                pass
+        set_clock(FakeClock(tick=0.5))
+        second = Tracer()
+        with second.span("scan"):
+            with second.span("compile"):
+                pass
+        assert first.to_json() == second.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Structured logging
+# ---------------------------------------------------------------------------
+
+
+class TestStructuredLogging:
+    def test_silent_by_default(self):
+        logger = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in logger.handlers
+        )
+
+    def test_json_lines_with_extras(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("service").warning(
+            "scan completed", extra={"sequence": 3, "passed": False}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "scan completed"
+        assert record["level"] == "warning"
+        assert record["logger"] == "repro.service"
+        assert record["sequence"] == 3
+        assert record["passed"] is False
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        configure_logging(stream=stream)
+        get_logger("x").error("once")
+        assert len(stream.getvalue().splitlines()) == 1
+
+    def test_formatter_survives_unserializable_extra(self):
+        formatter = JsonFormatter()
+        record = logging.LogRecord(
+            "repro.t", logging.INFO, __file__, 1, "msg", None, None
+        )
+        record.weird = object()
+        payload = json.loads(formatter.format(record))
+        assert "object object" in payload["weird"]
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration: spans, metrics, determinism
+# ---------------------------------------------------------------------------
+
+
+class CrashOnceExecutor:
+    """Executor whose dispatch crashes on one shard label, once."""
+
+    name = "crash-once"
+
+    def __init__(self, crash_label):
+        self.crash_label = crash_label
+        self.crashes = 0
+
+    def run(self, state, shards):
+        from repro.parallel.engine import evaluate_shard
+
+        out = []
+        for shard in shards:
+            if shard.label == self.crash_label and not self.crashes:
+                self.crashes += 1
+                raise RuntimeError("worker crashed")
+            out.append(evaluate_shard(state, shard))
+        return out
+
+
+def shard_span_labels(tracer):
+    return sorted(
+        span["name"][len("shard["):-1]
+        for span in tracer.finished_spans()
+        if span["name"].startswith("shard[")
+    )
+
+
+class TestPipelineTracing:
+    MAX_SHARDS = 4
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_span_tree_covers_every_shard(self, corpus, executor):
+        store, statements = corpus
+        obs = observability.enable()
+        report = ParallelValidator(
+            store, executor=executor, max_shards=self.MAX_SHARDS
+        ).validate_statements(statements)
+        assert report.shards_run >= 2
+        __, shards = partition_statements(statements, self.MAX_SHARDS)
+        assert shard_span_labels(obs.tracer) == sorted(
+            shard.label for shard in shards
+        )
+        # every shard span hangs off the single "evaluate" root
+        (evaluate,) = obs.tracer.find("evaluate")
+        for span in obs.tracer.finished_spans():
+            if span["name"].startswith("shard["):
+                assert span["parent_id"] == evaluate["span_id"]
+
+    @pytest.mark.skipif(
+        not ProcessShardExecutor.available(), reason="no fork start method"
+    )
+    def test_span_tree_covers_fork_workers(self, corpus):
+        store, statements = corpus
+        obs = observability.enable()
+        ParallelValidator(
+            store, executor="process", max_shards=self.MAX_SHARDS
+        ).validate_statements(statements)
+        __, shards = partition_statements(statements, self.MAX_SHARDS)
+        assert shard_span_labels(obs.tracer) == sorted(
+            shard.label for shard in shards
+        )
+
+    def test_serially_rerun_shard_still_traced(self, corpus):
+        store, statements = corpus
+        __, shards = partition_statements(statements, self.MAX_SHARDS)
+        crashed = shards[0].label
+        obs = observability.enable()
+        report = ParallelValidator(
+            store,
+            executor=CrashOnceExecutor(crashed),
+            max_shards=self.MAX_SHARDS,
+            shard_timeout=5.0,
+            shard_retries=0,
+        ).validate_statements(statements)
+        recovered = [
+            f for f in report.health.shard_failures if f["shard"] == crashed
+        ]
+        assert recovered and recovered[0]["recovered"] == "serial"
+        # the re-run shard appears in the merged trace exactly once
+        assert shard_span_labels(obs.tracer).count(crashed) == 1
+        assert shard_span_labels(obs.tracer) == sorted(
+            shard.label for shard in shards
+        )
+
+    def test_shard_failure_metrics_emitted(self, corpus):
+        store, statements = corpus
+        __, shards = partition_statements(statements, self.MAX_SHARDS)
+        obs = observability.enable()
+        ParallelValidator(
+            store,
+            executor=CrashOnceExecutor(shards[0].label),
+            max_shards=self.MAX_SHARDS,
+            shard_timeout=5.0,
+            shard_retries=1,
+        ).validate_statements(statements)
+        counter = obs.metrics.counter("confvalley_shard_failures_total", "")
+        assert counter.value(kind="crash", recovered="retry") == 1
+        retries = obs.metrics.counter("confvalley_shard_retries_total", "")
+        assert retries.value() >= 1
+
+
+class TestFingerprintDeterminism:
+    @pytest.mark.parametrize("executor", [None, "thread"])
+    def test_fingerprint_identical_with_observability(self, corpus, executor):
+        store, statements = corpus
+
+        def run():
+            return ParallelValidator(
+                store, executor=executor or "serial", max_shards=4
+            ).validate_statements(statements)
+
+        baseline = run().fingerprint()
+        observability.enable()
+        traced = run().fingerprint()
+        observability.disable()
+        assert traced == baseline
+
+    def test_session_fingerprint_identical(self):
+        def run():
+            session = ValidationSession()
+            session.load_text("ini", "[fabric]\nTimeout = 99\n")
+            return session.validate(
+                "$fabric.Timeout -> int & [1, 60]"
+            ).fingerprint()
+
+        baseline = run()
+        observability.enable()
+        assert run() == baseline
+
+
+# ---------------------------------------------------------------------------
+# Service: scan history, snapshots, stats
+# ---------------------------------------------------------------------------
+
+
+def resilient_service(spec, config, tmp_path, **kwargs):
+    return ValidationService(
+        str(spec),
+        [
+            SourceSpec("ini", str(config)),
+            SourceSpec("ini", str(tmp_path / "missing.ini")),
+        ],
+        resilience=ResiliencePolicy(),
+        **kwargs,
+    )
+
+
+class TestServiceObservability:
+    def test_resilient_scan_exposes_required_families(self, workspace):
+        tmp_path, spec, config = workspace
+        obs = observability.enable()
+        service = resilient_service(spec, config, tmp_path, executor="thread")
+        service.run_once()
+        families = parse_prometheus(obs.metrics.to_prometheus())
+        for family in (
+            "confvalley_source_quarantine_admits_total",
+            "confvalley_sources_quarantined",
+            "confvalley_breakers_open",
+            "confvalley_spec_cache_lookups_total",
+            "confvalley_scans_total",
+        ):
+            assert family in families, family
+
+    def test_scan_history_ring_buffer(self, workspace):
+        tmp_path, spec, config = workspace
+        service = ValidationService(
+            str(spec), [SourceSpec("ini", str(config))], history_limit=3
+        )
+        for __ in range(5):
+            service.run_once()
+        assert len(service.scan_records) == 3
+        assert [r["sequence"] for r in service.scan_records] == [3, 4, 5]
+        record = service.scan_records[-1]
+        assert record["passed"] is True
+        assert record["violations_delta"] == 0
+        assert record["cache_hits"] >= 1  # steady state reuses the compile
+
+    def test_stats_payload(self, workspace):
+        tmp_path, spec, config = workspace
+        service = resilient_service(spec, config, tmp_path)
+        service.run_once()
+        stats = service.stats()
+        assert stats["status"] == "passing"
+        assert stats["validations"] == 1
+        assert stats["quarantined_sources"][0]["kind"] == "missing"
+        assert stats["history"][0]["health"] == "DEGRADED"
+        json.dumps(stats)  # JSON-safe by contract
+
+    def test_metrics_file_snapshot_rewritten_each_scan(self, workspace):
+        tmp_path, spec, config = workspace
+        observability.enable()
+        target = tmp_path / "metrics.json"
+        service = ValidationService(
+            str(spec),
+            [SourceSpec("ini", str(config))],
+            metrics_file=str(target),
+        )
+        service.run_once()
+        first = load_snapshot(str(target))
+        assert first["stats"]["validations"] == 1
+        service.run_once()
+        second = load_snapshot(str(target))
+        assert second["stats"]["validations"] == 2
+        parse_prometheus(second["prometheus"])
+        assert not list(tmp_path.glob("*.tmp"))  # atomic replace cleaned up
+
+    def test_prometheus_snapshot_extension(self, workspace, tmp_path):
+        __, spec, config = workspace
+        observability.enable()
+        target = tmp_path / "metrics.prom"
+        service = ValidationService(
+            str(spec),
+            [SourceSpec("ini", str(config))],
+            metrics_file=str(target),
+        )
+        service.run_once()
+        families = parse_prometheus(target.read_text())
+        assert "confvalley_scans_total" in families
+
+    def test_render_stats_readable(self, workspace):
+        tmp_path, spec, config = workspace
+        observability.enable()
+        service = resilient_service(spec, config, tmp_path)
+        service.run_once()
+        snapshot = {
+            "snapshot_version": 1,
+            "stats": service.stats(),
+            "metrics": json.loads(observability.get_metrics().to_json()),
+            "prometheus": observability.get_metrics().to_prometheus(),
+        }
+        text = render_stats(snapshot)
+        assert "quarantined sources" in text
+        assert "missing.ini" in text
+
+    def test_cache_stats_property(self, workspace):
+        __, spec, config = workspace
+        service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+        assert service.cache_stats.lookups == 0
+        service.run_once()
+        assert service.cache_stats.misses == 1
+        service.run_once()
+        assert service.cache_stats.hits == 1
+        assert service.cache_stats.as_dict()["hits"] == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.console.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_validate_trace_out(self, workspace, capsys):
+        from repro.console.cli import main
+
+        tmp_path, spec, config = workspace
+        trace = tmp_path / "trace.json"
+        code = main([
+            "validate", str(spec), "--source", f"ini:{config}",
+            "--trace-out", str(trace),
+        ])
+        assert code == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert "compile" in [event["name"] for event in events]
+
+    def test_service_metrics_file_then_stats(self, workspace, capsys):
+        from repro.console.cli import main
+
+        tmp_path, spec, config = workspace
+        snapshot = tmp_path / "snap.json"
+        code = main([
+            "service", str(spec), "--source", f"ini:{config}",
+            "--resilient", "--metrics-file", str(snapshot),
+            "--max-scans", "1", "--interval", "0",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["stats", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "status: passing" in out
+        assert main(["stats", str(snapshot), "--format", "prometheus"]) == 0
+        parse_prometheus(capsys.readouterr().out)
+        assert main(["stats", str(snapshot), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["snapshot_version"] == 1
+
+    def test_stats_missing_snapshot(self, tmp_path, capsys):
+        from repro.console.cli import main
+
+        assert main(["stats", str(tmp_path / "nope.json")]) == 1
+        assert "no snapshot" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Snapshot files
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotFiles:
+    def test_write_and_load_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A.").inc()
+        target = tmp_path / "snap.json"
+        write_snapshot(str(target), {"scans": 1}, registry)
+        snapshot = load_snapshot(str(target))
+        assert snapshot["stats"] == {"scans": 1}
+        assert "a_total" in snapshot["metrics"]
+        assert "a_total 1" in snapshot["prometheus"]
+
+    def test_load_raw_prometheus(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.gauge("g", "G.").set(7)
+        target = tmp_path / "snap.prom"
+        write_snapshot(str(target), {}, registry)
+        snapshot = load_snapshot(str(target))
+        assert "g 7" in snapshot["prometheus"]
