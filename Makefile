@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos obs-smoke bench-smoke bench ci
+.PHONY: test chaos obs-smoke http-smoke bench-smoke bench ci
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -26,6 +26,12 @@ obs-smoke:
 		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q --benchmark-disable \
 		benchmarks/bench_observability.py
 
+## Live-endpoint smoke: start `service --http` as a real subprocess, scrape
+## every operator endpoint (status codes + parseable bodies), then verify a
+## clean SIGTERM shutdown and a released socket.
+http-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/http_smoke.py
+
 ## Run every benchmark on a tiny corpus — correctness of the bench
 ## harness itself, not a measurement.  See benchmarks/smoke.sh.
 bench-smoke:
@@ -37,5 +43,5 @@ bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
 
 ## What CI runs: the tier-1 suite, the chaos suite, the observability
-## gate, and the benchmark smoke pass.
-ci: test chaos obs-smoke bench-smoke
+## gate, the live-endpoint smoke, and the benchmark smoke pass.
+ci: test chaos obs-smoke http-smoke bench-smoke

@@ -35,6 +35,9 @@ ROUNDS = 3
 #: below it, per-run jitter dwarfs the instrumentation cost entirely
 OVERHEAD_GATE_INSTANCES = 3000
 OVERHEAD_CEILING = 1.03
+#: per-spec analytics adds two clock reads + one dict update per statement;
+#: the documented budget is <5 % wall clock on the Type A corpus
+ANALYTICS_OVERHEAD_CEILING = 1.05
 
 
 def best_of(fn, rounds=ROUNDS):
@@ -110,6 +113,116 @@ def test_observability_overhead(benchmark, emit, type_a_store):
             f"observability overhead {ratio - 1:.1%} exceeds "
             f"{OVERHEAD_CEILING - 1:.0%}"
         )
+
+
+def test_analytics_overhead(benchmark, emit, type_a_store):
+    """Per-spec attribution (hot-spec/drift input) stays under 5 % wall clock
+    and never changes validation output."""
+    statements = optimize_statements(
+        list(parse(EXPERT_SPECS["type_a"]).statements)
+    )
+
+    def validate(analytics):
+        return ParallelValidator(
+            type_a_store, executor="serial", max_shards=MAX_SHARDS,
+            analytics=analytics,
+        ).validate_statements(statements)
+
+    def run_modes():
+        observability.disable()
+        validate(False)  # warm-up
+        return {
+            "off": best_of(lambda: validate(False)),
+            "analytics": best_of(lambda: validate(True)),
+        }
+
+    rows = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    baseline_report, baseline_seconds = rows["off"]
+    analytics_report, analytics_seconds = rows["analytics"]
+
+    # attribution never changes what validation found
+    assert analytics_report.fingerprint() == baseline_report.fingerprint()
+    assert baseline_report.spec_profile == {}
+    # compartment blocks expand, so rows >= top-level statements
+    assert len(analytics_report.spec_profile) >= len(statements)
+
+    emit(
+        "analytics_overhead",
+        format_table(
+            ["Analytics", "Seconds (best of 3)", "Overhead"],
+            [
+                ("off", f"{baseline_seconds:.3f}", "baseline"),
+                (
+                    "on",
+                    f"{analytics_seconds:.3f}",
+                    f"{analytics_seconds / baseline_seconds - 1:+.1%}",
+                ),
+            ],
+        )
+        + f"\n(Type A corpus, {type_a_store.instance_count} instances, "
+        f"{len(statements)} statements, serial evaluation)",
+    )
+
+    if type_a_store.instance_count >= OVERHEAD_GATE_INSTANCES:
+        ratio = analytics_seconds / baseline_seconds
+        assert ratio < ANALYTICS_OVERHEAD_CEILING, (
+            f"analytics overhead {ratio - 1:.1%} exceeds "
+            f"{ANALYTICS_OVERHEAD_CEILING - 1:.0%}"
+        )
+
+
+def test_endpoint_scrape_latency(benchmark, emit, tmp_path):
+    """Every operator endpoint answers a scrape in single-digit ms."""
+    import json
+    import urllib.request
+
+    from repro import SourceSpec, ValidationService
+    from repro.observability.server import ENDPOINTS
+
+    spec = tmp_path / "specs.cpl"
+    spec.write_text(
+        "$fabric.Timeout -> int & [1, 60]\n"
+        "$fabric.Retries -> int & [0, 5]\n"
+        "$ghost.Missing -> int\n"
+    )
+    config = tmp_path / "prod.ini"
+    config.write_text("[fabric]\nTimeout = 30\nRetries = 2\n")
+
+    observability.enable()
+    service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+    for __ in range(5):  # some history/analytics so bodies are non-trivial
+        service.run_once()
+    server = service.start_http()
+    try:
+        def scrape(path):
+            with urllib.request.urlopen(server.url + path, timeout=10) as response:
+                assert response.status == 200, path
+                return response.read().decode("utf-8")
+
+        def scrape_all():
+            return {
+                path: best_of(lambda p=path: scrape(p), rounds=5)
+                for path in ENDPOINTS
+            }
+
+        scrape_all()  # warm-up: connection setup must not bill the table
+        rows = benchmark.pedantic(scrape_all, rounds=1, iterations=1)
+    finally:
+        service.stop_http()
+        observability.disable()
+
+    table = []
+    for path, (body, seconds) in rows.items():
+        if path == "/metrics":
+            parse_prometheus(body)
+        else:
+            json.loads(body)
+        table.append((path, len(body), f"{seconds * 1e3:.2f}"))
+    emit(
+        "endpoint_scrape_latency",
+        format_table(["Endpoint", "Body bytes", "ms (best of 5)"], table)
+        + "\n(loopback HTTP, 5 scans of history, analytics+tracing enabled)",
+    )
 
 
 def test_exposition_scales_with_series(benchmark, emit):

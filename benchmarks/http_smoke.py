@@ -1,0 +1,137 @@
+"""End-to-end smoke test of the live operator endpoint.
+
+Starts ``confvalley service --http 127.0.0.1:0`` as a *subprocess* (the
+same way an operator would, ephemeral port and all), scrapes every
+endpoint, asserts status codes and body parseability, then delivers
+SIGTERM and checks the shutdown is clean.  This is the one place the
+HTTP surface is exercised across a real process boundary; everything
+else in the suite runs the server in-process.
+
+Run directly (``make http-smoke``)::
+
+    PYTHONPATH=src python benchmarks/http_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability import parse_prometheus  # noqa: E402
+from repro.observability.server import ENDPOINTS  # noqa: E402
+
+ANNOUNCEMENT = re.compile(r"operator endpoint: (http://\S+)")
+STARTUP_DEADLINE = 30.0  # seconds to wait for the URL announcement
+SHUTDOWN_DEADLINE = 10.0  # seconds from SIGTERM to exit
+
+
+def wait_for_announcement(stderr) -> str:
+    """The service prints ``operator endpoint: <url>`` once the socket is
+    bound — that line is the only reliable way to learn an ephemeral port."""
+    deadline = time.monotonic() + STARTUP_DEADLINE
+    while time.monotonic() < deadline:
+        line = stderr.readline()
+        if not line:
+            raise AssertionError("service exited before announcing its URL")
+        sys.stderr.write(line)
+        match = ANNOUNCEMENT.search(line)
+        if match:
+            return match.group(1)
+    raise AssertionError("no endpoint announcement within deadline")
+
+
+def scrape(url: str) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def check_endpoints(base: str) -> None:
+    for path in ENDPOINTS:
+        status, body = scrape(base + path)
+        assert status == 200, f"{path} returned {status}"
+        if path == "/metrics":
+            families = parse_prometheus(body)
+            assert "confvalley_scans_total" in families, path
+        else:
+            payload = json.loads(body)
+            assert payload, path
+        print(f"ok {path} ({len(body)} bytes)")
+
+    status, body = scrape(base + "/no-such-endpoint")
+    assert status == 404, f"404 expected, got {status}"
+    assert "/metrics" in body  # the 404 body lists valid endpoints
+    print("ok /no-such-endpoint -> 404")
+
+    payload = json.loads(scrape(base + "/health")[1])
+    assert payload["status"] in ("OK", "never-validated"), payload
+    print(f"ok /health status={payload['status']!r}")
+
+
+def main() -> int:
+    workspace = Path(tempfile.mkdtemp(prefix="confvalley-http-smoke-"))
+    spec = workspace / "specs.cpl"
+    spec.write_text(
+        "$fabric.Timeout -> int & [1, 60]\n"
+        "$fabric.Retries -> int & [0, 5]\n"
+    )
+    config = workspace / "prod.ini"
+    config.write_text("[fabric]\nTimeout = 30\nRetries = 2\n")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "import sys; from repro.console.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "service", str(spec),
+            "--source", f"ini:{config}",
+            "--http", "127.0.0.1:0",
+            "--interval", "0.2",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        base = wait_for_announcement(process.stderr).rstrip("/")
+        time.sleep(0.5)  # let at least one scan land so bodies are populated
+        check_endpoints(base)
+
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=SHUTDOWN_DEADLINE)
+        assert returncode == 0, f"service exited {returncode} on SIGTERM"
+        print("ok clean shutdown on SIGTERM")
+
+        # the socket must actually be released
+        try:
+            urllib.request.urlopen(base + "/health", timeout=2)
+        except OSError:
+            print("ok port closed after shutdown")
+        else:
+            raise AssertionError("endpoint still answering after shutdown")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=5)
+
+    print("http-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

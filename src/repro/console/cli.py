@@ -9,8 +9,13 @@ Subcommands::
     confvalley validate SPEC.cpl [--source FMT:PATH[:SCOPE] …] [--partitions N]
     confvalley infer    [--source FMT:PATH[:SCOPE] …] [--out SPECS.cpl]
     confvalley console  [--source FMT:PATH[:SCOPE] …]
-    confvalley service  SPEC.cpl [--metrics-file PATH] …
-    confvalley stats    SNAPSHOT [--format text|json|prometheus]
+    confvalley service  SPEC.cpl [--http HOST:PORT] [--metrics-file PATH] …
+    confvalley stats    SNAPSHOT_OR_URL [--format text|json|prometheus]
+    confvalley top      SNAPSHOT_OR_URL [--count N]
+
+``stats`` and ``top`` read either a snapshot file written by
+``service --metrics-file`` or a running service's operator endpoint
+(``http://HOST:PORT``, see ``service --http``).
 """
 
 from __future__ import annotations
@@ -23,9 +28,12 @@ from typing import Optional, Sequence
 from ..core.policy import ValidationPolicy
 from ..core.session import ValidationSession
 from ..inference import InferenceEngine
+from ..observability import get_logger
 from .repl import Console
 
 __all__ = ["main", "build_parser"]
+
+_log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="PATH",
         help="enable pipeline tracing and write the merged span tree as a "
              "Chrome trace_event JSON file (load in chrome://tracing)",
+    )
+    validate.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="append structured JSON-lines logs to PATH (one JSON object "
+             "per line; see docs/OBSERVABILITY.md for the line schema)",
     )
 
     infer = sub.add_parser("infer", help="infer CPL specs from good data")
@@ -146,12 +159,27 @@ def build_parser() -> argparse.ArgumentParser:
              "snapshot after every scan (.prom/.txt = Prometheus text, "
              "anything else = JSON readable by `confvalley stats`)",
     )
+    service.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="enable observability and serve the live operator endpoint "
+             "(GET /metrics, /metrics.json, /health, /stats, /traces/latest); "
+             "PORT 0 binds an ephemeral port, announced on stderr",
+    )
+    service.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="append structured JSON-lines logs to PATH (one JSON object "
+             "per line; see docs/OBSERVABILITY.md for the line schema)",
+    )
 
     stats = sub.add_parser(
         "stats",
-        help="read a service metrics snapshot (see `service --metrics-file`)",
+        help="read a service metrics snapshot or a live operator endpoint",
     )
-    stats.add_argument("snapshot", help="snapshot file written by the service")
+    stats.add_argument(
+        "snapshot", metavar="SNAPSHOT_OR_URL",
+        help="snapshot file written by the service, or a running service's "
+             "base URL (http://HOST:PORT, see `service --http`)",
+    )
     stats.add_argument(
         "--format", choices=("text", "json", "prometheus"), default="text",
         help="text = operator summary, json = raw snapshot, "
@@ -160,6 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--history", type=int, default=10, metavar="N",
         help="recent scans shown in text format (default: 10)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="hot-spec table: costliest specifications by cumulative latency",
+    )
+    top.add_argument(
+        "snapshot", metavar="SNAPSHOT_OR_URL",
+        help="snapshot file written by the service, or a running service's "
+             "base URL (http://HOST:PORT, see `service --http`)",
+    )
+    top.add_argument(
+        "--count", type=int, default=10, metavar="N",
+        help="rows shown (default: 10; capped by the service's recorded "
+             "hot-spec table size)",
     )
 
     coverage = sub.add_parser(
@@ -214,11 +257,76 @@ def _load_sources(session: ValidationSession, sources: Sequence[str]) -> None:
         scope = parts[2] if len(parts) > 2 else ""
         count = session.load_source(fmt, path, scope)
         print(f"loaded {count} instance(s) from {path}", file=sys.stderr)
+        _log.info(
+            "source loaded",
+            extra={"path": path, "format": fmt, "instances": count},
+        )
+
+
+def _configure_log_file(path: str) -> None:
+    """Route the structured JSON-lines logs to ``path`` (append mode)."""
+    from ..observability import configure_logging
+
+    handle = open(path, "a", encoding="utf-8")
+    configure_logging(stream=handle)
+
+
+def _is_url(target: str) -> bool:
+    return target.startswith(("http://", "https://"))
+
+
+def _fetch_live_snapshot(url: str, want_prometheus: bool = False) -> dict:
+    """Scrape a running service's operator endpoint into snapshot shape.
+
+    Produces the same document shape :func:`repro.observability.load_snapshot`
+    returns for a ``--metrics-file`` snapshot, so the rendering path is
+    shared between files and live services.
+    """
+    import json as _json
+    from urllib.request import urlopen
+
+    base = url.rstrip("/")
+
+    def get(path: str) -> str:
+        with urlopen(base + path, timeout=10) as response:
+            return response.read().decode("utf-8")
+
+    snapshot = {"snapshot_version": 1, "stats": {}, "metrics": {}, "prometheus": ""}
+    if want_prometheus:
+        snapshot["prometheus"] = get("/metrics")
+        return snapshot
+    snapshot["stats"] = _json.loads(get("/stats"))
+    try:
+        snapshot["metrics"] = _json.loads(get("/metrics.json"))
+    except Exception:
+        # stats alone still renders; a metrics hiccup shouldn't kill it
+        pass
+    return snapshot
+
+
+def _load_stats_snapshot(target: str, want_prometheus: bool = False) -> Optional[dict]:
+    """Snapshot file or live URL → snapshot dict (None + message on failure)."""
+    from ..observability import load_snapshot
+
+    if _is_url(target):
+        try:
+            return _fetch_live_snapshot(target, want_prometheus=want_prometheus)
+        except (OSError, ValueError) as exc:
+            print(f"cannot reach {target!r}: {exc}", file=sys.stderr)
+            return None
+    try:
+        return load_snapshot(target)
+    except FileNotFoundError:
+        print(f"no snapshot at {target!r} — is the service running "
+              f"with --metrics-file?", file=sys.stderr)
+        return None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "validate":
+        if args.log_file:
+            _configure_log_file(args.log_file)
         policy = ValidationPolicy(stop_on_first_violation=args.stop_on_first)
         if args.waivers:
             count = policy.load_waivers(args.waivers)
@@ -255,6 +363,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{args.trace_out}",
                 file=sys.stderr,
             )
+        _log.info(
+            "validation completed",
+            extra={
+                "spec": args.spec,
+                "passed": report.passed,
+                "violations": len(report.violations),
+                "specs_evaluated": report.specs_evaluated,
+                "instances_checked": report.instances_checked,
+                "elapsed_seconds": round(report.elapsed_seconds, 6),
+            },
+        )
         if args.format == "json":
             print(report.to_json())
         else:
@@ -279,6 +398,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_service(args)
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "top":
+        return _run_top(args)
     if args.command == "fmt":
         return _run_fmt(args)
     if args.command == "gate":
@@ -360,13 +481,12 @@ def _run_gate(args) -> int:
 def _run_stats(args) -> int:
     import json as _json
 
-    from ..observability import load_snapshot, render_stats
+    from ..observability import render_stats
 
-    try:
-        snapshot = load_snapshot(args.snapshot)
-    except FileNotFoundError:
-        print(f"no snapshot at {args.snapshot!r} — is the service running "
-              f"with --metrics-file?", file=sys.stderr)
+    snapshot = _load_stats_snapshot(
+        args.snapshot, want_prometheus=args.format == "prometheus"
+    )
+    if snapshot is None:
         return 1
     if args.format == "json":
         print(_json.dumps(snapshot, indent=2, sort_keys=True))
@@ -374,6 +494,28 @@ def _run_stats(args) -> int:
         print(snapshot.get("prometheus", ""), end="")
     else:
         print(render_stats(snapshot, history_limit=args.history))
+    return 0
+
+
+def _run_top(args) -> int:
+    from ..observability import format_hot_specs
+
+    snapshot = _load_stats_snapshot(args.snapshot)
+    if snapshot is None:
+        return 1
+    stats = snapshot.get("stats") or {}
+    analytics = stats.get("analytics") or {}
+    if not analytics:
+        print("no per-spec analytics in this snapshot — run the service "
+              "with analytics enabled (the default)", file=sys.stderr)
+        return 1
+    print(format_hot_specs(analytics.get("hot_specs") or [], args.count))
+    dead = analytics.get("dead_specs") or []
+    if dead:
+        print(f"dead specs matching no instance this scan ({len(dead)}):")
+        for row in dead:
+            confirmed = " [coverage-confirmed]" if row.get("coverage_confirmed") else ""
+            print(f"  L{row['line']}: {row['spec']}{confirmed}")
     return 0
 
 
@@ -411,7 +553,10 @@ def _run_service(args) -> int:
             knobs["quarantine_threshold"] = args.quarantine_threshold
         resilience = ResiliencePolicy(**knobs)
 
-    if args.metrics_file:
+    if args.log_file:
+        _configure_log_file(args.log_file)
+
+    if args.metrics_file or args.http:
         from .. import observability
 
         observability.enable()
@@ -420,6 +565,29 @@ def _run_service(args) -> int:
         args.spec, sources, on_transition=announce, executor=args.executor,
         resilience=resilience, metrics_file=args.metrics_file,
     )
+
+    if args.http:
+        from ..observability import parse_http_address
+
+        host, port = parse_http_address(args.http)
+        server = service.start_http(host, port)
+        # parseable announcement: tooling (and the http-smoke harness)
+        # reads the resolved address of a PORT-0 ephemeral bind from here
+        print(f"operator endpoint: {server.url}", file=sys.stderr, flush=True)
+
+    # SIGTERM (systemd stop, docker stop, kill) exits the loop the same
+    # way Ctrl-C does, so the finally-block shutdown always runs
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    try:
+        import signal
+
+        previous_sigterm = signal.signal(signal.SIGTERM, _raise_interrupt)
+    except ValueError:  # pragma: no cover - not on the main thread
+        pass
+
     scans = 0
     last_status = None
     try:
@@ -438,8 +606,17 @@ def _run_service(args) -> int:
             if args.max_scans and scans >= args.max_scans:
                 break
             _time.sleep(args.interval)
-    except KeyboardInterrupt:  # pragma: no cover - interactive path
+    except KeyboardInterrupt:  # interactive ^C or SIGTERM
         pass
+    finally:
+        service.stop_http()
+        if previous_sigterm is not None:
+            import signal
+
+            try:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            except ValueError:  # pragma: no cover
+                pass
     if last_status is None:
         last_status = service.current_status
     return 0 if last_status else 1

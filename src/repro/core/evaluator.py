@@ -83,11 +83,17 @@ class Evaluator:
         profile: bool = False,
         macros: Optional[dict] = None,
         guard=None,
+        analytics: bool = False,
     ):
         self.store = store
         self.runtime = runtime if runtime is not None else StaticRuntime()
         self.policy = policy if policy is not None else ValidationPolicy()
         self.profile = profile
+        #: per-statement attribution (eval/instance/violation counts +
+        #: cumulative latency) into ``report.spec_profile`` — the substrate
+        #: of the hot-spec table and drift detection
+        #: (repro.observability.analytics); never changes fingerprint()
+        self.analytics = analytics
         #: optional statement guard (repro.resilience.SpecGuard, duck-typed):
         #: when present, top-level statements execute under fault isolation —
         #: quarantined statements are skipped with a reason, and a statement
@@ -218,17 +224,32 @@ class Evaluator:
     def _execute_spec(
         self, spec: ast.SpecStatement, ctx: Context, report: ValidationReport
     ) -> None:
-        started = _clock.now() if self.profile else 0.0
+        measuring = self.profile or self.analytics
+        started = _clock.now() if measuring else 0.0
+        if self.analytics:
+            evals_before = report.specs_evaluated
+            instances_before = report.instances_checked
+            violations_before = len(report.violations)
         free = self._free_variables(spec, ctx)
         for bound in self._bindings(free, ctx):
             self._evaluate_spec(spec, bound, report)
+        if not measuring:
+            return
+        elapsed = _clock.now() - started
+        key = (spec.line, spec.text or "<spec>")
         if self.profile:
-            key = (spec.line, spec.text or "<spec>")
             report.spec_timings[key] = (
-                report.spec_timings.get(key, 0.0)
-                + _clock.now()
-                - started
+                report.spec_timings.get(key, 0.0) + elapsed
             )
+        if self.analytics:
+            row = report.spec_profile.get(key)
+            if row is None:
+                row = {"evals": 0, "instances": 0, "violations": 0, "seconds": 0.0}
+                report.spec_profile[key] = row
+            row["evals"] += report.specs_evaluated - evals_before
+            row["instances"] += report.instances_checked - instances_before
+            row["violations"] += len(report.violations) - violations_before
+            row["seconds"] += elapsed
 
     # ==================================================================
     # Variable binding (substitutable variables, §4.2.2)

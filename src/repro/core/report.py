@@ -14,6 +14,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from ..observability.analytics import merge_spec_profiles, profile_rows
+
 __all__ = ["Violation", "ValidationReport", "Severity", "HealthBlock"]
 
 
@@ -174,6 +176,11 @@ class ValidationReport:
     #: per-spec wall clock, filled when the evaluator profiles
     #: ((line, spec text) → cumulative seconds across bindings/compartments)
     spec_timings: dict = field(default_factory=dict)
+    #: per-spec attribution, filled when the evaluator runs with analytics:
+    #: (line, spec text) → {evals, instances, violations, seconds} — the
+    #: input to the hot-spec table, dead-spec detection and drift reports
+    #: (repro.observability.analytics); excluded from :meth:`fingerprint`
+    spec_profile: dict = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     stopped_early: bool = False
     #: --- performance counters (repro.parallel) -------------------------
@@ -211,6 +218,9 @@ class ValidationReport:
         self.specs_skipped += other.specs_skipped
         self.suppressed += other.suppressed
         self.instances_checked += other.instances_checked
+        for key, seconds in other.spec_timings.items():
+            self.spec_timings[key] = self.spec_timings.get(key, 0.0) + seconds
+        merge_spec_profiles(self.spec_profile, other.spec_profile)
         self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
         self.stopped_early = self.stopped_early or other.stopped_early
         self.shards_run += other.shards_run
@@ -297,6 +307,7 @@ class ValidationReport:
                 "cache_misses": self.cache_misses,
                 "shard_timings": [list(pair) for pair in self.shard_timings],
             },
+            "analytics": profile_rows(self.spec_profile),
             "health": self.health.to_dict(),
         }
 
@@ -317,6 +328,7 @@ class ValidationReport:
         del data["perf"]
         del data["elapsed_seconds"]
         del data["health"]
+        del data["analytics"]
         return json.dumps(data, sort_keys=True)
 
     def to_json(self, indent: int = 2) -> str:

@@ -70,6 +70,7 @@ class ValidationSession:
         base_dir: str = ".",
         optimize: bool = True,
         profile: bool = False,
+        analytics: bool = False,
         executor: Optional[str] = None,
         max_workers: Optional[int] = None,
         spec_cache=None,
@@ -100,7 +101,7 @@ class ValidationSession:
         self.shard_retries = shard_retries
         self.evaluator = Evaluator(
             self.store, self.runtime, self.policy, profile=profile,
-            guard=spec_guard,
+            guard=spec_guard, analytics=analytics,
         )
         self._last_compile_hit: Optional[bool] = None
 
@@ -284,6 +285,7 @@ class ValidationSession:
                 executor=self.executor,
                 max_workers=self.max_workers,
                 profile=self.evaluator.profile,
+                analytics=self.evaluator.analytics,
                 shard_timeout=self.shard_timeout,
                 shard_retries=self.shard_retries,
                 guard=self.spec_guard,

@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from .analytics import SpecAnalytics, format_drift, format_hot_specs
 from .logging import JsonFormatter, configure_logging, get_logger, reset_logging
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -51,6 +52,7 @@ from .metrics import (
     NullRegistry,
     parse_prometheus,
 )
+from .server import ObservabilityServer, parse_http_address
 from .snapshot import load_snapshot, render_stats, write_snapshot
 from .tracing import NULL_TRACER, NullTracer, SpanContext, Tracer
 
@@ -68,6 +70,11 @@ __all__ = [
     "NullRegistry",
     "DEFAULT_BUCKETS",
     "parse_prometheus",
+    "SpecAnalytics",
+    "format_hot_specs",
+    "format_drift",
+    "ObservabilityServer",
+    "parse_http_address",
     "JsonFormatter",
     "configure_logging",
     "reset_logging",

@@ -82,8 +82,13 @@ def _label_key(labels: dict) -> tuple:
 def _render_labels(key: tuple) -> str:
     if not key:
         return ""
+    # label-value escaping per the exposition format: backslash first,
+    # then quote and newline (a raw newline would split the sample line)
     inner = ",".join(
-        '{}="{}"'.format(name, value.replace("\\", "\\\\").replace('"', '\\"'))
+        '{}="{}"'.format(
+            name,
+            value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n"),
+        )
         for name, value in key
     )
     return "{" + inner + "}"
@@ -407,10 +412,26 @@ NULL_REGISTRY = NullRegistry()
 
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    # the label block skips over quoted strings so "}" (and anything
+    # else) inside a quoted label value doesn't end the block early
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?'
     r"\s+(?P<value>[^\s]+)\s*$"
 )
-_LABEL_PAIR_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_LABEL_ESCAPE_RE = re.compile(r"\\(.)")
+_LABEL_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _unescape_label(value: str) -> str:
+    """Invert exposition-format label escaping (``\\\\``, ``\\"``, ``\\n``)."""
+
+    def replace(match: "re.Match[str]") -> str:
+        escaped = match.group(1)
+        if escaped not in _LABEL_UNESCAPES:
+            raise ValueError(f"invalid label escape \\{escaped}")
+        return _LABEL_UNESCAPES[escaped]
+
+    return _LABEL_ESCAPE_RE.sub(replace, value)
 
 
 def parse_prometheus(text: str) -> dict[str, dict]:
@@ -457,13 +478,30 @@ def parse_prometheus(text: str) -> dict[str, dict]:
         labels: dict[str, str] = {}
         raw_labels = match.group("labels")
         if raw_labels:
-            for pair in raw_labels.split(","):
-                pair_match = _LABEL_PAIR_RE.match(pair.strip())
+            # walk pair-by-pair instead of splitting on "," so commas
+            # inside quoted label values parse correctly
+            position = 0
+            while position < len(raw_labels):
+                pair_match = _LABEL_PAIR_RE.match(raw_labels, position)
                 if not pair_match:
                     raise ValueError(
-                        f"line {line_number}: malformed label pair {pair!r}"
+                        f"line {line_number}: malformed label pair at "
+                        f"{raw_labels[position:]!r}"
                     )
-                labels[pair_match.group(1)] = pair_match.group(2)
+                try:
+                    labels[pair_match.group(1)] = _unescape_label(
+                        pair_match.group(2)
+                    )
+                except ValueError as exc:
+                    raise ValueError(f"line {line_number}: {exc}") from None
+                position = pair_match.end()
+                if position < len(raw_labels):
+                    if raw_labels[position] != ",":
+                        raise ValueError(
+                            f"line {line_number}: malformed label separator "
+                            f"at {raw_labels[position:]!r}"
+                        )
+                    position += 1
         try:
             value = float(match.group("value"))
         except ValueError:

@@ -1,0 +1,217 @@
+"""The live operator endpoint: scrape, probe, and inspect a running service.
+
+PR 3 made observability state *pull-a-file-and-look* (``--metrics-file``
+snapshots); production metric systems expose a live scrape endpoint
+instead, so collectors and load balancers talk to the service directly.
+:class:`ObservabilityServer` embeds a stdlib :class:`ThreadingHTTPServer`
+in a :class:`~repro.service.ValidationService` (CLI:
+``confvalley service --http HOST:PORT``) serving:
+
+========================  ==================================================
+``GET /metrics``          Prometheus text exposition 0.0.4 (the live
+                          registry; validated by ``parse_prometheus``)
+``GET /metrics.json``     the registry as JSON
+``GET /health``           health probe: **503** when the last scan's
+                          :class:`~repro.core.report.HealthBlock` is
+                          ``FAILED``, **200** otherwise — wire it straight
+                          into a load balancer
+``GET /stats``            the service's :meth:`stats` payload (scan
+                          history, cache, analytics, drift, coverage)
+``GET /traces/latest``    the most recent scan's span tree as Chrome
+                          ``trace_event`` JSON
+========================  ==================================================
+
+Design constraints:
+
+* **read-only** — every endpoint renders in-memory state; no request can
+  mutate the service;
+* **never blocks a scan** — each request runs in its own handler thread
+  and takes no lock a scan holds for longer than a dict copy, so
+  endpoints answer *during* an in-flight scan;
+* **single-writer-safe** — the scan loop is the only writer; readers see
+  either the previous or the new scan's state, never a torn mix (the
+  service guards analytics/trace swaps with a lock);
+* **clean shutdown** — :meth:`stop` (and SIGTERM handling in the CLI)
+  drains the listener via ``shutdown()`` + ``server_close()``; port 0
+  binds an ephemeral port for tests, readable from :attr:`address`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import urlsplit
+
+from .logging import get_logger
+
+__all__ = ["ObservabilityServer", "parse_http_address"]
+
+_log = get_logger("observability.server")
+
+#: the canonical scrape content type for text exposition format 0.0.4
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+ENDPOINTS = ("/metrics", "/metrics.json", "/health", "/stats", "/traces/latest")
+
+
+def parse_http_address(text: str) -> tuple[str, int]:
+    """``HOST:PORT``, ``:PORT`` or bare ``PORT`` → ``(host, port)``."""
+    # rpartition leaves the whole string in the port slot when there is
+    # no ":", which is exactly the bare-PORT case
+    host, __, port_text = text.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid --http address {text!r}: PORT must be an integer")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"invalid --http address {text!r}: port out of range")
+    return host, port
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes GETs to the owning :class:`ObservabilityServer`."""
+
+    server_version = "confvalley"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # route access logs through the structured logger (silent by default)
+        _log.debug("http request", extra={"request": format % args})
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        owner: "ObservabilityServer" = self.server.owner  # type: ignore[attr-defined]
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        try:
+            rendered = owner.render(path)
+        except Exception as exc:  # a broken endpoint must not kill the server
+            self._respond(
+                500, JSON_CONTENT_TYPE,
+                json.dumps({"error": f"{type(exc).__name__}: {exc}"}) + "\n",
+            )
+            return
+        if rendered is None:
+            self._respond(
+                404, JSON_CONTENT_TYPE,
+                json.dumps({"error": f"unknown endpoint {path!r}",
+                            "endpoints": list(ENDPOINTS)}) + "\n",
+            )
+            return
+        self._respond(*rendered)
+
+    def do_HEAD(self) -> None:  # noqa: N802 - probes often use HEAD
+        self.do_GET()
+
+
+class ObservabilityServer:
+    """Serve a :class:`~repro.service.ValidationService`'s observability
+    state over HTTP (see module docstring for the endpoint table)."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._requested = (host, port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves port 0 to the real port."""
+        if self._httpd is not None:
+            return self._httpd.server_address[:2]
+        return self._requested
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ObservabilityServer":
+        """Bind and serve on a daemon thread; returns self (chainable)."""
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer(self._requested, _Handler)
+        httpd.daemon_threads = True
+        httpd.owner = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="confvalley-http",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info(
+            "operator endpoint listening",
+            extra={"host": self.address[0], "port": self.address[1]},
+        )
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, drain handler threads, close the socket."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd, self._thread = None, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        _log.info("operator endpoint stopped", extra={})
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self, path: str) -> Optional[tuple[int, str, str]]:
+        """Render one endpoint → ``(status, content type, body)``.
+
+        Returns ``None`` for unknown paths.  Pure read: looks at the
+        process-wide metrics registry and the service's published state.
+        """
+        from . import get_metrics  # late: the live registry at request time
+
+        self._count_request(path)
+        if path == "/metrics":
+            return 200, PROMETHEUS_CONTENT_TYPE, get_metrics().to_prometheus()
+        if path == "/metrics.json":
+            return 200, JSON_CONTENT_TYPE, get_metrics().to_json() + "\n"
+        if path == "/health":
+            payload = self.service.health_payload()
+            status = 503 if payload["status"] == "FAILED" else 200
+            return status, JSON_CONTENT_TYPE, json.dumps(
+                payload, sort_keys=True
+            ) + "\n"
+        if path == "/stats":
+            return 200, JSON_CONTENT_TYPE, json.dumps(
+                self.service.stats(), sort_keys=True
+            ) + "\n"
+        if path == "/traces/latest":
+            trace = self.service.latest_trace()
+            if trace is None:
+                trace = {"traceEvents": [], "displayTimeUnit": "ms"}
+            return 200, JSON_CONTENT_TYPE, json.dumps(trace, sort_keys=True) + "\n"
+        return None
+
+    def _count_request(self, path: str) -> None:
+        from . import get_metrics
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_http_requests_total",
+                "Operator-endpoint requests served, by path.",
+            ).inc(path=path)

@@ -123,6 +123,32 @@ def render_stats(snapshot: dict, history_limit: Optional[int] = None) -> str:
                 f"(failures={record.get('consecutive_failures', 0)}, "
                 f"trips={record.get('trips', 0)})"
             )
+    analytics = stats.get("analytics") or {}
+    hot = analytics.get("hot_specs") or []
+    if hot:
+        from .analytics import format_hot_specs
+
+        lines.append(f"hot specs (top {len(hot)} by cumulative latency):")
+        lines.append(format_hot_specs(hot))
+    dead = analytics.get("dead_specs") or []
+    if dead:
+        lines.append(f"dead specs matching no instance this scan ({len(dead)}):")
+        for row in dead:
+            confirmed = " [coverage-confirmed]" if row.get("coverage_confirmed") else ""
+            lines.append(f"  L{row.get('line', '?')}: {row.get('spec', '?')}{confirmed}")
+    drift = stats.get("drift") or {}
+    if drift.get("comparable"):
+        from .analytics import format_drift
+
+        lines.append(format_drift(drift))
+    coverage = stats.get("coverage") or {}
+    if coverage:
+        lines.append(
+            f"coverage: {coverage.get('covered_classes', 0)}/"
+            f"{coverage.get('total_classes', 0)} classes "
+            f"({coverage.get('coverage_ratio', 0.0):.0%}); "
+            f"{len(coverage.get('dead_specs') or [])} dead spec(s)"
+        )
     history = stats.get("history") or []
     if history_limit is not None:
         history = history[-history_limit:]

@@ -219,6 +219,41 @@ class Tracer:
                 roots.append(node)
         return roots
 
+    def subtree(self, span_id: str) -> list[dict]:
+        """Finished spans forming the tree rooted at ``span_id``.
+
+        Order matches the finished-span list (completion order), so the
+        extraction is deterministic.  Used by the service to capture the
+        most recent scan's spans for ``GET /traces/latest``.
+        """
+        spans = self.finished_spans()
+        children: dict[str, list[str]] = {}
+        for span in spans:
+            children.setdefault(span["parent_id"], []).append(span["span_id"])
+        wanted = {span_id}
+        queue = [span_id]
+        while queue:
+            for child in children.get(queue.pop(), ()):
+                if child not in wanted:
+                    wanted.add(child)
+                    queue.append(child)
+        return [span for span in spans if span["span_id"] in wanted]
+
+    def discard(self, span_ids: Iterable[str]) -> int:
+        """Drop finished spans by id; returns how many were removed.
+
+        Long-running services consume each scan's subtree into a trace
+        export and discard it, so tracer memory stays bounded by one scan
+        rather than growing with service lifetime.
+        """
+        drop = set(span_ids)
+        with self._lock:
+            before = len(self._finished)
+            self._finished = [
+                span for span in self._finished if span["span_id"] not in drop
+            ]
+            return before - len(self._finished)
+
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(
             {"trace_id": self.trace_id, "spans": self.finished_spans()},
@@ -226,15 +261,16 @@ class Tracer:
             sort_keys=True,
         )
 
-    def to_chrome_trace(self) -> dict:
+    def to_chrome_trace(self, spans: Optional[list[dict]] = None) -> dict:
         """Chrome ``trace_event`` format: complete ("X") events.
 
         Span ids double as flow identifiers; the worker prefix (everything
         before the last ``:``) becomes the ``tid`` so each shard renders as
-        its own row in the viewer.
+        its own row in the viewer.  ``spans`` exports a subset (e.g. one
+        scan's :meth:`subtree`); default is every finished span.
         """
         events = []
-        for span in self.finished_spans():
+        for span in self.finished_spans() if spans is None else spans:
             span_id = span["span_id"]
             prefix, __, __ = span_id.rpartition(":")
             end = span["end"] if span["end"] is not None else span["start"]
@@ -302,10 +338,16 @@ class NullTracer:
     def span_tree(self) -> list[dict]:
         return []
 
+    def subtree(self, span_id: str) -> list[dict]:
+        return []
+
+    def discard(self, span_ids: Iterable[str]) -> int:
+        return 0
+
     def to_json(self, indent: int = 2) -> str:
         return "{}"
 
-    def to_chrome_trace(self) -> dict:
+    def to_chrome_trace(self, spans: Optional[list[dict]] = None) -> dict:
         return {"traceEvents": [], "displayTimeUnit": "ms"}
 
     def clear(self) -> None:

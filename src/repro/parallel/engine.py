@@ -33,6 +33,7 @@ from ..core.policy import ValidationPolicy
 from ..core.report import ValidationReport
 from ..cpl import ast
 from ..observability import get_metrics, get_tracer
+from ..observability.analytics import merge_spec_profiles
 from ..observability.tracing import NULL_TRACER, SpanContext, Tracer
 from ..repository.store import ConfigStore
 from ..runtime import RuntimeProvider, StaticRuntime
@@ -57,6 +58,10 @@ class WorkerState:
     macros: dict = field(default_factory=dict)
     lets: tuple[Unit, ...] = ()
     profile: bool = False
+    #: per-statement attribution (repro.observability.analytics); the unit
+    #: reports carry the recorded spec_profile back across the executor
+    #: boundary and the merge folds them in original statement order
+    analytics: bool = False
     #: optional statement guard (repro.resilience.SpecGuard) — plain data,
     #: so it pickles/forks; breaker decisions travel in, captured spec
     #: errors travel back inside each unit report's health block
@@ -97,6 +102,7 @@ def evaluate_shard(state: WorkerState, shard: Shard) -> ShardResult:
         profile=state.profile,
         macros=state.macros,
         guard=state.guard,
+        analytics=state.analytics,
     )
     let_position = 0
     unit_reports: list[tuple[int, ValidationReport]] = []
@@ -140,6 +146,7 @@ def _absorb(report: ValidationReport, unit_report: ValidationReport) -> None:
     report.instances_checked += unit_report.instances_checked
     for key, seconds in unit_report.spec_timings.items():
         report.spec_timings[key] = report.spec_timings.get(key, 0.0) + seconds
+    merge_spec_profiles(report.spec_profile, unit_report.spec_profile)
     report.health.merge(unit_report.health)
 
 
@@ -160,6 +167,7 @@ class ParallelValidator:
         max_workers: Optional[int] = None,
         max_shards: Optional[int] = None,
         profile: bool = False,
+        analytics: bool = False,
         shard_timeout: Optional[float] = None,
         shard_retries: int = 1,
         guard=None,
@@ -171,6 +179,8 @@ class ParallelValidator:
         self.max_workers = max_workers
         self.max_shards = max_shards
         self.profile = profile
+        #: per-statement attribution (repro.observability.analytics)
+        self.analytics = analytics
         #: per-shard wall-clock wait budget in seconds; setting it turns on
         #: shard supervision (repro.parallel.supervision) with the fallback
         #: ladder retry-same-executor → serial re-run → mark shard failed
@@ -194,6 +204,7 @@ class ParallelValidator:
             profile=self.profile,
             macros=macros,
             guard=self.guard,
+            analytics=self.analytics,
         )
         evaluator.run(list(statements), report)
         report.executor = "serial-fallback"
@@ -228,6 +239,7 @@ class ParallelValidator:
                 macros=dict(macros) if macros else {},
                 lets=lets,
                 profile=self.profile,
+                analytics=self.analytics,
                 guard=self.guard,
                 trace=tracer.current_context() if tracer.enabled else None,
             )

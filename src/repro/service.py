@@ -25,6 +25,7 @@ changed, the spec file's parse + compiler rewrites are reused from cache
 from __future__ import annotations
 
 import os
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -34,6 +35,7 @@ from .core.report import HealthBlock, ValidationReport
 from .core.session import ValidationSession
 from .errors import DriverError
 from .observability import get_logger, get_metrics, get_tracer, write_snapshot
+from .observability.analytics import SpecAnalytics
 from .parallel.cache import SpecCache, SpecCacheStats
 from .resilience import ResiliencePolicy, SourceSupervisor, SpecCircuitBreaker
 from .runtime import RuntimeProvider
@@ -88,6 +90,7 @@ class ValidationService:
         spec_cache: Optional[SpecCache] = None,
         resilience: Optional[ResiliencePolicy] = None,
         metrics_file: Optional[str] = None,
+        analytics: bool = True,
     ):
         self.spec_path = spec_path
         self.sources = list(sources)
@@ -124,6 +127,23 @@ class ValidationService:
         self.scans = 0
         self._mtimes: dict[str, float] = {}
         self._sequence = 0
+        #: scan-over-scan per-spec analytics (hot specs, dead specs, drift);
+        #: None turns per-statement attribution off entirely, and
+        #: report fingerprints are byte-identical either way
+        self.analytics: Optional[SpecAnalytics] = (
+            SpecAnalytics() if analytics else None
+        )
+        #: guards the published trace/coverage state: the scan loop is the
+        #: only writer, endpoint readers copy under the lock — so a reader
+        #: never blocks a scan for longer than a dict swap
+        self._obs_lock = threading.Lock()
+        self._last_trace: Optional[dict] = None
+        #: coverage summary of the last scan, cached on
+        #: (spec text, instance count) so steady-state scans skip reanalysis
+        self._coverage: Optional[dict] = None
+        self._coverage_key: Optional[tuple] = None
+        #: live operator endpoint (started via start_http / CLI --http)
+        self._http = None
 
     # ------------------------------------------------------------------
 
@@ -172,7 +192,8 @@ class ValidationService:
     # ------------------------------------------------------------------
 
     def _run(self, changed: list[str]) -> ScanResult:
-        with get_tracer().span(
+        tracer = get_tracer()
+        with tracer.span(
             "scan", scan=self.scans, changed=len(changed)
         ) as span:
             if self.resilience is not None:
@@ -184,7 +205,21 @@ class ValidationService:
                 violations=len(result.report.violations),
                 health=result.health.status if result.health else "",
             )
+            scan_span_id = span.span_id
+        if tracer.enabled and scan_span_id:
+            self._capture_trace(tracer, scan_span_id)
         return result
+
+    def _capture_trace(self, tracer, scan_span_id: str) -> None:
+        """Publish the finished scan's span tree for ``GET /traces/latest``
+        and discard the consumed spans so tracer memory stays bounded."""
+        spans = tracer.subtree(scan_span_id)
+        if not spans:
+            return
+        trace = tracer.to_chrome_trace(spans)
+        with self._obs_lock:
+            self._last_trace = trace
+        tracer.discard(span["span_id"] for span in spans)
 
     def _run_strict(self, changed: list[str]) -> ScanResult:
         session = ValidationSession(
@@ -193,6 +228,7 @@ class ValidationService:
             base_dir=os.path.dirname(self.spec_path) or ".",
             executor=self.executor,
             spec_cache=self.spec_cache,
+            analytics=self.analytics is not None,
         )
         tracer = get_tracer()
         with tracer.span("discover", sources=len(self.sources)):
@@ -202,7 +238,7 @@ class ValidationService:
                         source.format_name, source.path, source.scope
                     )
         report = session.validate_file(self.spec_path)
-        return self._record(report, changed, health=None)
+        return self._record(report, changed, health=None, store=session.store)
 
     def _run_resilient(self, changed: list[str]) -> ScanResult:
         """One supervised scan: quarantine faults, always produce a result.
@@ -226,6 +262,7 @@ class ValidationService:
             spec_guard=guard,
             shard_timeout=policy.shard_timeout,
             shard_retries=policy.shard_retries,
+            analytics=self.analytics is not None,
         )
         source_failures: list[dict] = []
         retries_this_scan = 0
@@ -285,14 +322,21 @@ class ValidationService:
             # it as "all clean" would wrongly close every breaker)
             self.breaker.observe(report)
         health.finalize()
-        return self._record(report, changed, health=health)
+        return self._record(report, changed, health=health, store=session.store)
 
     def _record(
         self,
         report: ValidationReport,
         changed: list[str],
         health: Optional[HealthBlock],
+        store=None,
     ) -> ScanResult:
+        if self.analytics is not None:
+            coverage = self._analyze_coverage(store)
+            self.analytics.record_scan(
+                report,
+                coverage_dead=coverage["dead_specs"] if coverage else None,
+            )
         previous = self.history[-1] if self.history else None
         self._sequence += 1
         result = ScanResult(
@@ -369,6 +413,116 @@ class ValidationService:
             },
         )
 
+    def _analyze_coverage(self, store) -> Optional[dict]:
+        """Coverage summary of the current (spec text, store) pair.
+
+        Cached on (spec text, instance count): steady-state scans where
+        neither the spec nor the store shape changed reuse the previous
+        analysis.  Returns the last known summary when the spec file is
+        unreadable (a FAILED scan should not erase coverage history), and
+        feeds the coverage gauges.
+        """
+        if store is None:
+            return self._coverage
+        try:
+            if self.runtime is not None:
+                spec_text = self.runtime.read_bytes(self.spec_path).decode("utf-8")
+            else:
+                with open(self.spec_path, "r", encoding="utf-8") as handle:
+                    spec_text = handle.read()
+        except Exception:
+            return self._coverage
+        key = (spec_text, store.instance_count)
+        with self._obs_lock:
+            if key == self._coverage_key and self._coverage is not None:
+                return self._coverage
+        try:
+            from .core.coverage import analyze_coverage
+
+            coverage = analyze_coverage(spec_text, store)
+        except Exception:
+            # an unparsable spec yields no coverage view, not a failed scan
+            return self._coverage
+        summary = {
+            "covered_classes": len(coverage.covered),
+            "uncovered_classes": len(coverage.uncovered),
+            "total_classes": coverage.total_classes,
+            "coverage_ratio": round(coverage.coverage_ratio, 4),
+            "spec_count": coverage.spec_count,
+            "dead_specs": sorted(coverage.dead_specs),
+        }
+        with self._obs_lock:
+            self._coverage_key = key
+            self._coverage = summary
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge(
+                "confvalley_coverage_covered_classes",
+                "Configuration classes matched by at least one specification.",
+            ).set(summary["covered_classes"])
+            metrics.gauge(
+                "confvalley_coverage_uncovered_classes",
+                "Configuration classes no specification can reach.",
+            ).set(summary["uncovered_classes"])
+            metrics.gauge(
+                "confvalley_coverage_dead_specs",
+                "Specifications whose notations match no instance at all.",
+            ).set(len(summary["dead_specs"]))
+        return summary
+
+    # ------------------------------------------------------------------
+    # Operator endpoint surface (repro.observability.server)
+    # ------------------------------------------------------------------
+
+    def health_payload(self) -> dict:
+        """The ``GET /health`` body: 503-worthy iff ``status == "FAILED"``.
+
+        ``status`` is the last scan's health verdict (``OK`` / ``DEGRADED``
+        / ``FAILED``; strict-mode scans have no health block and report
+        ``OK``), or ``never-validated`` before the first scan — a service
+        that has not scanned yet is *up*, not broken.
+        """
+        last = self.history[-1] if self.history else None
+        if last is None:
+            return {
+                "status": "never-validated",
+                "passed": None,
+                "scans": self.scans,
+                "validations": self._sequence,
+            }
+        return {
+            "status": last.health.status if last.health else HealthBlock.OK,
+            "passed": last.passed,
+            "sequence": last.sequence,
+            "scans": self.scans,
+            "validations": self._sequence,
+        }
+
+    def latest_trace(self) -> Optional[dict]:
+        """The most recent scan's span tree as Chrome ``trace_event`` JSON
+        (None until a scan ran with tracing enabled)."""
+        with self._obs_lock:
+            return self._last_trace
+
+    def start_http(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the live operator endpoint; returns the running server."""
+        from .observability.server import ObservabilityServer
+
+        if self._http is None:
+            self._http = ObservabilityServer(self, host=host, port=port).start()
+        return self._http
+
+    def stop_http(self) -> None:
+        """Stop the operator endpoint (idempotent; part of clean shutdown)."""
+        http, self._http = self._http, None
+        if http is not None:
+            http.stop()
+
+    @property
+    def http(self):
+        """The running operator endpoint, or None."""
+        return self._http
+
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
@@ -379,9 +533,18 @@ class ValidationService:
         a degraded scan without attaching a debugger.
         """
         status = self.current_status
+        with self._obs_lock:
+            coverage = dict(self._coverage) if self._coverage else None
         return {
             "scans": self.scans,
             "validations": self._sequence,
+            "analytics": (
+                self.analytics.to_dict() if self.analytics is not None else None
+            ),
+            "drift": (
+                self.analytics.drift() if self.analytics is not None else None
+            ),
+            "coverage": coverage,
             "status": (
                 "never-validated"
                 if status is None

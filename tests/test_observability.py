@@ -201,6 +201,68 @@ class TestPrometheusExposition:
         with pytest.raises(ValueError):
             parse_prometheus("this is not prometheus\n")
 
+    def test_inf_buckets_parse_as_floats(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", "L.", buckets=(0.5,)).observe(3.0)
+        families = parse_prometheus(registry.to_prometheus())
+        inf_samples = [
+            (labels, value)
+            for name, labels, value in families["lat"]["samples"]
+            if name == "lat_bucket" and labels["le"] == "+Inf"
+        ]
+        assert inf_samples == [({"le": "+Inf"}, 1.0)]
+        assert parse_prometheus("x 3\ny +Inf\nz -Inf\n")["y"]["samples"][0][2] \
+            == float("inf")
+
+    def test_label_value_escaping_round_trips(self):
+        awkward = 'quote " backslash \\ newline \n comma , brace }'
+        registry = MetricsRegistry()
+        registry.counter("weird_total", "W.").inc(path=awkward)
+        text = registry.to_prometheus()
+        # the exposition itself must stay one sample per line
+        assert "\n comma" not in text
+        families = parse_prometheus(text)
+        __, labels, value = families["weird_total"]["samples"][0]
+        assert labels == {"path": awkward}
+        assert value == 1.0
+
+    def test_parser_rejects_invalid_label_escape(self):
+        with pytest.raises(ValueError):
+            parse_prometheus('x_total{a="bad \\t escape"} 1\n')
+
+    def test_empty_registry_exposes_and_parses_cleanly(self):
+        registry = MetricsRegistry()
+        text = registry.to_prometheus()
+        assert parse_prometheus(text) == {}
+        # a registered-but-never-observed family still exposes validly
+        registry.counter("silent_total", "S.")
+        registry.histogram("quiet", "Q.")
+        families = parse_prometheus(registry.to_prometheus())
+        assert families["silent_total"]["type"] == "counter"
+        assert families["quiet"]["type"] == "histogram"
+        bucket_values = [
+            value for name, __, value in families["quiet"]["samples"]
+            if name == "quiet_bucket"
+        ]
+        assert bucket_values and all(value == 0.0 for value in bucket_values)
+
+    def test_metrics_endpoint_round_trip(self, workspace):
+        """Regression: the live /metrics body must satisfy the parser."""
+        tmp, spec, config = workspace
+        obs = observability.enable()
+        service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+        service.run_once()
+        server = service.start_http()
+        try:
+            import urllib.request
+
+            with urllib.request.urlopen(server.url + "/metrics") as response:
+                assert response.headers["Content-Type"].startswith("text/plain")
+                body = response.read().decode("utf-8")
+        finally:
+            service.stop_http()
+        assert parse_prometheus(body) == parse_prometheus(obs.metrics.to_prometheus())
+
     def test_json_exposition(self):
         registry = MetricsRegistry()
         registry.counter("a_total", "A.").inc()
