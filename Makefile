@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos obs-smoke http-smoke bench-smoke bench ci
+.PHONY: test chaos obs-smoke http-smoke jobs-smoke bench-smoke bench ci
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -32,6 +32,13 @@ obs-smoke:
 http-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/http_smoke.py
 
+## Job-service smoke: start `service --http --jobs` as a real subprocess,
+## drive submit --wait / dedup / listing over HTTP via the CLI, assert
+## fingerprint parity with a direct validate, then SIGTERM-drain and
+## verify the journal lost nothing.
+jobs-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/jobs_smoke.py
+
 ## Run every benchmark on a tiny corpus — correctness of the bench
 ## harness itself, not a measurement.  See benchmarks/smoke.sh.
 bench-smoke:
@@ -43,5 +50,6 @@ bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
 
 ## What CI runs: the tier-1 suite, the chaos suite, the observability
-## gate, the live-endpoint smoke, and the benchmark smoke pass.
-ci: test chaos obs-smoke http-smoke bench-smoke
+## gate, the live-endpoint and job-service smokes, and the benchmark
+## smoke pass.
+ci: test chaos obs-smoke http-smoke jobs-smoke bench-smoke

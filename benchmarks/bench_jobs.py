@@ -1,0 +1,122 @@
+"""Asynchronous job service throughput and queue-wait latency.
+
+The paper's service sits inside a deployment workflow: many engineers
+submit, a shared pool validates.  This bench drives that shape end to
+end through the real :class:`~repro.jobs.service.JobService` — admission
+control, durable journal, worker pool, spec-cache reuse — and reports,
+per worker-pool size (1 / 4 / 8):
+
+* **throughput** — completed validations per second, submission of the
+  first job to completion of the last;
+* **queue wait** — p50/p99 of each job's submission→start latency, the
+  number an operator watches (``confvalley_job_wait_seconds``) to decide
+  the pool is undersized.
+
+Two shape claims are asserted on any machine:
+
+* every job's verdict fingerprint equals the single direct ``validate``
+  fingerprint — byte-identical results regardless of pool size or
+  interleaving (the async path changes *when*, never *what*);
+* the spec cache makes the corpus compile once per pool, not once per
+  job (hits ≥ jobs - 1 after the first).
+
+The throughput-scales-with-workers claim is only asserted with ≥4 cores
+and the default corpus — at smoke scale the table still prints.
+
+Run it alone with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_jobs.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.benchutil import format_table
+from repro.core.session import ValidationSession
+from repro.jobs import JobService
+from repro.jobs.model import report_fingerprint_digest
+from repro.synthetic import EXPERT_SPECS
+from repro.synthetic.azure import generate_type_a
+
+WORKER_SIZES = (1, 4, 8)
+#: submissions per pool size (smoke runs scale this down via the env)
+JOB_COUNT = int(os.environ.get("REPRO_JOBS_N", "48"))
+SCALE = float(os.environ.get("REPRO_SCALE_A", "0.35"))
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def build_corpus():
+    """One synthetic Type-A payload + the expert spec, shared by every job."""
+    dataset = generate_type_a(max(0.02, SCALE / 5))
+    fmt, text, scope = dataset.sources[0]
+    source = {"format": fmt, "text": text, "source": "bench.xml",
+              "scope": scope}
+    return EXPERT_SPECS["type_a"], source
+
+
+def drive_pool(spec: str, source: dict, workers: int):
+    service = JobService(workers=workers)
+    try:
+        started = time.perf_counter()
+        ids = []
+        for __ in range(JOB_COUNT):
+            job, __created = service.submit(spec=spec, sources=[source])
+            ids.append(job.id)
+        jobs = [service.wait(job_id, timeout=600) for job_id in ids]
+        elapsed = time.perf_counter() - started
+        waits = [job.wait_seconds for job in jobs]
+        stats = service.spec_cache.stats.as_dict()
+        return jobs, elapsed, waits, stats
+    finally:
+        service.close()
+
+
+def test_job_throughput_and_wait(emit):
+    spec, source = build_corpus()
+
+    session = ValidationSession()
+    session.load_text(source["format"], source["text"],
+                      source=source["source"], scope=source["scope"])
+    expected = report_fingerprint_digest(session.validate(spec))
+
+    rows = []
+    throughput = {}
+    for workers in WORKER_SIZES:
+        jobs, elapsed, waits, cache = drive_pool(spec, source, workers)
+        for job in jobs:
+            assert job.state == "DONE", (job.state, job.error)
+            assert job.result["fingerprint"] == expected
+        # the corpus compiles at most once per worker (the first wave can
+        # miss concurrently before any store lands), never once per job
+        assert cache["misses"] <= workers, cache
+        assert cache["hits"] + cache["misses"] == JOB_COUNT, cache
+        throughput[workers] = len(jobs) / elapsed
+        rows.append((
+            workers,
+            JOB_COUNT,
+            f"{elapsed:.2f}",
+            f"{throughput[workers]:.1f}",
+            f"{percentile(waits, 0.50) * 1000:.0f}",
+            f"{percentile(waits, 0.99) * 1000:.0f}",
+        ))
+
+    table = format_table(
+        ("workers", "jobs", "total s", "jobs/s", "wait p50 ms", "wait p99 ms"),
+        rows,
+    )
+    emit("jobs_throughput", table + (
+        "\n\nEvery job's verdict fingerprint matched the direct validate run."
+    ))
+
+    if os.cpu_count() >= 4 and JOB_COUNT >= 48:
+        assert throughput[4] > throughput[1], (
+            "4 workers should out-drain 1 on a multi-core machine: "
+            f"{throughput}"
+        )

@@ -100,6 +100,7 @@ def main() -> int:
             "service", str(spec),
             "--source", f"ini:{config}",
             "--http", "127.0.0.1:0",
+            "--jobs", "--workers", "1",
             "--interval", "0.2",
         ],
         env=env,

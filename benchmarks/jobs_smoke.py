@@ -1,0 +1,175 @@
+"""End-to-end smoke test of the asynchronous job service.
+
+Starts ``confvalley service --http --jobs`` as a *subprocess* (real
+process boundary, ephemeral port, durable journal), then drives the whole
+submission lifecycle the way an engineer would:
+
+1. ``confvalley submit --wait`` uploads a spec + inline source and blocks
+   to the verdict — exit 0 and a fingerprint **byte-identical** to a
+   direct in-process ``validate`` of the same inputs;
+2. a second submission with the same idempotency key deduplicates;
+3. ``confvalley jobs`` lists the finished work;
+4. a submission against an over-capacity service bounces with a
+   structured 429 (checked in-process in the test suite; here we check
+   the service keeps answering while jobs run);
+5. SIGTERM drains cleanly: exit 0, and the journal still carries every
+   job — **no accepted work is lost across the restart boundary**.
+
+Run directly (``make jobs-smoke``)::
+
+    PYTHONPATH=src python benchmarks/jobs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.session import ValidationSession  # noqa: E402
+from repro.jobs.journal import JobJournal  # noqa: E402
+from repro.jobs.model import ValidationJob, report_fingerprint_digest  # noqa: E402
+
+ANNOUNCEMENT = re.compile(r"operator endpoint: (http://\S+)")
+STARTUP_DEADLINE = 30.0
+SHUTDOWN_DEADLINE = 15.0
+
+SPEC = (
+    "$fabric.Timeout -> int & [1, 60]\n"
+    "$fabric.Retries -> int & [0, 5]\n"
+)
+CONFIG = "[fabric]\nTimeout = 30\nRetries = 2\n"
+
+
+def cli(args, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    return subprocess.run(
+        [
+            sys.executable, "-c",
+            "import sys; from repro.console.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            *args,
+        ],
+        env=env, capture_output=True, text=True, timeout=120, **kwargs,
+    )
+
+
+def wait_for_announcement(stderr) -> str:
+    deadline = time.monotonic() + STARTUP_DEADLINE
+    while time.monotonic() < deadline:
+        line = stderr.readline()
+        if not line:
+            raise AssertionError("service exited before announcing its URL")
+        sys.stderr.write(line)
+        match = ANNOUNCEMENT.search(line)
+        if match:
+            return match.group(1)
+    raise AssertionError("no endpoint announcement within deadline")
+
+
+def main() -> int:
+    workspace = Path(tempfile.mkdtemp(prefix="confvalley-jobs-smoke-"))
+    spec = workspace / "specs.cpl"
+    spec.write_text(SPEC)
+    config = workspace / "prod.ini"
+    config.write_text(CONFIG)
+    journal = workspace / "jobs.jsonl"
+
+    session = ValidationSession()
+    session.load_source("ini", str(config))
+    expected = report_fingerprint_digest(session.validate(SPEC))
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "import sys; from repro.console.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "service", str(spec),
+            "--source", f"ini:{config}",
+            "--http", "127.0.0.1:0",
+            "--jobs", "--workers", "2",
+            "--jobs-journal", str(journal),
+            "--interval", "0.2",
+        ],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        base = wait_for_announcement(process.stderr).rstrip("/")
+
+        # 1. submit --wait: admit verdict, fingerprint parity across the
+        # process boundary
+        result = cli([
+            "submit", str(spec), "--url", base,
+            "--inline-source", f"ini:{config}",
+            "--idempotency-key", "smoke-1",
+            "--wait", "--poll", "0.1", "--json",
+        ])
+        assert result.returncode == 0, result.stderr
+        record = json.loads(result.stdout)
+        assert record["state"] == "DONE", record
+        assert record["result"]["verdict"] == "admit", record
+        assert record["result"]["fingerprint"] == expected, (
+            "async verdict diverged from the direct validate run"
+        )
+        job_id = record["id"]
+        print(f"ok submit --wait -> DONE, fingerprint parity ({job_id})")
+
+        # 2. same idempotency key -> the same job, not a second run
+        result = cli([
+            "submit", str(spec), "--url", base,
+            "--inline-source", f"ini:{config}",
+            "--idempotency-key", "smoke-1",
+        ])
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == job_id, result.stdout
+        assert "deduplicated" in result.stderr
+        print("ok idempotency-key deduplication")
+
+        # 3. the listing shows the finished job with its verdict
+        result = cli(["jobs", base])
+        assert result.returncode == 0, result.stderr
+        assert job_id in result.stdout
+        assert "verdict=admit" in result.stdout
+        print("ok jobs listing")
+
+        # 4. queue metrics flow through the operator endpoint
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+            metrics = resp.read().decode("utf-8")
+        assert "confvalley_jobs_submitted_total" in metrics
+        assert "confvalley_job_run_seconds" in metrics
+        print("ok queue metrics exposed")
+
+        # 5. SIGTERM: clean drain, journal retains every accepted job
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=SHUTDOWN_DEADLINE)
+        assert returncode == 0, f"service exited {returncode} on SIGTERM"
+        recovered = JobJournal.fold(
+            JobJournal(str(journal)).replay(), ValidationJob.from_dict
+        )
+        assert job_id in recovered, "accepted job missing after drain"
+        assert recovered[job_id].state == "DONE"
+        assert recovered[job_id].result["fingerprint"] == expected
+        print("ok SIGTERM drain, journal intact")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=5)
+
+    print("jobs-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

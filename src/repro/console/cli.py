@@ -9,13 +9,22 @@ Subcommands::
     confvalley validate SPEC.cpl [--source FMT:PATH[:SCOPE] …] [--partitions N]
     confvalley infer    [--source FMT:PATH[:SCOPE] …] [--out SPECS.cpl]
     confvalley console  [--source FMT:PATH[:SCOPE] …]
-    confvalley service  SPEC.cpl [--http HOST:PORT] [--metrics-file PATH] …
+    confvalley service  SPEC.cpl [--http HOST:PORT] [--jobs] [--workers N] …
     confvalley stats    SNAPSHOT_OR_URL [--format text|json|prometheus]
     confvalley top      SNAPSHOT_OR_URL [--count N]
+    confvalley submit   SPEC.cpl --url URL [--source …] [--wait]
+    confvalley jobs     URL [--state S] [--tenant T]
+    confvalley cancel   URL JOB_ID
 
 ``stats`` and ``top`` read either a snapshot file written by
 ``service --metrics-file`` or a running service's operator endpoint
-(``http://HOST:PORT``, see ``service --http``).
+(``http://HOST:PORT``, see ``service --http``); ``coverage`` also accepts
+a live URL in place of the spec file.  ``submit``/``jobs``/``cancel``
+talk to the asynchronous job API of a service started with ``--jobs``.
+
+Exit-code contract for CI (``gate``, ``submit --wait``): **0** the change
+is admitted, **1** the verdict rejects it, **2** the validation itself
+could not run (bad input, unreachable service, crash).
 """
 
 from __future__ import annotations
@@ -170,6 +179,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="append structured JSON-lines logs to PATH (one JSON object "
              "per line; see docs/OBSERVABILITY.md for the line schema)",
     )
+    service.add_argument(
+        "--jobs", action="store_true",
+        help="enable the asynchronous job service: POST /jobs submission "
+             "API on the operator endpoint, durable queue, worker pool "
+             "(repro.jobs; implied by any --workers/--jobs-* knob)",
+    )
+    service.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="job worker threads (default 2; implies --jobs)",
+    )
+    service.add_argument(
+        "--jobs-journal", default=None, metavar="PATH",
+        help="durable job journal: accepted jobs survive restarts and "
+             "crashes; QUEUED work resumes on the next start (implies --jobs)",
+    )
+    service.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="admission control: max QUEUED jobs before submissions get "
+             "429 backpressure (default 256; implies --jobs)",
+    )
+    service.add_argument(
+        "--tenant-limit", type=int, default=None, metavar="N",
+        help="admission control: max in-flight jobs per tenant label "
+             "(default unlimited; implies --jobs)",
+    )
+    service.add_argument(
+        "--job-rate", type=float, default=None, metavar="PER_SECOND",
+        help="admission control: token-bucket submission rate limit "
+             "(default unlimited; implies --jobs)",
+    )
+    service.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job execution timeout (implies --jobs)",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -208,16 +251,103 @@ def build_parser() -> argparse.ArgumentParser:
     coverage = sub.add_parser(
         "coverage", help="report which configuration classes no spec reaches"
     )
-    coverage.add_argument("spec", help="CPL specification file")
+    coverage.add_argument(
+        "spec",
+        help="CPL specification file, or a running service's base URL "
+             "(http://HOST:PORT) to read its live coverage summary",
+    )
     coverage.add_argument(
         "--source", action="append", default=[], metavar="FMT:PATH[:SCOPE]",
         help="configuration source to analyze (repeatable)",
     )
     coverage.add_argument("--limit", type=int, default=20)
 
+    submit = sub.add_parser(
+        "submit",
+        help="submit a validation job to a running service (POST /jobs)",
+    )
+    submit.add_argument(
+        "spec", nargs="?", default=None,
+        help="local CPL spec file uploaded with the job "
+             "(omit when using --spec-name)",
+    )
+    submit.add_argument(
+        "--url", required=True, metavar="URL",
+        help="service base URL (see `service --http --jobs`)",
+    )
+    submit.add_argument(
+        "--source", action="append", default=[], metavar="FMT:PATH[:SCOPE]",
+        help="source reference resolved on the service host (repeatable)",
+    )
+    submit.add_argument(
+        "--inline-source", action="append", default=[],
+        metavar="FMT:PATH[:SCOPE]",
+        help="local source file read here and uploaded inline with the "
+             "job (repeatable; for submitting from another host)",
+    )
+    submit.add_argument(
+        "--spec-name", default=None, metavar="NAME",
+        help="validate a spec registered on the service (the watched spec "
+             "is registered as 'service') instead of uploading one",
+    )
+    submit.add_argument(
+        "--idempotency-key", default="", metavar="KEY",
+        help="duplicate-suppression key: resubmitting with the same key "
+             "returns the original job id",
+    )
+    submit.add_argument("--priority", type=int, default=0,
+                        help="larger runs first (default 0)")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant label for per-tenant admission limits")
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job execution timeout on the service",
+    )
+    submit.add_argument(
+        "--executor", choices=("auto", "serial", "thread", "process"),
+        default=None, help="evaluation strategy for this job",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes; exit 0 admit / 1 reject / 2 error",
+    )
+    submit.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                        help="poll interval with --wait (default 0.2)")
+    submit.add_argument(
+        "--wait-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up waiting after this long (default 600)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print the job record / verdict as machine-readable JSON",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="list jobs on a running service (GET /jobs)"
+    )
+    jobs.add_argument("url", metavar="URL", help="service base URL")
+    jobs.add_argument(
+        "--state", default=None,
+        choices=("QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED",
+                 "INTERRUPTED"),
+        help="only jobs in this state",
+    )
+    jobs.add_argument("--tenant", default=None, help="only this tenant's jobs")
+    jobs.add_argument("--limit", type=int, default=20, metavar="N",
+                      help="rows shown (default 20)")
+    jobs.add_argument("--json", action="store_true",
+                      help="print the raw listing JSON")
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a job on a running service (POST /jobs/<id>/cancel)"
+    )
+    cancel.add_argument("url", metavar="URL", help="service base URL")
+    cancel.add_argument("job_id", metavar="JOB_ID", help="the job to cancel")
+
     gate = sub.add_parser(
         "gate",
-        help="pre-check-in gate: diff old vs new sources, validate the change",
+        help="pre-check-in gate: diff old vs new sources, validate the change "
+             "(exit 0 admit / 1 reject / 2 error)",
     )
     gate.add_argument("spec", help="CPL specification file")
     gate.add_argument(
@@ -231,6 +361,11 @@ def build_parser() -> argparse.ArgumentParser:
     gate.add_argument(
         "--full", action="store_true",
         help="run the whole corpus instead of change-affected specs only",
+    )
+    gate.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable verdict JSON (the same schema job "
+             "results carry) instead of the human-readable report",
     )
 
     fmt = sub.add_parser(
@@ -275,6 +410,56 @@ def _is_url(target: str) -> bool:
     return target.startswith(("http://", "https://"))
 
 
+#: everything a live-endpoint call can throw: refused/reset connections and
+#: timeouts (OSError covers URLError and socket.timeout), a non-HTTP server
+#: on the port (HTTPException, e.g. BadStatusLine), and a reachable server
+#: answering with something that is not the expected JSON (ValueError)
+def _live_endpoint_errors() -> tuple:
+    import http.client
+
+    return (OSError, ValueError, http.client.HTTPException)
+
+
+def _unreachable_message(target: str, exc: Exception) -> str:
+    """One actionable line for any failed live-endpoint interaction."""
+    detail = str(exc) or type(exc).__name__
+    if isinstance(exc, ValueError):
+        return (f"{target} did not return ConfValley JSON ({detail}) — "
+                f"is this really a `confvalley service --http` endpoint?")
+    return (f"cannot reach {target} ({detail}) — is the service running "
+            f"with --http (and --jobs for job commands)?")
+
+
+def _http_json(url: str, payload: Optional[dict] = None,
+               timeout: float = 10.0) -> tuple[int, dict]:
+    """GET (or POST ``payload`` as JSON) → ``(status, parsed body)``.
+
+    4xx/5xx responses are returned, not raised — the callers branch on
+    status codes (202/429/409…).  Connection-level failures raise the
+    :func:`_live_endpoint_errors` family for uniform handling.
+    """
+    import json as _json
+    from urllib.error import HTTPError
+    from urllib.request import Request, urlopen
+
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = _json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = Request(url, data=data, headers=headers)
+    try:
+        with urlopen(request, timeout=timeout) as response:
+            body = response.read().decode("utf-8")
+            return response.status, (_json.loads(body) if body.strip() else {})
+    except HTTPError as error:
+        body = error.read().decode("utf-8", "replace")
+        try:
+            return error.code, _json.loads(body)
+        except ValueError:
+            return error.code, {"error": body.strip() or error.reason}
+
+
 def _fetch_live_snapshot(url: str, want_prometheus: bool = False) -> dict:
     """Scrape a running service's operator endpoint into snapshot shape.
 
@@ -311,8 +496,8 @@ def _load_stats_snapshot(target: str, want_prometheus: bool = False) -> Optional
     if _is_url(target):
         try:
             return _fetch_live_snapshot(target, want_prometheus=want_prometheus)
-        except (OSError, ValueError) as exc:
-            print(f"cannot reach {target!r}: {exc}", file=sys.stderr)
+        except _live_endpoint_errors() as exc:
+            print(_unreachable_message(target, exc), file=sys.stderr)
             return None
     try:
         return load_snapshot(target)
@@ -400,19 +585,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_stats(args)
     if args.command == "top":
         return _run_top(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "jobs":
+        return _run_jobs(args)
+    if args.command == "cancel":
+        return _run_cancel(args)
     if args.command == "fmt":
         return _run_fmt(args)
     if args.command == "gate":
         return _run_gate(args)
     if args.command == "coverage":
-        from ..core.coverage import analyze_coverage
-
-        session = ValidationSession()
-        _load_sources(session, args.source)
-        with open(args.spec, "r", encoding="utf-8") as handle:
-            report = analyze_coverage(handle.read(), session.store)
-        print(report.render(limit=args.limit))
-        return 0 if not report.uncovered else 1
+        return _run_coverage(args)
     # console
     session = ValidationSession()
     _load_sources(session, args.source)
@@ -440,31 +624,117 @@ def _run_fmt(args) -> int:
     return 0
 
 
+def _run_coverage(args) -> int:
+    import json as _json
+
+    if _is_url(args.spec):
+        # live mode: read the last scan's coverage summary off the
+        # operator endpoint instead of analyzing local files
+        base = args.spec.rstrip("/")
+        try:
+            status, stats = _http_json(base + "/stats")
+        except _live_endpoint_errors() as exc:
+            print(_unreachable_message(base, exc), file=sys.stderr)
+            return 1
+        if status != 200 or not isinstance(stats, dict):
+            print(f"{base}/stats returned HTTP {status}", file=sys.stderr)
+            return 1
+        coverage = stats.get("coverage")
+        if not coverage:
+            print("no coverage summary on this service yet — it reports "
+                  "after the first scan with analytics enabled",
+                  file=sys.stderr)
+            return 1
+        print(_json.dumps(coverage, indent=2, sort_keys=True))
+        return 0 if not coverage.get("uncovered_classes") else 1
+    from ..core.coverage import analyze_coverage
+
+    session = ValidationSession()
+    _load_sources(session, args.source)
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        report = analyze_coverage(handle.read(), session.store)
+    print(report.render(limit=args.limit))
+    return 0 if not report.uncovered else 1
+
+
 def _run_gate(args) -> int:
+    """The pre-check-in gate; exit 0 admit / 1 reject / 2 error.
+
+    With ``--json`` the verdict is the same machine-readable schema job
+    results carry (:func:`repro.jobs.model.verdict_payload`), so CI
+    pipelines parse one format whether they gate synchronously or submit
+    asynchronously.
+    """
+    import json as _json
+
+    from ..jobs.model import (
+        EXIT_ADMIT,
+        EXIT_ERROR,
+        EXIT_REJECT,
+        error_verdict,
+        verdict_payload,
+    )
+
+    try:
+        return _run_gate_checked(args, _json, verdict_payload,
+                                 EXIT_ADMIT, EXIT_REJECT)
+    except SystemExit:
+        raise
+    except Exception as exc:
+        message = f"{type(exc).__name__}: {exc}"
+        if args.json:
+            print(_json.dumps(error_verdict(message), indent=2, sort_keys=True))
+        else:
+            print(f"gate error: {message}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+def _run_gate_checked(args, _json, verdict_payload, exit_admit, exit_reject) -> int:
     from ..core.incremental import IncrementalValidator
     from ..repository.versioned import diff_stores
 
+    quiet = args.json  # --json: nothing but the verdict object on stdout
     old_session = ValidationSession()
     if args.old:
         _load_sources(old_session, args.old)
     new_session = ValidationSession()
     _load_sources(new_session, args.new)
     change = diff_stores(old_session.store if args.old else None, new_session.store)
-    print(f"change: {change.summary()}")
+    if not quiet:
+        print(f"change: {change.summary()}")
     if change.is_empty and not args.full:
-        print("nothing changed — ACCEPT")
-        return 0
+        if quiet:
+            from ..core.report import ValidationReport
+
+            verdict = verdict_payload(ValidationReport())
+            verdict["change"] = change.summary()
+            verdict["statements_run"] = 0
+            print(_json.dumps(verdict, indent=2, sort_keys=True))
+        else:
+            print("nothing changed — ACCEPT")
+        return exit_admit
     with open(args.spec, "r", encoding="utf-8") as handle:
         validator = IncrementalValidator(handle.read())
     if args.full:
         report = validator.validate_full(new_session.store)
-        print(f"full corpus: {validator.statement_count} statement(s)")
+        selected = validator.statement_count
+        if not quiet:
+            print(f"full corpus: {validator.statement_count} statement(s)")
     else:
         report = validator.validate_change(new_session.store, change)
-        print(
-            f"incremental: {validator.last_selected} of "
-            f"{validator.statement_count} statement(s) run"
-        )
+        selected = validator.last_selected
+        if not quiet:
+            print(
+                f"incremental: {validator.last_selected} of "
+                f"{validator.statement_count} statement(s) run"
+            )
+    if quiet:
+        verdict = verdict_payload(report)
+        verdict["change"] = change.summary()
+        verdict["statements_run"] = selected
+        verdict["statements_total"] = validator.statement_count
+        print(_json.dumps(verdict, indent=2, sort_keys=True))
+        return exit_admit if report.passed else exit_reject
     print(report.render(limit=20))
     if not report.passed:
         from ..core.repair import suggest_repairs
@@ -475,7 +745,7 @@ def _run_gate(args) -> int:
             for repair in repairs:
                 print("  " + repair.render())
     print("ACCEPT" if report.passed else "REJECT")
-    return 0 if report.passed else 1
+    return exit_admit if report.passed else exit_reject
 
 
 def _run_stats(args) -> int:
@@ -516,6 +786,177 @@ def _run_top(args) -> int:
         for row in dead:
             confirmed = " [coverage-confirmed]" if row.get("coverage_confirmed") else ""
             print(f"  L{row['line']}: {row['spec']}{confirmed}")
+    return 0
+
+
+def _render_job_row(row: dict) -> str:
+    verdict = row.get("verdict") or "-"
+    return (
+        f"  {row.get('id', '?'):<18} {row.get('state', '?'):<11} "
+        f"verdict={verdict:<7} tenant={row.get('tenant', '?'):<10} "
+        f"prio={row.get('priority', 0):<3} spec={row.get('spec', '?')}"
+    )
+
+
+def _run_submit(args) -> int:
+    """Submit one job; with --wait, poll to the verdict (exit 0/1/2)."""
+    import json as _json
+    import time as _time
+
+    from ..jobs.model import EXIT_ADMIT, EXIT_ERROR, EXIT_REJECT, JobState
+
+    if (args.spec is None) == (args.spec_name is None):
+        print("submit needs a local SPEC file or --spec-name (not both)",
+              file=sys.stderr)
+        return EXIT_ERROR
+    payload: dict = {
+        "sources": list(args.source),
+        "priority": args.priority,
+        "tenant": args.tenant,
+    }
+    if args.idempotency_key:
+        payload["idempotency_key"] = args.idempotency_key
+    if args.timeout is not None:
+        payload["timeout"] = args.timeout
+    if args.executor is not None:
+        payload["executor"] = args.executor
+    try:
+        if args.spec_name is not None:
+            payload["spec_name"] = args.spec_name
+        else:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                payload["spec"] = handle.read()
+        for entry in args.inline_source:
+            parts = entry.split(":", 2)
+            if len(parts) < 2:
+                print(f"--inline-source needs FMT:PATH, got {entry!r}",
+                      file=sys.stderr)
+                return EXIT_ERROR
+            with open(parts[1], "r", encoding="utf-8") as handle:
+                payload["sources"].append({
+                    "format": parts[0],
+                    "text": handle.read(),
+                    "source": parts[1],
+                    "scope": parts[2] if len(parts) > 2 else "",
+                })
+    except OSError as exc:
+        print(f"cannot read submission input: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    base = args.url.rstrip("/")
+    try:
+        status, body = _http_json(base + "/jobs", payload=payload)
+    except _live_endpoint_errors() as exc:
+        print(_unreachable_message(base, exc), file=sys.stderr)
+        return EXIT_ERROR
+    if status == 429:
+        print(f"rejected (backpressure): {body.get('message', body)}",
+              file=sys.stderr)
+        return EXIT_ERROR
+    if status != 202:
+        print(f"submission failed (HTTP {status}): "
+              f"{body.get('error', body)}", file=sys.stderr)
+        return EXIT_ERROR
+    job_id = body["id"]
+    dedup = " (deduplicated)" if body.get("deduplicated") else ""
+    print(f"submitted {job_id}{dedup}", file=sys.stderr)
+    if not args.wait:
+        if args.json:
+            print(_json.dumps(body, indent=2, sort_keys=True))
+        else:
+            print(job_id)
+        return EXIT_ADMIT
+
+    deadline = _time.monotonic() + args.wait_timeout
+    while True:
+        try:
+            status, job = _http_json(f"{base}/jobs/{job_id}")
+        except _live_endpoint_errors() as exc:
+            print(_unreachable_message(base, exc), file=sys.stderr)
+            return EXIT_ERROR
+        if status != 200:
+            print(f"lost the job mid-wait (HTTP {status}): "
+                  f"{job.get('error', job)}", file=sys.stderr)
+            return EXIT_ERROR
+        if job.get("state") in JobState.TERMINAL:
+            break
+        if _time.monotonic() > deadline:
+            print(f"job {job_id} still {job.get('state')} after "
+                  f"{args.wait_timeout:g}s — gave up waiting (the job keeps "
+                  f"running; poll with `confvalley jobs {base}`)",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        _time.sleep(args.poll)
+
+    result = job.get("result") or {}
+    if args.json:
+        print(_json.dumps(job, indent=2, sort_keys=True))
+    else:
+        verdict = result.get("verdict", "error")
+        print(f"{job_id}: {job['state']} verdict={verdict} "
+              f"violations={result.get('violations', 0)} "
+              f"fingerprint={result.get('fingerprint', '')[:16]}")
+        if job.get("error"):
+            print(f"  error: {job['error']}")
+    if job["state"] == JobState.DONE:
+        return EXIT_ADMIT if result.get("passed") else EXIT_REJECT
+    return EXIT_ERROR
+
+
+def _run_jobs(args) -> int:
+    import json as _json
+    from urllib.parse import urlencode
+
+    params = {"limit": args.limit}
+    if args.state:
+        params["state"] = args.state
+    if args.tenant:
+        params["tenant"] = args.tenant
+    base = args.url.rstrip("/")
+    try:
+        status, body = _http_json(f"{base}/jobs?{urlencode(params)}")
+    except _live_endpoint_errors() as exc:
+        print(_unreachable_message(base, exc), file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"listing failed (HTTP {status}): {body.get('error', body)}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(body, indent=2, sort_keys=True))
+        return 0
+    stats = body.get("stats") or {}
+    print(f"jobs: {stats.get('jobs', 0)} tracked, "
+          f"{stats.get('queued', 0)} queued, "
+          f"{stats.get('running', 0)} running, "
+          f"{stats.get('workers', 0)} worker(s)")
+    rejections = stats.get("rejections") or {}
+    if rejections:
+        print("rejections: " + " ".join(
+            f"{reason}={count}" for reason, count in sorted(rejections.items())
+        ))
+    rows = body.get("jobs") or []
+    for row in rows:
+        print(_render_job_row(row))
+    if not rows:
+        print("  (no jobs match)")
+    return 0
+
+
+def _run_cancel(args) -> int:
+    base = args.url.rstrip("/")
+    try:
+        status, body = _http_json(
+            f"{base}/jobs/{args.job_id}/cancel", payload={}
+        )
+    except _live_endpoint_errors() as exc:
+        print(_unreachable_message(base, exc), file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"cancel failed (HTTP {status}): {body.get('error', body)}",
+              file=sys.stderr)
+        return 1
+    print(f"{body['id']}: {body['state']}")
     return 0
 
 
@@ -566,6 +1007,28 @@ def _run_service(args) -> int:
         resilience=resilience, metrics_file=args.metrics_file,
     )
 
+    jobs_enabled = args.jobs or any(
+        value is not None
+        for value in (args.workers, args.jobs_journal, args.queue_depth,
+                      args.tenant_limit, args.job_rate, args.job_timeout)
+    )
+    if jobs_enabled:
+        from ..jobs import JobService
+
+        job_service = JobService(
+            journal_path=args.jobs_journal,
+            workers=args.workers if args.workers is not None else 2,
+            queue_depth=args.queue_depth if args.queue_depth else 256,
+            per_tenant_limit=args.tenant_limit or 0,
+            rate=args.job_rate or 0.0,
+            default_timeout=args.job_timeout,
+        )
+        service.attach_jobs(job_service)
+        print(f"job service: {job_service.pool.workers} worker(s), "
+              f"queue depth {job_service.admission.max_depth}"
+              + (f", journal {args.jobs_journal}" if args.jobs_journal else ""),
+              file=sys.stderr, flush=True)
+
     if args.http:
         from ..observability import parse_http_address
 
@@ -610,6 +1073,10 @@ def _run_service(args) -> int:
         pass
     finally:
         service.stop_http()
+        if service.jobs is not None:
+            # graceful drain: running jobs finish and journal their
+            # terminal states; QUEUED jobs stay journalled for restart
+            service.jobs.close(drain=True)
         if previous_sigterm is not None:
             import signal
 

@@ -1,0 +1,64 @@
+"""Asynchronous validation jobs (``repro.jobs``) — the service write-path.
+
+The paper deploys ConfValley as a *shared validation service* inside the
+deployment workflow (§3.2, §7): engineers submit configuration changes,
+the service validates them at scale, and verdicts come back out of band.
+Earlier layers made scanning fast (``repro.parallel``), fault-tolerant
+(``repro.resilience``) and observable (``repro.observability``) — this
+package adds the missing ingestion side:
+
+* :mod:`.model` — :class:`ValidationJob` records, the
+  ``QUEUED→RUNNING→DONE/FAILED/CANCELLED/INTERRUPTED`` state machine, and
+  the machine-readable verdict schema shared with ``gate --json``;
+* :mod:`.journal` — the durable append-only JSON-lines journal with
+  atomic rotation and crash recovery;
+* :mod:`.queue` — the bounded priority queue plus admission control
+  (depth cap, per-tenant in-flight limits, token-bucket rate limiting)
+  that rejects with structured backpressure errors instead of blocking;
+* :mod:`.worker` — the worker pool draining the queue through
+  :class:`~repro.core.session.ValidationSession` with per-job
+  timeout/cancellation and graceful drain;
+* :mod:`.service` — :class:`JobService`, the facade wiring it together,
+  embedded by ``confvalley service --jobs`` and exposed over HTTP via
+  ``POST /jobs`` on the operator endpoint.
+
+Job execution reports are byte-identical (``fingerprint()``) to an
+equivalent direct ``confvalley validate`` run — asynchrony changes *when*
+a verdict arrives, never *what* it says.
+"""
+
+from __future__ import annotations
+
+from .journal import JobJournal
+from .model import (
+    EXIT_ADMIT,
+    EXIT_ERROR,
+    EXIT_REJECT,
+    AdmissionError,
+    JobState,
+    ValidationJob,
+    error_verdict,
+    verdict_payload,
+)
+from .queue import AdmissionController, JobQueue, TokenBucket
+from .service import JobService, parse_source_ref
+from .worker import JobExecutor, WorkerPool
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "EXIT_ADMIT",
+    "EXIT_ERROR",
+    "EXIT_REJECT",
+    "JobExecutor",
+    "JobJournal",
+    "JobQueue",
+    "JobService",
+    "JobState",
+    "TokenBucket",
+    "ValidationJob",
+    "WorkerPool",
+    "error_verdict",
+    "parse_source_ref",
+    "verdict_payload",
+]

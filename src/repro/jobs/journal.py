@@ -1,0 +1,178 @@
+"""Durable job journal: append-only JSON-lines with atomic rotation.
+
+The job service must not lose accepted work across a crash or restart
+(the paper's service sits inside a deployment workflow — a submitted
+change that silently vanishes is worse than a rejected one).  Durability
+is a classic write-ahead log, kept deliberately boring:
+
+* every state-changing operation appends **one JSON object per line**
+  (``submit`` carries the full job record, ``update`` carries the changed
+  fields) and flushes before the in-memory transition is considered done;
+* on startup :meth:`replay` folds the event stream back into the final
+  job records; interpretation of non-terminal states (re-queue vs mark
+  interrupted) belongs to the :class:`~repro.jobs.service.JobService`,
+  the journal only reconstructs facts;
+* a half-written trailing line (the crash case) is ignored — everything
+  before it already flushed, so recovery loses at most the transition
+  that was mid-write when the process died;
+* :meth:`rotate` compacts the event stream into a single ``snapshot``
+  line carrying the live jobs, written to a same-directory temp file and
+  published with ``os.replace`` — readers and crashes never observe a
+  torn journal.  Rotation is triggered automatically every
+  ``rotate_after`` appends (terminal jobs evicted by retention drop out
+  of the snapshot, which is how the journal's disk footprint is bounded).
+
+``fsync`` on every append is off by default — a flush survives a process
+crash (the kernel owns the page), which is the failure mode the service
+recovers from; pass ``fsync=True`` where power-loss durability matters
+more than submission latency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Callable, Iterable, Optional
+
+from ..observability import get_logger
+
+__all__ = ["JobJournal"]
+
+_log = get_logger("jobs.journal")
+
+
+class JobJournal:
+    """Append-only JSON-lines journal for :class:`ValidationJob` records."""
+
+    def __init__(
+        self,
+        path: str,
+        rotate_after: int = 4096,
+        fsync: bool = False,
+        snapshot_source: Optional[Callable[[], Iterable[dict]]] = None,
+    ):
+        self.path = path
+        self.rotate_after = max(1, rotate_after)
+        self.fsync = fsync
+        #: called at auto-rotation time to obtain the live job dicts the
+        #: compacted journal must carry (wired by the JobService)
+        self.snapshot_source = snapshot_source
+        self._lock = threading.Lock()
+        self._handle = None
+        self._appended = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+
+    # -- writing -------------------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, event: dict) -> None:
+        """Durably record one event, auto-rotating when the log grows."""
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            handle = self._open()
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self._appended += 1
+            due = self._appended >= self.rotate_after
+        if due and self.snapshot_source is not None:
+            self.rotate(self.snapshot_source())
+
+    def rotate(self, jobs: Iterable[dict]) -> None:
+        """Compact the journal to one snapshot line (atomic replace)."""
+        snapshot = json.dumps(
+            {"event": "snapshot", "jobs": list(jobs)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        temp_path = os.path.join(
+            os.path.dirname(os.path.abspath(self.path)),
+            f".{os.path.basename(self.path)}.{os.getpid()}.tmp",
+        )
+        with self._lock:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                handle.write(snapshot + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            os.replace(temp_path, self.path)
+            self._appended = 0
+            _log.info("journal rotated", extra={"path": self.path})
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- reading -------------------------------------------------------
+
+    def replay(self) -> list[dict]:
+        """The event stream from disk (snapshot first when compacted).
+
+        A torn trailing line — the signature of a crash mid-append — is
+        dropped; a torn line anywhere else is skipped with a warning so a
+        single corrupt event cannot take the whole journal hostage.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return []
+        events = []
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                if index == len(lines) - 1:
+                    _log.warning(
+                        "dropping torn trailing journal line",
+                        extra={"path": self.path, "line": index + 1},
+                    )
+                else:
+                    _log.warning(
+                        "skipping corrupt journal line",
+                        extra={"path": self.path, "line": index + 1},
+                    )
+        return events
+
+    @staticmethod
+    def fold(events: list[dict], job_factory) -> dict:
+        """Fold an event stream into ``{job_id: job}`` final records.
+
+        ``job_factory`` is :meth:`ValidationJob.from_dict` (passed in to
+        keep the journal model-agnostic).  Unknown event types and updates
+        for unknown jobs are ignored — forward compatibility over
+        strictness, the journal is an internal file.
+        """
+        jobs: dict = {}
+        for event in events:
+            kind = event.get("event")
+            if kind == "snapshot":
+                jobs = {}
+                for record in event.get("jobs", []):
+                    job = job_factory(record)
+                    jobs[job.id] = job
+            elif kind == "submit":
+                job = job_factory(event.get("job", {}))
+                jobs[job.id] = job
+            elif kind == "update":
+                job = jobs.get(event.get("id"))
+                if job is None:
+                    continue
+                for key, value in event.get("fields", {}).items():
+                    if hasattr(job, key):
+                        setattr(job, key, value)
+        return jobs

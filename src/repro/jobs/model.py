@@ -1,0 +1,274 @@
+"""Validation jobs: the unit of work of the asynchronous job service.
+
+The paper deploys ConfValley as a *shared validation service* inside the
+deployment workflow (§3.2, §7): engineers submit configuration changes and
+get verdicts back.  A :class:`ValidationJob` is one such submission — what
+to validate (spec text, a registered spec name, or a server-side spec
+path), against which sources (``FMT:PATH[:SCOPE]`` references or inline
+payloads), and under which constraints (priority, tenant, timeout) — plus
+the full lifecycle record: the QUEUED→RUNNING→terminal state machine,
+timestamps, attempt counts and the result verdict.
+
+Jobs are plain JSON-shaped dataclasses so they serialize losslessly into
+the durable journal (:mod:`repro.jobs.journal`) and over the HTTP API
+(:mod:`repro.observability.server`).
+
+The **verdict payload** produced for a finished job
+(:func:`verdict_payload`) is the same machine-readable schema
+``confvalley gate --json`` emits, so CI pipelines consume one format for
+both synchronous gating and asynchronous submission; the shared exit-code
+semantics are :data:`EXIT_ADMIT` / :data:`EXIT_REJECT` / :data:`EXIT_ERROR`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfValleyError
+
+__all__ = [
+    "JobState",
+    "ValidationJob",
+    "AdmissionError",
+    "verdict_payload",
+    "error_verdict",
+    "report_fingerprint_digest",
+    "EXIT_ADMIT",
+    "EXIT_REJECT",
+    "EXIT_ERROR",
+]
+
+#: CI exit-code contract shared by ``gate --json`` and ``submit --wait``:
+#: 0 = the change is admitted, 1 = the verdict rejects it, 2 = the
+#: validation itself could not run (bad input, unreachable service, crash).
+EXIT_ADMIT = 0
+EXIT_REJECT = 1
+EXIT_ERROR = 2
+
+#: violations carried verbatim in a job result before truncation — the
+#: full count is always present, the details are bounded so a pathological
+#: submission cannot balloon the journal and the listing endpoint
+MAX_RESULT_VIOLATIONS = 50
+
+
+class JobState:
+    """The job state machine: ``QUEUED → RUNNING → terminal``.
+
+    ``INTERRUPTED`` is the crash-recovery dead end: a job found mid-flight
+    in the journal is re-queued exactly once; a second interrupted attempt
+    means the job itself is implicated, and it is parked rather than
+    retried forever.
+    """
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    INTERRUPTED = "INTERRUPTED"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, INTERRUPTED})
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED, INTERRUPTED)
+
+
+class AdmissionError(ConfValleyError):
+    """A submission was rejected by admission control (backpressure).
+
+    Structured so the HTTP layer can render a 429 with an actionable body
+    and the metrics layer can count rejections by ``reason`` (one of
+    ``queue-full``, ``tenant-limit``, ``rate-limited``).  ``retry_after``
+    is a best-effort hint in seconds, ``None`` when retrying immediately
+    after completed work is the right move (queue/tenant capacity).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        message: str,
+        retry_after: Optional[float] = None,
+        **detail,
+    ):
+        self.reason = reason
+        self.retry_after = retry_after
+        self.detail = detail
+        super().__init__(message)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "error": "backpressure",
+            "reason": self.reason,
+            "message": str(self),
+        }
+        if self.retry_after is not None:
+            payload["retry_after"] = round(self.retry_after, 3)
+        payload.update(self.detail)
+        return payload
+
+
+def new_job_id() -> str:
+    """An opaque, URL-safe job identifier."""
+    return "job-" + uuid.uuid4().hex[:12]
+
+
+@dataclass
+class ValidationJob:
+    """One submitted validation request and its full lifecycle record."""
+
+    id: str = field(default_factory=new_job_id)
+    #: client-chosen duplicate-suppression key ('' = no deduplication)
+    idempotency_key: str = ""
+    #: exactly one of the three spec references is set per job:
+    #: inline CPL text …
+    spec_text: str = ""
+    #: … or a spec registered on the service by name …
+    spec_name: str = ""
+    #: … or a server-side spec file path
+    spec_path: str = ""
+    #: source descriptors: {"format","path","scope"} references resolved on
+    #: the service host, or {"format","text","source","scope"} inline payloads
+    sources: list = field(default_factory=list)
+    #: larger runs first; ties drain in submission order
+    priority: int = 0
+    tenant: str = "default"
+    #: wall-clock budget for the run in seconds (None = service default)
+    timeout: Optional[float] = None
+    #: evaluation strategy forwarded to the session (None = serial)
+    executor: Optional[str] = None
+    #: per-job shard-supervision knobs: {"shard_timeout", "shard_retries"}
+    resilience: Optional[dict] = None
+    state: str = JobState.QUEUED
+    #: Unix wall-clock timestamps (None until the transition happens)
+    submitted_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: times the job entered RUNNING
+    attempts: int = 0
+    #: times crash recovery re-queued a mid-flight attempt
+    requeues: int = 0
+    cancel_requested: bool = False
+    #: verdict payload once terminal (see :func:`verdict_payload`)
+    result: Optional[dict] = None
+    #: failure explanation for FAILED / INTERRUPTED jobs
+    error: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        """Queue wait: submission to first start (None while queued)."""
+        if self.submitted_at is None or self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.submitted_at)
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return max(0.0, self.finished_at - self.started_at)
+
+    def spec_reference(self) -> str:
+        """Human-readable 'what does this job validate' label."""
+        if self.spec_name:
+            return f"spec:{self.spec_name}"
+        if self.spec_path:
+            return self.spec_path
+        digest = hashlib.sha256(self.spec_text.encode("utf-8")).hexdigest()
+        return f"inline:{digest[:12]}"
+
+    def to_dict(self) -> dict:
+        """Lossless JSON form (journal lines, ``GET /jobs/<id>``)."""
+        return {
+            "id": self.id,
+            "idempotency_key": self.idempotency_key,
+            "spec_text": self.spec_text,
+            "spec_name": self.spec_name,
+            "spec_path": self.spec_path,
+            "sources": list(self.sources),
+            "priority": self.priority,
+            "tenant": self.tenant,
+            "timeout": self.timeout,
+            "executor": self.executor,
+            "resilience": self.resilience,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "requeues": self.requeues,
+            "cancel_requested": self.cancel_requested,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    def summary(self) -> dict:
+        """Listing row: everything except the (possibly large) spec text."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec_reference(),
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "idempotency_key": self.idempotency_key,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "requeues": self.requeues,
+            "verdict": (self.result or {}).get("verdict"),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ValidationJob":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def report_fingerprint_digest(report) -> str:
+    """SHA-256 over :meth:`ValidationReport.fingerprint` — the compact,
+    transport-friendly determinism token job results carry.  Two runs have
+    equal digests iff their report fingerprints are byte-identical."""
+    return hashlib.sha256(report.fingerprint().encode("utf-8")).hexdigest()
+
+
+def verdict_payload(report, limit: int = MAX_RESULT_VIOLATIONS) -> dict:
+    """Machine-readable verdict for a finished validation run.
+
+    The one schema shared by job results (``GET /jobs/<id>``) and
+    ``confvalley gate --json``:  ``verdict`` is ``admit`` or ``reject``
+    (``error`` only via :func:`error_verdict`), and ``fingerprint`` is the
+    SHA-256 digest of the report's canonical fingerprint, so an
+    asynchronous run can be compared against a direct ``validate`` of the
+    same spec + sources.
+    """
+    violations = [violation.to_dict() for violation in report.violations[:limit]]
+    return {
+        "verdict": "admit" if report.passed else "reject",
+        "passed": report.passed,
+        "violations": len(report.violations),
+        "violations_shown": len(violations),
+        "violation_details": violations,
+        "specs_evaluated": report.specs_evaluated,
+        "specs_failed": report.specs_failed,
+        "specs_skipped": report.specs_skipped,
+        "suppressed": report.suppressed,
+        "instances_checked": report.instances_checked,
+        "elapsed_seconds": round(report.elapsed_seconds, 6),
+        "fingerprint": report_fingerprint_digest(report),
+        "health": report.health.status,
+    }
+
+
+def error_verdict(message: str) -> dict:
+    """The ``error`` arm of the verdict schema (run never produced a report)."""
+    return {
+        "verdict": "error",
+        "passed": False,
+        "violations": 0,
+        "error": message,
+    }

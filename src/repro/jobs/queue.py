@@ -1,0 +1,179 @@
+"""Bounded priority queue and admission control for the job service.
+
+The paper's service runs "under latency pressure" inside a deployment
+workflow; an async write-path that accepts unbounded work converts
+overload into unbounded queueing delay and memory growth.  This module
+takes the opposite stance: **reject early, reject cheaply, tell the
+caller why**.
+
+Two collaborating pieces:
+
+* :class:`JobQueue` — a heap-ordered dispatch structure (higher
+  ``priority`` first, FIFO within a priority level).  Cancelled jobs are
+  removed *lazily*: cancellation just flips the job state, and
+  :meth:`pop` discards entries whose job is no longer ``QUEUED`` — O(1)
+  cancel, no heap surgery.  Authoritative depth/state accounting lives in
+  the :class:`~repro.jobs.service.JobService`, the single writer of job
+  states.
+* :class:`AdmissionController` — the policy gate in front of the queue:
+  depth cap, per-tenant in-flight ceilings, and a token-bucket rate
+  limiter (capacity ``burst``, refill ``rate``/second on the injectable
+  :mod:`repro.runtime.clock`, so tests drive it with a
+  :class:`~repro.runtime.clock.FakeClock`).  Violations raise a
+  structured :class:`~repro.jobs.model.AdmissionError` — the HTTP layer
+  renders it as a 429, never blocking the submitter.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Callable, Optional
+
+from ..runtime import clock as _clock
+from .model import AdmissionError, JobState, ValidationJob
+
+__all__ = ["JobQueue", "AdmissionController", "TokenBucket"]
+
+
+class JobQueue:
+    """Priority-ordered dispatch queue (higher priority first, then FIFO)."""
+
+    def __init__(self):
+        self._heap: list[tuple[int, int, ValidationJob]] = []
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        """Heap entries, *including* lazily-cancelled ones (internal)."""
+        return len(self._heap)
+
+    def push(self, job: ValidationJob) -> None:
+        """Enqueue; caller is responsible for admission (see controller)."""
+        with self._available:
+            heapq.heappush(self._heap, (-job.priority, next(self._counter), job))
+            self._available.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[ValidationJob]:
+        """Highest-priority entry, or ``None`` after ``timeout``.
+
+        Entries whose job left the QUEUED state (cancelled while waiting)
+        are dropped silently.  The caller must re-check the job state
+        under its own lock before running it — a cancel can still land
+        between this pop and that check.
+        """
+        with self._available:
+            while True:
+                while self._heap:
+                    __, __, job = heapq.heappop(self._heap)
+                    if job.state == JobState.QUEUED:
+                        return job
+                if timeout is not None:
+                    if not self._available.wait(timeout):
+                        return None
+                    timeout = 0.0  # one wake-up, then give up if still empty
+                else:
+                    self._available.wait()
+
+    def wake_all(self) -> None:
+        """Unblock every waiting :meth:`pop` (worker shutdown path)."""
+        with self._available:
+            self._available.notify_all()
+
+
+class TokenBucket:
+    """Classic token bucket on the injectable monotonic clock.
+
+    ``rate`` tokens refill per second up to ``burst``; each admitted
+    submission spends one.  ``rate <= 0`` disables the limiter entirely.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        self._tokens = self.burst
+        self._last = _clock.now()
+        self._lock = threading.Lock()
+
+    def try_take(self) -> Optional[float]:
+        """Spend one token; returns ``None`` on success or the seconds
+        until a token will be available."""
+        if self.rate <= 0:
+            return None
+        with self._lock:
+            now = _clock.now()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return None
+            return (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """The reject-early gate in front of the queue.
+
+    ``depth`` and ``tenant_in_flight`` are callables into the service's
+    authoritative state counts (QUEUED, and QUEUED + RUNNING per tenant) —
+    the service owns the bookkeeping, the controller owns the policy.
+    Checks run cheapest-first and each rejection names its reason, so
+    operators can tell *which* limit is saturating from the
+    ``confvalley_job_rejections_total{reason=…}`` counter alone.
+    """
+
+    QUEUE_FULL = "queue-full"
+    TENANT_LIMIT = "tenant-limit"
+    RATE_LIMITED = "rate-limited"
+
+    def __init__(
+        self,
+        max_depth: int = 256,
+        per_tenant_limit: int = 0,
+        rate: float = 0.0,
+        burst: Optional[float] = None,
+        depth: Optional[Callable[[], int]] = None,
+        tenant_in_flight: Optional[Callable[[str], int]] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        #: max QUEUED + RUNNING jobs per tenant label (0 = unlimited)
+        self.per_tenant_limit = per_tenant_limit
+        self.bucket = TokenBucket(rate, burst)
+        self._depth = depth or (lambda: 0)
+        self._tenant_in_flight = tenant_in_flight or (lambda tenant: 0)
+
+    def admit(self, job: ValidationJob) -> None:
+        """Raise :class:`AdmissionError` unless the job may enqueue."""
+        retry_after = self.bucket.try_take()
+        if retry_after is not None:
+            raise AdmissionError(
+                self.RATE_LIMITED,
+                f"submission rate limit exceeded "
+                f"({self.bucket.rate:g}/s, burst {self.bucket.burst:g})",
+                retry_after=retry_after,
+                rate=self.bucket.rate,
+            )
+        depth = self._depth()
+        if depth >= self.max_depth:
+            raise AdmissionError(
+                self.QUEUE_FULL,
+                f"queue depth cap reached ({self.max_depth} queued)",
+                depth=depth,
+                max_depth=self.max_depth,
+            )
+        if self.per_tenant_limit > 0:
+            in_flight = self._tenant_in_flight(job.tenant)
+            if in_flight >= self.per_tenant_limit:
+                raise AdmissionError(
+                    self.TENANT_LIMIT,
+                    f"tenant {job.tenant!r} has {in_flight} job(s) in flight "
+                    f"(limit {self.per_tenant_limit})",
+                    tenant=job.tenant,
+                    in_flight=in_flight,
+                    limit=self.per_tenant_limit,
+                )

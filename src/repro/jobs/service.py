@@ -1,0 +1,613 @@
+"""The asynchronous validation job service (``repro.jobs``).
+
+:class:`JobService` composes the four pieces the ISSUE names into one
+facade: the durable journal (:mod:`.journal`), admission-controlled
+priority queue (:mod:`.queue`), supervised worker pool (:mod:`.worker`)
+and the submission/lifecycle API consumed by the HTTP layer
+(:mod:`repro.observability.server`) and the CLI (``confvalley submit`` /
+``jobs`` / ``cancel``).
+
+Lifecycle contract:
+
+* **submit** validates the request, deduplicates on the idempotency key,
+  runs admission control (raising a structured
+  :class:`~repro.jobs.model.AdmissionError` on backpressure — never
+  blocking), journals the job, and enqueues it;
+* **workers** drain the queue through
+  :class:`~repro.jobs.worker.JobExecutor`: per-job timeout/cancel
+  supervision, shared compiled-spec cache, verdicts byte-identical to a
+  direct ``validate`` run (``fingerprint()`` parity);
+* **crash recovery** replays the journal on construction: terminal jobs
+  are retained (up to the retention policy), QUEUED jobs resume, and
+  RUNNING jobs — in flight when the previous process died — are
+  re-queued exactly once, then marked ``INTERRUPTED`` if they die again;
+* **drain** (SIGTERM path) finishes running jobs and leaves the rest
+  QUEUED in the journal for the next start;
+* **retention** evicts terminal jobs beyond ``retention_count`` or older
+  than ``retention_age`` seconds, and the journal compacts itself every
+  ``rotate_after`` events, so neither memory nor disk grows without bound.
+
+The service is thread-safe with a single coarse lock around state
+transitions; the scan loop of a co-hosted
+:class:`~repro.service.ValidationService` never blocks on it for longer
+than a dict update.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..observability import get_logger, get_metrics
+from ..parallel.cache import SpecCache
+from ..runtime import clock as _clock
+from .journal import JobJournal
+from .model import AdmissionError, JobState, ValidationJob
+from .queue import AdmissionController, JobQueue
+from .worker import JobExecutor, WorkerPool
+
+__all__ = ["JobService"]
+
+_log = get_logger("jobs.service")
+
+#: mid-flight attempts crash recovery will re-queue before parking a job
+MAX_REQUEUES = 1
+
+
+def parse_source_ref(entry: str) -> dict:
+    """``FMT:PATH[:SCOPE]`` → a job source descriptor dict."""
+    parts = entry.split(":", 2)
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        raise ValueError(f"source reference needs FMT:PATH, got {entry!r}")
+    descriptor = {"format": parts[0], "path": parts[1]}
+    if len(parts) > 2 and parts[2]:
+        descriptor["scope"] = parts[2]
+    return descriptor
+
+
+class JobService:
+    """Durable, admission-controlled asynchronous validation jobs."""
+
+    def __init__(
+        self,
+        journal_path: Optional[str] = None,
+        workers: int = 2,
+        queue_depth: int = 256,
+        per_tenant_limit: int = 0,
+        rate: float = 0.0,
+        burst: Optional[float] = None,
+        retention_count: int = 512,
+        retention_age: Optional[float] = 3600.0,
+        rotate_after: int = 4096,
+        fsync: bool = False,
+        spec_cache: Optional[SpecCache] = None,
+        runtime=None,
+        base_dir: str = ".",
+        default_timeout: Optional[float] = None,
+        time_fn=time.time,
+        start: bool = True,
+    ):
+        self._time = time_fn
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._jobs: dict[str, ValidationJob] = {}
+        self._by_key: dict[str, str] = {}
+        self._cancel_events: dict[str, threading.Event] = {}
+        self._state_counts = {state: 0 for state in JobState.ALL}
+        self._tenant_in_flight: dict[str, int] = {}
+        self.rejections: dict[str, int] = {}
+        self.retention_count = retention_count
+        self.retention_age = retention_age
+        self.spec_cache = spec_cache if spec_cache is not None else SpecCache()
+        self.queue = JobQueue()
+        self.admission = AdmissionController(
+            max_depth=queue_depth,
+            per_tenant_limit=per_tenant_limit,
+            rate=rate,
+            burst=burst,
+            depth=lambda: self._state_counts[JobState.QUEUED],
+            tenant_in_flight=lambda tenant: self._tenant_in_flight.get(tenant, 0),
+        )
+        self.executor = JobExecutor(
+            spec_cache=self.spec_cache,
+            runtime=runtime,
+            base_dir=base_dir,
+            default_timeout=default_timeout,
+        )
+        self.journal: Optional[JobJournal] = None
+        if journal_path is not None:
+            self.journal = JobJournal(
+                journal_path,
+                rotate_after=rotate_after,
+                fsync=fsync,
+                snapshot_source=self._snapshot_jobs,
+            )
+            self._recover()
+        self.pool = WorkerPool(self, workers=workers)
+        if start:
+            self.pool.start()
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+
+    def _snapshot_jobs(self) -> list[dict]:
+        with self._lock:
+            return [job.to_dict() for job in self._jobs.values()]
+
+    def _journal_submit(self, job: ValidationJob) -> None:
+        if self.journal is not None:
+            self.journal.append({"event": "submit", "job": job.to_dict()})
+
+    def _journal_update(self, job: ValidationJob, **fields) -> None:
+        if self.journal is not None:
+            self.journal.append(
+                {"event": "update", "id": job.id, "fields": fields}
+            )
+
+    def _recover(self) -> None:
+        """Fold the journal back into live state (see module docstring)."""
+        events = self.journal.replay()
+        if not events:
+            return
+        jobs = JobJournal.fold(events, ValidationJob.from_dict)
+        resumed = requeued = interrupted = 0
+        for job in jobs.values():
+            self._jobs[job.id] = job
+            if job.idempotency_key:
+                self._by_key[job.idempotency_key] = job.id
+            if job.state == JobState.RUNNING:
+                if job.requeues < MAX_REQUEUES:
+                    job.requeues += 1
+                    job.state = JobState.QUEUED
+                    job.started_at = None
+                    self._journal_update(
+                        job,
+                        state=job.state,
+                        requeues=job.requeues,
+                        started_at=None,
+                    )
+                    requeued += 1
+                else:
+                    job.state = JobState.INTERRUPTED
+                    job.error = (
+                        "interrupted twice by service crashes; not retried"
+                    )
+                    job.finished_at = self._time()
+                    self._journal_update(
+                        job,
+                        state=job.state,
+                        error=job.error,
+                        finished_at=job.finished_at,
+                    )
+                    interrupted += 1
+            self._state_counts[job.state] += 1
+            if job.state == JobState.QUEUED:
+                self._bump_tenant(job.tenant, +1)
+                self.queue.push(job)
+                resumed += 1
+        if resumed or interrupted:
+            _log.info(
+                "journal recovery complete",
+                extra={
+                    "jobs": len(jobs),
+                    "resumed": resumed,
+                    "requeued": requeued,
+                    "interrupted": interrupted,
+                },
+            )
+        # recovery rewrote states; compact so the next crash replays the
+        # folded view instead of the whole pre-crash event stream
+        self.journal.rotate(job.to_dict() for job in jobs.values())
+
+    # ------------------------------------------------------------------
+    # State accounting (always called under self._lock)
+    # ------------------------------------------------------------------
+
+    def _bump_tenant(self, tenant: str, delta: int) -> None:
+        count = self._tenant_in_flight.get(tenant, 0) + delta
+        if count <= 0:
+            self._tenant_in_flight.pop(tenant, None)
+        else:
+            self._tenant_in_flight[tenant] = count
+
+    def _transition(self, job: ValidationJob, state: str) -> None:
+        self._state_counts[job.state] -= 1
+        self._state_counts[state] += 1
+        job.state = state
+
+    # ------------------------------------------------------------------
+    # Spec registry
+    # ------------------------------------------------------------------
+
+    def register_spec(self, name: str, text: str) -> None:
+        """Publish a named server-side spec for ``spec_name`` submissions."""
+        self.executor.spec_registry[name] = text
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: str = "",
+        spec_name: str = "",
+        spec_path: str = "",
+        sources: Optional[list] = None,
+        priority: int = 0,
+        tenant: str = "default",
+        idempotency_key: str = "",
+        timeout: Optional[float] = None,
+        executor: Optional[str] = None,
+        resilience: Optional[dict] = None,
+    ) -> tuple[ValidationJob, bool]:
+        """Accept one validation request.
+
+        Returns ``(job, created)`` — ``created`` is False when the
+        idempotency key matched an existing job, which is returned
+        unchanged.  Raises :class:`ValueError` on a malformed request and
+        :class:`AdmissionError` on backpressure.
+        """
+        provided = [bool(spec), bool(spec_name), bool(spec_path)]
+        if sum(provided) != 1:
+            raise ValueError(
+                "exactly one of spec (inline text), spec_name or spec_path "
+                "must be provided"
+            )
+        normalized = []
+        for source in sources or []:
+            if isinstance(source, str):
+                normalized.append(parse_source_ref(source))
+            elif isinstance(source, dict):
+                if not source.get("format"):
+                    raise ValueError(f"source needs a 'format': {source!r}")
+                if "text" not in source and not source.get("path"):
+                    raise ValueError(
+                        f"source needs 'path' or inline 'text': {source!r}"
+                    )
+                normalized.append(dict(source))
+            else:
+                raise ValueError(f"unsupported source entry: {source!r}")
+        job = ValidationJob(
+            idempotency_key=idempotency_key,
+            spec_text=spec,
+            spec_name=spec_name,
+            spec_path=spec_path,
+            sources=normalized,
+            priority=int(priority),
+            tenant=str(tenant) or "default",
+            timeout=timeout,
+            executor=executor,
+            resilience=dict(resilience) if resilience else None,
+        )
+        with self._lock:
+            if idempotency_key and idempotency_key in self._by_key:
+                existing = self._jobs.get(self._by_key[idempotency_key])
+                if existing is not None:
+                    self._count_submit(existing.tenant, deduplicated=True)
+                    return existing, False
+            try:
+                self.admission.admit(job)
+            except AdmissionError as error:
+                self.rejections[error.reason] = (
+                    self.rejections.get(error.reason, 0) + 1
+                )
+                self._count_rejection(error.reason)
+                raise
+            job.submitted_at = self._time()
+            self._jobs[job.id] = job
+            if idempotency_key:
+                self._by_key[idempotency_key] = job.id
+            self._state_counts[JobState.QUEUED] += 1
+            self._bump_tenant(job.tenant, +1)
+            self._journal_submit(job)
+            self._count_submit(job.tenant, deduplicated=False)
+        self.queue.push(job)
+        _log.info(
+            "job submitted",
+            extra={
+                "job": job.id,
+                "tenant": job.tenant,
+                "priority": job.priority,
+                "spec": job.spec_reference(),
+            },
+        )
+        return job, True
+
+    def submit_payload(self, payload: dict) -> tuple[ValidationJob, bool]:
+        """HTTP-shaped submission: validate a JSON body, then submit."""
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        allowed = {
+            "spec", "spec_name", "spec_path", "sources", "priority",
+            "tenant", "idempotency_key", "timeout", "executor", "resilience",
+        }
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise ValueError(f"unknown field(s): {', '.join(unknown)}")
+        for name in ("spec", "spec_name", "spec_path", "tenant", "idempotency_key"):
+            if name in payload and not isinstance(payload[name], str):
+                raise ValueError(f"{name!r} must be a string")
+        if "executor" in payload and payload["executor"] is not None:
+            if payload["executor"] not in ("auto", "serial", "thread", "process"):
+                raise ValueError(
+                    "executor must be one of auto/serial/thread/process"
+                )
+        if "priority" in payload and not isinstance(payload["priority"], int):
+            raise ValueError("'priority' must be an integer")
+        if "timeout" in payload and payload["timeout"] is not None:
+            if not isinstance(payload["timeout"], (int, float)):
+                raise ValueError("'timeout' must be a number of seconds")
+        if "sources" in payload and not isinstance(payload["sources"], list):
+            raise ValueError("'sources' must be a list")
+        if "resilience" in payload and payload["resilience"] is not None:
+            if not isinstance(payload["resilience"], dict):
+                raise ValueError("'resilience' must be an object")
+        return self.submit(**payload)
+
+    def _count_submit(self, tenant: str, deduplicated: bool) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_jobs_submitted_total",
+                "Job submissions accepted, by tenant and dedup outcome.",
+            ).inc(tenant=tenant, deduplicated=str(deduplicated).lower())
+            self._update_depth_gauges()
+
+    def _count_rejection(self, reason: str) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_job_rejections_total",
+                "Submissions rejected by admission control, by reason.",
+            ).inc(reason=reason)
+
+    def _update_depth_gauges(self) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge(
+                "confvalley_job_queue_depth",
+                "Jobs currently waiting in the queue.",
+            ).set(self._state_counts[JobState.QUEUED])
+            metrics.gauge(
+                "confvalley_jobs_running",
+                "Jobs currently executing on the worker pool.",
+            ).set(self._state_counts[JobState.RUNNING])
+
+    # ------------------------------------------------------------------
+    # Worker protocol (called from WorkerPool threads)
+    # ------------------------------------------------------------------
+
+    def _next_job(self, timeout: float = 0.1) -> Optional[ValidationJob]:
+        """Pop and transition the next runnable job to RUNNING."""
+        job = self.queue.pop(timeout=timeout)
+        if job is None:
+            return None
+        with self._lock:
+            if job.state != JobState.QUEUED:
+                return None  # cancelled between pop and this check
+            self._transition(job, JobState.RUNNING)
+            job.started_at = self._time()
+            job.attempts += 1
+            self._cancel_events[job.id] = threading.Event()
+            self._journal_update(
+                job,
+                state=job.state,
+                started_at=job.started_at,
+                attempts=job.attempts,
+            )
+        metrics = get_metrics()
+        if metrics.enabled:
+            wait = job.wait_seconds
+            if wait is not None:
+                metrics.histogram(
+                    "confvalley_job_wait_seconds",
+                    "Queue wait per job: submission to execution start.",
+                ).observe(wait)
+            self._update_depth_gauges()
+        return job
+
+    def _run_job(self, job: ValidationJob) -> None:
+        """Execute one RUNNING job and record its terminal transition."""
+        cancel = self._cancel_events.get(job.id)
+        state, result, error = self.executor.execute(job, cancel)
+        self._record_terminal(job, state, result, error)
+
+    def _record_terminal(
+        self,
+        job: ValidationJob,
+        state: str,
+        result: Optional[dict],
+        error: str,
+    ) -> None:
+        with self._lock:
+            self._transition(job, state)
+            job.result = result
+            job.error = error
+            job.finished_at = self._time()
+            self._bump_tenant(job.tenant, -1)
+            self._cancel_events.pop(job.id, None)
+            self._journal_update(
+                job,
+                state=state,
+                result=result,
+                error=error,
+                finished_at=job.finished_at,
+            )
+            self._evict_locked()
+            self._done.notify_all()
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_jobs_finished_total",
+                "Jobs reaching a terminal state, by state.",
+            ).inc(state=state)
+            run = job.run_seconds
+            if run is not None:
+                metrics.histogram(
+                    "confvalley_job_run_seconds",
+                    "Execution wall clock per job.",
+                ).observe(run)
+            self._update_depth_gauges()
+        _log.info(
+            "job finished",
+            extra={
+                "job": job.id,
+                "state": state,
+                "verdict": (result or {}).get("verdict"),
+                "run_seconds": job.run_seconds,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle API
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[ValidationJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> ValidationJob:
+        """Cancel a job: immediate for QUEUED, best-effort for RUNNING.
+
+        Raises :class:`KeyError` for unknown ids and :class:`ValueError`
+        when the job is already terminal.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            if job.terminal:
+                raise ValueError(f"job {job_id} is already {job.state}")
+            job.cancel_requested = True
+            if job.state == JobState.QUEUED:
+                self._transition(job, JobState.CANCELLED)
+                job.finished_at = self._time()
+                job.error = "cancelled before execution"
+                self._bump_tenant(job.tenant, -1)
+                self._journal_update(
+                    job,
+                    state=job.state,
+                    cancel_requested=True,
+                    error=job.error,
+                    finished_at=job.finished_at,
+                )
+                self._done.notify_all()
+            else:  # RUNNING: the supervising worker observes the event
+                event = self._cancel_events.get(job.id)
+                if event is not None:
+                    event.set()
+                self._journal_update(job, cancel_requested=True)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_job_cancellations_total",
+                "Cancellation requests accepted, by state at request time.",
+            ).inc(state=job.state)
+            self._update_depth_gauges()
+        return job
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> ValidationJob:
+        """Block until the job reaches a terminal state (test/CLI helper)."""
+        deadline = None if timeout is None else _clock.now() + timeout
+        with self._done:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise KeyError(job_id)
+                if job.terminal:
+                    return job
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - _clock.now()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"job {job_id} still {job.state} after {timeout}s"
+                        )
+                self._done.wait(remaining if remaining is not None else 0.5)
+
+    def list_jobs(
+        self,
+        state: Optional[str] = None,
+        tenant: Optional[str] = None,
+        limit: int = 50,
+    ) -> list[dict]:
+        """Job summaries, newest submissions first, optionally filtered."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        if state:
+            jobs = [job for job in jobs if job.state == state]
+        if tenant:
+            jobs = [job for job in jobs if job.tenant == tenant]
+        jobs.sort(key=lambda job: (job.submitted_at or 0.0, job.id), reverse=True)
+        return [job.summary() for job in jobs[: max(0, limit)]]
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+
+    def _evict_locked(self) -> None:
+        """Drop the oldest terminal jobs beyond the retention policy."""
+        terminal = [job for job in self._jobs.values() if job.terminal]
+        evict = []
+        if self.retention_age is not None:
+            horizon = self._time() - self.retention_age
+            evict.extend(
+                job for job in terminal
+                if (job.finished_at or 0.0) < horizon
+            )
+        overflow = len(terminal) - len(evict) - self.retention_count
+        if overflow > 0:
+            remaining = sorted(
+                (job for job in terminal if job not in evict),
+                key=lambda job: (job.finished_at or 0.0, job.id),
+            )
+            evict.extend(remaining[:overflow])
+        for job in evict:
+            self._state_counts[job.state] -= 1
+            del self._jobs[job.id]
+            if job.idempotency_key:
+                self._by_key.pop(job.idempotency_key, None)
+
+    # ------------------------------------------------------------------
+    # Status / shutdown
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe status block (merged into the service ``stats()``)."""
+        with self._lock:
+            states = {
+                state: count
+                for state, count in self._state_counts.items()
+                if count
+            }
+            return {
+                "jobs": len(self._jobs),
+                "queued": self._state_counts[JobState.QUEUED],
+                "running": self._state_counts[JobState.RUNNING],
+                "states": states,
+                "workers": self.pool.workers,
+                "rejections": dict(self.rejections),
+                "tenants_in_flight": dict(self._tenant_in_flight),
+                "queue_depth_cap": self.admission.max_depth,
+                "per_tenant_limit": self.admission.per_tenant_limit,
+                "rate_limit": self.admission.bucket.rate,
+                "retention_count": self.retention_count,
+                "retention_age": self.retention_age,
+                "journal": self.journal.path if self.journal else None,
+            }
+
+    def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> bool:
+        """Shut down: optionally drain in-flight jobs, persist, close.
+
+        QUEUED jobs stay QUEUED in the journal — the whole point of the
+        durable queue is that the next start resumes them.  Returns True
+        when every worker exited within ``timeout``.
+        """
+        clean = self.pool.drain(timeout=timeout if drain else 0.0)
+        if self.journal is not None:
+            self.journal.rotate(self._snapshot_jobs())
+            self.journal.close()
+        _log.info("job service closed", extra={"clean": clean})
+        return clean

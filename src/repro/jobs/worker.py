@@ -1,0 +1,227 @@
+"""Job execution: the worker pool draining the queue through sessions.
+
+Each worker thread loops ``pop → execute → record``.  Execution builds a
+fresh :class:`~repro.core.session.ValidationSession` per job (jobs from
+different tenants must not share a configuration store) but *shares* the
+service's compiled-spec cache — two jobs carrying the same spec text hash
+compile once, which is the steady-state shape of a CI fleet hammering one
+specification corpus.  The produced report is the very report a direct
+``confvalley validate`` of the same spec + sources would yield:
+byte-identical ``fingerprint()``, asserted in the tests.
+
+Timeout and cancellation run the validation on a *runner* thread the
+worker supervises: Python offers no safe way to interrupt arbitrary
+evaluation mid-statement, so an expired or cancelled run is **abandoned**
+— the daemon runner finishes (or not) in the background and its result is
+discarded, while the worker moves on and the job is recorded FAILED
+(timeout) or CANCELLED.  Abandonment is the exception path; its cost (one
+parked thread until the evaluation returns) is documented in
+``docs/OPERATIONS.md`` §4d.
+
+Graceful drain (SIGTERM): :meth:`WorkerPool.drain` stops the pop loop,
+lets in-flight jobs finish, and leaves QUEUED jobs untouched — they are
+already durable in the journal and resume on the next start.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..core.session import ValidationSession
+from ..observability import get_logger
+from ..runtime import clock as _clock
+from .model import JobState, ValidationJob, error_verdict, verdict_payload
+
+__all__ = ["JobExecutor", "WorkerPool"]
+
+_log = get_logger("jobs.worker")
+
+#: how often an executing worker re-checks cancel/timeout while the
+#: runner thread is busy (seconds)
+SUPERVISE_TICK = 0.05
+
+
+class JobExecutor:
+    """Runs one job's validation and renders its verdict."""
+
+    def __init__(
+        self,
+        spec_cache=None,
+        runtime=None,
+        base_dir: str = ".",
+        default_timeout: Optional[float] = None,
+        spec_registry: Optional[dict] = None,
+    ):
+        self.spec_cache = spec_cache
+        self.runtime = runtime
+        self.base_dir = base_dir
+        self.default_timeout = default_timeout
+        #: named server-side specs (``spec_name`` submissions resolve here)
+        self.spec_registry = spec_registry if spec_registry is not None else {}
+
+    # -- spec / source resolution --------------------------------------
+
+    def resolve_spec_text(self, job: ValidationJob) -> str:
+        if job.spec_text:
+            return job.spec_text
+        if job.spec_name:
+            try:
+                return self.spec_registry[job.spec_name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown registered spec {job.spec_name!r} "
+                    f"(known: {sorted(self.spec_registry) or 'none'})"
+                )
+        if job.spec_path:
+            import os
+
+            path = job.spec_path
+            if not os.path.isabs(path):
+                path = os.path.join(self.base_dir, path)
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        raise ValueError("job carries no spec (spec/spec_name/spec_path all empty)")
+
+    def _build_session(self, job: ValidationJob) -> ValidationSession:
+        resilience = job.resilience or {}
+        return ValidationSession(
+            runtime=self.runtime,
+            base_dir=self.base_dir,
+            executor=job.executor,
+            spec_cache=self.spec_cache,
+            shard_timeout=resilience.get("shard_timeout"),
+            shard_retries=resilience.get("shard_retries", 1),
+        )
+
+    def _load_sources(self, session: ValidationSession, job: ValidationJob) -> None:
+        for source in job.sources:
+            fmt = source.get("format", "")
+            if "text" in source:
+                session.load_text(
+                    fmt,
+                    source["text"],
+                    source=source.get("source", "<inline>"),
+                    scope=source.get("scope", ""),
+                )
+            else:
+                session.load_source(fmt, source["path"], source.get("scope", ""))
+
+    def validate(self, job: ValidationJob):
+        """The raw validation run (no supervision) → ValidationReport."""
+        spec_text = self.resolve_spec_text(job)
+        session = self._build_session(job)
+        self._load_sources(session, job)
+        return session.validate(spec_text)
+
+    # -- supervised execution ------------------------------------------
+
+    def execute(
+        self, job: ValidationJob, cancel: Optional[threading.Event] = None
+    ) -> tuple[str, Optional[dict], str]:
+        """Run the job under timeout/cancel supervision.
+
+        Returns ``(state, result, error)`` where ``state`` is a terminal
+        :class:`JobState` and ``result`` is the verdict payload (None only
+        when the run was abandoned before producing one).
+        """
+        timeout = job.timeout if job.timeout is not None else self.default_timeout
+        box: dict = {}
+
+        def run():
+            try:
+                box["report"] = self.validate(job)
+            except Exception as exc:  # rendered into the error verdict
+                box["error"] = f"{type(exc).__name__}: {exc}"
+
+        runner = threading.Thread(
+            target=run, name=f"confvalley-job-{job.id}", daemon=True
+        )
+        started = _clock.now()
+        runner.start()
+        while runner.is_alive():
+            runner.join(SUPERVISE_TICK)
+            if not runner.is_alive():
+                break
+            if cancel is not None and cancel.is_set():
+                _log.warning(
+                    "abandoning cancelled job", extra={"job": job.id}
+                )
+                return (
+                    JobState.CANCELLED,
+                    error_verdict("cancelled while running"),
+                    "cancelled while running",
+                )
+            if timeout is not None and _clock.now() - started > timeout:
+                message = f"job exceeded its {timeout:g}s timeout"
+                _log.warning(
+                    "abandoning timed-out job",
+                    extra={"job": job.id, "timeout": timeout},
+                )
+                return JobState.FAILED, error_verdict(message), message
+        if "error" in box:
+            return JobState.FAILED, error_verdict(box["error"]), box["error"]
+        report = box["report"]
+        # a cancel that lost the race to completion still honors the work:
+        # the verdict exists, so record it rather than throw it away
+        return JobState.DONE, verdict_payload(report), ""
+
+
+class WorkerPool:
+    """N daemon threads draining the queue through a shared executor.
+
+    The pool knows nothing about journals or admission — it asks the
+    owning service for the next job and hands back terminal transitions,
+    so every durability decision stays in one place
+    (:class:`~repro.jobs.service.JobService`).
+    """
+
+    def __init__(self, service, workers: int = 2):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.service = service
+        self.workers = workers
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    @property
+    def running(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    def start(self) -> "WorkerPool":
+        if self._threads or self.workers == 0:
+            return self
+        self._stop.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._loop,
+                name=f"confvalley-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        _log.info("worker pool started", extra={"workers": self.workers})
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.service._next_job(timeout=0.1)
+            if job is None:
+                continue
+            try:
+                self.service._run_job(job)
+            except Exception:  # a broken job must never kill the worker
+                _log.exception("unexpected worker failure", extra={"job": job.id})
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop taking new jobs, wait for in-flight ones; True = clean."""
+        self._stop.set()
+        self.service.queue.wake_all()
+        clean = True
+        for thread in self._threads:
+            thread.join(timeout)
+            clean = clean and not thread.is_alive()
+        self._threads = []
+        if self._threads == [] and clean:
+            _log.info("worker pool drained", extra={"workers": self.workers})
+        return clean

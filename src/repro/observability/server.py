@@ -21,10 +21,33 @@ in a :class:`~repro.service.ValidationService` (CLI:
                           ``trace_event`` JSON
 ========================  ==================================================
 
+When a :class:`~repro.jobs.service.JobService` is attached to the
+validation service (``confvalley service --jobs``), the endpoint also
+serves the asynchronous submission API — the server's first *write*
+endpoints:
+
+==========================  ================================================
+``POST /jobs``              submit a validation job: **202** + job id,
+                            **429** + structured backpressure body when
+                            admission control rejects, **400** on a
+                            malformed payload; duplicate submissions with
+                            the same ``idempotency_key`` return the
+                            original job id
+``GET /jobs/<id>``          full job record: state machine position,
+                            timestamps, and the verdict (report summary +
+                            fingerprint digest) once terminal
+``GET /jobs``               filterable listing
+                            (``?state=…&tenant=…&limit=…``)
+``POST /jobs/<id>/cancel``  cancel: immediate for QUEUED jobs, best-effort
+                            for RUNNING ones; **409** once terminal
+==========================  ================================================
+
 Design constraints:
 
-* **read-only** — every endpoint renders in-memory state; no request can
-  mutate the service;
+* **read-only, except ``/jobs``** — the observability endpoints render
+  in-memory state and never mutate the service; writes exist only on the
+  job API, which forwards every mutation to the job service's own
+  journalled state machine;
 * **never blocks a scan** — each request runs in its own handler thread
   and takes no lock a scan holds for longer than a dict copy, so
   endpoints answer *during* an in-flight scan;
@@ -54,7 +77,11 @@ _log = get_logger("observability.server")
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
-ENDPOINTS = ("/metrics", "/metrics.json", "/health", "/stats", "/traces/latest")
+ENDPOINTS = ("/metrics", "/metrics.json", "/health", "/stats", "/traces/latest", "/jobs")
+
+#: request bodies larger than this are rejected outright (a submission
+#: carries spec text + inline sources, not a configuration dump)
+MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
 def parse_http_address(text: str) -> tuple[str, int]:
@@ -92,9 +119,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         owner: "ObservabilityServer" = self.server.owner  # type: ignore[attr-defined]
-        path = urlsplit(self.path).path.rstrip("/") or "/"
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
         try:
-            rendered = owner.render(path)
+            rendered = owner.render(path, query=parts.query)
         except Exception as exc:  # a broken endpoint must not kill the server
             self._respond(
                 500, JSON_CONTENT_TYPE,
@@ -112,6 +140,37 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_HEAD(self) -> None:  # noqa: N802 - probes often use HEAD
         self.do_GET()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        owner: "ObservabilityServer" = self.server.owner  # type: ignore[attr-defined]
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._respond(
+                413 if length > MAX_BODY_BYTES else 400, JSON_CONTENT_TYPE,
+                json.dumps({"error": "invalid or oversized request body"}) + "\n",
+            )
+            return
+        body = self.rfile.read(length) if length else b""
+        try:
+            rendered = owner.render_post(path, body)
+        except Exception as exc:
+            self._respond(
+                500, JSON_CONTENT_TYPE,
+                json.dumps({"error": f"{type(exc).__name__}: {exc}"}) + "\n",
+            )
+            return
+        if rendered is None:
+            self._respond(
+                404, JSON_CONTENT_TYPE,
+                json.dumps({"error": f"unknown POST endpoint {path!r}",
+                            "endpoints": ["/jobs", "/jobs/<id>/cancel"]}) + "\n",
+            )
+            return
+        self._respond(*rendered)
 
 
 class ObservabilityServer:
@@ -176,15 +235,18 @@ class ObservabilityServer:
 
     # -- rendering -----------------------------------------------------
 
-    def render(self, path: str) -> Optional[tuple[int, str, str]]:
-        """Render one endpoint → ``(status, content type, body)``.
+    def render(self, path: str, query: str = "") -> Optional[tuple[int, str, str]]:
+        """Render one GET endpoint → ``(status, content type, body)``.
 
         Returns ``None`` for unknown paths.  Pure read: looks at the
-        process-wide metrics registry and the service's published state.
+        process-wide metrics registry and the service's published state
+        (the job API additionally reads the attached job service).
         """
         from . import get_metrics  # late: the live registry at request time
 
         self._count_request(path)
+        if path == "/jobs" or path.startswith("/jobs/"):
+            return self._render_jobs_get(path, query)
         if path == "/metrics":
             return 200, PROMETHEUS_CONTENT_TYPE, get_metrics().to_prometheus()
         if path == "/metrics.json":
@@ -206,11 +268,101 @@ class ObservabilityServer:
             return 200, JSON_CONTENT_TYPE, json.dumps(trace, sort_keys=True) + "\n"
         return None
 
+    # -- the asynchronous job API (repro.jobs) -------------------------
+
+    @property
+    def jobs(self):
+        """The attached :class:`~repro.jobs.service.JobService`, or None."""
+        return getattr(self.service, "jobs", None)
+
+    @staticmethod
+    def _json_body(status: int, payload: dict) -> tuple[int, str, str]:
+        return status, JSON_CONTENT_TYPE, json.dumps(payload, sort_keys=True) + "\n"
+
+    def _jobs_disabled(self) -> tuple[int, str, str]:
+        return self._json_body(404, {
+            "error": "the job service is not enabled",
+            "hint": "start the service with --jobs (see docs/OPERATIONS.md §4d)",
+        })
+
+    def _render_jobs_get(self, path: str, query: str) -> tuple[int, str, str]:
+        jobs = self.jobs
+        if jobs is None:
+            return self._jobs_disabled()
+        if path == "/jobs":
+            from urllib.parse import parse_qs
+
+            params = parse_qs(query)
+
+            def first(name: str) -> Optional[str]:
+                values = params.get(name)
+                return values[0] if values else None
+
+            try:
+                limit = int(first("limit") or 50)
+            except ValueError:
+                return self._json_body(400, {"error": "'limit' must be an integer"})
+            listing = jobs.list_jobs(
+                state=first("state"), tenant=first("tenant"), limit=limit
+            )
+            return self._json_body(200, {"jobs": listing, "stats": jobs.stats()})
+        job_id = path[len("/jobs/"):]
+        job = jobs.get(job_id)
+        if job is None:
+            return self._json_body(404, {"error": f"unknown job {job_id!r}"})
+        return self._json_body(200, job.to_dict())
+
+    def render_post(self, path: str, body: bytes) -> Optional[tuple[int, str, str]]:
+        """Route one POST → ``(status, content type, body)`` (None = 404)."""
+        from ..jobs.model import AdmissionError
+
+        self._count_request(path)
+        jobs = self.jobs
+        if path == "/jobs":
+            if jobs is None:
+                return self._jobs_disabled()
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, ValueError):
+                return self._json_body(400, {"error": "request body is not valid JSON"})
+            try:
+                job, created = jobs.submit_payload(payload)
+            except AdmissionError as error:
+                return self._json_body(429, error.to_dict())
+            except ValueError as error:
+                return self._json_body(400, {"error": str(error)})
+            return self._json_body(202, {
+                "id": job.id,
+                "state": job.state,
+                "deduplicated": not created,
+                "location": f"/jobs/{job.id}",
+            })
+        if path.startswith("/jobs/") and path.endswith("/cancel"):
+            if jobs is None:
+                return self._jobs_disabled()
+            job_id = path[len("/jobs/"):-len("/cancel")]
+            try:
+                job = jobs.cancel(job_id)
+            except KeyError:
+                return self._json_body(404, {"error": f"unknown job {job_id!r}"})
+            except ValueError as error:
+                return self._json_body(409, {"error": str(error)})
+            return self._json_body(200, {
+                "id": job.id,
+                "state": job.state,
+                "cancel_requested": job.cancel_requested,
+            })
+        return None
+
     def _count_request(self, path: str) -> None:
         from . import get_metrics
 
         metrics = get_metrics()
         if metrics.enabled:
+            # collapse per-job paths to one series — job ids are unbounded
+            # and would otherwise explode the label cardinality
+            if path.startswith("/jobs/"):
+                path = "/jobs/:id/cancel" if path.endswith("/cancel") else "/jobs/:id"
             metrics.counter(
                 "confvalley_http_requests_total",
                 "Operator-endpoint requests served, by path.",

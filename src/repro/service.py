@@ -144,6 +144,10 @@ class ValidationService:
         self._coverage_key: Optional[tuple] = None
         #: live operator endpoint (started via start_http / CLI --http)
         self._http = None
+        #: attached asynchronous job service (repro.jobs) — enables the
+        #: POST /jobs submission API on the operator endpoint and the
+        #: "jobs" block in stats(); see attach_jobs()
+        self.jobs = None
 
     # ------------------------------------------------------------------
 
@@ -518,6 +522,27 @@ class ValidationService:
         if http is not None:
             http.stop()
 
+    def attach_jobs(self, job_service) -> None:
+        """Attach a :class:`~repro.jobs.service.JobService`.
+
+        The job service shares this service's compiled-spec cache (same
+        spec hash → one compile across scans *and* jobs) and gets the
+        watched spec registered under the name ``"service"`` so remote
+        submitters can validate against it without shipping the text.
+        """
+        self.jobs = job_service
+        job_service.spec_cache = self.spec_cache
+        job_service.executor.spec_cache = self.spec_cache
+        try:
+            if self.runtime is not None:
+                spec_text = self.runtime.read_bytes(self.spec_path).decode("utf-8")
+            else:
+                with open(self.spec_path, "r", encoding="utf-8") as handle:
+                    spec_text = handle.read()
+        except Exception:
+            return  # an unreadable spec just skips the registration
+        job_service.register_spec("service", spec_text)
+
     @property
     def http(self):
         """The running operator endpoint, or None."""
@@ -559,6 +584,7 @@ class ValidationService:
             "breakers": (
                 self.breaker.snapshot() if self.breaker is not None else []
             ),
+            "jobs": self.jobs.stats() if self.jobs is not None else None,
             "history": list(self.scan_records),
         }
 

@@ -100,6 +100,76 @@ class TestGateSubcommand:
         assert "+3" in capsys.readouterr().out
 
 
+class TestGateJson:
+    """``gate --json``: the machine-readable verdict shares the job-result
+    schema (satellite of the async job service PR) and the documented
+    exit-code contract: 0 admit / 1 reject / 2 error."""
+
+    def setup_files(self, tmp_path, new_timeout):
+        return TestGateSubcommand().setup_files(tmp_path, new_timeout)
+
+    def run_json(self, root, capsys, extra=()):
+        import json
+
+        code = main([
+            "gate", str(root / "spec.cpl"),
+            "--old", f"ini:{root}/old.ini", "--new", f"ini:{root}/new.ini",
+            "--json", *extra,
+        ])
+        captured = capsys.readouterr()
+        return code, json.loads(captured.out), captured
+
+    def test_admit_verdict(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 45)
+        code, verdict, __ = self.run_json(root, capsys)
+        assert code == 0
+        assert verdict["verdict"] == "admit"
+        assert verdict["passed"] is True
+        assert verdict["statements_run"] == 1
+        assert verdict["statements_total"] == 3
+        # same schema as an async job result: the determinism token rides
+        assert len(verdict["fingerprint"]) == 64
+
+    def test_reject_verdict(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 999)
+        code, verdict, __ = self.run_json(root, capsys)
+        assert code == 1
+        assert verdict["verdict"] == "reject"
+        assert verdict["violations"] == 1
+        assert verdict["violation_details"][0]["key"].endswith("Timeout")
+
+    def test_no_change_admits(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 30)
+        code, verdict, __ = self.run_json(root, capsys)
+        assert code == 0
+        assert verdict["verdict"] == "admit"
+        assert verdict["statements_run"] == 0
+
+    def test_stdout_is_pure_json(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 45)
+        __, __, captured = self.run_json(root, capsys)
+        assert captured.out.strip().startswith("{")
+        assert "ACCEPT" not in captured.out
+
+    def test_missing_spec_is_error_verdict_exit_two(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 45)
+        (root / "spec.cpl").unlink()
+        code, verdict, __ = self.run_json(root, capsys)
+        assert code == 2
+        assert verdict["verdict"] == "error"
+        assert "FileNotFoundError" in verdict["error"]
+
+    def test_error_without_json_prints_stderr(self, tmp_path, capsys):
+        root = self.setup_files(tmp_path, 45)
+        (root / "spec.cpl").unlink()
+        code = main([
+            "gate", str(root / "spec.cpl"),
+            "--old", f"ini:{root}/old.ini", "--new", f"ini:{root}/new.ini",
+        ])
+        assert code == 2
+        assert "gate error:" in capsys.readouterr().err
+
+
 class TestWaiverFiles:
     def test_load_waivers(self, tmp_path):
         waivers = tmp_path / "waivers.txt"

@@ -1,0 +1,390 @@
+"""The job submission HTTP API and its CLI clients.
+
+The contracts under test:
+
+* **POST /jobs** — 202 with a job id and Location-style pointer, 429 with
+  a structured backpressure body when admission control rejects, 400 on
+  malformed JSON or unknown fields, 404 when the job service is not
+  attached;
+* **GET /jobs[, /jobs/<id>]** — filterable listing plus full job records,
+  404 for unknown ids; **POST /jobs/<id>/cancel** — 200/404/409;
+* **end-to-end parity** — a job submitted over HTTP produces a verdict
+  whose fingerprint matches a direct in-process ``validate`` of the same
+  spec + sources;
+* **CLI** — ``confvalley submit --wait`` exits with the verdict
+  (0 admit / 1 reject / 2 error), ``jobs``/``cancel`` drive the listing
+  and cancellation endpoints, and every job/read command prints one
+  actionable line and fails cleanly against unreachable or
+  non-ConfValley URLs;
+* **metrics** — submissions, rejections and per-path request counters
+  flow into the registry with job ids collapsed out of the label space.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import SourceSpec, ValidationService, observability
+from repro.console import main
+from repro.core.session import ValidationSession
+from repro.jobs import JobService, JobState
+from repro.jobs.model import report_fingerprint_digest
+from repro.observability import parse_prometheus
+
+SPEC = "$s.Timeout -> int & [1, 60]\n$s.Flag -> bool\n$s.Name -> nonempty\n"
+GOOD_INI = "[s]\nTimeout = 30\nFlag = true\nName = web\n"
+BAD_INI = "[s]\nTimeout = 999\nFlag = true\nName = web\n"
+
+
+@pytest.fixture(autouse=True)
+def pristine_observability():
+    observability.disable()
+    yield
+    observability.disable()
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    spec = tmp_path / "spec.cpl"
+    spec.write_text(SPEC)
+    config = tmp_path / "good.ini"
+    config.write_text(GOOD_INI)
+    return tmp_path, spec, config
+
+
+@pytest.fixture
+def live(workspace):
+    """A ValidationService with an attached JobService, served over HTTP."""
+    tmp, spec, config = workspace
+    service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+    jobs = JobService(journal_path=str(tmp / "journal.jsonl"), workers=1)
+    service.attach_jobs(jobs)
+    server = service.start_http()
+    yield service, jobs, server
+    service.stop_http()
+    jobs.close()
+
+
+def request_json(url, payload=None, method=None):
+    """(status, parsed JSON body); 4xx/5xx returned, not raised."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers,
+                                     method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def refused_port() -> int:
+    """A port nothing is listening on (bound, then released)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def direct_fingerprint(config_path) -> str:
+    session = ValidationSession()
+    session.load_source("ini", str(config_path))
+    return report_fingerprint_digest(session.validate(SPEC))
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface
+# ---------------------------------------------------------------------------
+
+
+class TestJobsHttp:
+    def test_submit_poll_fingerprint_parity(self, live, workspace):
+        __, __, config = workspace
+        service, jobs, server = live
+        status, body = request_json(server.url + "/jobs", payload={
+            "spec": SPEC,
+            "sources": [{"format": "ini", "path": str(config)}],
+        })
+        assert status == 202
+        assert body["deduplicated"] is False
+        assert body["location"] == f"/jobs/{body['id']}"
+        done = jobs.wait(body["id"], timeout=30)
+        status, record = request_json(server.url + body["location"])
+        assert status == 200
+        assert record["state"] == JobState.DONE
+        assert record["result"]["verdict"] == "admit"
+        assert record["result"]["fingerprint"] == direct_fingerprint(config)
+        assert record["result"]["fingerprint"] == done.result["fingerprint"]
+
+    def test_idempotency_key_deduplicates_over_http(self, live):
+        __, __, server = live
+        payload = {"spec": SPEC, "idempotency_key": "k1"}
+        __, first = request_json(server.url + "/jobs", payload=payload)
+        status, second = request_json(server.url + "/jobs", payload=payload)
+        assert status == 202
+        assert second["id"] == first["id"]
+        assert second["deduplicated"] is True
+
+    def test_429_when_over_capacity(self, workspace):
+        tmp, spec, config = workspace
+        service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+        # workers=0: nothing drains, so the second submission must bounce
+        jobs = JobService(workers=0, queue_depth=1)
+        service.attach_jobs(jobs)
+        server = service.start_http()
+        try:
+            status, __ = request_json(server.url + "/jobs",
+                                      payload={"spec": SPEC})
+            assert status == 202
+            status, body = request_json(server.url + "/jobs",
+                                        payload={"spec": SPEC})
+            assert status == 429
+            assert body["error"] == "backpressure"
+            assert body["reason"] == "queue-full"
+            assert jobs.stats()["rejections"] == {"queue-full": 1}
+        finally:
+            service.stop_http()
+            jobs.close()
+
+    def test_malformed_submissions_400(self, live):
+        __, __, server = live
+        request = urllib.request.Request(
+            server.url + "/jobs", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+        status, body = request_json(server.url + "/jobs",
+                                    payload={"spec": SPEC, "bogus": 1})
+        assert status == 400
+        assert "unknown field" in body["error"]
+        status, __ = request_json(server.url + "/jobs", payload={})
+        assert status == 400  # no spec reference at all
+
+    def test_listing_filters_and_detail_404(self, live):
+        __, jobs, server = live
+        submitted, __ = jobs.submit(spec=SPEC, tenant="ci")
+        jobs.wait(submitted.id, timeout=30)
+        status, body = request_json(server.url + "/jobs?tenant=ci&limit=10")
+        assert status == 200
+        assert [row["id"] for row in body["jobs"]] == [submitted.id]
+        assert body["stats"]["workers"] == 1
+        status, body = request_json(server.url + "/jobs?tenant=nobody")
+        assert body["jobs"] == []
+        status, __ = request_json(server.url + "/jobs/job-ghost")
+        assert status == 404
+        status, body = request_json(server.url + "/jobs?limit=zebra")
+        assert status == 400
+
+    def test_cancel_endpoint_states(self, live):
+        __, jobs, server = live
+        job, __ = jobs.submit(spec=SPEC)
+        jobs.wait(job.id, timeout=30)  # let it finish: cancel now conflicts
+        status, body = request_json(
+            server.url + f"/jobs/{job.id}/cancel", payload={}
+        )
+        assert status == 409
+        status, __ = request_json(
+            server.url + "/jobs/job-ghost/cancel", payload={}
+        )
+        assert status == 404
+
+    def test_jobs_endpoints_404_without_job_service(self, workspace):
+        __, spec, config = workspace
+        service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+        server = service.start_http()
+        try:
+            status, body = request_json(server.url + "/jobs")
+            assert status == 404
+            assert "--jobs" in body["hint"]
+            status, __ = request_json(server.url + "/jobs",
+                                      payload={"spec": SPEC})
+            assert status == 404
+        finally:
+            service.stop_http()
+
+    def test_unknown_post_path_404_lists_write_endpoints(self, live):
+        __, __, server = live
+        status, body = request_json(server.url + "/metrics", payload={})
+        assert status == 404
+        assert "/jobs" in body["endpoints"]
+
+    def test_jobs_block_in_service_stats(self, live):
+        __, jobs, server = live
+        status, stats = request_json(server.url + "/stats")
+        assert status == 200
+        assert stats["jobs"]["workers"] == 1
+        # the watched spec is registered for spec_name submissions
+        job, __ = jobs.submit(spec_name="service")
+        assert jobs.wait(job.id, timeout=30).result["verdict"] == "admit"
+
+    def test_metrics_flow_with_bounded_path_labels(self, live, workspace):
+        __, __, config = workspace
+        obs = observability.enable()
+        __, jobs, server = live
+        __, body = request_json(server.url + "/jobs", payload={
+            "spec": SPEC,
+            "sources": [{"format": "ini", "path": str(config)}],
+        })
+        jobs.wait(body["id"], timeout=30)
+        request_json(server.url + body["location"])
+        families = parse_prometheus(obs.metrics.to_prometheus())
+        submitted = families["confvalley_jobs_submitted_total"]["samples"]
+        assert any(labels["tenant"] == "default" for __, labels, __v in submitted)
+        assert "confvalley_job_wait_seconds" in families
+        assert "confvalley_job_run_seconds" in families
+        paths = {labels["path"]
+                 for __, labels, __v in
+                 families["confvalley_http_requests_total"]["samples"]}
+        assert "/jobs/:id" in paths  # ids collapsed out of the label space
+        assert not any(path.startswith("/jobs/job-") for path in paths)
+
+
+# ---------------------------------------------------------------------------
+# CLI clients
+# ---------------------------------------------------------------------------
+
+
+class TestSubmitCli:
+    def test_submit_wait_admit_exits_zero(self, live, workspace, capsys):
+        __, spec, config = workspace
+        __, __, server = live
+        code = main([
+            "submit", str(spec), "--url", server.url,
+            "--source", f"ini:{config}", "--wait", "--poll", "0.05",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "submitted job-" in captured.err
+        assert "verdict=admit" in captured.out
+
+    def test_submit_wait_reject_exits_one(self, live, workspace, capsys):
+        tmp, spec, __ = workspace
+        __, __, server = live
+        bad = tmp / "bad.ini"
+        bad.write_text(BAD_INI)
+        code = main([
+            "submit", str(spec), "--url", server.url,
+            "--inline-source", f"ini:{bad}", "--wait", "--poll", "0.05",
+            "--json",
+        ])
+        assert code == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["result"]["verdict"] == "reject"
+        assert verdict["result"]["violations"] == 1
+
+    def test_submit_without_wait_prints_id(self, live, workspace, capsys):
+        __, spec, config = workspace
+        __, jobs, server = live
+        code = main([
+            "submit", str(spec), "--url", server.url,
+            "--source", f"ini:{config}", "--idempotency-key", "cli-1",
+        ])
+        assert code == 0
+        job_id = capsys.readouterr().out.strip()
+        assert jobs.get(job_id) is not None
+
+    def test_submit_unreachable_exits_two(self, workspace, capsys):
+        __, spec, config = workspace
+        code = main([
+            "submit", str(spec), "--url",
+            f"http://127.0.0.1:{refused_port()}",
+            "--source", f"ini:{config}",
+        ])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_needs_exactly_one_spec(self, capsys):
+        code = main(["submit", "--url", "http://127.0.0.1:1"])
+        assert code == 2
+        assert "--spec-name" in capsys.readouterr().err
+
+    def test_submit_backpressure_exits_two(self, workspace, capsys):
+        tmp, spec, config = workspace
+        service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+        jobs = JobService(workers=0, queue_depth=1)
+        service.attach_jobs(jobs)
+        server = service.start_http()
+        try:
+            assert main(["submit", str(spec), "--url", server.url]) == 0
+            code = main(["submit", str(spec), "--url", server.url])
+            assert code == 2
+            assert "backpressure" in capsys.readouterr().err
+        finally:
+            service.stop_http()
+            jobs.close()
+
+
+class TestJobsAndCancelCli:
+    def test_jobs_listing(self, live, capsys):
+        __, jobs, server = live
+        job, __ = jobs.submit(spec=SPEC, tenant="ci")
+        jobs.wait(job.id, timeout=30)
+        code = main(["jobs", server.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert job.id in out
+        assert "verdict=admit" in out
+        assert "1 worker(s)" in out
+
+    def test_jobs_json_mode(self, live, capsys):
+        __, jobs, server = live
+        jobs.submit(spec=SPEC)
+        assert main(["jobs", server.url, "--json"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert "jobs" in body and "stats" in body
+
+    def test_cancel_queued_job(self, workspace, capsys):
+        tmp, spec, config = workspace
+        service = ValidationService(str(spec), [SourceSpec("ini", str(config))])
+        jobs = JobService(workers=0)
+        service.attach_jobs(jobs)
+        server = service.start_http()
+        try:
+            job, __ = jobs.submit(spec=SPEC)
+            code = main(["cancel", server.url, job.id])
+            assert code == 0
+            assert "CANCELLED" in capsys.readouterr().out
+        finally:
+            service.stop_http()
+            jobs.close()
+
+    def test_cancel_unknown_job_exits_one(self, live, capsys):
+        __, __, server = live
+        assert main(["cancel", server.url, "job-ghost"]) == 1
+        assert "cancel failed" in capsys.readouterr().err
+
+    def test_jobs_unreachable_exits_one(self, capsys):
+        code = main(["jobs", f"http://127.0.0.1:{refused_port()}"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestReadCommandsAgainstDeadUrls:
+    """stats/top/coverage against unreachable or non-ConfValley URLs
+    (satellite: uniform error handling, one actionable line, exit 1)."""
+
+    def test_all_read_commands_fail_cleanly(self, capsys):
+        url = f"http://127.0.0.1:{refused_port()}"
+        for argv in (["stats", url], ["top", url], ["coverage", url]):
+            assert main(argv) == 1, argv
+            err = capsys.readouterr().err
+            assert "cannot reach" in err, argv
+            assert "--http" in err, argv  # actionable: how to fix it
+
+    def test_non_confvalley_url(self, live, capsys):
+        # a real HTTP server, wrong path shape: /stats 404s with JSON the
+        # snapshot loader rejects → the "not ConfValley" arm, not a crash
+        __, __, server = live
+        assert main(["top", server.url + "/nothing-here"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot reach" in err or "ConfValley" in err

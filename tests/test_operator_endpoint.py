@@ -118,11 +118,16 @@ class TestParseHttpAddress:
 
 class TestOperatorEndpoint:
     def test_all_endpoints_respond(self, workspace):
+        from repro.jobs import JobService
+
         tmp, spec, config = workspace
         observability.enable()
         service = ValidationService(
             str(spec), [SourceSpec("ini", str(config))]
         )
+        # /jobs answers 404 until a job service is attached (tested in
+        # test_jobs_endpoint.py); attach one so the whole table is live
+        service.attach_jobs(JobService(workers=0))
         service.run_once()
         server = service.start_http()
         try:
@@ -266,11 +271,14 @@ class TestOperatorEndpoint:
                     assert release.wait(timeout=30)
                 return super().read_bytes(path)
 
+        from repro.jobs import JobService
+
         observability.enable()
         service = ValidationService(
             str(spec), [SourceSpec("ini", str(config))],
             runtime=BlockingRuntime(),
         )
+        service.attach_jobs(JobService(workers=0))
         server = service.start_http()
         worker = threading.Thread(target=service.run_once, daemon=True)
         try:
