@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos obs-smoke http-smoke jobs-smoke bench-smoke bench ci
+.PHONY: test chaos obs-smoke http-smoke jobs-smoke delta-smoke bench-smoke bench ci
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -39,6 +39,13 @@ http-smoke:
 jobs-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/jobs_smoke.py
 
+## Watch-mode delta smoke: start `service --delta --watch` as a real
+## subprocess, edit one key, assert exactly one delta scan fires with the
+## right scope and a fingerprint byte-identical to a full in-process scan,
+## then verify idle polls stay quiet and SIGTERM shuts down cleanly.
+delta-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/delta_smoke.py
+
 ## Run every benchmark on a tiny corpus — correctness of the bench
 ## harness itself, not a measurement.  See benchmarks/smoke.sh.
 bench-smoke:
@@ -50,6 +57,6 @@ bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
 
 ## What CI runs: the tier-1 suite, the chaos suite, the observability
-## gate, the live-endpoint and job-service smokes, and the benchmark
-## smoke pass.
-ci: test chaos obs-smoke http-smoke jobs-smoke bench-smoke
+## gate, the live-endpoint, job-service and watch-mode delta smokes, and
+## the benchmark smoke pass.
+ci: test chaos obs-smoke http-smoke jobs-smoke delta-smoke bench-smoke

@@ -9,15 +9,28 @@ inferred corpus (hundreds of specs — the realistic production mix).
 Shape claims: single-parameter changes select a small fraction of the
 corpus; incremental validation is ≥2× faster per check-in than full; both
 report identical violations for the touched classes.
+
+The second half benchmarks the *service-level* delta path (ISSUE-6): a
+``ValidationService(delta=True)`` twin driven through single-key edits
+must re-validate under 10% of the statements per edit while producing
+reports whose ``fingerprint()`` is byte-identical to a full-scan twin's.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
-from repro import ConfigRepository, IncrementalValidator, InferenceEngine, ValidationSession
+from repro import (
+    ConfigRepository,
+    IncrementalValidator,
+    InferenceEngine,
+    SourceSpec,
+    ValidationService,
+    ValidationSession,
+)
 from repro.benchutil import format_table
 from repro.repository.model import ConfigInstance
 from repro.synthetic import EXPERT_SPECS
@@ -132,3 +145,101 @@ def test_incremental_agrees_with_full_on_faulty_checkin(corpus, checkins, benchm
     }
     assert incremental_keys == full_keys
     assert incremental_keys  # the fault is actually reported
+
+
+# ---------------------------------------------------------------------------
+# Service-level delta scans (ISSUE-6 acceptance gate)
+# ---------------------------------------------------------------------------
+
+DELTA_CLASSES = 12
+DELTA_KEYS = 10  # DELTA_CLASSES * DELTA_KEYS = 120 statements
+
+
+def _write_corpus(tmp_path, values: dict):
+    """One spec statement and one INI key per (class, key) pair."""
+    spec_lines, ini_lines = [], []
+    for c in range(DELTA_CLASSES):
+        ini_lines.append(f"[svc{c}]")
+        for k in range(DELTA_KEYS):
+            # distinct ranges keep the compiler's statement merging from
+            # collapsing the corpus into one evaluation unit
+            ceiling = 1000 + c * DELTA_KEYS + k
+            spec_lines.append(f"$svc{c}.Param{k} -> int & [0, {ceiling}]")
+            ini_lines.append(f"Param{k} = {values.get((c, k), (c * 37 + k) % 900)}")
+    spec = tmp_path / "spec.cpl"
+    config = tmp_path / "corpus.ini"
+    spec.write_text("\n".join(spec_lines) + "\n")
+    config.write_text("\n".join(ini_lines) + "\n")
+    stat = os.stat(config)
+    os.utime(config, ns=(stat.st_atime_ns + 1_000_000, stat.st_mtime_ns + 1_000_000))
+    return spec, config
+
+
+def test_delta_service_scoping_and_parity(tmp_path, emit, benchmark):
+    """Steady-state re-validation cost must scale with the change size.
+
+    Ten single-key check-ins against a 120-statement corpus: the delta
+    twin must select <10% of the statements per check-in and every one of
+    its reports must fingerprint identically to the full twin's.
+    """
+    spec, config = _write_corpus(tmp_path, {})
+    sources = [SourceSpec("ini", str(config))]
+    full = ValidationService(str(spec), sources)
+    delta = ValidationService(str(spec), sources, delta=True)
+
+    bootstrap_full = full.run_once()
+    bootstrap_delta = delta.run_once()
+    assert bootstrap_delta.report.fingerprint() == bootstrap_full.report.fingerprint()
+    assert bootstrap_delta.delta["mode"] == "bootstrap"
+
+    checkins = 10
+    values: dict = {}
+    timings = {"full": 0.0, "delta": 0.0}
+    fractions = []
+
+    def run_checkins():
+        for index in range(checkins):
+            edit = (index % DELTA_CLASSES, (index * 3) % DELTA_KEYS)
+            values[edit] = 500 + index
+            _write_corpus(tmp_path, values)
+            started = time.perf_counter()
+            full_result = full.run_once()
+            timings["full"] += time.perf_counter() - started
+            started = time.perf_counter()
+            delta_result = delta.run_once()
+            timings["delta"] += time.perf_counter() - started
+            assert (
+                delta_result.report.fingerprint()
+                == full_result.report.fingerprint()
+            ), f"check-in {index}: delta report diverged from full scan"
+            assert delta_result.delta["mode"] == "delta"
+            fractions.append(
+                delta_result.delta["selected"]
+                / delta_result.delta["statements_total"]
+            )
+
+    benchmark.pedantic(run_checkins, rounds=1, iterations=1)
+
+    mean_fraction = sum(fractions) / len(fractions)
+    stats = delta.stats()["delta"]
+    emit(
+        "delta_service",
+        format_table(
+            ["Strategy", "Statements/check-in", "Total time (s)"],
+            [
+                ("full scan", DELTA_CLASSES * DELTA_KEYS, f"{timings['full']:.3f}"),
+                (
+                    "delta scan",
+                    f"{mean_fraction * DELTA_CLASSES * DELTA_KEYS:.1f}",
+                    f"{timings['delta']:.3f}",
+                ),
+            ],
+        )
+        + f"\nmean selection: {mean_fraction:.1%} of the corpus over "
+        f"{checkins} single-key check-ins; fallbacks: {stats['fallbacks']}; "
+        f"every delta report fingerprint-identical to its full twin",
+    )
+    # the ISSUE-6 acceptance gate: a single-key change re-validates <10%
+    assert mean_fraction < 0.10, f"delta selected {mean_fraction:.1%}"
+    assert max(fractions) < 0.10
+    assert stats["fallbacks"] == 0

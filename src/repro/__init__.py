@@ -28,6 +28,7 @@ Public surface:
 """
 
 from .core import (
+    DependencyIndex,
     Evaluator,
     IncrementalValidator,
     Severity,
@@ -104,6 +105,7 @@ __all__ = [
     "ValidationService",
     "SourceSpec",
     "ScanResult",
+    "DependencyIndex",
     "IncrementalValidator",
     "ParallelValidator",
     "SpecCache",

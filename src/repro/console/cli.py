@@ -143,6 +143,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate each scan via the sharded parallel engine",
     )
     service.add_argument(
+        "--delta", action="store_true",
+        help="incremental scans: diff changed sources against their last "
+             "snapshot and re-evaluate only the affected statements, "
+             "splicing the rest from the previous scan (fingerprint-"
+             "identical to a full scan; see docs/INCREMENTAL.md)",
+    )
+    service.add_argument(
+        "--watch", action="store_true",
+        help="watch mode: poll/validate via ValidationService.watch() and "
+             "print one line per validation (mode, selection counts, report "
+             "fingerprint digest); --max-scans counts validations, not polls",
+    )
+    service.add_argument(
         "--resilient", action="store_true",
         help="supervised mode: quarantine failing sources/specs and keep "
              "scanning instead of aborting (repro.resilience)",
@@ -306,6 +319,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--executor", choices=("auto", "serial", "thread", "process"),
         default=None, help="evaluation strategy for this job",
+    )
+    submit.add_argument(
+        "--delta", action="store_true",
+        help="delta job: validate only the statements affected by the "
+             "change between --baseline sources and --source/--inline-source",
+    )
+    submit.add_argument(
+        "--baseline", action="append", default=[], metavar="FMT:PATH[:SCOPE]",
+        help="before-the-change source reference resolved on the service "
+             "host (repeatable; requires --delta)",
     )
     submit.add_argument(
         "--wait", action="store_true",
@@ -814,6 +837,12 @@ def _run_submit(args) -> int:
         "priority": args.priority,
         "tenant": args.tenant,
     }
+    if args.delta:
+        payload["mode"] = "delta"
+        payload["baseline_sources"] = list(args.baseline)
+    elif args.baseline:
+        print("--baseline requires --delta", file=sys.stderr)
+        return EXIT_ERROR
     if args.idempotency_key:
         payload["idempotency_key"] = args.idempotency_key
     if args.timeout is not None:
@@ -896,6 +925,13 @@ def _run_submit(args) -> int:
         print(f"{job_id}: {job['state']} verdict={verdict} "
               f"violations={result.get('violations', 0)} "
               f"fingerprint={result.get('fingerprint', '')[:16]}")
+        delta = result.get("delta")
+        if delta:
+            if delta.get("mode") == "delta":
+                print(f"  delta: {delta['selected']}/{delta['statements_total']} "
+                      f"statement(s) selected ({delta.get('change')})")
+            else:
+                print(f"  delta: {delta.get('mode')} — {delta.get('reason', '')}")
         if job.get("error"):
             print(f"  error: {job['error']}")
     if job["state"] == JobState.DONE:
@@ -1005,6 +1041,7 @@ def _run_service(args) -> int:
     service = ValidationService(
         args.spec, sources, on_transition=announce, executor=args.executor,
         resilience=resilience, metrics_file=args.metrics_file,
+        delta=args.delta,
     )
 
     jobs_enabled = args.jobs or any(
@@ -1053,22 +1090,53 @@ def _run_service(args) -> int:
 
     scans = 0
     last_status = None
+
+    def watch_line(result):
+        """One parseable line per validation for --watch consumers
+        (the delta-smoke harness greps mode= and fingerprint=)."""
+        nonlocal last_status
+        from ..jobs.model import report_fingerprint_digest
+
+        status = "PASS" if result.passed else "FAIL"
+        if result.delta is not None:
+            mode = (f"mode={result.delta['mode']} "
+                    f"selected={result.delta['selected']}"
+                    f"/{result.delta['statements_total']}")
+        else:
+            mode = "mode=full"
+        digest = report_fingerprint_digest(result.report)
+        print(f"[{result.sequence}] {status} "
+              f"({len(result.report.violations)} violation(s); {mode}; "
+              f"fingerprint={digest}; "
+              f"changed: {', '.join(result.changed_paths)})",
+              flush=True)
+        if result.health is not None and result.health.status != "OK":
+            print(f"    {result.health.summary()}", flush=True)
+        last_status = result.passed
+
     try:
-        while True:
-            result = service.scan()
-            scans += 1
-            if result is not None:
-                status = "PASS" if result.passed else "FAIL"
-                changed = ", ".join(result.changed_paths)
-                print(f"[{result.sequence}] {status} "
-                      f"({len(result.report.violations)} violation(s); "
-                      f"changed: {changed})")
-                if result.health is not None and result.health.status != "OK":
-                    print(f"    {result.health.summary()}")
-                last_status = result.passed
-            if args.max_scans and scans >= args.max_scans:
-                break
-            _time.sleep(args.interval)
+        if args.watch:
+            service.watch(
+                interval=args.interval,
+                max_scans=args.max_scans or None,
+                on_result=watch_line,
+            )
+        else:
+            while True:
+                result = service.scan()
+                scans += 1
+                if result is not None:
+                    status = "PASS" if result.passed else "FAIL"
+                    changed = ", ".join(result.changed_paths)
+                    print(f"[{result.sequence}] {status} "
+                          f"({len(result.report.violations)} violation(s); "
+                          f"changed: {changed})")
+                    if result.health is not None and result.health.status != "OK":
+                        print(f"    {result.health.summary()}")
+                    last_status = result.passed
+                if args.max_scans and scans >= args.max_scans:
+                    break
+                _time.sleep(args.interval)
     except KeyboardInterrupt:  # interactive ^C or SIGTERM
         pass
     finally:

@@ -3,7 +3,7 @@
 from .compiler import CompilerOptions, optimize_statements, simplify_predicate
 from .coverage import CoverageReport, analyze_coverage
 from .evaluator import Context, Evaluator, Item
-from .incremental import IncrementalValidator
+from .incremental import DependencyIndex, IncrementalValidator
 from .policy import ValidationPolicy
 from .repair import Repair, apply_repairs, suggest_repairs
 from .report import Severity, ValidationReport, Violation
@@ -16,6 +16,7 @@ __all__ = [
     "Context",
     "Evaluator",
     "Item",
+    "DependencyIndex",
     "IncrementalValidator",
     "CoverageReport",
     "analyze_coverage",

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..cpl import parse
+from ..cpl import ast, parse
 from ..repository.keys import InstanceKey, InstanceSegment
 from ..repository.store import ConfigStore
 from .incremental import _statement_patterns
@@ -81,8 +81,12 @@ def analyze_coverage(spec_text: str, store: ConfigStore) -> CoverageReport:
     program = parse(spec_text)
     spec_patterns = []
     spec_texts = []
+    macros: dict[str, ast.PredExpr] = {}
     for statement in program.statements:
-        patterns = _statement_patterns(statement)
+        if isinstance(statement, ast.LetCmd):
+            macros[statement.name] = statement.predicate
+            continue
+        patterns = _statement_patterns(statement, macros)
         if patterns:
             spec_patterns.append(patterns)
             spec_texts.append(

@@ -43,7 +43,7 @@ from .evaluator import Evaluator, Item
 from .policy import ValidationPolicy
 from .report import ValidationReport
 
-__all__ = ["ValidationSession"]
+__all__ = ["ValidationSession", "resolve_driver"]
 
 _EXTENSION_FORMATS = {
     ".xml": "xml",
@@ -57,6 +57,26 @@ _EXTENSION_FORMATS = {
     ".properties": "keyvalue",
     ".kv": "keyvalue",
 }
+
+
+def resolve_driver(format_or_alias: str, location: str) -> str:
+    """Resolve a driver name from an explicit format or the location shape.
+
+    A known driver name wins; URLs and host:port locations route to the
+    ``rest`` driver; otherwise the location's file extension decides.
+    Shared by :class:`ValidationSession` and the service's delta scanner so
+    both resolve a ``SourceSpec`` to exactly the same driver.
+    """
+    if format_or_alias in driver_names():
+        return format_or_alias
+    if "://" in location or location.replace(".", "").replace(":", "").isdigit():
+        return "rest"
+    __, extension = os.path.splitext(location)
+    if extension.lower() in _EXTENSION_FORMATS:
+        return _EXTENSION_FORMATS[extension.lower()]
+    raise DriverError(
+        f"cannot determine a driver for {format_or_alias!r} / {location!r}"
+    )
 
 
 class ValidationSession:
@@ -140,16 +160,7 @@ class ValidationSession:
         return len(instances)
 
     def _pick_driver(self, format_or_alias: str, location: str) -> str:
-        if format_or_alias in driver_names():
-            return format_or_alias
-        if "://" in location or location.replace(".", "").replace(":", "").isdigit():
-            return "rest"
-        __, extension = os.path.splitext(location)
-        if extension.lower() in _EXTENSION_FORMATS:
-            return _EXTENSION_FORMATS[extension.lower()]
-        raise DriverError(
-            f"cannot determine a driver for {format_or_alias!r} / {location!r}"
-        )
+        return resolve_driver(format_or_alias, location)
 
     # ------------------------------------------------------------------
     # Validation

@@ -130,6 +130,13 @@ class ValidationJob:
     #: source descriptors: {"format","path","scope"} references resolved on
     #: the service host, or {"format","text","source","scope"} inline payloads
     sources: list = field(default_factory=list)
+    #: "full" validates everything; "delta" diffs ``sources`` against
+    #: ``baseline_sources`` and evaluates only the statements the change
+    #: can affect (repro.core.incremental.DependencyIndex selection)
+    mode: str = "full"
+    #: the before-the-change sources a delta job diffs against (same
+    #: descriptor shapes as ``sources``; empty = everything is new)
+    baseline_sources: list = field(default_factory=list)
     #: larger runs first; ties drain in submission order
     priority: int = 0
     tenant: str = "default"
@@ -189,6 +196,8 @@ class ValidationJob:
             "spec_name": self.spec_name,
             "spec_path": self.spec_path,
             "sources": list(self.sources),
+            "mode": self.mode,
+            "baseline_sources": list(self.baseline_sources),
             "priority": self.priority,
             "tenant": self.tenant,
             "timeout": self.timeout,
@@ -211,6 +220,7 @@ class ValidationJob:
             "id": self.id,
             "state": self.state,
             "spec": self.spec_reference(),
+            "mode": self.mode,
             "tenant": self.tenant,
             "priority": self.priority,
             "idempotency_key": self.idempotency_key,
@@ -236,7 +246,9 @@ def report_fingerprint_digest(report) -> str:
     return hashlib.sha256(report.fingerprint().encode("utf-8")).hexdigest()
 
 
-def verdict_payload(report, limit: int = MAX_RESULT_VIOLATIONS) -> dict:
+def verdict_payload(
+    report, limit: int = MAX_RESULT_VIOLATIONS, delta: Optional[dict] = None
+) -> dict:
     """Machine-readable verdict for a finished validation run.
 
     The one schema shared by job results (``GET /jobs/<id>``) and
@@ -245,9 +257,14 @@ def verdict_payload(report, limit: int = MAX_RESULT_VIOLATIONS) -> dict:
     SHA-256 digest of the report's canonical fingerprint, so an
     asynchronous run can be compared against a direct ``validate`` of the
     same spec + sources.
+
+    ``delta`` — present for ``mode: delta`` jobs — records how the run
+    was scoped: statements selected vs skipped and the change summary
+    that drove selection.  A delta verdict covers only the affected
+    statements, so its fingerprint is *not* comparable to a full run's.
     """
     violations = [violation.to_dict() for violation in report.violations[:limit]]
-    return {
+    payload = {
         "verdict": "admit" if report.passed else "reject",
         "passed": report.passed,
         "violations": len(report.violations),
@@ -262,6 +279,9 @@ def verdict_payload(report, limit: int = MAX_RESULT_VIOLATIONS) -> dict:
         "fingerprint": report_fingerprint_digest(report),
         "health": report.health.status,
     }
+    if delta is not None:
+        payload["delta"] = delta
+    return payload
 
 
 def error_verdict(message: str) -> dict:

@@ -241,6 +241,8 @@ class JobService:
         timeout: Optional[float] = None,
         executor: Optional[str] = None,
         resilience: Optional[dict] = None,
+        mode: str = "full",
+        baseline_sources: Optional[list] = None,
     ) -> tuple[ValidationJob, bool]:
         """Accept one validation request.
 
@@ -248,6 +250,11 @@ class JobService:
         idempotency key matched an existing job, which is returned
         unchanged.  Raises :class:`ValueError` on a malformed request and
         :class:`AdmissionError` on backpressure.
+
+        ``mode="delta"`` scopes the run to the statements affected by the
+        difference between ``sources`` and ``baseline_sources`` (the
+        before-the-change snapshot); see
+        :meth:`repro.jobs.worker.JobExecutor._validate_delta`.
         """
         provided = [bool(spec), bool(spec_name), bool(spec_path)]
         if sum(provided) != 1:
@@ -255,26 +262,20 @@ class JobService:
                 "exactly one of spec (inline text), spec_name or spec_path "
                 "must be provided"
             )
-        normalized = []
-        for source in sources or []:
-            if isinstance(source, str):
-                normalized.append(parse_source_ref(source))
-            elif isinstance(source, dict):
-                if not source.get("format"):
-                    raise ValueError(f"source needs a 'format': {source!r}")
-                if "text" not in source and not source.get("path"):
-                    raise ValueError(
-                        f"source needs 'path' or inline 'text': {source!r}"
-                    )
-                normalized.append(dict(source))
-            else:
-                raise ValueError(f"unsupported source entry: {source!r}")
+        if mode not in ("full", "delta"):
+            raise ValueError("mode must be 'full' or 'delta'")
+        if mode != "delta" and baseline_sources:
+            raise ValueError("baseline_sources requires mode='delta'")
+        normalized = self._normalize_sources(sources)
+        baseline = self._normalize_sources(baseline_sources)
         job = ValidationJob(
             idempotency_key=idempotency_key,
             spec_text=spec,
             spec_name=spec_name,
             spec_path=spec_path,
             sources=normalized,
+            mode=mode,
+            baseline_sources=baseline,
             priority=int(priority),
             tenant=str(tenant) or "default",
             timeout=timeout,
@@ -315,6 +316,25 @@ class JobService:
         )
         return job, True
 
+    @staticmethod
+    def _normalize_sources(sources: Optional[list]) -> list:
+        """String refs → descriptor dicts; validate descriptor shapes."""
+        normalized = []
+        for source in sources or []:
+            if isinstance(source, str):
+                normalized.append(parse_source_ref(source))
+            elif isinstance(source, dict):
+                if not source.get("format"):
+                    raise ValueError(f"source needs a 'format': {source!r}")
+                if "text" not in source and not source.get("path"):
+                    raise ValueError(
+                        f"source needs 'path' or inline 'text': {source!r}"
+                    )
+                normalized.append(dict(source))
+            else:
+                raise ValueError(f"unsupported source entry: {source!r}")
+        return normalized
+
     def submit_payload(self, payload: dict) -> tuple[ValidationJob, bool]:
         """HTTP-shaped submission: validate a JSON body, then submit."""
         if not isinstance(payload, dict):
@@ -322,6 +342,7 @@ class JobService:
         allowed = {
             "spec", "spec_name", "spec_path", "sources", "priority",
             "tenant", "idempotency_key", "timeout", "executor", "resilience",
+            "mode", "baseline_sources",
         }
         unknown = sorted(set(payload) - allowed)
         if unknown:
@@ -341,6 +362,12 @@ class JobService:
                 raise ValueError("'timeout' must be a number of seconds")
         if "sources" in payload and not isinstance(payload["sources"], list):
             raise ValueError("'sources' must be a list")
+        if "mode" in payload and payload["mode"] not in ("full", "delta"):
+            raise ValueError("'mode' must be 'full' or 'delta'")
+        if "baseline_sources" in payload and not isinstance(
+            payload["baseline_sources"], list
+        ):
+            raise ValueError("'baseline_sources' must be a list")
         if "resilience" in payload and payload["resilience"] is not None:
             if not isinstance(payload["resilience"], dict):
                 raise ValueError("'resilience' must be an object")

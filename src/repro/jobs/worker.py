@@ -94,8 +94,8 @@ class JobExecutor:
             shard_retries=resilience.get("shard_retries", 1),
         )
 
-    def _load_sources(self, session: ValidationSession, job: ValidationJob) -> None:
-        for source in job.sources:
+    def _load_sources(self, session: ValidationSession, sources: list) -> None:
+        for source in sources:
             fmt = source.get("format", "")
             if "text" in source:
                 session.load_text(
@@ -108,11 +108,94 @@ class JobExecutor:
                 session.load_source(fmt, source["path"], source.get("scope", ""))
 
     def validate(self, job: ValidationJob):
-        """The raw validation run (no supervision) → ValidationReport."""
+        """The raw validation run (no supervision) → ValidationReport.
+
+        ``mode: delta`` jobs take the incremental branch; the per-job
+        delta record (selection counts, change summary) travels on the
+        report as ``delta_info`` and lands in the verdict payload.
+        """
         spec_text = self.resolve_spec_text(job)
+        if job.mode == "delta":
+            return self._validate_delta(job, spec_text)
         session = self._build_session(job)
-        self._load_sources(session, job)
+        self._load_sources(session, job.sources)
         return session.validate(spec_text)
+
+    def _validate_delta(self, job: ValidationJob, spec_text: str):
+        """Scope the run to the statements the submitted change affects.
+
+        Diffs the job's sources against its ``baseline_sources`` (the
+        before-the-change snapshot), asks the spec's dependency index for
+        the affected statement indices, and evaluates only those against
+        the *new* store.  The verdict therefore answers "does this change
+        break anything the change can reach?" — deliberately narrower
+        than a full run, and marked as such in the verdict's ``delta``
+        block.  Programs the index cannot cover soundly (load/include
+        commands, serial-only policy semantics) fall back to a full run
+        with ``delta.mode = "full-fallback"``.
+        """
+        from ..core.incremental import DependencyIndex
+        from ..core.report import ValidationReport
+        from ..parallel.engine import WorkerState, _absorb, evaluate_shard
+        from ..parallel.shards import Shard, is_parallel_safe, select_units
+        from ..repository.versioned import diff_stores
+
+        session = self._build_session(job)
+        self._load_sources(session, job.sources)
+        before_compile = session.store.instance_count
+        statements = session.compile(spec_text)
+        unsound = (
+            session.store.instance_count != before_compile  # load/include
+            or not is_parallel_safe(statements, session.policy)
+        )
+        if unsound:
+            fresh = self._build_session(job)
+            self._load_sources(fresh, job.sources)
+            report = fresh.validate(spec_text)
+            report.delta_info = {
+                "mode": "full-fallback",
+                "reason": "program cannot be delta-validated soundly "
+                "(load/include commands or serial-only semantics)",
+            }
+            return report
+
+        baseline = self._build_session(job)
+        self._load_sources(baseline, job.baseline_sources)
+        change = diff_stores(baseline.store, session.store)
+        index = None
+        if self.spec_cache is not None:
+            index = self.spec_cache.attachment(
+                spec_text,
+                session._options_fingerprint(),
+                "dependency_index",
+                lambda entry: DependencyIndex(list(entry)),
+            )
+        if index is None:
+            index = DependencyIndex(statements)
+        affected = set(index.affected(change))
+        lets, all_units = select_units(statements)
+        selected = tuple(unit for unit in all_units if unit.index in affected)
+        state = WorkerState(
+            store=session.store,
+            runtime=session.runtime,
+            policy=session.policy,
+            lets=lets,
+        )
+        result = evaluate_shard(state, Shard("delta", selected))
+        report = ValidationReport()
+        for __, unit_report in result.unit_reports:
+            _absorb(report, unit_report)
+        report.executor = "delta"
+        report.shards_run += 1
+        report.elapsed_seconds = result.seconds
+        report.delta_info = {
+            "mode": "delta",
+            "statements_total": len(all_units),
+            "selected": len(selected),
+            "skipped": len(all_units) - len(selected),
+            "change": change.summary(),
+        }
+        return report
 
     # -- supervised execution ------------------------------------------
 
@@ -164,7 +247,8 @@ class JobExecutor:
         report = box["report"]
         # a cancel that lost the race to completion still honors the work:
         # the verdict exists, so record it rather than throw it away
-        return JobState.DONE, verdict_payload(report), ""
+        delta = getattr(report, "delta_info", None)
+        return JobState.DONE, verdict_payload(report, delta=delta), ""
 
 
 class WorkerPool:

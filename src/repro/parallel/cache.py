@@ -75,6 +75,7 @@ class SpecCache:
         self.max_entries = max_entries
         self.stats = SpecCacheStats()
         self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._aux: dict[tuple, dict[str, object]] = {}
         self._lock = threading.Lock()
 
     @staticmethod
@@ -102,12 +103,37 @@ class SpecCache:
             self._entries[key] = tuple(statements)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, __ = self._entries.popitem(last=False)
+                self._aux.pop(evicted, None)
                 self.stats.evictions += 1
                 get_metrics().counter(
                     "confvalley_spec_cache_evictions_total",
                     "Compiled-spec cache LRU evictions.",
                 ).inc()
+
+    def attachment(
+        self, text: str, options_fingerprint: Hashable, name: str, build
+    ):
+        """A derived artifact cached alongside the compiled entry.
+
+        ``build`` is called with the compiled statement tuple and its
+        result memoized under ``name`` for as long as the compiled entry
+        lives — attachments are evicted and cleared together with their
+        entry, so a derived index (e.g. the delta-validation
+        :class:`~repro.core.incremental.DependencyIndex`) can never
+        outlive the statements it was built from.  When the entry is not
+        cached (miss or uncacheable program), returns ``None`` — the
+        caller should compile first and retry, or build uncached.
+        """
+        key = self._key(text, options_fingerprint)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            slots = self._aux.setdefault(key, {})
+            if name not in slots:
+                slots[name] = build(entry)
+            return slots[name]
 
     def note_uncacheable(self) -> None:
         """Record a compile that could not be cached (load/include)."""
@@ -121,6 +147,7 @@ class SpecCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._aux.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -40,6 +40,7 @@ __all__ = [
     "Unit",
     "Shard",
     "partition_statements",
+    "select_units",
     "scope_key",
     "is_parallel_safe",
 ]
@@ -168,6 +169,32 @@ def is_parallel_safe(statements: Sequence[ast.Statement], policy=None) -> bool:
 # ---------------------------------------------------------------------------
 # Partitioning
 # ---------------------------------------------------------------------------
+
+
+def select_units(
+    statements: Sequence[ast.Statement],
+    indices: Optional[set] = None,
+) -> tuple[tuple[Unit, ...], tuple[Unit, ...]]:
+    """Split a compiled program into ``(lets, units)`` for delta evaluation.
+
+    ``lets`` are every top-level macro definition in original order —
+    exactly as :func:`partition_statements` broadcasts them — and ``units``
+    are the non-``let`` statements, restricted to positions in ``indices``
+    when given (``None`` selects everything).  Delta validation
+    (:class:`repro.service.DeltaScanner`) evaluates the selected units as a
+    single shard via :func:`repro.parallel.engine.evaluate_shard` and
+    splices the per-unit reports over the retained ones, so macro
+    visibility must match what any full evaluation would have seen — which
+    is why *all* lets are returned even when only a few units are selected.
+    """
+    lets: list[Unit] = []
+    units: list[Unit] = []
+    for index, statement in enumerate(statements):
+        if isinstance(statement, ast.LetCmd):
+            lets.append(Unit(index, statement))
+        elif indices is None or index in indices:
+            units.append(Unit(index, statement))
+    return tuple(lets), tuple(units)
 
 
 def partition_statements(

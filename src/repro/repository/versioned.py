@@ -16,6 +16,35 @@ provides the minimal repository substrate those workflows need:
 Stores built from snapshots are cached per snapshot id, so validating the
 same head repeatedly (the continuous-service case) re-uses the parsed
 unified representation.
+
+The check-in workflow end to end — commit a baseline, commit the change,
+diff the two heads, hand the change set to incremental validation::
+
+    >>> from repro.repository.keys import InstanceKey
+    >>> from repro.repository.model import ConfigInstance
+    >>> def inst(key, value):
+    ...     return ConfigInstance(InstanceKey.build(*key.split(".")), value)
+    >>> repo = ConfigRepository()
+    >>> base = repo.commit([inst("fabric.Timeout", "30")], message="baseline")
+    >>> head = repo.commit([inst("fabric.Timeout", "45")], message="bump")
+    >>> change = repo.diff(base, head)
+    >>> change.summary()
+    '+0 -0 ~1 instance(s), 1 class(es) touched'
+    >>> [key.render() for key in change.touched_keys()]
+    ['fabric.Timeout']
+
+:func:`diff_stores` is the repository-free variant the delta scanner uses
+(:class:`repro.service.DeltaScanner` diffs the live store pair it parsed
+itself, no commits involved):
+
+    >>> from repro.repository.store import ConfigStore
+    >>> old, new = ConfigStore(), ConfigStore()
+    >>> old.add_all([inst("fabric.Timeout", "30")])
+    >>> new.add_all([inst("fabric.Timeout", "30"), inst("fabric.Mode", "fast")])
+    >>> diff_stores(old, new).summary()
+    '+1 -0 ~0 instance(s), 1 class(es) touched'
+    >>> diff_stores(None, old).summary()     # no baseline: everything added
+    '+1 -0 ~0 instance(s), 1 class(es) touched'
 """
 
 from __future__ import annotations

@@ -15,6 +15,8 @@ consumed by the evaluator's variable-substitution step, plus the
 from __future__ import annotations
 
 import datetime as _datetime
+import hashlib
+import os
 import platform
 import socket
 from typing import Mapping, Optional
@@ -44,6 +46,28 @@ class RuntimeProvider:
         """
         with open(path, "rb") as handle:
             return handle.read()
+
+    def probe(self, path: str) -> Optional[tuple[int, int, str]]:
+        """Change token for ``path``: ``(mtime_ns, size, content digest)``.
+
+        ``None`` when the file cannot be statted or read.  The continuous
+        service compares successive probes to decide whether a watched
+        file changed; including size and a content hash catches rewrites
+        that preserve the mtime (same-second writes, ``cp -p``, archive
+        extraction), which an mtime-only comparison silently misses.
+        """
+        try:
+            stat = os.stat(path)
+            # Deliberately bypasses read_bytes: the probe is a change
+            # detector, not pipeline I/O.  Fault-injecting providers
+            # target load-time reads; a probe consuming injected faults
+            # would desynchronize seeded chaos plans from the loads they
+            # are meant to hit.
+            with open(path, "rb") as handle:
+                digest = hashlib.sha256(handle.read()).hexdigest()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size, digest)
 
     def is_reachable(self, endpoint: str) -> bool:
         raise NotImplementedError

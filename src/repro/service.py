@@ -20,29 +20,54 @@ Steady-state scans also skip recompilation: the service owns a
 :class:`~repro.parallel.SpecCache`, so when only configuration *data*
 changed, the spec file's parse + compiler rewrites are reused from cache
 (see ``docs/PERFORMANCE.md`` for the invalidation semantics).
+
+Services built with ``delta=True`` go one step further and skip
+re-*evaluation* too: a :class:`DeltaScanner` diffs each changed source
+against its last-seen snapshot, asks the spec's dependency index
+(:class:`~repro.core.incremental.DependencyIndex`) for the affected
+statements, re-runs only those, and splices the fresh per-unit reports
+over the retained ones — producing a report whose ``fingerprint()`` is
+byte-identical to a full scan's.  ``docs/INCREMENTAL.md`` documents the
+selection rules, the soundness argument, and the watch-mode runbook.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from .core.incremental import DependencyIndex
 from .core.policy import ValidationPolicy
 from .core.report import HealthBlock, ValidationReport
-from .core.session import ValidationSession
+from .core.session import ValidationSession, resolve_driver
+from .drivers import get_driver
 from .errors import DriverError
 from .observability import get_logger, get_metrics, get_tracer, write_snapshot
 from .observability.analytics import SpecAnalytics
 from .parallel.cache import SpecCache, SpecCacheStats
+from .parallel.engine import WorkerState, _absorb, evaluate_shard
+from .parallel.shards import Shard, is_parallel_safe, select_units
+from .repository.store import ConfigStore
+from .repository.versioned import diff_stores
 from .resilience import ResiliencePolicy, SourceSupervisor, SpecCircuitBreaker
 from .runtime import RuntimeProvider
+from .runtime import clock as _clock
 
-__all__ = ["SourceSpec", "ScanResult", "ValidationService"]
+__all__ = ["SourceSpec", "ScanResult", "DeltaScanner", "ValidationService"]
 
 _log = get_logger("service")
+
+#: probe fallback when the service has no runtime provider of its own
+_PROBE_RUNTIME = RuntimeProvider()
+
+#: "never probed" sentinel — distinct from None, which is a valid probe
+#: token for a path that does not exist (and must register as changed on
+#: the first poll so missing sources surface immediately)
+_NEVER_PROBED = object()
 
 
 @dataclass(frozen=True)
@@ -65,6 +90,10 @@ class ScanResult:
     #: the report's health block, surfaced for resilient-mode scans
     #: (None in strict mode, where any fault raises instead)
     health: Optional[HealthBlock] = None
+    #: delta-scan record when this scan was spliced incrementally (None for
+    #: full scans): mode ("bootstrap"/"delta"), statements selected vs
+    #: skipped, splice time, and the change summary that drove selection
+    delta: Optional[dict] = None
 
     @property
     def passed(self) -> bool:
@@ -73,6 +102,233 @@ class ScanResult:
         if self.health is not None and self.health.status == HealthBlock.FAILED:
             return False
         return self.report.passed
+
+
+class DeltaScanner:
+    """Incremental scan engine: re-validate only what a change can affect.
+
+    Owned by a :class:`ValidationService` constructed with ``delta=True``.
+    Between scans it retains the last validated store, the raw driver
+    parse of every source, and the per-unit reports of the last scan.  A
+    delta scan then:
+
+    1. reparses only the sources whose probe token changed and rebuilds
+       the store in source order — identical to the store a full scan
+       would build, because ``ConfigStore.add`` never mutates the parsed
+       instances it is given;
+    2. diffs the rebuilt store against the retained one
+       (:func:`repro.repository.versioned.diff_stores`) and asks the
+       spec's :class:`~repro.core.incremental.DependencyIndex` — cached
+       as an :meth:`~repro.parallel.cache.SpecCache.attachment` of the
+       compiled entry — for the affected statement indices;
+    3. evaluates just those units via the parallel engine's
+       :func:`~repro.parallel.engine.evaluate_shard` (the same per-unit
+       reports a sharded run produces) and splices them over the retained
+       unit reports in original statement order, so the merged report's
+       :meth:`~repro.core.report.ValidationReport.fingerprint` is
+       byte-identical to a full scan's.
+
+    :meth:`scan` returns ``None`` whenever incremental validation cannot
+    be proven equivalent to a full scan — programs with ``load`` or
+    ``include`` commands (compile-time side effects) and programs that
+    fail :func:`~repro.parallel.shards.is_parallel_safe` (cross-statement
+    ordering semantics) — and the caller runs the full path instead.
+    State commits atomically at the *end* of a successful scan, so an
+    exception mid-scan leaves the previous snapshot intact.
+    """
+
+    def __init__(self, service: "ValidationService"):
+        self._service = service
+        #: raw driver-parsed instances per source path, from the last scan
+        self._raw: dict[str, tuple] = {}
+        #: store and per-unit reports of the last committed delta scan
+        self._store: Optional[ConfigStore] = None
+        self._unit_reports: dict[int, ValidationReport] = {}
+        #: identity (spec text, compiler-options fingerprint) of the
+        #: compiled program the retained unit reports belong to
+        self._spec_key: Optional[tuple] = None
+        self.scans = 0
+        self.fallbacks = 0
+        self.selected_total = 0
+        self.skipped_total = 0
+
+    @property
+    def store(self) -> Optional[ConfigStore]:
+        """The last validated store (feeds coverage analytics)."""
+        return self._store
+
+    def reset(self) -> None:
+        """Drop all retained state; the next delta scan bootstraps.
+
+        The resilient path calls this whenever a scan takes the full
+        route: retained unit reports must only ever originate from the
+        service's *latest* scan, or stale health records (a spec error
+        that has since recovered) would be spliced back in and diverge
+        from what a full scan observes.
+        """
+        self._raw.clear()
+        self._store = None
+        self._spec_key = None
+        self._unit_reports.clear()
+
+    def stats(self) -> dict:
+        """JSON-safe lifetime counters for ``stats()`` / the snapshot."""
+        return {
+            "scans": self.scans,
+            "fallbacks": self.fallbacks,
+            "statements_selected": self.selected_total,
+            "statements_skipped": self.skipped_total,
+        }
+
+    # ------------------------------------------------------------------
+
+    def scan(self, changed: list[str], guard=None):
+        """One incremental scan; ``(report, info)``, or ``None`` to fall back."""
+        service = self._service
+        started = _clock.now()
+        session = ValidationSession(
+            runtime=service.runtime,
+            policy=service.policy,
+            base_dir=os.path.dirname(service.spec_path) or ".",
+            spec_cache=service.spec_cache,
+            spec_guard=guard,
+            analytics=service.analytics is not None,
+        )
+        spec_path = service.spec_path
+        if not os.path.isabs(spec_path):
+            spec_path = os.path.join(session.base_dir, spec_path)
+        spec_text = session.runtime.read_bytes(spec_path).decode("utf-8")
+        statements = session.compile(spec_text)
+        compile_hit, session._last_compile_hit = session._last_compile_hit, None
+        if session.store.instance_count:
+            # the program had load/include commands: compiling it loaded
+            # sources as a side effect, which the splice cannot reproduce
+            return None
+        if not is_parallel_safe(statements, session.policy):
+            return None  # cross-statement semantics require one serial run
+        fingerprint = session._options_fingerprint()
+        spec_key = (spec_text, fingerprint)
+
+        changed_set = set(changed)
+        new_raw: dict[str, tuple] = {}
+        new_store = ConfigStore()
+        for source in service.sources:
+            driver_name = resolve_driver(source.format_name, source.path)
+            cached = self._raw.get(source.path)
+            if cached is None or driver_name == "rest" or source.path in changed_set:
+                # rest sources have no probe token, so they reparse every
+                # scan — exactly what the full path does
+                cached = tuple(self._parse(session, driver_name, source))
+            new_raw[source.path] = cached
+            new_store.add_all(cached)
+
+        lets, units = select_units(statements)
+        if self._store is None or spec_key != self._spec_key:
+            mode = "bootstrap"
+            change = None
+            selected_units = units
+        else:
+            mode = "delta"
+            change = diff_stores(self._store, new_store)
+            index = None
+            if service.spec_cache is not None:
+                index = service.spec_cache.attachment(
+                    spec_text,
+                    fingerprint,
+                    "dependency_index",
+                    lambda entry: DependencyIndex(list(entry)),
+                )
+            if index is None:  # cache miss or uncacheable-by-policy entry
+                index = DependencyIndex(statements)
+            affected = set(index.affected(change))
+            selected_units = tuple(
+                unit for unit in units if unit.index in affected
+            )
+
+        state = WorkerState(
+            store=new_store,
+            runtime=session.runtime,
+            policy=session.policy,
+            lets=lets,
+            profile=session.evaluator.profile,
+            analytics=session.evaluator.analytics,
+            guard=guard,
+        )
+        tracer = get_tracer()
+        with tracer.span(
+            "evaluate",
+            mode=mode,
+            statements=len(units),
+            selected=len(selected_units),
+        ):
+            result = evaluate_shard(state, Shard("delta", selected_units))
+        splice_started = _clock.now()
+        fresh = dict(result.unit_reports)
+        merged: dict[int, ValidationReport] = {}
+        for unit in units:
+            if unit.index in fresh:
+                merged[unit.index] = fresh[unit.index]
+            else:
+                merged[unit.index] = self._unit_reports[unit.index]
+        report = ValidationReport()
+        if compile_hit is not None:
+            if compile_hit:
+                report.cache_hits += 1
+            else:
+                report.cache_misses += 1
+        for position in sorted(merged):
+            _absorb(report, merged[position])
+        splice_seconds = _clock.now() - splice_started
+        report.executor = "delta"
+        report.shards_run += 1
+        report.elapsed_seconds = _clock.now() - started
+
+        # atomic state commit: nothing above mutated self, so an exception
+        # anywhere earlier leaves the previous snapshot intact
+        self._raw = new_raw
+        self._store = new_store
+        self._spec_key = spec_key
+        self._unit_reports = merged
+        selected = len(selected_units)
+        skipped = len(units) - selected
+        self.scans += 1
+        self.selected_total += selected
+        self.skipped_total += skipped
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_delta_statements_selected_total",
+                "Statements re-evaluated by delta scans.",
+            ).inc(selected)
+            metrics.counter(
+                "confvalley_delta_statements_skipped_total",
+                "Statements spliced from the previous scan unchanged.",
+            ).inc(skipped)
+            metrics.histogram(
+                "confvalley_delta_splice_seconds",
+                "Wall-clock time merging retained and fresh unit reports.",
+            ).observe(splice_seconds)
+        info = {
+            "mode": mode,
+            "statements_total": len(units),
+            "selected": selected,
+            "skipped": skipped,
+            "splice_seconds": round(splice_seconds, 6),
+            "change": change.summary() if change is not None else None,
+        }
+        return report, info
+
+    @staticmethod
+    def _parse(session: ValidationSession, driver_name: str, source: "SourceSpec"):
+        """Raw driver parse of one source — ``load_source`` minus the store."""
+        driver = get_driver(driver_name)
+        if driver_name == "rest":
+            return driver.parse(source.path, source=source.path, scope=source.scope)
+        path = source.path
+        if not os.path.isabs(path):
+            path = os.path.join(session.base_dir, path)
+        raw = session.runtime.read_bytes(path)
+        return driver.parse_bytes(raw, source=path, scope=source.scope)
 
 
 class ValidationService:
@@ -91,6 +347,7 @@ class ValidationService:
         resilience: Optional[ResiliencePolicy] = None,
         metrics_file: Optional[str] = None,
         analytics: bool = True,
+        delta: bool = False,
     ):
         self.spec_path = spec_path
         self.sources = list(sources)
@@ -125,7 +382,9 @@ class ValidationService:
         #: — the queryable scan history behind `confvalley stats`
         self.scan_records: "deque[dict]" = deque(maxlen=history_limit)
         self.scans = 0
-        self._mtimes: dict[str, float] = {}
+        #: last probe token per watched path (opaque change-detection
+        #: tokens; the source supervisor compares them by equality only)
+        self._mtimes: dict[str, object] = {}
         self._sequence = 0
         #: scan-over-scan per-spec analytics (hot specs, dead specs, drift);
         #: None turns per-statement attribution off entirely, and
@@ -148,6 +407,10 @@ class ValidationService:
         #: POST /jobs submission API on the operator endpoint and the
         #: "jobs" block in stats(); see attach_jobs()
         self.jobs = None
+        #: incremental delta-validation engine (None = every scan is a full
+        #: scan); selection rules and the full-scan equivalence argument
+        #: live in docs/INCREMENTAL.md
+        self._delta: Optional[DeltaScanner] = DeltaScanner(self) if delta else None
 
     # ------------------------------------------------------------------
 
@@ -155,14 +418,21 @@ class ValidationService:
         return [self.spec_path] + [source.path for source in self.sources]
 
     def _changed_paths(self) -> list[str]:
+        """Watched paths whose probe token changed since the last poll.
+
+        The token is :meth:`RuntimeProvider.probe`'s ``(mtime_ns, size,
+        content digest)`` triple, so rewrites that preserve the mtime —
+        same-second writes, ``cp -p``, archive extraction — are still
+        detected; the old mtime-only comparison silently missed them.
+        A missing file probes as ``None``, which is itself a valid token:
+        deletion registers as a change, steady absence does not.
+        """
+        runtime = self.runtime if self.runtime is not None else _PROBE_RUNTIME
         changed = []
         for path in self.watched_paths():
-            try:
-                mtime = os.stat(path).st_mtime_ns
-            except OSError:
-                mtime = -1.0
-            if self._mtimes.get(path) != mtime:
-                self._mtimes[path] = mtime
+            token = runtime.probe(path)
+            if self._mtimes.get(path, _NEVER_PROBED) != token:
+                self._mtimes[path] = token
                 changed.append(path)
         return changed
 
@@ -226,6 +496,17 @@ class ValidationService:
         tracer.discard(span["span_id"] for span in spans)
 
     def _run_strict(self, changed: list[str]) -> ScanResult:
+        if self._delta is not None:
+            outcome = self._delta.scan(changed)
+            if outcome is not None:
+                report, info = outcome
+                return self._record(
+                    report, changed, health=None, store=self._delta.store,
+                    delta=info,
+                )
+            # load/include commands or serial-only policy semantics: every
+            # scan of this program takes the full path
+            self._delta.fallbacks += 1
         session = ValidationSession(
             runtime=self.runtime,
             policy=self.policy,
@@ -257,6 +538,29 @@ class ValidationService:
         policy = self.resilience
         self.source_supervisor.begin_scan()
         guard = self.breaker.begin_scan()
+        if self._delta is not None:
+            outcome = None
+            if self._delta_eligible(guard):
+                try:
+                    outcome = self._delta.scan(changed, guard=guard)
+                except Exception:
+                    # any delta-path fault (unreadable source or spec,
+                    # driver error): the full supervised path below owns
+                    # fault classification and quarantine bookkeeping
+                    outcome = None
+            if outcome is not None:
+                report, info = outcome
+                self.breaker.observe(report)
+                report.health.finalize()
+                return self._record(
+                    report, changed, health=report.health,
+                    store=self._delta.store, delta=info,
+                )
+            self._delta.fallbacks += 1
+            # full-path scans don't refresh the scanner's retained unit
+            # reports; drop them so the next delta scan bootstraps instead
+            # of splicing stale (possibly recovered-error) state back in
+            self._delta.reset()
         session = ValidationSession(
             runtime=self.runtime,
             policy=self.policy,
@@ -328,12 +632,75 @@ class ValidationService:
         health.finalize()
         return self._record(report, changed, health=health, store=session.store)
 
+    def _delta_eligible(self, guard) -> bool:
+        """Only a fully healthy service may scan incrementally.
+
+        Quarantine retries, breaker probes, and degraded-scan recovery
+        all change which statements run and how failures are classified;
+        the full-scan equivalence argument (docs/INCREMENTAL.md) only
+        covers clean steady state, so anything else — open breakers,
+        quarantined sources, a previous scan that was not ``OK`` — takes
+        the full supervised path until the service is clean again.
+        """
+        if guard.quarantined:
+            return False
+        if self.breaker.snapshot():
+            return False
+        if self.source_supervisor.quarantined():
+            return False
+        last = self.history[-1] if self.history else None
+        if last is not None and (
+            last.health is None or last.health.status != HealthBlock.OK
+        ):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+
+    def watch(
+        self,
+        interval: float = 1.0,
+        max_scans: Optional[int] = None,
+        on_result: Optional[Callable[[ScanResult], None]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> list[ScanResult]:
+        """Continuous poll loop: scan, sleep, repeat.
+
+        Polls the watched paths every ``interval`` seconds (probe tokens,
+        see :meth:`_changed_paths`) and validates whenever something
+        changed — incrementally when the service was built with
+        ``delta=True``.  ``on_result`` fires after every scan that
+        validated; ``max_scans`` bounds the number of *validations* (not
+        polls) and makes the loop return its results, which is how tests
+        and the delta-smoke harness drive it deterministically.  ``sleep``
+        is injectable for tests; the default is :func:`time.sleep`.
+
+        The first validation is forced (a service that has never
+        validated has nothing to compare against).  Stop an unbounded
+        loop with ``KeyboardInterrupt`` — the CLI's ``service --watch``
+        turns that into a clean exit.
+        """
+        sleeper = sleep if sleep is not None else time.sleep
+        results: list[ScanResult] = []
+        while True:
+            result = self.scan(force=self._sequence == 0)
+            if result is not None:
+                results.append(result)
+                if on_result is not None:
+                    on_result(result)
+                if max_scans is not None and len(results) >= max_scans:
+                    return results
+            sleeper(interval)
+
+    # ------------------------------------------------------------------
+
     def _record(
         self,
         report: ValidationReport,
         changed: list[str],
         health: Optional[HealthBlock],
         store=None,
+        delta: Optional[dict] = None,
     ) -> ScanResult:
         if self.analytics is not None:
             coverage = self._analyze_coverage(store)
@@ -349,6 +716,7 @@ class ValidationService:
             changed_paths=changed,
             transitioned=False,
             health=health,
+            delta=delta,
         )
         result.transitioned = (
             previous is not None and previous.passed != result.passed
@@ -391,6 +759,12 @@ class ValidationService:
             record["quarantined_specs"] = len(result.health.quarantined_specs)
             record["shard_failures"] = len(result.health.shard_failures)
             record["retries"] = result.health.retries
+        if result.delta is not None:
+            record["delta"] = {
+                "mode": result.delta["mode"],
+                "selected": result.delta["selected"],
+                "skipped": result.delta["skipped"],
+            }
         return record
 
     def _observe_scan(self, result: ScanResult) -> None:
@@ -576,6 +950,7 @@ class ValidationService:
                 else ("passing" if status else "failing")
             ),
             "cache": self.spec_cache.stats.as_dict(),
+            "delta": self._delta.stats() if self._delta is not None else None,
             "quarantined_sources": (
                 self.source_supervisor.quarantined()
                 if self.source_supervisor is not None

@@ -1,0 +1,542 @@
+"""Incremental delta-validation: equivalence with full scans (ISSUE-6).
+
+The central acceptance criterion is *byte-identical reports*: a service
+running with ``delta=True`` must produce, for every scan, a report whose
+``fingerprint()`` equals the one a full-scan twin produces from the same
+files.  The twin harness below drives both services through adversarial
+change sequences — ``$var``-widened foreach targets, free-variable pool
+patterns, aggregate predicates, emptied and deleted sources, and changes
+landing while a spec circuit breaker is open — asserting parity at every
+step.
+
+Also covered here: the probe-token change detector (same-mtime rewrites
+must be seen), watch mode, delta jobs (including the full-fallback arm
+and submission validation), and the module doctests the documentation
+satellites added.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+
+import pytest
+
+from repro import (
+    ResiliencePolicy,
+    SourceSpec,
+    ValidationService,
+)
+from repro.core.report import HealthBlock
+from repro.jobs import JobService, JobState
+from repro.predicates import register_predicate
+
+# ---------------------------------------------------------------------------
+# Twin harness
+# ---------------------------------------------------------------------------
+
+RICH_SPEC = (
+    "let SmallInt := int & [1, 60]\n"
+    "$Cluster.Timeout -> @SmallInt\n"
+    "$Cluster.Mode -> {'fast', 'safe'}\n"
+    "$*Port* -> port\n"
+    "$PoolName -> foreach($Pool::$_.Vip) -> ip\n"
+    "$node.Replicas -> count -> == 1\n"
+)
+
+CLUSTER_INI = "[Cluster]\nTimeout = 30\nMode = fast\n"
+POOLS_INI = (
+    "[PoolName::1]\nPoolName = p1\n"
+    "[Pool::p1]\nVip = 10.0.0.1\n"
+    "[Pool::p2]\nVip = 10.0.0.2\n"
+)
+NODES_INI = "[node]\nReplicas = 3\nHttpPort = 8080\n"
+
+
+def write(path, text):
+    path.write_text(text)
+    return str(path)
+
+
+def rewrite(path, text):
+    path.write_text(text)
+    # strictly newer mtime even on coarse-granularity filesystems
+    stat = os.stat(path)
+    os.utime(path, ns=(stat.st_atime_ns + 1_000_000, stat.st_mtime_ns + 1_000_000))
+
+
+class Twins:
+    """A full-scan service and a delta service watching the same files."""
+
+    def __init__(self, tmp_path, spec_text=RICH_SPEC, resilience=None):
+        self.tmp_path = tmp_path
+        self.spec = tmp_path / "spec.cpl"
+        write(self.spec, spec_text)
+        self.files = {}
+        for name, text in (
+            ("cluster.ini", CLUSTER_INI),
+            ("pools.ini", POOLS_INI),
+            ("nodes.ini", NODES_INI),
+        ):
+            self.files[name] = tmp_path / name
+            write(self.files[name], text)
+        sources = [SourceSpec("ini", str(p)) for p in self.files.values()]
+
+        def policy():
+            return None if resilience is None else ResiliencePolicy(**resilience)
+
+        self.full = ValidationService(str(self.spec), sources, resilience=policy())
+        self.delta = ValidationService(
+            str(self.spec), sources, resilience=policy(), delta=True
+        )
+
+    def step(self, expect_mode=...):
+        """Run both services once; assert fingerprint parity; return the
+        delta twin's result.  ``expect_mode`` checks the scoping decision:
+        "bootstrap"/"delta" for an incremental scan, ``None`` for a
+        full-path fallback, ``...`` for "don't care"."""
+        full = self.full.run_once()
+        incr = self.delta.run_once()
+        assert incr.report.fingerprint() == full.report.fingerprint()
+        assert incr.passed == full.passed
+        if full.health is not None or incr.health is not None:
+            assert incr.health.status == full.health.status
+        if expect_mode is None:
+            assert incr.delta is None
+        elif expect_mode is not ...:
+            assert incr.delta is not None
+            assert incr.delta["mode"] == expect_mode
+        return incr
+
+    def change(self, name, text):
+        rewrite(self.files[name], text)
+
+
+# ---------------------------------------------------------------------------
+# Strict-mode equivalence under adversarial change sets
+# ---------------------------------------------------------------------------
+
+
+class TestStrictEquivalence:
+    def test_bootstrap_then_single_key_change_is_scoped(self, tmp_path):
+        twins = Twins(tmp_path)
+        first = twins.step(expect_mode="bootstrap")
+        assert first.passed
+        twins.change("cluster.ini", "[Cluster]\nTimeout = 45\nMode = fast\n")
+        second = twins.step(expect_mode="delta")
+        assert second.passed
+        # the point of delta: a one-key change re-runs a strict subset
+        assert 0 < second.delta["selected"] < second.delta["statements_total"]
+
+    def test_unchanged_rescan_selects_nothing(self, tmp_path):
+        twins = Twins(tmp_path)
+        twins.step(expect_mode="bootstrap")
+        result = twins.step(expect_mode="delta")  # forced, nothing changed
+        assert result.delta["selected"] == 0
+
+    def test_violation_introduced_by_delta_scan(self, tmp_path):
+        twins = Twins(tmp_path)
+        twins.step()
+        twins.change("cluster.ini", "[Cluster]\nTimeout = 999\nMode = fast\n")
+        result = twins.step(expect_mode="delta")
+        assert not result.passed
+
+    def test_foreach_target_change_is_selected(self, tmp_path):
+        # $PoolName -> foreach($Pool::$_.Vip) -> ip: the foreach requeries
+        # $Pool::<value>.Vip, so the index must widen the $var qualifier
+        # and re-run the statement when ANY Pool instance moves.
+        twins = Twins(tmp_path)
+        twins.step()
+        twins.change(
+            "pools.ini",
+            "[PoolName::1]\nPoolName = p1\n"
+            "[Pool::p1]\nVip = oops\n"
+            "[Pool::p2]\nVip = 10.0.0.2\n",
+        )
+        result = twins.step(expect_mode="delta")
+        assert not result.passed
+
+    def test_var_widened_unreferenced_pool_change(self, tmp_path):
+        # Changing the pool the foreach does NOT reference must still keep
+        # parity (conservative selection may re-run it; the verdict and
+        # fingerprint must match the full twin either way).
+        twins = Twins(tmp_path)
+        twins.step()
+        twins.change(
+            "pools.ini",
+            "[PoolName::1]\nPoolName = p1\n"
+            "[Pool::p1]\nVip = 10.0.0.1\n"
+            "[Pool::p2]\nVip = not-an-ip\n",
+        )
+        result = twins.step(expect_mode="delta")
+        assert result.passed  # p2 is never dereferenced
+
+    def test_free_variable_pool_retarget(self, tmp_path):
+        # Repointing PoolName at the now-bad pool flips the verdict.
+        twins = Twins(tmp_path)
+        twins.step()
+        twins.change(
+            "pools.ini",
+            "[PoolName::1]\nPoolName = p2\n"
+            "[Pool::p1]\nVip = 10.0.0.1\n"
+            "[Pool::p2]\nVip = not-an-ip\n",
+        )
+        result = twins.step(expect_mode="delta")
+        assert not result.passed
+
+    def test_aggregate_predicate_sees_cardinality_change(self, tmp_path):
+        # count aggregates over every matching instance: a duplicate key
+        # (second node.Replicas instance) must re-run the aggregate.
+        twins = Twins(tmp_path)
+        assert twins.step().passed
+        twins.change(
+            "nodes.ini",
+            "[node]\nReplicas = 3\nReplicas = 5\nHttpPort = 8080\n",
+        )
+        result = twins.step(expect_mode="delta")
+        assert not result.passed  # count == 1 now fails (two instances)
+
+    def test_wildcard_pattern_change(self, tmp_path):
+        twins = Twins(tmp_path)
+        twins.step()
+        twins.change("nodes.ini", "[node]\nReplicas = 3\nHttpPort = 99999\n")
+        result = twins.step(expect_mode="delta")
+        assert not result.passed  # $*Port* -> port
+
+    def test_emptied_source(self, tmp_path):
+        twins = Twins(tmp_path)
+        twins.step()
+        twins.change("pools.ini", "")
+        result = twins.step(expect_mode="delta")
+        # removals flow through the index like additions; both twins now
+        # simply have no pool instances to check
+        assert result.passed == twins.full.history[-1].passed
+
+    def test_spec_change_forces_bootstrap(self, tmp_path):
+        twins = Twins(tmp_path)
+        twins.step(expect_mode="bootstrap")
+        rewrite(twins.spec, RICH_SPEC + "$Cluster.Timeout -> <= 50\n")
+        twins.step(expect_mode="bootstrap")
+        twins.change("cluster.ini", "[Cluster]\nTimeout = 55\nMode = fast\n")
+        result = twins.step(expect_mode="delta")
+        assert not result.passed
+
+    def test_many_scan_soak_stays_in_lockstep(self, tmp_path):
+        twins = Twins(tmp_path)
+        timeouts = [30, 2, 61, 59, 1, 30]
+        for index, timeout in enumerate(timeouts):
+            twins.change(
+                "cluster.ini", f"[Cluster]\nTimeout = {timeout}\nMode = fast\n"
+            )
+            result = twins.step()
+            assert result.passed == (1 <= timeout <= 60)
+        stats = twins.delta.stats()["delta"]
+        assert stats["scans"] == len(timeouts)
+        assert stats["fallbacks"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Resilient-mode equivalence: faults while delta is active
+# ---------------------------------------------------------------------------
+
+BOMB = {"armed": False}
+
+
+def _denotate(value, *args):
+    if BOMB["armed"]:
+        raise RuntimeError("injected spec fault")
+    return True
+
+
+register_predicate("denotate", _denotate)
+
+RESILIENT_SPEC = (
+    "$Cluster.Timeout -> denotate\n"
+    "$Cluster.Timeout -> int & [1, 60]\n"
+    "$node.Replicas -> int\n"
+)
+
+
+class TestResilientEquivalence:
+    RESILIENCE = {"quarantine_threshold": 1, "probe_interval": 2}
+
+    def twins(self, tmp_path, **overrides):
+        options = dict(self.RESILIENCE)
+        options.update(overrides)
+        return Twins(tmp_path, spec_text=RESILIENT_SPEC, resilience=options)
+
+    def test_source_deletion_falls_back_and_recovers(self, tmp_path):
+        twins = self.twins(tmp_path)
+        twins.step(expect_mode="bootstrap")
+        os.remove(twins.files["nodes.ini"])
+        degraded = twins.step(expect_mode=None)  # full path, never raises
+        assert degraded.health.status == HealthBlock.DEGRADED
+        assert degraded.health.source_failures[0]["kind"] == "missing"
+        # restored file: quarantine lifts, then delta mode resumes
+        rewrite(twins.files["nodes.ini"], NODES_INI)
+        recovered = twins.step()
+        assert recovered.health.status == HealthBlock.OK
+        twins.change("cluster.ini", "[Cluster]\nTimeout = 31\nMode = fast\n")
+        resumed = twins.step()
+        assert resumed.delta is not None  # incremental path is active again
+        assert twins.delta.stats()["delta"]["fallbacks"] >= 1
+
+    def test_change_during_open_breaker(self, tmp_path):
+        twins = self.twins(tmp_path)
+        twins.step(expect_mode="bootstrap")
+        BOMB["armed"] = True
+        try:
+            # the fault arrives WITH a change to its input, so the delta
+            # scan selects the statement, errors, and trips the breaker
+            # (threshold=1) in lockstep with the full twin
+            twins.change("cluster.ini", "[Cluster]\nTimeout = 31\nMode = fast\n")
+            tripped = twins.step(expect_mode="delta")
+            assert tripped.health.status == HealthBlock.DEGRADED
+            assert tripped.health.spec_errors
+            # breaker now open: a change landing while it is open must take
+            # the full path (a delta scan skipping the broken statement
+            # would otherwise close the breaker without re-running it)
+            twins.change("cluster.ini", "[Cluster]\nTimeout = 32\nMode = fast\n")
+            skipped = twins.step(expect_mode=None)
+            assert skipped.health.quarantined_specs
+        finally:
+            BOMB["armed"] = False
+        # cause fixed: scans stay on the full path (and in parity) until the
+        # half-open probe closes the breaker and health returns to OK
+        for __ in range(4):
+            result = twins.step(expect_mode=None)
+            if result.health.status == HealthBlock.OK:
+                break
+        assert result.health.status == HealthBlock.OK
+        # healthy again: the next change goes back through the delta path
+        twins.change("cluster.ini", "[Cluster]\nTimeout = 33\nMode = fast\n")
+        resumed = twins.step(expect_mode="bootstrap")  # state was reset
+        assert resumed.passed
+        twins.change("cluster.ini", "[Cluster]\nTimeout = 34\nMode = fast\n")
+        twins.step(expect_mode="delta")
+
+
+# ---------------------------------------------------------------------------
+# Probe-token change detection (same-mtime rewrites)
+# ---------------------------------------------------------------------------
+
+
+class TestProbeTokens:
+    def test_same_mtime_same_size_rewrite_is_detected(self, tmp_path):
+        spec = write(tmp_path / "spec.cpl", "$fabric.Timeout -> int & [1, 60]\n")
+        config = tmp_path / "prod.ini"
+        write(config, "[fabric]\nTimeout = 30\n")
+        service = ValidationService(spec, [SourceSpec("ini", str(config))])
+        assert service.scan().passed
+        stat = os.stat(config)
+        # adversarial rewrite: same byte length, mtime pinned back — only
+        # the content hash in the probe token can catch this
+        config.write_text("[fabric]\nTimeout = 99\n")
+        os.utime(config, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        result = service.scan()
+        assert result is not None, "same-mtime rewrite was missed"
+        assert not result.passed
+
+    def test_deletion_and_steady_absence(self, tmp_path):
+        spec = write(tmp_path / "spec.cpl", "$fabric.Timeout -> int\n")
+        config = tmp_path / "prod.ini"
+        write(config, "[fabric]\nTimeout = 30\n")
+        service = ValidationService(spec, [SourceSpec("ini", str(config))])
+        service._changed_paths()               # prime the probe tokens
+        os.remove(config)
+        assert str(config) in service._changed_paths()  # deletion = change
+        # the None token is itself stable: steady absence must NOT keep
+        # registering as a change scan over scan
+        assert service._changed_paths() == []
+
+
+# ---------------------------------------------------------------------------
+# Watch mode
+# ---------------------------------------------------------------------------
+
+
+class TestWatch:
+    def test_watch_validates_then_stops_at_max_scans(self, tmp_path):
+        spec = write(tmp_path / "spec.cpl", "$fabric.Timeout -> int & [1, 60]\n")
+        config = tmp_path / "prod.ini"
+        write(config, "[fabric]\nTimeout = 30\n")
+        service = ValidationService(
+            spec, [SourceSpec("ini", str(config))], delta=True
+        )
+        seen = []
+        ticks = {"count": 0}
+
+        def sleeper(interval):
+            # between polls, an editor rewrites the config
+            ticks["count"] += 1
+            rewrite(config, f"[fabric]\nTimeout = {30 + ticks['count']}\n")
+
+        results = service.watch(
+            interval=0.01, max_scans=3, on_result=seen.append, sleep=sleeper
+        )
+        # max_scans counts VALIDATIONS, not polls
+        assert len(results) == 3
+        assert seen == results
+        assert results[0].delta["mode"] == "bootstrap"
+        assert all(r.delta["mode"] == "delta" for r in results[1:])
+
+    def test_watch_idle_polls_do_not_validate(self, tmp_path):
+        spec = write(tmp_path / "spec.cpl", "$fabric.Timeout -> int\n")
+        config = tmp_path / "prod.ini"
+        write(config, "[fabric]\nTimeout = 30\n")
+        service = ValidationService(spec, [SourceSpec("ini", str(config))])
+        polls = {"count": 0}
+
+        def sleeper(interval):
+            polls["count"] += 1
+            if polls["count"] == 5:
+                rewrite(config, "[fabric]\nTimeout = 31\n")
+
+        results = service.watch(max_scans=2, sleep=sleeper)
+        assert len(results) == 2               # bootstrap + the one change
+        assert polls["count"] >= 5             # idle polls in between
+        assert len(service.history) == 2
+
+
+# ---------------------------------------------------------------------------
+# Delta jobs
+# ---------------------------------------------------------------------------
+
+JOB_SPEC = "$s.Timeout -> int & [1, 60]\n$s.Flag -> bool\n$s.Name -> nonempty\n"
+BASELINE_INI = "[s]\nTimeout = 30\nFlag = true\nName = web\n"
+CHANGED_INI = "[s]\nTimeout = 999\nFlag = true\nName = web\n"
+
+
+def inline(text):
+    return [{"format": "ini", "text": text, "source": "inline.ini"}]
+
+
+class TestDeltaJobs:
+    def run_job(self, tmp_path, **submission):
+        service = JobService(workers=1, journal_path=str(tmp_path / "j.jsonl"))
+        try:
+            job, __ = service.submit(**submission)
+            return service.wait(job.id, timeout=30)
+        finally:
+            service.close()
+
+    def test_delta_job_scopes_to_the_change(self, tmp_path):
+        done = self.run_job(
+            tmp_path,
+            spec=JOB_SPEC,
+            sources=inline(CHANGED_INI),
+            baseline_sources=inline(BASELINE_INI),
+            mode="delta",
+        )
+        assert done.state == JobState.DONE
+        assert done.result["verdict"] == "reject"
+        delta = done.result["delta"]
+        assert delta["mode"] == "delta"
+        assert delta["statements_total"] == 3
+        assert delta["selected"] == 1          # only the Timeout statement
+        assert delta["skipped"] == 2
+        assert done.result["violations"] == 1
+
+    def test_delta_job_with_identical_sources_selects_nothing(self, tmp_path):
+        done = self.run_job(
+            tmp_path,
+            spec=JOB_SPEC,
+            sources=inline(BASELINE_INI),
+            baseline_sources=inline(BASELINE_INI),
+            mode="delta",
+        )
+        assert done.state == JobState.DONE
+        assert done.result["verdict"] == "admit"
+        assert done.result["delta"]["selected"] == 0
+
+    def test_unsound_program_takes_full_fallback(self, tmp_path):
+        # a let nested in a block defeats sharded (and therefore delta)
+        # evaluation: the job must fall back to a full run and say so
+        spec = (
+            "compartment s {\n"
+            "let T := int & [1, 60]\n"
+            "$Timeout -> @T\n"
+            "}\n"
+        )
+        done = self.run_job(
+            tmp_path,
+            spec=spec,
+            sources=inline(CHANGED_INI),
+            baseline_sources=inline(BASELINE_INI),
+            mode="delta",
+        )
+        assert done.state == JobState.DONE
+        assert done.result["verdict"] == "reject"
+        assert done.result["delta"]["mode"] == "full-fallback"
+        assert "soundly" in done.result["delta"]["reason"]
+
+    def test_submit_rejects_malformed_delta_requests(self):
+        service = JobService(workers=0)
+        try:
+            with pytest.raises(ValueError):
+                service.submit(spec=JOB_SPEC, mode="sideways")
+            with pytest.raises(ValueError):
+                # baseline without delta mode is a contradiction
+                service.submit(
+                    spec=JOB_SPEC, baseline_sources=inline(BASELINE_INI)
+                )
+            with pytest.raises(ValueError):
+                service.submit_payload(
+                    {"spec": JOB_SPEC, "mode": "delta",
+                     "baseline_sources": "not-a-list"}
+                )
+            with pytest.raises(ValueError):
+                service.submit_payload({"spec": JOB_SPEC, "mode": 7})
+        finally:
+            service.close()
+
+    def test_payload_round_trip(self):
+        service = JobService(workers=0)
+        try:
+            job, created = service.submit_payload(
+                {
+                    "spec": JOB_SPEC,
+                    "mode": "delta",
+                    "sources": [
+                        {"format": "ini", "text": CHANGED_INI,
+                         "source": "inline.ini"}
+                    ],
+                    "baseline_sources": [
+                        {"format": "ini", "text": BASELINE_INI,
+                         "source": "inline.ini"}
+                    ],
+                }
+            )
+            assert created
+            assert job.mode == "delta"
+            assert job.summary()["mode"] == "delta"
+            assert job.to_dict()["baseline_sources"]
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# Documentation satellites: module doctests must actually run
+# ---------------------------------------------------------------------------
+
+
+class TestModuleDoctests:
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro.core.incremental", "repro.repository.versioned"],
+    )
+    def test_doctests_pass_and_exist(self, module_name):
+        module = __import__(module_name, fromlist=["__name__"])
+        results = doctest.testmod(module)
+        assert results.failed == 0
+        assert results.attempted > 0, f"{module_name} carries no doctests"
+
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro.core.incremental", "repro.repository.versioned"],
+    )
+    def test_all_exports_resolve(self, module_name):
+        module = __import__(module_name, fromlist=["__name__"])
+        assert module.__all__, f"{module_name} must declare __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
