@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos obs-smoke http-smoke jobs-smoke delta-smoke bench-smoke bench ci
+.PHONY: test chaos obs-smoke http-smoke jobs-smoke workers-smoke delta-smoke bench-smoke bench ci
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -39,6 +39,14 @@ http-smoke:
 jobs-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/jobs_smoke.py
 
+## Multi-process worker smoke: coordinator subprocess + two external
+## `confvalley worker` processes over a shared job directory; SIGKILL one
+## mid-job and assert the lease expires, the job re-queues exactly once,
+## the verdict fingerprint matches a direct run, and the completion
+## webhook is delivered (after one induced 503).
+workers-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/workers_smoke.py
+
 ## Watch-mode delta smoke: start `service --delta --watch` as a real
 ## subprocess, edit one key, assert exactly one delta scan fires with the
 ## right scope and a fingerprint byte-identical to a full in-process scan,
@@ -57,6 +65,6 @@ bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
 
 ## What CI runs: the tier-1 suite, the chaos suite, the observability
-## gate, the live-endpoint, job-service and watch-mode delta smokes, and
-## the benchmark smoke pass.
-ci: test chaos obs-smoke http-smoke jobs-smoke delta-smoke bench-smoke
+## gate, the live-endpoint, job-service, multi-process worker and
+## watch-mode delta smokes, and the benchmark smoke pass.
+ci: test chaos obs-smoke http-smoke jobs-smoke workers-smoke delta-smoke bench-smoke

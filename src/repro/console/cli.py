@@ -10,6 +10,7 @@ Subcommands::
     confvalley infer    [--source FMT:PATH[:SCOPE] …] [--out SPECS.cpl]
     confvalley console  [--source FMT:PATH[:SCOPE] …]
     confvalley service  SPEC.cpl [--http HOST:PORT] [--jobs] [--workers N] …
+    confvalley worker   --journal DIR [--id NAME] [--lease-ttl S]
     confvalley stats    SNAPSHOT_OR_URL [--format text|json|prometheus]
     confvalley top      SNAPSHOT_OR_URL [--count N]
     confvalley submit   SPEC.cpl --url URL [--source …] [--wait]
@@ -226,6 +227,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--job-timeout", type=float, default=None, metavar="SECONDS",
         help="default per-job execution timeout (implies --jobs)",
     )
+    service.add_argument(
+        "--jobs-dir", default=None, metavar="DIR",
+        help="multi-process job execution over a shared journal directory: "
+             "external `confvalley worker` processes claim jobs under "
+             "leases; mutually exclusive with --jobs-journal (implies --jobs)",
+    )
+    service.add_argument(
+        "--worker-procs", type=int, default=None, metavar="N",
+        help="spawn and supervise N external worker processes over "
+             "--jobs-dir, restarting crashed ones with backoff "
+             "(implies --jobs; requires --jobs-dir)",
+    )
+    service.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="job lease time-to-live: a worker whose lease goes this long "
+             "unrenewed is presumed dead and its job re-queued (default "
+             "10; implies --jobs)",
+    )
+    service.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="lease renewal cadence for workers (default: lease TTL / 3)",
+    )
+    service.add_argument(
+        "--max-requeues", type=int, default=None, metavar="N",
+        help="lease-expiry re-queues tolerated per job before it is "
+             "parked as EXPIRED (default 2; implies --jobs)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="standalone job worker process over a shared --jobs-dir "
+             "journal directory (lease claiming + heartbeats)",
+    )
+    worker.add_argument(
+        "--journal", required=True, metavar="DIR",
+        help="the shared job directory of a `service --jobs --jobs-dir DIR`",
+    )
+    worker.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="stable worker identity; owns workers/<id>.jsonl (default: "
+             "w-<pid>)",
+    )
+    worker.add_argument(
+        "--base-dir", default=".", metavar="DIR",
+        help="directory server-side source/spec paths resolve against",
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="lease time-to-live (must match the coordinator; default 10)",
+    )
+    worker.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="lease renewal cadence (default: lease TTL / 3)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="journal poll interval while idle (default 0.2)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after completing N jobs (default: run until signalled)",
+    )
+    worker.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job execution timeout",
+    )
+    worker.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="append structured JSON-lines logs to PATH",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -331,6 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
              "host (repeatable; requires --delta)",
     )
     submit.add_argument(
+        "--callback", default="", metavar="URL",
+        help="completion webhook: the service POSTs the terminal job "
+             "record (verdict included) to this http(s) URL",
+    )
+    submit.add_argument(
         "--wait", action="store_true",
         help="poll until the job finishes; exit 0 admit / 1 reject / 2 error",
     )
@@ -352,7 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument(
         "--state", default=None,
         choices=("QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED",
-                 "INTERRUPTED"),
+                 "INTERRUPTED", "EXPIRED"),
         help="only jobs in this state",
     )
     jobs.add_argument("--tenant", default=None, help="only this tenant's jobs")
@@ -604,6 +680,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "service":
         return _run_service(args)
+    if args.command == "worker":
+        return _run_worker(args)
     if args.command == "stats":
         return _run_stats(args)
     if args.command == "top":
@@ -845,6 +923,8 @@ def _run_submit(args) -> int:
         return EXIT_ERROR
     if args.idempotency_key:
         payload["idempotency_key"] = args.idempotency_key
+    if args.callback:
+        payload["callback_url"] = args.callback
     if args.timeout is not None:
         payload["timeout"] = args.timeout
     if args.executor is not None:
@@ -996,6 +1076,34 @@ def _run_cancel(args) -> int:
     return 0
 
 
+def _run_worker(args) -> int:
+    """Run one standalone worker process against a shared job directory."""
+    from ..jobs.lease import DEFAULT_LEASE_TTL
+    from ..jobs.worker import ExternalWorker
+
+    if args.log_file:
+        _configure_log_file(args.log_file)
+    worker = ExternalWorker(
+        journal_dir=args.journal,
+        worker_id=args.id,
+        base_dir=args.base_dir,
+        poll=args.poll,
+        lease_ttl=args.lease_ttl if args.lease_ttl else DEFAULT_LEASE_TTL,
+        heartbeat=args.heartbeat,
+        default_timeout=args.job_timeout,
+        max_jobs=args.max_jobs,
+    )
+    worker.install_signal_handlers()
+    print(f"worker {worker.worker_id}: journal {worker.directory.root}, "
+          f"lease ttl {worker.lease_ttl:g}s, "
+          f"heartbeat {worker.heartbeat:g}s",
+          file=sys.stderr, flush=True)
+    done = worker.run()
+    print(f"worker {worker.worker_id}: exiting after {done} job(s)",
+          file=sys.stderr, flush=True)
+    return 0
+
+
 def _run_service(args) -> int:
     import time as _time
 
@@ -1047,23 +1155,44 @@ def _run_service(args) -> int:
     jobs_enabled = args.jobs or any(
         value is not None
         for value in (args.workers, args.jobs_journal, args.queue_depth,
-                      args.tenant_limit, args.job_rate, args.job_timeout)
+                      args.tenant_limit, args.job_rate, args.job_timeout,
+                      args.jobs_dir, args.worker_procs, args.lease_ttl,
+                      args.max_requeues)
     )
+    if args.worker_procs and not args.jobs_dir:
+        raise SystemExit("--worker-procs requires --jobs-dir")
     if jobs_enabled:
-        from ..jobs import JobService
+        from ..jobs import DEFAULT_LEASE_TTL, JobService
 
         job_service = JobService(
             journal_path=args.jobs_journal,
+            journal_dir=args.jobs_dir,
             workers=args.workers if args.workers is not None else 2,
+            worker_procs=args.worker_procs or 0,
             queue_depth=args.queue_depth if args.queue_depth else 256,
             per_tenant_limit=args.tenant_limit or 0,
             rate=args.job_rate or 0.0,
             default_timeout=args.job_timeout,
+            lease_ttl=(
+                args.lease_ttl if args.lease_ttl else DEFAULT_LEASE_TTL
+            ),
+            heartbeat=args.heartbeat,
+            **(
+                {"max_requeues": args.max_requeues}
+                if args.max_requeues is not None
+                else {}
+            ),
         )
         service.attach_jobs(job_service)
+        extras = ""
+        if args.jobs_journal:
+            extras = f", journal {args.jobs_journal}"
+        elif args.jobs_dir:
+            extras = f", shared dir {args.jobs_dir}"
+            if args.worker_procs:
+                extras += f", {args.worker_procs} worker process(es)"
         print(f"job service: {job_service.pool.workers} worker(s), "
-              f"queue depth {job_service.admission.max_depth}"
-              + (f", journal {args.jobs_journal}" if args.jobs_journal else ""),
+              f"queue depth {job_service.admission.max_depth}" + extras,
               file=sys.stderr, flush=True)
 
     if args.http:

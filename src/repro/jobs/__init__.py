@@ -15,9 +15,14 @@ package adds the missing ingestion side:
 * :mod:`.queue` — the bounded priority queue plus admission control
   (depth cap, per-tenant in-flight limits, token-bucket rate limiting)
   that rejects with structured backpressure errors instead of blocking;
-* :mod:`.worker` — the worker pool draining the queue through
+* :mod:`.worker` — the in-process worker pool *and* the standalone
+  worker process (``confvalley worker``) draining jobs through
   :class:`~repro.core.session.ValidationSession` with per-job
   timeout/cancellation and graceful drain;
+* :mod:`.lease` — lease-based claiming, heartbeat renewal and expiry
+  detection for multi-process execution over a shared journal directory;
+* :mod:`.webhook` — completion callbacks: the terminal job record POSTed
+  to the submitter's ``callback_url`` with retries and a dead-letter ring;
 * :mod:`.service` — :class:`JobService`, the facade wiring it together,
   embedded by ``confvalley service --jobs`` and exposed over HTTP via
   ``POST /jobs`` on the operator endpoint.
@@ -29,7 +34,14 @@ a verdict arrives, never *what* it says.
 
 from __future__ import annotations
 
-from .journal import JobJournal
+from .journal import (
+    JobJournal,
+    JournalTail,
+    apply_worker_event,
+    fold_merged,
+    read_events,
+)
+from .lease import DEFAULT_LEASE_TTL, JobDirectory, Lease, LeaseStore
 from .model import (
     EXIT_ADMIT,
     EXIT_ERROR,
@@ -42,23 +54,36 @@ from .model import (
 )
 from .queue import AdmissionController, JobQueue, TokenBucket
 from .service import JobService, parse_source_ref
-from .worker import JobExecutor, WorkerPool
+from .webhook import WebhookDelivery, WebhookDispatcher
+from .worker import ExternalWorker, JobExecutor, WorkerPool, WorkerSupervisor
 
 __all__ = [
     "AdmissionController",
     "AdmissionError",
+    "DEFAULT_LEASE_TTL",
     "EXIT_ADMIT",
     "EXIT_ERROR",
     "EXIT_REJECT",
+    "ExternalWorker",
+    "JobDirectory",
     "JobExecutor",
     "JobJournal",
     "JobQueue",
     "JobService",
     "JobState",
+    "JournalTail",
+    "Lease",
+    "LeaseStore",
     "TokenBucket",
     "ValidationJob",
+    "WebhookDelivery",
+    "WebhookDispatcher",
     "WorkerPool",
+    "WorkerSupervisor",
+    "apply_worker_event",
     "error_verdict",
+    "fold_merged",
     "parse_source_ref",
+    "read_events",
     "verdict_payload",
 ]

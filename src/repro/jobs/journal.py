@@ -18,9 +18,28 @@ is a classic write-ahead log, kept deliberately boring:
 * :meth:`rotate` compacts the event stream into a single ``snapshot``
   line carrying the live jobs, written to a same-directory temp file and
   published with ``os.replace`` — readers and crashes never observe a
-  torn journal.  Rotation is triggered automatically every
-  ``rotate_after`` appends (terminal jobs evicted by retention drop out
-  of the snapshot, which is how the journal's disk footprint is bounded).
+  torn journal.  The snapshot is materialized **under the writer lock**
+  (``snapshot_source`` may be a callable evaluated inside the critical
+  section), so an appender on another thread can never slip an event
+  between the snapshot and the file swap — the event either precedes the
+  snapshot (and is folded into it) or lands in the fresh journal after
+  the swap.  Rotation is triggered automatically every ``rotate_after``
+  appends (terminal jobs evicted by retention drop out of the snapshot,
+  which is how the journal's disk footprint is bounded).
+
+**Multi-process partitioning** (``repro.jobs.lease``): when jobs execute
+in external worker processes, each writer owns its *own* append-only
+partition file — the coordinator writes ``coordinator.jsonl``, worker
+``w1`` writes ``workers/w1.jsonl`` — so writers never contend on one
+file and a crashed writer can only tear its own trailing line.
+:func:`fold_merged` folds the coordinator stream first (the existing
+``snapshot``/``submit``/``update`` grammar), then applies worker-stream
+``claim``/``terminal`` events under **epoch fencing**: a claim applies
+only to a QUEUED job at exactly ``epoch + 1``, a terminal result only to
+the RUNNING job at the same epoch and worker.  Replaying a partition
+twice, or replaying a zombie worker's stale result after the job was
+re-queued, is therefore a no-op — the property the partitioned-replay
+tests pin down.
 
 ``fsync`` on every append is off by default — a flush survives a process
 crash (the kernel owns the page), which is the failure mode the service
@@ -33,13 +52,53 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 from ..observability import get_logger
 
-__all__ = ["JobJournal"]
+__all__ = [
+    "JobJournal",
+    "JournalTail",
+    "read_events",
+    "apply_coordinator_events",
+    "apply_worker_event",
+    "fold_merged",
+]
 
 _log = get_logger("jobs.journal")
+
+
+def _parse_lines(lines: list[str], path: str) -> list[dict]:
+    """JSON-lines → events; torn trailing line dropped, others skipped."""
+    events = []
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError:
+            if index == len(lines) - 1:
+                _log.warning(
+                    "dropping torn trailing journal line",
+                    extra={"path": path, "line": index + 1},
+                )
+            else:
+                _log.warning(
+                    "skipping corrupt journal line",
+                    extra={"path": path, "line": index + 1},
+                )
+    return events
+
+
+def read_events(path: str) -> list[dict]:
+    """Read one journal/partition file (missing file = no events)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        return []
+    return _parse_lines(lines, path)
 
 
 class JobJournal:
@@ -56,7 +115,9 @@ class JobJournal:
         self.rotate_after = max(1, rotate_after)
         self.fsync = fsync
         #: called at auto-rotation time to obtain the live job dicts the
-        #: compacted journal must carry (wired by the JobService)
+        #: compacted journal must carry (wired by the JobService).  It is
+        #: invoked while the writer lock is held, so it must not block on
+        #: a lock held by a thread that is itself waiting to append.
         self.snapshot_source = snapshot_source
         self._lock = threading.Lock()
         self._handle = None
@@ -81,12 +142,36 @@ class JobJournal:
             if self.fsync:
                 os.fsync(handle.fileno())
             self._appended += 1
-            due = self._appended >= self.rotate_after
-        if due and self.snapshot_source is not None:
-            self.rotate(self.snapshot_source())
+            if (
+                self._appended >= self.rotate_after
+                and self.snapshot_source is not None
+            ):
+                # snapshot + swap inside this critical section: a
+                # concurrent appender blocks on the lock, so no event can
+                # land between the snapshot and the os.replace and be
+                # silently dropped by the compaction
+                self._rotate_locked(self.snapshot_source)
 
-    def rotate(self, jobs: Iterable[dict]) -> None:
-        """Compact the journal to one snapshot line (atomic replace)."""
+    def rotate(
+        self,
+        jobs: Union[Iterable[dict], Callable[[], Iterable[dict]]],
+    ) -> None:
+        """Compact the journal to one snapshot line (atomic replace).
+
+        Pass a *callable* to have the snapshot materialized under the
+        writer lock — the only form that is safe while other threads may
+        still be appending (an iterable built beforehand can miss events
+        appended between its construction and the swap).
+        """
+        with self._lock:
+            self._rotate_locked(jobs)
+
+    def _rotate_locked(
+        self,
+        jobs: Union[Iterable[dict], Callable[[], Iterable[dict]]],
+    ) -> None:
+        if callable(jobs):
+            jobs = jobs()
         snapshot = json.dumps(
             {"event": "snapshot", "jobs": list(jobs)},
             sort_keys=True,
@@ -96,17 +181,16 @@ class JobJournal:
             os.path.dirname(os.path.abspath(self.path)),
             f".{os.path.basename(self.path)}.{os.getpid()}.tmp",
         )
-        with self._lock:
-            with open(temp_path, "w", encoding="utf-8") as handle:
-                handle.write(snapshot + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
-            os.replace(temp_path, self.path)
-            self._appended = 0
-            _log.info("journal rotated", extra={"path": self.path})
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(snapshot + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        os.replace(temp_path, self.path)
+        self._appended = 0
+        _log.info("journal rotated", extra={"path": self.path})
 
     def close(self) -> None:
         with self._lock:
@@ -123,30 +207,7 @@ class JobJournal:
         dropped; a torn line anywhere else is skipped with a warning so a
         single corrupt event cannot take the whole journal hostage.
         """
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
-        except FileNotFoundError:
-            return []
-        events = []
-        for index, line in enumerate(lines):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(json.loads(line))
-            except ValueError:
-                if index == len(lines) - 1:
-                    _log.warning(
-                        "dropping torn trailing journal line",
-                        extra={"path": self.path, "line": index + 1},
-                    )
-                else:
-                    _log.warning(
-                        "skipping corrupt journal line",
-                        extra={"path": self.path, "line": index + 1},
-                    )
-        return events
+        return read_events(self.path)
 
     @staticmethod
     def fold(events: list[dict], job_factory) -> dict:
@@ -157,22 +218,172 @@ class JobJournal:
         for unknown jobs are ignored — forward compatibility over
         strictness, the journal is an internal file.
         """
-        jobs: dict = {}
-        for event in events:
-            kind = event.get("event")
-            if kind == "snapshot":
-                jobs = {}
-                for record in event.get("jobs", []):
-                    job = job_factory(record)
-                    jobs[job.id] = job
-            elif kind == "submit":
-                job = job_factory(event.get("job", {}))
+        return apply_coordinator_events({}, events, job_factory)
+
+
+def apply_coordinator_events(jobs: dict, events: list[dict], job_factory) -> dict:
+    """Apply coordinator-partition events to an existing fold state.
+
+    The incremental form of :meth:`JobJournal.fold` — worker processes
+    tailing the coordinator partition apply each poll's new events to the
+    state they already hold instead of re-reading the file.  A
+    ``snapshot`` event (the first line after a rotation) replaces the
+    whole state, which is exactly what the post-rotation stream means.
+    """
+    for event in events:
+        kind = event.get("event")
+        if kind == "snapshot":
+            jobs.clear()
+            for record in event.get("jobs", []):
+                job = job_factory(record)
                 jobs[job.id] = job
-            elif kind == "update":
-                job = jobs.get(event.get("id"))
-                if job is None:
-                    continue
-                for key, value in event.get("fields", {}).items():
-                    if hasattr(job, key):
-                        setattr(job, key, value)
-        return jobs
+        elif kind == "submit":
+            job = job_factory(event.get("job", {}))
+            jobs[job.id] = job
+        elif kind == "update":
+            job = jobs.get(event.get("id"))
+            if job is None:
+                continue
+            for key, value in event.get("fields", {}).items():
+                if hasattr(job, key):
+                    setattr(job, key, value)
+    return jobs
+
+
+class JournalTail:
+    """Incremental reader of one append-only partition file.
+
+    Remembers the byte offset of the last fully-parsed line and returns
+    only events appended since.  A partial trailing line (a writer racing
+    the read, or a crash mid-append) is left unconsumed — it is re-read
+    on the next poll once (if ever) its newline lands.  A file that
+    *shrank* (the coordinator partition after a rotation) resets the tail
+    to the start, and the caller gets the snapshot-led stream again.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.offset = 0
+
+    def poll(self) -> tuple[list[dict], bool]:
+        """``(new events, reset)`` — ``reset`` means re-read from zero."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return [], False
+        reset = size < self.offset
+        if reset:
+            self.offset = 0
+        if size == self.offset:
+            return [], reset
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            chunk = handle.read(size - self.offset)
+        end = chunk.rfind(b"\n")
+        if end < 0:  # no complete line yet
+            return [], reset
+        complete = chunk[: end + 1]
+        self.offset += end + 1
+        lines = complete.decode("utf-8", "replace").splitlines()
+        events = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                _log.warning(
+                    "skipping corrupt journal line",
+                    extra={"path": self.path},
+                )
+        return events, reset
+
+
+# ---------------------------------------------------------------------------
+# Partitioned replay (multi-process mode)
+# ---------------------------------------------------------------------------
+
+#: worker-partition event kinds, in the order they apply within one epoch
+_WORKER_EVENT_RANK = {"claim": 0, "terminal": 1}
+
+
+def apply_worker_event(job, event: dict) -> bool:
+    """Apply one worker-partition event to a job record; True = applied.
+
+    The epoch fence (see the module docstring) makes application
+    idempotent and order-insensitive across partitions:
+
+    * ``claim`` applies only to a QUEUED job at exactly ``epoch + 1`` —
+      a duplicate claim, a claim for a job another worker already runs,
+      or a stale claim from before a re-queue all fall through;
+    * ``terminal`` applies only to the RUNNING job at the *same* epoch
+      and worker — a zombie worker finishing after its lease expired and
+      the job was re-queued writes an event nobody honors.
+    """
+    kind = event.get("event")
+    epoch = event.get("epoch", 0)
+    if kind == "claim":
+        if job.state == "QUEUED" and epoch == job.epoch + 1:
+            job.state = "RUNNING"
+            job.epoch = epoch
+            job.worker = event.get("worker", "")
+            job.attempts += 1
+            if event.get("at") is not None:
+                job.started_at = event["at"]
+            return True
+        return False
+    if kind == "terminal":
+        if (
+            job.state == "RUNNING"
+            and epoch == job.epoch
+            and event.get("worker", "") == job.worker
+        ):
+            job.state = event.get("state", "FAILED")
+            job.result = event.get("result")
+            job.error = event.get("error", "")
+            if event.get("at") is not None:
+                job.finished_at = event["at"]
+            return True
+        return False
+    return False
+
+
+def fold_merged(
+    coordinator_events: list[dict],
+    worker_streams: dict[str, list[dict]],
+    job_factory,
+) -> dict:
+    """Fold the coordinator stream, then the worker partitions, into jobs.
+
+    ``worker_streams`` maps partition name → its event list.  Worker
+    events are applied per job in ``(epoch, kind, partition, position)``
+    order — a deterministic total order that does not depend on which
+    partition happened to be listed first, so every process replaying the
+    same directory reconstructs byte-identical job records.
+    """
+    jobs = JobJournal.fold(coordinator_events, job_factory)
+    per_job: dict[str, list[tuple]] = {}
+    for name in sorted(worker_streams):
+        for position, event in enumerate(worker_streams[name]):
+            kind = event.get("event")
+            if kind not in _WORKER_EVENT_RANK:
+                continue
+            job_id = event.get("id")
+            if not job_id:
+                continue
+            per_job.setdefault(job_id, []).append((
+                event.get("epoch", 0),
+                _WORKER_EVENT_RANK[kind],
+                name,
+                position,
+                event,
+            ))
+    for job_id, entries in per_job.items():
+        job = jobs.get(job_id)
+        if job is None:
+            continue  # claim for a job the coordinator never journalled
+        entries.sort(key=lambda entry: entry[:4])
+        for *__, event in entries:
+            apply_worker_event(job, event)
+    return jobs

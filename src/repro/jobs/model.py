@@ -61,6 +61,11 @@ class JobState:
     in the journal is re-queued exactly once; a second interrupted attempt
     means the job itself is implicated, and it is parked rather than
     retried forever.
+
+    ``EXPIRED`` is the multi-process analogue: a job whose worker's lease
+    lapsed is re-queued within the service's retry budget
+    (``max_requeues``); once the budget is spent the job is parked as
+    EXPIRED instead of bouncing between crashing workers forever.
     """
 
     QUEUED = "QUEUED"
@@ -69,9 +74,10 @@ class JobState:
     FAILED = "FAILED"
     CANCELLED = "CANCELLED"
     INTERRUPTED = "INTERRUPTED"
+    EXPIRED = "EXPIRED"
 
-    TERMINAL = frozenset({DONE, FAILED, CANCELLED, INTERRUPTED})
-    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED, INTERRUPTED)
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED, INTERRUPTED, EXPIRED})
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED, INTERRUPTED, EXPIRED)
 
 
 class AdmissionError(ConfValleyError):
@@ -146,6 +152,9 @@ class ValidationJob:
     executor: Optional[str] = None
     #: per-job shard-supervision knobs: {"shard_timeout", "shard_retries"}
     resilience: Optional[dict] = None
+    #: POSTed the terminal job record on completion (see
+    #: :mod:`repro.jobs.webhook`; '' = no callback)
+    callback_url: str = ""
     state: str = JobState.QUEUED
     #: Unix wall-clock timestamps (None until the transition happens)
     submitted_at: Optional[float] = None
@@ -153,13 +162,23 @@ class ValidationJob:
     finished_at: Optional[float] = None
     #: times the job entered RUNNING
     attempts: int = 0
-    #: times crash recovery re-queued a mid-flight attempt
+    #: times crash recovery or lease expiry re-queued a mid-flight attempt
     requeues: int = 0
+    #: fencing token: the epoch of the most recent granted claim (0 =
+    #: never claimed).  A claim is granted at ``epoch + 1``; terminal
+    #: events carrying a stale epoch are ignored on replay/absorb, which
+    #: is what makes a zombie worker's late result harmless.
+    epoch: int = 0
+    #: id of the worker that holds (or last held) the claim
+    worker: str = ""
     cancel_requested: bool = False
     #: verdict payload once terminal (see :func:`verdict_payload`)
     result: Optional[dict] = None
-    #: failure explanation for FAILED / INTERRUPTED jobs
+    #: failure explanation for FAILED / INTERRUPTED / EXPIRED jobs
     error: str = ""
+    #: webhook delivery record once enqueued:
+    #: {"state": "pending"|"delivered"|"dead-letter", "attempts": n}
+    webhook: Optional[dict] = None
 
     @property
     def terminal(self) -> bool:
@@ -203,15 +222,19 @@ class ValidationJob:
             "timeout": self.timeout,
             "executor": self.executor,
             "resilience": self.resilience,
+            "callback_url": self.callback_url,
             "state": self.state,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "attempts": self.attempts,
             "requeues": self.requeues,
+            "epoch": self.epoch,
+            "worker": self.worker,
             "cancel_requested": self.cancel_requested,
             "result": self.result,
             "error": self.error,
+            "webhook": self.webhook,
         }
 
     def summary(self) -> dict:
@@ -229,6 +252,7 @@ class ValidationJob:
             "finished_at": self.finished_at,
             "attempts": self.attempts,
             "requeues": self.requeues,
+            "worker": self.worker,
             "verdict": (self.result or {}).get("verdict"),
             "error": self.error,
         }

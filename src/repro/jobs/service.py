@@ -27,14 +27,39 @@ Lifecycle contract:
   than ``retention_age`` seconds, and the journal compacts itself every
   ``rotate_after`` events, so neither memory nor disk grows without bound.
 
+**Multi-process mode** (``journal_dir=`` instead of ``journal_path=``):
+the service becomes the *coordinator* of a shared journal directory
+(:class:`~repro.jobs.lease.JobDirectory`).  It writes its own
+``coordinator.jsonl`` partition; external ``confvalley worker``
+processes claim QUEUED jobs under leases (:mod:`.lease`) and append
+``claim``/``terminal`` events to their own partitions.  A **reaper**
+thread absorbs those events into the in-memory job table, renews the
+leases of jobs running on the in-process pool, and expires stale leases
+— re-queueing the orphaned job within a bounded ``max_requeues`` budget
+and parking it as ``EXPIRED`` beyond it.  The epoch fence
+(:func:`~repro.jobs.journal.apply_worker_event`) makes every replay and
+absorb idempotent: a SIGKILLed worker's job is re-queued exactly once,
+and a zombie's late result is ignored.  ``--worker-procs N`` puts a
+:class:`~repro.jobs.worker.WorkerSupervisor` under the same roof.
+
+Jobs carrying a ``callback_url`` get their terminal record POSTed back
+through :class:`~repro.jobs.webhook.WebhookDispatcher`; the delivery
+state is journalled on the job so a restart re-enqueues only pending
+deliveries.
+
 The service is thread-safe with a single coarse lock around state
 transitions; the scan loop of a co-hosted
 :class:`~repro.service.ValidationService` never blocks on it for longer
-than a dict update.
+than a dict update.  The lock is an ``RLock`` because a journal append
+performed under it may trigger auto-rotation, whose snapshot callback
+re-enters the lock on the same thread — and because every append happens
+under the service lock, the rotate-while-appending lock order is always
+service-lock → journal-lock, never the reverse.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Optional
@@ -42,17 +67,30 @@ from typing import Optional
 from ..observability import get_logger, get_metrics
 from ..parallel.cache import SpecCache
 from ..runtime import clock as _clock
-from .journal import JobJournal
+from .journal import JobJournal, JournalTail, apply_worker_event, fold_merged
+from .lease import (
+    DEFAULT_LEASE_TTL,
+    JobDirectory,
+    LeaseStore,
+    heartbeat_interval,
+)
 from .model import AdmissionError, JobState, ValidationJob
 from .queue import AdmissionController, JobQueue
-from .worker import JobExecutor, WorkerPool
+from .webhook import WebhookDispatcher
+from .worker import JobExecutor, WorkerPool, WorkerSupervisor
 
 __all__ = ["JobService"]
 
 _log = get_logger("jobs.service")
 
 #: mid-flight attempts crash recovery will re-queue before parking a job
+#: (single-file mode, where a RUNNING job in the journal means *this*
+#: process died under it)
 MAX_REQUEUES = 1
+
+#: lease-expiry re-queues tolerated per job in multi-process mode before
+#: the job is parked as EXPIRED (two crashed workers = strike out)
+DEFAULT_MAX_REQUEUES = 2
 
 
 def parse_source_ref(entry: str) -> dict:
@@ -72,7 +110,9 @@ class JobService:
     def __init__(
         self,
         journal_path: Optional[str] = None,
+        journal_dir: Optional[str] = None,
         workers: int = 2,
+        worker_procs: int = 0,
         queue_depth: int = 256,
         per_tenant_limit: int = 0,
         rate: float = 0.0,
@@ -85,11 +125,27 @@ class JobService:
         runtime=None,
         base_dir: str = ".",
         default_timeout: Optional[float] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        heartbeat: Optional[float] = None,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+        reaper_interval: Optional[float] = None,
+        worker_poll: float = 0.2,
+        webhook_post=None,
+        webhook_max_attempts: int = 5,
+        webhook_base_delay: float = 0.5,
+        webhook_max_delay: float = 30.0,
         time_fn=time.time,
         start: bool = True,
     ):
+        if journal_path is not None and journal_dir is not None:
+            raise ValueError(
+                "journal_path (single-file) and journal_dir (multi-process "
+                "directory) are mutually exclusive"
+            )
         self._time = time_fn
-        self._lock = threading.Lock()
+        # RLock: journal appends run under this lock and may auto-rotate,
+        # whose snapshot callback re-enters it on the same thread
+        self._lock = threading.RLock()
         self._done = threading.Condition(self._lock)
         self._jobs: dict[str, ValidationJob] = {}
         self._by_key: dict[str, str] = {}
@@ -99,6 +155,7 @@ class JobService:
         self.rejections: dict[str, int] = {}
         self.retention_count = retention_count
         self.retention_age = retention_age
+        self.base_dir = base_dir
         self.spec_cache = spec_cache if spec_cache is not None else SpecCache()
         self.queue = JobQueue()
         self.admission = AdmissionController(
@@ -115,8 +172,61 @@ class JobService:
             base_dir=base_dir,
             default_timeout=default_timeout,
         )
+        # -- multi-process plumbing (None/empty in single-file mode) ----
+        self.directory: Optional[JobDirectory] = None
+        self.leases: Optional[LeaseStore] = None
+        self.supervisor: Optional[WorkerSupervisor] = None
+        self.lease_ttl = float(lease_ttl)
+        self.max_requeues = max(0, int(max_requeues))
+        self.reaper_interval = (
+            float(reaper_interval)
+            if reaper_interval is not None
+            else heartbeat_interval(lease_ttl)
+        )
+        self.worker_id = f"inproc-{os.getpid()}"
+        self._held_leases: dict[str, object] = {}
+        self._worker_tails: dict[str, JournalTail] = {}
+        self._worker_counts: dict[str, dict[str, int]] = {}
+        self.lease_expiries = 0
+        self.requeues_total = 0
+        self.expired_total = 0
+        self._reaper_stop = threading.Event()
+        self._reaper: Optional[threading.Thread] = None
+        # webhook dispatcher exists in every mode (callbacks are useful
+        # even on a single-process service); constructed before recovery
+        # so pending deliveries found in the journal re-enqueue directly
+        self.webhooks = WebhookDispatcher(
+            post_fn=webhook_post,
+            max_attempts=webhook_max_attempts,
+            base_delay=webhook_base_delay,
+            max_delay=webhook_max_delay,
+            time_fn=time_fn,
+            on_result=self._webhook_result,
+            start=start,
+        )
         self.journal: Optional[JobJournal] = None
-        if journal_path is not None:
+        if journal_dir is not None:
+            self.directory = JobDirectory(journal_dir).ensure()
+            self.leases = LeaseStore(
+                self.directory, ttl=lease_ttl, time_fn=time_fn
+            )
+            self.journal = JobJournal(
+                self.directory.coordinator_journal,
+                rotate_after=rotate_after,
+                fsync=fsync,
+                snapshot_source=self._snapshot_jobs,
+            )
+            self._recover_shared()
+            if worker_procs > 0:
+                self.supervisor = WorkerSupervisor(
+                    journal_dir=self.directory.root,
+                    count=worker_procs,
+                    base_dir=base_dir,
+                    lease_ttl=lease_ttl,
+                    heartbeat=heartbeat,
+                    poll=worker_poll,
+                )
+        elif journal_path is not None:
             self.journal = JobJournal(
                 journal_path,
                 rotate_after=rotate_after,
@@ -127,6 +237,10 @@ class JobService:
         self.pool = WorkerPool(self, workers=workers)
         if start:
             self.pool.start()
+            if self.supervisor is not None:
+                self.supervisor.start()
+            if self.directory is not None:
+                self.start_reaper()
 
     # ------------------------------------------------------------------
     # Journal plumbing
@@ -197,9 +311,105 @@ class JobService:
                     "interrupted": interrupted,
                 },
             )
+        self._recover_webhooks()
         # recovery rewrote states; compact so the next crash replays the
-        # folded view instead of the whole pre-crash event stream
-        self.journal.rotate(job.to_dict() for job in jobs.values())
+        # folded view instead of the whole pre-crash event stream (the
+        # callable form snapshots under the journal's writer lock)
+        self.journal.rotate(self._snapshot_jobs)
+
+    def _recover_shared(self) -> None:
+        """Fold coordinator + worker partitions back into live state.
+
+        Tails are created here and left positioned at end-of-file, so the
+        reaper's subsequent absorbs see only genuinely new events.  The
+        lease directory decides what a RUNNING job means: a fresh lease
+        at the job's epoch means its worker is presumed alive and the job
+        stays RUNNING; anything else means the attempt died with the
+        previous deployment and the job re-enters the queue within the
+        ``max_requeues`` budget (terminal EXPIRED beyond it).
+        """
+        coordinator_events, __ = JournalTail(self.journal.path).poll()
+        streams: dict[str, list[dict]] = {}
+        for name, path in self.directory.partitions().items():
+            tail = JournalTail(path)
+            streams[name], __ = tail.poll()
+            self._worker_tails[name] = tail
+        jobs = fold_merged(
+            coordinator_events, streams, ValidationJob.from_dict
+        )
+        if not jobs:
+            return
+        now = self._time()
+        resumed = requeued = expired = kept_running = 0
+        for job in jobs.values():
+            self._jobs[job.id] = job
+            if job.idempotency_key:
+                self._by_key[job.idempotency_key] = job.id
+            if job.state == JobState.RUNNING:
+                lease = self.leases.read(job.id)
+                alive = (
+                    lease is not None
+                    and lease.epoch == job.epoch
+                    and lease.deadline >= now
+                )
+                if alive:
+                    kept_running += 1  # its worker process outlived us
+                else:
+                    self.leases.break_lease(job.id)
+                    job.requeues += 1
+                    if job.requeues > self.max_requeues:
+                        job.state = JobState.EXPIRED
+                        job.error = (
+                            f"worker lease expired {job.requeues} times; "
+                            "retry budget exhausted"
+                        )
+                        job.finished_at = now
+                        self._journal_update(
+                            job,
+                            state=job.state,
+                            requeues=job.requeues,
+                            error=job.error,
+                            finished_at=job.finished_at,
+                        )
+                        expired += 1
+                    else:
+                        job.state = JobState.QUEUED
+                        job.started_at = None
+                        self._journal_update(
+                            job,
+                            state=job.state,
+                            requeues=job.requeues,
+                            started_at=None,
+                        )
+                        requeued += 1
+            self._state_counts[job.state] += 1
+            if job.state in (JobState.QUEUED, JobState.RUNNING):
+                self._bump_tenant(job.tenant, +1)
+            if job.state == JobState.QUEUED:
+                self.queue.push(job)
+                resumed += 1
+        _log.info(
+            "shared-journal recovery complete",
+            extra={
+                "jobs": len(jobs),
+                "resumed": resumed,
+                "requeued": requeued,
+                "expired": expired,
+                "kept_running": kept_running,
+            },
+        )
+        self._recover_webhooks()
+        self.journal.rotate(self._snapshot_jobs)
+
+    def _recover_webhooks(self) -> None:
+        """Re-enqueue callback deliveries that were pending at the crash."""
+        with self._lock:
+            for job in self._jobs.values():
+                if not (job.terminal and job.callback_url):
+                    continue
+                if job.webhook is not None and job.webhook.get("state") != "pending":
+                    continue  # already delivered or dead-lettered
+                self._enqueue_webhook_locked(job)
 
     # ------------------------------------------------------------------
     # State accounting (always called under self._lock)
@@ -222,8 +432,14 @@ class JobService:
     # ------------------------------------------------------------------
 
     def register_spec(self, name: str, text: str) -> None:
-        """Publish a named server-side spec for ``spec_name`` submissions."""
+        """Publish a named server-side spec for ``spec_name`` submissions.
+
+        In multi-process mode the spec is also written to the shared
+        ``specs/`` directory, where external worker processes resolve it.
+        """
         self.executor.spec_registry[name] = text
+        if self.directory is not None:
+            self.directory.publish_spec(name, text)
 
     # ------------------------------------------------------------------
     # Submission
@@ -243,6 +459,7 @@ class JobService:
         resilience: Optional[dict] = None,
         mode: str = "full",
         baseline_sources: Optional[list] = None,
+        callback_url: str = "",
     ) -> tuple[ValidationJob, bool]:
         """Accept one validation request.
 
@@ -266,6 +483,8 @@ class JobService:
             raise ValueError("mode must be 'full' or 'delta'")
         if mode != "delta" and baseline_sources:
             raise ValueError("baseline_sources requires mode='delta'")
+        if callback_url and not callback_url.startswith(("http://", "https://")):
+            raise ValueError("callback_url must be an http(s) URL")
         normalized = self._normalize_sources(sources)
         baseline = self._normalize_sources(baseline_sources)
         job = ValidationJob(
@@ -281,6 +500,7 @@ class JobService:
             timeout=timeout,
             executor=executor,
             resilience=dict(resilience) if resilience else None,
+            callback_url=callback_url,
         )
         with self._lock:
             if idempotency_key and idempotency_key in self._by_key:
@@ -342,12 +562,15 @@ class JobService:
         allowed = {
             "spec", "spec_name", "spec_path", "sources", "priority",
             "tenant", "idempotency_key", "timeout", "executor", "resilience",
-            "mode", "baseline_sources",
+            "mode", "baseline_sources", "callback_url",
         }
         unknown = sorted(set(payload) - allowed)
         if unknown:
             raise ValueError(f"unknown field(s): {', '.join(unknown)}")
-        for name in ("spec", "spec_name", "spec_path", "tenant", "idempotency_key"):
+        for name in (
+            "spec", "spec_name", "spec_path", "tenant", "idempotency_key",
+            "callback_url",
+        ):
             if name in payload and not isinstance(payload[name], str):
                 raise ValueError(f"{name!r} must be a string")
         if "executor" in payload and payload["executor"] is not None:
@@ -407,13 +630,31 @@ class JobService:
     # ------------------------------------------------------------------
 
     def _next_job(self, timeout: float = 0.1) -> Optional[ValidationJob]:
-        """Pop and transition the next runnable job to RUNNING."""
+        """Pop and transition the next runnable job to RUNNING.
+
+        In multi-process mode the in-process pool competes with external
+        workers under the same rules: it must win the job's lease before
+        transitioning.  Losing the claim just drops the queue entry — the
+        absorb path marks the job RUNNING once the winner's claim event
+        lands, and a later re-queue pushes a fresh entry.
+        """
         job = self.queue.pop(timeout=timeout)
         if job is None:
             return None
         with self._lock:
             if job.state != JobState.QUEUED:
                 return None  # cancelled between pop and this check
+            lease = None
+            if self.leases is not None:
+                lease = self.leases.try_claim(
+                    job.id, self.worker_id, job.epoch + 1
+                )
+                if lease is None:
+                    return None  # an external worker holds the claim
+                job.epoch = lease.epoch
+                job.worker = self.worker_id
+                self._held_leases[job.id] = lease
+                self._count_lease("claim", worker=self.worker_id)
             self._transition(job, JobState.RUNNING)
             job.started_at = self._time()
             job.attempts += 1
@@ -423,6 +664,8 @@ class JobService:
                 state=job.state,
                 started_at=job.started_at,
                 attempts=job.attempts,
+                epoch=job.epoch,
+                worker=job.worker,
             )
         metrics = get_metrics()
         if metrics.enabled:
@@ -462,6 +705,12 @@ class JobService:
                 error=error,
                 finished_at=job.finished_at,
             )
+            # terminal-before-release, same as external workers: the
+            # durable record exists before the lease can be re-claimed
+            lease = self._held_leases.pop(job.id, None)
+            if lease is not None and self.leases is not None:
+                self.leases.release(lease)
+            self._enqueue_webhook_locked(job)
             self._evict_locked()
             self._done.notify_all()
         metrics = get_metrics()
@@ -486,6 +735,319 @@ class JobService:
                 "run_seconds": job.run_seconds,
             },
         )
+
+    # ------------------------------------------------------------------
+    # Completion webhooks
+    # ------------------------------------------------------------------
+
+    def _enqueue_webhook_locked(self, job: ValidationJob) -> None:
+        """Queue the terminal record for delivery to ``callback_url``."""
+        if not job.callback_url:
+            return
+        job.webhook = {"state": "pending", "attempts": 0}
+        self._journal_update(job, webhook=job.webhook)
+        self.webhooks.submit(job.id, job.callback_url, job.to_dict())
+
+    def _webhook_result(
+        self, job_id: str, outcome: str, attempts: int, error: str
+    ) -> None:
+        """Dispatcher callback: journal the final delivery state."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return  # evicted by retention meanwhile; nothing to pin
+            job.webhook = {"state": outcome, "attempts": attempts}
+            if error:
+                job.webhook["error"] = error
+            self._journal_update(job, webhook=job.webhook)
+
+    # ------------------------------------------------------------------
+    # Reaper: absorb worker events, renew own leases, expire stale ones
+    # ------------------------------------------------------------------
+
+    def start_reaper(self) -> None:
+        if self._reaper is not None or self.directory is None:
+            return
+        self._reaper_stop.clear()
+        self._reaper = threading.Thread(
+            target=self._reaper_loop, name="confvalley-reaper", daemon=True
+        )
+        self._reaper.start()
+
+    def _reaper_loop(self) -> None:
+        while not self._reaper_stop.wait(self.reaper_interval):
+            try:
+                self.reaper_tick()
+            except Exception:  # the reaper must outlive any one bad tick
+                _log.exception("reaper tick failed")
+
+    def reaper_tick(self) -> dict:
+        """One coordination pass; public so tests can drive it directly.
+
+        Order matters: absorb first (a worker's terminal event beats its
+        lease's expiry), renew the in-process pool's leases, then judge
+        the rest.  A RUNNING job whose lease *vanished* gets one more
+        absorb before being re-queued — release strictly follows the
+        terminal append in the worker protocol, so if the lease is gone
+        the result is already on disk and the second poll reads it.
+        """
+        summary = {"absorbed": 0, "requeued": 0, "expired": 0, "restarted": 0}
+        held: list = []
+        with self._lock:
+            summary["absorbed"] = self._absorb_worker_events_locked()
+            held = sorted(self._held_leases)
+            if self.leases is not None:
+                for lease in list(self._held_leases.values()):
+                    self.leases.renew(lease)
+                now = self._time()
+                candidates = [
+                    job
+                    for job in self._jobs.values()
+                    if job.state == JobState.RUNNING
+                    and job.id not in self._held_leases
+                    and self._lease_stale(job, now)
+                ]
+                if candidates:
+                    summary["absorbed"] += self._absorb_worker_events_locked()
+                for job in candidates:
+                    if job.state != JobState.RUNNING:
+                        continue  # its terminal event landed in the re-poll
+                    if self._expire_locked(job):
+                        summary["expired"] += 1
+                    else:
+                        summary["requeued"] += 1
+                self._sweep_orphan_leases_locked()
+        if self.supervisor is not None:
+            summary["restarted"] = self.supervisor.check()
+        if self.pool.workers > 0 and self.leases is not None:
+            self.leases.announce(
+                self.worker_id,
+                kind="in-process",
+                threads=self.pool.workers,
+                current_jobs=held,
+            )
+        self._gauge_leases()
+        return summary
+
+    def _lease_stale(self, job: ValidationJob, now: float) -> bool:
+        lease = self.leases.read(job.id)
+        return lease is None or lease.deadline < now
+
+    def _expire_locked(self, job: ValidationJob) -> bool:
+        """Re-queue (False) or park as EXPIRED (True) an orphaned job."""
+        self.leases.break_lease(job.id)
+        job.requeues += 1
+        self.lease_expiries += 1
+        self._count_lease("expire", worker=job.worker or "unknown")
+        if job.requeues > self.max_requeues:
+            self.expired_total += 1
+            error = (
+                f"worker lease expired {job.requeues} times; "
+                "retry budget exhausted"
+            )
+            _log.warning(
+                "lease retry budget exhausted; parking job",
+                extra={"job": job.id, "requeues": job.requeues},
+            )
+            self._transition(job, JobState.EXPIRED)
+            job.result = None
+            job.error = error
+            job.finished_at = self._time()
+            self._bump_tenant(job.tenant, -1)
+            self._journal_update(
+                job,
+                state=job.state,
+                requeues=job.requeues,
+                error=error,
+                finished_at=job.finished_at,
+            )
+            self._enqueue_webhook_locked(job)
+            self._count_finished(JobState.EXPIRED)
+            self._done.notify_all()
+            return True
+        self.requeues_total += 1
+        self._count_requeue("lease-expired")
+        _log.warning(
+            "lease expired; re-queueing job",
+            extra={
+                "job": job.id,
+                "worker": job.worker,
+                "requeues": job.requeues,
+            },
+        )
+        self._transition(job, JobState.QUEUED)
+        job.started_at = None
+        self._journal_update(
+            job,
+            state=job.state,
+            requeues=job.requeues,
+            started_at=None,
+        )
+        self.queue.push(job)
+        return False
+
+    def _sweep_orphan_leases_locked(self) -> None:
+        """Break expired leases that never became a RUNNING job.
+
+        A worker that died between winning the lease file and appending
+        its claim event leaves a lease pointing at a QUEUED (or unknown)
+        job.  No attempt ever started, so this costs no re-queue budget —
+        but the lease must go, or the job is unclaimable forever; a
+        QUEUED job also re-enters the in-memory heap, since the pool's
+        entry for it was consumed by the failed claim attempt.
+        """
+        for lease in self.leases.expired():
+            if lease.job_id in self._held_leases:
+                continue
+            job = self._jobs.get(lease.job_id)
+            if job is not None and job.state == JobState.RUNNING:
+                continue  # the expiry path above owns this case
+            self.leases.break_lease(lease.job_id)
+            if job is not None and job.state == JobState.QUEUED:
+                self.queue.push(job)
+
+    def _absorb_worker_events_locked(self) -> int:
+        """Fold newly-appended worker-partition events into live state."""
+        if self.directory is None:
+            return 0
+        applied = 0
+        for name, path in self.directory.partitions().items():
+            tail = self._worker_tails.get(name)
+            if tail is None:
+                tail = self._worker_tails[name] = JournalTail(path)
+            events, __ = tail.poll()
+            for event in events:
+                job = self._jobs.get(event.get("id", ""))
+                if job is None:
+                    continue
+                before = job.state
+                if not apply_worker_event(job, event):
+                    continue
+                applied += 1
+                if job.state != before:
+                    self._state_counts[before] -= 1
+                    self._state_counts[job.state] += 1
+                counts = self._worker_counts.setdefault(
+                    job.worker, {"claims": 0, "done": 0}
+                )
+                if event.get("event") == "claim":
+                    counts["claims"] += 1
+                    self._count_lease("claim", worker=job.worker)
+                    self._journal_update(
+                        job,
+                        state=job.state,
+                        epoch=job.epoch,
+                        worker=job.worker,
+                        attempts=job.attempts,
+                        started_at=job.started_at,
+                    )
+                else:  # terminal
+                    counts["done"] += 1
+                    self._bump_tenant(job.tenant, -1)
+                    self._cancel_events.pop(job.id, None)
+                    self._journal_update(
+                        job,
+                        state=job.state,
+                        result=job.result,
+                        error=job.error,
+                        finished_at=job.finished_at,
+                    )
+                    self._enqueue_webhook_locked(job)
+                    self._count_finished(job.state)
+                    _log.info(
+                        "absorbed worker result",
+                        extra={
+                            "job": job.id,
+                            "worker": job.worker,
+                            "state": job.state,
+                        },
+                    )
+        if applied:
+            self._evict_locked()
+            self._done.notify_all()
+            self._update_depth_gauges()
+        return applied
+
+    # ------------------------------------------------------------------
+    # Worker fleet introspection (GET /workers)
+    # ------------------------------------------------------------------
+
+    def workers_payload(self) -> dict:
+        """The fleet view: presence, live leases, per-worker counters."""
+        if self.directory is None or self.leases is None:
+            return {
+                "mode": "single-process",
+                "pool_threads": self.pool.workers,
+                "workers": [],
+                "leases": [],
+            }
+        now = self._time()
+        with self._lock:
+            counts = {
+                worker: dict(count)
+                for worker, count in self._worker_counts.items()
+            }
+            held = sorted(self._held_leases)
+        workers = self.leases.workers()
+        for row in workers:
+            row["counts"] = counts.get(row.get("id", ""), {})
+        leases = []
+        for lease in self.leases.live_leases():
+            record = lease.to_dict()
+            record["expires_in"] = round(lease.deadline - now, 3)
+            leases.append(record)
+        payload = {
+            "mode": "multi-process",
+            "journal_dir": self.directory.root,
+            "lease_ttl": self.lease_ttl,
+            "max_requeues": self.max_requeues,
+            "pool_threads": self.pool.workers,
+            "inproc_held": held,
+            "workers": workers,
+            "leases": leases,
+            "lease_expiries": self.lease_expiries,
+            "requeues": self.requeues_total,
+            "expired_jobs": self.expired_total,
+        }
+        if self.supervisor is not None:
+            payload["supervisor"] = self.supervisor.status()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Lease / requeue metrics
+    # ------------------------------------------------------------------
+
+    def _count_lease(self, event: str, worker: str) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_lease_events_total",
+                "Lease lifecycle events, by event kind and worker.",
+            ).inc(event=event, worker=worker)
+
+    def _count_requeue(self, reason: str) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_job_requeues_total",
+                "Mid-flight jobs returned to the queue, by reason.",
+            ).inc(reason=reason)
+
+    def _count_finished(self, state: str) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_jobs_finished_total",
+                "Jobs reaching a terminal state, by state.",
+            ).inc(state=state)
+
+    def _gauge_leases(self) -> None:
+        metrics = get_metrics()
+        if metrics.enabled and self.leases is not None:
+            metrics.gauge(
+                "confvalley_leases_active",
+                "Live lease files in the shared job directory.",
+            ).set(len(self.leases.live_leases()))
 
     # ------------------------------------------------------------------
     # Lifecycle API
@@ -609,7 +1171,7 @@ class JobService:
                 for state, count in self._state_counts.items()
                 if count
             }
-            return {
+            payload = {
                 "jobs": len(self._jobs),
                 "queued": self._state_counts[JobState.QUEUED],
                 "running": self._state_counts[JobState.RUNNING],
@@ -623,7 +1185,22 @@ class JobService:
                 "retention_count": self.retention_count,
                 "retention_age": self.retention_age,
                 "journal": self.journal.path if self.journal else None,
+                "mode": "multi-process" if self.directory else "single-process",
+                "webhooks": self.webhooks.stats(),
             }
+            if self.directory is not None:
+                payload["journal_dir"] = self.directory.root
+                payload["lease_ttl"] = self.lease_ttl
+                payload["max_requeues"] = self.max_requeues
+                payload["leases"] = {
+                    "held_in_process": len(self._held_leases),
+                    "expiries": self.lease_expiries,
+                    "requeues": self.requeues_total,
+                    "expired_jobs": self.expired_total,
+                }
+            if self.supervisor is not None:
+                payload["worker_procs"] = self.supervisor.status()
+            return payload
 
     def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> bool:
         """Shut down: optionally drain in-flight jobs, persist, close.
@@ -631,10 +1208,29 @@ class JobService:
         QUEUED jobs stay QUEUED in the journal — the whole point of the
         durable queue is that the next start resumes them.  Returns True
         when every worker exited within ``timeout``.
+
+        Shutdown order matters: every thread that can append to the
+        journal (reaper, webhook dispatcher, pool workers) is stopped
+        before the final compaction, so the closing rotate never races an
+        appender.  External worker processes get SIGTERM and finish their
+        in-flight job; anything they complete after our final absorb is
+        still durable in their partitions and absorbed on the next start.
         """
+        self._reaper_stop.set()
+        reaper, self._reaper = self._reaper, None
+        if reaper is not None:
+            reaper.join(timeout=5.0)
+        if self.supervisor is not None:
+            self.supervisor.stop()
         clean = self.pool.drain(timeout=timeout if drain else 0.0)
+        if self.directory is not None:
+            with self._lock:
+                self._absorb_worker_events_locked()
+            if self.pool.workers > 0 and self.leases is not None:
+                self.leases.retire(self.worker_id)
+        self.webhooks.close()
         if self.journal is not None:
-            self.journal.rotate(self._snapshot_jobs())
+            self.journal.rotate(self._snapshot_jobs)
             self.journal.close()
         _log.info("job service closed", extra={"clean": clean})
         return clean

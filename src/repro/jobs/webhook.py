@@ -1,0 +1,270 @@
+"""Completion webhooks: POST the terminal verdict back to the submitter.
+
+A fleet-scale submitter (CI bot, deployment orchestrator) should not have
+to poll ``GET /jobs/<id>``; jobs carrying a ``callback_url`` get the full
+terminal job record — the *same* JSON ``GET /jobs/<id>`` serves, verdict
+and fingerprint included — POSTed to that URL when they finish, whatever
+the terminal state (DONE, FAILED, CANCELLED, EXPIRED, …).
+
+Delivery is at-least-once with exponential backoff:
+
+* a dedicated dispatcher thread drains a deadline-ordered heap, so one
+  slow or dead receiver never delays validation work or other deliveries
+  that are already due;
+* a failed POST (connection error or a non-2xx status) is retried after
+  ``base_delay * 2^(attempt-1)`` seconds, capped at ``max_delay``;
+* after ``max_attempts`` failures the delivery is parked on a bounded
+  **dead-letter** ring visible in ``stats()`` and the job's ``webhook``
+  record — an operator reads why, fixes the receiver, and resubmits;
+* outcomes flow into ``confvalley_webhook_*`` metrics and back into the
+  owning :class:`~repro.jobs.service.JobService` via ``on_result``, which
+  journals the final delivery state on the job so a restart re-enqueues
+  only deliveries that were still pending.
+
+``post_fn`` is injectable (tests swap in a recorder / a failure script);
+the default implementation POSTs JSON with a 10 s timeout via urllib.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..observability import get_logger, get_metrics
+
+__all__ = ["WebhookDelivery", "WebhookDispatcher", "default_post"]
+
+_log = get_logger("jobs.webhook")
+
+#: delivery attempts before dead-lettering (first try + 4 retries)
+DEFAULT_MAX_ATTEMPTS = 5
+#: dead-letter records retained for the operator
+DEAD_LETTER_LIMIT = 100
+
+
+def default_post(url: str, payload: dict, timeout: float = 10.0) -> None:
+    """POST ``payload`` as JSON; raises on connection errors or non-2xx."""
+    from urllib.request import Request, urlopen
+
+    request = Request(
+        url,
+        data=json.dumps(payload, sort_keys=True).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urlopen(request, timeout=timeout) as response:
+        status = response.status
+    if not 200 <= status < 300:
+        raise OSError(f"receiver answered HTTP {status}")
+
+
+@dataclass
+class WebhookDelivery:
+    """One pending callback: the job's terminal record bound for a URL."""
+
+    job_id: str
+    url: str
+    payload: dict
+    attempts: int = 0
+    last_error: str = ""
+    enqueued_at: float = field(default=0.0)
+
+    def summary(self) -> dict:
+        return {
+            "job": self.job_id,
+            "url": self.url,
+            "attempts": self.attempts,
+            "last_error": self.last_error,
+        }
+
+
+class WebhookDispatcher:
+    """Deadline-ordered delivery queue with exponential-backoff retries."""
+
+    def __init__(
+        self,
+        post_fn: Optional[Callable[[str, dict], None]] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        base_delay: float = 0.5,
+        max_delay: float = 30.0,
+        time_fn: Callable[[], float] = time.time,
+        on_result: Optional[Callable[[str, str, int, str], None]] = None,
+        start: bool = True,
+    ):
+        self.post_fn = post_fn if post_fn is not None else default_post
+        self.max_attempts = max(1, int(max_attempts))
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self._time = time_fn
+        #: ``on_result(job_id, outcome, attempts, error)`` with outcome
+        #: ``delivered`` or ``dead-letter`` — the service journals it
+        self.on_result = on_result
+        self._heap: list[tuple[float, int, WebhookDelivery]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.delivered = 0
+        self.dead_lettered = 0
+        self.attempts_total = 0
+        self.dead_letters: list[dict] = []
+        if start:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "WebhookDispatcher":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="confvalley-webhooks", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        self._stop.set()
+        with self._wake:
+            self._wake.notify_all()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout)
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, job_id: str, url: str, payload: dict) -> None:
+        """Enqueue one delivery; the dispatcher thread takes it from here."""
+        delivery = WebhookDelivery(
+            job_id=job_id, url=url, payload=payload,
+            enqueued_at=self._time(),
+        )
+        with self._wake:
+            heapq.heappush(self._heap, (self._time(), next(self._seq), delivery))
+            self._wake.notify()
+        self._gauge_pending()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    # -- the dispatcher loop -------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            with self._wake:
+                while not self._heap and not self._stop.is_set():
+                    self._wake.wait(0.2)
+                if self._stop.is_set():
+                    return
+                due, __, delivery = self._heap[0]
+                now = self._time()
+                if due > now:
+                    self._wake.wait(min(0.2, due - now))
+                    continue
+                heapq.heappop(self._heap)
+            self._attempt(delivery)
+            self._gauge_pending()
+
+    def _attempt(self, delivery: WebhookDelivery) -> None:
+        delivery.attempts += 1
+        self.attempts_total += 1
+        try:
+            self.post_fn(delivery.url, delivery.payload)
+        except Exception as exc:
+            delivery.last_error = f"{type(exc).__name__}: {exc}"
+            self._count_attempt("error")
+            if delivery.attempts >= self.max_attempts:
+                self._dead_letter(delivery)
+            else:
+                delay = min(
+                    self.max_delay,
+                    self.base_delay * (2 ** (delivery.attempts - 1)),
+                )
+                _log.warning(
+                    "webhook delivery failed; retrying",
+                    extra={
+                        "job": delivery.job_id,
+                        "attempt": delivery.attempts,
+                        "retry_in": delay,
+                        "error": delivery.last_error,
+                    },
+                )
+                with self._wake:
+                    heapq.heappush(
+                        self._heap,
+                        (self._time() + delay, next(self._seq), delivery),
+                    )
+                    self._wake.notify()
+            return
+        self._count_attempt("ok")
+        self.delivered += 1
+        self._count_outcome("delivered")
+        _log.info(
+            "webhook delivered",
+            extra={"job": delivery.job_id, "attempts": delivery.attempts},
+        )
+        if self.on_result is not None:
+            self.on_result(delivery.job_id, "delivered", delivery.attempts, "")
+
+    def _dead_letter(self, delivery: WebhookDelivery) -> None:
+        self.dead_lettered += 1
+        self.dead_letters.append(delivery.summary())
+        del self.dead_letters[:-DEAD_LETTER_LIMIT]
+        self._count_outcome("dead-letter")
+        _log.error(
+            "webhook dead-lettered",
+            extra={
+                "job": delivery.job_id,
+                "attempts": delivery.attempts,
+                "error": delivery.last_error,
+            },
+        )
+        if self.on_result is not None:
+            self.on_result(
+                delivery.job_id, "dead-letter", delivery.attempts,
+                delivery.last_error,
+            )
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            pending = len(self._heap)
+        return {
+            "pending": pending,
+            "delivered": self.delivered,
+            "dead_lettered": self.dead_lettered,
+            "attempts": self.attempts_total,
+            "max_attempts": self.max_attempts,
+            "dead_letters": list(self.dead_letters),
+        }
+
+    def _count_attempt(self, result: str) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_webhook_attempts_total",
+                "Webhook POST attempts, by result.",
+            ).inc(result=result)
+
+    def _count_outcome(self, outcome: str) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_webhook_deliveries_total",
+                "Webhook deliveries reaching a final outcome, by outcome.",
+            ).inc(outcome=outcome)
+
+    def _gauge_pending(self) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge(
+                "confvalley_webhook_pending",
+                "Webhook deliveries waiting (including backoff).",
+            ).set(self.pending)

@@ -1,13 +1,30 @@
-"""Job execution: the worker pool draining the queue through sessions.
+"""Job execution: worker threads in-process, worker *processes* out.
 
-Each worker thread loops ``pop → execute → record``.  Execution builds a
-fresh :class:`~repro.core.session.ValidationSession` per job (jobs from
+Two execution shapes share one :class:`JobExecutor`:
+
+* :class:`WorkerPool` — N daemon threads inside the service process,
+  looping ``pop → execute → record`` against the in-memory queue (the
+  PR 5 shape; still the default);
+* :class:`ExternalWorker` — a standalone worker *process*
+  (``confvalley worker --journal DIR --id NAME``) that discovers QUEUED
+  jobs by replaying the shared journal directory, claims them under a
+  lease (:mod:`repro.jobs.lease`), renews the lease on a heartbeat while
+  executing, and appends ``claim``/``terminal`` events to its own
+  journal partition — so a crash loses nothing but the worker itself,
+  and the coordinating service's reaper re-queues its leased job.
+  :class:`WorkerSupervisor` spawns and babysits N of them
+  (``service --jobs --worker-procs N``), restarting crashed workers with
+  exponential backoff.
+
+Execution builds a fresh
+:class:`~repro.core.session.ValidationSession` per job (jobs from
 different tenants must not share a configuration store) but *shares* the
-service's compiled-spec cache — two jobs carrying the same spec text hash
+process's compiled-spec cache — two jobs carrying the same spec text hash
 compile once, which is the steady-state shape of a CI fleet hammering one
 specification corpus.  The produced report is the very report a direct
 ``confvalley validate`` of the same spec + sources would yield:
-byte-identical ``fingerprint()``, asserted in the tests.
+byte-identical ``fingerprint()``, asserted in the tests — including for
+jobs that were re-queued after a worker was SIGKILLed mid-run.
 
 Timeout and cancellation run the validation on a *runner* thread the
 worker supervises: Python offers no safe way to interrupt arbitrary
@@ -25,15 +42,36 @@ already durable in the journal and resume on the next start.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from typing import Optional
 
 from ..core.session import ValidationSession
 from ..observability import get_logger
 from ..runtime import clock as _clock
+from .journal import (
+    JobJournal,
+    JournalTail,
+    apply_coordinator_events,
+    apply_worker_event,
+    fold_merged,
+)
+from .lease import (
+    DEFAULT_LEASE_TTL,
+    JobDirectory,
+    LeaseStore,
+    heartbeat_interval,
+)
 from .model import JobState, ValidationJob, error_verdict, verdict_payload
 
-__all__ = ["JobExecutor", "WorkerPool"]
+__all__ = [
+    "JobExecutor",
+    "WorkerPool",
+    "ExternalWorker",
+    "WorkerSupervisor",
+    "DirectorySpecRegistry",
+]
 
 _log = get_logger("jobs.worker")
 
@@ -309,3 +347,475 @@ class WorkerPool:
         if self._threads == [] and clean:
             _log.info("worker pool drained", extra={"workers": self.workers})
         return clean
+
+
+# ---------------------------------------------------------------------------
+# External worker processes (multi-process mode)
+# ---------------------------------------------------------------------------
+
+#: chaos hook: while this file exists, a worker that just claimed a job
+#: parks before executing it — a deterministic window for kill tests
+HOLD_FILE_ENV = "CONFVALLEY_WORKER_HOLD_FILE"
+#: upper bound on one chaos hold, so a leaked hold file cannot wedge a
+#: production worker forever
+HOLD_LIMIT_SECONDS = 30.0
+
+
+class DirectorySpecRegistry(dict):
+    """Named-spec registry backed by the shared ``specs/`` directory.
+
+    The coordinator publishes registered specs as files
+    (:meth:`JobDirectory.publish_spec`); worker processes resolve
+    ``spec_name`` submissions through this mapping, falling back to the
+    directory on a local miss so a spec registered after the worker
+    started is still found.
+    """
+
+    def __init__(self, directory: JobDirectory):
+        super().__init__()
+        self.directory = directory
+
+    def __missing__(self, name: str) -> str:
+        text = self.directory.read_spec(name)
+        if text is None:
+            raise KeyError(name)
+        return text
+
+
+class ExternalWorker:
+    """One standalone worker process over a shared journal directory.
+
+    The loop: replay/tail the journal partitions into a local view of the
+    job table, pick the best claimable QUEUED job, win its lease
+    (``O_EXCL``), append a ``claim`` event to this worker's own partition,
+    execute under a heartbeat that keeps the lease fresh, append the
+    ``terminal`` event, and only *then* release the lease — so a crash at
+    any point either leaves the lease to expire (job re-queued by the
+    coordinator's reaper) or leaves a durable terminal event the
+    coordinator absorbs.  There is no window in which a finished job can
+    be re-queued: the terminal record is on disk before the lease goes.
+
+    A worker that loses its lease mid-run (fenced by a renewal failure)
+    abandons the run; its terminal event carries the stale epoch and is
+    ignored by every replayer.
+    """
+
+    def __init__(
+        self,
+        journal_dir: str,
+        worker_id: Optional[str] = None,
+        base_dir: str = ".",
+        poll: float = 0.2,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        heartbeat: Optional[float] = None,
+        default_timeout: Optional[float] = None,
+        max_jobs: Optional[int] = None,
+        spec_cache=None,
+        time_fn=time.time,
+    ):
+        from ..parallel.cache import SpecCache
+
+        self.directory = JobDirectory(journal_dir).ensure()
+        self.worker_id = worker_id or f"w-{os.getpid()}"
+        self.poll = max(0.01, float(poll))
+        self.lease_ttl = float(lease_ttl)
+        self.heartbeat = (
+            float(heartbeat) if heartbeat else heartbeat_interval(lease_ttl)
+        )
+        self.max_jobs = max_jobs
+        self._time = time_fn
+        self.leases = LeaseStore(self.directory, ttl=lease_ttl, time_fn=time_fn)
+        #: this worker's own append-only partition — never shared
+        self.partition = JobJournal(
+            self.directory.worker_partition(self.worker_id)
+        )
+        self.executor = JobExecutor(
+            spec_cache=spec_cache if spec_cache is not None else SpecCache(),
+            base_dir=base_dir,
+            default_timeout=default_timeout,
+            spec_registry=DirectorySpecRegistry(self.directory),
+        )
+        self._stop = threading.Event()
+        self._jobs: dict[str, ValidationJob] = {}
+        self._coord_tail = JournalTail(self.directory.coordinator_journal)
+        self._worker_tails: dict[str, JournalTail] = {}
+        self.jobs_done = 0
+        self.leases_lost = 0
+        self._started_at = self._time()
+        self._current_job = ""
+
+    # -- lifecycle -----------------------------------------------------
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful stop (finish the in-flight job)."""
+        import signal
+
+        def handler(signum, frame):  # noqa: ARG001
+            _log.info(
+                "worker stopping on signal",
+                extra={"worker": self.worker_id, "signal": signum},
+            )
+            self.stop()
+
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+
+    # -- journal-view maintenance --------------------------------------
+
+    def _refold(self) -> None:
+        """Rebuild the local job view from every partition, from zero."""
+        self._coord_tail = JournalTail(self.directory.coordinator_journal)
+        coordinator_events, __ = self._coord_tail.poll()
+        self._worker_tails = {}
+        streams: dict[str, list[dict]] = {}
+        for name, path in self.directory.partitions().items():
+            tail = JournalTail(path)
+            streams[name], __ = tail.poll()
+            self._worker_tails[name] = tail
+        self._jobs = fold_merged(
+            coordinator_events, streams, ValidationJob.from_dict
+        )
+
+    def _absorb(self) -> None:
+        """Apply everything appended since the last poll to the view."""
+        events, reset = self._coord_tail.poll()
+        if reset:
+            self._refold()
+            return
+        apply_coordinator_events(self._jobs, events, ValidationJob.from_dict)
+        for name, path in self.directory.partitions().items():
+            tail = self._worker_tails.get(name)
+            if tail is None:
+                tail = self._worker_tails[name] = JournalTail(path)
+            worker_events, __ = tail.poll()
+            for event in worker_events:
+                job = self._jobs.get(event.get("id", ""))
+                if job is not None:
+                    apply_worker_event(job, event)
+
+    # -- claiming ------------------------------------------------------
+
+    def _candidates(self) -> list[ValidationJob]:
+        queued = [
+            job
+            for job in self._jobs.values()
+            if job.state == JobState.QUEUED and not job.cancel_requested
+        ]
+        queued.sort(
+            key=lambda job: (-job.priority, job.submitted_at or 0.0, job.id)
+        )
+        return queued
+
+    def _claim_next(self):
+        """``(job, lease)`` for the first candidate we win, else None."""
+        for job in self._candidates():
+            lease = self.leases.try_claim(
+                job.id, self.worker_id, job.epoch + 1
+            )
+            if lease is not None:
+                return job, lease
+        return None
+
+    # -- execution -----------------------------------------------------
+
+    def _chaos_hold(self) -> None:
+        hold_file = os.environ.get(HOLD_FILE_ENV, "")
+        if not hold_file:
+            return
+        deadline = self._time() + HOLD_LIMIT_SECONDS
+        while os.path.exists(hold_file) and self._time() < deadline:
+            if self._stop.is_set():
+                return
+            time.sleep(0.02)
+
+    def _heartbeat_loop(self, job, lease, stop, cancel) -> None:
+        """Renew the lease and watch for cancellation while executing.
+
+        Runs on its own thread while the main thread is blocked in
+        :meth:`JobExecutor.execute`; it is therefore the only thread
+        touching the tails/view during a run, and it is joined before the
+        main loop resumes — no concurrent access either way.
+        """
+        while not stop.wait(self.heartbeat):
+            if not self.leases.renew(lease):
+                self.leases_lost += 1
+                _log.warning(
+                    "lease lost mid-run; abandoning",
+                    extra={"worker": self.worker_id, "job": job.id},
+                )
+                cancel.set()
+                return
+            self.announce()
+            events, reset = self._coord_tail.poll()
+            if reset:
+                self._refold()
+            else:
+                apply_coordinator_events(
+                    self._jobs, events, ValidationJob.from_dict
+                )
+            current = self._jobs.get(job.id)
+            if current is not None and current.cancel_requested:
+                cancel.set()
+
+    def _run_claimed(self, job: ValidationJob, lease) -> None:
+        now = self._time()
+        claim_event = {
+            "event": "claim",
+            "id": job.id,
+            "worker": self.worker_id,
+            "epoch": lease.epoch,
+            "at": now,
+        }
+        self.partition.append(claim_event)
+        apply_worker_event(job, claim_event)
+        self._current_job = job.id
+        self.announce()
+        self._chaos_hold()
+        stop_heartbeat = threading.Event()
+        cancel = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(job, lease, stop_heartbeat, cancel),
+            name=f"confvalley-hb-{self.worker_id}",
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            state, result, error = self.executor.execute(job, cancel)
+        except Exception as exc:  # a broken job must never kill the worker
+            message = f"{type(exc).__name__}: {exc}"
+            state, result, error = (
+                JobState.FAILED, error_verdict(message), message,
+            )
+        finally:
+            stop_heartbeat.set()
+            heartbeat.join()
+        terminal_event = {
+            "event": "terminal",
+            "id": job.id,
+            "worker": self.worker_id,
+            "epoch": lease.epoch,
+            "state": state,
+            "result": result,
+            "error": error,
+            "at": self._time(),
+        }
+        # terminal before release: if we crash between the two, the
+        # coordinator finds both the durable result and a dangling lease,
+        # absorbs the result, and the expiry path sees a finished job
+        self.partition.append(terminal_event)
+        apply_worker_event(job, terminal_event)
+        self.leases.release(lease)
+        self._current_job = ""
+        self.jobs_done += 1
+        self.announce()
+
+    # -- presence ------------------------------------------------------
+
+    def announce(self) -> None:
+        self.leases.announce(
+            self.worker_id,
+            kind="process",
+            jobs_done=self.jobs_done,
+            leases_lost=self.leases_lost,
+            current_job=self._current_job,
+            started_at=self._started_at,
+        )
+
+    # -- the main loop -------------------------------------------------
+
+    def run(self) -> int:
+        """Poll → claim → execute until stopped; returns jobs completed."""
+        _log.info(
+            "external worker started",
+            extra={
+                "worker": self.worker_id,
+                "journal_dir": self.directory.root,
+                "lease_ttl": self.lease_ttl,
+            },
+        )
+        self._refold()
+        self.announce()
+        last_announce = self._time()
+        try:
+            while not self._stop.is_set():
+                if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
+                    break
+                self._absorb()
+                claimed = self._claim_next()
+                if claimed is None:
+                    if self._time() - last_announce >= self.heartbeat:
+                        self.announce()
+                        last_announce = self._time()
+                    self._stop.wait(self.poll)
+                    continue
+                job, lease = claimed
+                self._run_claimed(job, lease)
+                last_announce = self._time()
+        finally:
+            self.partition.close()
+            self.leases.retire(self.worker_id)
+            _log.info(
+                "external worker stopped",
+                extra={"worker": self.worker_id, "jobs_done": self.jobs_done},
+            )
+        return self.jobs_done
+
+
+class WorkerSupervisor:
+    """Spawns and babysits N ``confvalley worker`` subprocesses.
+
+    The service owns one of these when started with ``--worker-procs N``.
+    Health checks ride the reaper tick: a worker that exited is reaped
+    and restarted after an exponential backoff (so a worker crashing on
+    startup cannot fork-bomb the host), and every restart is visible in
+    :meth:`status` and the lease metrics.
+    """
+
+    def __init__(
+        self,
+        journal_dir: str,
+        count: int,
+        base_dir: str = ".",
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        heartbeat: Optional[float] = None,
+        poll: float = 0.2,
+        id_prefix: str = "proc",
+        restart_backoff: float = 0.5,
+        max_backoff: float = 10.0,
+        time_fn=time.time,
+    ):
+        self.journal_dir = journal_dir
+        self.count = max(0, int(count))
+        self.base_dir = base_dir
+        self.lease_ttl = float(lease_ttl)
+        self.heartbeat = heartbeat
+        self.poll = float(poll)
+        self.id_prefix = id_prefix
+        self.restart_backoff = float(restart_backoff)
+        self.max_backoff = float(max_backoff)
+        self._time = time_fn
+        self._procs: dict[str, object] = {}
+        self._restarts: dict[str, int] = {}
+        self._backoff_until: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._stopped = False
+
+    def worker_ids(self) -> list[str]:
+        return [f"{self.id_prefix}-{index}" for index in range(self.count)]
+
+    def _spawn(self, worker_id: str):
+        import subprocess
+        import sys
+
+        import repro
+
+        source_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (source_root, env.get("PYTHONPATH", "")) if part
+        )
+        command = [
+            sys.executable,
+            "-c",
+            "import sys; from repro.console.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "worker",
+            "--journal", self.journal_dir,
+            "--id", worker_id,
+            "--base-dir", self.base_dir,
+            "--lease-ttl", str(self.lease_ttl),
+            "--poll", str(self.poll),
+        ]
+        if self.heartbeat:
+            command += ["--heartbeat", str(self.heartbeat)]
+        process = subprocess.Popen(command, env=env)
+        _log.info(
+            "spawned worker process",
+            extra={"worker": worker_id, "pid": process.pid},
+        )
+        return process
+
+    def start(self) -> "WorkerSupervisor":
+        with self._lock:
+            self._stopped = False
+            for worker_id in self.worker_ids():
+                if worker_id not in self._procs:
+                    self._procs[worker_id] = self._spawn(worker_id)
+        return self
+
+    def check(self) -> int:
+        """Reap exited workers, restart those past backoff; returns
+        the number of restarts performed this check."""
+        restarted = 0
+        with self._lock:
+            if self._stopped:
+                return 0
+            now = self._time()
+            for worker_id in self.worker_ids():
+                process = self._procs.get(worker_id)
+                if process is not None and process.poll() is None:
+                    continue  # alive
+                if process is not None:
+                    attempts = self._restarts.get(worker_id, 0) + 1
+                    self._restarts[worker_id] = attempts
+                    delay = min(
+                        self.max_backoff,
+                        self.restart_backoff * (2 ** (attempts - 1)),
+                    )
+                    self._backoff_until[worker_id] = now + delay
+                    self._procs[worker_id] = None
+                    _log.warning(
+                        "worker process died; restart scheduled",
+                        extra={
+                            "worker": worker_id,
+                            "exit_code": process.returncode,
+                            "restart_in": delay,
+                        },
+                    )
+                    continue
+                if now >= self._backoff_until.get(worker_id, 0.0):
+                    self._procs[worker_id] = self._spawn(worker_id)
+                    restarted += 1
+        return restarted
+
+    def status(self) -> list[dict]:
+        with self._lock:
+            rows = []
+            for worker_id in self.worker_ids():
+                process = self._procs.get(worker_id)
+                alive = process is not None and process.poll() is None
+                rows.append({
+                    "id": worker_id,
+                    "pid": process.pid if alive else None,
+                    "alive": alive,
+                    "restarts": self._restarts.get(worker_id, 0),
+                })
+            return rows
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """SIGTERM every worker, wait, SIGKILL stragglers."""
+        with self._lock:
+            self._stopped = True
+            procs = [p for p in self._procs.values() if p is not None]
+            self._procs = {}
+        for process in procs:
+            if process.poll() is None:
+                try:
+                    process.terminate()
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout
+        for process in procs:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                process.wait(remaining)
+            except Exception:
+                try:
+                    process.kill()
+                    process.wait(1.0)
+                except Exception:
+                    pass

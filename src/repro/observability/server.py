@@ -40,6 +40,9 @@ endpoints:
                             (``?state=…&tenant=…&limit=…``)
 ``POST /jobs/<id>/cancel``  cancel: immediate for QUEUED jobs, best-effort
                             for RUNNING ones; **409** once terminal
+``GET /workers``            the worker fleet: presence heartbeats, live
+                            leases, per-worker claim/done counters, and
+                            supervisor restart counts (multi-process mode)
 ==========================  ================================================
 
 Design constraints:
@@ -77,7 +80,10 @@ _log = get_logger("observability.server")
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
-ENDPOINTS = ("/metrics", "/metrics.json", "/health", "/stats", "/traces/latest", "/jobs")
+ENDPOINTS = (
+    "/metrics", "/metrics.json", "/health", "/stats", "/traces/latest",
+    "/jobs", "/workers",
+)
 
 #: request bodies larger than this are rejected outright (a submission
 #: carries spec text + inline sources, not a configuration dump)
@@ -247,6 +253,11 @@ class ObservabilityServer:
         self._count_request(path)
         if path == "/jobs" or path.startswith("/jobs/"):
             return self._render_jobs_get(path, query)
+        if path == "/workers":
+            jobs = self.jobs
+            if jobs is None:
+                return self._jobs_disabled()
+            return self._json_body(200, jobs.workers_payload())
         if path == "/metrics":
             return 200, PROMETHEUS_CONTENT_TYPE, get_metrics().to_prometheus()
         if path == "/metrics.json":

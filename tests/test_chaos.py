@@ -123,3 +123,57 @@ def test_quarantine_recovers_when_faults_stop(tmp_path):
             break
     assert last.health.status == HealthBlock.OK
     assert last.health.quarantined_sources == []
+
+
+# ---------------------------------------------------------------------------
+# Process chaos: SIGKILL a supervised worker process mid-fleet (ISSUE 7)
+# ---------------------------------------------------------------------------
+
+
+def test_supervised_worker_killed_and_restarted(tmp_path):
+    """kill -9 a supervised worker: the supervisor restarts it and the
+    job backlog still drains to correct verdicts."""
+    import os
+    import signal
+    import time
+
+    from repro.jobs import JobService, JobState
+    from repro.jobs.model import report_fingerprint_digest
+    from repro.core.session import ValidationSession
+
+    spec = "$s.Timeout -> int & [1, 60]\n"
+    ini = "[s]\nTimeout = 30\n"
+    session = ValidationSession()
+    session.load_text("ini", ini, source="inline.ini")
+    expected = report_fingerprint_digest(session.validate(spec))
+
+    service = JobService(
+        journal_dir=str(tmp_path / "jobsdir"), workers=0, worker_procs=1,
+        lease_ttl=1.0, reaper_interval=0.05, worker_poll=0.02,
+    )
+    try:
+        sources = [{"format": "ini", "text": ini, "source": "inline.ini"}]
+        first, __ = service.submit(spec=spec, sources=sources)
+        done = service.wait(first.id, timeout=60)
+        assert done.state == JobState.DONE
+        assert done.result["fingerprint"] == expected
+
+        pid = service.supervisor.status()[0]["pid"]
+        os.kill(pid, signal.SIGKILL)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            rows = service.supervisor.status()
+            if rows[0]["restarts"] >= 1 and rows[0]["alive"]:
+                break
+            time.sleep(0.05)
+        rows = service.supervisor.status()
+        assert rows[0]["restarts"] >= 1 and rows[0]["alive"], (
+            "the supervisor never restarted the killed worker"
+        )
+
+        second, __ = service.submit(spec=spec, sources=sources)
+        redone = service.wait(second.id, timeout=60)
+        assert redone.state == JobState.DONE
+        assert redone.result["fingerprint"] == expected
+    finally:
+        service.close(drain=False)

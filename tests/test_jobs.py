@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import pytest
 
@@ -287,6 +288,93 @@ class TestJobJournal:
         for __ in range(3):
             journal.append({"event": "update", "id": job.id, "fields": {}})
         assert len(path.read_text().splitlines()) == 1  # compacted
+        journal.close()
+
+    def test_rotation_blocks_concurrent_appenders(self, tmp_path):
+        """Regression: the snapshot is materialized under the writer lock.
+
+        The old compaction snapshotted *outside* the critical section, so
+        an event appended between the snapshot and the ``os.replace`` was
+        silently dropped.  With the callable form, an appender must block
+        for the whole snapshot+swap, then land in the fresh journal.
+        """
+        journal = JobJournal(str(tmp_path / "j.jsonl"))
+        in_snapshot = threading.Event()
+        release = threading.Event()
+
+        def snapshot_source():
+            in_snapshot.set()
+            release.wait(5)
+            return [{"id": "job-snap"}]
+
+        rotator = threading.Thread(
+            target=lambda: journal.rotate(snapshot_source)
+        )
+        rotator.start()
+        assert in_snapshot.wait(5)
+        appended = threading.Event()
+
+        def append_late():
+            journal.append(
+                {"event": "submit", "job": {"id": "job-late"}}
+            )
+            appended.set()
+
+        appender = threading.Thread(target=append_late)
+        appender.start()
+        time.sleep(0.1)
+        assert not appended.is_set(), (
+            "an append slipped in while the snapshot was being taken"
+        )
+        release.set()
+        rotator.join(5)
+        appender.join(5)
+        assert appended.is_set()
+        events = journal.replay()
+        assert events[0]["event"] == "snapshot"
+        assert events[1]["job"]["id"] == "job-late"  # after the swap, kept
+        journal.close()
+
+    def test_concurrent_appends_survive_auto_rotation(self, tmp_path):
+        """Stress the append/auto-rotate race: no event is ever dropped.
+
+        Mirrors the service wiring: appends happen under a shared RLock
+        and the snapshot callback re-enters that same lock (the reason it
+        must be an RLock), while a tiny ``rotate_after`` forces rotation
+        from inside many of the appends.
+        """
+        lock = threading.RLock()
+        state: dict[str, dict] = {}
+
+        def snapshot_source():
+            with lock:  # re-entered from inside append's critical section
+                return [dict(record) for record in state.values()]
+
+        journal = JobJournal(
+            str(tmp_path / "j.jsonl"), rotate_after=7,
+            snapshot_source=snapshot_source,
+        )
+
+        def writer(prefix):
+            for index in range(50):
+                job_id = f"{prefix}-{index}"
+                with lock:
+                    state[job_id] = {"id": job_id}
+                    journal.append(
+                        {"event": "submit", "job": {"id": job_id}}
+                    )
+
+        threads = [
+            threading.Thread(target=writer, args=(f"w{n}",))
+            for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+            assert not thread.is_alive(), "appender deadlocked in rotation"
+        folded = JobJournal.fold(journal.replay(), ValidationJob.from_dict)
+        assert set(folded) == set(state), "rotation dropped appended events"
         journal.close()
 
     def test_replay_missing_file_is_empty(self, tmp_path):

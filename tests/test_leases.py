@@ -1,0 +1,691 @@
+"""Multi-process job execution (ISSUE 7): leases, partitions, webhooks.
+
+The contracts under test:
+
+* **leases** — ``O_CREAT|O_EXCL`` claim arbitration admits exactly one
+  claimant; an expired lease file does *not* permit claim-through (only
+  the reaper breaks it, so the retry budget is accounted once); renewal
+  and release are fenced on (worker, epoch);
+* **partitioned replay** — :func:`fold_merged` applies worker-partition
+  ``claim``/``terminal`` events under epoch fencing: interleaved epochs,
+  duplicate claims, zombie results after a re-queue, and a torn final
+  line in one partition all fold to the same deterministic job records;
+* **reaper** — a RUNNING job whose lease lapses is re-queued within the
+  ``max_requeues`` budget and parked as terminal EXPIRED beyond it, on an
+  injectable wall clock;
+* **recovery** — a coordinator restart keeps a RUNNING job whose worker
+  still holds a fresh lease, and re-queues one whose lease is stale;
+* **webhooks** — terminal records POST to ``callback_url`` with
+  exponential-backoff retries and a dead-letter ring; pending deliveries
+  survive a restart;
+* **chaos** — SIGKILLing a worker process mid-job re-queues the job
+  exactly once and the eventual verdict fingerprint is byte-identical to
+  an undisturbed direct run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.session import ValidationSession
+from repro.runtime import set_clock
+from repro.jobs import (
+    JobDirectory,
+    JobJournal,
+    JobService,
+    JobState,
+    LeaseStore,
+    ValidationJob,
+    fold_merged,
+    read_events,
+)
+from repro.jobs.journal import apply_worker_event
+from repro.jobs.model import report_fingerprint_digest
+from repro.jobs.webhook import WebhookDispatcher
+from repro.jobs.worker import ExternalWorker
+
+SPEC = "$s.Timeout -> int & [1, 60]\n$s.Flag -> bool\n$s.Name -> nonempty\n"
+GOOD_INI = "[s]\nTimeout = 30\nFlag = true\nName = web\n"
+
+
+@pytest.fixture(autouse=True)
+def pristine_clock():
+    previous = set_clock(None)
+    yield
+    set_clock(previous)
+
+
+class WallClock:
+    """Injectable wall clock for cross-process lease deadlines."""
+
+    def __init__(self, now: float = 1_000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def inline_sources(text=GOOD_INI):
+    return [{"format": "ini", "text": text, "source": "inline.ini"}]
+
+
+def direct_fingerprint(spec=SPEC, text=GOOD_INI) -> str:
+    session = ValidationSession()
+    session.load_text("ini", text, source="inline.ini")
+    return report_fingerprint_digest(session.validate(spec))
+
+
+def shared_service(tmp_path, clock=None, **kwargs):
+    kwargs.setdefault("workers", 0)
+    kwargs.setdefault("start", False)
+    kwargs.setdefault("lease_ttl", 10.0)
+    if clock is not None:
+        kwargs.setdefault("time_fn", clock)
+    return JobService(journal_dir=str(tmp_path / "jobsdir"), **kwargs)
+
+
+def simulate_claim(service, job, worker="sim"):
+    """What a worker process does: win the lease, journal the claim."""
+    lease = service.leases.try_claim(job.id, worker, job.epoch + 1)
+    assert lease is not None, f"{worker} failed to claim {job.id}"
+    partition = JobJournal(service.directory.worker_partition(worker))
+    partition.append({
+        "event": "claim", "id": job.id, "worker": worker,
+        "epoch": lease.epoch, "at": service._time(),
+    })
+    partition.close()
+    return lease
+
+
+def simulate_terminal(service, job, lease, worker="sim",
+                      state=JobState.DONE, result=None, release=True):
+    partition = JobJournal(service.directory.worker_partition(worker))
+    partition.append({
+        "event": "terminal", "id": job.id, "worker": worker,
+        "epoch": lease.epoch, "state": state, "result": result,
+        "error": "", "at": service._time(),
+    })
+    partition.close()
+    if release:
+        service.leases.release(lease)
+
+
+# ---------------------------------------------------------------------------
+# Lease store
+# ---------------------------------------------------------------------------
+
+
+def test_exactly_one_claimant_wins(tmp_path):
+    directory = JobDirectory(str(tmp_path)).ensure()
+    clock = WallClock()
+    store = LeaseStore(directory, ttl=5.0, time_fn=clock)
+    first = store.try_claim("job-1", "alpha", 1)
+    second = store.try_claim("job-1", "beta", 1)
+    assert first is not None and second is None
+    assert store.read("job-1").worker == "alpha"
+
+
+def test_expired_lease_does_not_permit_claim_through(tmp_path):
+    directory = JobDirectory(str(tmp_path)).ensure()
+    clock = WallClock()
+    store = LeaseStore(directory, ttl=1.0, time_fn=clock)
+    assert store.try_claim("job-1", "alpha", 1) is not None
+    clock.advance(5.0)  # well past the deadline
+    assert [lease.job_id for lease in store.expired()] == ["job-1"]
+    # still no claim-through: expiry accounting belongs to the reaper
+    assert store.try_claim("job-1", "beta", 2) is None
+    store.break_lease("job-1")
+    assert store.try_claim("job-1", "beta", 2) is not None
+
+
+def test_renewal_is_fenced_after_break(tmp_path):
+    directory = JobDirectory(str(tmp_path)).ensure()
+    clock = WallClock()
+    store = LeaseStore(directory, ttl=2.0, time_fn=clock)
+    lease = store.try_claim("job-1", "alpha", 1)
+    clock.advance(1.0)
+    assert store.renew(lease)
+    assert store.read("job-1").deadline == pytest.approx(clock.now + 2.0)
+    # the reaper breaks the lease and someone else claims at epoch 2
+    store.break_lease("job-1")
+    assert store.try_claim("job-1", "beta", 2) is not None
+    assert not store.renew(lease), "the fenced holder must not renew"
+    # release by the fenced holder must not drop beta's lease either
+    store.release(lease)
+    assert store.read("job-1").worker == "beta"
+
+
+def test_worker_presence_heartbeats(tmp_path):
+    directory = JobDirectory(str(tmp_path)).ensure()
+    clock = WallClock()
+    store = LeaseStore(directory, ttl=2.0, time_fn=clock)
+    store.announce("w1", jobs_done=3)
+    rows = store.workers()
+    assert rows[0]["id"] == "w1" and rows[0]["alive"]
+    assert rows[0]["jobs_done"] == 3
+    clock.advance(10.0)
+    assert not store.workers()[0]["alive"]
+    store.retire("w1")
+    assert store.workers() == []
+
+
+def test_directory_publishes_specs_for_workers(tmp_path):
+    directory = JobDirectory(str(tmp_path)).ensure()
+    directory.publish_spec("service", SPEC)
+    assert directory.read_spec("service") == SPEC
+    assert directory.read_spec("missing") is None
+
+
+# ---------------------------------------------------------------------------
+# Partitioned replay (fold_merged)
+# ---------------------------------------------------------------------------
+
+
+def coordinator_submit(job_id, **fields):
+    record = ValidationJob(id=job_id, spec_text=SPEC).to_dict()
+    record.update(fields)
+    return {"event": "submit", "job": record}
+
+
+def test_fold_merged_interleaved_epochs(tmp_path):
+    """A requeue between two workers' attempts folds to the second win."""
+    coordinator = [
+        coordinator_submit("j1"),
+        # the coordinator absorbed w1's claim, then re-queued on expiry;
+        # the epoch is *kept* so w1's stale events are fenced
+        {"event": "update", "id": "j1",
+         "fields": {"state": "RUNNING", "epoch": 1, "worker": "w1"}},
+        {"event": "update", "id": "j1",
+         "fields": {"state": "QUEUED", "requeues": 1, "started_at": None}},
+    ]
+    streams = {
+        "w1": [
+            {"event": "claim", "id": "j1", "worker": "w1", "epoch": 1},
+            {"event": "terminal", "id": "j1", "worker": "w1", "epoch": 1,
+             "state": "DONE", "result": {"verdict": "admit"}, "error": ""},
+        ],
+        "w2": [
+            {"event": "claim", "id": "j1", "worker": "w2", "epoch": 2},
+            {"event": "terminal", "id": "j1", "worker": "w2", "epoch": 2,
+             "state": "FAILED", "result": None, "error": "boom"},
+        ],
+    }
+    jobs = fold_merged(coordinator, streams, ValidationJob.from_dict)
+    job = jobs["j1"]
+    # w1's zombie DONE is fenced out; w2's epoch-2 result is the truth
+    assert job.state == JobState.FAILED
+    assert job.worker == "w2" and job.epoch == 2
+    assert job.error == "boom"
+
+
+def test_fold_merged_duplicate_claims_are_idempotent():
+    coordinator = [coordinator_submit("j1")]
+    claim = {"event": "claim", "id": "j1", "worker": "w1", "epoch": 1}
+    jobs = fold_merged(
+        coordinator,
+        {"w1": [claim, dict(claim)]},
+        ValidationJob.from_dict,
+    )
+    job = jobs["j1"]
+    assert job.state == JobState.RUNNING
+    assert job.attempts == 1, "a replayed claim must not double-count"
+
+
+def test_fold_merged_is_deterministic_across_partition_order():
+    """Two racing same-epoch claims resolve by partition name, always."""
+    coordinator = [coordinator_submit("j1")]
+    claim_a = {"event": "claim", "id": "j1", "worker": "a", "epoch": 1}
+    claim_b = {"event": "claim", "id": "j1", "worker": "b", "epoch": 1}
+    one = fold_merged(coordinator, {"a": [claim_a], "b": [claim_b]},
+                      ValidationJob.from_dict)
+    coordinator = [coordinator_submit("j1")]
+    two = fold_merged(coordinator, {"b": [claim_b], "a": [claim_a]},
+                      ValidationJob.from_dict)
+    assert one["j1"].worker == two["j1"].worker == "a"
+
+
+def test_fold_merged_drops_torn_final_line_in_one_partition(tmp_path):
+    """A worker killed mid-append tears only its own trailing line."""
+    directory = JobDirectory(str(tmp_path)).ensure()
+    coordinator = JobJournal(directory.coordinator_journal)
+    coordinator.append(coordinator_submit("j1"))
+    coordinator.close()
+    partition_path = directory.worker_partition("w1")
+    claim = json.dumps({"event": "claim", "id": "j1", "worker": "w1",
+                        "epoch": 1})
+    terminal = json.dumps({"event": "terminal", "id": "j1", "worker": "w1",
+                           "epoch": 1, "state": "DONE"})
+    with open(partition_path, "w", encoding="utf-8") as handle:
+        handle.write(claim + "\n")
+        handle.write(terminal[: len(terminal) // 2])  # crash mid-write
+    streams = {
+        name: read_events(path)
+        for name, path in directory.partitions().items()
+    }
+    jobs = fold_merged(read_events(directory.coordinator_journal), streams,
+                       ValidationJob.from_dict)
+    job = jobs["j1"]
+    # the claim survived, the torn terminal did not: the job is mid-run,
+    # which is exactly what the reaper's lease check is for
+    assert job.state == JobState.RUNNING
+    assert job.epoch == 1 and job.worker == "w1"
+
+
+def test_apply_worker_event_fences_stale_epochs():
+    job = ValidationJob(id="j1", spec_text=SPEC)
+    assert apply_worker_event(
+        job, {"event": "claim", "id": "j1", "worker": "w1", "epoch": 1}
+    )
+    # a claim that skips an epoch, or repeats one, is refused
+    assert not apply_worker_event(
+        job, {"event": "claim", "id": "j1", "worker": "w2", "epoch": 3}
+    )
+    assert not apply_worker_event(
+        job, {"event": "terminal", "id": "j1", "worker": "w2", "epoch": 1,
+              "state": "DONE"}
+    ), "a terminal from a different worker at the same epoch is refused"
+    assert apply_worker_event(
+        job, {"event": "terminal", "id": "j1", "worker": "w1", "epoch": 1,
+              "state": "DONE"}
+    )
+    assert job.state == JobState.DONE
+
+
+# ---------------------------------------------------------------------------
+# The reaper: absorb, expire, re-queue, EXPIRED budget
+# ---------------------------------------------------------------------------
+
+
+def test_reaper_absorbs_external_result(tmp_path):
+    clock = WallClock()
+    service = shared_service(tmp_path, clock)
+    job, __ = service.submit(spec=SPEC, sources=inline_sources())
+    lease = simulate_claim(service, job)
+    service.reaper_tick()
+    assert job.state == JobState.RUNNING
+    assert job.worker == "sim" and job.epoch == 1
+    simulate_terminal(service, job, lease,
+                      result={"verdict": "admit", "passed": True})
+    summary = service.reaper_tick()
+    assert summary["absorbed"] == 1
+    assert job.state == JobState.DONE
+    assert service.workers_payload()["workers"] == []  # sim never announced
+    service.close(drain=False)
+
+
+def test_lease_expiry_requeues_then_expires_on_budget(tmp_path):
+    clock = WallClock()
+    service = shared_service(tmp_path, clock, max_requeues=1)
+    job, __ = service.submit(spec=SPEC, sources=inline_sources())
+
+    simulate_claim(service, job, worker="crash-1")
+    service.reaper_tick()
+    assert job.state == JobState.RUNNING
+    clock.advance(service.lease_ttl + 1.0)  # the worker is dead
+    summary = service.reaper_tick()
+    assert summary["requeued"] == 1 and summary["expired"] == 0
+    assert job.state == JobState.QUEUED
+    assert job.requeues == 1
+    assert job.epoch == 1, "the re-queue keeps the epoch as the fence"
+
+    # ticking again must not double-requeue (exactly-once accounting)
+    service.reaper_tick()
+    assert job.requeues == 1
+
+    simulate_claim(service, job, worker="crash-2")
+    service.reaper_tick()
+    assert job.state == JobState.RUNNING and job.epoch == 2
+    clock.advance(service.lease_ttl + 1.0)
+    summary = service.reaper_tick()
+    assert summary["expired"] == 1
+    assert job.state == JobState.EXPIRED
+    assert "retry budget exhausted" in job.error
+    assert service.stats()["leases"]["expired_jobs"] == 1
+    service.close(drain=False)
+
+
+def test_zombie_result_after_requeue_is_fenced(tmp_path):
+    clock = WallClock()
+    service = shared_service(tmp_path, clock, max_requeues=2)
+    job, __ = service.submit(spec=SPEC, sources=inline_sources())
+    zombie_lease = simulate_claim(service, job, worker="zombie")
+    service.reaper_tick()
+    clock.advance(service.lease_ttl + 1.0)
+    service.reaper_tick()
+    assert job.state == JobState.QUEUED
+    # the zombie wakes up and writes its result at the stale epoch
+    simulate_terminal(service, job, zombie_lease, worker="zombie",
+                      result={"verdict": "admit"}, release=False)
+    service.reaper_tick()
+    assert job.state == JobState.QUEUED, "stale-epoch terminal must be fenced"
+    # the legitimate second attempt completes normally
+    lease = simulate_claim(service, job, worker="rescuer")
+    service.reaper_tick()
+    simulate_terminal(service, job, lease, worker="rescuer",
+                      result={"verdict": "admit"})
+    service.reaper_tick()
+    assert job.state == JobState.DONE and job.worker == "rescuer"
+    assert job.requeues == 1 and job.attempts == 2
+    service.close(drain=False)
+
+
+def test_orphan_lease_without_claim_event_is_swept(tmp_path):
+    """A worker that died between the lease file and the claim event."""
+    clock = WallClock()
+    service = shared_service(tmp_path, clock)
+    job, __ = service.submit(spec=SPEC, sources=inline_sources())
+    assert service.leases.try_claim(job.id, "ghost", 1) is not None
+    clock.advance(service.lease_ttl + 1.0)
+    service.reaper_tick()
+    assert job.state == JobState.QUEUED
+    assert job.requeues == 0, "no attempt started, no budget spent"
+    assert service.leases.read(job.id) is None, "the orphan lease is gone"
+    service.close(drain=False)
+
+
+def test_inprocess_pool_claims_leases_too(tmp_path):
+    """workers=N in shared mode competes under the same lease rules."""
+    service = JobService(
+        journal_dir=str(tmp_path / "jobsdir"), workers=1,
+        lease_ttl=5.0, reaper_interval=0.05,
+    )
+    try:
+        job, __ = service.submit(spec=SPEC, sources=inline_sources())
+        done = service.wait(job.id, timeout=30)
+        assert done.state == JobState.DONE
+        assert done.epoch == 1
+        assert done.worker == service.worker_id
+        assert done.result["fingerprint"] == direct_fingerprint()
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator restart (shared-mode recovery)
+# ---------------------------------------------------------------------------
+
+
+def test_recovery_keeps_running_job_with_fresh_lease(tmp_path):
+    clock = WallClock()
+    first = shared_service(tmp_path, clock)
+    job, __ = first.submit(spec=SPEC, sources=inline_sources())
+    lease = simulate_claim(first, job)
+    first.reaper_tick()
+    first.journal.close()  # crash: no clean shutdown
+
+    second = shared_service(tmp_path, clock)
+    recovered = second.get(job.id)
+    assert recovered.state == JobState.RUNNING, (
+        "a fresh lease means the worker outlived the coordinator"
+    )
+    assert recovered.requeues == 0
+    # ... and that worker's eventual result is still honored
+    simulate_terminal(second, recovered, lease,
+                      result={"verdict": "admit"})
+    second.reaper_tick()
+    assert recovered.state == JobState.DONE
+    second.close(drain=False)
+
+
+def test_recovery_requeues_running_job_with_stale_lease(tmp_path):
+    clock = WallClock()
+    first = shared_service(tmp_path, clock, max_requeues=1)
+    job, __ = first.submit(spec=SPEC, sources=inline_sources())
+    simulate_claim(first, job)
+    first.reaper_tick()
+    first.journal.close()
+
+    clock.advance(first.lease_ttl + 1.0)  # everyone died
+    second = shared_service(tmp_path, clock, max_requeues=1)
+    recovered = second.get(job.id)
+    assert recovered.state == JobState.QUEUED
+    assert recovered.requeues == 1
+    assert recovered.epoch == 1
+
+    # a third restart past the budget parks it
+    second.journal.close()
+    partition = JobJournal(second.directory.worker_partition("sim2"))
+    lease = second.leases.try_claim(job.id, "sim2", recovered.epoch + 1)
+    partition.append({"event": "claim", "id": job.id, "worker": "sim2",
+                      "epoch": lease.epoch, "at": clock()})
+    partition.close()
+    clock.advance(second.lease_ttl + 1.0)
+    third = shared_service(tmp_path, clock, max_requeues=1)
+    parked = third.get(job.id)
+    assert parked.state == JobState.EXPIRED
+    assert "retry budget exhausted" in parked.error
+    third.close(drain=False)
+
+
+# ---------------------------------------------------------------------------
+# Completion webhooks
+# ---------------------------------------------------------------------------
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_webhook_delivers_terminal_record(tmp_path):
+    delivered = []
+    service = JobService(
+        journal_path=str(tmp_path / "journal.jsonl"), workers=1,
+        webhook_post=lambda url, payload: delivered.append((url, payload)),
+        webhook_base_delay=0.01,
+    )
+    try:
+        job, __ = service.submit(
+            spec=SPEC, sources=inline_sources(),
+            callback_url="http://callback.example/hook",
+        )
+        service.wait(job.id, timeout=30)
+        assert wait_until(lambda: delivered)
+        url, payload = delivered[0]
+        assert url == "http://callback.example/hook"
+        # the webhook body IS the GET /jobs/<id> record
+        assert payload["id"] == job.id
+        assert payload["state"] == JobState.DONE
+        assert payload["result"]["fingerprint"] == direct_fingerprint()
+        assert wait_until(
+            lambda: (service.get(job.id).webhook or {}).get("state")
+            == "delivered"
+        )
+        assert service.webhooks.stats()["delivered"] == 1
+    finally:
+        service.close()
+
+
+def test_webhook_retries_with_backoff_then_delivers():
+    calls = []
+
+    def flaky(url, payload):
+        calls.append(url)
+        if len(calls) < 3:
+            raise OSError("connection refused")
+
+    results = []
+    dispatcher = WebhookDispatcher(
+        post_fn=flaky, max_attempts=5, base_delay=0.01,
+        on_result=lambda *args: results.append(args),
+    )
+    try:
+        dispatcher.submit("j1", "http://x.example/", {"id": "j1"})
+        assert wait_until(lambda: dispatcher.delivered == 1)
+        assert len(calls) == 3
+        assert results[-1][:2] == ("j1", "delivered")
+    finally:
+        dispatcher.close()
+
+
+def test_webhook_dead_letters_after_budget():
+    def always_down(url, payload):
+        raise OSError("receiver answered HTTP 503")
+
+    results = []
+    dispatcher = WebhookDispatcher(
+        post_fn=always_down, max_attempts=2, base_delay=0.01,
+        on_result=lambda *args: results.append(args),
+    )
+    try:
+        dispatcher.submit("j1", "http://down.example/", {"id": "j1"})
+        assert wait_until(lambda: dispatcher.dead_lettered == 1)
+        assert results[-1][:2] == ("j1", "dead-letter")
+        parked = dispatcher.stats()["dead_letters"]
+        assert parked[0]["job"] == "j1" and parked[0]["attempts"] == 2
+        assert "503" in parked[0]["last_error"]
+    finally:
+        dispatcher.close()
+
+
+def test_pending_webhook_survives_restart(tmp_path):
+    """A delivery in flight at the crash re-enqueues from the journal."""
+    journal_path = tmp_path / "journal.jsonl"
+    job = ValidationJob(
+        id="job-restart", spec_text=SPEC, state=JobState.DONE,
+        callback_url="http://callback.example/hook",
+        result={"verdict": "admit"},
+        webhook={"state": "pending", "attempts": 0},
+    )
+    journal_path.write_text(
+        json.dumps({"event": "submit", "job": job.to_dict()}) + "\n"
+    )
+    delivered = []
+    service = JobService(
+        journal_path=str(journal_path), workers=0,
+        webhook_post=lambda url, payload: delivered.append(payload),
+        webhook_base_delay=0.01,
+    )
+    try:
+        assert wait_until(lambda: delivered)
+        assert delivered[0]["id"] == "job-restart"
+        assert wait_until(
+            lambda: (service.get("job-restart").webhook or {}).get("state")
+            == "delivered"
+        )
+    finally:
+        service.close(drain=False)
+
+
+def test_callback_url_is_validated(tmp_path):
+    service = shared_service(tmp_path)
+    with pytest.raises(ValueError, match="http"):
+        service.submit(spec=SPEC, sources=inline_sources(),
+                       callback_url="ftp://nope")
+    with pytest.raises(ValueError, match="callback_url"):
+        service.submit_payload({"spec": SPEC, "callback_url": 7})
+    service.close(drain=False)
+
+
+# ---------------------------------------------------------------------------
+# Chaos: SIGKILL a worker process mid-job
+# ---------------------------------------------------------------------------
+
+
+def spawn_worker(journal_dir, worker_id, env_extra=None, **flags):
+    source_root = os.path.join(os.path.dirname(__file__), "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (os.path.abspath(source_root), env.get("PYTHONPATH", ""))
+        if part
+    )
+    env.update(env_extra or {})
+    command = [
+        sys.executable, "-c",
+        "import sys; from repro.console.cli import main; "
+        "sys.exit(main(sys.argv[1:]))",
+        "worker", "--journal", str(journal_dir), "--id", worker_id,
+        "--lease-ttl", "0.6", "--poll", "0.02",
+    ]
+    for flag, value in flags.items():
+        command += [f"--{flag.replace('_', '-')}", str(value)]
+    return subprocess.Popen(command, env=env)
+
+
+def test_sigkilled_worker_requeues_exactly_once(tmp_path):
+    """The acceptance property: kill -9 mid-job loses nothing, duplicates
+    nothing, and the eventual verdict matches an undisturbed run."""
+    hold_file = tmp_path / "hold"
+    hold_file.write_text("")
+    service = JobService(
+        journal_dir=str(tmp_path / "jobsdir"), workers=0,
+        lease_ttl=0.6, reaper_interval=0.05, max_requeues=2,
+    )
+    victim = rescuer = None
+    try:
+        victim = spawn_worker(
+            service.directory.root, "victim",
+            env_extra={"CONFVALLEY_WORKER_HOLD_FILE": str(hold_file)},
+        )
+        job, __ = service.submit(spec=SPEC, sources=inline_sources())
+        assert wait_until(
+            lambda: service.get(job.id).state == JobState.RUNNING, timeout=30
+        ), "the victim never claimed the job"
+        assert service.get(job.id).worker == "victim"
+
+        os.kill(victim.pid, signal.SIGKILL)  # mid-job, lease still live
+        victim.wait(timeout=10)
+        hold_file.unlink()
+
+        rescuer = spawn_worker(service.directory.root, "rescuer", max_jobs=1)
+        done = service.wait(job.id, timeout=60)
+
+        assert done.state == JobState.DONE
+        assert done.worker == "rescuer"
+        assert done.requeues == 1, "re-queued exactly once"
+        assert done.attempts == 2
+        assert done.epoch == 2, "the rescue ran under a fenced new epoch"
+        assert done.result["fingerprint"] == direct_fingerprint()
+        rescuer.wait(timeout=30)
+    finally:
+        for process in (victim, rescuer):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        service.close(drain=False)
+
+
+def test_external_worker_in_thread_round_trip(tmp_path):
+    """The worker loop itself (no subprocess): claim → execute → absorb."""
+    service = JobService(
+        journal_dir=str(tmp_path / "jobsdir"), workers=0,
+        lease_ttl=5.0, reaper_interval=0.05,
+    )
+    worker = ExternalWorker(
+        service.directory.root, worker_id="threaded", poll=0.02,
+        lease_ttl=5.0,
+    )
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    try:
+        service.register_spec("service", SPEC)
+        job, __ = service.submit(
+            spec_name="service", sources=inline_sources()
+        )
+        done = service.wait(job.id, timeout=30)
+        assert done.state == JobState.DONE
+        assert done.worker == "threaded"
+        assert done.result["fingerprint"] == direct_fingerprint()
+        fleet = service.workers_payload()
+        row = next(r for r in fleet["workers"] if r["id"] == "threaded")
+        assert row["alive"] and row["counts"] == {"claims": 1, "done": 1}
+    finally:
+        worker.stop()
+        thread.join(timeout=10)
+        service.close(drain=False)
