@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos obs-smoke http-smoke jobs-smoke workers-smoke delta-smoke bench-smoke bench ci
+.PHONY: test chaos obs-smoke http-smoke jobs-smoke workers-smoke delta-smoke lifecycle-smoke bench-smoke bench ci
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -54,6 +54,14 @@ workers-smoke:
 delta-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/delta_smoke.py
 
+## Inferred-spec lifecycle smoke: start `service --shadow` as a real
+## subprocess and drive the full arc over HTTP + the CLI — re-inference
+## registers candidates, clean scans promote, induced drift demotes the
+## enforced spec, the operator re-promotes the survivor, and a restart
+## on the same journal replays the exact enforced set.
+lifecycle-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/lifecycle_smoke.py
+
 ## Run every benchmark on a tiny corpus — correctness of the bench
 ## harness itself, not a measurement.  See benchmarks/smoke.sh.
 bench-smoke:
@@ -65,6 +73,6 @@ bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
 
 ## What CI runs: the tier-1 suite, the chaos suite, the observability
-## gate, the live-endpoint, job-service, multi-process worker and
-## watch-mode delta smokes, and the benchmark smoke pass.
-ci: test chaos obs-smoke http-smoke jobs-smoke workers-smoke delta-smoke bench-smoke
+## gate, the live-endpoint, job-service, multi-process worker,
+## watch-mode delta and lifecycle smokes, and the benchmark smoke pass.
+ci: test chaos obs-smoke http-smoke jobs-smoke workers-smoke delta-smoke lifecycle-smoke bench-smoke

@@ -38,6 +38,11 @@ OVERHEAD_CEILING = 1.03
 #: per-spec analytics adds two clock reads + one dict update per statement;
 #: the documented budget is <5 % wall clock on the Type A corpus
 ANALYTICS_OVERHEAD_CEILING = 1.05
+#: the shadow lane re-validates its candidate set against the same store;
+#: for a steady-state candidate population (a handful of specs trickling
+#: out of re-inference) the documented budget is <5 % of the scan
+SHADOW_OVERHEAD_CEILING = 1.05
+SHADOW_CANDIDATES = 5
 
 
 def best_of(fn, rounds=ROUNDS):
@@ -168,6 +173,84 @@ def test_analytics_overhead(benchmark, emit, type_a_store):
         assert ratio < ANALYTICS_OVERHEAD_CEILING, (
             f"analytics overhead {ratio - 1:.1%} exceeds "
             f"{ANALYTICS_OVERHEAD_CEILING - 1:.0%}"
+        )
+
+
+def test_shadow_overhead(benchmark, emit, type_a_store):
+    """The shadow lane (docs/LIFECYCLE.md) stays under 5 % of the scan for
+    a steady-state candidate population and never changes the verdict."""
+    from repro import InferenceEngine
+    from repro.lifecycle import SpecLifecycleManager, constraint_spec_id
+    from repro.lifecycle.model import SpecRecord
+
+    statements = optimize_statements(
+        list(parse(EXPERT_SPECS["type_a"]).statements)
+    )
+    inferred = InferenceEngine().infer(type_a_store)
+    assert len(inferred.constraints) >= SHADOW_CANDIDATES
+
+    def manager_with(count):
+        manager = SpecLifecycleManager()
+        for constraint in inferred.constraints[:count]:
+            spec_id = constraint_spec_id(constraint)
+            if spec_id in manager.records:
+                continue
+            manager.records[spec_id] = SpecRecord.new(
+                spec_id, constraint.to_cpl(),
+                constraint.kind, constraint.class_key,
+            )
+        return manager
+
+    def validate():
+        return ParallelValidator(
+            type_a_store, executor="serial", max_shards=MAX_SHARDS
+        ).validate_statements(statements)
+
+    def scan_with(manager):
+        report = validate()
+        if manager is not None:
+            manager.run_scan(type_a_store)
+        return report
+
+    def run_modes():
+        observability.disable()
+        validate()  # warm-up
+        populations = {"off": None,
+                       f"shadow ({SHADOW_CANDIDATES} specs)":
+                           manager_with(SHADOW_CANDIDATES),
+                       f"shadow ({4 * SHADOW_CANDIDATES} specs)":
+                           manager_with(4 * SHADOW_CANDIDATES)}
+        return {
+            label: best_of(lambda m=manager: scan_with(m))
+            for label, manager in populations.items()
+        }
+
+    rows = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    baseline_report, baseline_seconds = rows["off"]
+    table = []
+    for label, (report, seconds) in rows.items():
+        # the lane never touches the enforced report
+        assert report.fingerprint() == baseline_report.fingerprint(), label
+        table.append((
+            label,
+            f"{seconds:.3f}",
+            f"{seconds / baseline_seconds - 1:+.1%}"
+            if label != "off" else "baseline",
+        ))
+    emit(
+        "shadow_overhead",
+        format_table(["Shadow lane", "Seconds (best of 3)", "Overhead"], table)
+        + f"\n(Type A corpus, {type_a_store.instance_count} instances, "
+        f"{len(statements)} enforced statements, serial evaluation; "
+        "fingerprints identical in every mode)",
+    )
+
+    if type_a_store.instance_count >= OVERHEAD_GATE_INSTANCES:
+        __, shadow_seconds = rows[f"shadow ({SHADOW_CANDIDATES} specs)"]
+        ratio = shadow_seconds / baseline_seconds
+        assert ratio < SHADOW_OVERHEAD_CEILING, (
+            f"shadow-lane overhead {ratio - 1:.1%} exceeds "
+            f"{SHADOW_OVERHEAD_CEILING - 1:.0%}"
         )
 
 

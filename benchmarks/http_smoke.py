@@ -101,6 +101,7 @@ def main() -> int:
             "--source", f"ini:{config}",
             "--http", "127.0.0.1:0",
             "--jobs", "--workers", "1",
+            "--shadow",
             "--interval", "0.2",
         ],
         env=env,

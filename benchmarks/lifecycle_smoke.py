@@ -1,0 +1,252 @@
+"""End-to-end smoke test of the inferred-spec lifecycle.
+
+Starts ``confvalley service --shadow`` as a *subprocess* (exactly as the
+runbook in docs/OPERATIONS.md §4g describes) and drives the full arc
+over the real HTTP surface and the real CLI:
+
+* re-inference on the first scan registers candidates in SHADOW;
+* clean scans promote a candidate to ENFORCED (``--promote-after 2``);
+* an induced drift (the config key stops being an int) makes the now
+  *enforced* spec fail the verdict and demotes it back to SHADOW on the
+  same scan;
+* the operator re-promotes the survivor through ``confvalley specs``
+  after fixing the config, and the override lands in the history with
+  ``actor=operator``;
+* SIGTERM shuts down cleanly, and a *second* service started on the
+  same ``--lifecycle-journal`` replays the exact enforced set — the
+  restart-determinism guarantee across a real process boundary.
+
+Run directly (``make lifecycle-smoke``)::
+
+    PYTHONPATH=src python benchmarks/lifecycle_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+ANNOUNCEMENT = re.compile(r"operator endpoint: (http://\S+)")
+STARTUP_DEADLINE = 30.0
+POLL_DEADLINE = 30.0
+SHUTDOWN_DEADLINE = 10.0
+
+SPEC = "$fabric.Name -> nonempty\n"
+CONFIG = "[fabric]\nTimeout = {timeout}\nName = web\n"
+
+
+def wait_for_announcement(stderr) -> str:
+    deadline = time.monotonic() + STARTUP_DEADLINE
+    while time.monotonic() < deadline:
+        line = stderr.readline()
+        if not line:
+            raise AssertionError("service exited before announcing its URL")
+        sys.stderr.write("service| " + line)
+        match = ANNOUNCEMENT.search(line)
+        if match:
+            return match.group(1).rstrip("/")
+    raise AssertionError("no endpoint announcement within deadline")
+
+
+def drain(stderr) -> None:
+    """Keep the subprocess's stderr pipe from filling up."""
+    import threading
+
+    def pump():
+        for line in stderr:
+            sys.stderr.write("service| " + line)
+
+    threading.Thread(target=pump, daemon=True).start()
+
+
+def get_json(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def poll(predicate, what: str, deadline: float = POLL_DEADLINE):
+    """Poll ``predicate()`` until it returns a truthy value."""
+    until = time.monotonic() + deadline
+    while time.monotonic() < until:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.15)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def rewrite(path: Path, text: str) -> None:
+    path.write_text(text)
+    stat = os.stat(path)
+    os.utime(path, ns=(stat.st_atime_ns + 1_000_000,
+                       stat.st_mtime_ns + 1_000_000))
+
+
+def start_service(spec: Path, config: Path, journal: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "import sys; from repro.console.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "service", str(spec),
+            "--source", f"ini:{config}",
+            "--http", "127.0.0.1:0",
+            "--shadow", "--promote-after", "2", "--demote-drift", "0.05",
+            "--lifecycle-journal", str(journal),
+            "--interval", "0.1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    base = wait_for_announcement(process.stderr)
+    drain(process.stderr)
+    return process, base
+
+
+def run_cli(*args: str) -> tuple[int, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    completed = subprocess.run(
+        [
+            sys.executable, "-c",
+            "import sys; from repro.console.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            *args,
+        ],
+        env=env, capture_output=True, text=True, timeout=30,
+    )
+    return completed.returncode, completed.stdout + completed.stderr
+
+
+def stop(process) -> None:
+    process.send_signal(signal.SIGTERM)
+    code = process.wait(timeout=SHUTDOWN_DEADLINE)
+    assert code == 0, f"service exited {code} on SIGTERM"
+
+
+def enforced_ids(base: str) -> list[str]:
+    status, body = get_json(base + "/specs?state=enforced")
+    assert status == 200, body
+    return sorted(record["id"] for record in body["specs"])
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="confvalley-lifecycle-smoke-"))
+    spec = workdir / "spec.cpl"
+    config = workdir / "conf.ini"
+    journal = workdir / "lifecycle.jsonl"
+    spec.write_text(SPEC)
+    config.write_text(CONFIG.format(timeout=30))
+
+    process, base = start_service(spec, config, journal)
+    try:
+        # 1. re-inference on the first scan registered SHADOW candidates
+        body = poll(
+            lambda: (get_json(base + "/specs")[1] or {}).get("specs"),
+            "shadow candidates from the first scan",
+        )
+        target = next(
+            record["id"] for record in body
+            if record["kind"] == "type" and record["id"].endswith("Timeout")
+        )
+        print(f"ok candidates registered ({len(body)} specs, "
+              f"watching {target})")
+
+        # 2. clean scans promote (each edit forces a scan; values stay int)
+        timeout_value = 31
+
+        def promoted():
+            nonlocal timeout_value
+            if target in enforced_ids(base):
+                return True
+            rewrite(config, CONFIG.format(timeout=timeout_value))
+            timeout_value += 1
+            return False
+
+        poll(promoted, f"promotion of {target}")
+        print(f"ok {target} promoted after clean scans")
+
+        # 3. induced drift: the key stops being an int → the *enforced*
+        #    spec fails the verdict and is demoted on the same scan
+        rewrite(config, "[fabric]\nTimeout = not-an-int\nName = web\n")
+        poll(
+            lambda: get_json(base + f"/specs/{target}")[1]["state"] == "SHADOW",
+            f"demotion of {target}",
+        )
+        status, record = get_json(base + f"/specs/{target}")
+        assert status == 200
+        assert record["demotions"] == 1, record
+        assert record["last_drift"] > 0.05, record
+        print(f"ok {target} demoted on drift "
+              f"(last_drift={record['last_drift']:.3f})")
+
+        # 4. fix the config, then operator-promote the survivor via the CLI
+        rewrite(config, CONFIG.format(timeout=40))
+        poll(
+            lambda: get_json(base + "/stats")[1]["lifecycle"]["scan_seq"] > 0
+            and get_json(base + f"/specs/{target}")[1]["last_drift"] == 0.0,
+            "a clean scan after the fix",
+        )
+        code, output = run_cli("specs", base, "promote", target)
+        assert code == 0, output
+        assert "ENFORCED" in output, output
+        status, record = get_json(base + f"/specs/{target}")
+        assert record["state"] == "ENFORCED"
+        assert record["history"][-1]["actor"] == "operator", record["history"]
+        print(f"ok {target} re-promoted by operator via CLI")
+
+        # 5. the listing CLI renders the population
+        code, output = run_cli("specs", base, "list")
+        assert code == 0 and target in output, output
+
+        before = enforced_ids(base)
+        assert target in before
+        stop(process)
+        print("ok clean shutdown on SIGTERM")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=5)
+
+    # 6. restart on the same journal reproduces the enforced set exactly
+    process, base = start_service(spec, config, journal)
+    try:
+        after = poll(lambda: enforced_ids(base), "replayed enforced set")
+        assert after == before, f"enforced set diverged: {after} != {before}"
+        status, record = get_json(base + f"/specs/{target}")
+        assert record["state"] == "ENFORCED"
+        assert record["history"][-1]["actor"] == "operator"
+        print(f"ok restart replayed {len(after)} enforced spec(s), "
+              "operator override included")
+        stop(process)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=5)
+
+    print("lifecycle smoke: OK (infer -> shadow -> promote -> drift -> "
+          "demote -> operator re-promote -> restart determinism)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,10 @@ Public surface:
 * :mod:`repro.observability` — pipeline tracing, the metrics registry and
   exposition endpoints; nil-cost no-op singletons until
   ``observability.enable()``
+* :mod:`repro.lifecycle` — inferred-spec lifecycle: the shadow lane,
+  drift-driven promotion/demotion (:class:`PromotionPolicy`,
+  :class:`SpecLifecycleManager`) and continuous re-inference
+  (:class:`ReInferencer`)
 """
 
 from .core import (
@@ -62,6 +66,14 @@ from .resilience import (
 )
 from . import observability
 from .observability import MetricsRegistry, Tracer
+from .lifecycle import (
+    PromotionPolicy,
+    ReInferencer,
+    ShadowLane,
+    SpecLifecycleManager,
+    SpecRecord,
+    SpecState,
+)
 from .runtime import FakeClock, FakeFileSystem, HostRuntime, MonotonicClock, StaticRuntime
 from .service import ScanResult, SourceSpec, ValidationService
 
@@ -112,5 +124,11 @@ __all__ = [
     "ConfigRepository",
     "Snapshot",
     "ChangeSet",
+    "SpecLifecycleManager",
+    "PromotionPolicy",
+    "ReInferencer",
+    "ShadowLane",
+    "SpecRecord",
+    "SpecState",
     "__version__",
 ]

@@ -254,6 +254,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="lease-expiry re-queues tolerated per job before it is "
              "parked as EXPIRED (default 2; implies --jobs)",
     )
+    service.add_argument(
+        "--shadow", action="store_true",
+        help="inferred-spec lifecycle: infer candidate specs from the "
+             "scanned corpus and run them in a shadow lane alongside every "
+             "scan — violations recorded, never in the verdict; stable "
+             "specs auto-promote to enforced (repro.lifecycle, implied by "
+             "any --promote-after/--demote-drift/--reinfer-growth/"
+             "--lifecycle-journal knob; see docs/LIFECYCLE.md)",
+    )
+    service.add_argument(
+        "--promote-after", type=int, default=None, metavar="N",
+        help="consecutive clean scans before a shadow spec is promoted "
+             "into the enforced set (default 3; implies --shadow)",
+    )
+    service.add_argument(
+        "--demote-drift", type=float, default=None, metavar="RATE",
+        help="per-scan misfire rate (violations/instances) above which a "
+             "scan counts against a spec; enforced specs demote on it "
+             "(default 0.05; implies --shadow)",
+    )
+    service.add_argument(
+        "--reinfer-growth", type=float, default=None, metavar="FRACTION",
+        help="re-run inference when the corpus grew by this fraction "
+             "since the last run, with adaptive early-stopping "
+             "(default 0.25; implies --shadow)",
+    )
+    service.add_argument(
+        "--lifecycle-journal", default=None, metavar="PATH",
+        help="durable lifecycle journal: promotions/demotions survive "
+             "restarts (JSON-lines + atomic compaction; implies --shadow)",
+    )
 
     worker = sub.add_parser(
         "worker",
@@ -442,6 +473,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cancel.add_argument("url", metavar="URL", help="service base URL")
     cancel.add_argument("job_id", metavar="JOB_ID", help="the job to cancel")
+
+    specs = sub.add_parser(
+        "specs",
+        help="inspect and steer a running service's inferred-spec "
+             "lifecycle (GET/POST /specs, see `service --shadow`)",
+    )
+    specs.add_argument("url", metavar="URL", help="service base URL")
+    specs.add_argument(
+        "action", choices=("list", "promote", "demote", "retire", "history"),
+        help="list all tracked specs, show one spec's transition history, "
+             "or manually promote/demote/retire one (overrides are "
+             "journalled with an `operator` actor)",
+    )
+    specs.add_argument(
+        "spec_id", nargs="?", default=None, metavar="SPEC_ID",
+        help="the spec to act on (required for everything except list)",
+    )
+    specs.add_argument(
+        "--state", default=None, choices=("shadow", "enforced", "retired"),
+        help="filter `list` to one lifecycle state",
+    )
+    specs.add_argument(
+        "--json", action="store_true",
+        help="print the raw endpoint JSON instead of the table",
+    )
 
     gate = sub.add_parser(
         "gate",
@@ -692,6 +748,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_jobs(args)
     if args.command == "cancel":
         return _run_cancel(args)
+    if args.command == "specs":
+        return _run_specs(args)
     if args.command == "fmt":
         return _run_fmt(args)
     if args.command == "gate":
@@ -1076,6 +1134,68 @@ def _run_cancel(args) -> int:
     return 0
 
 
+def _run_specs(args) -> int:
+    """Inspect/steer a running service's inferred-spec lifecycle."""
+    import json as _json
+
+    base = args.url.rstrip("/")
+    if args.action != "list" and not args.spec_id:
+        raise SystemExit(f"specs {args.action} needs a SPEC_ID")
+    try:
+        if args.action == "list":
+            query = f"?state={args.state}" if args.state else ""
+            status, body = _http_json(f"{base}/specs{query}")
+        elif args.action == "history":
+            status, body = _http_json(f"{base}/specs/{args.spec_id}")
+        else:
+            status, body = _http_json(
+                f"{base}/specs/{args.spec_id}/{args.action}", payload={}
+            )
+    except _live_endpoint_errors() as exc:
+        print(_unreachable_message(base, exc), file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"specs {args.action} failed (HTTP {status}): "
+              f"{body.get('error', body)}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(body, indent=2, sort_keys=True))
+        return 0
+    if args.action == "list":
+        specs = body.get("specs", [])
+        if not specs:
+            print("no lifecycle-tracked specs"
+                  + (f" in state {args.state}" if args.state else ""))
+            return 0
+        width = max(len(record["id"]) for record in specs)
+        print(f"{'SPEC':<{width}}  {'STATE':<8} {'DRIFT':>7} {'SCANS':>5} "
+              f"{'STREAK':>6}  CPL")
+        for record in specs:
+            streak = (record["clean_streak"]
+                      or -record["dirty_streak"])
+            print(f"{record['id']:<{width}}  {record['state']:<8} "
+                  f"{record['drift']:>7.4f} {record['scans_observed']:>5} "
+                  f"{streak:>6}  {record['cpl']}")
+        counts = body.get("stats", {}).get("specs", {})
+        print(f"({counts.get('shadow', 0)} shadow, "
+              f"{counts.get('enforced', 0)} enforced, "
+              f"{counts.get('retired', 0)} retired)")
+        return 0
+    if args.action == "history":
+        print(f"{body['id']}: {body['state']} (revisions {body['revisions']}, "
+              f"drift {body['drift']:.4f} over {body['scans_observed']} scan(s))")
+        print(f"  cpl: {body['cpl']}")
+        for entry in body.get("history", []):
+            print(f"  #{entry['seq']} {entry['from']} → {entry['to']} "
+                  f"[{entry['action']}] by {entry['actor']}"
+                  + (f": {entry['reason']}" if entry.get("reason") else ""))
+        if not body.get("history"):
+            print("  (no transitions yet)")
+        return 0
+    print(f"{body['id']}: {body['state']}")
+    return 0
+
+
 def _run_worker(args) -> int:
     """Run one standalone worker process against a shared job directory."""
     from ..jobs.lease import DEFAULT_LEASE_TTL
@@ -1146,10 +1266,45 @@ def _run_service(args) -> int:
 
         observability.enable()
 
+    lifecycle = None
+    shadow_enabled = args.shadow or any(
+        value is not None
+        for value in (args.promote_after, args.demote_drift,
+                      args.reinfer_growth, args.lifecycle_journal)
+    )
+    if shadow_enabled:
+        from ..lifecycle import (
+            PromotionPolicy,
+            ReInferencer,
+            SpecLifecycleManager,
+        )
+
+        policy_knobs = {}
+        if args.promote_after is not None:
+            policy_knobs["promote_after"] = args.promote_after
+        if args.demote_drift is not None:
+            policy_knobs["demote_drift"] = args.demote_drift
+        lifecycle = SpecLifecycleManager(
+            policy=PromotionPolicy(**policy_knobs),
+            journal_path=args.lifecycle_journal,
+            reinferencer=ReInferencer(
+                growth_threshold=(
+                    args.reinfer_growth
+                    if args.reinfer_growth is not None else 0.25
+                ),
+            ),
+        )
+        counts = lifecycle.state_counts()
+        print(f"spec lifecycle: {counts['SHADOW']} shadow, "
+              f"{counts['ENFORCED']} enforced, {counts['RETIRED']} retired"
+              + (f", journal {args.lifecycle_journal}"
+                 if args.lifecycle_journal else ""),
+              file=sys.stderr, flush=True)
+
     service = ValidationService(
         args.spec, sources, on_transition=announce, executor=args.executor,
         resilience=resilience, metrics_file=args.metrics_file,
-        delta=args.delta,
+        delta=args.delta, lifecycle=lifecycle,
     )
 
     jobs_enabled = args.jobs or any(
@@ -1274,6 +1429,8 @@ def _run_service(args) -> int:
             # graceful drain: running jobs finish and journal their
             # terminal states; QUEUED jobs stay journalled for restart
             service.jobs.close(drain=True)
+        if service.lifecycle is not None:
+            service.lifecycle.close()
         if previous_sigterm is not None:
             import signal
 

@@ -80,14 +80,16 @@ class InferenceResult:
         groups: dict[tuple[str, ...], list[Constraint]] = defaultdict(list)
         for constraint in self.constraints:
             groups[constraint.class_key].append(constraint)
-        return dict(groups)
+        # sorted so two results over the same data render identically
+        # regardless of the order the store yielded its classes
+        return dict(sorted(groups.items()))
 
     def counts_by_kind(self) -> dict[str, int]:
         """Table 5 row: constraints per kind."""
         counts: dict[str, int] = defaultdict(int)
         for constraint in self.constraints:
             counts[constraint.kind] += 1
-        return dict(counts)
+        return dict(sorted(counts.items()))
 
     def histogram(self) -> dict[int, int]:
         """Figure 5: number of classes having N inferred constraints."""
@@ -97,7 +99,7 @@ class InferenceResult:
         for class_key, constraints in per_class.items():
             buckets[len(constraints)] += 1
         buckets[0] += self.classes_analyzed - len(counted)
-        return dict(buckets)
+        return dict(sorted(buckets.items()))
 
     def to_cpl(self) -> str:
         """Render every constraint as one CPL specification file."""
@@ -209,7 +211,9 @@ class InferenceEngine:
     def infer(self, store: ConfigStore) -> InferenceResult:
         started = _clock.now()
         result = InferenceResult()
-        classes = list(store.classes())
+        # canonical class order: the rendered spec (and every derived
+        # dict) is identical no matter how the store was populated
+        classes = sorted(store.classes(), key=lambda c: c.class_key)
         result.classes_analyzed = len(classes)
         equality_candidates: dict[tuple[str, ...], list[tuple[str, ...]]] = defaultdict(list)
         for config_class in classes:
@@ -302,6 +306,9 @@ class InferenceEngine:
         for __, class_keys in sorted(candidates.items()):
             if len(class_keys) < 2:
                 continue
+            # sort the group so the anchor (and therefore the rendered
+            # spec text) does not depend on store iteration order
+            class_keys = sorted(class_keys)
             anchor = class_keys[0]
             for other in class_keys[1:]:
                 out.append(EqualityConstraint(other, anchor))

@@ -271,7 +271,10 @@ def report_fingerprint_digest(report) -> str:
 
 
 def verdict_payload(
-    report, limit: int = MAX_RESULT_VIOLATIONS, delta: Optional[dict] = None
+    report,
+    limit: int = MAX_RESULT_VIOLATIONS,
+    delta: Optional[dict] = None,
+    shadow: Optional[dict] = None,
 ) -> dict:
     """Machine-readable verdict for a finished validation run.
 
@@ -286,6 +289,12 @@ def verdict_payload(
     was scoped: statements selected vs skipped and the change summary
     that drove selection.  A delta verdict covers only the affected
     statements, so its fingerprint is *not* comparable to a full run's.
+
+    ``shadow`` — present when the serving validator runs an inferred-spec
+    lifecycle — reports how the service's *candidate* specs fared against
+    this job's store.  Purely advisory: shadow violations never affect
+    ``verdict``, ``passed``, or ``fingerprint`` (the fingerprint is
+    computed from the report alone, which the shadow run never touches).
     """
     violations = [violation.to_dict() for violation in report.violations[:limit]]
     payload = {
@@ -305,6 +314,8 @@ def verdict_payload(
     }
     if delta is not None:
         payload["delta"] = delta
+    if shadow is not None:
+        payload["shadow"] = shadow
     return payload
 
 

@@ -97,6 +97,11 @@ class JobExecutor:
         self.default_timeout = default_timeout
         #: named server-side specs (``spec_name`` submissions resolve here)
         self.spec_registry = spec_registry if spec_registry is not None else {}
+        #: zero-argument callable returning the serving validator's current
+        #: shadow (candidate) spec set as one CPL program, or "" — wired by
+        #: ValidationService.attach_jobs when a lifecycle manager runs.
+        #: Verdicts then carry an advisory "shadow" block.
+        self.shadow_provider = None
 
     # -- spec / source resolution --------------------------------------
 
@@ -157,7 +162,43 @@ class JobExecutor:
             return self._validate_delta(job, spec_text)
         session = self._build_session(job)
         self._load_sources(session, job.sources)
-        return session.validate(spec_text)
+        report = session.validate(spec_text)
+        self._attach_shadow(report, session.store)
+        return report
+
+    def _attach_shadow(self, report, store) -> None:
+        """Evaluate the service's shadow spec set against this job's store.
+
+        Advisory only: the outcome rides on the report as ``shadow_info``
+        and surfaces in the verdict's ``shadow`` block — it never touches
+        the report itself, so job fingerprints stay identical whether the
+        serving validator runs a lifecycle or not.
+        """
+        if self.shadow_provider is None:
+            return
+        try:
+            text = self.shadow_provider()
+        except Exception as exc:
+            report.shadow_info = {"error": f"{type(exc).__name__}: {exc}"}
+            return
+        if not text:
+            return
+        try:
+            # optimize=False matches the service's shadow lane, so the
+            # composed program shares one spec-cache entry with it
+            lane = ValidationSession(
+                store=store, spec_cache=self.spec_cache, optimize=False
+            )
+            shadow_report = lane.validate(text)
+        except Exception as exc:
+            report.shadow_info = {"error": f"{type(exc).__name__}: {exc}"}
+            return
+        report.shadow_info = {
+            "specs": shadow_report.specs_evaluated,
+            "violations": len(shadow_report.violations),
+            "instances_checked": shadow_report.instances_checked,
+            "clean": not shadow_report.violations,
+        }
 
     def _validate_delta(self, job: ValidationJob, spec_text: str):
         """Scope the run to the statements the submitted change affects.
@@ -195,6 +236,7 @@ class JobExecutor:
                 "reason": "program cannot be delta-validated soundly "
                 "(load/include commands or serial-only semantics)",
             }
+            self._attach_shadow(report, fresh.store)
             return report
 
         baseline = self._build_session(job)
@@ -233,6 +275,7 @@ class JobExecutor:
             "skipped": len(all_units) - len(selected),
             "change": change.summary(),
         }
+        self._attach_shadow(report, session.store)
         return report
 
     # -- supervised execution ------------------------------------------
@@ -286,7 +329,8 @@ class JobExecutor:
         # a cancel that lost the race to completion still honors the work:
         # the verdict exists, so record it rather than throw it away
         delta = getattr(report, "delta_info", None)
-        return JobState.DONE, verdict_payload(report, delta=delta), ""
+        shadow = getattr(report, "shadow_info", None)
+        return JobState.DONE, verdict_payload(report, delta=delta, shadow=shadow), ""
 
 
 class WorkerPool:

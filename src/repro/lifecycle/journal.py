@@ -1,0 +1,192 @@
+"""Durable lifecycle journal: append-only JSON-lines with atomic rotation.
+
+Promotion decisions are only trustworthy if they survive restarts — a
+spec that earned enforcement over fifty scans must not fall back to
+shadow because the service rolled.  The journal uses the same idiom as
+``repro.jobs.journal``: one JSON object per line, flushed per append, a
+torn trailing line (crash mid-write) dropped on replay, and automatic
+compaction to a single ``snapshot`` line materialized under the writer
+lock and published with ``os.replace``.
+
+Event grammar::
+
+    {"event": "snapshot", "records": [...], "scan_seq": N}
+    {"event": "register", "record": {...}}            # new inferred spec
+    {"event": "revise", "id": ..., "cpl": ..., "at": T}
+    {"event": "scan", "seq": N, "ledger": {id: {"violations": v,
+                                                "instances": i}}}
+    {"event": "transition", "id": ..., "action": ..., "actor": ...,
+     "reason": ..., "at": T}
+
+:func:`fold` replays the stream through the *same* ``SpecRecord.apply``
+/ ``PromotionPolicy.observe`` code the live manager uses.  ``scan``
+events update only the drift ledgers (the action a policy would return
+is ignored — the decision that was actually taken is its own
+``transition`` event, which is how operator overrides and policy
+decisions replay identically); ``transition`` events apply the recorded
+action.  Folding the same stream therefore always reproduces the same
+enforced set, byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Callable, Optional
+
+from ..observability import get_logger
+from .model import SpecRecord
+from .policy import PromotionPolicy
+
+__all__ = ["LifecycleJournal", "fold"]
+
+_log = get_logger("lifecycle.journal")
+
+
+class LifecycleJournal:
+    """Append-only JSON-lines journal for spec lifecycle events."""
+
+    def __init__(
+        self,
+        path: str,
+        rotate_after: int = 2048,
+        fsync: bool = False,
+        snapshot_source: Optional[Callable[[], dict]] = None,
+    ):
+        self.path = path
+        self.rotate_after = max(1, rotate_after)
+        self.fsync = fsync
+        #: called at rotation time (under the writer lock) to obtain the
+        #: compacted state: {"records": [...], "scan_seq": N}
+        self.snapshot_source = snapshot_source
+        self._lock = threading.Lock()
+        self._handle = None
+        self._appended = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+
+    # -- writing -------------------------------------------------------
+
+    def _open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, event: dict) -> None:
+        """Durably record one event, auto-rotating when the log grows."""
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            handle = self._open()
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self._appended += 1
+            if (
+                self._appended >= self.rotate_after
+                and self.snapshot_source is not None
+            ):
+                self._rotate_locked(self.snapshot_source)
+
+    def rotate(self, snapshot) -> None:
+        """Compact to one snapshot line (atomic replace).
+
+        Pass a callable to have the snapshot materialized under the
+        writer lock — safe against concurrent appenders.
+        """
+        with self._lock:
+            self._rotate_locked(snapshot)
+
+    def _rotate_locked(self, snapshot) -> None:
+        if callable(snapshot):
+            snapshot = snapshot()
+        payload = dict(snapshot)
+        payload["event"] = "snapshot"
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        temp_path = os.path.join(
+            os.path.dirname(os.path.abspath(self.path)),
+            f".{os.path.basename(self.path)}.{os.getpid()}.tmp",
+        )
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        os.replace(temp_path, self.path)
+        self._appended = 0
+        _log.info("lifecycle journal rotated", extra={"path": self.path})
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- reading -------------------------------------------------------
+
+    def replay(self) -> list[dict]:
+        """The event stream from disk (snapshot first when compacted)."""
+        from ..jobs.journal import read_events
+
+        return read_events(self.path)
+
+
+def fold(events: list[dict], policy: PromotionPolicy) -> tuple[dict, int]:
+    """Replay an event stream into ``({spec_id: SpecRecord}, scan_seq)``.
+
+    ``scan`` events feed each spec's ledger through ``policy.observe``
+    for the counter math only; state changes come exclusively from the
+    journalled ``transition`` events (see module docstring).  Unknown
+    event kinds and events for unknown specs are ignored — forward
+    compatibility over strictness.
+    """
+    records: dict[str, SpecRecord] = {}
+    scan_seq = 0
+    for event in events:
+        kind = event.get("event")
+        if kind == "snapshot":
+            records = {}
+            for data in event.get("records", []):
+                record = SpecRecord.from_dict(data)
+                records[record.id] = record
+            scan_seq = int(event.get("scan_seq", 0))
+        elif kind == "register":
+            record = SpecRecord.from_dict(event.get("record", {}))
+            records[record.id] = record
+        elif kind == "revise":
+            record = records.get(event.get("id"))
+            if record is not None:
+                record.revise(event.get("cpl", record.cpl), at=event.get("at"))
+        elif kind == "scan":
+            scan_seq = max(scan_seq, int(event.get("seq", scan_seq)))
+            ledger = event.get("ledger", {})
+            for spec_id in sorted(ledger):
+                record = records.get(spec_id)
+                if record is None:
+                    continue
+                entry = ledger[spec_id]
+                policy.observe(
+                    record,
+                    int(entry.get("violations", 0)),
+                    int(entry.get("instances", 0)),
+                )
+        elif kind == "transition":
+            record = records.get(event.get("id"))
+            if record is None:
+                continue
+            try:
+                record.apply(
+                    event.get("action", ""),
+                    actor=event.get("actor", "policy"),
+                    reason=event.get("reason", ""),
+                    at=event.get("at"),
+                )
+            except ValueError:
+                _log.warning(
+                    "skipping unreplayable lifecycle transition",
+                    extra={"id": event.get("id"), "action": event.get("action")},
+                )
+    return records, scan_seq

@@ -1,0 +1,390 @@
+"""Spec lifecycle manager: the seam between inference and enforcement.
+
+The manager owns the full candidate → enforced pipeline for one
+:class:`~repro.service.ValidationService`:
+
+* :meth:`ingest` diffs a fresh :class:`InferenceResult` against the
+  records it already tracks — new constraints register in ``SHADOW``,
+  re-inferred constraints whose parameters changed are *revised* in
+  place (keeping their transition history and state), and constraints
+  the corpus no longer supports simply stop being re-registered;
+* :meth:`run_scan` is called by the service once per scan: it triggers
+  re-inference when due, evaluates the enforced lane (whose report the
+  service merges into the verdict) and the shadow lane (whose report it
+  never does), journals the scan's drift ledger, and lets the
+  :class:`PromotionPolicy` promote/demote/retire;
+* :meth:`promote` / :meth:`demote` / :meth:`retire` are the operator
+  overrides behind ``confvalley specs`` and ``POST /specs/<id>/…`` —
+  journalled with their actor, so a replayed journal reproduces manual
+  decisions exactly like policy ones.
+
+All mutation happens under one re-entrant lock: the service's scan loop
+is the main writer, but operator HTTP threads promote/demote
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..observability import get_logger, get_metrics
+from ..runtime import clock as _clock
+from .journal import LifecycleJournal, fold
+from .model import SpecRecord, SpecState, constraint_spec_id
+from .policy import PromotionPolicy
+from .reinfer import ReInferencer
+from .shadow import LaneResult, ShadowLane
+
+__all__ = ["SpecLifecycleManager"]
+
+_log = get_logger("lifecycle.manager")
+
+
+class SpecLifecycleManager:
+    """Tracks inferred specs across scans; promotes, demotes, retires."""
+
+    def __init__(
+        self,
+        policy: Optional[PromotionPolicy] = None,
+        journal: Optional[LifecycleJournal] = None,
+        journal_path: Optional[str] = None,
+        reinferencer: Optional[ReInferencer] = None,
+        shadow: Optional[ShadowLane] = None,
+        spec_cache=None,
+    ):
+        self.policy = policy if policy is not None else PromotionPolicy()
+        if journal is None and journal_path:
+            journal = LifecycleJournal(journal_path)
+        self.journal = journal
+        if self.journal is not None and self.journal.snapshot_source is None:
+            self.journal.snapshot_source = self._snapshot_payload
+        self.reinferencer = reinferencer
+        self.shadow = shadow if shadow is not None else ShadowLane()
+        #: optional repro.parallel.SpecCache shared with the service
+        self.spec_cache = spec_cache
+        self._lock = threading.RLock()
+        self.records: dict[str, SpecRecord] = {}
+        self.scan_seq = 0
+        self.transitions: dict[str, int] = {}
+        self.last_reinference: Optional[dict] = None
+        if self.journal is not None:
+            self._replay()
+
+    # -- journal -------------------------------------------------------
+
+    def _replay(self) -> None:
+        events = self.journal.replay()
+        if not events:
+            return
+        self.records, self.scan_seq = fold(events, self.policy)
+        for record in self.records.values():
+            for entry in record.history:
+                action = entry.get("action", "")
+                self.transitions[action] = self.transitions.get(action, 0) + 1
+        _log.info(
+            "lifecycle journal replayed",
+            extra={"specs": len(self.records), "scan_seq": self.scan_seq},
+        )
+
+    def _append(self, event: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(event)
+
+    def _snapshot_payload(self) -> dict:
+        # invoked under the journal's writer lock during rotation; the
+        # manager lock is re-entrant, so the scan thread rotating mid-append
+        # can safely re-enter
+        with self._lock:
+            return {
+                "records": [
+                    self.records[spec_id].to_dict()
+                    for spec_id in sorted(self.records)
+                ],
+                "scan_seq": self.scan_seq,
+            }
+
+    # -- ingest --------------------------------------------------------
+
+    def ingest(self, result, actor: str = "inference", reason: str = "") -> dict:
+        """Diff an InferenceResult into the record set.
+
+        Returns ``{"new": n, "revised": n, "unchanged": n, "missing": n}``.
+        Constraints the corpus no longer yields are left alone (their
+        drift ledger decides their fate) — inference absence is weak
+        evidence, live misfires are strong evidence.
+        """
+        with self._lock:
+            seen = set()
+            new = revised = unchanged = 0
+            for constraint in result.constraints:
+                spec_id = constraint_spec_id(constraint)
+                if spec_id in seen:
+                    continue  # first rendering wins (deterministic order)
+                seen.add(spec_id)
+                cpl = constraint.to_cpl()
+                record = self.records.get(spec_id)
+                if record is None:
+                    record = SpecRecord.new(
+                        spec_id, cpl, constraint.kind, constraint.class_key
+                    )
+                    self.records[spec_id] = record
+                    self._append({"event": "register", "record": record.to_dict()})
+                    new += 1
+                elif record.cpl != cpl and record.state != SpecState.RETIRED:
+                    record.revise(cpl)
+                    self._append({
+                        "event": "revise",
+                        "id": spec_id,
+                        "cpl": cpl,
+                        "at": record.updated_at,
+                    })
+                    revised += 1
+                else:
+                    unchanged += 1
+            missing = len(self.records) - len(seen & set(self.records))
+            return {
+                "new": new, "revised": revised,
+                "unchanged": unchanged, "missing": missing,
+            }
+
+    # -- per-scan driving ----------------------------------------------
+
+    def _by_state(self, state: str) -> list:
+        return [
+            self.records[spec_id]
+            for spec_id in sorted(self.records)
+            if self.records[spec_id].state == state
+        ]
+
+    def run_scan(self, store, observe: bool = True) -> dict:
+        """Evaluate both lanes against *store* and advance the lifecycle.
+
+        Returns ``{"enforced_report", "shadow_profile", "summary"}``.
+        The caller merges ``enforced_report`` into its verdict and must
+        never merge anything from the shadow lane except the analytics
+        profile.  ``observe=False`` (degraded scans) still evaluates the
+        lanes but freezes the drift ledger — evidence gathered while
+        sources are quarantined or shards failed would demote healthy
+        specs for the infrastructure's sins.
+        """
+        with self._lock:
+            reinference = None
+            if (
+                self.reinferencer is not None
+                and store is not None
+                and self.reinferencer.due(store)
+            ):
+                try:
+                    result, info = self.reinferencer.run(store)
+                    info["ingested"] = self.ingest(result, actor="reinference")
+                    reinference = self.last_reinference = info
+                    metrics = get_metrics()
+                    metrics.counter(
+                        "confvalley_lifecycle_reinference_runs_total",
+                        "Re-inference runs triggered by corpus growth.",
+                    ).inc()
+                    metrics.counter(
+                        "confvalley_lifecycle_reinference_rounds_total",
+                        "Adaptive inference rounds executed across all runs.",
+                    ).inc(info["rounds"])
+                except Exception as exc:  # inference must never sink a scan
+                    reinference = {"error": f"{type(exc).__name__}: {exc}"}
+                    _log.warning("re-inference failed", extra=reinference)
+
+            enforced = self.shadow.evaluate(
+                self._by_state(SpecState.ENFORCED), store,
+                spec_cache=self.spec_cache, guarded=False,
+            )
+            lane = self.shadow.evaluate(
+                self._by_state(SpecState.SHADOW), store,
+                spec_cache=self.spec_cache, guarded=True,
+            )
+
+            transitions = []
+            if observe and (lane.per_spec or enforced.per_spec):
+                self.scan_seq += 1
+                ledger = {}
+                for source in (lane, enforced):
+                    for spec_id, entry in source.per_spec.items():
+                        ledger[spec_id] = {
+                            "violations": entry["violations"],
+                            "instances": entry["instances"],
+                        }
+                # observe BEFORE journalling the scan: the append may
+                # trigger a rotation snapshot, and that snapshot must
+                # already contain this scan's ledger updates (the scan
+                # event it replaces is dropped by rotation)
+                pending = []
+                for spec_id in sorted(ledger):
+                    record = self.records.get(spec_id)
+                    if record is None:
+                        continue
+                    action = self.policy.observe(
+                        record,
+                        ledger[spec_id]["violations"],
+                        ledger[spec_id]["instances"],
+                    )
+                    if action:
+                        pending.append((record, action))
+                self._append({
+                    "event": "scan", "seq": self.scan_seq, "ledger": ledger,
+                })
+                for record, action in pending:
+                    self._transition_locked(
+                        record, action, actor="policy",
+                        reason=f"drift {record.last_drift:.4f} over "
+                               f"{record.scans_observed} scan(s)",
+                    )
+                    transitions.append({"id": record.id, "action": action})
+
+            self._export_metrics(lane)
+            summary = {
+                "enabled": True,
+                "scan_seq": self.scan_seq,
+                "shadow": lane.summary(),
+                "enforced": enforced.summary(),
+                "transitions": transitions,
+                "reinference": reinference,
+                "observed": bool(observe),
+            }
+            shadow_profile = (
+                dict(lane.report.spec_profile) if lane.report is not None else {}
+            )
+            return {
+                "enforced_report": enforced.report,
+                "shadow_profile": shadow_profile,
+                "summary": summary,
+            }
+
+    def _export_metrics(self, lane: LaneResult) -> None:
+        metrics = get_metrics()
+        metrics.counter(
+            "confvalley_shadow_scans_total",
+            "Shadow-lane evaluations (one per service scan).",
+        ).inc()
+        if lane.violations:
+            metrics.counter(
+                "confvalley_shadow_violations_total",
+                "Violations raised by shadow specs (never in the verdict).",
+            ).inc(lane.violations)
+        metrics.histogram(
+            "confvalley_shadow_seconds",
+            "Shadow-lane wall clock per scan.",
+        ).observe(lane.seconds)
+        gauge = metrics.gauge(
+            "confvalley_lifecycle_specs",
+            "Lifecycle-tracked specs by state.",
+        )
+        counts = self.state_counts()
+        for state in SpecState.ALL:
+            gauge.set(counts.get(state, 0), state=state.lower())
+
+    # -- transitions ---------------------------------------------------
+
+    def _transition_locked(
+        self, record: SpecRecord, action: str, actor: str, reason: str
+    ) -> str:
+        state = record.apply(action, actor=actor, reason=reason)
+        self.transitions[action] = self.transitions.get(action, 0) + 1
+        self._append({
+            "event": "transition",
+            "id": record.id,
+            "action": action,
+            "actor": actor,
+            "reason": reason,
+            "at": record.updated_at,
+        })
+        get_metrics().counter(
+            "confvalley_lifecycle_transitions_total",
+            "Lifecycle transitions, by action.",
+        ).inc(action=action)
+        _log.info(
+            "lifecycle transition",
+            extra={"id": record.id, "action": action, "actor": actor},
+        )
+        return state
+
+    def _operator_action(self, spec_id: str, action: str, actor: str, reason: str) -> dict:
+        with self._lock:
+            record = self.records.get(spec_id)
+            if record is None:
+                raise KeyError(spec_id)
+            self._transition_locked(record, action, actor=actor, reason=reason)
+            return record.to_dict()
+
+    def promote(self, spec_id: str, actor: str = "operator", reason: str = "") -> dict:
+        """Manually promote a shadow spec (ValueError if not in SHADOW)."""
+        return self._operator_action(spec_id, "promote", actor, reason)
+
+    def demote(self, spec_id: str, actor: str = "operator", reason: str = "") -> dict:
+        """Manually demote an enforced spec back to shadow."""
+        return self._operator_action(spec_id, "demote", actor, reason)
+
+    def retire(self, spec_id: str, actor: str = "operator", reason: str = "") -> dict:
+        """Manually retire a spec from both lanes."""
+        return self._operator_action(spec_id, "retire", actor, reason)
+
+    # -- introspection -------------------------------------------------
+
+    def enforced_cpl(self) -> str:
+        """The enforced set as one CPL program ('' when empty)."""
+        with self._lock:
+            records = self._by_state(SpecState.ENFORCED)
+            if not records:
+                return ""
+            return ShadowLane.compose(records)[0]
+
+    def shadow_cpl(self) -> str:
+        """The shadow set as one CPL program ('' when empty)."""
+        with self._lock:
+            records = self._by_state(SpecState.SHADOW)
+            if not records:
+                return ""
+            return ShadowLane.compose(records)[0]
+
+    def state_counts(self) -> dict:
+        with self._lock:
+            counts = {state: 0 for state in SpecState.ALL}
+            for record in self.records.values():
+                counts[record.state] = counts.get(record.state, 0) + 1
+            return counts
+
+    def records_payload(self, state: Optional[str] = None) -> list:
+        """Records as dicts, sorted by id (optionally filtered by state)."""
+        with self._lock:
+            return [
+                self.records[spec_id].to_dict()
+                for spec_id in sorted(self.records)
+                if state is None or self.records[spec_id].state == state
+            ]
+
+    def history(self, spec_id: str) -> list:
+        """One spec's transition history (KeyError when unknown)."""
+        with self._lock:
+            return [dict(entry) for entry in self.records[spec_id].history]
+
+    def stats(self) -> dict:
+        """The lifecycle block surfaced in ``ValidationService.stats()``."""
+        with self._lock:
+            counts = {state: 0 for state in SpecState.ALL}
+            for record in self.records.values():
+                counts[record.state] += 1
+            return {
+                "specs": {state.lower(): n for state, n in counts.items()},
+                "scan_seq": self.scan_seq,
+                "transitions": dict(sorted(self.transitions.items())),
+                "policy": self.policy.to_dict(),
+                "reinference": {
+                    "runs": self.reinferencer.runs,
+                    "rounds": self.reinferencer.rounds_total,
+                    "rounds_saved": self.reinferencer.rounds_saved,
+                    "last": self.last_reinference,
+                    "growth_threshold": self.reinferencer.growth_threshold,
+                } if self.reinferencer is not None else None,
+                "journal": self.journal.path if self.journal is not None else None,
+            }
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()

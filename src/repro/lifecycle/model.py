@@ -1,0 +1,195 @@
+"""Lifecycle records: one inferred spec's journey from birth to enforcement.
+
+Every constraint the inference engine mines becomes a :class:`SpecRecord`
+with a stable identity (:func:`constraint_spec_id` — *kind* plus the
+configuration class, deliberately independent of the constraint's
+parameters, so a re-inference that widens a range or grows an enum value
+set revises the record instead of minting a new one and the spec keeps
+its drift history).  A record carries:
+
+* its current :class:`SpecState` — ``SHADOW`` (candidate: evaluated on
+  every scan, violations recorded but excluded from the verdict),
+  ``ENFORCED`` (violations count), or ``RETIRED`` (evaluated nowhere);
+* the **drift ledger**: cumulative and per-scan misfire counters the
+  :class:`~repro.lifecycle.policy.PromotionPolicy` folds its promotion /
+  demotion decisions over;
+* an append-only transition ``history`` mirrored into the durable
+  lifecycle journal.
+
+State changes go through :meth:`SpecRecord.apply` — the *same* code path
+the journal replay uses, which is what makes a replayed lifecycle
+reproduce the live one exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime import clock as _clock
+
+__all__ = ["SpecState", "SpecRecord", "constraint_spec_id"]
+
+
+class SpecState:
+    """The three lifecycle states an inferred spec can be in."""
+
+    SHADOW = "SHADOW"
+    ENFORCED = "ENFORCED"
+    RETIRED = "RETIRED"
+
+    ALL = (SHADOW, ENFORCED, RETIRED)
+
+
+#: action name → (allowed source states, destination state)
+_ACTIONS = {
+    "promote": ((SpecState.SHADOW,), SpecState.ENFORCED),
+    "demote": ((SpecState.ENFORCED,), SpecState.SHADOW),
+    "retire": ((SpecState.SHADOW, SpecState.ENFORCED), SpecState.RETIRED),
+}
+
+
+def constraint_spec_id(constraint) -> str:
+    """Stable identity of one inferred constraint: ``kind:dotted.class``.
+
+    Equality constraints add the anchor class (``equality:a.b=c.d``) —
+    the pair *is* the constraint.  Parameters (range bounds, enum
+    members) are deliberately excluded: a re-inference that refines them
+    must map onto the same record so the spec keeps its history.
+    """
+    base = f"{constraint.kind}:{'.'.join(constraint.class_key)}"
+    other = getattr(constraint, "other", None)
+    if other:
+        base += "=" + ".".join(other)
+    return base
+
+
+@dataclass
+class SpecRecord:
+    """One inferred spec's lifecycle state and drift ledger."""
+
+    id: str
+    cpl: str
+    kind: str
+    class_key: tuple = ()
+    state: str = SpecState.SHADOW
+    #: --- drift ledger -------------------------------------------------
+    #: consecutive observed scans at-or-under the drift threshold
+    clean_streak: int = 0
+    #: consecutive observed scans over the drift threshold
+    dirty_streak: int = 0
+    #: scans with at least one matching instance (zero-evidence scans
+    #: advance nothing — a spec matching no data can never qualify)
+    scans_observed: int = 0
+    violations_total: int = 0
+    instances_total: int = 0
+    #: misfire rate of the most recent observed scan
+    last_drift: float = 0.0
+    promotions: int = 0
+    demotions: int = 0
+    #: times a re-inference revised this record's CPL text
+    revisions: int = 0
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    #: transition log: {seq, at, action, from, to, actor, reason}
+    history: list = field(default_factory=list)
+
+    @classmethod
+    def new(cls, spec_id: str, cpl: str, kind: str, class_key=()) -> "SpecRecord":
+        now = _clock.now()
+        return cls(
+            id=spec_id, cpl=cpl, kind=kind, class_key=tuple(class_key),
+            created_at=now, updated_at=now,
+        )
+
+    # -- transitions ---------------------------------------------------
+
+    def apply(
+        self,
+        action: str,
+        actor: str = "policy",
+        reason: str = "",
+        at: Optional[float] = None,
+    ) -> str:
+        """Apply one lifecycle action; returns the new state.
+
+        Raises ``ValueError`` for unknown actions and transitions the
+        state machine does not allow (the operator endpoint turns that
+        into a 409).  Used by both the live manager and journal replay,
+        so the two can never drift apart.
+        """
+        try:
+            allowed, target = _ACTIONS[action]
+        except KeyError:
+            raise ValueError(f"unknown lifecycle action {action!r}")
+        if self.state not in allowed:
+            raise ValueError(
+                f"cannot {action} spec {self.id!r} from state {self.state}"
+            )
+        if action == "promote":
+            self.promotions += 1
+        elif action == "demote":
+            self.demotions += 1
+        previous = self.state
+        self.state = target
+        self.clean_streak = 0
+        self.dirty_streak = 0
+        self.updated_at = at if at is not None else _clock.now()
+        self.history.append({
+            "seq": len(self.history) + 1,
+            "at": self.updated_at,
+            "action": action,
+            "from": previous,
+            "to": target,
+            "actor": actor,
+            "reason": reason,
+        })
+        return self.state
+
+    def revise(self, cpl: str, at: Optional[float] = None) -> None:
+        """Adopt re-inferred CPL text; the qualification streak restarts
+        (the constraint changed, so evidence for the old text no longer
+        vouches for the new one) but state and history are kept."""
+        self.cpl = cpl
+        self.revisions += 1
+        self.clean_streak = 0
+        self.dirty_streak = 0
+        self.updated_at = at if at is not None else _clock.now()
+
+    # -- serialization -------------------------------------------------
+
+    def drift(self) -> float:
+        """Lifetime misfire rate: total violations / total instances."""
+        if not self.instances_total:
+            return 0.0
+        return self.violations_total / self.instances_total
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "cpl": self.cpl,
+            "kind": self.kind,
+            "class_key": list(self.class_key),
+            "state": self.state,
+            "clean_streak": self.clean_streak,
+            "dirty_streak": self.dirty_streak,
+            "scans_observed": self.scans_observed,
+            "violations_total": self.violations_total,
+            "instances_total": self.instances_total,
+            "last_drift": self.last_drift,
+            "drift": round(self.drift(), 6),
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "revisions": self.revisions,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "history": [dict(entry) for entry in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpecRecord":
+        known = set(cls.__dataclass_fields__)
+        fields = {k: v for k, v in data.items() if k in known}
+        fields["class_key"] = tuple(fields.get("class_key") or ())
+        fields["history"] = [dict(e) for e in fields.get("history") or []]
+        return cls(**fields)

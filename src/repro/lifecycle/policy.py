@@ -1,0 +1,123 @@
+"""Drift-driven promotion policy for inferred specs.
+
+The policy is a pure fold over per-scan evidence: :meth:`observe` feeds
+one scan's ``(violations, instances)`` for one spec into its drift
+ledger and returns the lifecycle action the evidence now warrants
+(``"promote"``, ``"demote"``, ``"retire"``) or ``None``.  It reads the
+clock only through ``repro.runtime.clock`` and keeps no hidden state —
+given the same record and the same scan sequence it always returns the
+same actions, which is what lets the journal replay reproduce the live
+enforced set byte-for-byte.
+
+Decision rules:
+
+* per-scan drift = violations / instances; a scan is *dirty* when drift
+  exceeds ``demote_drift``, *clean* otherwise.  Scans with zero matching
+  instances are no evidence either way and advance nothing.
+* a ``SHADOW`` spec with ``promote_after`` consecutive clean scans is
+  promoted to ``ENFORCED``.
+* an ``ENFORCED`` spec is demoted back to ``SHADOW`` on a dirty scan —
+  or retired outright once it has already burned ``retire_after``
+  demotions (a repeat offender).
+* a ``SHADOW`` spec that keeps misfiring (``retire_after + 1``
+  consecutive dirty scans) is retired as hopeless.
+
+Doctest — the full shadow → enforced → shadow → retired arc under a
+deterministic injected clock:
+
+>>> from repro.runtime.clock import FakeClock, set_clock
+>>> from repro.lifecycle.model import SpecRecord, SpecState
+>>> previous = set_clock(FakeClock(start=100.0, tick=1.0))
+>>> policy = PromotionPolicy(promote_after=2, demote_drift=0.10, retire_after=1)
+>>> rec = SpecRecord.new("range:web.Timeout", "$web.Timeout -> range(1, 60)",
+...                      "range", ("web", "Timeout"))
+>>> rec.state
+'SHADOW'
+>>> policy.observe(rec, violations=0, instances=50)     # clean scan 1
+>>> policy.observe(rec, violations=1, instances=50)     # 2% < 10%: still clean
+'promote'
+>>> rec.apply("promote", actor="policy", reason="clean streak"), rec.state
+('ENFORCED', 'ENFORCED')
+>>> policy.observe(rec, violations=0, instances=0)      # no evidence: no-op
+>>> policy.observe(rec, violations=9, instances=50)     # 18% > 10%: drifted
+'demote'
+>>> rec.apply("demote", actor="policy", reason="drift"), rec.demotions
+('SHADOW', 1)
+>>> policy.observe(rec, violations=0, instances=50)
+>>> policy.observe(rec, violations=0, instances=50)
+'promote'
+>>> rec.apply("promote", actor="policy", reason="clean streak")
+'ENFORCED'
+>>> policy.observe(rec, violations=20, instances=50)    # repeat offender
+'retire'
+>>> rec.apply("retire", actor="policy", reason="repeat offender")
+'RETIRED'
+>>> [h["action"] for h in rec.history]
+['promote', 'demote', 'promote', 'retire']
+>>> _ = set_clock(previous)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .model import SpecRecord, SpecState
+
+__all__ = ["PromotionPolicy"]
+
+
+@dataclass(frozen=True)
+class PromotionPolicy:
+    """Thresholds governing promotion, demotion, and retirement."""
+
+    #: consecutive clean scans a SHADOW spec needs to be promoted
+    promote_after: int = 3
+    #: per-scan misfire rate (violations / instances) above which a scan
+    #: counts as dirty
+    demote_drift: float = 0.05
+    #: demotions an enforced spec may accumulate before the next drift
+    #: retires it instead of demoting again
+    retire_after: int = 2
+
+    def observe(
+        self, record: SpecRecord, violations: int, instances: int
+    ) -> Optional[str]:
+        """Fold one scan's evidence into *record*'s drift ledger.
+
+        Mutates the ledger counters (streaks, totals, ``last_drift``)
+        and returns the action the evidence warrants, or ``None``.  The
+        caller decides whether to apply it — journal replay feeds the
+        same evidence through here for the counter math but applies only
+        the journalled transitions, so operator overrides replay too.
+        """
+        if instances <= 0:
+            return None
+        drift = violations / instances
+        record.scans_observed += 1
+        record.violations_total += violations
+        record.instances_total += instances
+        record.last_drift = drift
+        if drift > self.demote_drift:
+            record.dirty_streak += 1
+            record.clean_streak = 0
+        else:
+            record.clean_streak += 1
+            record.dirty_streak = 0
+        if record.state == SpecState.SHADOW:
+            if record.clean_streak >= self.promote_after:
+                return "promote"
+            if record.dirty_streak > self.retire_after:
+                return "retire"
+        elif record.state == SpecState.ENFORCED and record.dirty_streak:
+            if record.demotions >= self.retire_after:
+                return "retire"
+            return "demote"
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "promote_after": self.promote_after,
+            "demote_drift": self.demote_drift,
+            "retire_after": self.retire_after,
+        }

@@ -1,0 +1,127 @@
+"""Continuous re-inference with adaptive early-stopping.
+
+One-shot inference decays as the corpus evolves: new instances widen
+value ranges, grow enum domains, and retire equalities.  The
+:class:`ReInferencer` watches corpus growth and re-runs the
+:class:`~repro.inference.engine.InferenceEngine` once the instance count
+has grown by ``growth_threshold`` (a fraction) since the last run.
+
+A full-corpus inference pass is the expensive part, so the adaptive
+mode borrows the Monte-Carlo ``--mode adaptive`` convergence idiom:
+infer over growing prefixes of the corpus (25%, 50%, 75%, 100% of the
+instances, in insertion order — deterministic, no sampling) and stop
+early as soon as two consecutive rounds produce the *same* constraint
+set.  On a corpus whose distributions have stabilized, the half-corpus
+round already converges and the remaining rounds are skipped; on a
+shifting corpus every round disagrees and the full pass runs.  Two
+consecutive rounds agreeing on the full rendered constraint set (ids
+*and* parameters) is the convergence signal; like any early-stopping
+heuristic it trades a vanishing tail of refinement for most of the
+inference cost.  Specs that do drift because of it are exactly what the
+shadow lane's drift ledger then catches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..inference.engine import InferenceEngine, InferenceResult
+from ..repository.store import ConfigStore
+from .model import constraint_spec_id
+
+__all__ = ["ReInferencer"]
+
+
+def _prefix_store(store: ConfigStore, count: int) -> ConfigStore:
+    """A substore of the first *count* instances, in insertion order."""
+    prefix = ConfigStore()
+    for index, instance in enumerate(store.instances()):
+        if index >= count:
+            break
+        prefix.add(instance)
+    return prefix
+
+
+def _signature(result: InferenceResult) -> frozenset:
+    """Order-insensitive identity of one round's constraint set."""
+    return frozenset(
+        (constraint_spec_id(c), c.to_cpl()) for c in result.constraints
+    )
+
+
+class ReInferencer:
+    """Growth-triggered, convergence-stopped inference re-runs."""
+
+    def __init__(
+        self,
+        engine: Optional[InferenceEngine] = None,
+        growth_threshold: float = 0.25,
+        mode: str = "adaptive",
+        schedule: tuple = (0.25, 0.5, 0.75, 1.0),
+    ):
+        self.engine = engine if engine is not None else InferenceEngine()
+        self.growth_threshold = max(0.0, growth_threshold)
+        #: "adaptive" = prefix rounds with early-stopping; "full" = one
+        #: whole-corpus pass per trigger
+        self.mode = mode
+        self.schedule = tuple(sorted(set(schedule) | {1.0}))
+        #: corpus size at the last completed run (0 = never ran)
+        self.last_instance_count = 0
+        self.runs = 0
+        self.rounds_total = 0
+        self.rounds_saved = 0
+
+    def due(self, store: ConfigStore) -> bool:
+        """True when corpus growth since the last run crosses the threshold."""
+        count = store.instance_count
+        if count <= 0:
+            return False
+        if self.last_instance_count == 0:
+            return True  # first corpus sighting: bootstrap inference
+        growth = (count - self.last_instance_count) / self.last_instance_count
+        return growth >= self.growth_threshold
+
+    def run(self, store: ConfigStore) -> tuple[InferenceResult, dict]:
+        """Re-infer over *store*; returns ``(result, info)``.
+
+        ``info`` records the mode, rounds executed, whether the adaptive
+        schedule converged early, and the growth that triggered the run.
+        """
+        count = store.instance_count
+        previous = self.last_instance_count
+        growth = (count - previous) / previous if previous else None
+        rounds = 0
+        converged = False
+        result = None
+        if self.mode == "adaptive" and count > 1:
+            last_signature = None
+            for fraction in self.schedule:
+                size = min(count, max(1, math.ceil(fraction * count)))
+                substore = store if size >= count else _prefix_store(store, size)
+                result = self.engine.infer(substore)
+                rounds += 1
+                signature = _signature(result)
+                if signature == last_signature:
+                    converged = True
+                    if size < count:
+                        # distributions stabilized before the full corpus:
+                        # the remaining rounds would reproduce this exact
+                        # constraint set, so skip them
+                        self.rounds_saved += len(self.schedule) - rounds
+                    break
+                last_signature = signature
+        else:
+            result = self.engine.infer(store)
+            rounds = 1
+        self.last_instance_count = count
+        self.runs += 1
+        self.rounds_total += rounds
+        info = {
+            "mode": self.mode,
+            "rounds": rounds,
+            "converged": converged,
+            "instances": count,
+            "growth": round(growth, 6) if growth is not None else None,
+        }
+        return result, info

@@ -45,6 +45,24 @@ endpoints:
                             supervisor restart counts (multi-process mode)
 ==========================  ================================================
 
+When the service runs an inferred-spec lifecycle (``service --shadow``,
+see ``repro.lifecycle`` and docs/LIFECYCLE.md), the endpoint also serves
+the spec lifecycle API:
+
+===========================  ===============================================
+``GET /specs``               every lifecycle-tracked spec: state, CPL,
+                             drift ledger, transition counts
+                             (``?state=shadow|enforced|retired`` filters)
+``GET /specs/<id>``          one spec's full record including its
+                             transition history
+``POST /specs/<id>/promote`` operator override: shadow → enforced
+                             (**409** when the transition is not legal,
+                             **404** for unknown ids); ``demote`` and
+                             ``retire`` work the same way.  Overrides are
+                             journalled with an ``operator`` actor and
+                             survive restarts exactly like policy decisions
+===========================  ===============================================
+
 Design constraints:
 
 * **read-only, except ``/jobs``** — the observability endpoints render
@@ -82,7 +100,7 @@ JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
 ENDPOINTS = (
     "/metrics", "/metrics.json", "/health", "/stats", "/traces/latest",
-    "/jobs", "/workers",
+    "/jobs", "/workers", "/specs",
 )
 
 #: request bodies larger than this are rejected outright (a submission
@@ -173,7 +191,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(
                 404, JSON_CONTENT_TYPE,
                 json.dumps({"error": f"unknown POST endpoint {path!r}",
-                            "endpoints": ["/jobs", "/jobs/<id>/cancel"]}) + "\n",
+                            "endpoints": ["/jobs", "/jobs/<id>/cancel",
+                                          "/specs/<id>/promote",
+                                          "/specs/<id>/demote",
+                                          "/specs/<id>/retire"]}) + "\n",
             )
             return
         self._respond(*rendered)
@@ -253,6 +274,8 @@ class ObservabilityServer:
         self._count_request(path)
         if path == "/jobs" or path.startswith("/jobs/"):
             return self._render_jobs_get(path, query)
+        if path == "/specs" or path.startswith("/specs/"):
+            return self._render_specs_get(path, query)
         if path == "/workers":
             jobs = self.jobs
             if jobs is None:
@@ -323,11 +346,76 @@ class ObservabilityServer:
             return self._json_body(404, {"error": f"unknown job {job_id!r}"})
         return self._json_body(200, job.to_dict())
 
+    # -- the spec lifecycle API (repro.lifecycle) ----------------------
+
+    @property
+    def lifecycle(self):
+        """The service's :class:`SpecLifecycleManager`, or None."""
+        return getattr(self.service, "lifecycle", None)
+
+    def _lifecycle_disabled(self) -> tuple[int, str, str]:
+        return self._json_body(404, {
+            "error": "the spec lifecycle is not enabled",
+            "hint": "start the service with --shadow (see docs/LIFECYCLE.md)",
+        })
+
+    def _render_specs_get(self, path: str, query: str) -> tuple[int, str, str]:
+        lifecycle = self.lifecycle
+        if lifecycle is None:
+            return self._lifecycle_disabled()
+        if path == "/specs":
+            from urllib.parse import parse_qs
+
+            values = parse_qs(query).get("state")
+            state = values[0].upper() if values else None
+            if state is not None and state not in ("SHADOW", "ENFORCED", "RETIRED"):
+                return self._json_body(400, {
+                    "error": f"unknown state filter {state.lower()!r}",
+                    "hint": "use state=shadow|enforced|retired",
+                })
+            return self._json_body(200, {
+                "specs": lifecycle.records_payload(state=state),
+                "stats": lifecycle.stats(),
+            })
+        spec_id = path[len("/specs/"):]
+        with lifecycle._lock:
+            record = lifecycle.records.get(spec_id)
+            if record is None:
+                return self._json_body(404, {"error": f"unknown spec {spec_id!r}"})
+            return self._json_body(200, record.to_dict())
+
+    def _render_specs_post(self, path: str) -> tuple[int, str, str]:
+        lifecycle = self.lifecycle
+        if lifecycle is None:
+            return self._lifecycle_disabled()
+        rest = path[len("/specs/"):]
+        spec_id, __, action = rest.rpartition("/")
+        handlers = {
+            "promote": lifecycle.promote,
+            "demote": lifecycle.demote,
+            "retire": lifecycle.retire,
+        }
+        handler = handlers.get(action)
+        if not spec_id or handler is None:
+            return self._json_body(404, {
+                "error": f"unknown lifecycle operation {path!r}",
+                "hint": "POST /specs/<id>/promote|demote|retire",
+            })
+        try:
+            record = handler(spec_id, actor="operator", reason="operator API")
+        except KeyError:
+            return self._json_body(404, {"error": f"unknown spec {spec_id!r}"})
+        except ValueError as error:
+            return self._json_body(409, {"error": str(error)})
+        return self._json_body(200, record)
+
     def render_post(self, path: str, body: bytes) -> Optional[tuple[int, str, str]]:
         """Route one POST → ``(status, content type, body)`` (None = 404)."""
         from ..jobs.model import AdmissionError
 
         self._count_request(path)
+        if path.startswith("/specs/"):
+            return self._render_specs_post(path)
         jobs = self.jobs
         if path == "/jobs":
             if jobs is None:
@@ -374,6 +462,12 @@ class ObservabilityServer:
             # and would otherwise explode the label cardinality
             if path.startswith("/jobs/"):
                 path = "/jobs/:id/cancel" if path.endswith("/cancel") else "/jobs/:id"
+            elif path.startswith("/specs/"):
+                action = path.rpartition("/")[2]
+                if action in ("promote", "demote", "retire"):
+                    path = f"/specs/:id/{action}"
+                else:
+                    path = "/specs/:id"
             metrics.counter(
                 "confvalley_http_requests_total",
                 "Operator-endpoint requests served, by path.",

@@ -47,7 +47,7 @@ from .core.session import ValidationSession, resolve_driver
 from .drivers import get_driver
 from .errors import DriverError
 from .observability import get_logger, get_metrics, get_tracer, write_snapshot
-from .observability.analytics import SpecAnalytics
+from .observability.analytics import SpecAnalytics, merge_spec_profiles
 from .parallel.cache import SpecCache, SpecCacheStats
 from .parallel.engine import WorkerState, _absorb, evaluate_shard
 from .parallel.shards import Shard, is_parallel_safe, select_units
@@ -94,6 +94,10 @@ class ScanResult:
     #: full scans): mode ("bootstrap"/"delta"), statements selected vs
     #: skipped, splice time, and the change summary that drove selection
     delta: Optional[dict] = None
+    #: lifecycle record when the service runs a
+    #: :class:`~repro.lifecycle.SpecLifecycleManager` (None otherwise):
+    #: shadow/enforced lane summaries, transitions this scan, re-inference
+    shadow: Optional[dict] = None
 
     @property
     def passed(self) -> bool:
@@ -348,6 +352,7 @@ class ValidationService:
         metrics_file: Optional[str] = None,
         analytics: bool = True,
         delta: bool = False,
+        lifecycle=None,
     ):
         self.spec_path = spec_path
         self.sources = list(sources)
@@ -411,6 +416,12 @@ class ValidationService:
         #: scan); selection rules and the full-scan equivalence argument
         #: live in docs/INCREMENTAL.md
         self._delta: Optional[DeltaScanner] = DeltaScanner(self) if delta else None
+        #: inferred-spec lifecycle manager (repro.lifecycle): shadow lane +
+        #: drift-driven promotion, run against every scan's store.  Shares
+        #: this service's compiled-spec cache so lane programs compile once.
+        self.lifecycle = lifecycle
+        if lifecycle is not None and lifecycle.spec_cache is None:
+            lifecycle.spec_cache = self.spec_cache
 
     # ------------------------------------------------------------------
 
@@ -702,6 +713,12 @@ class ValidationService:
         store=None,
         delta: Optional[dict] = None,
     ) -> ScanResult:
+        # lifecycle first: the enforced lane's violations belong in the
+        # verdict, so they must land on the report before pass/fail,
+        # analytics and the ring-buffer summary are computed
+        shadow_summary = None
+        if self.lifecycle is not None:
+            shadow_summary = self._run_lifecycle(report, store, health)
         if self.analytics is not None:
             coverage = self._analyze_coverage(store)
             self.analytics.record_scan(
@@ -717,6 +734,7 @@ class ValidationService:
             transitioned=False,
             health=health,
             delta=delta,
+            shadow=shadow_summary,
         )
         result.transitioned = (
             previous is not None and previous.passed != result.passed
@@ -731,6 +749,48 @@ class ValidationService:
         if self.metrics_file:
             write_snapshot(self.metrics_file, self.stats(), get_metrics())
         return result
+
+    def _run_lifecycle(
+        self,
+        report: ValidationReport,
+        store,
+        health: Optional[HealthBlock],
+    ) -> dict:
+        """Drive the lifecycle manager for one scan; returns its summary.
+
+        The enforced lane's report is merged into the scan's verdict (an
+        enforced inferred spec fails scans exactly like a hand-written
+        one); the shadow lane contributes *only* its analytics profile —
+        never violations, counters, or health — which is what keeps
+        ``fingerprint()`` byte-identical with the shadow lane on or off
+        (docs/LIFECYCLE.md).  Drift observation is frozen on degraded
+        scans: evidence gathered while sources are quarantined or shards
+        failed would punish healthy specs for infrastructure faults.  A
+        FAILED scan ran no meaningful statements, so the lanes are
+        skipped outright.
+        """
+        if store is None:
+            return {"enabled": True, "skipped": "no store on this scan"}
+        if health is not None and health.status == HealthBlock.FAILED:
+            return {"enabled": True, "skipped": "scan FAILED"}
+        observe = health is None or health.status == HealthBlock.OK
+        try:
+            outcome = self.lifecycle.run_scan(store, observe=observe)
+        except Exception as exc:  # lifecycle faults must never sink a scan
+            _log.warning(
+                "lifecycle scan failed",
+                extra={"error": f"{type(exc).__name__}: {exc}"},
+            )
+            return {"enabled": True, "error": f"{type(exc).__name__}: {exc}"}
+        enforced_report = outcome["enforced_report"]
+        if enforced_report is not None:
+            report.merge(enforced_report)
+        if self.analytics is not None and outcome["shadow_profile"]:
+            # spec_profile surfaces only through the analytics block,
+            # which fingerprint() excludes — shadow activity is visible
+            # to operators without perturbing the verdict identity
+            merge_spec_profiles(report.spec_profile, outcome["shadow_profile"])
+        return outcome["summary"]
 
     def _summarize(self, result: ScanResult) -> dict:
         """One JSON-safe ring-buffer record: outcome, perf and health deltas."""
@@ -764,6 +824,13 @@ class ValidationService:
                 "mode": result.delta["mode"],
                 "selected": result.delta["selected"],
                 "skipped": result.delta["skipped"],
+            }
+        if result.shadow is not None:
+            shadow = result.shadow.get("shadow") or {}
+            record["shadow"] = {
+                "specs": shadow.get("specs", 0),
+                "violations": shadow.get("violations", 0),
+                "transitions": len(result.shadow.get("transitions") or []),
             }
         return record
 
@@ -907,6 +974,10 @@ class ValidationService:
         self.jobs = job_service
         job_service.spec_cache = self.spec_cache
         job_service.executor.spec_cache = self.spec_cache
+        if self.lifecycle is not None:
+            # job verdicts carry a shadow block evaluated against the
+            # job's own store (see JobExecutor._attach_shadow)
+            job_service.executor.shadow_provider = self.lifecycle.shadow_cpl
         try:
             if self.runtime is not None:
                 spec_text = self.runtime.read_bytes(self.spec_path).decode("utf-8")
@@ -960,6 +1031,9 @@ class ValidationService:
                 self.breaker.snapshot() if self.breaker is not None else []
             ),
             "jobs": self.jobs.stats() if self.jobs is not None else None,
+            "lifecycle": (
+                self.lifecycle.stats() if self.lifecycle is not None else None
+            ),
             "history": list(self.scan_records),
         }
 

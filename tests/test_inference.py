@@ -211,6 +211,112 @@ class TestResult:
         assert not result.covers(("S", "T"), "uniqueness")
 
 
+class TestDeterminism:
+    """Inference output must not depend on store population order.
+
+    The lifecycle manager keys spec identity off the rendered constraint,
+    so two inference runs over the same data must render byte-identical
+    CPL no matter how the corpus was assembled (dict ordering, shuffled
+    ingest, reversed files)."""
+
+    CORPUS = {
+        "Zeta": ["1", "2", "3", "4", "5"],
+        "Alpha": ["10", "20", "30", "40", "50"],
+        "KeyA": [f"secret-{i:04d}" for i in range(20)],
+        "KeyB": [f"secret-{i:04d}" for i in range(20)],
+        "KeyC": [f"secret-{i:04d}" for i in range(20)],
+        "Mode": ["on", "off"] * 6,
+    }
+
+    def _store_orders(self):
+        items = list(self.CORPUS.items())
+        yield store_with(dict(items))
+        yield store_with(dict(reversed(items)))
+        shuffled = [items[i] for i in (3, 0, 5, 2, 4, 1)]
+        yield store_with(dict(shuffled))
+
+    def test_to_cpl_is_order_independent(self):
+        rendered = {InferenceEngine().infer(s).to_cpl()
+                    for s in self._store_orders()}
+        assert len(rendered) == 1
+
+    def test_equality_anchor_is_order_independent(self):
+        options = InferenceOptions(equality_min_instances=20,
+                                   equality_min_value_length=6)
+        anchors = set()
+        for store in self._store_orders():
+            result = InferenceEngine(options).infer(store)
+            equalities = sorted(
+                c.to_cpl() for c in result.constraints if c.kind == "equality"
+            )
+            anchors.add(tuple(equalities))
+        assert len(anchors) == 1
+        # the anchor is the lexicographically smallest member of the group
+        only = anchors.pop()
+        assert len(only) == 2  # KeyB == KeyA, KeyC == KeyA
+        assert all("KeyA" in text for text in only)
+
+    def test_summary_dicts_are_sorted(self):
+        result = InferenceEngine().infer(store_with(self.CORPUS))
+        assert list(result.counts_by_kind()) == sorted(result.counts_by_kind())
+        assert list(result.histogram()) == sorted(result.histogram())
+        assert list(result.by_class()) == sorted(result.by_class())
+
+
+class TestFeedbackLoop:
+    def test_drop_misfiring_removes_flagged_kind(self):
+        result = InferenceEngine().infer(store_with({
+            "Timeout": ["1", "2", "3", "4", "5"],
+        }))
+        assert "range" in kinds_for(result, "Timeout")
+        # drift: a value far outside the mined range trips `range` but not
+        # `type`/`nonempty` — only the misfiring kind must be dropped
+        drifted = store_with({"Timeout": ["1", "2", "3", "4", "5", "5000"]})
+        report = ValidationSession(store=drifted).validate(result.to_cpl())
+        assert not report.passed
+        refined = result.drop_misfiring(report)
+        assert "range" not in kinds_for(refined, "Timeout")
+        assert "type" in kinds_for(refined, "Timeout")
+        assert refined.classes_analyzed == result.classes_analyzed
+
+    def test_drop_misfiring_is_order_independent(self):
+        corpus = {
+            "Alpha": ["1", "2", "3", "4", "5"],
+            "Beta": ["10", "20", "30", "40", "50"],
+        }
+        drift = {
+            "Alpha": ["1", "2", "3", "4", "5", "9000"],
+            "Beta": ["10", "20", "30", "40", "50", "-77"],
+        }
+        rendered = set()
+        for flip in (False, True):
+            order = dict(reversed(list(corpus.items()))) if flip else corpus
+            result = InferenceEngine().infer(store_with(order))
+            drifted = dict(reversed(list(drift.items()))) if flip else drift
+            report = ValidationSession(
+                store=store_with(drifted)
+            ).validate(result.to_cpl())
+            rendered.add(result.drop_misfiring(report).to_cpl())
+        assert len(rendered) == 1
+
+    def test_refine_against_converges(self):
+        result = InferenceEngine().infer(store_with({
+            "Timeout": ["1", "2", "3", "4", "5"],
+        }))
+        drifted = store_with({"Timeout": ["1", "2", "3", "4", "5", "5000"]})
+        refined, rounds = result.refine_against(drifted)
+        assert rounds >= 1
+        report = ValidationSession(store=drifted).validate(refined.to_cpl())
+        assert report.passed
+
+    def test_refine_against_clean_store_is_a_no_op(self):
+        store = store_with({"Timeout": ["1", "2", "3", "4", "5"]})
+        result = InferenceEngine().infer(store)
+        refined, rounds = result.refine_against(store)
+        assert rounds == 0
+        assert refined.to_cpl() == result.to_cpl()
+
+
 class TestSoundness:
     @given(
         st.dictionaries(

@@ -1,0 +1,857 @@
+"""Inferred-spec lifecycle (shadow lane, promotion, re-inference).
+
+The contracts under test:
+
+* **state machine** — :class:`SpecRecord` transitions are validated,
+  journalled with actor + reason, and deterministic under a fake clock;
+* **fingerprint parity** — a scan's ``ValidationReport.fingerprint()``
+  is byte-identical with the shadow lane on or off, across the serial,
+  thread and process executors, even while shadow specs are violating
+  or outright erroring;
+* **drift-driven transitions** — clean streaks promote, drift demotes,
+  repeat offenders retire, end-to-end through ``ValidationService``;
+* **durability** — replaying the lifecycle journal after a simulated
+  restart reproduces the same enforced set, including operator
+  overrides and rotation snapshots;
+* **interactions** — delta scans, the resilience breaker (an erroring
+  shadow spec never touches the verdict), job verdict shadow blocks,
+  and the operator HTTP endpoint + CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    InferenceEngine,
+    ResiliencePolicy,
+    SourceSpec,
+    ValidationService,
+    ValidationSession,
+    observability,
+)
+from repro.core.report import HealthBlock
+from repro.lifecycle import (
+    LifecycleJournal,
+    PromotionPolicy,
+    ReInferencer,
+    ShadowLane,
+    SpecLifecycleManager,
+    SpecRecord,
+    SpecState,
+    constraint_spec_id,
+    fold,
+)
+from repro.predicates import register_predicate
+from repro.repository.keys import parse_instance_key
+from repro.repository.model import ConfigInstance
+from repro.repository.store import ConfigStore
+from repro.runtime import FakeClock, set_clock
+
+
+@pytest.fixture(autouse=True)
+def pristine():
+    observability.disable()
+    previous_clock = set_clock(None)
+    yield
+    observability.disable()
+    set_clock(previous_clock)
+
+
+def store_with(class_values: dict[str, list[str]]):
+    store = ConfigStore()
+    for class_text, values in class_values.items():
+        for index, value in enumerate(values):
+            key = parse_instance_key(f"S::i{index}.{class_text}")
+            store.add(ConfigInstance(key, value, "t"))
+    return store
+
+
+def shadow_record(cpl: str, spec_id: str = "manual:S.fabric.Timeout"):
+    return SpecRecord.new(spec_id, cpl, "manual", ("S", "fabric", "Timeout"))
+
+
+def write(path, text):
+    path.write_text(text)
+    return str(path)
+
+
+def rewrite(path, text):
+    path.write_text(text)
+    stat = os.stat(path)
+    os.utime(path, ns=(stat.st_atime_ns + 1_000_000,
+                       stat.st_mtime_ns + 1_000_000))
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    spec = tmp_path / "specs.cpl"
+    spec.write_text("$fabric.Timeout -> int & [1, 60]\n")
+    config = tmp_path / "prod.ini"
+    config.write_text("[fabric]\nTimeout = 30\n")
+    return tmp_path, spec, config
+
+
+def make_service(spec, config, **kwargs):
+    return ValidationService(
+        str(spec), [SourceSpec("ini", str(config))], **kwargs
+    )
+
+
+BOMB = {"armed": False}
+
+
+def _lifecycle_explode(value, *args):
+    if BOMB["armed"]:
+        raise RuntimeError("injected shadow spec fault")
+    return True
+
+
+register_predicate("lifecycle_explode", _lifecycle_explode)
+
+
+# ---------------------------------------------------------------------------
+# State machine
+# ---------------------------------------------------------------------------
+
+
+class TestSpecRecord:
+    def test_new_records_start_in_shadow(self):
+        record = shadow_record("$fabric.Timeout -> int")
+        assert record.state == SpecState.SHADOW
+        assert record.history == []
+
+    def test_promote_demote_retire_arc(self):
+        set_clock(FakeClock(start=100.0, tick=1.0))
+        record = shadow_record("$fabric.Timeout -> int")
+        assert record.apply("promote", actor="policy") == SpecState.ENFORCED
+        assert record.apply("demote", actor="operator") == SpecState.SHADOW
+        assert record.apply("retire", actor="policy") == SpecState.RETIRED
+        actions = [entry["action"] for entry in record.history]
+        assert actions == ["promote", "demote", "retire"]
+        actors = [entry["actor"] for entry in record.history]
+        assert actors == ["policy", "operator", "policy"]
+        assert record.promotions == 1 and record.demotions == 1
+
+    def test_invalid_transitions_raise(self):
+        record = shadow_record("$fabric.Timeout -> int")
+        with pytest.raises(ValueError):
+            record.apply("demote")  # SHADOW cannot demote
+        record.apply("promote")
+        with pytest.raises(ValueError):
+            record.apply("promote")  # already enforced
+        record.apply("retire")
+        for action in ("promote", "demote", "retire"):
+            with pytest.raises(ValueError):
+                record.apply(action)  # RETIRED is terminal
+
+    def test_revise_keeps_state_and_history(self):
+        record = shadow_record("$fabric.Timeout -> int & [1, 10]")
+        record.apply("promote")
+        record.clean_streak = 4
+        record.revise("$fabric.Timeout -> int & [1, 60]")
+        assert record.state == SpecState.ENFORCED
+        assert record.revisions == 1
+        assert record.clean_streak == 0  # new parameters, new evidence
+        assert [e["action"] for e in record.history] == ["promote"]
+
+    def test_dict_round_trip(self):
+        record = shadow_record("$fabric.Timeout -> int")
+        record.apply("promote", actor="operator", reason="looks good")
+        clone = SpecRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        assert clone.to_dict() == record.to_dict()
+        assert clone.class_key == record.class_key
+
+
+class TestConstraintSpecId:
+    def test_identity_excludes_parameters(self):
+        store = store_with({"web.Timeout": ["1", "2", "3", "4", "5"]})
+        result = InferenceEngine().infer(store)
+        ids = {constraint_spec_id(c) for c in result.constraints}
+        assert "range:S.web.Timeout" in ids
+        wider = InferenceEngine().infer(
+            store_with({"web.Timeout": ["1", "2", "3", "4", "5", "50"]})
+        )
+        assert {constraint_spec_id(c) for c in wider.constraints} == ids
+
+
+# ---------------------------------------------------------------------------
+# Promotion policy (deterministic under FakeClock)
+# ---------------------------------------------------------------------------
+
+
+class TestPromotionPolicy:
+    def test_clean_streak_promotes(self):
+        policy = PromotionPolicy(promote_after=3)
+        record = shadow_record("$fabric.Timeout -> int")
+        actions = [policy.observe(record, 0, 100) for _ in range(3)]
+        assert actions == [None, None, "promote"]
+
+    def test_zero_instances_is_not_evidence(self):
+        policy = PromotionPolicy(promote_after=1)
+        record = shadow_record("$fabric.Timeout -> int")
+        assert policy.observe(record, 0, 0) is None
+        assert record.scans_observed == 0
+        assert record.clean_streak == 0
+
+    def test_drift_demotes_enforced(self):
+        policy = PromotionPolicy(demote_drift=0.05)
+        record = shadow_record("$fabric.Timeout -> int")
+        record.apply("promote")
+        assert policy.observe(record, 10, 100) == "demote"  # drift 0.10
+
+    def test_repeat_offender_retires(self):
+        policy = PromotionPolicy(promote_after=2, demote_drift=0.05,
+                                 retire_after=1)
+        record = shadow_record("$fabric.Timeout -> int")
+        record.apply("promote")
+        record.apply("demote", reason="first strike")
+        record.apply("promote")
+        # demotions == retire_after: the next drift retires outright
+        assert policy.observe(record, 10, 100) == "retire"
+
+    def test_deterministic_sequence(self):
+        set_clock(FakeClock(start=50.0, tick=1.0))
+        traces = []
+        for _ in range(2):
+            policy = PromotionPolicy(promote_after=2, demote_drift=0.1)
+            record = shadow_record("$fabric.Timeout -> int")
+            trace = []
+            for violations in (0, 0, 20, 0, 0):
+                action = policy.observe(record, violations, 100)
+                if action:
+                    record.apply(action, actor="policy")
+                trace.append((action, record.state, record.clean_streak,
+                              record.dirty_streak))
+            traces.append(trace)
+        assert traces[0] == traces[1]
+
+
+# ---------------------------------------------------------------------------
+# Shadow lane
+# ---------------------------------------------------------------------------
+
+
+class TestShadowLane:
+    def test_compose_is_sorted_and_mapped(self):
+        records = [
+            shadow_record("$b.X -> int", spec_id="type:S.b.X"),
+            shadow_record("$a.Y -> int", spec_id="type:S.a.Y"),
+        ]
+        text, line_map = ShadowLane.compose(records)
+        lines = text.splitlines()
+        assert lines[0].startswith("//")
+        assert lines[1] == "$a.Y -> int"   # sorted by id, not input order
+        assert line_map == {2: "type:S.a.Y", 3: "type:S.b.X"}
+
+    def test_per_spec_attribution(self):
+        store = store_with({
+            "web.Timeout": ["30"], "web.Mode": ["fast"],
+        })
+        records = [
+            shadow_record("$web.Timeout -> int & [1, 10]",
+                          spec_id="range:S.web.Timeout"),
+            shadow_record("$web.Mode -> nonempty",
+                          spec_id="nonempty:S.web.Mode"),
+        ]
+        lane = ShadowLane().evaluate(records, store)
+        assert lane.error == ""
+        assert lane.per_spec["range:S.web.Timeout"]["violations"] == 1
+        assert lane.per_spec["nonempty:S.web.Mode"]["violations"] == 0
+        assert lane.violations == 1
+
+    def test_empty_lane_is_a_no_op(self):
+        lane = ShadowLane().evaluate([], store_with({"a.B": ["1"]}))
+        assert lane.report is None and lane.specs == 0
+
+    def test_erroring_candidate_is_quarantined_in_lane(self):
+        store = store_with({"fabric.Timeout": ["30"]})
+        records = [shadow_record("$fabric.Timeout -> lifecycle_explode",
+                                 spec_id="manual:S.fabric.Timeout")]
+        shadow = ShadowLane(breaker_threshold=2)
+        BOMB["armed"] = True
+        try:
+            for _ in range(2):
+                lane = shadow.evaluate(records, store)
+                assert lane.error == ""  # captured, not raised
+                assert lane.report.health.spec_errors
+            tripped = shadow.evaluate(records, store)
+            assert tripped.report.health.quarantined_specs
+            # a quarantined candidate produces no promotion evidence
+            assert tripped.per_spec["manual:S.fabric.Timeout"]["instances"] == 0
+        finally:
+            BOMB["armed"] = False
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint parity: shadow on == shadow off, byte for byte
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprintParity:
+    @pytest.mark.parametrize("executor", [None, "thread", "process"])
+    def test_violating_shadow_spec_never_perturbs_fingerprint(
+        self, workspace, executor
+    ):
+        __, spec, config = workspace
+        plain = make_service(spec, config, executor=executor)
+        baseline = plain.run_once().report.fingerprint()
+
+        manager = SpecLifecycleManager(policy=PromotionPolicy())
+        # a shadow spec that VIOLATES on this corpus (Timeout=30 ∉ [1,10])
+        record = shadow_record("$fabric.Timeout -> int & [1, 10]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        shadowed = make_service(spec, config, executor=executor,
+                                lifecycle=manager)
+        result = shadowed.run_once()
+        assert result.passed  # the shadow violation is not in the verdict
+        assert result.shadow["shadow"]["violations"] == 1
+        assert result.report.fingerprint() == baseline
+
+    def test_parity_holds_while_shadow_spec_errors(self, workspace):
+        __, spec, config = workspace
+        plain = make_service(spec, config)
+        baseline = plain.run_once().report.fingerprint()
+
+        manager = SpecLifecycleManager()
+        record = shadow_record("$fabric.Timeout -> lifecycle_explode")
+        manager.records[record.id] = record
+        shadowed = make_service(spec, config, lifecycle=manager)
+        BOMB["armed"] = True
+        try:
+            result = shadowed.run_once()
+        finally:
+            BOMB["armed"] = False
+        assert result.passed
+        assert result.report.fingerprint() == baseline
+
+    def test_enforced_specs_do_change_the_verdict(self, workspace):
+        """The counterpoint: promotion is exactly the moment a spec gains
+        verdict power."""
+        __, spec, config = workspace
+        manager = SpecLifecycleManager()
+        record = shadow_record("$fabric.Timeout -> int & [1, 10]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        manager.promote(record.id, actor="operator", reason="test")
+        service = make_service(spec, config, lifecycle=manager)
+        result = service.run_once()
+        assert not result.passed
+        assert any("fabric.Timeout" in v.key for v in result.report.violations)
+
+
+# ---------------------------------------------------------------------------
+# Drift-driven transitions through the service
+# ---------------------------------------------------------------------------
+
+
+class TestServiceLifecycle:
+    def test_clean_shadow_spec_promotes_then_drift_demotes(self, workspace):
+        __, spec, config = workspace
+        manager = SpecLifecycleManager(
+            policy=PromotionPolicy(promote_after=2, demote_drift=0.05)
+        )
+        record = shadow_record("$fabric.Timeout -> int & [1, 60]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        service = make_service(spec, config, lifecycle=manager)
+
+        service.run_once()
+        assert manager.records[record.id].state == SpecState.SHADOW
+        result = service.run_once()
+        assert manager.records[record.id].state == SpecState.ENFORCED
+        assert {"id": record.id, "action": "promote"} in \
+            result.shadow["transitions"]
+
+        # drift: the config now violates the enforced spec → demote
+        rewrite(config, "[fabric]\nTimeout = 55\n")
+        service.run_once()  # still clean (55 ∈ [1, 60])
+        assert manager.records[record.id].state == SpecState.ENFORCED
+        rewrite(config, "[fabric]\nTimeout = 4000\n")
+        drifted = service.run_once()
+        assert manager.records[record.id].state == SpecState.SHADOW
+        assert {"id": record.id, "action": "demote"} in \
+            drifted.shadow["transitions"]
+        # ... and the hand-written spec also failed, independently
+        assert not drifted.passed
+
+    def test_degraded_scan_freezes_the_ledger(self, workspace):
+        __, spec, config = workspace
+        manager = SpecLifecycleManager(
+            policy=PromotionPolicy(promote_after=1)
+        )
+        record = shadow_record("$fabric.Timeout -> lifecycle_explode")
+        manager.records[record.id] = record
+        service = make_service(
+            spec, config,
+            resilience=ResiliencePolicy(quarantine_threshold=3),
+            lifecycle=manager,
+        )
+        # break the *source* so the scan is unhealthy: no drift evidence
+        # (a FAILED scan skips the lanes outright; a DEGRADED one runs
+        # them with the ledger frozen — either way nothing is observed)
+        rewrite(config, "[[[not ini")
+        result = service.run_once()
+        assert result.health.status != HealthBlock.OK
+        assert result.shadow.get("observed") is not True
+        assert manager.records[record.id].scans_observed == 0
+
+    def test_stats_surface_the_lifecycle_block(self, workspace):
+        __, spec, config = workspace
+        manager = SpecLifecycleManager()
+        record = shadow_record("$fabric.Timeout -> int")
+        manager.records[record.id] = record
+        service = make_service(spec, config, lifecycle=manager)
+        service.run_once()
+        block = service.stats()["lifecycle"]
+        assert block["specs"]["shadow"] == 1
+        assert block["scan_seq"] == 1
+        assert block["policy"]["promote_after"] >= 1
+
+    def test_shadow_metrics_exported(self, workspace):
+        __, spec, config = workspace
+        observability.enable()
+        manager = SpecLifecycleManager()
+        record = shadow_record("$fabric.Timeout -> int & [1, 10]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        service = make_service(spec, config, lifecycle=manager)
+        service.run_once()
+        rendered = observability.get_metrics().to_prometheus()
+        assert "confvalley_shadow_scans_total" in rendered
+        assert "confvalley_shadow_violations_total" in rendered
+        assert 'confvalley_lifecycle_specs{state="shadow"} 1' in rendered
+
+
+# ---------------------------------------------------------------------------
+# Interaction: delta scans
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaInteraction:
+    def test_shadow_rides_along_with_delta_scans(self, workspace):
+        __, spec, config = workspace
+        plain = make_service(spec, config, delta=True)
+        fingerprints = [plain.run_once().report.fingerprint()]
+        rewrite(config, "[fabric]\nTimeout = 31\n")
+        fingerprints.append(plain.run_once().report.fingerprint())
+
+        manager = SpecLifecycleManager()
+        record = shadow_record("$fabric.Timeout -> int & [1, 10]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        config2 = config.parent / "prod2.ini"
+        write(config2, "[fabric]\nTimeout = 30\n")
+        shadowed = ValidationService(
+            str(spec), [SourceSpec("ini", str(config2))],
+            delta=True, lifecycle=manager,
+        )
+        first = shadowed.run_once()
+        assert first.shadow["shadow"]["violations"] == 1
+        assert first.report.fingerprint() == fingerprints[0]
+        rewrite(config2, "[fabric]\nTimeout = 31\n")
+        second = shadowed.run_once()
+        assert second.delta is not None  # the scan really was incremental
+        assert second.shadow is not None
+        assert second.report.fingerprint() == fingerprints[1]
+
+    def test_drift_ledger_advances_across_delta_scans(self, workspace):
+        __, spec, config = workspace
+        manager = SpecLifecycleManager(
+            policy=PromotionPolicy(promote_after=2)
+        )
+        record = shadow_record("$fabric.Timeout -> int & [1, 60]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        service = make_service(spec, config, delta=True, lifecycle=manager)
+        service.run_once()
+        rewrite(config, "[fabric]\nTimeout = 31\n")
+        service.run_once()
+        assert manager.records[record.id].state == SpecState.ENFORCED
+
+
+# ---------------------------------------------------------------------------
+# Interaction: resilience breaker
+# ---------------------------------------------------------------------------
+
+
+class TestResilienceInteraction:
+    def test_tripped_shadow_breaker_never_touches_the_verdict(self, workspace):
+        __, spec, config = workspace
+        plain = make_service(
+            spec, config, resilience=ResiliencePolicy()
+        )
+        baseline = plain.run_once().report.fingerprint()
+
+        manager = SpecLifecycleManager(
+            shadow=ShadowLane(breaker_threshold=2),
+            policy=PromotionPolicy(promote_after=1),
+        )
+        record = shadow_record("$fabric.Timeout -> lifecycle_explode")
+        manager.records[record.id] = record
+        service = make_service(
+            spec, config, resilience=ResiliencePolicy(), lifecycle=manager
+        )
+        BOMB["armed"] = True
+        try:
+            for scan in range(4):  # errors, then a tripped lane breaker
+                result = service.run_once()
+                assert result.passed, f"scan {scan}"
+                assert result.health.status == HealthBlock.OK
+                assert result.report.fingerprint() == baseline
+        finally:
+            BOMB["armed"] = False
+        # zero-instance quarantined scans are not promotion evidence
+        assert manager.records[record.id].state == SpecState.SHADOW
+        assert manager.records[record.id].scans_observed == 0
+
+
+# ---------------------------------------------------------------------------
+# Durability: journal replay across a simulated restart
+# ---------------------------------------------------------------------------
+
+
+class TestJournalRestart:
+    def _drive(self, tmp_path, journal_path, rotate_after=2048):
+        set_clock(FakeClock(start=1000.0, tick=1.0))
+        manager = SpecLifecycleManager(
+            policy=PromotionPolicy(promote_after=2, demote_drift=0.05),
+            journal=LifecycleJournal(str(journal_path),
+                                     rotate_after=rotate_after),
+        )
+        corpus = store_with({"web.Timeout": ["1", "2", "3", "4", "5"]})
+        manager.ingest(InferenceEngine().infer(corpus))
+        clean = corpus
+        drifted = store_with({
+            "web.Timeout": ["1", "2", "3", "4", "5", "5000"],
+        })
+        for store in (clean, clean, clean, drifted, drifted):
+            manager.run_scan(store)
+        # operator override rides the same journal
+        survivor = next(
+            r for r in manager.records.values()
+            if r.state == SpecState.SHADOW
+        )
+        manager.promote(survivor.id, actor="operator", reason="manual call")
+        return manager
+
+    def test_replay_reproduces_the_enforced_set(self, tmp_path):
+        journal_path = tmp_path / "lifecycle.jsonl"
+        manager = self._drive(tmp_path, journal_path)
+        before = {
+            spec_id: record.to_dict()
+            for spec_id, record in manager.records.items()
+        }
+        scan_seq = manager.scan_seq
+        manager.close()
+
+        reborn = SpecLifecycleManager(
+            policy=PromotionPolicy(promote_after=2, demote_drift=0.05),
+            journal=LifecycleJournal(str(journal_path)),
+        )
+        after = {
+            spec_id: record.to_dict()
+            for spec_id, record in reborn.records.items()
+        }
+        assert after == before
+        assert reborn.scan_seq == scan_seq
+        enforced = [r["id"] for r in reborn.records_payload(SpecState.ENFORCED)]
+        assert enforced == [
+            r["id"] for r in manager.records_payload(SpecState.ENFORCED)
+        ]
+        reborn.close()
+
+    def test_rotation_snapshot_preserves_state(self, tmp_path):
+        journal_path = tmp_path / "rotating.jsonl"
+        manager = self._drive(tmp_path, journal_path, rotate_after=3)
+        before = {s: r.to_dict() for s, r in manager.records.items()}
+        manager.close()
+        events = LifecycleJournal(str(journal_path)).replay()
+        assert events[0]["event"] == "snapshot"  # rotation really happened
+        reborn = SpecLifecycleManager(
+            policy=PromotionPolicy(promote_after=2, demote_drift=0.05),
+            journal=LifecycleJournal(str(journal_path)),
+        )
+        assert {s: r.to_dict() for s, r in reborn.records.items()} == before
+        reborn.close()
+
+    def test_fold_ignores_actions_and_replays_transitions(self):
+        """fold() must not re-run policy decisions: it replays the journalled
+        transition events so operator overrides reproduce exactly."""
+        set_clock(FakeClock(start=10.0, tick=1.0))
+        record = shadow_record("$fabric.Timeout -> int")
+        events = [
+            {"event": "register", "record": record.to_dict()},
+            {"event": "transition", "id": record.id, "action": "promote",
+             "actor": "operator", "reason": "", "at": 11.0},
+        ]
+        records, seq = fold(events, PromotionPolicy(promote_after=99))
+        assert records[record.id].state == SpecState.ENFORCED
+        assert seq == 0
+
+
+# ---------------------------------------------------------------------------
+# Re-inference
+# ---------------------------------------------------------------------------
+
+
+class TestReInferencer:
+    def test_due_on_first_sighting_and_growth(self):
+        reinferencer = ReInferencer(growth_threshold=0.5)
+        small = store_with({"web.Timeout": ["1", "2", "3", "4"]})
+        assert reinferencer.due(small)
+        reinferencer.run(small)
+        assert not reinferencer.due(small)  # no growth since the run
+        grown = store_with({
+            "web.Timeout": ["1", "2", "3", "4"],
+            "web.Mode": ["a", "b", "c", "d"],
+        })
+        assert reinferencer.due(grown)  # 100% growth >= 50%
+
+    def test_adaptive_mode_converges_early(self):
+        # a large homogeneous corpus: the 25% prefix already yields the
+        # same constraint signature as 50%, so later rounds are skipped
+        values = [str(n % 5 + 1) for n in range(200)]
+        store = store_with({"web.Timeout": values})
+        reinferencer = ReInferencer(mode="adaptive")
+        result, info = reinferencer.run(store)
+        assert info["converged"]
+        assert info["rounds"] < len(reinferencer.schedule)
+        assert reinferencer.rounds_saved > 0
+        assert result.constraints
+
+    def test_full_mode_always_runs_everything(self):
+        store = store_with({"web.Timeout": ["1", "2", "3", "4", "5"]})
+        reinferencer = ReInferencer(mode="full")
+        result, info = reinferencer.run(store)
+        assert info["rounds"] == 1
+        assert info["converged"] is False
+        assert result.instances_analyzed == 5
+
+    def test_revision_keeps_lifecycle_history(self):
+        manager = SpecLifecycleManager(policy=PromotionPolicy())
+        corpus = store_with({"web.Timeout": ["1", "2", "3", "4", "5"]})
+        manager.ingest(InferenceEngine().infer(corpus))
+        spec_id = "range:S.web.Timeout"
+        manager.promote(spec_id, actor="operator")
+        # the corpus grows; the range widens; identity is preserved
+        wider = store_with({
+            "web.Timeout": ["1", "2", "3", "4", "5", "50"],
+        })
+        outcome = manager.ingest(InferenceEngine().infer(wider))
+        assert outcome["revised"] >= 1
+        record = manager.records[spec_id]
+        assert record.state == SpecState.ENFORCED  # state survived
+        assert record.revisions == 1
+        assert [e["action"] for e in record.history] == ["promote"]
+
+    def test_service_triggers_reinference_on_growth(self, workspace):
+        __, spec, config = workspace
+        manager = SpecLifecycleManager(
+            reinferencer=ReInferencer(growth_threshold=0.25),
+        )
+        service = make_service(spec, config, lifecycle=manager)
+        first = service.run_once()
+        assert first.shadow["reinference"] is not None
+        assert manager.records  # inferred candidates registered in SHADOW
+        assert all(r.state == SpecState.SHADOW
+                   for r in manager.records.values())
+
+
+# ---------------------------------------------------------------------------
+# Jobs: the advisory shadow block on verdicts
+# ---------------------------------------------------------------------------
+
+
+class TestJobShadowBlock:
+    def test_job_verdict_carries_advisory_shadow_block(self, workspace):
+        from repro.jobs import JobService
+
+        __, spec, config = workspace
+        manager = SpecLifecycleManager()
+        record = shadow_record("$fabric.Timeout -> int & [1, 10]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        service = make_service(spec, config, lifecycle=manager)
+        jobs = JobService(workers=1)
+        service.attach_jobs(jobs)
+        try:
+            job, __created = jobs.submit(
+                spec="$fabric.Timeout -> int & [1, 60]\n",
+                sources=[{"format": "ini",
+                          "text": "[fabric]\nTimeout = 30\n",
+                          "source": "inline.ini"}],
+            )
+            done = jobs.wait(job.id, timeout=30)
+            assert done.result["verdict"] == "admit"
+            shadow = done.result["shadow"]
+            assert shadow["violations"] == 1  # 30 ∉ [1, 10], advisory only
+            assert shadow["clean"] is False
+        finally:
+            jobs.close()
+
+    def test_shadow_never_changes_job_fingerprint(self, workspace):
+        from repro.jobs import JobService
+
+        __, spec, config = workspace
+        spec_text = "$fabric.Timeout -> int & [1, 60]\n"
+        sources = [{"format": "ini", "text": "[fabric]\nTimeout = 30\n",
+                    "source": "inline.ini"}]
+
+        plain_jobs = JobService(workers=1)
+        try:
+            job, __ = plain_jobs.submit(spec=spec_text, sources=sources)
+            baseline = plain_jobs.wait(job.id, timeout=30).result["fingerprint"]
+        finally:
+            plain_jobs.close()
+
+        manager = SpecLifecycleManager()
+        record = shadow_record("$fabric.Timeout -> int & [1, 10]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        service = make_service(spec, config, lifecycle=manager)
+        jobs = JobService(workers=1)
+        service.attach_jobs(jobs)
+        try:
+            job, __ = jobs.submit(spec=spec_text, sources=sources)
+            done = jobs.wait(job.id, timeout=30)
+            assert done.result["fingerprint"] == baseline
+            assert "shadow" in done.result
+        finally:
+            jobs.close()
+
+
+# ---------------------------------------------------------------------------
+# Operator endpoint + CLI
+# ---------------------------------------------------------------------------
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def _post(url):
+    request = urllib.request.Request(url, data=b"", method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+class TestSpecsEndpoint:
+    @pytest.fixture
+    def live(self, workspace):
+        __, spec, config = workspace
+        manager = SpecLifecycleManager()
+        record = shadow_record("$fabric.Timeout -> int & [1, 60]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        service = make_service(spec, config, lifecycle=manager)
+        service.run_once()
+        server = service.start_http()
+        yield server.url, manager
+        service.stop_http()
+
+    def test_list_and_filter(self, live):
+        url, __ = live
+        status, body = _get(url + "/specs")
+        assert status == 200
+        assert [r["id"] for r in body["specs"]] == ["range:S.fabric.Timeout"]
+        assert body["stats"]["specs"]["shadow"] == 1
+        status, body = _get(url + "/specs?state=enforced")
+        assert status == 200 and body["specs"] == []
+        status, __body = _get(url + "/specs?state=bogus")
+        assert status == 400
+
+    def test_get_one_spec(self, live):
+        url, __ = live
+        status, body = _get(url + "/specs/range:S.fabric.Timeout")
+        assert status == 200
+        assert body["state"] == SpecState.SHADOW
+        status, __body = _get(url + "/specs/nope:missing")
+        assert status == 404
+
+    def test_promote_demote_and_conflict(self, live):
+        url, manager = live
+        status, body = _post(url + "/specs/range:S.fabric.Timeout/promote")
+        assert status == 200 and body["state"] == SpecState.ENFORCED
+        assert manager.records["range:S.fabric.Timeout"].state == \
+            SpecState.ENFORCED
+        # double promote: 409, not a crash
+        status, __body = _post(url + "/specs/range:S.fabric.Timeout/promote")
+        assert status == 409
+        status, body = _post(url + "/specs/range:S.fabric.Timeout/demote")
+        assert status == 200 and body["state"] == SpecState.SHADOW
+        # the operator actions are in the journal-visible history
+        history = manager.history("range:S.fabric.Timeout")
+        assert [e["actor"] for e in history] == ["operator", "operator"]
+        status, __body = _post(url + "/specs/missing:spec/promote")
+        assert status == 404
+
+    def test_disabled_without_lifecycle(self, workspace):
+        __, spec, config = workspace
+        service = make_service(spec, config)
+        server = service.start_http()
+        try:
+            status, __body = _get(server.url + "/specs")
+            assert status == 404
+        finally:
+            service.stop_http()
+
+
+class TestSpecsCli:
+    @pytest.fixture
+    def live(self, workspace):
+        __, spec, config = workspace
+        manager = SpecLifecycleManager()
+        record = shadow_record("$fabric.Timeout -> int & [1, 60]",
+                               spec_id="range:S.fabric.Timeout")
+        manager.records[record.id] = record
+        service = make_service(spec, config, lifecycle=manager)
+        service.run_once()
+        server = service.start_http()
+        yield server.url
+        service.stop_http()
+
+    def test_list_promote_history(self, live, capsys):
+        from repro.console import main
+
+        assert main(["specs", live, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "range:S.fabric.Timeout" in out and "SHADOW" in out
+
+        assert main(["specs", live, "promote",
+                     "range:S.fabric.Timeout"]) == 0
+        assert "ENFORCED" in capsys.readouterr().out
+
+        assert main(["specs", live, "history",
+                     "range:S.fabric.Timeout"]) == 0
+        out = capsys.readouterr().out
+        assert "promote" in out and "operator" in out
+
+    def test_json_output_and_errors(self, live, capsys):
+        from repro.console import main
+
+        assert main(["specs", live, "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["specs"][0]["id"] == "range:S.fabric.Timeout"
+
+        assert main(["specs", live, "promote", "missing:spec"]) == 1
+        assert main(["specs", "http://127.0.0.1:9", "list"]) == 1
+
+    def test_action_requires_spec_id(self, live):
+        from repro.console import main
+
+        with pytest.raises(SystemExit):
+            main(["specs", live, "promote"])

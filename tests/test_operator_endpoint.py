@@ -126,8 +126,13 @@ class TestOperatorEndpoint:
             str(spec), [SourceSpec("ini", str(config))]
         )
         # /jobs answers 404 until a job service is attached (tested in
-        # test_jobs_endpoint.py); attach one so the whole table is live
+        # test_jobs_endpoint.py); attach one so the whole table is live.
+        # Likewise /specs answers 404 until a lifecycle manager is wired
+        # (tested in test_lifecycle.py).
         service.attach_jobs(JobService(workers=0))
+        from repro.lifecycle import SpecLifecycleManager
+
+        service.lifecycle = SpecLifecycleManager()
         service.run_once()
         server = service.start_http()
         try:
@@ -274,11 +279,14 @@ class TestOperatorEndpoint:
         from repro.jobs import JobService
 
         observability.enable()
+        from repro.lifecycle import SpecLifecycleManager
+
         service = ValidationService(
             str(spec), [SourceSpec("ini", str(config))],
             runtime=BlockingRuntime(),
         )
         service.attach_jobs(JobService(workers=0))
+        service.lifecycle = SpecLifecycleManager()
         server = service.start_http()
         worker = threading.Thread(target=service.run_once, daemon=True)
         try:

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.repository",
     "repro.drivers",
     "repro.inference",
+    "repro.lifecycle",
     "repro.runtime",
     "repro.console",
     "repro.synthetic",
@@ -65,6 +66,17 @@ def test_public_entry_points_importable():
     from repro.console import Console, EditorValidator, main  # noqa: F401
     from repro.core import analyze_coverage, suggest_repairs  # noqa: F401
     from repro.inference import combine, extract_constraints  # noqa: F401
+    from repro.lifecycle import (  # noqa: F401
+        LifecycleJournal,
+        PromotionPolicy,
+        ReInferencer,
+        ShadowLane,
+        SpecLifecycleManager,
+        SpecRecord,
+        SpecState,
+        constraint_spec_id,
+        fold,
+    )
 
 
 def test_cli_entry_point_help(capsys):
@@ -72,5 +84,16 @@ def test_cli_entry_point_help(capsys):
 
     parser = build_parser()
     for command in ("validate", "infer", "console", "service", "gate",
-                    "coverage", "fmt"):
+                    "coverage", "fmt", "specs"):
         assert command in parser.format_help()
+
+
+def test_promotion_policy_doctests():
+    """The lifecycle policy docstring is an executable state-machine spec."""
+    import doctest
+
+    import repro.lifecycle.policy as policy_module
+
+    results = doctest.testmod(policy_module)
+    assert results.attempted > 0
+    assert results.failed == 0
