@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos obs-smoke http-smoke jobs-smoke workers-smoke delta-smoke lifecycle-smoke bench-smoke bench ci
+.PHONY: test chaos obs-smoke http-smoke jobs-smoke workers-smoke fleet-smoke delta-smoke lifecycle-smoke bench-smoke bench ci
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -47,6 +47,14 @@ jobs-smoke:
 workers-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/workers_smoke.py
 
+## Fleet-observability smoke: coordinator subprocess + two external
+## workers; assert one stitched end-to-end job trace across processes,
+## worker-labeled federated /metrics, staleness fencing after a SIGKILL
+## (dead worker ages out of the exposition but stays visible in /fleet),
+## and that the trace survives the kill.
+fleet-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/fleet_smoke.py
+
 ## Watch-mode delta smoke: start `service --delta --watch` as a real
 ## subprocess, edit one key, assert exactly one delta scan fires with the
 ## right scope and a fingerprint byte-identical to a full in-process scan,
@@ -74,5 +82,6 @@ bench:
 
 ## What CI runs: the tier-1 suite, the chaos suite, the observability
 ## gate, the live-endpoint, job-service, multi-process worker,
-## watch-mode delta and lifecycle smokes, and the benchmark smoke pass.
-ci: test chaos obs-smoke http-smoke jobs-smoke workers-smoke delta-smoke lifecycle-smoke bench-smoke
+## fleet-observability, watch-mode delta and lifecycle smokes, and the
+## benchmark smoke pass.
+ci: test chaos obs-smoke http-smoke jobs-smoke workers-smoke fleet-smoke delta-smoke lifecycle-smoke bench-smoke

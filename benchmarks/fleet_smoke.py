@@ -1,0 +1,292 @@
+"""End-to-end smoke test of fleet-wide observability (ISSUE 9).
+
+Starts ``confvalley service --http --jobs --jobs-dir`` as a subprocess
+(the coordinator) plus **two** external ``confvalley worker`` processes,
+and drives the federation story the way an operator would:
+
+1. a job with a ``--callback`` URL is submitted over HTTP and executed
+   by one of the standalone workers; ``GET /jobs/<id>/trace`` returns
+   **one stitched tree** — a single root, no orphan spans — covering
+   submit → claim → parse → evaluate → report → webhook across the
+   coordinator and the worker process;
+2. ``GET /metrics`` federates: both workers' registry snapshots surface
+   under a ``worker`` label next to the coordinator's own series, with
+   ``confvalley_fleet_*`` rollups on top;
+3. one worker is **SIGKILLed**; after the staleness TTL its snapshot is
+   fenced out of the merged ``/metrics`` (``GET /fleet`` still shows it,
+   flagged stale, for triage) — a dead worker's last export must not
+   lie in the exposition forever;
+4. the stitched trace **survives** the kill (trace partitions are
+   append-only files, not process state), and ``confvalley trace``
+   fetches it as a loadable Chrome ``trace_event`` file;
+5. SIGTERM drains the surviving worker and the coordinator cleanly.
+
+Run directly (``make fleet-smoke``)::
+
+    PYTHONPATH=src python benchmarks/fleet_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.session import ValidationSession  # noqa: E402
+from repro.jobs.model import report_fingerprint_digest  # noqa: E402
+
+ANNOUNCEMENT = re.compile(r"operator endpoint: (http://\S+)")
+STARTUP_DEADLINE = 30.0
+SHUTDOWN_DEADLINE = 15.0
+#: coordinator lease TTL; snapshot staleness fencing is max(TTL, 2.0)
+LEASE_TTL = 1.0
+STALE_AFTER = max(LEASE_TTL, 2.0)
+
+SPEC = (
+    "$fabric.Timeout -> int & [1, 60]\n"
+    "$fabric.Retries -> int & [0, 5]\n"
+)
+CONFIG = "[fabric]\nTimeout = 30\nRetries = 2\n"
+
+SOURCE_ROOT = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def python_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SOURCE_ROOT
+    return env
+
+
+def cli_command(args):
+    return [
+        sys.executable, "-c",
+        "import sys; from repro.console.cli import main; "
+        "sys.exit(main(sys.argv[1:]))",
+        *args,
+    ]
+
+
+def cli(args, **kwargs):
+    return subprocess.run(
+        cli_command(args), env=python_env(),
+        capture_output=True, text=True, timeout=120, **kwargs,
+    )
+
+
+def spawn_worker(jobs_dir, worker_id):
+    return subprocess.Popen(
+        cli_command([
+            "worker", "--journal", str(jobs_dir), "--id", worker_id,
+            "--lease-ttl", str(LEASE_TTL), "--poll", "0.02",
+        ]),
+        env=python_env(), stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_announcement(stderr) -> str:
+    deadline = time.monotonic() + STARTUP_DEADLINE
+    while time.monotonic() < deadline:
+        line = stderr.readline()
+        if not line:
+            raise AssertionError("service exited before announcing its URL")
+        sys.stderr.write(line)
+        match = ANNOUNCEMENT.search(line)
+        if match:
+            return match.group(1)
+    raise AssertionError("no endpoint announcement within deadline")
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def poll_until(describe, predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {describe}")
+
+
+def federated_workers(base: str) -> set:
+    """Worker labels present in the *merged* (non-rollup) families."""
+    families = get_json(f"{base}/metrics.json")
+    workers = set()
+    for name, family in families.items():
+        if name.startswith("confvalley_fleet_"):
+            continue  # meta families keep naming stale workers for triage
+        for series in family.get("series") or ():
+            worker = (series.get("labels") or {}).get("worker")
+            if worker:
+                workers.add(worker)
+    return workers
+
+
+class CallbackReceiver(BaseHTTPRequestHandler):
+    received: list[dict] = []
+    lock = threading.Lock()
+
+    def do_POST(self):  # noqa: N802 (stdlib naming)
+        body = self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        with CallbackReceiver.lock:
+            CallbackReceiver.received.append(json.loads(body))
+        self.send_response(200)
+        self.end_headers()
+
+    def log_message(self, *args):  # keep the smoke output readable
+        pass
+
+
+def main() -> int:
+    workspace = Path(tempfile.mkdtemp(prefix="confvalley-fleet-smoke-"))
+    spec = workspace / "specs.cpl"
+    spec.write_text(SPEC)
+    config = workspace / "prod.ini"
+    config.write_text(CONFIG)
+    jobs_dir = workspace / "jobsdir"
+
+    session = ValidationSession()
+    session.load_source("ini", str(config))
+    expected = report_fingerprint_digest(session.validate(SPEC))
+
+    receiver = HTTPServer(("127.0.0.1", 0), CallbackReceiver)
+    threading.Thread(target=receiver.serve_forever, daemon=True).start()
+    callback = f"http://127.0.0.1:{receiver.server_port}/hook"
+
+    service = subprocess.Popen(
+        cli_command([
+            "service", str(spec),
+            "--source", f"ini:{config}",
+            "--http", "127.0.0.1:0",
+            "--jobs", "--workers", "0",
+            "--jobs-dir", str(jobs_dir),
+            "--lease-ttl", str(LEASE_TTL),
+            "--interval", "0.2",
+        ]),
+        env=python_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    workers = {}
+    try:
+        base = wait_for_announcement(service.stderr).rstrip("/")
+        workers["w1"] = spawn_worker(jobs_dir, "w1")
+        workers["w2"] = spawn_worker(jobs_dir, "w2")
+
+        # 1. submit; a standalone worker runs it; the trace stitches
+        result = cli([
+            "submit", str(spec), "--url", base,
+            "--inline-source", f"ini:{config}",
+            "--callback", callback,
+        ])
+        assert result.returncode == 0, result.stderr
+        job_id = result.stdout.strip()
+        record = poll_until(
+            "a worker to finish the job",
+            lambda: (lambda r: r if r["state"] == "DONE" else None)(
+                get_json(f"{base}/jobs/{job_id}")
+            ),
+        )
+        claimant = record["worker"]
+        assert claimant in ("w1", "w2"), record
+        assert record["result"]["fingerprint"] == expected, record
+
+        trace = poll_until(
+            "the stitched trace to cover both processes and the webhook",
+            lambda: (lambda t: t if {"webhook", "report"} <=
+                     {s["name"] for s in t["spans"]} else None)(
+                get_json(f"{base}/jobs/{job_id}/trace")
+            ),
+        )
+        names = {s["name"] for s in trace["spans"]}
+        assert names == {"job", "submit", "claim", "parse", "evaluate",
+                         "report", "webhook"}, names
+        assert trace["roots"] == [f"{job_id}:root"], trace["roots"]
+        assert trace["orphan_spans"] == [], trace["orphan_spans"]
+        assert sorted(trace["sources"]) == ["coordinator", claimant], (
+            trace["sources"])
+        assert trace["traceEvents"], "Chrome trace body must not be empty"
+        print(f"ok one stitched tree across coordinator + {claimant} "
+              f"({len(trace['spans'])} spans, submit -> webhook)")
+
+        # 2. /metrics federates both workers under a worker label
+        poll_until(
+            "both workers' snapshots in the merged exposition",
+            lambda: federated_workers(base) >= {"w1", "w2"} or None,
+        )
+        exposition = urllib.request.urlopen(
+            f"{base}/metrics", timeout=10).read().decode()
+        assert f'worker="{claimant}"' in exposition, (
+            "claimant series missing from /metrics")
+        assert "confvalley_fleet_workers" in exposition
+        fleet = get_json(f"{base}/fleet")
+        assert fleet["federation"] is True, fleet
+        assert {row["worker"] for row in fleet["workers"]} == {"w1", "w2"}
+        assert all(row["fresh"] for row in fleet["workers"]), fleet
+        print("ok /metrics federated (2 workers labeled, fleet rollups)")
+
+        # 3. SIGKILL one worker; staleness fencing ages it out
+        victim = "w2" if claimant == "w1" else "w1"
+        os.kill(workers[victim].pid, signal.SIGKILL)
+        workers[victim].wait(timeout=10)
+        poll_until(
+            f"{victim}'s snapshot to age out of /metrics "
+            f"(stale after {STALE_AFTER:g}s)",
+            lambda: victim not in federated_workers(base) or None,
+            timeout=STALE_AFTER + 20.0,
+        )
+        fleet = get_json(f"{base}/fleet")
+        flags = {row["worker"]: row["fresh"] for row in fleet["workers"]}
+        assert flags[victim] is False, (
+            f"{victim} must stay visible in /fleet, flagged stale: {flags}")
+        print(f"ok SIGKILLed {victim} fenced out of /metrics after "
+              f"{STALE_AFTER:g}s, still visible stale in /fleet")
+
+        # 4. the stitched trace survives the kill; the CLI exports it
+        trace = get_json(f"{base}/jobs/{job_id}/trace")
+        assert trace["roots"] == [f"{job_id}:root"]
+        assert trace["orphan_spans"] == []
+        out_file = workspace / "trace.json"
+        result = cli(["trace", base, job_id, "--out", str(out_file)])
+        assert result.returncode == 0, result.stderr
+        document = json.loads(out_file.read_text())
+        assert document["trace_id"] == job_id
+        assert document["traceEvents"], document
+        print("ok stitched trace survived the kill; "
+              "`confvalley trace` wrote a Chrome trace file")
+
+        # 5. clean SIGTERM drain
+        survivor = workers["w1" if victim == "w2" else "w2"]
+        survivor.send_signal(signal.SIGTERM)
+        assert survivor.wait(timeout=10) == 0, "worker SIGTERM drain failed"
+        service.send_signal(signal.SIGTERM)
+        returncode = service.wait(timeout=SHUTDOWN_DEADLINE)
+        assert returncode == 0, f"service exited {returncode} on SIGTERM"
+        print("ok SIGTERM drain")
+    finally:
+        receiver.shutdown()
+        for process in list(workers.values()) + [service]:
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait(timeout=5)
+
+    print("fleet-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ Subcommands::
     confvalley submit   SPEC.cpl --url URL [--source …] [--wait]
     confvalley jobs     URL [--state S] [--tenant T]
     confvalley cancel   URL JOB_ID
+    confvalley trace    URL_OR_DIR JOB_ID [--out FILE]
 
 ``stats`` and ``top`` read either a snapshot file written by
 ``service --metrics-file`` or a running service's operator endpoint
@@ -474,6 +475,24 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("url", metavar="URL", help="service base URL")
     cancel.add_argument("job_id", metavar="JOB_ID", help="the job to cancel")
 
+    trace = sub.add_parser(
+        "trace",
+        help="fetch a job's distributed trace as Chrome trace_event JSON "
+             "(GET /jobs/<id>/trace, or stitch offline from a --jobs-dir)",
+    )
+    trace.add_argument(
+        "target", metavar="URL_OR_DIR",
+        help="running service base URL (http://HOST:PORT), or the shared "
+             "job directory of a `service --jobs --jobs-dir DIR` to stitch "
+             "the trace offline from its partition files",
+    )
+    trace.add_argument("job_id", metavar="JOB_ID", help="the job to trace")
+    trace.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the Chrome trace_event JSON to FILE (load it in "
+             "chrome://tracing or Perfetto; default: stdout)",
+    )
+
     specs = sub.add_parser(
         "specs",
         help="inspect and steer a running service's inferred-spec "
@@ -748,6 +767,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_jobs(args)
     if args.command == "cancel":
         return _run_cancel(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "specs":
         return _run_specs(args)
     if args.command == "fmt":
@@ -1196,13 +1217,70 @@ def _run_specs(args) -> int:
     return 0
 
 
+def _run_trace(args) -> int:
+    """Fetch (or offline-stitch) one job's distributed trace."""
+    import json as _json
+
+    target = args.target.rstrip("/")
+    if _is_url(target):
+        try:
+            status, body = _http_json(f"{target}/jobs/{args.job_id}/trace")
+        except _live_endpoint_errors() as exc:
+            print(_unreachable_message(target, exc), file=sys.stderr)
+            return 1
+        if status != 200:
+            print(f"trace failed (HTTP {status}): {body.get('error', body)}",
+                  file=sys.stderr)
+            return 1
+        payload = body
+    else:
+        import os
+
+        from ..jobs.lease import JobDirectory
+        from ..observability import read_trace_segments, trace_payload
+
+        if not os.path.isdir(target):
+            print(f"no job directory at {target!r} — pass a running "
+                  f"service's URL or a `service --jobs-dir` directory",
+                  file=sys.stderr)
+            return 1
+        directory = JobDirectory(target)
+        segments = []
+        for partition in directory.trace_partitions().values():
+            segments.extend(
+                segment for segment in read_trace_segments(partition)
+                if segment.get("trace_id") == args.job_id
+            )
+        payload = trace_payload(args.job_id, segments)
+    if not payload.get("spans"):
+        print(f"no trace recorded for job {args.job_id!r} — was the "
+              f"service running with observability enabled (--http or "
+              f"--metrics-file)?", file=sys.stderr)
+        return 1
+    text = _json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(payload['spans'])} span(s) from "
+              f"{len(payload.get('sources', []))} source(s) to {args.out}",
+              file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def _run_worker(args) -> int:
     """Run one standalone worker process against a shared job directory."""
+    from .. import observability
     from ..jobs.lease import DEFAULT_LEASE_TTL
     from ..jobs.worker import ExternalWorker
 
     if args.log_file:
         _configure_log_file(args.log_file)
+    # the worker is one process of an observable fleet: enable the live
+    # registry/tracer so its metrics snapshots and trace segments federate
+    # into the coordinator's /metrics and /jobs/<id>/trace
+    observability.enable()
     worker = ExternalWorker(
         journal_dir=args.journal,
         worker_id=args.id,

@@ -35,6 +35,8 @@ The shared directory layout (:class:`JobDirectory`)::
       workers/<id>.hb.json  # worker presence heartbeat (atomic rewrite)
       leases/<job_id>.json  # live leases (O_EXCL create = claim)
       specs/<name>.cpl      # registered named specs, visible to workers
+      traces/<id>.jsonl     # per-worker trace-segment partitions (append)
+      metrics/<id>.json     # per-worker metrics snapshots (atomic rewrite)
 """
 
 from __future__ import annotations
@@ -118,9 +120,17 @@ class JobDirectory:
     def specs_dir(self) -> str:
         return os.path.join(self.root, "specs")
 
+    @property
+    def traces_dir(self) -> str:
+        return os.path.join(self.root, "traces")
+
+    @property
+    def metrics_dir(self) -> str:
+        return os.path.join(self.root, "metrics")
+
     def ensure(self) -> "JobDirectory":
         for path in (self.root, self.workers_dir, self.leases_dir,
-                     self.specs_dir):
+                     self.specs_dir, self.traces_dir, self.metrics_dir):
             os.makedirs(path, exist_ok=True)
         return self
 
@@ -129,6 +139,38 @@ class JobDirectory:
 
     def worker_heartbeat(self, worker_id: str) -> str:
         return os.path.join(self.workers_dir, f"{_safe_name(worker_id)}.hb.json")
+
+    def trace_partition(self, source_id: str) -> str:
+        """Append-only trace-segment partition for one process."""
+        return os.path.join(self.traces_dir, f"{_safe_name(source_id)}.jsonl")
+
+    def trace_partitions(self) -> dict[str, str]:
+        """``{source id: partition path}`` for every trace partition."""
+        try:
+            names = os.listdir(self.traces_dir)
+        except OSError:
+            return {}
+        return {
+            name[: -len(".jsonl")]: os.path.join(self.traces_dir, name)
+            for name in sorted(names)
+            if name.endswith(".jsonl")
+        }
+
+    def metrics_snapshot(self, source_id: str) -> str:
+        """Atomically-rewritten metrics snapshot for one process."""
+        return os.path.join(self.metrics_dir, f"{_safe_name(source_id)}.json")
+
+    def metrics_snapshots(self) -> dict[str, str]:
+        """``{source id: snapshot path}`` for every exported snapshot."""
+        try:
+            names = os.listdir(self.metrics_dir)
+        except OSError:
+            return {}
+        return {
+            name[: -len(".json")]: os.path.join(self.metrics_dir, name)
+            for name in sorted(names)
+            if name.endswith(".json") and not name.startswith(".")
+        }
 
     def partitions(self) -> dict[str, str]:
         """``{worker id: partition path}`` for every partition on disk."""

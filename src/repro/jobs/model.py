@@ -179,6 +179,10 @@ class ValidationJob:
     #: webhook delivery record once enqueued:
     #: {"state": "pending"|"delivered"|"dead-letter", "attempts": n}
     webhook: Optional[dict] = None
+    #: distributed-trace origin opened at submit: {"trace_id", "span_id"}.
+    #: A claiming worker roots its span segment at this context so the
+    #: coordinator can stitch one tree across processes (None = untraced).
+    trace: Optional[dict] = None
 
     @property
     def terminal(self) -> bool:
@@ -235,6 +239,7 @@ class ValidationJob:
             "result": self.result,
             "error": self.error,
             "webhook": self.webhook,
+            "trace": self.trace,
         }
 
     def summary(self) -> dict:

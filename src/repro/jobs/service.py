@@ -64,7 +64,14 @@ import threading
 import time
 from typing import Optional
 
-from ..observability import get_logger, get_metrics
+from ..observability import (
+    FleetView,
+    SpanContext,
+    Tracer,
+    enabled as observability_enabled,
+    get_logger,
+    get_metrics,
+)
 from ..parallel.cache import SpecCache
 from ..runtime import clock as _clock
 from .journal import JobJournal, JournalTail, apply_worker_event, fold_merged
@@ -204,11 +211,21 @@ class JobService:
             on_result=self._webhook_result,
             start=start,
         )
+        #: webhook-delivery start times for traced jobs (trace span input)
+        self._webhook_trace_start: dict[str, float] = {}
+        self.fleet: Optional[FleetView] = None
         self.journal: Optional[JobJournal] = None
         if journal_dir is not None:
             self.directory = JobDirectory(journal_dir).ensure()
             self.leases = LeaseStore(
                 self.directory, ttl=lease_ttl, time_fn=time_fn
+            )
+            # snapshot staleness fencing follows the worker-presence rule:
+            # anything older than a lease TTL is presumed dead
+            self.fleet = FleetView(
+                directory=self.directory,
+                stale_after=max(self.lease_ttl, 2.0),
+                time_fn=time_fn,
             )
             self.journal = JobJournal(
                 self.directory.coordinator_journal,
@@ -234,6 +251,10 @@ class JobService:
                 snapshot_source=self._snapshot_jobs,
             )
             self._recover()
+        if self.fleet is None:
+            # single-process modes still stitch in-memory traces so
+            # GET /jobs/<id>/trace works without a shared directory
+            self.fleet = FleetView(time_fn=time_fn)
         self.pool = WorkerPool(self, workers=workers)
         if start:
             self.pool.start()
@@ -517,6 +538,7 @@ class JobService:
                 self._count_rejection(error.reason)
                 raise
             job.submitted_at = self._time()
+            self._trace_submit_locked(job)
             self._jobs[job.id] = job
             if idempotency_key:
                 self._by_key[idempotency_key] = job.id
@@ -535,6 +557,85 @@ class JobService:
             },
         )
         return job, True
+
+    # ------------------------------------------------------------------
+    # Distributed job traces (see repro.observability.federation)
+    # ------------------------------------------------------------------
+
+    def _trace_submit_locked(self, job: ValidationJob) -> None:
+        """Open the job's root span and record the ``submit`` segment.
+
+        Only when observability is enabled — the trace context rides the
+        job record to whichever worker claims it, and span timestamps are
+        wall-clock (``self._time``) because they are compared across
+        processes.  Nil cost (``job.trace`` stays None) when disabled.
+        """
+        if not observability_enabled():
+            return
+        now = self._time()
+        root_id = f"{job.id}:root"
+        job.trace = {"trace_id": job.id, "span_id": root_id}
+        self.fleet.record_segment(
+            job.id,
+            [
+                {
+                    "span_id": root_id,
+                    "parent_id": "",
+                    "name": "job",
+                    "start": job.submitted_at,
+                    "end": None,
+                    "attrs": {
+                        "job": job.id,
+                        "tenant": job.tenant,
+                        "spec": job.spec_reference(),
+                    },
+                },
+                {
+                    "span_id": f"{job.id}:submit",
+                    "parent_id": root_id,
+                    "name": "submit",
+                    "start": job.submitted_at,
+                    "end": now,
+                    "attrs": {"source": FleetView.SOURCE},
+                },
+            ],
+        )
+
+    def _trace_close_root(self, job: ValidationJob, **attrs) -> None:
+        """Re-emit the root span closed; stitching merges by span id."""
+        if not job.trace or self.fleet is None:
+            return
+        end = self._time()
+        self.fleet.record_segment(
+            job.trace["trace_id"],
+            [
+                {
+                    "span_id": job.trace["span_id"],
+                    "parent_id": "",
+                    "name": "job",
+                    "start": job.submitted_at if job.submitted_at else end,
+                    "end": end,
+                    "attrs": dict(attrs, state=job.state),
+                }
+            ],
+        )
+
+    def _trace_terminal_locked(self, job: ValidationJob) -> None:
+        """Close the root at terminal unless a webhook delivery will."""
+        if not job.trace or job.callback_url:
+            return
+        self._trace_close_root(job, closed_by="terminal")
+
+    def _job_tracer(self, job: ValidationJob):
+        """A wall-clock tracer continuing the job's trace in this process."""
+        if not job.trace:
+            return None
+        attempt = job.epoch or job.attempts
+        return Tracer(
+            origin=SpanContext(job.trace["trace_id"], job.trace["span_id"]),
+            prefix=f"{job.id}:{self.worker_id}.{attempt}:",
+            time_source=self._time,
+        )
 
     @staticmethod
     def _normalize_sources(sources: Optional[list]) -> list:
@@ -681,7 +782,13 @@ class JobService:
     def _run_job(self, job: ValidationJob) -> None:
         """Execute one RUNNING job and record its terminal transition."""
         cancel = self._cancel_events.get(job.id)
-        state, result, error = self.executor.execute(job, cancel)
+        tracer = self._job_tracer(job)
+        if tracer is not None:
+            with tracer.span("claim", worker=self.worker_id, epoch=job.epoch):
+                pass  # in-process claim won in _next_job; mark the handoff
+        state, result, error = self.executor.execute(job, cancel, tracer=tracer)
+        if tracer is not None:
+            self.fleet.record_segment(job.id, tracer.finished_spans())
         self._record_terminal(job, state, result, error)
 
     def _record_terminal(
@@ -711,6 +818,7 @@ class JobService:
             if lease is not None and self.leases is not None:
                 self.leases.release(lease)
             self._enqueue_webhook_locked(job)
+            self._trace_terminal_locked(job)
             self._evict_locked()
             self._done.notify_all()
         metrics = get_metrics()
@@ -745,21 +853,47 @@ class JobService:
         if not job.callback_url:
             return
         job.webhook = {"state": "pending", "attempts": 0}
+        if job.trace:
+            self._webhook_trace_start[job.id] = self._time()
         self._journal_update(job, webhook=job.webhook)
         self.webhooks.submit(job.id, job.callback_url, job.to_dict())
 
     def _webhook_result(
         self, job_id: str, outcome: str, attempts: int, error: str
     ) -> None:
-        """Dispatcher callback: journal the final delivery state."""
+        """Dispatcher callback: journal the final delivery state.
+
+        For traced jobs this is also where the distributed trace ends —
+        the delivery gets its own span and the root is re-emitted closed.
+        """
         with self._lock:
             job = self._jobs.get(job_id)
+            started = self._webhook_trace_start.pop(job_id, None)
             if job is None:
                 return  # evicted by retention meanwhile; nothing to pin
             job.webhook = {"state": outcome, "attempts": attempts}
             if error:
                 job.webhook["error"] = error
             self._journal_update(job, webhook=job.webhook)
+            if job.trace and self.fleet is not None:
+                now = self._time()
+                attrs = {"outcome": outcome, "attempts": attempts}
+                if error:
+                    attrs["error"] = error
+                self.fleet.record_segment(
+                    job.trace["trace_id"],
+                    [
+                        {
+                            "span_id": f"{job.id}:webhook",
+                            "parent_id": job.trace["span_id"],
+                            "name": "webhook",
+                            "start": started if started is not None else now,
+                            "end": now,
+                            "attrs": attrs,
+                        }
+                    ],
+                )
+                self._trace_close_root(job, closed_by="webhook")
 
     # ------------------------------------------------------------------
     # Reaper: absorb worker events, renew own leases, expire stale ones
@@ -862,6 +996,7 @@ class JobService:
                 finished_at=job.finished_at,
             )
             self._enqueue_webhook_locked(job)
+            self._trace_terminal_locked(job)
             self._count_finished(JobState.EXPIRED)
             self._done.notify_all()
             return True
@@ -953,6 +1088,7 @@ class JobService:
                         finished_at=job.finished_at,
                     )
                     self._enqueue_webhook_locked(job)
+                    self._trace_terminal_locked(job)
                     self._count_finished(job.state)
                     _log.info(
                         "absorbed worker result",
@@ -989,8 +1125,20 @@ class JobService:
             }
             held = sorted(self._held_leases)
         workers = self.leases.workers()
+        metric_ages = {
+            row["worker"]: row["metrics_age_s"]
+            for row in self.fleet.metric_rows()
+        }
+        trace_last = {
+            row["source"]: row["last_segment_at"]
+            for row in self.fleet.trace_stats()
+        }
         for row in workers:
-            row["counts"] = counts.get(row.get("id", ""), {})
+            worker_id = row.get("id", "")
+            row["counts"] = counts.get(worker_id, {})
+            # observability staleness alongside lease state (fleet triage)
+            row["metrics_age_s"] = metric_ages.get(worker_id)
+            row["last_trace_segment_at"] = trace_last.get(worker_id)
         leases = []
         for lease in self.leases.live_leases():
             record = lease.to_dict()
@@ -1011,6 +1159,41 @@ class JobService:
         }
         if self.supervisor is not None:
             payload["supervisor"] = self.supervisor.status()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Fleet observability (GET /fleet, federated /metrics, job traces)
+    # ------------------------------------------------------------------
+
+    def trace(self, job_id: str) -> dict:
+        """The stitched cross-process trace for one job (by trace id)."""
+        return self.fleet.trace(job_id)
+
+    def federated_metrics(self) -> Optional[dict]:
+        """Merged metric families for the fleet, or None single-process.
+
+        The coordinator's own registry plus every fresh worker snapshot
+        (``worker``-labeled) plus the ``confvalley_fleet_*`` rollup and
+        presence families — the document behind ``/metrics`` and
+        ``/metrics.json`` in multi-process mode.
+        """
+        if self.directory is None:
+            return None
+        return self.fleet.merged_families(get_metrics().to_dict())
+
+    def fleet_payload(self) -> dict:
+        """The ``GET /fleet`` document: presence ⋈ freshness ⋈ throughput."""
+        payload = self.fleet.fleet_payload()
+        with self._lock:
+            counts = {
+                worker: dict(count)
+                for worker, count in self._worker_counts.items()
+            }
+        for row in payload["workers"]:
+            row["counts"] = counts.get(row["worker"], {})
+        payload["presence"] = (
+            self.leases.workers() if self.leases is not None else []
+        )
         return payload
 
     # ------------------------------------------------------------------
@@ -1082,6 +1265,7 @@ class JobService:
                     error=job.error,
                     finished_at=job.finished_at,
                 )
+                self._trace_terminal_locked(job)
                 self._done.notify_all()
             else:  # RUNNING: the supervising worker observes the event
                 event = self._cancel_events.get(job.id)
@@ -1200,7 +1384,8 @@ class JobService:
                 }
             if self.supervisor is not None:
                 payload["worker_procs"] = self.supervisor.status()
-            return payload
+        payload["fleet"] = self.fleet.fleet_payload()
+        return payload
 
     def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> bool:
         """Shut down: optionally drain in-flight jobs, persist, close.

@@ -47,8 +47,18 @@ import threading
 import time
 from typing import Optional
 
+import contextlib
+
 from ..core.session import ValidationSession
-from ..observability import get_logger
+from ..observability import (
+    NULL_TRACER,
+    SpanContext,
+    Tracer,
+    TraceSegmentWriter,
+    export_metrics_snapshot,
+    get_logger,
+    get_metrics,
+)
 from ..runtime import clock as _clock
 from .journal import (
     JobJournal,
@@ -150,20 +160,34 @@ class JobExecutor:
             else:
                 session.load_source(fmt, source["path"], source.get("scope", ""))
 
-    def validate(self, job: ValidationJob):
+    def validate(self, job: ValidationJob, tracer=None):
         """The raw validation run (no supervision) → ValidationReport.
 
         ``mode: delta`` jobs take the incremental branch; the per-job
         delta record (selection counts, change summary) travels on the
         report as ``delta_info`` and lands in the verdict payload.
+
+        ``tracer`` continues the job's distributed trace in this process
+        (parse → evaluate → report segments); tracing only observes — the
+        report, and hence its ``fingerprint()``, is identical either way.
         """
-        spec_text = self.resolve_spec_text(job)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("parse", spec=job.spec_reference(), mode=job.mode):
+            spec_text = self.resolve_spec_text(job)
+            if job.mode != "delta":
+                session = self._build_session(job)
+                self._load_sources(session, job.sources)
         if job.mode == "delta":
-            return self._validate_delta(job, spec_text)
-        session = self._build_session(job)
-        self._load_sources(session, job.sources)
-        report = session.validate(spec_text)
-        self._attach_shadow(report, session.store)
+            with tracer.span("evaluate", mode="delta"):
+                return self._validate_delta(job, spec_text)
+        with tracer.span("evaluate") as span:
+            report = session.validate(spec_text)
+            span.set(
+                specs=report.specs_evaluated,
+                violations=len(report.violations),
+            )
+        with tracer.span("report"):
+            self._attach_shadow(report, session.store)
         return report
 
     def _attach_shadow(self, report, store) -> None:
@@ -281,20 +305,26 @@ class JobExecutor:
     # -- supervised execution ------------------------------------------
 
     def execute(
-        self, job: ValidationJob, cancel: Optional[threading.Event] = None
+        self,
+        job: ValidationJob,
+        cancel: Optional[threading.Event] = None,
+        tracer=None,
     ) -> tuple[str, Optional[dict], str]:
         """Run the job under timeout/cancel supervision.
 
         Returns ``(state, result, error)`` where ``state`` is a terminal
         :class:`JobState` and ``result`` is the verdict payload (None only
-        when the run was abandoned before producing one).
+        when the run was abandoned before producing one).  ``tracer``
+        (optional) records this process's span segment of the job's
+        distributed trace; the runner thread's spans parent directly on
+        the tracer's origin (the job's root span).
         """
         timeout = job.timeout if job.timeout is not None else self.default_timeout
         box: dict = {}
 
         def run():
             try:
-                box["report"] = self.validate(job)
+                box["report"] = self.validate(job, tracer=tracer)
             except Exception as exc:  # rendered into the error verdict
                 box["error"] = f"{type(exc).__name__}: {exc}"
 
@@ -487,6 +517,14 @@ class ExternalWorker:
         self.leases_lost = 0
         self._started_at = self._time()
         self._current_job = ""
+        #: this worker's span-segment partition (single-writer, like the
+        #: journal partition); segments use wall-clock timestamps so the
+        #: coordinator can stitch them against other processes' spans
+        self.traces = TraceSegmentWriter(
+            self.directory.trace_partition(self.worker_id),
+            self.worker_id,
+            time_fn,
+        )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -593,6 +631,7 @@ class ExternalWorker:
                 cancel.set()
                 return
             self.announce()
+            self.export_metrics()
             events, reset = self._coord_tail.poll()
             if reset:
                 self._refold()
@@ -604,8 +643,24 @@ class ExternalWorker:
             if current is not None and current.cancel_requested:
                 cancel.set()
 
+    def _job_tracer(self, job: ValidationJob, epoch: int) -> Optional[Tracer]:
+        """A wall-clock tracer continuing the job's trace in this worker.
+
+        The span-id prefix is unique per (worker, claim epoch), so two
+        attempts at the same job — or two workers — can never collide in
+        the stitched tree, and each attempt renders as its own row.
+        """
+        if not job.trace:
+            return None
+        return Tracer(
+            origin=SpanContext(job.trace["trace_id"], job.trace["span_id"]),
+            prefix=f"{job.id}:{self.worker_id}.{epoch}:",
+            time_source=self._time,
+        )
+
     def _run_claimed(self, job: ValidationJob, lease) -> None:
         now = self._time()
+        tracer = self._job_tracer(job, lease.epoch)
         claim_event = {
             "event": "claim",
             "id": job.id,
@@ -613,10 +668,16 @@ class ExternalWorker:
             "epoch": lease.epoch,
             "at": now,
         }
-        self.partition.append(claim_event)
-        apply_worker_event(job, claim_event)
-        self._current_job = job.id
-        self.announce()
+        claim_scope = (
+            tracer.span("claim", worker=self.worker_id, epoch=lease.epoch)
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
+        with claim_scope:
+            self.partition.append(claim_event)
+            apply_worker_event(job, claim_event)
+            self._current_job = job.id
+            self.announce()
         self._chaos_hold()
         stop_heartbeat = threading.Event()
         cancel = threading.Event()
@@ -628,7 +689,9 @@ class ExternalWorker:
         )
         heartbeat.start()
         try:
-            state, result, error = self.executor.execute(job, cancel)
+            state, result, error = self.executor.execute(
+                job, cancel, tracer=tracer
+            )
         except Exception as exc:  # a broken job must never kill the worker
             message = f"{type(exc).__name__}: {exc}"
             state, result, error = (
@@ -653,9 +716,18 @@ class ExternalWorker:
         self.partition.append(terminal_event)
         apply_worker_event(job, terminal_event)
         self.leases.release(lease)
+        if tracer is not None:
+            self.traces.write(job.id, tracer.finished_spans())
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(
+                "confvalley_worker_jobs_total",
+                "Jobs executed by this worker process, by terminal state.",
+            ).inc(state=state)
         self._current_job = ""
         self.jobs_done += 1
         self.announce()
+        self.export_metrics()
 
     # -- presence ------------------------------------------------------
 
@@ -668,6 +740,41 @@ class ExternalWorker:
             current_job=self._current_job,
             started_at=self._started_at,
         )
+
+    def export_metrics(self) -> None:
+        """Publish this process's registry snapshot for federation.
+
+        Atomic rewrite into the shared ``metrics/`` directory on the
+        heartbeat cadence; a no-op when metrics are disabled, so a worker
+        run without observability costs nothing and exports nothing.
+        """
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        # every export carries at least this series, so an idle worker
+        # still surfaces in the federated exposition (and ages out of it)
+        metrics.gauge(
+            "confvalley_worker_up",
+            "1 while this worker process is exporting snapshots.",
+        ).set(1.0)
+        try:
+            export_metrics_snapshot(
+                self.directory.metrics_snapshot(self.worker_id),
+                metrics,
+                stats={
+                    "worker": self.worker_id,
+                    "jobs_done": self.jobs_done,
+                    "leases_lost": self.leases_lost,
+                    "current_job": self._current_job,
+                    "started_at": self._started_at,
+                },
+                time_fn=self._time,
+            )
+        except OSError:  # a full disk must not kill the worker
+            _log.warning(
+                "metrics snapshot export failed",
+                extra={"worker": self.worker_id},
+            )
 
     # -- the main loop -------------------------------------------------
 
@@ -683,6 +790,7 @@ class ExternalWorker:
         )
         self._refold()
         self.announce()
+        self.export_metrics()
         last_announce = self._time()
         try:
             while not self._stop.is_set():
@@ -693,6 +801,7 @@ class ExternalWorker:
                 if claimed is None:
                     if self._time() - last_announce >= self.heartbeat:
                         self.announce()
+                        self.export_metrics()
                         last_announce = self._time()
                     self._stop.wait(self.poll)
                     continue

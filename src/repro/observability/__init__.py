@@ -44,6 +44,19 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from .analytics import SpecAnalytics, format_drift, format_hot_specs
+from .federation import (
+    FleetView,
+    TraceSegmentStore,
+    TraceSegmentWriter,
+    export_metrics_snapshot,
+    fleet_meta_families,
+    merge_metrics,
+    read_metrics_snapshots,
+    read_trace_segments,
+    render_families,
+    stitch_trace,
+    trace_payload,
+)
 from .logging import JsonFormatter, configure_logging, get_logger, reset_logging
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -54,9 +67,27 @@ from .metrics import (
 )
 from .server import ObservabilityServer, parse_http_address
 from .snapshot import load_snapshot, render_stats, write_snapshot
-from .tracing import NULL_TRACER, NullTracer, SpanContext, Tracer
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    SpanContext,
+    Tracer,
+    render_chrome_trace,
+)
 
 __all__ = [
+    "FleetView",
+    "TraceSegmentStore",
+    "TraceSegmentWriter",
+    "export_metrics_snapshot",
+    "fleet_meta_families",
+    "merge_metrics",
+    "read_metrics_snapshots",
+    "read_trace_segments",
+    "render_families",
+    "render_chrome_trace",
+    "stitch_trace",
+    "trace_payload",
     "Observability",
     "enable",
     "disable",

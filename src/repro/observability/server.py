@@ -40,10 +40,23 @@ endpoints:
                             (``?state=…&tenant=…&limit=…``)
 ``POST /jobs/<id>/cancel``  cancel: immediate for QUEUED jobs, best-effort
                             for RUNNING ones; **409** once terminal
+``GET /jobs/<id>/trace``    the job's distributed trace: span segments from
+                            every process that touched it, stitched into one
+                            Chrome ``trace_event`` tree
 ``GET /workers``            the worker fleet: presence heartbeats, live
-                            leases, per-worker claim/done counters, and
-                            supervisor restart counts (multi-process mode)
+                            leases, per-worker claim/done counters, metrics
+                            snapshot freshness, and supervisor restart
+                            counts (multi-process mode)
+``GET /fleet``              fleet observability: per-worker metrics-snapshot
+                            freshness (staleness fencing), trace-segment
+                            lag, and job throughput — see
+                            docs/OBSERVABILITY.md
 ==========================  ================================================
+
+In multi-process mode ``/metrics`` and ``/metrics.json`` additionally
+federate: workers export registry snapshots into the shared job
+directory, and the coordinator merges fresh ones into its own exposition
+under a ``worker`` label (see :mod:`repro.observability.federation`).
 
 When the service runs an inferred-spec lifecycle (``service --shadow``,
 see ``repro.lifecycle`` and docs/LIFECYCLE.md), the endpoint also serves
@@ -100,7 +113,7 @@ JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
 ENDPOINTS = (
     "/metrics", "/metrics.json", "/health", "/stats", "/traces/latest",
-    "/jobs", "/workers", "/specs",
+    "/jobs", "/workers", "/fleet", "/specs",
 )
 
 #: request bodies larger than this are rejected outright (a submission
@@ -281,9 +294,27 @@ class ObservabilityServer:
             if jobs is None:
                 return self._jobs_disabled()
             return self._json_body(200, jobs.workers_payload())
+        if path == "/fleet":
+            jobs = self.jobs
+            if jobs is None:
+                # always 200: a plain service simply has no fleet to report
+                return self._json_body(200, {
+                    "federation": False, "workers": [],
+                    "traces": {"sources": [], "stored_traces": 0},
+                })
+            return self._json_body(200, jobs.fleet_payload())
         if path == "/metrics":
+            families = self._federated_families()
+            if families is not None:
+                from .federation import render_families
+
+                return 200, PROMETHEUS_CONTENT_TYPE, render_families(families)
             return 200, PROMETHEUS_CONTENT_TYPE, get_metrics().to_prometheus()
         if path == "/metrics.json":
+            families = self._federated_families()
+            if families is not None:
+                body = json.dumps(families, indent=2, sort_keys=True)
+                return 200, JSON_CONTENT_TYPE, body + "\n"
             return 200, JSON_CONTENT_TYPE, get_metrics().to_json() + "\n"
         if path == "/health":
             payload = self.service.health_payload()
@@ -308,6 +339,13 @@ class ObservabilityServer:
     def jobs(self):
         """The attached :class:`~repro.jobs.service.JobService`, or None."""
         return getattr(self.service, "jobs", None)
+
+    def _federated_families(self) -> Optional[dict]:
+        """Fleet-merged metric families, or None for local-only exposition."""
+        jobs = self.jobs
+        if jobs is None:
+            return None
+        return jobs.federated_metrics()
 
     @staticmethod
     def _json_body(status: int, payload: dict) -> tuple[int, str, str]:
@@ -340,6 +378,11 @@ class ObservabilityServer:
                 state=first("state"), tenant=first("tenant"), limit=limit
             )
             return self._json_body(200, {"jobs": listing, "stats": jobs.stats()})
+        if path.endswith("/trace"):
+            job_id = path[len("/jobs/"):-len("/trace")]
+            if jobs.get(job_id) is None:
+                return self._json_body(404, {"error": f"unknown job {job_id!r}"})
+            return self._json_body(200, jobs.trace(job_id))
         job_id = path[len("/jobs/"):]
         job = jobs.get(job_id)
         if job is None:
@@ -461,7 +504,12 @@ class ObservabilityServer:
             # collapse per-job paths to one series — job ids are unbounded
             # and would otherwise explode the label cardinality
             if path.startswith("/jobs/"):
-                path = "/jobs/:id/cancel" if path.endswith("/cancel") else "/jobs/:id"
+                if path.endswith("/cancel"):
+                    path = "/jobs/:id/cancel"
+                elif path.endswith("/trace"):
+                    path = "/jobs/:id/trace"
+                else:
+                    path = "/jobs/:id"
             elif path.startswith("/specs/"):
                 action = path.rpartition("/")[2]
                 if action in ("promote", "demote", "retire"):

@@ -51,7 +51,43 @@ from typing import Iterable, Optional
 
 from ..runtime import clock as _clock
 
-__all__ = ["SpanContext", "SpanHandle", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "SpanContext",
+    "SpanHandle",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "render_chrome_trace",
+]
+
+
+def render_chrome_trace(trace_id: str, spans: Iterable[dict]) -> dict:
+    """Render finished spans as Chrome ``trace_event`` complete events.
+
+    Module-level so stitched cross-process traces (which assemble span
+    lists without any live :class:`Tracer`) share one renderer with
+    :meth:`Tracer.to_chrome_trace`.  Span ids double as flow identifiers;
+    everything before the last ``:`` in a span id becomes the ``tid`` so
+    each shard/worker renders as its own row in the viewer.
+    """
+    events = []
+    for span in spans:
+        span_id = span["span_id"]
+        prefix, __, __ = span_id.rpartition(":")
+        end = span["end"] if span["end"] is not None else span["start"]
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": round(span["start"] * 1e6, 3),
+                "dur": round((end - span["start"]) * 1e6, 3),
+                "pid": trace_id,
+                "tid": prefix or "main",
+                "args": dict(span["attrs"], span_id=span_id,
+                             parent_id=span["parent_id"]),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 @dataclass(frozen=True)
@@ -117,14 +153,24 @@ class Tracer:
         trace_id: str = "trace",
         origin: Optional[SpanContext] = None,
         prefix: str = "",
+        time_source=None,
     ):
         self.trace_id = origin.trace_id if origin is not None else trace_id
         self._origin = origin
         self._prefix = prefix
+        # default clock is process-local (perf_counter via runtime.clock);
+        # cross-process traces pass time.time so segment timestamps from
+        # different workers land on one comparable axis
+        self._time_source = time_source
         self._lock = threading.Lock()
         self._counter = 0
         self._finished: list[dict] = []
         self._local = threading.local()
+
+    def _now(self) -> float:
+        if self._time_source is not None:
+            return self._time_source()
+        return _clock.now()
 
     # -- span lifecycle ------------------------------------------------
 
@@ -154,7 +200,7 @@ class Tracer:
             "span_id": self._next_id(),
             "parent_id": parent_id,
             "name": name,
-            "start": _clock.now(),
+            "start": self._now(),
             "end": None,
             "attrs": dict(attrs),
         }
@@ -162,7 +208,7 @@ class Tracer:
         return _SpanScope(self, SpanHandle(record))
 
     def _finish(self, record: dict) -> None:
-        record["end"] = _clock.now()
+        record["end"] = self._now()
         stack = self._stack()
         if stack and stack[-1] is record:
             stack.pop()
@@ -269,24 +315,9 @@ class Tracer:
         its own row in the viewer.  ``spans`` exports a subset (e.g. one
         scan's :meth:`subtree`); default is every finished span.
         """
-        events = []
-        for span in self.finished_spans() if spans is None else spans:
-            span_id = span["span_id"]
-            prefix, __, __ = span_id.rpartition(":")
-            end = span["end"] if span["end"] is not None else span["start"]
-            events.append(
-                {
-                    "name": span["name"],
-                    "ph": "X",
-                    "ts": round(span["start"] * 1e6, 3),
-                    "dur": round((end - span["start"]) * 1e6, 3),
-                    "pid": self.trace_id,
-                    "tid": prefix or "main",
-                    "args": dict(span["attrs"], span_id=span_id,
-                                 parent_id=span["parent_id"]),
-                }
-            )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return render_chrome_trace(
+            self.trace_id, self.finished_spans() if spans is None else spans
+        )
 
     def clear(self) -> None:
         with self._lock:
