@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test chaos obs-smoke http-smoke jobs-smoke workers-smoke fleet-smoke delta-smoke lifecycle-smoke bench-smoke bench ci
+.PHONY: test chaos obs-smoke http-smoke jobs-smoke workers-smoke fleet-smoke delta-smoke lifecycle-smoke workflow-smoke bench-smoke bench ci
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -70,6 +70,14 @@ delta-smoke:
 lifecycle-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/lifecycle_smoke.py
 
+## Composable-workflow smoke: `workflow validate`/`workflow run` over a
+## real definition file (clean pass, injected fault -> gate skip + webhook
+## delivery to a live local receiver), then the same pipeline as a
+## mode=workflow job against a `service --http --jobs` subprocess with
+## per-step statuses in the job record and verdict fingerprint parity.
+workflow-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/workflow_smoke.py
+
 ## Run every benchmark on a tiny corpus — correctness of the bench
 ## harness itself, not a measurement.  See benchmarks/smoke.sh.
 bench-smoke:
@@ -82,6 +90,6 @@ bench:
 
 ## What CI runs: the tier-1 suite, the chaos suite, the observability
 ## gate, the live-endpoint, job-service, multi-process worker,
-## fleet-observability, watch-mode delta and lifecycle smokes, and the
-## benchmark smoke pass.
-ci: test chaos obs-smoke http-smoke jobs-smoke workers-smoke fleet-smoke delta-smoke lifecycle-smoke bench-smoke
+## fleet-observability, watch-mode delta, lifecycle and workflow smokes,
+## and the benchmark smoke pass.
+ci: test chaos obs-smoke http-smoke jobs-smoke workers-smoke fleet-smoke delta-smoke lifecycle-smoke workflow-smoke bench-smoke

@@ -17,10 +17,12 @@ import pytest
 
 from repro.drivers import (
     CSVDriver,
+    EnvFileDriver,
     INIDriver,
     JSONDriver,
     KeyValueDriver,
     RESTDriver,
+    TOMLDriver,
     XMLDriver,
     YAMLDriver,
     get_driver,
@@ -35,6 +37,8 @@ _DRIVERS = {
     "Key-value": KeyValueDriver,
     "JSON": JSONDriver,
     "YAML": YAMLDriver,
+    "TOML": TOMLDriver,
+    "Dotenv": EnvFileDriver,
     "CSV": CSVDriver,
     "REST (simulated)": RESTDriver,
 }
@@ -76,6 +80,8 @@ _SAMPLES = {
     "keyvalue": "\n".join(f"S::c.K{i} = {i}" for i in range(50)),
     "json": "{\"s\": {" + ", ".join(f'"K{i}": {i}' for i in range(50)) + "}}",
     "yaml": "s:\n" + "\n".join(f"  K{i}: {i}" for i in range(50)),
+    "toml": "[s]\n" + "\n".join(f"K{i} = {i}" for i in range(50)),
+    "env": "\n".join(f'K{i}="{i}"' for i in range(50)),
     "csv": "Name,A,B\n" + "\n".join(f"r{i},{i},{i}" for i in range(25)),
 }
 

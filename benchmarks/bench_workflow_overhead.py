@@ -1,0 +1,154 @@
+"""Workflow-engine overhead over a bare single-pass scan.
+
+A pure-validation workflow (parse → validate → report) does exactly the
+work of a direct :class:`ValidationSession` scan plus the engine's
+bookkeeping: gate evaluation, per-step supervision, result assembly.  The
+documented budget for that bookkeeping is **<5 % wall clock** on the
+Type A corpus — and the merged report must stay fingerprint-identical to
+the bare scan, which is also asserted here at every scale.
+
+Splicing is disabled so the measured workflow run repeats the full
+pipeline each round (splice hits would make the "overhead" negative and
+the comparison meaningless).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.benchutil import format_table
+from repro.core.session import ValidationSession
+from repro.synthetic import EXPERT_SPECS
+from repro.workflows import Workflow, WorkflowEngine
+
+ROUNDS = 3
+#: below this corpus size per-run jitter dwarfs the engine bookkeeping
+OVERHEAD_GATE_INSTANCES = 3000
+OVERHEAD_CEILING = 1.05
+
+
+def best_of(fn, rounds=ROUNDS):
+    result, best = None, float("inf")
+    for __ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def workflow_sources(dataset) -> list[dict]:
+    return [
+        {
+            "format": format_name,
+            "text": text,
+            "source": f"{dataset.name}#{index}",
+            "scope": scope,
+        }
+        for index, (format_name, text, scope) in enumerate(dataset.sources)
+    ]
+
+
+def test_workflow_overhead(benchmark, emit, type_a_dataset, type_a_store):
+    spec = EXPERT_SPECS["type_a"]
+
+    def bare_scan():
+        session = ValidationSession()
+        for index, (format_name, text, scope) in enumerate(
+            type_a_dataset.sources
+        ):
+            session.load_text(
+                format_name, text,
+                source=f"{type_a_dataset.name}#{index}", scope=scope,
+            )
+        return session.validate(spec)
+
+    workflow = Workflow.from_dict(
+        {
+            "workflow": {"name": "overhead"},
+            "steps": [
+                {"name": "parse", "sources": workflow_sources(type_a_dataset)},
+                {"name": "validate", "spec_text": spec},
+                {"name": "report", "gate": "always"},
+            ],
+        }
+    )
+
+    def workflow_scan():
+        return WorkflowEngine(workflow, splice=False).run()
+
+    def measure():
+        bare_scan()  # warm-up: shared caches must not bill either side
+        bare = best_of(bare_scan)
+        flow = best_of(workflow_scan)
+        return bare, flow
+
+    (bare_report, bare_seconds), (outcome, flow_seconds) = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    # the engine must never change validation output
+    assert outcome.fingerprint() == bare_report.fingerprint()
+    assert all(result.status == "ok" for result in outcome.steps)
+
+    ratio = flow_seconds / bare_seconds
+    emit(
+        "workflow_overhead",
+        format_table(
+            ["Mode", "Seconds (best of 3)", "Overhead"],
+            [
+                ("bare scan", f"{bare_seconds:.3f}", "baseline"),
+                ("workflow (3 steps)", f"{flow_seconds:.3f}",
+                 f"{ratio - 1:+.1%}"),
+            ],
+        )
+        + f"\n(Type A corpus, {type_a_store.instance_count} instances, "
+        "splicing disabled; fingerprints identical)",
+    )
+
+    if type_a_store.instance_count >= OVERHEAD_GATE_INSTANCES:
+        assert ratio < OVERHEAD_CEILING, (
+            f"workflow overhead {ratio - 1:.1%} exceeds "
+            f"{OVERHEAD_CEILING - 1:.0%}"
+        )
+
+
+def test_workflow_splice_pays_for_itself(benchmark, emit, type_a_dataset):
+    """Second run of an unchanged inline-source workflow splices parse and
+    validate, so the steady-state re-run beats the from-scratch run."""
+    spec = EXPERT_SPECS["type_a"]
+    workflow = Workflow.from_dict(
+        {
+            "workflow": {"name": "steady"},
+            "steps": [
+                {"name": "parse", "sources": workflow_sources(type_a_dataset)},
+                {"name": "validate", "spec_text": spec},
+            ],
+        }
+    )
+    engine = WorkflowEngine(workflow)
+
+    def first_then_second():
+        engine.reset()
+        first = engine.run()
+        started = time.perf_counter()
+        second = engine.run()
+        return first, second, time.perf_counter() - started
+
+    first, second, second_seconds = benchmark.pedantic(
+        first_then_second, rounds=1, iterations=1
+    )
+    assert second.fingerprint() == first.fingerprint()
+    assert second.step("parse").spliced and second.step("validate").spliced
+    emit(
+        "workflow_splice",
+        format_table(
+            ["Run", "Steps executed", "Steps spliced"],
+            [
+                ("first", sum(1 for s in first.steps if not s.spliced), 0),
+                ("second (unchanged)",
+                 sum(1 for s in second.steps if not s.spliced),
+                 sum(1 for s in second.steps if s.spliced)),
+            ],
+        )
+        + f"\n(second run {second_seconds * 1000:.1f} ms)",
+    )

@@ -434,6 +434,12 @@ def build_parser() -> argparse.ArgumentParser:
              "host (repeatable; requires --delta)",
     )
     submit.add_argument(
+        "--workflow", default=None, metavar="FILE",
+        help="workflow job: read a local workflow definition (YAML/TOML) "
+             "and submit it as a mode=workflow job; SPEC becomes optional "
+             "(validate steps may carry their own specs)",
+    )
+    submit.add_argument(
         "--callback", default="", metavar="URL",
         help="completion webhook: the service POSTs the terminal job "
              "record (verdict included) to this http(s) URL",
@@ -540,6 +546,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the machine-readable verdict JSON (the same schema job "
              "results carry) instead of the human-readable report",
+    )
+
+    workflow = sub.add_parser(
+        "workflow",
+        help="run or validate a composed validation workflow "
+             "(multi-step pipeline with gates; see docs/WORKFLOWS.md)",
+    )
+    workflow.add_argument(
+        "action", choices=("run", "validate"),
+        help="'run' executes the workflow; 'validate' only checks the "
+             "definition and prints the step graph",
+    )
+    workflow.add_argument("file", help="workflow definition file (YAML or TOML)")
+    workflow.add_argument(
+        "--source", action="append", default=[], metavar="FMT:PATH[:SCOPE]",
+        help="default source for parse steps that declare none (repeatable)",
+    )
+    workflow.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="default CPL spec file for validate steps that declare none",
+    )
+    workflow.add_argument(
+        "--executor", choices=("auto", "serial", "thread", "process"),
+        default=None,
+        help="evaluation strategy for validate steps (default: serial; "
+             "workflow reports are identical either way)",
+    )
+    workflow.add_argument(
+        "--limit", type=int, default=None, help="max violations shown"
+    )
+    workflow.add_argument(
+        "--json", action="store_true",
+        help="print the full workflow report as machine-readable JSON",
+    )
+    workflow.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable tracing and write the run's span tree (workflow + "
+             "per-step spans, skips included) as Chrome trace_event JSON",
     )
 
     fmt = sub.add_parser(
@@ -761,6 +805,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_stats(args)
     if args.command == "top":
         return _run_top(args)
+    if args.command == "workflow":
+        return _run_workflow_cmd(args)
     if args.command == "submit":
         return _run_submit(args)
     if args.command == "jobs":
@@ -978,6 +1024,70 @@ def _render_job_row(row: dict) -> str:
     )
 
 
+def _run_workflow_cmd(args) -> int:
+    """Run (or just validate) a workflow file; exit 0 pass / 1 fail / 2 error."""
+    import json as _json
+    import os as _os
+
+    from ..workflows import WorkflowEngine, WorkflowError, load_workflow
+
+    try:
+        workflow = load_workflow(args.file)
+    except WorkflowError as exc:
+        print(f"invalid workflow: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "validate":
+        print(f"workflow {workflow.name!r}: {len(workflow)} step(s) OK")
+        for step in workflow:
+            after = ", ".join(step.after) or "-"
+            timeout = f" timeout={step.timeout:g}s" if step.timeout else ""
+            print(
+                f"  {step.name:<16} kind={step.kind:<12} "
+                f"gate={step.gate.render():<20} after={after}{timeout}"
+            )
+        return 0
+    sources = []
+    for entry in args.source:
+        parts = entry.split(":", 2)
+        if len(parts) < 2:
+            print(f"--source needs FMT:PATH, got {entry!r}", file=sys.stderr)
+            return 2
+        sources.append({
+            "format": parts[0],
+            "path": _os.path.abspath(parts[1]),
+            "scope": parts[2] if len(parts) > 2 else "",
+        })
+    tracer = None
+    if args.trace_out:
+        from .. import observability
+
+        tracer = observability.enable(metrics=False).tracer
+    engine = WorkflowEngine(
+        workflow,
+        base_dir=_os.path.dirname(_os.path.abspath(args.file)) or ".",
+        executor=args.executor,
+        sources=sources,
+        spec_path=_os.path.abspath(args.spec) if args.spec else "",
+    )
+    try:
+        outcome = engine.run(tracer=tracer)
+    except WorkflowError as exc:
+        print(f"workflow failed: {exc}", file=sys.stderr)
+        return 2
+    if tracer is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            _json.dump(tracer.to_chrome_trace(), handle, indent=1)
+        print(
+            f"wrote {len(tracer.finished_spans())} span(s) to {args.trace_out}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(_json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(outcome.render(limit=args.limit))
+    return 0 if outcome.passed else 1
+
+
 def _run_submit(args) -> int:
     """Submit one job; with --wait, poll to the verdict (exit 0/1/2)."""
     import json as _json
@@ -985,7 +1095,12 @@ def _run_submit(args) -> int:
 
     from ..jobs.model import EXIT_ADMIT, EXIT_ERROR, EXIT_REJECT, JobState
 
-    if (args.spec is None) == (args.spec_name is None):
+    if args.workflow is not None:
+        if args.spec is not None and args.spec_name is not None:
+            print("submit takes at most one of SPEC or --spec-name with "
+                  "--workflow", file=sys.stderr)
+            return EXIT_ERROR
+    elif (args.spec is None) == (args.spec_name is None):
         print("submit needs a local SPEC file or --spec-name (not both)",
               file=sys.stderr)
         return EXIT_ERROR
@@ -994,6 +1109,15 @@ def _run_submit(args) -> int:
         "priority": args.priority,
         "tenant": args.tenant,
     }
+    if args.workflow is not None:
+        from ..workflows import WorkflowError, load_workflow
+
+        try:
+            payload["mode"] = "workflow"
+            payload["workflow"] = load_workflow(args.workflow).to_dict()
+        except WorkflowError as exc:
+            print(f"invalid workflow: {exc}", file=sys.stderr)
+            return EXIT_ERROR
     if args.delta:
         payload["mode"] = "delta"
         payload["baseline_sources"] = list(args.baseline)
@@ -1011,7 +1135,7 @@ def _run_submit(args) -> int:
     try:
         if args.spec_name is not None:
             payload["spec_name"] = args.spec_name
-        else:
+        elif args.spec is not None:
             with open(args.spec, "r", encoding="utf-8") as handle:
                 payload["spec"] = handle.read()
         for entry in args.inline_source:

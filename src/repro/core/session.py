@@ -56,6 +56,8 @@ _EXTENSION_FORMATS = {
     ".csv": "csv",
     ".properties": "keyvalue",
     ".kv": "keyvalue",
+    ".toml": "toml",
+    ".env": "env",
 }
 
 
@@ -72,6 +74,11 @@ def resolve_driver(format_or_alias: str, location: str) -> str:
     if "://" in location or location.replace(".", "").replace(":", "").isdigit():
         return "rest"
     __, extension = os.path.splitext(location)
+    if not extension:
+        # dotfiles like ".env" are all extension and no stem
+        basename = os.path.basename(location)
+        if basename.startswith("."):
+            extension = basename
     if extension.lower() in _EXTENSION_FORMATS:
         return _EXTENSION_FORMATS[extension.lower()]
     raise DriverError(

@@ -2,10 +2,12 @@
 
 from .base import Driver, driver_names, get_driver, register_driver
 from .csv_driver import CSVDriver
+from .env_driver import EnvFileDriver
 from .ini_driver import INIDriver
 from .json_driver import JSONDriver
 from .keyvalue_driver import KeyValueDriver
 from .rest_driver import RESTDriver, clear_endpoints, register_endpoint
+from .toml_driver import TOMLDriver
 from .writer import to_ini, to_keyvalue
 from .xml_driver import XMLDriver
 from .yaml_driver import YAMLDriver
@@ -20,6 +22,8 @@ __all__ = [
     "KeyValueDriver",
     "JSONDriver",
     "YAMLDriver",
+    "TOMLDriver",
+    "EnvFileDriver",
     "CSVDriver",
     "RESTDriver",
     "register_endpoint",

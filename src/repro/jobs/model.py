@@ -138,8 +138,15 @@ class ValidationJob:
     sources: list = field(default_factory=list)
     #: "full" validates everything; "delta" diffs ``sources`` against
     #: ``baseline_sources`` and evaluates only the statements the change
-    #: can affect (repro.core.incremental.DependencyIndex selection)
+    #: can affect (repro.core.incremental.DependencyIndex selection);
+    #: "workflow" runs the composed pipeline in ``workflow``
     mode: str = "full"
+    #: workflow definition for ``mode: workflow`` jobs — the same mapping
+    #: schema ``Workflow.from_dict`` accepts (name + steps with gates)
+    workflow: Optional[dict] = None
+    #: live per-step statuses of a running/finished workflow job, updated
+    #: as each step settles — the progress view behind ``GET /jobs/<id>``
+    workflow_steps: Optional[list] = None
     #: the before-the-change sources a delta job diffs against (same
     #: descriptor shapes as ``sources``; empty = everything is new)
     baseline_sources: list = field(default_factory=list)
@@ -203,6 +210,10 @@ class ValidationJob:
 
     def spec_reference(self) -> str:
         """Human-readable 'what does this job validate' label."""
+        if self.mode == "workflow" and self.workflow is not None:
+            meta = self.workflow.get("workflow") or {}
+            name = meta.get("name") or self.workflow.get("name") or "workflow"
+            return f"workflow:{name}"
         if self.spec_name:
             return f"spec:{self.spec_name}"
         if self.spec_path:
@@ -221,6 +232,8 @@ class ValidationJob:
             "sources": list(self.sources),
             "mode": self.mode,
             "baseline_sources": list(self.baseline_sources),
+            "workflow": self.workflow,
+            "workflow_steps": self.workflow_steps,
             "priority": self.priority,
             "tenant": self.tenant,
             "timeout": self.timeout,
@@ -280,6 +293,7 @@ def verdict_payload(
     limit: int = MAX_RESULT_VIOLATIONS,
     delta: Optional[dict] = None,
     shadow: Optional[dict] = None,
+    workflow: Optional[dict] = None,
 ) -> dict:
     """Machine-readable verdict for a finished validation run.
 
@@ -300,6 +314,11 @@ def verdict_payload(
     this job's store.  Purely advisory: shadow violations never affect
     ``verdict``, ``passed``, or ``fingerprint`` (the fingerprint is
     computed from the report alone, which the shadow run never touches).
+
+    ``workflow`` — present for ``mode: workflow`` jobs — records the run's
+    per-step outcome (statuses, timings, splice flags).  The fingerprint
+    still covers only the merged validation report, so a pure-validation
+    workflow job compares equal to a direct scan of the same inputs.
     """
     violations = [violation.to_dict() for violation in report.violations[:limit]]
     payload = {
@@ -321,6 +340,8 @@ def verdict_payload(
         payload["delta"] = delta
     if shadow is not None:
         payload["shadow"] = shadow
+    if workflow is not None:
+        payload["workflow"] = workflow
     return payload
 
 

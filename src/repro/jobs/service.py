@@ -481,6 +481,7 @@ class JobService:
         mode: str = "full",
         baseline_sources: Optional[list] = None,
         callback_url: str = "",
+        workflow: Optional[dict] = None,
     ) -> tuple[ValidationJob, bool]:
         """Accept one validation request.
 
@@ -493,15 +494,40 @@ class JobService:
         difference between ``sources`` and ``baseline_sources`` (the
         before-the-change snapshot); see
         :meth:`repro.jobs.worker.JobExecutor._validate_delta`.
+
+        ``mode="workflow"`` runs the composed pipeline in ``workflow``
+        (the :meth:`repro.workflows.Workflow.from_dict` mapping schema);
+        per-step statuses stream onto the job record while it runs.  The
+        job's spec reference becomes the default for ``validate`` steps
+        and may be omitted when every step carries its own spec.
         """
+        if mode not in ("full", "delta", "workflow"):
+            raise ValueError("mode must be 'full', 'delta' or 'workflow'")
         provided = [bool(spec), bool(spec_name), bool(spec_path)]
-        if sum(provided) != 1:
-            raise ValueError(
-                "exactly one of spec (inline text), spec_name or spec_path "
-                "must be provided"
-            )
-        if mode not in ("full", "delta"):
-            raise ValueError("mode must be 'full' or 'delta'")
+        if mode == "workflow":
+            if not isinstance(workflow, dict):
+                raise ValueError("mode='workflow' requires a workflow mapping")
+            # eager validation: a malformed definition is a 400 at submit,
+            # not a FAILED job minutes later
+            from ..workflows import Workflow, WorkflowError
+
+            try:
+                Workflow.from_dict(workflow)
+            except WorkflowError as exc:
+                raise ValueError(f"invalid workflow: {exc}") from exc
+            if sum(provided) > 1:
+                raise ValueError(
+                    "at most one of spec (inline text), spec_name or "
+                    "spec_path may be provided for a workflow job"
+                )
+        else:
+            if workflow is not None:
+                raise ValueError("a workflow definition requires mode='workflow'")
+            if sum(provided) != 1:
+                raise ValueError(
+                    "exactly one of spec (inline text), spec_name or spec_path "
+                    "must be provided"
+                )
         if mode != "delta" and baseline_sources:
             raise ValueError("baseline_sources requires mode='delta'")
         if callback_url and not callback_url.startswith(("http://", "https://")):
@@ -516,6 +542,7 @@ class JobService:
             sources=normalized,
             mode=mode,
             baseline_sources=baseline,
+            workflow=dict(workflow) if workflow is not None else None,
             priority=int(priority),
             tenant=str(tenant) or "default",
             timeout=timeout,
@@ -663,7 +690,7 @@ class JobService:
         allowed = {
             "spec", "spec_name", "spec_path", "sources", "priority",
             "tenant", "idempotency_key", "timeout", "executor", "resilience",
-            "mode", "baseline_sources", "callback_url",
+            "mode", "baseline_sources", "callback_url", "workflow",
         }
         unknown = sorted(set(payload) - allowed)
         if unknown:
@@ -686,8 +713,13 @@ class JobService:
                 raise ValueError("'timeout' must be a number of seconds")
         if "sources" in payload and not isinstance(payload["sources"], list):
             raise ValueError("'sources' must be a list")
-        if "mode" in payload and payload["mode"] not in ("full", "delta"):
-            raise ValueError("'mode' must be 'full' or 'delta'")
+        if "mode" in payload and payload["mode"] not in (
+            "full", "delta", "workflow",
+        ):
+            raise ValueError("'mode' must be 'full', 'delta' or 'workflow'")
+        if "workflow" in payload and payload["workflow"] is not None:
+            if not isinstance(payload["workflow"], dict):
+                raise ValueError("'workflow' must be an object")
         if "baseline_sources" in payload and not isinstance(
             payload["baseline_sources"], list
         ):

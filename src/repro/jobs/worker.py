@@ -172,6 +172,8 @@ class JobExecutor:
         report, and hence its ``fingerprint()``, is identical either way.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
+        if job.mode == "workflow":
+            return self._validate_workflow(job, tracer)
         with tracer.span("parse", spec=job.spec_reference(), mode=job.mode):
             spec_text = self.resolve_spec_text(job)
             if job.mode != "delta":
@@ -188,6 +190,57 @@ class JobExecutor:
             )
         with tracer.span("report"):
             self._attach_shadow(report, session.store)
+        return report
+
+    def _validate_workflow(self, job: ValidationJob, tracer):
+        """Run a ``mode: workflow`` job's composed pipeline.
+
+        The engine executes the job's workflow definition — parse sources
+        into named stores, validate, cross-check rule packs, gate
+        downstream steps — and the merged report travels back through the
+        ordinary verdict path.  Per-step statuses are published onto
+        ``job.workflow_steps`` as each step settles, so ``GET /jobs/<id>``
+        shows live progress while the job runs; the step record also rides
+        on the report as ``workflow_info`` and lands in the verdict.
+        """
+        from ..workflows import Workflow, WorkflowEngine
+
+        if not isinstance(job.workflow, dict):
+            raise ValueError("a workflow job needs a 'workflow' definition")
+        workflow = Workflow.from_dict(job.workflow)
+        # the job's spec reference (inline text, registered name, or path)
+        # is the default for validate steps without a spec of their own;
+        # workflow jobs may instead carry specs entirely inside step options
+        spec_text = ""
+        if job.spec_text or job.spec_name:
+            spec_text = self.resolve_spec_text(job)
+        engine = WorkflowEngine(
+            workflow,
+            base_dir=self.base_dir,
+            runtime=self.runtime,
+            spec_cache=self.spec_cache,
+            executor=job.executor,
+            sources=job.sources,
+            spec_path=job.spec_path,
+            spec_text=spec_text,
+            shadow_provider=self.shadow_provider,
+            splice=False,  # every job is a fresh engine; nothing to splice
+        )
+
+        def progress(step_payload):
+            # a fresh list assigned atomically: endpoint readers see either
+            # the previous snapshot or this one, never a half-built list
+            job.workflow_steps = step_payload
+
+        outcome = engine.run(progress=progress, tracer=tracer)
+        job.workflow_steps = outcome.step_payload()
+        report = outcome.report
+        report.workflow_info = {
+            "name": outcome.workflow,
+            "passed": outcome.passed,
+            "steps": outcome.step_payload(),
+            "elapsed_seconds": round(outcome.elapsed_seconds, 6),
+        }
         return report
 
     def _attach_shadow(self, report, store) -> None:
@@ -360,7 +413,12 @@ class JobExecutor:
         # the verdict exists, so record it rather than throw it away
         delta = getattr(report, "delta_info", None)
         shadow = getattr(report, "shadow_info", None)
-        return JobState.DONE, verdict_payload(report, delta=delta, shadow=shadow), ""
+        workflow = getattr(report, "workflow_info", None)
+        return (
+            JobState.DONE,
+            verdict_payload(report, delta=delta, shadow=shadow, workflow=workflow),
+            "",
+        )
 
 
 class WorkerPool:

@@ -98,6 +98,10 @@ class ScanResult:
     #: :class:`~repro.lifecycle.SpecLifecycleManager` (None otherwise):
     #: shadow/enforced lane summaries, transitions this scan, re-inference
     shadow: Optional[dict] = None
+    #: workflow record when this scan ran a composed workflow instead of a
+    #: plain validation (None otherwise): workflow name plus per-step
+    #: statuses, timings and splice flags (see repro.workflows)
+    workflow: Optional[dict] = None
 
     @property
     def passed(self) -> bool:
@@ -353,6 +357,7 @@ class ValidationService:
         analytics: bool = True,
         delta: bool = False,
         lifecycle=None,
+        workflow=None,
     ):
         self.spec_path = spec_path
         self.sources = list(sources)
@@ -422,11 +427,56 @@ class ValidationService:
         self.lifecycle = lifecycle
         if lifecycle is not None and lifecycle.spec_cache is None:
             lifecycle.spec_cache = self.spec_cache
+        #: composed validation workflow (repro.workflows): when set, every
+        #: scan runs the workflow — parse/validate/cross_check/… steps with
+        #: gates — instead of the plain load-and-validate pipeline.  Accepts
+        #: a Workflow object or the path to a YAML/TOML definition; a path
+        #: is watched like any source, and edits rebuild the engine.
+        self.workflow_path: Optional[str] = None
+        self.workflow_engine = None
+        if workflow is not None:
+            self._build_workflow_engine(workflow)
+
+    def _build_workflow_engine(self, workflow) -> None:
+        from .workflows import WorkflowEngine, load_workflow
+
+        if isinstance(workflow, str):
+            self.workflow_path = workflow
+            workflow = load_workflow(workflow)
+        base_dir = (
+            os.path.dirname(self.workflow_path)
+            if self.workflow_path
+            else os.path.dirname(self.spec_path)
+        ) or "."
+        self.workflow_engine = WorkflowEngine(
+            workflow,
+            base_dir=base_dir,
+            runtime=self.runtime,
+            policy=self.policy,
+            spec_cache=self.spec_cache,
+            executor=self.executor,
+            sources=[
+                {
+                    "format": source.format_name,
+                    "path": source.path,
+                    "scope": source.scope,
+                }
+                for source in self.sources
+            ],
+            spec_path=self.spec_path,
+            shadow_provider=(
+                self.lifecycle.shadow_cpl if self.lifecycle is not None else None
+            ),
+            analytics=self.analytics is not None,
+        )
 
     # ------------------------------------------------------------------
 
     def watched_paths(self) -> list[str]:
-        return [self.spec_path] + [source.path for source in self.sources]
+        paths = [self.spec_path] + [source.path for source in self.sources]
+        if self.workflow_path:
+            paths.append(self.workflow_path)
+        return paths
 
     def _changed_paths(self) -> list[str]:
         """Watched paths whose probe token changed since the last poll.
@@ -481,7 +531,9 @@ class ValidationService:
         with tracer.span(
             "scan", scan=self.scans, changed=len(changed)
         ) as span:
-            if self.resilience is not None:
+            if self.workflow_engine is not None:
+                result = self._run_workflow(changed)
+            elif self.resilience is not None:
                 result = self._run_resilient(changed)
             else:
                 result = self._run_strict(changed)
@@ -505,6 +557,32 @@ class ValidationService:
         with self._obs_lock:
             self._last_trace = trace
         tracer.discard(span["span_id"] for span in spans)
+
+    def _run_workflow(self, changed: list[str]) -> ScanResult:
+        """One composed-workflow scan (service built with ``workflow=``).
+
+        The engine owns supervision: step crashes and timeouts degrade the
+        merged report's health instead of raising, and unchanged steps
+        splice from the previous run (the workflow analogue of delta
+        scanning).  Editing a file-backed workflow definition rebuilds the
+        engine — and deliberately drops its splice cache, since retained
+        outputs belong to the old step graph.
+        """
+        if self.workflow_path and self.workflow_path in changed:
+            self._build_workflow_engine(self.workflow_path)
+        outcome = self.workflow_engine.run()
+        return self._record(
+            outcome.report,
+            changed,
+            health=outcome.health,
+            store=outcome.store,
+            workflow={
+                "name": outcome.workflow,
+                "passed": outcome.passed,
+                "steps": outcome.step_payload(),
+                "elapsed_seconds": round(outcome.elapsed_seconds, 6),
+            },
+        )
 
     def _run_strict(self, changed: list[str]) -> ScanResult:
         if self._delta is not None:
@@ -712,6 +790,7 @@ class ValidationService:
         health: Optional[HealthBlock],
         store=None,
         delta: Optional[dict] = None,
+        workflow: Optional[dict] = None,
     ) -> ScanResult:
         # lifecycle first: the enforced lane's violations belong in the
         # verdict, so they must land on the report before pass/fail,
@@ -735,6 +814,7 @@ class ValidationService:
             health=health,
             delta=delta,
             shadow=shadow_summary,
+            workflow=workflow,
         )
         result.transitioned = (
             previous is not None and previous.passed != result.passed
@@ -831,6 +911,13 @@ class ValidationService:
                 "specs": shadow.get("specs", 0),
                 "violations": shadow.get("violations", 0),
                 "transitions": len(result.shadow.get("transitions") or []),
+            }
+        if result.workflow is not None:
+            steps = result.workflow.get("steps") or []
+            record["workflow"] = {
+                "name": result.workflow.get("name"),
+                "statuses": {step["name"]: step["status"] for step in steps},
+                "spliced": sum(1 for step in steps if step.get("spliced")),
             }
         return record
 
@@ -1022,6 +1109,11 @@ class ValidationService:
             ),
             "cache": self.spec_cache.stats.as_dict(),
             "delta": self._delta.stats() if self._delta is not None else None,
+            "workflow": (
+                self.workflow_engine.stats()
+                if self.workflow_engine is not None
+                else None
+            ),
             "quarantined_sources": (
                 self.source_supervisor.quarantined()
                 if self.source_supervisor is not None

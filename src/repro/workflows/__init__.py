@@ -1,0 +1,55 @@
+"""Composable validation workflows.
+
+A workflow chains named steps — ``parse``, ``validate``, ``shadow``,
+``cross_check``, ``report``, ``webhook`` or custom registered kinds —
+into an ordered DAG with per-step **gates** (run always / on pass /
+on violation, optionally severity-thresholded) and per-step timeouts.
+The engine merges every step's findings into one deterministic
+:class:`WorkflowReport` whose pure-validation fingerprint matches an
+equivalent single-pass scan byte for byte.
+"""
+
+from .crosscheck import CrossStoreChecker, extract_port
+from .engine import WorkflowEngine
+from .loader import load_workflow, parse_workflow
+from .model import (
+    Gate,
+    StepResult,
+    StepStatus,
+    Workflow,
+    WorkflowError,
+    WorkflowReport,
+    WorkflowStep,
+)
+from .rulepack import Rule, RulePack, load_rulepack, parse_rulepack
+from .steps import (
+    StepOutput,
+    WorkflowContext,
+    get_step_kind,
+    register_step_kind,
+    step_kinds,
+)
+
+__all__ = [
+    "CrossStoreChecker",
+    "Gate",
+    "Rule",
+    "RulePack",
+    "StepOutput",
+    "StepResult",
+    "StepStatus",
+    "Workflow",
+    "WorkflowContext",
+    "WorkflowEngine",
+    "WorkflowError",
+    "WorkflowReport",
+    "WorkflowStep",
+    "extract_port",
+    "get_step_kind",
+    "load_rulepack",
+    "load_workflow",
+    "parse_rulepack",
+    "parse_workflow",
+    "register_step_kind",
+    "step_kinds",
+]

@@ -1,0 +1,65 @@
+"""Workflow-file loading: YAML or TOML documents → :class:`Workflow`.
+
+The on-disk schema mirrors :meth:`Workflow.from_dict`::
+
+    workflow:
+      name: nightly-security
+    steps:
+      - name: parse
+        sources:
+          - {format: json, location: app.json}
+          - {format: env, location: prod.env, store: env}
+      - name: validate
+        spec: specs/app.cpl
+      - name: cross_check
+        rulepack: examples/rulepacks/security.yaml
+      - name: report
+        gate: always
+      - name: webhook
+        gate: on_violation:error
+        url: https://hooks.example.com/confvalley
+
+TOML spells the same structure with ``[workflow]`` and ``[[steps]]``
+tables.  The format is chosen by extension (``.toml`` vs everything
+else = YAML), matching the driver registry's conventions.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .model import Workflow, WorkflowError
+
+__all__ = ["load_workflow", "parse_workflow"]
+
+
+def parse_workflow(data: dict) -> Workflow:
+    """Validate an already-parsed workflow document."""
+    return Workflow.from_dict(data)
+
+
+def load_workflow(path: str) -> Workflow:
+    """Load and validate a workflow definition from a YAML or TOML file."""
+    extension = os.path.splitext(path)[1].lower()
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise WorkflowError(f"cannot read workflow file {path}: {exc}") from exc
+    if extension == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise WorkflowError(f"malformed TOML workflow {path}: {exc}") from exc
+    else:
+        import yaml
+
+        try:
+            data = yaml.safe_load(raw)
+        except yaml.YAMLError as exc:
+            raise WorkflowError(f"malformed YAML workflow {path}: {exc}") from exc
+    if data is None:
+        raise WorkflowError(f"workflow file {path} is empty")
+    return Workflow.from_dict(data)

@@ -1,0 +1,374 @@
+"""Workflow model: steps, gates, and the merged workflow report.
+
+A :class:`Workflow` is an *ordered DAG* of named steps.  Steps are declared
+in execution order and a step's ``after`` edges may only reference steps
+declared before it — which makes cycles unrepresentable and gives every
+run one deterministic execution order (the declaration order), no matter
+which executor evaluates the validation inside a step.
+
+Each step carries a **gate** deciding whether it runs once its turn comes:
+
+* ``always`` — run regardless of upstream outcomes (report/webhook steps);
+* ``on_pass`` — run only when no gating violations have accumulated and no
+  upstream dependency was skipped or failed;
+* ``on_violation`` — run only when gating violations *have* accumulated
+  (notification steps);
+* either of the last two may carry a severity threshold —
+  ``on_violation:error`` counts only violations at/above ``error``.
+
+The merged :class:`WorkflowReport` is the workflow-level analogue of a
+:class:`~repro.core.report.ValidationReport`: per-step results in execution
+order plus one merged validation report.  Its :meth:`~WorkflowReport.fingerprint`
+delegates to the merged report, so a pure-validation workflow
+(parse → validate → report) fingerprints byte-identically to a direct
+single-pass scan of the same spec and sources — the same determinism anchor
+the parallel engine and the delta scanner are held to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..core.report import Severity, ValidationReport
+from ..errors import ConfValleyError
+
+__all__ = [
+    "Gate",
+    "StepResult",
+    "StepStatus",
+    "Workflow",
+    "WorkflowError",
+    "WorkflowReport",
+    "WorkflowStep",
+]
+
+
+class WorkflowError(ConfValleyError):
+    """A workflow definition is malformed (bad gate, unknown step, cycle)."""
+
+
+class StepStatus:
+    """Terminal per-step statuses (plus the live PENDING/RUNNING states)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    OK = "ok"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    SKIPPED = "skipped"
+
+    #: statuses that block downstream non-``always`` steps
+    BLOCKING = frozenset({FAILED, TIMEOUT, SKIPPED})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """When a step runs, given the violations accumulated so far."""
+
+    ALWAYS = "always"
+    ON_PASS = "on_pass"
+    ON_VIOLATION = "on_violation"
+    KINDS = (ALWAYS, ON_PASS, ON_VIOLATION)
+
+    kind: str = ALWAYS
+    #: minimum severity a violation needs to count toward this gate
+    #: (None = every violation counts)
+    severity: Optional[str] = None
+
+    @classmethod
+    def parse(cls, text: str) -> "Gate":
+        """``"on_violation:error"`` → ``Gate("on_violation", "error")``."""
+        raw = (text or cls.ALWAYS).strip().lower()
+        kind, __, severity = raw.partition(":")
+        if kind not in cls.KINDS:
+            raise WorkflowError(
+                f"unknown gate {kind!r}; expected one of {', '.join(cls.KINDS)}"
+            )
+        if severity:
+            if kind == cls.ALWAYS:
+                raise WorkflowError("an 'always' gate cannot carry a severity")
+            if severity not in Severity.ORDER:
+                raise WorkflowError(
+                    f"unknown gate severity {severity!r}; expected one of "
+                    f"{', '.join(sorted(Severity.ORDER, key=Severity.ORDER.get))}"
+                )
+        return cls(kind, severity or None)
+
+    def render(self) -> str:
+        return f"{self.kind}:{self.severity}" if self.severity else self.kind
+
+    def gating_violations(self, violations: Iterable) -> int:
+        """How many accumulated violations this gate counts."""
+        if self.severity is None:
+            return sum(1 for __ in violations)
+        floor = Severity.ORDER[self.severity]
+        return sum(
+            1
+            for violation in violations
+            if Severity.ORDER.get(violation.severity, 0) >= floor
+        )
+
+    def should_run(self, violations: Iterable) -> bool:
+        if self.kind == self.ALWAYS:
+            return True
+        gating = self.gating_violations(violations)
+        return gating == 0 if self.kind == self.ON_PASS else gating > 0
+
+    def skip_reason(self, violations: Iterable) -> str:
+        threshold = f" at/above {self.severity}" if self.severity else ""
+        if self.kind == self.ON_PASS:
+            return (
+                f"gate on_pass: {self.gating_violations(violations)} "
+                f"violation(s){threshold} accumulated"
+            )
+        return f"gate on_violation: no violations{threshold} accumulated"
+
+
+@dataclass(frozen=True)
+class WorkflowStep:
+    """One named step of a workflow."""
+
+    name: str
+    #: step implementation: a built-in kind (parse/validate/shadow/
+    #: cross_check/report/webhook) or a custom registered kind
+    kind: str
+    gate: Gate = field(default_factory=Gate)
+    #: upstream dependencies — names of *earlier* steps.  The loader's
+    #: default is the immediately preceding step (a linear pipeline).
+    after: tuple = ()
+    #: wall-clock budget for this step in seconds (None = unbounded);
+    #: an expired step is abandoned and recorded ``timeout``, the
+    #: workflow continues and the merged health degrades
+    timeout: Optional[float] = None
+    #: step-kind-specific configuration (sources, spec, rulepack, url, …)
+    options: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "name": self.name,
+            "kind": self.kind,
+            "gate": self.gate.render(),
+            "after": list(self.after),
+            "timeout": self.timeout,
+        }
+        payload.update(self.options)
+        return payload
+
+    #: step-dict keys that are structural, not kind-specific options
+    RESERVED = frozenset({"name", "kind", "gate", "after", "timeout"})
+
+    @classmethod
+    def from_dict(cls, data: dict, previous: Optional[str]) -> "WorkflowStep":
+        if not isinstance(data, dict):
+            raise WorkflowError(f"each step must be a mapping, got {data!r}")
+        name = data.get("name") or data.get("kind")
+        if not name or not isinstance(name, str):
+            raise WorkflowError(f"step needs a 'name' (or 'kind'): {data!r}")
+        kind = data.get("kind") or name
+        after = data.get("after")
+        if after is None:
+            after = (previous,) if previous else ()
+        elif isinstance(after, str):
+            after = (after,)
+        elif isinstance(after, (list, tuple)):
+            after = tuple(str(item) for item in after)
+        else:
+            raise WorkflowError(f"step {name!r}: 'after' must be a name or list")
+        timeout = data.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise WorkflowError(f"step {name!r}: 'timeout' must be a number")
+        options = {
+            key: value for key, value in data.items() if key not in cls.RESERVED
+        }
+        return cls(
+            name=name,
+            kind=str(kind),
+            gate=Gate.parse(str(data.get("gate", Gate.ALWAYS))),
+            after=after,
+            timeout=float(timeout) if timeout is not None else None,
+            options=options,
+        )
+
+
+class Workflow:
+    """An ordered DAG of steps, validated at construction."""
+
+    def __init__(self, name: str, steps: Iterable[WorkflowStep]):
+        self.name = name or "workflow"
+        self.steps: list[WorkflowStep] = list(steps)
+        if not self.steps:
+            raise WorkflowError(f"workflow {self.name!r} has no steps")
+        seen: set[str] = set()
+        for step in self.steps:
+            if step.name in seen:
+                raise WorkflowError(
+                    f"workflow {self.name!r}: duplicate step name {step.name!r}"
+                )
+            for dep in step.after:
+                if dep == step.name:
+                    raise WorkflowError(
+                        f"workflow {self.name!r}: step {step.name!r} "
+                        f"depends on itself"
+                    )
+                if dep not in seen:
+                    # forward references would permit cycles; requiring
+                    # edges to point backward keeps the DAG ordered and
+                    # the execution order deterministic
+                    raise WorkflowError(
+                        f"workflow {self.name!r}: step {step.name!r} depends "
+                        f"on {dep!r}, which is not an earlier step"
+                    )
+            seen.add(step.name)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def step(self, name: str) -> WorkflowStep:
+        for step in self.steps:
+            if step.name == name:
+                return step
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Workflow":
+        if not isinstance(data, dict):
+            raise WorkflowError("workflow definition must be a mapping")
+        meta = data.get("workflow", {})
+        if not isinstance(meta, dict):
+            raise WorkflowError("'workflow' must be a mapping")
+        name = meta.get("name") or data.get("name") or "workflow"
+        raw_steps = data.get("steps")
+        if not isinstance(raw_steps, list) or not raw_steps:
+            raise WorkflowError("workflow definition needs a 'steps' list")
+        steps: list[WorkflowStep] = []
+        previous: Optional[str] = None
+        for raw in raw_steps:
+            step = WorkflowStep.from_dict(raw, previous)
+            steps.append(step)
+            previous = step.name
+        unknown = sorted(set(data) - {"workflow", "name", "steps"})
+        if unknown:
+            raise WorkflowError(
+                f"unknown workflow field(s): {', '.join(unknown)}"
+            )
+        return cls(str(name), steps)
+
+
+@dataclass
+class StepResult:
+    """Outcome of one step of one workflow run."""
+
+    name: str
+    kind: str
+    gate: str
+    status: str = StepStatus.PENDING
+    #: why the step did not run (gate/upstream), or the failure message
+    reason: str = ""
+    seconds: float = 0.0
+    #: True when this result was spliced unchanged from the previous run
+    spliced: bool = False
+    #: step-kind-specific outcome summary (JSON-safe)
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "gate": self.gate,
+            "status": self.status,
+            "reason": self.reason,
+            "seconds": round(self.seconds, 6),
+            "spliced": self.spliced,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass
+class WorkflowReport:
+    """Merged outcome of one workflow run.
+
+    ``report`` is the merged validation verdict — exactly the violations,
+    counters and notes the run's ``validate``/``cross_check`` steps found,
+    in step order.  Step timeouts and crashes land in ``report.health``
+    (shard-failure records of kind ``workflow-step``), which
+    :meth:`~repro.core.report.ValidationReport.fingerprint` excludes — a
+    run that limped but found the same things fingerprints identically.
+    """
+
+    workflow: str
+    steps: list[StepResult] = field(default_factory=list)
+    report: ValidationReport = field(default_factory=ValidationReport)
+    elapsed_seconds: float = 0.0
+    #: the run's primary configuration store (feeds service coverage and
+    #: lifecycle consumers; not serialized)
+    store: Optional[object] = None
+
+    @property
+    def passed(self) -> bool:
+        from ..core.report import HealthBlock
+
+        if self.report.health.status == HealthBlock.FAILED:
+            return False
+        return self.report.passed
+
+    @property
+    def health(self):
+        return self.report.health
+
+    def step(self, name: str) -> StepResult:
+        for result in self.steps:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    def statuses(self) -> dict:
+        return {result.name: result.status for result in self.steps}
+
+    def fingerprint(self) -> str:
+        """The merged validation report's canonical fingerprint.
+
+        Orchestration details (step timings, splices, gate skips, health)
+        are excluded by construction: two runs that validated the same
+        data identically compare equal even when one spliced every step
+        and the other ran them all.
+        """
+        return self.report.fingerprint()
+
+    def step_payload(self) -> list:
+        """Per-step statuses as JSON (job records, ``GET /jobs/<id>``)."""
+        return [result.to_dict() for result in self.steps]
+
+    def to_dict(self) -> dict:
+        return {
+            "workflow": self.workflow,
+            "passed": self.passed,
+            "steps": self.step_payload(),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "report": self.report.to_dict(),
+        }
+
+    def render(self, limit: Optional[int] = None) -> str:
+        lines = [f"workflow {self.workflow}:"]
+        for result in self.steps:
+            flags = []
+            if result.spliced:
+                flags.append("spliced")
+            if result.reason:
+                flags.append(result.reason)
+            suffix = f" ({'; '.join(flags)})" if flags else ""
+            lines.append(
+                f"  {result.name:<16} {result.status:<8} "
+                f"{result.seconds:8.3f}s{suffix}"
+            )
+        lines.append(self.report.render(limit=limit))
+        return "\n".join(lines)

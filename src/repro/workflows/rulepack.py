@@ -1,0 +1,189 @@
+"""Rule packs: declarative cross-store misconfiguration rules.
+
+A rule pack is a YAML or TOML document of named rules evaluated by the
+:class:`~repro.workflows.crosscheck.CrossStoreChecker` step.  Rules span
+*multiple* configuration stores — exactly the class of misconfiguration a
+single-store scan cannot express (mismatched endpoints between a client
+and the service it calls, credentials leaking into world-readable files,
+debug switches left on in production)::
+
+    rulepack:
+      name: security-starter
+    rules:
+      - id: endpoints-agree
+        kind: must_agree
+        severity: error
+        keys: [frontend.database.host, backend.database.host]
+      - id: no-secrets-world-readable
+        kind: forbid
+        severity: critical
+        name_match: "(password|secret|token|private_key)"
+        world_readable_only: true
+
+Rule kinds (``params`` per kind are documented in ``docs/WORKFLOWS.md``):
+
+``cpl``
+    a CPL program evaluated against the merged, store-prefixed view —
+    full language power, store names as scope prefixes;
+``must_agree``
+    every instance matched by any of ``keys`` must carry the same value;
+``ref``
+    every value of ``key`` must appear among the values of ``target``
+    (referential integrity between stores);
+``agree_port``
+    the port embedded in each matched value (``host:port``, URLs, bare
+    ports) must agree across ``keys``;
+``forbid``
+    matched instances are violations outright, optionally filtered by
+    value (``equals`` / ``value_match``), store flags
+    (``world_readable_only``) and a ``when`` condition on the same store.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..core.report import Severity
+from .model import WorkflowError
+
+__all__ = ["Rule", "RulePack", "load_rulepack", "parse_rulepack"]
+
+RULE_KINDS = ("cpl", "must_agree", "ref", "agree_port", "forbid")
+
+#: structural rule keys; everything else is a kind-specific parameter
+_RESERVED = frozenset({"id", "kind", "severity", "message"})
+
+_REQUIRED_PARAMS = {
+    "cpl": ("spec",),
+    "must_agree": ("keys",),
+    "ref": ("key", "target"),
+    "agree_port": ("keys",),
+    "forbid": (),
+}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One cross-store consistency rule."""
+
+    id: str
+    kind: str
+    severity: str = Severity.ERROR
+    #: operator-facing explanation used in generated violation messages
+    message: str = ""
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "id": self.id,
+            "kind": self.kind,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        payload.update(self.params)
+        return payload
+
+
+@dataclass(frozen=True)
+class RulePack:
+    """An ordered, validated collection of rules."""
+
+    name: str
+    description: str = ""
+    rules: tuple = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "rulepack": {"name": self.name, "description": self.description},
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+
+def _parse_rule(data: dict, position: int) -> Rule:
+    if not isinstance(data, dict):
+        raise WorkflowError(f"rule #{position} must be a mapping, got {data!r}")
+    rule_id = data.get("id")
+    if not rule_id or not isinstance(rule_id, str):
+        raise WorkflowError(f"rule #{position} needs a string 'id'")
+    kind = data.get("kind")
+    if kind not in RULE_KINDS:
+        raise WorkflowError(
+            f"rule {rule_id!r}: unknown kind {kind!r}; expected one of "
+            f"{', '.join(RULE_KINDS)}"
+        )
+    severity = str(data.get("severity", Severity.ERROR)).lower()
+    if severity not in Severity.ORDER:
+        raise WorkflowError(
+            f"rule {rule_id!r}: unknown severity {severity!r}"
+        )
+    params = {key: value for key, value in data.items() if key not in _RESERVED}
+    for required in _REQUIRED_PARAMS[kind]:
+        if required not in params:
+            raise WorkflowError(
+                f"rule {rule_id!r} (kind {kind}) needs a {required!r} parameter"
+            )
+    if kind == "forbid" and not (
+        params.get("key") or params.get("name_match")
+    ):
+        raise WorkflowError(
+            f"rule {rule_id!r} (kind forbid) needs 'key' or 'name_match'"
+        )
+    for listy in ("keys",):
+        if listy in params and not isinstance(params[listy], list):
+            raise WorkflowError(f"rule {rule_id!r}: {listy!r} must be a list")
+    return Rule(
+        id=rule_id,
+        kind=kind,
+        severity=severity,
+        message=str(data.get("message", "")),
+        params=params,
+    )
+
+
+def parse_rulepack(data: dict) -> RulePack:
+    """Validate a rule-pack document (already parsed to a dict)."""
+    if not isinstance(data, dict):
+        raise WorkflowError("rule pack must be a mapping")
+    meta = data.get("rulepack", {})
+    if not isinstance(meta, dict):
+        raise WorkflowError("'rulepack' must be a mapping")
+    raw_rules = data.get("rules")
+    if not isinstance(raw_rules, list) or not raw_rules:
+        raise WorkflowError("rule pack needs a non-empty 'rules' list")
+    rules = tuple(
+        _parse_rule(raw, position)
+        for position, raw in enumerate(raw_rules, start=1)
+    )
+    seen: set[str] = set()
+    for rule in rules:
+        if rule.id in seen:
+            raise WorkflowError(f"duplicate rule id {rule.id!r}")
+        seen.add(rule.id)
+    return RulePack(
+        name=str(meta.get("name") or data.get("name") or "rulepack"),
+        description=str(meta.get("description", "")),
+        rules=rules,
+    )
+
+
+def load_rulepack(path: str) -> RulePack:
+    """Load a rule pack from a YAML (``.yaml``/``.yml``) or TOML file."""
+    extension = os.path.splitext(path)[1].lower()
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if extension == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except tomllib.TOMLDecodeError as exc:
+            raise WorkflowError(f"malformed TOML rule pack {path}: {exc}") from exc
+    else:
+        import yaml
+
+        try:
+            data = yaml.safe_load(raw)
+        except yaml.YAMLError as exc:
+            raise WorkflowError(f"malformed YAML rule pack {path}: {exc}") from exc
+    return parse_rulepack(data)

@@ -21,12 +21,15 @@ def by_key(instances):
 
 class TestRegistry:
     def test_all_builtin_formats_registered(self):
-        for name in ("xml", "ini", "keyvalue", "json", "yaml", "csv", "rest"):
+        for name in (
+            "xml", "ini", "keyvalue", "json", "yaml", "csv", "rest",
+            "toml", "env",
+        ):
             assert name in driver_names()
 
     def test_unknown_driver_raises(self):
         with pytest.raises(UnknownDriverError):
-            get_driver("toml")
+            get_driver("hocon")
 
     def test_custom_driver_registration(self):
         class Fake(Driver):
@@ -217,6 +220,124 @@ class TestYAMLDriver:
     def test_bad_yaml_raises(self):
         with pytest.raises(DriverError):
             get_driver("yaml").parse("a: [unclosed")
+
+    MULTI = (
+        "kind: Deployment\nmetadata: {name: frontend}\nreplicas: 2\n"
+        "---\n"
+        "kind: Service\nmetadata: {name: frontend}\nport: 8080\n"
+    )
+
+    def test_multi_document_kind_name_scopes(self):
+        mapping = by_key(get_driver("yaml").parse(self.MULTI))
+        assert mapping["Deployment::frontend.replicas"] == "2"
+        assert mapping["Service::frontend.port"] == "8080"
+
+    def test_multi_document_ordinal_fallback(self):
+        out = get_driver("yaml").parse("a: 1\n---\nb: 2\n---\nc: 3\n")
+        mapping = by_key(out)
+        assert mapping["doc.a"] == "1"
+        assert mapping["doc[2].b"] == "2"
+        assert mapping["doc[3].c"] == "3"
+
+    def test_multi_document_scope_prefix(self):
+        mapping = by_key(
+            get_driver("yaml").parse(self.MULTI, scope="Cluster::C1")
+        )
+        assert mapping["Cluster::C1.Deployment::frontend.replicas"] == "2"
+
+    def test_single_document_stream_is_not_wrapped(self):
+        # keys (and hence fingerprints) of existing single-doc sources
+        # must not change because multi-doc support landed
+        assert by_key(get_driver("yaml").parse("---\na: 1\n")) == {"a": "1"}
+
+    def test_empty_documents_skipped(self):
+        out = get_driver("yaml").parse("---\n---\na: 1\n")
+        assert by_key(out) == {"a": "1"}
+
+
+class TestTOMLDriver:
+    def test_tables_become_scopes(self):
+        out = get_driver("toml").parse(
+            "[service.frontend]\nport = 8080\ntls = true\n"
+        )
+        mapping = by_key(out)
+        assert mapping["service.frontend.port"] == "8080"
+        assert mapping["service.frontend.tls"] == "true"
+
+    def test_structural_parity_with_json(self):
+        toml_out = get_driver("toml").parse("[fabric]\ntimeout = 30\n")
+        json_out = get_driver("json").parse('{"fabric": {"timeout": 30}}')
+        assert by_key(toml_out) == by_key(json_out)
+
+    def test_array_of_tables_promotes_names(self):
+        out = get_driver("toml").parse(
+            '[[clouds]]\nname = "c1"\nip = "10.0.0.1"\n'
+            '[[clouds]]\nname = "c2"\nip = "10.0.0.2"\n'
+        )
+        mapping = by_key(out)
+        assert mapping["clouds::c1.ip"] == "10.0.0.1"
+        assert mapping["clouds::c2.ip"] == "10.0.0.2"
+
+    def test_scope_prefix(self):
+        out = get_driver("toml").parse("k = 1\n", scope="Env::E1")
+        assert by_key(out) == {"Env::E1.k": "1"}
+
+    def test_malformed_toml_raises(self):
+        with pytest.raises(DriverError):
+            get_driver("toml").parse("[unclosed\n")
+
+
+class TestEnvFileDriver:
+    def test_basic_pairs_comments_and_export(self):
+        out = get_driver("env").parse(
+            "# comment\n\nexport DATABASE_URL=postgres://db/app\n"
+            "POOL_SIZE=10 # inline comment\n"
+        )
+        mapping = by_key(out)
+        assert mapping["DATABASE_URL"] == "postgres://db/app"
+        assert mapping["POOL_SIZE"] == "10"
+
+    def test_underscored_keys_stay_verbatim(self):
+        out = get_driver("env").parse("DATABASE_URL=x\n")
+        assert out[0].key.leaf_name == "DATABASE_URL"
+
+    def test_dotted_keys_become_scopes(self):
+        out = get_driver("env").parse("db.pool.size=10\n")
+        assert by_key(out) == {"db.pool.size": "10"}
+
+    def test_double_quotes_honor_escapes(self):
+        out = get_driver("env").parse(
+            'MOTD="line1\\nline2 \\"quoted\\" \\$HOME"\n'
+        )
+        assert out[0].value == 'line1\nline2 "quoted" $HOME'
+
+    def test_single_quotes_are_literal(self):
+        out = get_driver("env").parse("TOKEN='s3\\ncr3t # not a comment'\n")
+        assert out[0].value == "s3\\ncr3t # not a comment"
+
+    def test_quoted_value_keeps_hash(self):
+        out = get_driver("env").parse('PASSWORD="p#ss"\n')
+        assert out[0].value == "p#ss"
+
+    def test_scope_prefix(self):
+        out = get_driver("env").parse("K=v\n", scope="Host::web1")
+        assert by_key(out) == {"Host::web1.K": "v"}
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not-a-pair\n",
+            "=value\n",
+            "BAD KEY=v\n",
+            'K="unterminated\n',
+            "K='unterminated\n",
+            'K="v" trailing\n',
+            'K="dangling\\\n',
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(DriverError):
+            get_driver("env").parse(line)
 
 
 class TestCSVDriver:
